@@ -1,0 +1,91 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!  1. partial-program step budget `m` (encode cost scales with it);
+//!  2. selection strategy (paper's ones-indexed vs robust absolute);
+//!  3. ECC strength (BCH t) at the default hidden budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use stash_bench::experiment_key;
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, PageId};
+use std::hint::black_box;
+use vthi::{EccChoice, Hider, SelectionMode, VthiConfig};
+
+fn ablations(c: &mut Criterion) {
+    let key = experiment_key();
+
+    // --- 1: PP step budget --------------------------------------------------
+    {
+        let mut group = c.benchmark_group("ablation_pp_steps");
+        group.sample_size(20);
+        for m in [1u8, 5, 10, 15] {
+            group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+                let mut chip = Chip::new(ChipProfile::vendor_a_scaled(), 77);
+                let mut cfg = VthiConfig::scaled_for(chip.geometry());
+                cfg.max_pp_steps = m;
+                cfg.ecc = EccChoice::None;
+                let cpp = chip.geometry().cells_per_page();
+                let mut rng = SmallRng::seed_from_u64(u64::from(m));
+                let payload: Vec<u8> =
+                    (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+                let mut page = 0u64;
+                b.iter(|| {
+                    let block = BlockId((page / 32) as u32 % 8);
+                    let p = PageId::new(block, (page % 32) as u32);
+                    if page % 32 == 0 {
+                        chip.erase_block(block).unwrap();
+                    }
+                    let public = BitPattern::random_half(&mut rng, cpp);
+                    let mut hider = Hider::new(&mut chip, key.clone(), cfg.clone());
+                    black_box(hider.hide_on_fresh_page(p, &public, &payload).unwrap());
+                    page += 1;
+                });
+            });
+        }
+        group.finish();
+    }
+
+    // --- 2: selection strategy ----------------------------------------------
+    {
+        let mut group = c.benchmark_group("ablation_selection");
+        for (name, mode) in [
+            ("ones_indexed", SelectionMode::OnesIndexed),
+            ("absolute", SelectionMode::Absolute),
+        ] {
+            group.bench_function(name, |b| {
+                let key = experiment_key();
+                let geometry = stash_flash::Geometry::paper_vendor_a();
+                let mut rng = SmallRng::seed_from_u64(4);
+                let public = BitPattern::random_half(&mut rng, geometry.cells_per_page());
+                let page = PageId::new(BlockId(0), 0);
+                b.iter(|| {
+                    black_box(vthi::select_hidden_cells(
+                        &key, &geometry, page, &public, 256, mode,
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+
+    // --- 3: ECC strength ----------------------------------------------------
+    {
+        let mut group = c.benchmark_group("ablation_ecc_strength");
+        for t in [2usize, 4, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+                let mut cfg = VthiConfig::paper_default();
+                cfg.ecc = EccChoice::Bch { t, segment_bits: 0 };
+                let code = cfg.segment_code().expect("bch");
+                let mut rng = SmallRng::seed_from_u64(t as u64);
+                let data: Vec<bool> = (0..code.data_bits()).map(|_| rng.gen()).collect();
+                let mut word = code.encode(&data);
+                // One error per codeword: the common case.
+                word[13] = !word[13];
+                b.iter(|| black_box(code.decode(&word).unwrap()));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

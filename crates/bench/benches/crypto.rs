@@ -1,0 +1,39 @@
+//! Crypto primitive throughput: the from-scratch SHA-256 / ChaCha20 /
+//! selection PRNG that every hide/reveal depends on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stash_crypto::{chacha20_xor, sha256, HidingKey, SelectionPrng};
+use std::hint::black_box;
+
+fn crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha256_4k", |b| {
+        let data = vec![0xA5u8; 4096];
+        b.iter(|| black_box(sha256(&data)));
+    });
+
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("chacha20_4k", |b| {
+        let key = [7u8; 32];
+        let mut data = vec![0u8; 4096];
+        b.iter(|| chacha20_xor(&key, 1, black_box(&mut data)));
+    });
+
+    group.throughput(Throughput::Elements(256));
+    group.bench_function("select_256_of_144384", |b| {
+        let key = HidingKey::new([9u8; 32]);
+        let mut page = 0u64;
+        b.iter(|| {
+            let mut s = SelectionPrng::new(&key, page);
+            page += 1;
+            black_box(s.choose_distinct(256, 144_384))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, crypto);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! ECC throughput at the paper's code points: the default per-page BCH
+//! (256 code bits, t=4) and the enhanced configuration's 512-bit, t=12
+//! segments, plus the SEC-DED comparison point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use stash_ecc::bch::Bch;
+use stash_ecc::hamming::ExtendedHamming;
+use stash_ecc::rs::ReedSolomon;
+use stash_ecc::BlockCode;
+use std::hint::black_box;
+
+fn data_for(code: &dyn BlockCode, seed: u64) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..code.data_len()).map(|_| rng.gen()).collect()
+}
+
+fn with_errors(code: Vec<bool>, n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = code;
+    let mut hit = std::collections::HashSet::new();
+    while hit.len() < n {
+        let p = rng.gen_range(0..out.len());
+        if hit.insert(p) {
+            out[p] = !out[p];
+        }
+    }
+    out
+}
+
+fn ecc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+
+    let default_code = Bch::shortened(9, 4, 220);
+    let enhanced_code = Bch::shortened(10, 12, 392);
+    let hamming = ExtendedHamming::code_72_64();
+
+    group.bench_function("bch256_t4_encode", |b| {
+        let data = data_for(&default_code, 1);
+        b.iter(|| black_box(default_code.encode(&data)));
+    });
+    group.bench_function("bch256_t4_decode_clean", |b| {
+        let code = default_code.encode(&data_for(&default_code, 2));
+        b.iter(|| black_box(default_code.decode(&code).unwrap()));
+    });
+    group.bench_function("bch256_t4_decode_4_errors", |b| {
+        let code = with_errors(default_code.encode(&data_for(&default_code, 3)), 4, 4);
+        b.iter(|| black_box(default_code.decode(&code).unwrap()));
+    });
+    group.bench_function("bch512_t12_decode_10_errors", |b| {
+        let code = with_errors(enhanced_code.encode(&data_for(&enhanced_code, 5)), 10, 6);
+        b.iter(|| black_box(enhanced_code.decode(&code).unwrap()));
+    });
+    group.bench_function("hamming72_decode_1_error", |b| {
+        let code = with_errors(hamming.encode(&data_for(&hamming, 7)), 1, 8);
+        b.iter(|| black_box(hamming.decode(&code).unwrap()));
+    });
+
+    // Reed–Solomon at the same 256-bit page budget: 32 symbols, t=4.
+    let rs = ReedSolomon::new(32, 24);
+    let rs_data: Vec<u8> = (0..24u8).collect();
+    group.bench_function("rs32_t4_encode", |b| {
+        b.iter(|| black_box(rs.encode(&rs_data)));
+    });
+    group.bench_function("rs32_t4_decode_3_symbol_errors", |b| {
+        let mut word = rs.encode(&rs_data);
+        word[2] ^= 0x55;
+        word[10] ^= 0xAA;
+        word[30] ^= 0x0F;
+        b.iter(|| black_box(rs.decode(&word).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, ecc);
+criterion_main!(benches);

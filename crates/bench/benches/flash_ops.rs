@@ -1,0 +1,86 @@
+//! Simulator primitive costs: the per-operation host cost of the tester
+//! command set on a full-size (18048-byte) page. Useful for spotting
+//! regressions in the hot per-cell loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, PageId};
+use std::hint::black_box;
+
+fn chip() -> Chip {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 8, pages_per_block: 16, page_bytes: 18048 };
+    Chip::new(profile, 5)
+}
+
+fn flash_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash_ops_18k_page");
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    group.bench_function("program_page", |b| {
+        let mut chip = chip();
+        let cpp = chip.geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut rng, cpp);
+        let mut i = 0u64;
+        b.iter(|| {
+            let page = PageId::new(BlockId(0), (i % 16) as u32);
+            if i % 16 == 0 {
+                chip.erase_block(BlockId(0)).unwrap();
+            }
+            chip.program_page(page, &data).unwrap();
+            i += 1;
+        });
+    });
+
+    group.bench_function("read_page", |b| {
+        let mut chip = chip();
+        let cpp = chip.geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
+        b.iter(|| black_box(chip.read_page(PageId::new(BlockId(0), 0)).unwrap()));
+    });
+
+    group.bench_function("probe_voltages", |b| {
+        let mut chip = chip();
+        let cpp = chip.geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
+        b.iter(|| black_box(chip.probe_voltages(PageId::new(BlockId(0), 0)).unwrap()));
+    });
+
+    group.bench_function("partial_program_256_cells", |b| {
+        let mut chip = chip();
+        let cpp = chip.geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
+        let mut mask = BitPattern::zeros(cpp);
+        let mut n = 0;
+        for i in 0..cpp {
+            if data.get(i) {
+                mask.set(i, true);
+                n += 1;
+                if n == 256 {
+                    break;
+                }
+            }
+        }
+        b.iter(|| chip.partial_program(PageId::new(BlockId(0), 0), &mask).unwrap());
+    });
+
+    group.bench_function("erase_block_16_pages", |b| {
+        let mut chip = chip();
+        b.iter(|| chip.erase_block(BlockId(1)).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = flash_ops
+}
+criterion_main!(benches);

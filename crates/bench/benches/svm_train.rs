@@ -1,0 +1,47 @@
+//! Adversary training cost: SMO on histogram-shaped feature vectors at the
+//! paper's dataset scale (2 training chips × 31 blocks × 2 classes,
+//! 256-dimensional features).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use stash_svm::{k_fold_accuracy, Dataset, Kernel, Svm, SvmParams};
+use std::hint::black_box;
+
+/// Synthetic histogram-like features: two near-identical classes with a
+/// sub-noise mean shift — the hard case the adversary actually faces.
+fn paper_scale_dataset(shift: f64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(31);
+    let mut data = Dataset::new();
+    for _ in 0..62 {
+        for (label, mu) in [(-1i8, 0.0), (1i8, shift)] {
+            let features: Vec<f64> =
+                (0..256).map(|i| (i as f64 / 64.0).sin() + mu + rng.gen_range(-0.3..0.3)).collect();
+            data.push(features, label);
+        }
+    }
+    data
+}
+
+fn svm_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svm");
+    group.sample_size(10);
+
+    let hard = paper_scale_dataset(0.02);
+    let easy = paper_scale_dataset(0.5);
+
+    group.bench_function("train_rbf_124x256_indistinct", |b| {
+        b.iter(|| black_box(Svm::train(&hard, &SvmParams::default())));
+    });
+    group.bench_function("train_rbf_124x256_separable", |b| {
+        b.iter(|| black_box(Svm::train(&easy, &SvmParams::default())));
+    });
+    group.bench_function("three_fold_cv_linear", |b| {
+        let params = SvmParams { kernel: Kernel::Linear, ..Default::default() };
+        b.iter(|| black_box(k_fold_accuracy(&easy, 3, &params, 1)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, svm_train);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Table 1 / §8 as Criterion benches: host-side wall-clock of VT-HI and
+//! PT-HI encode/decode per page on identical simulated chips. (Simulated
+//! *device* time — the paper's metric — is reported by the `table1`
+//! binary; these benches track the cost of the schemes' host-side work.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pthi::{PthiConfig, PthiHider};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use stash_bench::experiment_key;
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, PageId};
+use std::hint::black_box;
+use vthi::{EccChoice, Hider, VthiConfig};
+
+fn bench_chip() -> Chip {
+    Chip::new(ChipProfile::vendor_a_scaled(), 9)
+}
+
+fn scaled_cfg(chip: &Chip) -> VthiConfig {
+    VthiConfig::scaled_for(chip.geometry())
+}
+
+fn vthi_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_page");
+    let key = experiment_key();
+
+    group.bench_function("vthi_default", |b| {
+        let mut chip = bench_chip();
+        let cfg = scaled_cfg(&chip);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+        let mut page = 0u64;
+        b.iter(|| {
+            let block = BlockId((page / 32) as u32 % 16);
+            let p = PageId::new(block, (page % 32) as u32);
+            if page % 32 == 0 {
+                chip.erase_block(block).unwrap();
+            }
+            let public = BitPattern::random_half(&mut rng, cpp);
+            let mut hider = Hider::new(&mut chip, key.clone(), cfg.clone());
+            black_box(hider.hide_on_fresh_page(p, &public, &payload).unwrap());
+            page += 1;
+        });
+    });
+
+    group.bench_function("vthi_enhanced_fine_pp", |b| {
+        let mut chip = bench_chip();
+        let mut cfg = scaled_cfg(&chip);
+        cfg.hidden_bits_per_page *= 10;
+        cfg.vth = 15;
+        cfg.max_pp_steps = 1;
+        cfg.use_fine_pp = true;
+        cfg.ecc = EccChoice::Bch { t: 12, segment_bits: cfg.hidden_bits_per_page };
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+        let mut page = 0u64;
+        b.iter(|| {
+            let block = BlockId((page / 32) as u32 % 16);
+            let p = PageId::new(block, (page % 32) as u32);
+            if page % 32 == 0 {
+                chip.erase_block(block).unwrap();
+            }
+            let public = BitPattern::random_half(&mut rng, cpp);
+            let mut hider = Hider::new(&mut chip, key.clone(), cfg.clone());
+            black_box(hider.hide_on_fresh_page(p, &public, &payload).unwrap());
+            page += 1;
+        });
+    });
+
+    group.bench_function("pthi", |b| {
+        let mut chip = bench_chip();
+        let cfg = PthiConfig::scaled_for(chip.geometry());
+        let bits: Vec<bool> = (0..cfg.bits_per_page).map(|i| i % 2 == 0).collect();
+        let mut page = 0u64;
+        b.iter(|| {
+            let block = BlockId((page / 32) as u32 % 16);
+            let p = PageId::new(block, (page % 32) as u32);
+            if page % 32 == 0 {
+                chip.erase_block(block).unwrap();
+            }
+            let mut hider = PthiHider::new(&mut chip, key.clone(), cfg.clone());
+            black_box(hider.encode_page(p, &bits).unwrap());
+            page += 1;
+        });
+    });
+
+    group.finish();
+}
+
+fn vthi_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_page");
+    let key = experiment_key();
+
+    group.bench_function("vthi_single_shifted_read", |b| {
+        let mut chip = bench_chip();
+        let cfg = scaled_cfg(&chip);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let public = BitPattern::random_half(&mut rng, cpp);
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+        let page = PageId::new(BlockId(0), 0);
+        chip.erase_block(BlockId(0)).unwrap();
+        let mut hider = Hider::new(&mut chip, key.clone(), cfg.clone());
+        hider.hide_on_fresh_page(page, &public, &payload).unwrap();
+        b.iter(|| {
+            let mut hider = Hider::new(&mut chip, key.clone(), cfg.clone());
+            black_box(hider.reveal_page(page, Some(&public)).unwrap())
+        });
+    });
+
+    group.bench_function("pthi_destructive", |b| {
+        let mut chip = bench_chip();
+        let cfg = PthiConfig::scaled_for(chip.geometry());
+        let bits: Vec<bool> = (0..cfg.bits_per_page).map(|i| i % 3 == 0).collect();
+        let page = PageId::new(BlockId(0), 0);
+        chip.erase_block(BlockId(0)).unwrap();
+        {
+            let mut hider = PthiHider::new(&mut chip, key.clone(), cfg.clone());
+            hider.encode_page(page, &bits).unwrap();
+        }
+        b.iter(|| {
+            let mut hider = PthiHider::new(&mut chip, key.clone(), cfg.clone());
+            black_box(hider.decode_page(page).unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = vthi_encode, vthi_decode
+}
+criterion_main!(benches);

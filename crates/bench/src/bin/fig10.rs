@@ -1,0 +1,78 @@
+//! Figure 10: SVM classification accuracy for block-level voltage
+//! distributions — hidden blocks at PEC {0, 1000, 2000} against normal
+//! blocks across the full wear range (paper §7).
+//!
+//! Expected shape: ≈50% (coin flip) wherever the hidden and normal PEC are
+//! within a few hundred cycles of each other, rising toward 90–100% as the
+//! wear mismatch grows — i.e. the SVM detects *wear*, never *hiding*.
+//!
+//! Runtime: a few minutes at the paper's 31 blocks per class; set
+//! `STASH_BLOCKS=10` for a quick pass.
+
+use stash_bench::detect::{blocks_per_class, prepare_features, train_two_test_one};
+use stash_bench::{experiment_key, f, header, rng, row};
+use stash_flash::ChipProfile;
+use std::collections::HashMap;
+use vthi::{EccChoice, VthiConfig};
+
+const HIDDEN_PECS: [u32; 3] = [0, 1000, 2000];
+const NORMAL_PECS: [u32; 7] = [0, 500, 1000, 1500, 2000, 2500, 3000];
+const CHIP_SEEDS: [u64; 3] = [11, 22, 33];
+
+fn main() {
+    let profile = ChipProfile::vendor_a_scaled();
+    let key = experiment_key();
+    let mut cfg = VthiConfig::scaled_for(&profile.geometry);
+    cfg.ecc = EccChoice::None;
+    let blocks = blocks_per_class();
+
+    header(
+        "Figure 10: SVM accuracy vs normal PEC, per hidden-data PEC",
+        &format!(
+            "{blocks} blocks/class/chip, 3 chips (train 2, test 1), grid search + 3-fold CV; \
+             scaled geometry, {} hidden bits/page",
+            cfg.hidden_bits_per_page
+        ),
+    );
+
+    // Feature cache: (pec, hidden?) -> per-chip feature sets.
+    let mut cache: HashMap<(u32, bool), [Vec<Vec<f64>>; 3]> = HashMap::new();
+    let mut r = rng(10);
+    let mut features =
+        |pec: u32, hidden: bool, r: &mut rand::rngs::SmallRng| -> [Vec<Vec<f64>>; 3] {
+            cache
+                .entry((pec, hidden))
+                .or_insert_with(|| {
+                    let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
+                        prepare_features(
+                            &profile,
+                            seed,
+                            pec,
+                            hidden.then_some((&key, &cfg)),
+                            blocks,
+                            r,
+                        )
+                    };
+                    [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
+                })
+                .clone()
+        };
+
+    let mut head = vec!["normal_pec".to_owned()];
+    head.extend(HIDDEN_PECS.iter().map(|p| format!("hidden_pec_{p}")));
+    row(head);
+
+    for &normal_pec in &NORMAL_PECS {
+        let normal = features(normal_pec, false, &mut r);
+        let mut cells = vec![normal_pec.to_string()];
+        for &hidden_pec in &HIDDEN_PECS {
+            let hidden = features(hidden_pec, true, &mut r);
+            let (acc, _cv) = train_two_test_one(&normal, &hidden);
+            cells.push(f(acc * 100.0, 1));
+        }
+        row(cells);
+    }
+
+    println!();
+    println!("# paper: ~50% at matched PEC; accuracy rises with |normal - hidden| wear gap");
+}

@@ -1,0 +1,106 @@
+//! Figure 11: normalized retention BER — hidden (VT-HI) vs normal data
+//! after 1 day / 1 month / 4 months, for blocks at PEC 0 / 1000 / 2000.
+//! Each bar is the BER after the retention period divided by the BER at
+//! "zero" time (paper §8 "Reliability").
+//!
+//! Expected shape: flat (≈1×) at PEC 0 for both; at PEC 2000 / 4 months
+//! hidden data degrades ≈6.3× while normal data degrades ≈2.3×.
+
+use stash_bench::{
+    experiment_key, f, fill_block_hiding, header, measure_hidden_ber, measure_public_ber,
+    raw_paper_config, rng, row, short_block_geometry,
+};
+use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+
+const BLOCKS: u32 = 4;
+const PECS: [u32; 3] = [0, 1000, 2000];
+/// Retention checkpoints in days (1 day, 1 month, 4 months).
+const CHECKPOINTS: [f64; 3] = [1.0, 30.0, 120.0];
+
+struct Line {
+    pec: u32,
+    hidden_t0: f64,
+    public_t0: f64,
+    hidden: Vec<f64>,
+    public: Vec<f64>,
+}
+
+fn main() {
+    let key = experiment_key();
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = short_block_geometry();
+    let cfg = raw_paper_config(256, 1);
+    let mut r = rng(11);
+
+    let mut lines = Vec::new();
+    for (i, &pec) in PECS.iter().enumerate() {
+        // One chip per wear level so aging clocks stay independent.
+        let mut chip = Chip::new(profile.clone(), 5000 + i as u64);
+        let mut stored = Vec::new();
+        for b in 0..BLOCKS {
+            let block = BlockId(b);
+            chip.cycle_block(block, pec).expect("cycle");
+            let (publics, reports) =
+                fill_block_hiding(&mut chip, block, &key, &cfg, &mut r, false);
+            stored.push((block, publics, reports));
+        }
+
+        let measure = |chip: &mut Chip,
+                       stored: &[(BlockId, Vec<stash_flash::BitPattern>, Vec<vthi::PageEncodeReport>)]|
+         -> (f64, f64) {
+            let mut hid = BitErrorStats::default();
+            let mut pubs = BitErrorStats::default();
+            for (block, publics, reports) in stored {
+                hid.absorb(measure_hidden_ber(chip, &key, &cfg, reports));
+                pubs.absorb(measure_public_ber(chip, *block, publics));
+            }
+            (hid.ber(), pubs.ber())
+        };
+
+        let (h0, p0) = measure(&mut chip, &stored);
+        let mut line = Line { pec, hidden_t0: h0, public_t0: p0, hidden: vec![], public: vec![] };
+        let mut aged = 0.0;
+        for &t in &CHECKPOINTS {
+            chip.age_days(t - aged);
+            aged = t;
+            let (h, p) = measure(&mut chip, &stored);
+            line.hidden.push(h);
+            line.public.push(p);
+        }
+        lines.push(line);
+    }
+
+    header(
+        "Figure 11: normalized retention BER (vs zero time)",
+        &format!("{BLOCKS} blocks per wear level; 256 hidden bits/page; 18048-byte pages"),
+    );
+    row([
+        "period", "kind", "PEC0", "PEC1000", "PEC2000",
+    ]
+    .map(String::from));
+    let labels = ["1day", "1month", "4month"];
+    for (ci, label) in labels.iter().enumerate() {
+        for kind in ["vthi", "normal"] {
+            let mut cells = vec![(*label).to_owned(), kind.to_owned()];
+            for line in &lines {
+                let (t0, t) = if kind == "vthi" {
+                    (line.hidden_t0, line.hidden[ci])
+                } else {
+                    (line.public_t0, line.public[ci])
+                };
+                cells.push(if t0 > 0.0 { f(t / t0, 2) } else { "n/a".into() });
+            }
+            row(cells);
+        }
+    }
+
+    println!();
+    for line in &lines {
+        println!(
+            "# PEC {:>4}: hidden BER {:.4} -> {:.4} after 4 months; normal {:.2e} -> {:.2e}",
+            line.pec, line.hidden_t0, line.hidden[2], line.public_t0, line.public[2]
+        );
+    }
+    println!("# paper anchors: hidden x6.3 and normal x2.3 at PEC 2000 / 4 months;");
+    println!("# both ~flat at PEC 0");
+}

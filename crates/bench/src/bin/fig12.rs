@@ -1,0 +1,152 @@
+//! Figure 12: SVM accuracy against the *enhanced* VT-HI configuration
+//! (§8 "Improved Capacity"): vendor-support fine programming, a single PP
+//! step, threshold level 15, and as many hidden bits as the §6.3 capacity
+//! planner admits at that threshold.
+//!
+//! Calibration note: the paper hides 10× the default density at `Vth = 15`,
+//! which requires the natural above-15 population of their chips (≈5% of
+//! erased cells per page). This simulator's calibrated tail is thinner at
+//! low thresholds, so the §6.3 planner (stay under ~73% of the natural
+//! population) admits a smaller multiplier; the harness measures the budget
+//! per chip and hides exactly that. The detectability *mechanism* is
+//! unchanged: accuracy slightly above Fig. 10 in the matched-wear band,
+//! dominated by the wear gap everywhere else. The paper's 9×-capacity
+//! arithmetic itself (2% BER → 14% ECC → 2197 bits/page) is reproduced
+//! analytically by `table1`.
+
+use stash_bench::detect::{blocks_per_class, prepare_features, train_two_test_one};
+use stash_bench::{experiment_key, f, fill_block, header, rng, row};
+use stash_flash::{BlockId, Chip, ChipProfile, PageId};
+use std::collections::HashMap;
+use vthi::capacity::PageCapacity;
+use vthi::{EccChoice, VthiConfig};
+
+const HIDDEN_PECS: [u32; 3] = [0, 1000, 2000];
+const NORMAL_PECS: [u32; 7] = [0, 500, 1000, 1500, 2000, 2500, 3000];
+const CHIP_SEEDS: [u64; 3] = [44, 55, 66];
+const VTH_ENHANCED: u8 = 15;
+
+/// Measures the per-page hidden-bit budget at Vth=15 the way a hiding user
+/// would (§6.3): probe sample pages, count the natural above-threshold
+/// population, stay under the occupancy budget.
+fn planner_budget(profile: &ChipProfile) -> usize {
+    let mut chip = Chip::new(profile.clone(), 999);
+    let mut r = rng(991);
+    let publics = fill_block(&mut chip, BlockId(0), &mut r);
+    let mut budget = usize::MAX;
+    for p in [4u32, 12, 20] {
+        let cap = PageCapacity::assess(
+            &mut chip,
+            PageId::new(BlockId(0), p),
+            &publics[p as usize],
+            VTH_ENHANCED,
+        )
+        .expect("assess");
+        budget = budget.min(cap.recommended_max_bits);
+    }
+    // Hidden '0's are what add charge; with scrambled payloads half the
+    // bits charge cells, so the bit budget is twice the cell budget.
+    (budget * 2).max(32)
+}
+
+fn main() {
+    let profile = ChipProfile::vendor_a_scaled();
+    let key = experiment_key();
+    let base = VthiConfig::scaled_for(&profile.geometry);
+
+    let budget = planner_budget(&profile);
+    let mut cfg = base.clone();
+    cfg.hidden_bits_per_page = budget;
+    cfg.vth = VTH_ENHANCED;
+    cfg.max_pp_steps = 1;
+    cfg.use_fine_pp = true;
+    cfg.ecc = EccChoice::None;
+    let blocks = blocks_per_class();
+
+    header(
+        "Figure 12: SVM accuracy vs the enhanced (high-capacity) configuration",
+        &format!(
+            "{blocks} blocks/class/chip; Vth={VTH_ENHANCED}, fine PP, {} hidden bits/page \
+             ({}x the default; planner-limited — see header note)",
+            cfg.hidden_bits_per_page,
+            cfg.hidden_bits_per_page / base.hidden_bits_per_page
+        ),
+    );
+
+    let mut cache: HashMap<(u32, bool), [Vec<Vec<f64>>; 3]> = HashMap::new();
+    let mut r = rng(12);
+    let mut features =
+        |pec: u32, hidden: bool, r: &mut rand::rngs::SmallRng| -> [Vec<Vec<f64>>; 3] {
+            cache
+                .entry((pec, hidden))
+                .or_insert_with(|| {
+                    let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
+                        prepare_features(
+                            &profile,
+                            seed,
+                            pec,
+                            hidden.then_some((&key, &cfg)),
+                            blocks,
+                            r,
+                        )
+                    };
+                    [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
+                })
+                .clone()
+        };
+
+    let mut head = vec!["normal_pec".to_owned()];
+    head.extend(HIDDEN_PECS.iter().map(|p| format!("hidden_pec_{p}")));
+    row(head);
+
+    for &normal_pec in &NORMAL_PECS {
+        let normal = features(normal_pec, false, &mut r);
+        let mut cells = vec![normal_pec.to_string()];
+        for &hidden_pec in &HIDDEN_PECS {
+            let hidden = features(hidden_pec, true, &mut r);
+            let (acc, _cv) = train_two_test_one(&normal, &hidden);
+            cells.push(f(acc * 100.0, 1));
+        }
+        row(cells);
+    }
+
+    println!();
+    println!("# paper: matched-wear accuracy 50-60% (slightly above Fig. 10's 50-53%),");
+    println!("# still dominated by the wear gap rather than the hidden data");
+
+    // Part B: where is the stealth/capacity frontier in THIS simulator?
+    // Matched wear (PEC 1000 vs 1000), density multipliers over the scaled
+    // default, fine PP at Vth 15 — the adversary's accuracy per density.
+    println!();
+    header(
+        "Part B: matched-wear detectability vs hidden density (Vth=15, fine PP)",
+        "multiplier is over the scaled default density (0.18% of cells)",
+    );
+    row(["multiplier", "hidden_bits_per_page", "svm_accuracy_pct"].map(String::from));
+    let normal = features(1000, false, &mut r);
+    for mult in [1usize, 2, 4] {
+        let mut dcfg = base.clone();
+        dcfg.hidden_bits_per_page = base.hidden_bits_per_page * mult;
+        dcfg.vth = VTH_ENHANCED;
+        dcfg.max_pp_steps = 1;
+        dcfg.use_fine_pp = true;
+        dcfg.ecc = EccChoice::None;
+        let mut r2 = rng(5000 + mult as u64);
+        let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
+            prepare_features(&profile, seed, 1000, Some((&key, &dcfg)), blocks, r)
+        };
+        let hidden =
+            [mk(CHIP_SEEDS[0], &mut r2), mk(CHIP_SEEDS[1], &mut r2), mk(CHIP_SEEDS[2], &mut r2)];
+        let (acc, _) = train_two_test_one(&normal, &hidden);
+        row([
+            format!("{mult}x"),
+            dcfg.hidden_bits_per_page.to_string(),
+            f(acc * 100.0, 1),
+        ]);
+    }
+    println!();
+    println!("# simulator-vs-silicon note: our calibrated natural variability at low");
+    println!("# thresholds is thinner than the paper's chips exhibited, so high-capacity");
+    println!("# hiding is easier to detect here; at the default density the Vth=15 path");
+    println!("# approaches the Fig. 10 coin-flip regime.");
+}

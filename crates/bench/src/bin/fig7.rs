@@ -1,0 +1,48 @@
+//! Figure 7: hidden BER after ten PP steps as a function of the page
+//! interval, for 32 / 128 / 512 hidden cells per page (paper §6.3).
+//!
+//! Expected shape: BER in the 0.4%–1% band, largely insensitive to both
+//! knobs, with small irregularity from BER variance and program
+//! interference.
+
+use stash_bench::{
+    experiment_key, f, fill_block_hiding, header, measure_hidden_ber, raw_paper_config, rng, row,
+    short_block_geometry,
+};
+use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+
+const BLOCKS: u32 = 5;
+const INTERVALS: [u32; 4] = [0, 1, 2, 4];
+const BITS: [usize; 3] = [32, 128, 512];
+
+fn main() {
+    let key = experiment_key();
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = short_block_geometry();
+
+    header(
+        "Figure 7: hidden BER at 10 PP steps vs page interval",
+        &format!("{BLOCKS} blocks per point; 18048-byte pages"),
+    );
+    row(["page_interval", "bits32", "bits128", "bits512"].map(String::from));
+
+    let mut r = rng(7);
+    for &interval in &INTERVALS {
+        let mut cells = vec![interval.to_string()];
+        for &bits in &BITS {
+            let cfg = raw_paper_config(bits, interval);
+            let mut chip = Chip::new(profile.clone(), 2000 + interval as u64 * 10 + bits as u64);
+            let mut total = BitErrorStats::default();
+            for b in 0..BLOCKS {
+                let (_publics, reports) =
+                    fill_block_hiding(&mut chip, BlockId(b), &key, &cfg, &mut r, false);
+                total.absorb(measure_hidden_ber(&mut chip, &key, &cfg, &reports));
+                chip.discard_block_state(BlockId(b)).expect("discard");
+            }
+            cells.push(f(total.ber(), 5));
+        }
+        row(cells);
+    }
+    println!();
+    println!("# paper band: 0.004-0.010 with irregular variation across intervals");
+}

@@ -1,0 +1,66 @@
+//! Figure 8: average block-level voltage distribution of non-programmed
+//! cells after hiding 32 / 64 / 128 / 256 bits per page, against a normal
+//! block. Hiding more bits shifts a (tiny) bit more mass to the right of
+//! `Vth`; the shift stays inside natural variability.
+
+use stash_bench::{
+    block_histograms, experiment_key, f, fill_block, fill_block_hiding, header, raw_paper_config,
+    rng, row, short_block_geometry,
+};
+use stash_flash::{BlockId, Chip, ChipProfile, Histogram};
+
+const BLOCKS: u32 = 3;
+const BITS: [usize; 4] = [32, 64, 128, 256];
+
+fn main() {
+    let key = experiment_key();
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = short_block_geometry();
+    let mut r = rng(8);
+
+    // Normal baseline.
+    let mut normal = Histogram::new();
+    {
+        let mut chip = Chip::new(profile.clone(), 3000);
+        for b in 0..BLOCKS {
+            let publics = fill_block(&mut chip, BlockId(b), &mut r);
+            let (e, _) = block_histograms(&mut chip, BlockId(b), &publics);
+            normal.merge(&e);
+            chip.discard_block_state(BlockId(b)).expect("discard");
+        }
+    }
+
+    // One averaged histogram per hidden-bit count.
+    let mut hidden: Vec<Histogram> = Vec::new();
+    for &bits in &BITS {
+        let cfg = raw_paper_config(bits, 1);
+        let mut chip = Chip::new(profile.clone(), 3000);
+        let mut h = Histogram::new();
+        for b in 0..BLOCKS {
+            let (publics, _) = fill_block_hiding(&mut chip, BlockId(b), &key, &cfg, &mut r, false);
+            let (e, _) = block_histograms(&mut chip, BlockId(b), &publics);
+            h.merge(&e);
+            chip.discard_block_state(BlockId(b)).expect("discard");
+        }
+        hidden.push(h);
+    }
+
+    header(
+        "Figure 8: average erased-cell distributions after VT-HI",
+        "level, normal, then one column per hidden-bit count (% of erased cells)",
+    );
+    row(["level", "normal", "bits32", "bits64", "bits128", "bits256"].map(String::from));
+    for level in 1u8..=75 {
+        let mut cells = vec![level.to_string(), f(normal.pct(level), 4)];
+        cells.extend(hidden.iter().map(|h| f(h.pct(level), 4)));
+        row(cells);
+    }
+
+    println!();
+    println!("# fraction of erased cells at/above Vth=34 (the hiding-induced shift):");
+    println!("#   normal: {:.4}%", normal.fraction_at_or_above(34) * 100.0);
+    for (h, bits) in hidden.iter().zip(BITS) {
+        println!("#   {bits:>3} bits/page: {:.4}%", h.fraction_at_or_above(34) * 100.0);
+    }
+    println!("# paper: 'only a tiny shift to the right', growing with bit count");
+}

@@ -1,0 +1,63 @@
+//! Figure 9: can the eye tell? Voltage distributions of blocks from three
+//! different chip samples, normally programmed vs after applying VT-HI —
+//! interleaved so a reader can try to spot which is which.
+//!
+//! Output: (a) erased cells, (b) programmed cells; columns alternate
+//! normal/hidden per chip.
+
+use stash_bench::{
+    block_histograms, experiment_key, f, fill_block, fill_block_hiding, header, raw_paper_config,
+    rng, row, short_block_geometry,
+};
+use stash_flash::{BlockId, Chip, ChipProfile, Histogram};
+
+fn main() {
+    let key = experiment_key();
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = short_block_geometry();
+    let cfg = raw_paper_config(256, 1);
+    let mut r = rng(9);
+
+    let mut erased: Vec<(String, Histogram)> = Vec::new();
+    let mut programmed: Vec<(String, Histogram)> = Vec::new();
+    for chip_idx in 0..3u64 {
+        let mut chip = Chip::new(profile.clone(), 4000 + chip_idx);
+        // Normal block.
+        let publics = fill_block(&mut chip, BlockId(0), &mut r);
+        let (e, p) = block_histograms(&mut chip, BlockId(0), &publics);
+        erased.push((format!("chip{chip_idx}_normal"), e));
+        programmed.push((format!("chip{chip_idx}_normal"), p));
+        // Hidden block on the same chip.
+        let (publics, _) = fill_block_hiding(&mut chip, BlockId(1), &key, &cfg, &mut r, false);
+        let (e, p) = block_histograms(&mut chip, BlockId(1), &publics);
+        erased.push((format!("chip{chip_idx}_hidden"), e));
+        programmed.push((format!("chip{chip_idx}_hidden"), p));
+    }
+
+    header(
+        "Figure 9: normal vs VT-HI blocks across three chips (visual test)",
+        "256 hidden bits/page where hidden; same wear everywhere",
+    );
+    let dump = |title: &str, lo: u8, hi: u8, hists: &[(String, Histogram)]| {
+        header(title, "");
+        let mut head = vec!["level".to_owned()];
+        head.extend(hists.iter().map(|(n, _)| n.clone()));
+        row(head);
+        for level in lo..=hi {
+            let mut cells = vec![level.to_string()];
+            cells.extend(hists.iter().map(|(_, h)| f(h.pct(level), 4)));
+            row(cells);
+        }
+        println!();
+    };
+    dump("(a) non-programmed cells", 10, 70, &erased);
+    dump("(b) programmed cells", 120, 210, &programmed);
+
+    // Chip-to-chip spread vs hiding-induced shift, quantified.
+    let above: Vec<f64> =
+        erased.iter().map(|(_, h)| h.fraction_at_or_above(34) * 100.0).collect();
+    println!("# erased cells >= Vth per block (%): {:?}", above.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>());
+    println!("# the hiding shift hides inside the chip-to-chip spread (paper: 'the human");
+    println!("# eye has difficulty distinguishing which distributions come from blocks");
+    println!("# with hidden data')");
+}

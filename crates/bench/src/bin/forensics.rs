@@ -1,0 +1,101 @@
+//! Forensics: *where* does the adversary look? Trains a linear SVM on
+//! matched-wear and wear-mismatched block pairs and prints the
+//! highest-leverage voltage levels of its weight vector.
+//!
+//! Expected story: against a wear gap the weights concentrate on the
+//! programmed lobe (whose mean drifts with PEC); against matched-wear
+//! hiding the weights scatter across the erased tail without finding a
+//! consistent lever — the visual of why Fig. 10's diagonal sits at a coin
+//! flip.
+
+use stash_bench::detect::prepare_features;
+use stash_bench::{experiment_key, f, header, rng, row};
+use stash_flash::ChipProfile;
+use stash_svm::{Dataset, Kernel, StandardScaler, Svm, SvmParams};
+use vthi::{EccChoice, VthiConfig};
+
+const BLOCKS: u32 = 16;
+
+fn weights_for(normal_pec: u32, hidden_pec: u32) -> (Vec<f64>, f64, f64) {
+    let profile = ChipProfile::vendor_a_scaled();
+    let key = experiment_key();
+    let mut cfg = VthiConfig::scaled_for(&profile.geometry);
+    cfg.ecc = EccChoice::None;
+    let mut r = rng(777);
+
+    let mut train = Dataset::new();
+    for seed in [1u64, 2] {
+        for feat in prepare_features(&profile, seed, normal_pec, None, BLOCKS, &mut r) {
+            train.push(feat, -1);
+        }
+        for feat in
+            prepare_features(&profile, seed, hidden_pec, Some((&key, &cfg)), BLOCKS, &mut r)
+        {
+            train.push(feat, 1);
+        }
+    }
+    // Held-out chip: the number that actually matters.
+    let mut test = Dataset::new();
+    for feat in prepare_features(&profile, 3, normal_pec, None, BLOCKS, &mut r) {
+        test.push(feat, -1);
+    }
+    for feat in prepare_features(&profile, 3, hidden_pec, Some((&key, &cfg)), BLOCKS, &mut r) {
+        test.push(feat, 1);
+    }
+    let scaler = StandardScaler::fit(&train);
+    let model = Svm::train(
+        &scaler.transform_dataset(&train),
+        &SvmParams { kernel: Kernel::Linear, c: 1.0, ..Default::default() },
+    );
+    let train_acc = model.accuracy(&scaler.transform_dataset(&train));
+    let test_acc = model.accuracy(&scaler.transform_dataset(&test));
+    (model.linear_weights().expect("linear"), train_acc, test_acc)
+}
+
+fn top_levels(w: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut idx: Vec<usize> = (0..w.len()).collect();
+    idx.sort_by(|&a, &b| w[b].abs().partial_cmp(&w[a].abs()).expect("finite"));
+    idx.into_iter().take(k).map(|i| (i, w[i])).collect()
+}
+
+fn main() {
+    header(
+        "Forensics: the linear adversary's highest-leverage voltage levels",
+        &format!("{BLOCKS} blocks/class/chip, 2 chips, training-set weights"),
+    );
+
+    for (label, normal_pec, hidden_pec) in [
+        ("matched wear (hiding only)", 1000u32, 1000u32),
+        ("wear gap (PEC 0 vs 2000)", 0, 2000),
+    ] {
+        let (w, train_acc, test_acc) = weights_for(normal_pec, hidden_pec);
+        println!();
+        println!(
+            "# {label}: train accuracy {:.1}%, held-out chip {:.1}%",
+            train_acc * 100.0,
+            test_acc * 100.0
+        );
+        row(["rank", "voltage_level", "weight", "region"].map(String::from));
+        for (rank, (level, weight)) in top_levels(&w, 10).into_iter().enumerate() {
+            let region = match level {
+                0 => "measurement floor",
+                1..=33 => "erased body",
+                34..=70 => "erased tail (hidden region)",
+                71..=126 => "guard band",
+                _ => "programmed lobe",
+            };
+            row([
+                (rank + 1).to_string(),
+                level.to_string(),
+                f(weight, 3),
+                region.to_owned(),
+            ]);
+        }
+    }
+    println!();
+    println!("# reading: at matched wear the classifier can only memorize sampling noise");
+    println!("# — its big weights sit on near-empty bins (guard band, lobe extremes) and");
+    println!("# the held-out accuracy collapses toward a coin flip. Against a wear gap");
+    println!("# the leverage generalizes: drift moves whole populated regions, and the");
+    println!("# held-out accuracy stays high. The SVM detects wear, not hiding.");
+}

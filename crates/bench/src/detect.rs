@@ -1,0 +1,90 @@
+//! Shared plumbing for the SVM detectability experiments (Figures 10 & 12).
+//!
+//! Methodology follows paper §7: voltage-level features per block, training
+//! on two chip samples and classifying blocks of a third, with grid search
+//! and three-fold cross-validation on the training set. 50% accuracy means
+//! the adversary learned nothing.
+
+use crate::{fill_block, fill_block_hiding};
+use rand::rngs::SmallRng;
+use stash_crypto::HidingKey;
+use stash_flash::{BlockId, Chip, ChipProfile, Histogram, PageId};
+use stash_svm::{grid_search, Dataset, StandardScaler, Svm};
+use vthi::VthiConfig;
+
+/// How many blocks per class per chip (paper: representativeness converged
+/// after analyzing 31 blocks). Override with `STASH_BLOCKS` for quick runs.
+pub fn blocks_per_class() -> u32 {
+    std::env::var("STASH_BLOCKS").ok().and_then(|v| v.parse().ok()).unwrap_or(31)
+}
+
+/// The block-level feature vector: the normalized 256-bin voltage
+/// histogram of every cell in the block.
+pub fn block_features(chip: &mut Chip, block: BlockId) -> Vec<f64> {
+    let mut h = Histogram::new();
+    for p in 0..chip.geometry().pages_per_block {
+        h.add_levels(&chip.probe_voltages(PageId::new(block, p)).expect("probe"));
+    }
+    h.to_feature_vector()
+}
+
+/// Prepares `count` blocks on one chip at the given wear, with or without
+/// hidden data, and returns their feature vectors. Block state is discarded
+/// as soon as its features are extracted.
+pub fn prepare_features(
+    profile: &ChipProfile,
+    chip_seed: u64,
+    pec: u32,
+    hide: Option<(&HidingKey, &VthiConfig)>,
+    count: u32,
+    rng: &mut SmallRng,
+) -> Vec<Vec<f64>> {
+    let mut chip = Chip::new(profile.clone(), chip_seed);
+    let mut out = Vec::with_capacity(count as usize);
+    for b in 0..count {
+        let block = BlockId(b);
+        chip.cycle_block(block, pec).expect("cycle");
+        match hide {
+            None => {
+                let _ = fill_block(&mut chip, block, rng);
+            }
+            Some((key, cfg)) => {
+                let _ = fill_block_hiding(&mut chip, block, key, cfg, rng, false);
+            }
+        }
+        out.push(block_features(&mut chip, block));
+        chip.discard_block_state(block).expect("discard");
+    }
+    out
+}
+
+/// The paper's train-on-two-chips / classify-the-third protocol: grid
+/// search with 3-fold CV on the training chips, then report accuracy on the
+/// held-out chip's blocks. Returns `(held_out_accuracy, cv_accuracy)`.
+pub fn train_two_test_one(
+    normal: &[Vec<Vec<f64>>; 3],
+    hidden: &[Vec<Vec<f64>>; 3],
+) -> (f64, f64) {
+    let mut train = Dataset::new();
+    for chip in 0..2 {
+        for f in &normal[chip] {
+            train.push(f.clone(), -1);
+        }
+        for f in &hidden[chip] {
+            train.push(f.clone(), 1);
+        }
+    }
+    let mut test = Dataset::new();
+    for f in &normal[2] {
+        test.push(f.clone(), -1);
+    }
+    for f in &hidden[2] {
+        test.push(f.clone(), 1);
+    }
+
+    let grid = grid_search(&train, &[0.3, 1.0, 10.0], &[0.02, 0.1, 0.5], 3, 17);
+    let scaler = StandardScaler::fit(&train);
+    let model = Svm::train(&scaler.transform_dataset(&train), &grid.params);
+    let acc = model.accuracy(&scaler.transform_dataset(&test));
+    (acc, grid.accuracy)
+}

@@ -1,0 +1,212 @@
+//! # stash-bench — experiment harnesses for every table and figure
+//!
+//! One binary per table/figure of the paper's evaluation regenerates the
+//! corresponding series (`cargo run --release -p stash-bench --bin fig6`),
+//! and Criterion benches cover the throughput/energy comparisons
+//! (`cargo bench -p stash-bench`). This library holds the shared plumbing:
+//! block preparation, histogram collection, dataset assembly for the SVM
+//! experiments, and tab-separated output helpers.
+//!
+//! Scale note: experiments that only need distribution *shapes* run on the
+//! paper's full 18 KB pages but shorter blocks, or on the scaled SVM
+//! geometry — each binary states its geometry in its header line. The
+//! simulator preserves densities and noise statistics across geometries
+//! (see `stash-flash` calibration tests), so shapes and ratios carry over.
+
+pub mod detect;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stash_crypto::HidingKey;
+use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Geometry, Histogram, PageId};
+use vthi::{Hider, PageEncodeReport, VthiConfig};
+
+/// A geometry with the paper's full 18048-byte pages but short (16-page)
+/// blocks: full-size per-page statistics at a fraction of the cost. Used by
+/// the BER-oriented figures (6, 7, 8, 11) and Table 1.
+pub fn short_block_geometry() -> Geometry {
+    Geometry { blocks_per_chip: 64, pages_per_block: 16, page_bytes: 18048 }
+}
+
+/// The paper's default hiding configuration on full-size pages, with raw
+/// (ECC-free) hidden bits so experiments observe the uncoded BER, as the
+/// paper's Figures 6/7/11 do.
+pub fn raw_paper_config(hidden_bits: usize, page_interval: u32) -> VthiConfig {
+    let mut cfg = VthiConfig::paper_default();
+    cfg.hidden_bits_per_page = hidden_bits;
+    cfg.page_interval = page_interval;
+    cfg.ecc = vthi::EccChoice::None;
+    cfg
+}
+
+/// Fills every page of a block with fresh pseudorandom public data,
+/// returning the patterns (paper §4 methodology).
+pub fn fill_block(chip: &mut Chip, block: BlockId, rng: &mut SmallRng) -> Vec<BitPattern> {
+    let cpp = chip.geometry().cells_per_page();
+    let pages = chip.geometry().pages_per_block;
+    chip.erase_block(block).expect("erase");
+    (0..pages)
+        .map(|p| {
+            let data = BitPattern::random_half(rng, cpp);
+            chip.program_page(PageId::new(block, p), &data).expect("program");
+            data
+        })
+        .collect()
+}
+
+/// Fills a block while hiding payloads on the pages selected by the config's
+/// page interval. Returns the public patterns and per-page encode reports.
+pub fn fill_block_hiding(
+    chip: &mut Chip,
+    block: BlockId,
+    key: &HidingKey,
+    cfg: &VthiConfig,
+    rng: &mut SmallRng,
+    track_steps: bool,
+) -> (Vec<BitPattern>, Vec<PageEncodeReport>) {
+    let cpp = chip.geometry().cells_per_page();
+    let pages = chip.geometry().pages_per_block;
+    let stride = cfg.page_stride();
+    chip.erase_block(block).expect("erase");
+
+    // First pass: program all non-hidden pages (the normal user's data).
+    let publics: Vec<BitPattern> =
+        (0..pages).map(|_| BitPattern::random_half(rng, cpp)).collect();
+    for p in 0..pages {
+        if p % stride != 0 {
+            chip.program_page(PageId::new(block, p), &publics[p as usize]).expect("program");
+        }
+    }
+    // Second pass: hide on the strided pages.
+    let mut reports = Vec::new();
+    let mut hider = Hider::new(chip, key.clone(), cfg.clone());
+    for p in (0..pages).step_by(stride as usize) {
+        let payload: Vec<u8> =
+            (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+        let page = PageId::new(block, p);
+        hider.chip_mut().program_page(page, &publics[p as usize]).expect("program");
+        let rep = hider
+            .hide_in_programmed_page(page, &publics[p as usize], &payload, track_steps)
+            .expect("hide");
+        reports.push(rep);
+    }
+    (publics, reports)
+}
+
+/// Probes a whole block and splits the histogram by cell state.
+pub fn block_histograms(
+    chip: &mut Chip,
+    block: BlockId,
+    publics: &[BitPattern],
+) -> (Histogram, Histogram) {
+    let mut erased = Histogram::new();
+    let mut programmed = Histogram::new();
+    for (p, public) in publics.iter().enumerate() {
+        let levels = chip.probe_voltages(PageId::new(block, p as u32)).expect("probe");
+        for (i, &level) in levels.iter().enumerate() {
+            if public.get(i) {
+                erased.add_levels(&[level]);
+            } else {
+                programmed.add_levels(&[level]);
+            }
+        }
+    }
+    (erased, programmed)
+}
+
+/// Measures the raw hidden BER of previously hidden pages right now.
+pub fn measure_hidden_ber(
+    chip: &mut Chip,
+    key: &HidingKey,
+    cfg: &VthiConfig,
+    reports: &[PageEncodeReport],
+) -> BitErrorStats {
+    let mut hider = Hider::new(chip, key.clone(), cfg.clone());
+    reports
+        .iter()
+        .map(|rep| hider.measure_raw_ber(rep.page, rep).expect("measure"))
+        .sum()
+}
+
+/// Measures the public-data BER of a block against the stored patterns.
+pub fn measure_public_ber(
+    chip: &mut Chip,
+    block: BlockId,
+    publics: &[BitPattern],
+) -> BitErrorStats {
+    let mut total = BitErrorStats::default();
+    for (p, public) in publics.iter().enumerate() {
+        let read = chip.read_page(PageId::new(block, p as u32)).expect("read");
+        total.absorb(BitErrorStats::compare(public, &read));
+    }
+    total
+}
+
+/// A deterministic experiment RNG.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// The experiments' shared hiding key (any key works; fixed for
+/// reproducibility).
+pub fn experiment_key() -> HidingKey {
+    HidingKey::from_passphrase("stash-bench reproduction key")
+}
+
+/// Prints a header comment line (`# ...`).
+pub fn header(title: &str, detail: &str) {
+    println!("# {title}");
+    if !detail.is_empty() {
+        println!("# {detail}");
+    }
+}
+
+/// Prints one TSV row.
+pub fn row<I: IntoIterator<Item = String>>(cells: I) {
+    println!("{}", cells.into_iter().collect::<Vec<_>>().join("\t"));
+}
+
+/// Formats a float with fixed precision for TSV output.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_block_geometry_has_paper_pages() {
+        let g = short_block_geometry();
+        assert_eq!(g.page_bytes, 18048);
+        assert_eq!(g.cells_per_page(), 144_384);
+        assert!(g.pages_per_block < 64);
+    }
+
+    #[test]
+    fn fill_and_histogram_pipeline() {
+        let mut chip = Chip::new(stash_flash::ChipProfile::test_small(), 3);
+        let mut r = rng(1);
+        let publics = fill_block(&mut chip, BlockId(0), &mut r);
+        let (erased, programmed) = block_histograms(&mut chip, BlockId(0), &publics);
+        assert!(erased.total() > 0 && programmed.total() > 0);
+        assert!(programmed.mean() > erased.mean());
+        let ber = measure_public_ber(&mut chip, BlockId(0), &publics);
+        assert!(ber.ber() < 1e-3);
+    }
+
+    #[test]
+    fn hiding_pipeline_reports() {
+        let mut chip = Chip::new(stash_flash::ChipProfile::vendor_a_scaled(), 4);
+        let key = experiment_key();
+        let mut cfg = VthiConfig::scaled_for(chip.geometry());
+        cfg.ecc = vthi::EccChoice::None;
+        let mut r = rng(2);
+        let (_publics, reports) =
+            fill_block_hiding(&mut chip, BlockId(0), &key, &cfg, &mut r, false);
+        assert_eq!(reports.len(), 16); // 32 pages at stride 2
+        let ber = measure_hidden_ber(&mut chip, &key, &cfg, &reports);
+        assert!(ber.bits > 0);
+        assert!(ber.ber() < 0.05, "hidden BER {}", ber.ber());
+    }
+}

@@ -1,0 +1,448 @@
+//! Command dispatch for the tester console.
+
+use rand::{rngs::SmallRng, SeedableRng};
+use stash_crypto::HidingKey;
+use stash_fingerprint::{Fingerprint, FlashTrng};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Histogram, PageId};
+use vthi::{Hider, PageCapacity, VthiConfig, WearPlan};
+
+/// What the main loop should do after a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep reading commands.
+    Continue,
+    /// Exit the console.
+    Quit,
+}
+
+/// Console state: one chip, one optional hiding key, bookkeeping for
+/// hide/reveal demos.
+pub struct Console {
+    chip: Chip,
+    key: Option<HidingKey>,
+    cfg: VthiConfig,
+    rng: SmallRng,
+    /// Public patterns for pages the console programmed (reveal needs them).
+    publics: std::collections::HashMap<(u32, u32), BitPattern>,
+    /// Remember enrolled fingerprints by label.
+    fingerprints: std::collections::HashMap<String, Fingerprint>,
+}
+
+impl Console {
+    /// Creates a console over a fresh scaled vendor-A chip.
+    pub fn new() -> Self {
+        let chip = Chip::new(ChipProfile::vendor_a_scaled(), 0x7E57);
+        let cfg = VthiConfig::scaled_for(chip.geometry());
+        Console {
+            chip,
+            key: None,
+            cfg,
+            rng: SmallRng::seed_from_u64(1),
+            publics: std::collections::HashMap::new(),
+            fingerprints: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Prints the device banner.
+    pub fn banner(&self) {
+        let g = self.chip.geometry();
+        println!(
+            "device: {} | {} blocks x {} pages x {} B | hidden: {} bits/page ({} B payload)",
+            self.chip.profile().name,
+            g.blocks_per_chip,
+            g.pages_per_block,
+            g.page_bytes,
+            self.cfg.hidden_bits_per_page,
+            self.cfg.payload_bytes_per_page(),
+        );
+    }
+
+    /// Executes one console line.
+    pub fn dispatch(&mut self, line: &str) -> Outcome {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else { return Outcome::Continue };
+        let args: Vec<&str> = parts.collect();
+        let result = match cmd {
+            "help" => {
+                self.help();
+                Ok(())
+            }
+            "quit" | "exit" => return Outcome::Quit,
+            "status" => {
+                self.banner();
+                Ok(())
+            }
+            "key" => self.cmd_key(&args),
+            "erase" => self.cmd_erase(&args),
+            "program" => self.cmd_program(&args),
+            "fill" => self.cmd_fill(&args),
+            "read" => self.cmd_read(&args),
+            "probe" => self.cmd_probe(&args),
+            "hist" => self.cmd_hist(&args),
+            "hide" => self.cmd_hide(&args),
+            "reveal" => self.cmd_reveal(&args),
+            "capacity" => self.cmd_capacity(&args),
+            "cycle" => self.cmd_cycle(&args),
+            "age" => self.cmd_age(&args),
+            "wearplan" => self.cmd_wearplan(&args),
+            "fingerprint" => self.cmd_fingerprint(&args),
+            "trng" => self.cmd_trng(&args),
+            "meter" => {
+                println!("{}", self.chip.meter());
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}` (try `help`)")),
+        };
+        if let Err(msg) = result {
+            println!("error: {msg}");
+        }
+        Outcome::Continue
+    }
+
+    fn help(&self) {
+        println!(
+            "commands:\n\
+             \x20 status                      device summary\n\
+             \x20 key <passphrase...>         set the hiding key\n\
+             \x20 erase <block>               erase a block\n\
+             \x20 program <block> <page>      program random public data\n\
+             \x20 fill <block>                program every page of a block\n\
+             \x20 read <block> <page>         read + verify public data\n\
+             \x20 probe <block> <page>        per-cell voltage stats\n\
+             \x20 hist <block> <lo> <hi>      block voltage histogram slice\n\
+             \x20 hide <block> <page> <text>  hide text in a fresh page\n\
+             \x20 reveal <block> <page>       recover hidden text (needs key)\n\
+             \x20 capacity <block> <page>     §6.3 capacity assessment\n\
+             \x20 cycle <block> <n>           add n P/E cycles of wear\n\
+             \x20 age <days>                  retention aging (whole chip)\n\
+             \x20 wearplan                    PEC-matched hiding blocks (§5.2)\n\
+             \x20 fingerprint <label|cmp a b> enroll / compare fingerprints\n\
+             \x20 trng <bytes>                harvest random bytes\n\
+             \x20 meter                       op counts / device time / energy\n\
+             \x20 quit"
+        );
+    }
+
+    fn parse_block(&self, s: Option<&&str>) -> Result<BlockId, String> {
+        let b: u32 = s
+            .ok_or("missing block")?
+            .parse()
+            .map_err(|_| "block must be a number".to_owned())?;
+        Ok(BlockId(b))
+    }
+
+    fn parse_page(&self, args: &[&str]) -> Result<PageId, String> {
+        let block = self.parse_block(args.first())?;
+        let p: u32 = args
+            .get(1)
+            .ok_or("missing page")?
+            .parse()
+            .map_err(|_| "page must be a number".to_owned())?;
+        Ok(PageId::new(block, p))
+    }
+
+    fn cmd_key(&mut self, args: &[&str]) -> Result<(), String> {
+        if args.is_empty() {
+            return Err("usage: key <passphrase>".into());
+        }
+        self.key = Some(HidingKey::from_passphrase(&args.join(" ")));
+        println!("hiding key set");
+        Ok(())
+    }
+
+    fn cmd_erase(&mut self, args: &[&str]) -> Result<(), String> {
+        let b = self.parse_block(args.first())?;
+        self.chip.erase_block(b).map_err(|e| e.to_string())?;
+        self.publics.retain(|&(blk, _), _| blk != b.0);
+        println!("erased {b} (PEC now {})", self.chip.block_pec(b).map_err(|e| e.to_string())?);
+        Ok(())
+    }
+
+    fn cmd_program(&mut self, args: &[&str]) -> Result<(), String> {
+        let page = self.parse_page(args)?;
+        let data = BitPattern::random_half(&mut self.rng, self.chip.geometry().cells_per_page());
+        self.chip.program_page(page, &data).map_err(|e| e.to_string())?;
+        self.publics.insert((page.block.0, page.page), data);
+        println!("programmed {page} with pseudorandom data");
+        Ok(())
+    }
+
+    fn cmd_fill(&mut self, args: &[&str]) -> Result<(), String> {
+        let b = self.parse_block(args.first())?;
+        let cpp = self.chip.geometry().cells_per_page();
+        for p in 0..self.chip.geometry().pages_per_block {
+            let page = PageId::new(b, p);
+            if self.chip.is_page_programmed(page).map_err(|e| e.to_string())? {
+                continue;
+            }
+            let data = BitPattern::random_half(&mut self.rng, cpp);
+            self.chip.program_page(page, &data).map_err(|e| e.to_string())?;
+            self.publics.insert((b.0, p), data);
+        }
+        println!("filled {b}");
+        Ok(())
+    }
+
+    fn cmd_read(&mut self, args: &[&str]) -> Result<(), String> {
+        let page = self.parse_page(args)?;
+        let bits = self.chip.read_page(page).map_err(|e| e.to_string())?;
+        match self.publics.get(&(page.block.0, page.page)) {
+            Some(expected) => println!(
+                "read {page}: {} bits, {} errors vs written data",
+                bits.len(),
+                bits.hamming_distance(expected)
+            ),
+            None => println!(
+                "read {page}: {} bits ({} zeros) — no reference pattern on record",
+                bits.len(),
+                bits.count_zeros()
+            ),
+        }
+        Ok(())
+    }
+
+    fn cmd_probe(&mut self, args: &[&str]) -> Result<(), String> {
+        let page = self.parse_page(args)?;
+        let levels = self.chip.probe_voltages(page).map_err(|e| e.to_string())?;
+        let h = Histogram::from_levels(&levels);
+        println!(
+            "probe {page}: mean {:.2}, sd {:.2}, >=Vth({}) {:.3}%, >=127 {:.3}%",
+            h.mean(),
+            h.std_dev(),
+            self.cfg.vth,
+            h.fraction_at_or_above(self.cfg.vth) * 100.0,
+            h.fraction_at_or_above(127) * 100.0,
+        );
+        Ok(())
+    }
+
+    fn cmd_hist(&mut self, args: &[&str]) -> Result<(), String> {
+        let b = self.parse_block(args.first())?;
+        let lo: u8 = args.get(1).unwrap_or(&"0").parse().map_err(|_| "bad lo".to_owned())?;
+        let hi: u8 = args.get(2).unwrap_or(&"80").parse().map_err(|_| "bad hi".to_owned())?;
+        let mut h = Histogram::new();
+        for p in 0..self.chip.geometry().pages_per_block {
+            h.add_levels(&self.chip.probe_voltages(PageId::new(b, p)).map_err(|e| e.to_string())?);
+        }
+        let max = (lo..=hi).map(|l| h.pct(l)).fold(0.0f64, f64::max).max(1e-9);
+        for level in lo..=hi {
+            let bar = "#".repeat(((h.pct(level) / max) * 50.0).round() as usize);
+            println!("{level:>3} {:>7.4}% {bar}", h.pct(level));
+        }
+        Ok(())
+    }
+
+    fn key_or_err(&self) -> Result<HidingKey, String> {
+        self.key.clone().ok_or_else(|| "set a key first: key <passphrase>".to_owned())
+    }
+
+    fn cmd_hide(&mut self, args: &[&str]) -> Result<(), String> {
+        if args.len() < 3 {
+            return Err("usage: hide <block> <page> <text...>".into());
+        }
+        let page = self.parse_page(args)?;
+        let key = self.key_or_err()?;
+        let mut payload = args[2..].join(" ").into_bytes();
+        let cap = self.cfg.payload_bytes_per_page();
+        if payload.len() > cap {
+            return Err(format!("text too long: {} bytes, page hides {cap}", payload.len()));
+        }
+        payload.resize(cap, 0);
+        let public = BitPattern::random_half(&mut self.rng, self.chip.geometry().cells_per_page());
+        let mut hider = Hider::new(&mut self.chip, key, self.cfg.clone());
+        let report = hider.hide_on_fresh_page(page, &public, &payload).map_err(|e| e.to_string())?;
+        self.publics.insert((page.block.0, page.page), public);
+        println!(
+            "hidden {} bytes in {page} ({} cells, {} PP steps)",
+            cap,
+            report.cells.len(),
+            report.pp_steps
+        );
+        Ok(())
+    }
+
+    fn cmd_reveal(&mut self, args: &[&str]) -> Result<(), String> {
+        let page = self.parse_page(args)?;
+        let key = self.key_or_err()?;
+        let public = self.publics.get(&(page.block.0, page.page)).cloned();
+        let mut hider = Hider::new(&mut self.chip, key, self.cfg.clone());
+        let bytes = hider.reveal_page(page, public.as_ref()).map_err(|e| e.to_string())?;
+        let text: String = bytes
+            .iter()
+            .take_while(|&&b| b != 0)
+            .map(|&b| if b.is_ascii_graphic() || b == b' ' { b as char } else { '.' })
+            .collect();
+        println!("revealed: {text:?}");
+        Ok(())
+    }
+
+    fn cmd_capacity(&mut self, args: &[&str]) -> Result<(), String> {
+        let page = self.parse_page(args)?;
+        let public = self
+            .publics
+            .get(&(page.block.0, page.page))
+            .cloned()
+            .ok_or("program the page first (capacity reads its public data)")?;
+        let cap = PageCapacity::assess(&mut self.chip, page, &public, self.cfg.vth)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "capacity {page}: {} erased cells, {} naturally >= Vth, recommended <= {} hidden bits \
+             (config uses {})",
+            cap.erased_cells,
+            cap.naturally_above,
+            cap.recommended_max_bits,
+            self.cfg.used_bits_per_page(),
+        );
+        Ok(())
+    }
+
+    fn cmd_cycle(&mut self, args: &[&str]) -> Result<(), String> {
+        let b = self.parse_block(args.first())?;
+        let n: u32 =
+            args.get(1).ok_or("missing count")?.parse().map_err(|_| "bad count".to_owned())?;
+        self.chip.cycle_block(b, n).map_err(|e| e.to_string())?;
+        self.publics.retain(|&(blk, _), _| blk != b.0);
+        println!("cycled {b} to PEC {}", self.chip.block_pec(b).map_err(|e| e.to_string())?);
+        Ok(())
+    }
+
+    fn cmd_age(&mut self, args: &[&str]) -> Result<(), String> {
+        let days: f64 =
+            args.first().ok_or("missing days")?.parse().map_err(|_| "bad days".to_owned())?;
+        self.chip.age_days(days);
+        println!("aged chip by {days} days");
+        Ok(())
+    }
+
+    fn cmd_wearplan(&mut self, _args: &[&str]) -> Result<(), String> {
+        let plan = WearPlan::for_chip(&self.chip, vthi::placement::DEFAULT_PEC_TOLERANCE);
+        println!(
+            "anchor PEC {}: {} safe blocks, {} outliers",
+            plan.anchor_pec,
+            plan.safe_blocks.len(),
+            plan.outlier_blocks.len()
+        );
+        if !plan.outlier_blocks.is_empty() {
+            let shown: Vec<String> =
+                plan.outlier_blocks.iter().take(8).map(ToString::to_string).collect();
+            println!("avoid: {}", shown.join(" "));
+        }
+        Ok(())
+    }
+
+    fn cmd_fingerprint(&mut self, args: &[&str]) -> Result<(), String> {
+        match args {
+            [label] => {
+                let fp = Fingerprint::enroll(&mut self.chip, BlockId(0), 4)
+                    .map_err(|e| e.to_string())?;
+                self.fingerprints.insert((*label).to_owned(), fp);
+                self.publics.retain(|&(blk, _), _| blk != 0);
+                println!("enrolled fingerprint `{label}` from block 0 (contents destroyed)");
+                Ok(())
+            }
+            ["cmp", a, b] => {
+                let fa = self.fingerprints.get(*a).ok_or(format!("no fingerprint `{a}`"))?;
+                let fb = self.fingerprints.get(*b).ok_or(format!("no fingerprint `{b}`"))?;
+                println!(
+                    "similarity({a}, {b}) = {:.3} -> {}",
+                    fa.similarity(fb),
+                    if fa.matches(fb) { "MATCH" } else { "no match" }
+                );
+                Ok(())
+            }
+            _ => Err("usage: fingerprint <label> | fingerprint cmp <a> <b>".into()),
+        }
+    }
+
+    fn cmd_trng(&mut self, args: &[&str]) -> Result<(), String> {
+        let n: usize = args.first().unwrap_or(&"16").parse().map_err(|_| "bad count".to_owned())?;
+        if n > 4096 {
+            return Err("at most 4096 bytes per call".into());
+        }
+        let block = BlockId(self.chip.geometry().blocks_per_chip - 1);
+        let mut trng = FlashTrng::new(&mut self.chip, block);
+        let bytes = trng.bytes(n).map_err(|e| e.to_string())?;
+        self.publics.retain(|&(blk, _), _| blk != block.0);
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        println!("{hex}");
+        Ok(())
+    }
+}
+
+impl Default for Console {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(console: &mut Console, lines: &[&str]) {
+        for l in lines {
+            assert_eq!(console.dispatch(l), Outcome::Continue, "line {l}");
+        }
+    }
+
+    #[test]
+    fn full_session_smoke() {
+        let mut c = Console::new();
+        run(
+            &mut c,
+            &[
+                "status",
+                "help",
+                "key open sesame",
+                "erase 0",
+                "fill 0",
+                "read 0 3",
+                "probe 0 3",
+                "capacity 0 3",
+                "meter",
+                "wearplan",
+                "cycle 5 100",
+                "age 30",
+            ],
+        );
+    }
+
+    #[test]
+    fn hide_reveal_through_console() {
+        let mut c = Console::new();
+        run(&mut c, &["key hunter2", "erase 1", "hide 1 0 meet at dawn", "reveal 1 0"]);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut c = Console::new();
+        run(
+            &mut c,
+            &[
+                "bogus",
+                "erase notanumber",
+                "erase 99999",
+                "reveal 0 0", // no key set
+                "hide 0 0 x", // still no key
+                "trng 100000",
+            ],
+        );
+    }
+
+    #[test]
+    fn quit_outcomes() {
+        let mut c = Console::new();
+        assert_eq!(c.dispatch("quit"), Outcome::Quit);
+        assert_eq!(c.dispatch("exit"), Outcome::Quit);
+        assert_eq!(c.dispatch(""), Outcome::Continue);
+    }
+
+    #[test]
+    fn fingerprint_workflow() {
+        let mut c = Console::new();
+        run(&mut c, &["fingerprint first", "fingerprint second", "fingerprint cmp first second"]);
+        let fa = c.fingerprints.get("first").unwrap();
+        let fb = c.fingerprints.get("second").unwrap();
+        assert!(fa.matches(fb), "same chip must match itself");
+    }
+}

@@ -1,0 +1,33 @@
+//! `stash-tester` — an interactive console for the simulated NAND chip,
+//! mirroring the workflow the paper drove through a commercial flash
+//! tester (§6.1). Type `help` at the prompt.
+
+use std::io::{self, BufRead, Write};
+
+mod console;
+
+fn main() {
+    let stdin = io::stdin();
+    let mut console = console::Console::new();
+    println!("stash-tester — simulated NAND flash console (type `help`)");
+    console.banner();
+    let mut out = io::stdout();
+    loop {
+        print!("flash> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match console.dispatch(line.trim()) {
+            console::Outcome::Continue => {}
+            console::Outcome::Quit => break,
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,112 @@
+//! Error type for hiding operations.
+
+use stash_flash::FlashError;
+use std::fmt;
+
+/// Errors returned by the hiding layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HideError {
+    /// An underlying flash operation failed.
+    Flash(FlashError),
+    /// The page does not hold enough non-programmed (`1`) public bits to
+    /// carry the configured number of hidden bits.
+    InsufficientOnes {
+        /// Hidden cells required.
+        needed: usize,
+        /// Non-programmed public bits available.
+        available: usize,
+    },
+    /// The hidden payload could not be recovered: corruption exceeded the
+    /// ECC's correction power (wrong key, aged-out data, or destroyed page).
+    Unrecoverable {
+        /// Errors the ECC decoder reported before giving up.
+        detected_errors: usize,
+    },
+    /// The supplied payload does not match the per-page capacity.
+    PayloadLength {
+        /// Bytes the configuration stores per page.
+        expected: usize,
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// Some hidden `0` cells never crossed `Vth` within the step budget.
+    StragglersRemain {
+        /// Cells still below the threshold after the final step.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for HideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HideError::Flash(e) => write!(f, "flash operation failed: {e}"),
+            HideError::InsufficientOnes { needed, available } => write!(
+                f,
+                "page holds {available} non-programmed bits, {needed} hidden cells requested"
+            ),
+            HideError::Unrecoverable { detected_errors } => {
+                write!(f, "hidden payload unrecoverable ({detected_errors}+ errors)")
+            }
+            HideError::PayloadLength { expected, got } => {
+                write!(f, "payload is {got} bytes, page stores {expected}")
+            }
+            HideError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HideError::StragglersRemain { remaining } => {
+                write!(f, "{remaining} hidden cells failed to reach the threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HideError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HideError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for HideError {
+    fn from(e: FlashError) -> Self {
+        HideError::Flash(e)
+    }
+}
+
+impl From<stash_ecc::DecodeError> for HideError {
+    fn from(e: stash_ecc::DecodeError) -> Self {
+        HideError::Unrecoverable { detected_errors: e.detected_errors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_flash::BlockId;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = HideError::InsufficientOnes { needed: 512, available: 100 };
+        assert!(e.to_string().contains("512"));
+        let e = HideError::Flash(FlashError::BadBlock(BlockId(3)));
+        assert!(e.to_string().contains("B3"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: HideError = FlashError::BadBlock(BlockId(1)).into();
+        assert!(matches!(e, HideError::Flash(_)));
+        let e: HideError = stash_ecc::DecodeError { detected_errors: 9 }.into();
+        assert_eq!(e, HideError::Unrecoverable { detected_errors: 9 });
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = HideError::Flash(FlashError::BadBlock(BlockId(0)));
+        assert!(e.source().is_some());
+        assert!(HideError::InvalidConfig("x".into()).source().is_none());
+    }
+}

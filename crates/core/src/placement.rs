@@ -1,0 +1,127 @@
+//! Wear-matched block placement.
+//!
+//! The paper's detectability result (§7, Fig. 10) has one operational
+//! consequence: hidden data is only indistinguishable among blocks of
+//! comparable wear — "as long as the wear on the device is uniform within
+//! several hundred PEC, an SVM would not be able to reliably classify which
+//! blocks have hidden data". The threat model (§5.2) correspondingly
+//! assumes wear is *not* uniform device-wide. A careful hiding user should
+//! therefore place hidden data in blocks whose PEC matches the bulk of the
+//! device, never in outliers. This module implements that planner.
+
+use stash_flash::{BlockId, Chip};
+
+/// The safety window from Fig. 10: hidden and cover blocks should be within
+/// this many P/E cycles of each other.
+pub const DEFAULT_PEC_TOLERANCE: u32 = 300;
+
+/// A wear-placement plan: which blocks are safe to hide in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WearPlan {
+    /// The wear level the plan anchors on (the device's dominant PEC).
+    pub anchor_pec: u32,
+    /// Blocks within tolerance of the anchor, sorted by |PEC − anchor|.
+    pub safe_blocks: Vec<BlockId>,
+    /// Blocks whose wear would make them stand out.
+    pub outlier_blocks: Vec<BlockId>,
+}
+
+impl WearPlan {
+    /// Builds a plan for a chip: anchors on the median block PEC and
+    /// partitions blocks by the tolerance window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip has no blocks (geometries always have ≥1).
+    pub fn for_chip(chip: &Chip, tolerance: u32) -> WearPlan {
+        let blocks = chip.geometry().blocks_per_chip;
+        assert!(blocks > 0, "chip has no blocks");
+        let mut pecs: Vec<(BlockId, u32)> = (0..blocks)
+            .map(BlockId)
+            .filter(|&b| !chip.is_bad(b).unwrap_or(true))
+            .map(|b| (b, chip.block_pec(b).expect("in range")))
+            .collect();
+        let mut sorted: Vec<u32> = pecs.iter().map(|&(_, p)| p).collect();
+        sorted.sort_unstable();
+        let anchor_pec = sorted[sorted.len() / 2];
+
+        pecs.sort_by_key(|&(_, p)| p.abs_diff(anchor_pec));
+        let (safe, outliers): (Vec<_>, Vec<_>) =
+            pecs.into_iter().partition(|&(_, p)| p.abs_diff(anchor_pec) <= tolerance);
+        WearPlan {
+            anchor_pec,
+            safe_blocks: safe.into_iter().map(|(b, _)| b).collect(),
+            outlier_blocks: outliers.into_iter().map(|(b, _)| b).collect(),
+        }
+    }
+
+    /// Whether a specific block is safe to hide in under this plan.
+    pub fn admits(&self, block: BlockId) -> bool {
+        self.safe_blocks.contains(&block)
+    }
+
+    /// The best `count` hiding blocks (closest wear match first), or `None`
+    /// if the device cannot provide that many inconspicuous blocks.
+    pub fn pick(&self, count: usize) -> Option<&[BlockId]> {
+        (self.safe_blocks.len() >= count).then(|| &self.safe_blocks[..count])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_flash::ChipProfile;
+
+    fn chip_with_wear(pecs: &[u32]) -> Chip {
+        let mut chip = Chip::new(ChipProfile::test_small(), 9);
+        for (i, &pec) in pecs.iter().enumerate() {
+            if pec > 0 {
+                chip.cycle_block(BlockId(i as u32), pec).unwrap();
+            }
+        }
+        chip
+    }
+
+    #[test]
+    fn anchors_on_median_and_partitions() {
+        // 8 blocks: most around 1000, two outliers.
+        let chip = chip_with_wear(&[950, 1000, 1020, 980, 1010, 990, 0, 3000]);
+        let plan = WearPlan::for_chip(&chip, DEFAULT_PEC_TOLERANCE);
+        assert!((950..=1020).contains(&plan.anchor_pec), "anchor {}", plan.anchor_pec);
+        assert_eq!(plan.safe_blocks.len(), 6);
+        assert_eq!(plan.outlier_blocks.len(), 2);
+        assert!(!plan.admits(BlockId(6)), "fresh block is an outlier");
+        assert!(!plan.admits(BlockId(7)), "worn-out block is an outlier");
+        assert!(plan.admits(BlockId(1)));
+    }
+
+    #[test]
+    fn pick_returns_closest_matches_first() {
+        let chip = chip_with_wear(&[1000, 1300, 1000, 700, 1000, 1000, 1250, 1050]);
+        let plan = WearPlan::for_chip(&chip, DEFAULT_PEC_TOLERANCE);
+        let picked = plan.pick(3).expect("enough blocks");
+        for &b in picked {
+            let pec = chip.block_pec(b).unwrap();
+            assert!(pec.abs_diff(plan.anchor_pec) <= 50, "picked distant block {b} at {pec}");
+        }
+        assert!(plan.pick(100).is_none());
+    }
+
+    #[test]
+    fn bad_blocks_are_never_offered() {
+        let mut chip = chip_with_wear(&[100, 100, 100, 100, 100, 100, 100, 100]);
+        chip.mark_bad(BlockId(3)).unwrap();
+        let plan = WearPlan::for_chip(&chip, DEFAULT_PEC_TOLERANCE);
+        assert!(!plan.admits(BlockId(3)));
+        assert_eq!(plan.safe_blocks.len() + plan.outlier_blocks.len(), 7);
+    }
+
+    #[test]
+    fn uniform_device_is_entirely_safe() {
+        let chip = chip_with_wear(&[500; 8]);
+        let plan = WearPlan::for_chip(&chip, DEFAULT_PEC_TOLERANCE);
+        assert_eq!(plan.anchor_pec, 500);
+        assert_eq!(plan.safe_blocks.len(), 8);
+        assert!(plan.outlier_blocks.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Hidden-cell selection (paper Algorithm 1, line 2).
+//!
+//! The paper indexes selections into the page's *non-programmed* public
+//! bits: "Use PRNG(Key, Page) to select |H| non-programmed public bit
+//! offsets to store hidden bits." Re-deriving the same set at decode time
+//! therefore requires the exact public bit pattern — in a real SSD the
+//! public data path is ECC-protected, so the decoder always has it
+//! (paper Fig. 4 runs public data through its own ECC encoder).
+//!
+//! An alternative [`SelectionMode::Absolute`] selects absolute cell offsets
+//! and skips cells whose public bit turned out `0`; it tolerates errors in
+//! the public read at the cost of a variable usable-cell count. The paper's
+//! experiments all use [`SelectionMode::OnesIndexed`].
+
+use stash_crypto::{HidingKey, SelectionPrng};
+use stash_flash::{BitPattern, Geometry, PageId};
+
+/// How hidden-cell offsets are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionMode {
+    /// Paper-faithful: the PRNG indexes into the list of `1` (erased)
+    /// public bit positions.
+    #[default]
+    OnesIndexed,
+    /// Robust variant: the PRNG picks absolute offsets; offsets whose
+    /// public bit is `0` are skipped by both encoder and decoder.
+    Absolute,
+}
+
+/// The per-page stream id fed to the keyed PRNG (and payload cipher).
+pub fn page_stream_id(geometry: &Geometry, page: PageId) -> u64 {
+    u64::from(page.block.0) * u64::from(geometry.pages_per_block) + u64::from(page.page)
+}
+
+/// Selects the absolute cell offsets that will carry hidden bits on `page`,
+/// in payload-bit order. Returns `None` if the page cannot carry `count`
+/// hidden bits.
+pub fn select_hidden_cells(
+    key: &HidingKey,
+    geometry: &Geometry,
+    page: PageId,
+    public: &BitPattern,
+    count: usize,
+    mode: SelectionMode,
+) -> Option<Vec<usize>> {
+    let stream = page_stream_id(geometry, page);
+    let mut prng = SelectionPrng::new(key, stream);
+    match mode {
+        SelectionMode::OnesIndexed => {
+            let ones = public.one_positions();
+            if ones.len() < count {
+                return None;
+            }
+            let picks = prng.choose_distinct(count, ones.len());
+            Some(picks.into_iter().map(|i| ones[i]).collect())
+        }
+        SelectionMode::Absolute => {
+            // Draw a fixed oversampled set of absolute offsets; both sides
+            // keep only those whose public bit is 1, in draw order. The 4x
+            // oversample makes a usable-cell shortfall astronomically
+            // unlikely for balanced public data.
+            let budget = (count * 4).min(public.len());
+            let picks = prng.choose_distinct(budget, public.len());
+            let usable: Vec<usize> =
+                picks.into_iter().filter(|&p| public.get(p)).take(count).collect();
+            (usable.len() == count).then_some(usable)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+    use stash_flash::BlockId;
+
+    fn setup() -> (HidingKey, Geometry, PageId, BitPattern) {
+        let key = HidingKey::new([3u8; 32]);
+        let g = Geometry::tiny();
+        let page = PageId::new(BlockId(1), 2);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let public = BitPattern::random_half(&mut rng, g.cells_per_page());
+        (key, g, page, public)
+    }
+
+    #[test]
+    fn ones_indexed_selects_only_erased_cells() {
+        let (key, g, page, public) = setup();
+        let cells =
+            select_hidden_cells(&key, &g, page, &public, 64, SelectionMode::OnesIndexed).unwrap();
+        assert_eq!(cells.len(), 64);
+        assert!(cells.iter().all(|&c| public.get(c)), "every hidden cell stores a public 1");
+        let unique: std::collections::HashSet<_> = cells.iter().collect();
+        assert_eq!(unique.len(), 64);
+    }
+
+    #[test]
+    fn absolute_mode_also_lands_on_erased_cells() {
+        let (key, g, page, public) = setup();
+        let cells =
+            select_hidden_cells(&key, &g, page, &public, 64, SelectionMode::Absolute).unwrap();
+        assert_eq!(cells.len(), 64);
+        assert!(cells.iter().all(|&c| public.get(c)));
+    }
+
+    #[test]
+    fn deterministic_and_page_dependent() {
+        let (key, g, page, public) = setup();
+        let a = select_hidden_cells(&key, &g, page, &public, 32, SelectionMode::OnesIndexed);
+        let b = select_hidden_cells(&key, &g, page, &public, 32, SelectionMode::OnesIndexed);
+        assert_eq!(a, b);
+        let other_page = PageId::new(BlockId(1), 3);
+        let c = select_hidden_cells(&key, &g, other_page, &public, 32, SelectionMode::OnesIndexed);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn different_keys_different_cells() {
+        let (key, g, page, public) = setup();
+        let other = HidingKey::new([4u8; 32]);
+        let a = select_hidden_cells(&key, &g, page, &public, 32, SelectionMode::OnesIndexed);
+        let b = select_hidden_cells(&other, &g, page, &public, 32, SelectionMode::OnesIndexed);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn insufficient_ones_returns_none() {
+        let (key, g, page, _) = setup();
+        let all_programmed = BitPattern::zeros(g.cells_per_page());
+        assert!(select_hidden_cells(
+            &key,
+            &g,
+            page,
+            &all_programmed,
+            1,
+            SelectionMode::OnesIndexed
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn absolute_mode_tolerates_single_public_flip() {
+        // A public-read bit error outside the selected set must not change
+        // the selection; inside the set it perturbs at most the tail.
+        let (key, g, page, public) = setup();
+        let a =
+            select_hidden_cells(&key, &g, page, &public, 64, SelectionMode::Absolute).unwrap();
+        let mut flipped = public.clone();
+        // Flip a bit that was NOT selected and is a 0 -> becomes usable 1.
+        let victim = (0..public.len())
+            .find(|&i| !public.get(i) && !a.contains(&i))
+            .unwrap();
+        flipped.set(victim, true);
+        let b =
+            select_hidden_cells(&key, &g, page, &flipped, 64, SelectionMode::Absolute).unwrap();
+        // The flip causes at most one insertion into the draw order: the
+        // two selections share all but at most one cell.
+        let sa: std::collections::HashSet<_> = a.iter().collect();
+        let shared = b.iter().filter(|c| sa.contains(c)).count();
+        assert!(shared >= 63, "only {shared}/64 cells survive a single public flip");
+    }
+
+    #[test]
+    fn page_stream_ids_unique() {
+        let g = Geometry::tiny();
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..g.blocks_per_chip {
+            for p in 0..g.pages_per_block {
+                assert!(seen.insert(page_stream_id(&g, PageId::new(BlockId(b), p))));
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! ChaCha20 stream cipher (RFC 8439), used to encrypt hidden payloads so
+//! the bits placed in flash cells are uniformly distributed (paper §5.3).
+
+/// ChaCha20 keystream generator for one (key, nonce) pair.
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+    keystream: [u8; 64],
+    offset: usize,
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key and a 96-bit nonce, starting at
+    /// block counter 0.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        state[12] = 0;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        ChaCha20 { state, keystream: [0u8; 64], offset: 64 }
+    }
+
+    /// Convenience constructor using a u64 stream id as the nonce (the
+    /// hiding layer uses the flash page index).
+    pub fn with_stream(key: &[u8; 32], stream: u64) -> Self {
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&stream.to_le_bytes());
+        Self::new(key, &nonce)
+    }
+
+    /// XORs the keystream into `data` in place (encrypt == decrypt).
+    pub fn xor(&mut self, data: &mut [u8]) {
+        for b in data {
+            if self.offset == 64 {
+                self.refill();
+            }
+            *b ^= self.keystream[self.offset];
+            self.offset += 1;
+        }
+    }
+
+    /// Produces the next `n` keystream bytes.
+    pub fn keystream_bytes(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.xor(&mut out);
+        out
+    }
+
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = w[i].wrapping_add(self.state[i]);
+            self.keystream[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.offset = 0;
+    }
+}
+
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// One-shot XOR of a buffer with the ChaCha20 keystream for
+/// `(key, stream id)`; calling it twice restores the plaintext.
+pub fn chacha20_xor(key: &[u8; 32], stream: u64, data: &mut [u8]) {
+    ChaCha20::with_stream(key, stream).xor(data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block-function test vector (key 00..1f, nonce
+    /// 00:00:00:09:00:00:00:4a:00:00:00:00, counter 1).
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::new(&key, &nonce);
+        // Skip block 0 to reach counter 1.
+        let _ = c.keystream_bytes(64);
+        let block1 = c.keystream_bytes(64);
+        assert_eq!(
+            hex(&block1),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        let mut c = ChaCha20::new(&key, &nonce);
+        let _ = c.keystream_bytes(64); // counter starts at 1 in the RFC test
+        c.xor(&mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        // Decrypt restores the plaintext.
+        let mut c2 = ChaCha20::new(&key, &nonce);
+        let _ = c2.keystream_bytes(64);
+        c2.xor(&mut data);
+        assert_eq!(&data[..], &plaintext[..]);
+    }
+
+    #[test]
+    fn xor_roundtrips() {
+        let key = [9u8; 32];
+        let mut data = b"attack at dawn".to_vec();
+        chacha20_xor(&key, 7, &mut data);
+        assert_ne!(&data, b"attack at dawn");
+        chacha20_xor(&key, 7, &mut data);
+        assert_eq!(&data, b"attack at dawn");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let key = [1u8; 32];
+        let a = ChaCha20::with_stream(&key, 0).keystream_bytes(32);
+        let b = ChaCha20::with_stream(&key, 1).keystream_bytes(32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_is_balanced() {
+        let key = [3u8; 32];
+        let ks = ChaCha20::with_stream(&key, 0).keystream_bytes(65536);
+        let ones: u32 = ks.iter().map(|b| b.count_ones()).sum();
+        let frac = f64::from(ones) / (65536.0 * 8.0);
+        assert!((0.495..0.505).contains(&frac), "ones fraction {frac}");
+    }
+}

@@ -1,0 +1,109 @@
+//! A deterministic keyed PRNG built on the ChaCha20 keystream.
+//!
+//! This is the "PRNG(Key, Page)" of the paper's Algorithm 1: every consumer
+//! that holds the key can re-derive the same random sequence for a given
+//! stream id (flash page), so no hidden-cell map ever needs to be persisted.
+
+use crate::chacha::ChaCha20;
+
+/// Deterministic pseudo-random generator keyed by `(key, stream)`.
+#[derive(Debug, Clone)]
+pub struct KeyedPrng {
+    cipher: ChaCha20,
+}
+
+impl KeyedPrng {
+    /// Creates a generator for one `(key, stream id)` pair.
+    pub fn new(key: &[u8; 32], stream: u64) -> Self {
+        KeyedPrng { cipher: ChaCha20::with_stream(key, stream) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.cipher.xor(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Uniform value in `0..bound` without modulo bias (rejection sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Zone is the largest multiple of bound that fits in u64.
+        let zone = u64::MAX - (u64::MAX % bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fills a byte buffer with keystream.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        buf.fill(0);
+        self.cipher.xor(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_stream() {
+        let key = [5u8; 32];
+        let a: Vec<u64> = {
+            let mut p = KeyedPrng::new(&key, 1);
+            (0..8).map(|_| p.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut p = KeyedPrng::new(&key, 1);
+            (0..8).map(|_| p.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut p = KeyedPrng::new(&key, 2);
+            (0..8).map(|_| p.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn next_below_in_range_and_roughly_uniform() {
+        let mut p = KeyedPrng::new(&[1u8; 32], 0);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = p.next_below(10);
+            counts[v as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_300..10_700).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn next_below_one_is_zero() {
+        let mut p = KeyedPrng::new(&[2u8; 32], 0);
+        for _ in 0..10 {
+            assert_eq!(p.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        KeyedPrng::new(&[0u8; 32], 0).next_below(0);
+    }
+
+    #[test]
+    fn fill_bytes_nonzero() {
+        let mut p = KeyedPrng::new(&[9u8; 32], 3);
+        let mut buf = [0u8; 64];
+        p.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

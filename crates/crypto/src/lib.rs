@@ -1,0 +1,117 @@
+//! # stash-crypto — keyed primitives for flash data hiding
+//!
+//! VT-HI (paper §5.3) needs three keyed capabilities:
+//!
+//! 1. a deterministic pseudo-random selection of cell offsets from a secret
+//!    key and a page number ("Use PRNG(Key, Page) to select |H|
+//!    non-programmed public bit offsets"), re-derivable at boot without
+//!    persisting any map — [`SelectionPrng`];
+//! 2. encryption of the hidden payload so stored hidden bits are uniformly
+//!    distributed ("VT-HI encrypts hidden data, not unlike standard SSD
+//!    controller data scrambling") — [`chacha20_xor`];
+//! 3. key derivation/authentication — [`sha256()`](sha256()) and [`hmac_sha256`].
+//!
+//! Everything is implemented from scratch (the approved dependency list has
+//! no cryptography crate) and tested against published NIST / RFC vectors.
+//! The implementations favour clarity over side-channel hardening; the
+//! simulator is a research artifact, not a production TLS stack.
+//!
+//! ```
+//! use stash_crypto::{HidingKey, SelectionPrng, chacha20_xor};
+//!
+//! let key = HidingKey::from_passphrase("a day planner, nothing more");
+//! let mut prng = SelectionPrng::new(&key, /* page id: */ 42);
+//! let cells = prng.choose_distinct(512, 144_384);
+//! assert_eq!(cells.len(), 512);
+//!
+//! let mut secret = *b"meet at dawn";
+//! chacha20_xor(&key.subkey("payload"), 42, &mut secret);
+//! assert_ne!(&secret, b"meet at dawn");
+//! ```
+
+pub mod chacha;
+pub mod drbg;
+pub mod hmac;
+pub mod select;
+pub mod sha256;
+
+pub use chacha::{chacha20_xor, ChaCha20};
+pub use drbg::KeyedPrng;
+pub use hmac::hmac_sha256;
+pub use select::SelectionPrng;
+pub use sha256::{sha256, Sha256};
+
+/// A 256-bit secret hiding key.
+///
+/// One key drives everything the hiding user does: cell selection, payload
+/// encryption, and redundancy placement. The normal user never needs it
+/// (paper §5.1).
+#[derive(Clone, PartialEq, Eq)]
+pub struct HidingKey([u8; 32]);
+
+impl HidingKey {
+    /// Wraps raw key bytes.
+    pub fn new(bytes: [u8; 32]) -> Self {
+        HidingKey(bytes)
+    }
+
+    /// Derives a key from a passphrase (iterated salted SHA-256; a research
+    /// stand-in for a real KDF).
+    pub fn from_passphrase(passphrase: &str) -> Self {
+        let mut state = sha256(passphrase.as_bytes());
+        for i in 0u32..4096 {
+            let mut buf = Vec::with_capacity(36 + passphrase.len());
+            buf.extend_from_slice(&state);
+            buf.extend_from_slice(&i.to_le_bytes());
+            buf.extend_from_slice(passphrase.as_bytes());
+            state = sha256(&buf);
+        }
+        HidingKey(state)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Derives an independent subkey for a labelled purpose (selection,
+    /// payload encryption, parity placement, ...).
+    pub fn subkey(&self, label: &str) -> [u8; 32] {
+        hmac_sha256(&self.0, label.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for HidingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "HidingKey(…)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passphrase_derivation_is_deterministic_and_sensitive() {
+        let a = HidingKey::from_passphrase("correct horse");
+        let b = HidingKey::from_passphrase("correct horse");
+        let c = HidingKey::from_passphrase("correct horsf");
+        assert_eq!(a.as_bytes(), b.as_bytes());
+        assert_ne!(a.as_bytes(), c.as_bytes());
+    }
+
+    #[test]
+    fn subkeys_differ_by_label() {
+        let k = HidingKey::new([7u8; 32]);
+        assert_ne!(k.subkey("selection"), k.subkey("payload"));
+        assert_eq!(k.subkey("selection"), k.subkey("selection"));
+    }
+
+    #[test]
+    fn debug_hides_key_material() {
+        let k = HidingKey::new([0xAB; 32]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("AB") && !s.contains("ab") && !s.contains("171"));
+    }
+}

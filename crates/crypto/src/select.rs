@@ -1,0 +1,120 @@
+//! Keyed hidden-cell selection (paper Algorithm 1, line 2).
+//!
+//! Given the hiding key and a page number, [`SelectionPrng`] deterministically
+//! selects distinct offsets. Both the encoder and the decoder derive the same
+//! sequence, so the locations of cells holding hidden bits never touch
+//! persistent storage — they are recomputed from the key at boot (paper §5.3).
+
+use crate::drbg::KeyedPrng;
+use crate::HidingKey;
+
+/// Label under which the selection subkey is derived from the hiding key.
+const SELECTION_LABEL: &str = "vt-hi/cell-selection/v1";
+
+/// Deterministic selector of distinct cell offsets for one page.
+#[derive(Debug, Clone)]
+pub struct SelectionPrng {
+    prng: KeyedPrng,
+}
+
+impl SelectionPrng {
+    /// Creates the selector for `(key, page)`.
+    pub fn new(key: &HidingKey, page_stream: u64) -> Self {
+        let subkey = key.subkey(SELECTION_LABEL);
+        SelectionPrng { prng: KeyedPrng::new(&subkey, page_stream) }
+    }
+
+    /// Selects `count` *distinct* offsets in `0..universe`, in selection
+    /// order (the order defines which hidden payload bit each cell carries).
+    ///
+    /// Uses a partial Fisher–Yates shuffle over a virtual index array, so
+    /// selection costs O(count) memory even for 144k-cell universes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > universe`.
+    pub fn choose_distinct(&mut self, count: usize, universe: usize) -> Vec<usize> {
+        assert!(count <= universe, "cannot choose {count} of {universe}");
+        use std::collections::HashMap;
+        // Virtual Fisher–Yates: swaps[i] records the value living at slot i
+        // if it differs from i.
+        let mut swaps: HashMap<usize, usize> = HashMap::with_capacity(count * 2);
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let j = i + self.prng.next_below((universe - i) as u64) as usize;
+            let vi = *swaps.get(&i).unwrap_or(&i);
+            let vj = *swaps.get(&j).unwrap_or(&j);
+            out.push(vj);
+            swaps.insert(j, vi);
+        }
+        out
+    }
+
+    /// The raw keyed PRNG, for auxiliary randomness tied to the same page.
+    pub fn prng_mut(&mut self) -> &mut KeyedPrng {
+        &mut self.prng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> HidingKey {
+        HidingKey::new([0x42; 32])
+    }
+
+    #[test]
+    fn distinct_and_in_range() {
+        let mut s = SelectionPrng::new(&key(), 5);
+        let picks = s.choose_distinct(512, 144_384);
+        assert_eq!(picks.len(), 512);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 512, "selections must be distinct");
+        assert!(picks.iter().all(|&p| p < 144_384));
+    }
+
+    #[test]
+    fn deterministic_per_key_and_page() {
+        let a = SelectionPrng::new(&key(), 5).choose_distinct(64, 1000);
+        let b = SelectionPrng::new(&key(), 5).choose_distinct(64, 1000);
+        let c = SelectionPrng::new(&key(), 6).choose_distinct(64, 1000);
+        let d = SelectionPrng::new(&HidingKey::new([1; 32]), 5).choose_distinct(64, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn full_universe_is_permutation() {
+        let mut s = SelectionPrng::new(&key(), 0);
+        let mut picks = s.choose_distinct(100, 100);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selection_is_roughly_uniform() {
+        // Over many pages, every offset should be picked a similar number
+        // of times — the wear-spreading property the paper claims (§5.3).
+        let universe = 200;
+        let mut counts = vec![0u32; universe];
+        for page in 0..2000u64 {
+            let mut s = SelectionPrng::new(&key(), page);
+            for p in s.choose_distinct(20, universe) {
+                counts[p] += 1;
+            }
+        }
+        // Expected 200 hits per offset.
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 130 && *max < 280, "min {min} max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot choose")]
+    fn overdraw_panics() {
+        SelectionPrng::new(&key(), 0).choose_distinct(11, 10);
+    }
+}

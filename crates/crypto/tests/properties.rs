@@ -1,0 +1,75 @@
+//! Property tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+use stash_crypto::{chacha20_xor, hmac_sha256, sha256, HidingKey, KeyedPrng, SelectionPrng, Sha256};
+
+proptest! {
+    #[test]
+    fn prop_chacha_roundtrips(key in any::<[u8; 32]>(), stream in any::<u64>(),
+                              mut data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let original = data.clone();
+        chacha20_xor(&key, stream, &mut data);
+        chacha20_xor(&key, stream, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn prop_chacha_differs_from_plaintext(key in any::<[u8; 32]>(), stream in any::<u64>(),
+                                          mut data in proptest::collection::vec(any::<u8>(), 32..256)) {
+        let original = data.clone();
+        chacha20_xor(&key, stream, &mut data);
+        // 256+ bits of keystream matching zero everywhere is impossible in
+        // practice; any hit here means the cipher is broken.
+        prop_assert_ne!(data, original);
+    }
+
+    #[test]
+    fn prop_sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        split in 0usize..1024,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn prop_hmac_is_key_and_message_sensitive(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        flip in any::<u8>(),
+    ) {
+        let base = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2[0] ^= flip | 1;
+        prop_assert_ne!(hmac_sha256(&key2, &msg), base);
+        let mut msg2 = msg.clone();
+        msg2.push(0);
+        prop_assert_ne!(hmac_sha256(&key, &msg2), base);
+    }
+
+    #[test]
+    fn prop_prng_bounded(key in any::<[u8; 32]>(), stream in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut p = KeyedPrng::new(&key, stream);
+        for _ in 0..64 {
+            prop_assert!(p.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn prop_selection_distinct_and_bounded(
+        key_bytes in any::<[u8; 32]>(),
+        page in any::<u64>(),
+        count in 1usize..256,
+    ) {
+        let key = HidingKey::new(key_bytes);
+        let universe = count * 8 + 16;
+        let picks = SelectionPrng::new(&key, page).choose_distinct(count, universe);
+        prop_assert_eq!(picks.len(), count);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(set.len(), count);
+        prop_assert!(picks.iter().all(|&p| p < universe));
+    }
+}

@@ -1,0 +1,428 @@
+//! Binary BCH codes with algebraic decoding.
+//!
+//! Construction: the generator polynomial is the LCM of the minimal
+//! polynomials of α, α², …, α^{2t} over GF(2). Decoding computes syndromes,
+//! runs Berlekamp–Massey to find the error-locator polynomial, and locates
+//! errors by Chien search. Codes may be shortened to any data length
+//! (shortened positions are implicit zeros, as in every flash controller).
+
+use crate::gf::GaloisField;
+use crate::{BlockCode, DecodeError};
+
+/// A (possibly shortened) binary BCH code.
+#[derive(Debug, Clone)]
+pub struct Bch {
+    field: GaloisField,
+    t: usize,
+    /// Natural code length n = 2^m − 1.
+    n: usize,
+    /// Natural data length k = n − deg(g).
+    k: usize,
+    /// Bits of shortening (removed from the data portion).
+    shorten: usize,
+    /// Generator polynomial over GF(2), coefficients ascending.
+    generator: Vec<u8>,
+}
+
+impl Bch {
+    /// Constructs the full-length BCH code over GF(2^m) correcting `t`
+    /// errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested `t` leaves no data bits.
+    pub fn new(m: u32, t: usize) -> Self {
+        assert!(t >= 1, "t must be at least 1");
+        let field = GaloisField::new(m);
+        let n = field.order();
+
+        // g(x) = lcm of minimal polynomials of α^1 .. α^{2t}: multiply one
+        // representative minimal polynomial per distinct cyclotomic coset.
+        let mut covered = vec![false; n];
+        let mut generator: Vec<u8> = vec![1];
+        for i in 1..=(2 * t) {
+            let idx = i % n;
+            if covered[idx] {
+                continue;
+            }
+            for j in field.cyclotomic_coset(idx) {
+                covered[j] = true;
+            }
+            let mp = field.minimal_polynomial(idx);
+            generator = poly_mul_gf2(&generator, &mp);
+        }
+
+        let parity = generator.len() - 1;
+        assert!(parity < n, "t={t} leaves no data bits for m={m}");
+        let k = n - parity;
+        Bch { field, t, n, k, shorten: 0, generator }
+    }
+
+    /// Constructs a shortened BCH code with exactly `data_len` data bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_len` exceeds the natural data length.
+    pub fn shortened(m: u32, t: usize, data_len: usize) -> Self {
+        let mut code = Bch::new(m, t);
+        assert!(
+            data_len <= code.k,
+            "data_len {data_len} exceeds natural k={} for m={m}, t={t}",
+            code.k
+        );
+        code.shorten = code.k - data_len;
+        code
+    }
+
+    /// The error-correction capability (errors per codeword).
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Parity bits per codeword.
+    pub fn parity_len(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Picks the cheapest BCH configuration (by parity overhead) over
+    /// GF(2^9)/GF(2^10) that fits `data_len` data bits and corrects `t`
+    /// errors; returns `None` if impossible.
+    pub fn fitting(data_len: usize, t: usize) -> Option<Self> {
+        for m in 5..=13u32 {
+            let field_order = (1usize << m) - 1;
+            if field_order <= data_len {
+                continue;
+            }
+            let code = Bch::new(m, t);
+            if code.k >= data_len {
+                return Some(Bch::shortened(m, t, data_len));
+            }
+        }
+        None
+    }
+
+    /// Syndromes S_1..S_{2t} of a received word (natural-length positions).
+    fn syndromes(&self, code: &[bool]) -> Vec<u16> {
+        // Received polynomial r(x) has bit j of the *natural* codeword at
+        // degree j; shortened positions are zero and contribute nothing.
+        let mut syn = vec![0u16; 2 * self.t];
+        for (s, syn_j) in syn.iter_mut().enumerate() {
+            let j = s + 1;
+            let mut acc = 0u16;
+            for (pos, &bit) in code.iter().enumerate() {
+                if bit {
+                    acc ^= self.field.alpha_pow(pos * j);
+                }
+            }
+            *syn_j = acc;
+        }
+        syn
+    }
+
+    /// Berlekamp–Massey: error-locator polynomial σ(x) from syndromes.
+    fn berlekamp_massey(&self, syn: &[u16]) -> Vec<u16> {
+        let f = &self.field;
+        let mut sigma: Vec<u16> = vec![1];
+        let mut b: Vec<u16> = vec![1];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut bb = 1u16;
+
+        for n in 0..syn.len() {
+            // Discrepancy d = S_n + Σ σ_i · S_{n-i}.
+            let mut d = syn[n];
+            for i in 1..=l {
+                if i < sigma.len() {
+                    d ^= f.mul(sigma[i], syn[n - i]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let t_poly = sigma.clone();
+                let scale = f.div(d, bb);
+                sigma = poly_sub_scaled_shift(f, &sigma, &b, scale, m);
+                l = n + 1 - l;
+                b = t_poly;
+                bb = d;
+                m = 1;
+            } else {
+                let scale = f.div(d, bb);
+                sigma = poly_sub_scaled_shift(f, &sigma, &b, scale, m);
+                m += 1;
+            }
+        }
+        // Trim trailing zeros.
+        while sigma.len() > 1 && *sigma.last().unwrap() == 0 {
+            sigma.pop();
+        }
+        sigma
+    }
+
+    /// Chien search: natural codeword positions whose bits are in error.
+    fn chien_search(&self, sigma: &[u16]) -> Vec<usize> {
+        let f = &self.field;
+        let mut positions = Vec::new();
+        // Position i corresponds to locator X = α^i; σ(α^{-i}) == 0.
+        for i in 0..self.n {
+            let x = f.alpha_pow(self.n - i % self.n);
+            let x_inv = if i == 0 { 1 } else { x };
+            if f.poly_eval(sigma, x_inv) == 0 {
+                positions.push(i);
+            }
+        }
+        positions
+    }
+}
+
+impl BlockCode for Bch {
+    fn data_len(&self) -> usize {
+        self.k - self.shorten
+    }
+
+    fn code_len(&self) -> usize {
+        self.n - self.shorten
+    }
+
+    fn encode(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len(), self.data_len(), "data length mismatch");
+        let parity = self.parity_len();
+
+        // Systematic encoding: codeword = [parity | data·x^{n-k}] with the
+        // shortened (zero) data bits implicit at the top degrees.
+        // Compute remainder of data(x)·x^{parity} mod g(x) over GF(2).
+        let mut rem = vec![0u8; parity];
+        // Process data from the highest degree down (last data bit sits at
+        // the highest natural degree below the shortened region).
+        for &bit in data.iter().rev() {
+            // Shift remainder up by one, inject bit at the top.
+            let feedback = (rem[parity - 1] == 1) ^ bit;
+            for i in (1..parity).rev() {
+                rem[i] = rem[i - 1]
+                    ^ if feedback && self.generator[i] == 1 { 1 } else { 0 };
+            }
+            rem[0] = u8::from(feedback && self.generator[0] == 1);
+        }
+
+        let mut out: Vec<bool> = rem.iter().map(|&b| b == 1).collect();
+        out.extend_from_slice(data);
+        out
+    }
+
+    fn decode(&self, code: &[bool]) -> Result<Vec<bool>, DecodeError> {
+        assert_eq!(code.len(), self.code_len(), "codeword length mismatch");
+        let syn = self.syndromes(code);
+        if syn.iter().all(|&s| s == 0) {
+            return Ok(code[self.parity_len()..].to_vec());
+        }
+
+        let sigma = self.berlekamp_massey(&syn);
+        let errors = sigma.len() - 1;
+        if errors > self.t {
+            return Err(DecodeError { detected_errors: errors });
+        }
+        let positions = self.chien_search(&sigma);
+        if positions.len() != errors {
+            return Err(DecodeError { detected_errors: errors.max(positions.len()) });
+        }
+
+        let mut fixed = code.to_vec();
+        for &pos in &positions {
+            if pos >= self.code_len() {
+                // Error located in a shortened (known-zero) position: the
+                // corruption exceeds the code's power.
+                return Err(DecodeError { detected_errors: errors });
+            }
+            fixed[pos] = !fixed[pos];
+        }
+
+        // Re-check: all syndromes must vanish after correction.
+        if self.syndromes(&fixed).iter().any(|&s| s != 0) {
+            return Err(DecodeError { detected_errors: errors });
+        }
+        Ok(fixed[self.parity_len()..].to_vec())
+    }
+}
+
+/// GF(2) polynomial product (coefficients ascending, values 0/1).
+fn poly_mul_gf2(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 1 {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] ^= y;
+            }
+        }
+    }
+    out
+}
+
+/// σ(x) − scale · x^shift · b(x) over GF(2^m) (subtraction is XOR).
+fn poly_sub_scaled_shift(
+    f: &GaloisField,
+    sigma: &[u16],
+    b: &[u16],
+    scale: u16,
+    shift: usize,
+) -> Vec<u16> {
+    let mut out = sigma.to_vec();
+    let needed = b.len() + shift;
+    if out.len() < needed {
+        out.resize(needed, 0);
+    }
+    for (i, &c) in b.iter().enumerate() {
+        out[i + shift] ^= f.mul(scale, c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_15_7_2_code_dimensions() {
+        // BCH(15,7) corrects 2 errors; textbook example.
+        let c = Bch::new(4, 2);
+        assert_eq!(c.code_len(), 15);
+        assert_eq!(c.data_len(), 7);
+        assert_eq!(c.parity_len(), 8);
+        // g(x) = x^8 + x^7 + x^6 + x^4 + 1.
+        assert_eq!(c.generator, vec![1, 0, 0, 0, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let c = Bch::new(4, 2);
+        let data: Vec<bool> = vec![true, false, true, true, false, false, true];
+        let code = c.encode(&data);
+        assert_eq!(code.len(), 15);
+        assert_eq!(c.decode(&code).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors_at_all_positions() {
+        let c = Bch::new(4, 2);
+        let data: Vec<bool> = vec![true, false, true, true, false, false, true];
+        let code = c.encode(&data);
+        // Single errors, every position.
+        for i in 0..15 {
+            let mut bad = code.clone();
+            bad[i] = !bad[i];
+            assert_eq!(c.decode(&bad).unwrap(), data, "single error at {i}");
+        }
+        // Double errors, every pair.
+        for i in 0..15 {
+            for j in (i + 1)..15 {
+                let mut bad = code.clone();
+                bad[i] = !bad[i];
+                bad[j] = !bad[j];
+                assert_eq!(c.decode(&bad).unwrap(), data, "errors at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_overload_mostly() {
+        // 4 errors on a t=2 code must not silently return wrong data in the
+        // vast majority of patterns; count miscorrections.
+        let c = Bch::new(4, 2);
+        let data: Vec<bool> = vec![false, true, false, false, true, true, false];
+        let code = c.encode(&data);
+        let mut wrong = 0;
+        let mut total = 0;
+        for i in 0..15 {
+            for j in (i + 1)..15 {
+                for k in (j + 1)..15 {
+                    let mut bad = code.clone();
+                    for p in [i, j, k] {
+                        bad[p] = !bad[p];
+                    }
+                    total += 1;
+                    if let Ok(d) = c.decode(&bad) {
+                        if d != data {
+                            wrong += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // A t=2 code cannot promise detection of 3 errors, but most
+        // 3-error patterns must be flagged or land back on the codeword.
+        assert!(
+            wrong < total / 2,
+            "{wrong}/{total} triple-error patterns silently miscorrected"
+        );
+    }
+
+    #[test]
+    fn shortened_code_roundtrip_with_errors() {
+        // The paper's hidden-page budget: 256 cells; t=4 over GF(2^9).
+        let c = Bch::shortened(9, 4, 220);
+        assert_eq!(c.code_len(), 256);
+        assert_eq!(c.parity_len(), 36);
+        let data: Vec<bool> = (0..220).map(|i| (i * 7) % 5 < 2).collect();
+        let code = c.encode(&data);
+        let mut bad = code.clone();
+        for &p in &[0usize, 50, 128, 255] {
+            bad[p] = !bad[p];
+        }
+        assert_eq!(c.decode(&bad).unwrap(), data);
+    }
+
+    #[test]
+    fn five_errors_on_t4_fails_or_detected() {
+        let c = Bch::shortened(9, 4, 220);
+        let data: Vec<bool> = (0..220).map(|i| i % 2 == 0).collect();
+        let code = c.encode(&data);
+        let mut bad = code.clone();
+        for &p in &[3usize, 77, 130, 200, 250] {
+            bad[p] = !bad[p];
+        }
+        match c.decode(&bad) {
+            Err(_) => {}
+            Ok(d) => assert_ne!(d, data, "five errors cannot be silently corrected to truth"),
+        }
+    }
+
+    #[test]
+    fn fitting_picks_smallest_overhead() {
+        let c = Bch::fitting(220, 4).expect("must fit");
+        assert_eq!(c.data_len(), 220);
+        assert!(c.code_len() <= 256 + 16);
+        // Beyond GF(2^13) there is no supported field: nothing fits.
+        assert!(Bch::fitting(10_000, 4).is_none());
+    }
+
+    #[test]
+    fn rate_reported() {
+        let c = Bch::new(4, 2);
+        assert!((c.rate() - 7.0 / 15.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_corrects_random_errors_within_t(
+            seed in any::<u64>(),
+            nerr in 0usize..=4,
+        ) {
+            use rand::{Rng, SeedableRng, rngs::SmallRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let c = Bch::shortened(9, 4, 220);
+            let data: Vec<bool> = (0..220).map(|_| rng.gen()).collect();
+            let code = c.encode(&data);
+            let mut bad = code.clone();
+            let mut flipped = std::collections::HashSet::new();
+            while flipped.len() < nerr {
+                let p = rng.gen_range(0..bad.len());
+                if flipped.insert(p) {
+                    bad[p] = !bad[p];
+                }
+            }
+            prop_assert_eq!(c.decode(&bad).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Extended Hamming SEC-DED code (single-error correct, double-error
+//! detect) of configurable size — the lightweight alternative the capacity
+//! planner compares against BCH.
+
+use crate::{BlockCode, DecodeError};
+
+/// Extended Hamming code with `r` parity bits plus one overall parity bit:
+/// code length `2^r`, data length `2^r − r − 1`.
+#[derive(Debug, Clone)]
+pub struct ExtendedHamming {
+    r: u32,
+}
+
+impl ExtendedHamming {
+    /// Creates the code with `r` position-parity bits (3 ≤ r ≤ 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn new(r: u32) -> Self {
+        assert!((3..=12).contains(&r), "r out of range: {r}");
+        ExtendedHamming { r }
+    }
+
+    /// The classic (72,64) flash/DRAM configuration.
+    pub fn code_72_64() -> Self {
+        ExtendedHamming::new(6)
+    }
+
+    fn block_len(&self) -> usize {
+        1 << self.r
+    }
+
+    /// Layout: position 0 holds overall parity; positions that are powers
+    /// of two hold Hamming parity; the rest hold data.
+    fn is_parity_pos(&self, pos: usize) -> bool {
+        pos == 0 || pos.is_power_of_two()
+    }
+}
+
+impl BlockCode for ExtendedHamming {
+    fn data_len(&self) -> usize {
+        self.block_len() - self.r as usize - 1
+    }
+
+    fn code_len(&self) -> usize {
+        self.block_len()
+    }
+
+    fn encode(&self, data: &[bool]) -> Vec<bool> {
+        assert_eq!(data.len(), self.data_len(), "data length mismatch");
+        let n = self.block_len();
+        let mut code = vec![false; n];
+        let mut it = data.iter();
+        for pos in 1..n {
+            if !self.is_parity_pos(pos) {
+                code[pos] = *it.next().unwrap();
+            }
+        }
+        // Hamming parity bits: parity at 2^i covers positions with bit i set.
+        for i in 0..self.r {
+            let p = 1usize << i;
+            let parity = (1..n)
+                .filter(|&pos| pos & p != 0 && pos != p && code[pos])
+                .count()
+                % 2
+                == 1;
+            code[p] = parity;
+        }
+        // Overall parity over everything.
+        code[0] = code[1..].iter().filter(|&&b| b).count() % 2 == 1;
+        code
+    }
+
+    fn decode(&self, code: &[bool]) -> Result<Vec<bool>, DecodeError> {
+        assert_eq!(code.len(), self.code_len(), "codeword length mismatch");
+        let n = self.block_len();
+        let mut syndrome = 0usize;
+        for i in 0..self.r {
+            let p = 1usize << i;
+            let parity = (1..n).filter(|&pos| pos & p != 0 && code[pos]).count() % 2 == 1;
+            if parity {
+                syndrome |= p;
+            }
+        }
+        let overall = code.iter().filter(|&&b| b).count() % 2 == 1;
+
+        let mut fixed = code.to_vec();
+        match (syndrome, overall) {
+            (0, false) => {}
+            (0, true) => fixed[0] = !fixed[0], // overall parity bit flipped
+            (s, true) => fixed[s] = !fixed[s], // single correctable error
+            (_, false) => return Err(DecodeError { detected_errors: 2 }),
+        }
+
+        let mut data = Vec::with_capacity(self.data_len());
+        for pos in 1..n {
+            if !self.is_parity_pos(pos) {
+                data.push(fixed[pos]);
+            }
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_72_64() {
+        let c = ExtendedHamming::code_72_64();
+        assert_eq!(c.code_len(), 64);
+        assert_eq!(c.data_len(), 57);
+        let big = ExtendedHamming::new(7);
+        assert_eq!(big.code_len(), 128);
+        assert_eq!(big.data_len(), 120);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let c = ExtendedHamming::new(4);
+        let data: Vec<bool> = (0..c.data_len()).map(|i| i % 3 == 1).collect();
+        let code = c.encode(&data);
+        assert_eq!(c.decode(&code).unwrap(), data);
+    }
+
+    #[test]
+    fn corrects_every_single_error() {
+        let c = ExtendedHamming::new(4);
+        let data: Vec<bool> = (0..c.data_len()).map(|i| i % 2 == 0).collect();
+        let code = c.encode(&data);
+        for i in 0..c.code_len() {
+            let mut bad = code.clone();
+            bad[i] = !bad[i];
+            assert_eq!(c.decode(&bad).unwrap(), data, "error at {i}");
+        }
+    }
+
+    #[test]
+    fn detects_every_double_error() {
+        let c = ExtendedHamming::new(4);
+        let data: Vec<bool> = (0..c.data_len()).map(|i| i % 5 == 0).collect();
+        let code = c.encode(&data);
+        for i in 0..c.code_len() {
+            for j in (i + 1)..c.code_len() {
+                let mut bad = code.clone();
+                bad[i] = !bad[i];
+                bad[j] = !bad[j];
+                assert!(c.decode(&bad).is_err(), "double error {i},{j} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Block interleaving.
+//!
+//! Partial-program interference is spatially correlated (neighboring cells
+//! of neighboring wordlines), so hidden-bit errors can arrive in bursts.
+//! Interleaving spreads a burst across many codewords so each sees at most
+//! a few errors.
+
+/// A rows × cols block interleaver (write row-major, read column-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver for `rows * cols` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        Interleaver { rows, cols }
+    }
+
+    /// Total symbols per block.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` if the interleaver block is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Interleaves a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != len()`.
+    pub fn interleave<T: Copy>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "block length mismatch");
+        let mut out = Vec::with_capacity(data.len());
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out.push(data[r * self.cols + c]);
+            }
+        }
+        out
+    }
+
+    /// Inverts [`interleave`](Self::interleave).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != len()`.
+    pub fn deinterleave<T: Copy + Default>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len(), "block length mismatch");
+        let mut out = vec![T::default(); data.len()];
+        let mut idx = 0;
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                out[r * self.cols + c] = data[idx];
+                idx += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_example() {
+        let il = Interleaver::new(2, 3);
+        let data = [1, 2, 3, 4, 5, 6];
+        assert_eq!(il.interleave(&data), vec![1, 4, 2, 5, 3, 6]);
+        assert_eq!(il.deinterleave(&[1, 4, 2, 5, 3, 6]), data.to_vec());
+    }
+
+    #[test]
+    fn burst_is_spread() {
+        // A burst of 4 adjacent errors in the interleaved stream lands in 4
+        // different rows (codewords) after deinterleaving.
+        let il = Interleaver::new(4, 8);
+        let mut flags = vec![false; 32];
+        let interleaved_burst = [8usize, 9, 10, 11];
+        let de = {
+            let mut inter = il.interleave(&flags);
+            for &i in &interleaved_burst {
+                inter[i] = true;
+            }
+            il.deinterleave(&inter)
+        };
+        flags.copy_from_slice(&de);
+        let rows_hit: std::collections::HashSet<usize> = flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| f.then_some(i / 8))
+            .collect();
+        assert_eq!(rows_hit.len(), 4, "burst should spread across all rows");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng, rngs::SmallRng};
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let il = Interleaver::new(rows, cols);
+            let data: Vec<u8> = (0..il.len()).map(|_| rng.gen()).collect();
+            prop_assert_eq!(il.deinterleave(&il.interleave(&data)), data);
+        }
+    }
+}

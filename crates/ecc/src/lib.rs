@@ -1,0 +1,137 @@
+//! # stash-ecc — error correction for hidden flash payloads
+//!
+//! Hidden bits written by VT-HI live deliberately close to a decision
+//! threshold inside the natural noise of a flash chip, so their raw BER
+//! (0.5%–2%, paper §6.3/§8) is orders of magnitude above public-data BER.
+//! The paper over-provisions hidden cells with ECC (Algorithm 1, line 4).
+//! This crate implements the machinery:
+//!
+//! * [`gf`] — GF(2^m) arithmetic (log/antilog tables);
+//! * [`bch`] — binary BCH codes with syndrome decoding (Berlekamp–Massey +
+//!   Chien search), the workhorse for hidden payloads;
+//! * [`hamming`] — extended Hamming SEC-DED, for light-weight comparisons;
+//! * [`repetition`] — the simplest baseline;
+//! * [`interleave`] — block interleaving to spread bursty interference;
+//! * [`rs`] — Reed–Solomon over GF(2^8), the classic flash-controller code
+//!   (byte symbols absorb bursty interference errors);
+//! * [`parity`] — XOR parity groups across pages (RAID-style, paper §8
+//!   suggests RAID-like schemes for hidden data protection).
+//!
+//! All codes speak one vocabulary, the [`BlockCode`] trait over bit slices.
+//!
+//! ```
+//! use stash_ecc::{BlockCode, bch::Bch};
+//!
+//! # fn main() -> Result<(), stash_ecc::DecodeError> {
+//! // A BCH code over GF(2^9) correcting 4 errors, shortened to carry
+//! // 220 data bits in 256 code bits (the paper's per-page hidden budget).
+//! let code = Bch::shortened(9, 4, 220);
+//! assert_eq!(code.code_len(), 256);
+//!
+//! let data: Vec<bool> = (0..220).map(|i| i % 3 == 0).collect();
+//! let mut stored = code.encode(&data);
+//! stored[5] ^= true; // flash flips some cells...
+//! stored[99] ^= true;
+//! stored[255] ^= true;
+//! let recovered = code.decode(&stored)?;
+//! assert_eq!(recovered, data);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bch;
+pub mod gf;
+pub mod hamming;
+pub mod interleave;
+pub mod parity;
+pub mod repetition;
+pub mod rs;
+
+use std::fmt;
+
+/// A systematic binary block code mapping `data_len()` bits to `code_len()`
+/// bits and correcting some number of bit errors.
+pub trait BlockCode {
+    /// Number of data bits per codeword.
+    fn data_len(&self) -> usize;
+
+    /// Number of code bits per codeword.
+    fn code_len(&self) -> usize;
+
+    /// Encodes exactly `data_len()` bits into a `code_len()`-bit codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != data_len()`.
+    fn encode(&self, data: &[bool]) -> Vec<bool>;
+
+    /// Decodes a (possibly corrupted) codeword back to data bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when more errors occurred than the code can
+    /// correct *and* the failure is detectable. An undetectable overload may
+    /// silently return wrong data — exactly like hardware ECC.
+    fn decode(&self, code: &[bool]) -> Result<Vec<bool>, DecodeError>;
+
+    /// Code rate (data bits per code bit).
+    fn rate(&self) -> f64 {
+        self.data_len() as f64 / self.code_len() as f64
+    }
+}
+
+/// Decoding failed: the corruption exceeded the code's correction power in a
+/// detectable way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// How many errors the decoder believed it saw before giving up.
+    pub detected_errors: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uncorrectable codeword ({}+ errors detected)", self.detected_errors)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Packs bits into bytes, MSB-first (for moving payloads across byte APIs).
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (7 - i % 8);
+        }
+    }
+    out
+}
+
+/// Unpacks `n` bits from bytes, MSB-first.
+///
+/// # Panics
+///
+/// Panics if `bytes` holds fewer than `n` bits.
+pub fn bytes_to_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    assert!(bytes.len() * 8 >= n, "need {n} bits, have {}", bytes.len() * 8);
+    (0..n).map(|i| bytes[i / 8] >> (7 - i % 8) & 1 == 1).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_byte_roundtrip() {
+        let bits: Vec<bool> = vec![true, false, true, true, false, false, true, false, true];
+        let bytes = bits_to_bytes(&bits);
+        assert_eq!(bytes, vec![0b1011_0010, 0b1000_0000]);
+        assert_eq!(bytes_to_bits(&bytes, 9), bits);
+    }
+
+    #[test]
+    fn decode_error_displays() {
+        let e = DecodeError { detected_errors: 5 };
+        assert!(e.to_string().contains("5"));
+    }
+}

@@ -1,0 +1,138 @@
+//! XOR parity groups — RAID-4-style cross-page redundancy.
+//!
+//! The paper (§5.1, §8) recommends protecting hidden data against whole-page
+//! loss (bad blocks, migration races) with parity encoding across pages.
+//! A parity group holds `k` data stripes plus one XOR parity stripe and
+//! can reconstruct any single missing stripe.
+
+use std::fmt;
+
+/// Error returned when reconstruction is impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParityError {
+    /// More than one stripe is missing.
+    TooManyMissing {
+        /// Number of missing stripes.
+        missing: usize,
+    },
+    /// Stripes have inconsistent lengths.
+    LengthMismatch,
+}
+
+impl fmt::Display for ParityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParityError::TooManyMissing { missing } => {
+                write!(f, "cannot reconstruct: {missing} stripes missing, parity covers 1")
+            }
+            ParityError::LengthMismatch => write!(f, "stripes have different lengths"),
+        }
+    }
+}
+
+impl std::error::Error for ParityError {}
+
+/// Computes the XOR parity stripe over `k` equal-length data stripes.
+///
+/// # Panics
+///
+/// Panics if `stripes` is empty or lengths differ.
+pub fn parity_stripe(stripes: &[Vec<u8>]) -> Vec<u8> {
+    assert!(!stripes.is_empty(), "need at least one stripe");
+    let len = stripes[0].len();
+    assert!(stripes.iter().all(|s| s.len() == len), "stripe lengths differ");
+    let mut out = vec![0u8; len];
+    for s in stripes {
+        for (o, b) in out.iter_mut().zip(s) {
+            *o ^= b;
+        }
+    }
+    out
+}
+
+/// Reconstructs the single missing stripe (`None` entries) of a parity
+/// group, given the parity stripe.
+///
+/// # Errors
+///
+/// Fails if more than one stripe is missing or lengths differ.
+pub fn reconstruct(
+    stripes: &[Option<Vec<u8>>],
+    parity: &[u8],
+) -> Result<Vec<Vec<u8>>, ParityError> {
+    let missing = stripes.iter().filter(|s| s.is_none()).count();
+    if missing > 1 {
+        return Err(ParityError::TooManyMissing { missing });
+    }
+    for s in stripes.iter().flatten() {
+        if s.len() != parity.len() {
+            return Err(ParityError::LengthMismatch);
+        }
+    }
+    if missing == 0 {
+        return Ok(stripes.iter().map(|s| s.clone().unwrap()).collect());
+    }
+    let mut rebuilt = parity.to_vec();
+    for s in stripes.iter().flatten() {
+        for (r, b) in rebuilt.iter_mut().zip(s) {
+            *r ^= b;
+        }
+    }
+    Ok(stripes
+        .iter()
+        .map(|s| s.clone().unwrap_or_else(|| rebuilt.clone()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes() -> Vec<Vec<u8>> {
+        vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]
+    }
+
+    #[test]
+    fn parity_is_xor() {
+        let p = parity_stripe(&stripes());
+        assert_eq!(p, vec![1 ^ 4 ^ 7, 2 ^ 5 ^ 8, 3 ^ 6 ^ 9]);
+    }
+
+    #[test]
+    fn reconstructs_any_single_loss() {
+        let data = stripes();
+        let p = parity_stripe(&data);
+        for lost in 0..3 {
+            let mut partial: Vec<Option<Vec<u8>>> = data.iter().cloned().map(Some).collect();
+            partial[lost] = None;
+            let rebuilt = reconstruct(&partial, &p).unwrap();
+            assert_eq!(rebuilt, data, "losing stripe {lost}");
+        }
+    }
+
+    #[test]
+    fn no_loss_passthrough() {
+        let data = stripes();
+        let p = parity_stripe(&data);
+        let partial: Vec<Option<Vec<u8>>> = data.iter().cloned().map(Some).collect();
+        assert_eq!(reconstruct(&partial, &p).unwrap(), data);
+    }
+
+    #[test]
+    fn two_losses_fail() {
+        let data = stripes();
+        let p = parity_stripe(&data);
+        let partial = vec![None, None, Some(data[2].clone())];
+        assert_eq!(
+            reconstruct(&partial, &p),
+            Err(ParityError::TooManyMissing { missing: 2 })
+        );
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let p = vec![0u8; 3];
+        let partial = vec![Some(vec![1u8, 2]), None];
+        assert_eq!(reconstruct(&partial, &p), Err(ParityError::LengthMismatch));
+    }
+}

@@ -1,0 +1,156 @@
+//! Physical device fingerprints from program-timing variation.
+//!
+//! Following the method of the paper's ref \[39\] (Prabhu et al.,
+//! "Extracting device fingerprints from flash memory by exploiting
+//! physical variations"): each cell's programming speed is a fixed
+//! manufacturing property. The fingerprint is the per-cell vector of
+//! incremental-program crossing times of one page, averaged over a few
+//! measurements to suppress probe noise. Two measurements of the same
+//! physical page correlate strongly; measurements of different dies (or
+//! different pages) do not correlate at all.
+
+use stash_flash::{BlockId, Chip, PageId, Result};
+
+/// How many incremental steps one timing probe uses.
+const PROBE_STEPS: u16 = 30;
+
+/// A device fingerprint: the averaged program-crossing-time profile of one
+/// page, mean-centered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    page: PageId,
+    profile: Vec<f32>,
+}
+
+impl Fingerprint {
+    /// Enrolls a fingerprint from page 0 of `block`, averaging `rounds`
+    /// timing probes (4–8 is plenty). Destroys block contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn enroll(chip: &mut Chip, block: BlockId, rounds: usize) -> Result<Fingerprint> {
+        assert!(rounds > 0, "need at least one probe round");
+        let cpp = chip.geometry().cells_per_page();
+        let page = PageId::new(block, 0);
+        let mut acc = vec![0.0f64; cpp];
+        for _ in 0..rounds {
+            let steps = chip.program_time_probe(page, PROBE_STEPS)?;
+            for (a, &s) in acc.iter_mut().zip(&steps) {
+                *a += f64::from(s);
+            }
+        }
+        let mean: f64 = acc.iter().sum::<f64>() / (cpp as f64);
+        let profile = acc.iter().map(|&a| ((a - mean) / rounds as f64) as f32).collect();
+        Ok(Fingerprint { page, profile })
+    }
+
+    /// The page the fingerprint was taken from.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+
+    /// Pearson correlation between two fingerprints of equal length.
+    /// Same silicon re-measured scores near 1; unrelated silicon near 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fingerprints have different lengths.
+    pub fn similarity(&self, other: &Fingerprint) -> f64 {
+        assert_eq!(self.profile.len(), other.profile.len(), "length mismatch");
+        let n = self.profile.len() as f64;
+        let (ma, mb) = (
+            self.profile.iter().map(|&v| f64::from(v)).sum::<f64>() / n,
+            other.profile.iter().map(|&v| f64::from(v)).sum::<f64>() / n,
+        );
+        let (mut cov, mut va, mut vb) = (0.0f64, 0.0f64, 0.0f64);
+        for (&a, &b) in self.profile.iter().zip(&other.profile) {
+            let (da, db) = (f64::from(a) - ma, f64::from(b) - mb);
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        if va == 0.0 || vb == 0.0 {
+            return 0.0;
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    /// Match decision: correlations above 0.5 cannot occur by chance over
+    /// a 100k-cell page.
+    pub fn matches(&self, other: &Fingerprint) -> bool {
+        self.similarity(other) > 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_flash::ChipProfile;
+
+    fn chip(seed: u64) -> Chip {
+        Chip::new(ChipProfile::vendor_a_scaled(), seed)
+    }
+
+    #[test]
+    fn same_die_matches_across_cycles() {
+        let mut c = chip(1);
+        let a = Fingerprint::enroll(&mut c, BlockId(0), 4).unwrap();
+        // Use the device in between: wear the block, re-enroll.
+        c.cycle_block(BlockId(0), 50).unwrap();
+        let b = Fingerprint::enroll(&mut c, BlockId(0), 4).unwrap();
+        let sim = a.similarity(&b);
+        assert!(sim > 0.8, "same-die similarity {sim}");
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn different_dies_do_not_match() {
+        let mut c1 = chip(2);
+        let mut c2 = chip(3);
+        let a = Fingerprint::enroll(&mut c1, BlockId(0), 4).unwrap();
+        let b = Fingerprint::enroll(&mut c2, BlockId(0), 4).unwrap();
+        let sim = a.similarity(&b);
+        assert!(sim.abs() < 0.2, "cross-die similarity {sim}");
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn different_blocks_of_same_die_differ() {
+        let mut c = chip(4);
+        let a = Fingerprint::enroll(&mut c, BlockId(0), 4).unwrap();
+        let b = Fingerprint::enroll(&mut c, BlockId(1), 4).unwrap();
+        assert!(a.similarity(&b).abs() < 0.2);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_reflexive() {
+        let mut c = chip(5);
+        let a = Fingerprint::enroll(&mut c, BlockId(0), 4).unwrap();
+        let b = Fingerprint::enroll(&mut c, BlockId(1), 4).unwrap();
+        assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+        assert!(a.similarity(&a) > 0.999);
+    }
+
+    #[test]
+    fn survives_retention_aging() {
+        let mut c = chip(6);
+        let a = Fingerprint::enroll(&mut c, BlockId(0), 4).unwrap();
+        c.age_days(120.0);
+        let b = Fingerprint::enroll(&mut c, BlockId(0), 4).unwrap();
+        assert!(a.matches(&b), "fingerprint lost after 4 months: {}", a.similarity(&b));
+    }
+
+    #[test]
+    fn single_round_still_matches_multi_round() {
+        // More rounds = less noise, but even one round must identify.
+        let mut c = chip(7);
+        let a = Fingerprint::enroll(&mut c, BlockId(0), 8).unwrap();
+        let b = Fingerprint::enroll(&mut c, BlockId(0), 1).unwrap();
+        assert!(a.matches(&b), "1-vs-8 round similarity {}", a.similarity(&b));
+    }
+}

@@ -1,0 +1,43 @@
+//! # stash-fingerprint — flash variability as identity and entropy
+//!
+//! *Stash in a Flash* builds on a line of work (its refs \[16, 39\]) that
+//! uses the same physical variability VT-HI hides in for two other
+//! security primitives, both name-checked in the paper's §1/§2/§9.1:
+//!
+//! * **Device fingerprinting** — each cell's interference coupling is a
+//!   fixed manufacturing property, so the *pattern* of which erased cells
+//!   charge up when their neighbors are programmed identifies the physical
+//!   chip: "such fingerprints can be used to authenticate a device's
+//!   origin" (§2). See [`Fingerprint`].
+//! * **True random number generation** — programming noise is thermal and
+//!   shot noise; the low-order bits of probed voltage levels are physically
+//!   random. See [`FlashTrng`].
+//!
+//! Both primitives run on the same simulated chip as the hiding stack and
+//! use only standard tester commands plus the voltage probe.
+//!
+//! ```
+//! use stash_flash::{Chip, ChipProfile, BlockId};
+//! use stash_fingerprint::Fingerprint;
+//!
+//! # fn main() -> Result<(), stash_flash::FlashError> {
+//! let mut chip = Chip::new(ChipProfile::vendor_a_scaled(), 7);
+//! let enrolled = Fingerprint::enroll(&mut chip, BlockId(0), 4)?;
+//!
+//! // Months later, or in another lab: same silicon, fresh measurement.
+//! let probe = Fingerprint::enroll(&mut chip, BlockId(0), 4)?;
+//! assert!(enrolled.similarity(&probe) > 0.8);
+//!
+//! // A different physical chip of the same model does not match.
+//! let mut other = Chip::new(ChipProfile::vendor_a_scaled(), 8);
+//! let imposter = Fingerprint::enroll(&mut other, BlockId(0), 4)?;
+//! assert!(enrolled.similarity(&imposter) < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod fp;
+mod trng;
+
+pub use fp::Fingerprint;
+pub use trng::FlashTrng;

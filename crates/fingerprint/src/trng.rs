@@ -1,0 +1,156 @@
+//! A true random number generator harvesting flash programming noise
+//! (paper ref \[16\]: "flash memory for ubiquitous hardware security
+//! functions: true random number generation and device fingerprints").
+//!
+//! Each program operation charges cells with independent thermal/ISPP
+//! noise; the low-order bit of a probed voltage level is physically random.
+//! Raw harvested bits carry bias (the distribution is not symmetric around
+//! half-levels), so the generator conditions them with a von Neumann
+//! extractor before handing them out.
+
+use stash_flash::{BitPattern, BlockId, Chip, PageId, Result};
+
+/// Entropy source over one scratch block of a chip.
+#[derive(Debug)]
+pub struct FlashTrng<'c> {
+    chip: &'c mut Chip,
+    block: BlockId,
+    next_page: u32,
+    pool: Vec<u8>,
+}
+
+impl<'c> FlashTrng<'c> {
+    /// Creates a TRNG using `block` as scratch space (its contents are
+    /// destroyed as entropy is harvested).
+    pub fn new(chip: &'c mut Chip, block: BlockId) -> Self {
+        FlashTrng { chip, block, next_page: u32::MAX, pool: Vec::new() }
+    }
+
+    /// Fills `out` with conditioned random bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors from the harvesting programs/probes.
+    pub fn fill(&mut self, out: &mut [u8]) -> Result<()> {
+        for byte in out.iter_mut() {
+            while self.pool.is_empty() {
+                self.harvest()?;
+            }
+            *byte = self.pool.pop().expect("pool refilled");
+        }
+        Ok(())
+    }
+
+    /// Produces `n` conditioned random bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flash errors.
+    pub fn bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; n];
+        self.fill(&mut out)?;
+        Ok(out)
+    }
+
+    /// Programs one scratch page and distills its voltage noise into pool
+    /// bytes.
+    fn harvest(&mut self) -> Result<()> {
+        let pages = self.chip.geometry().pages_per_block;
+        if self.next_page >= pages {
+            self.chip.erase_block(self.block)?;
+            self.next_page = 0;
+        }
+        let cpp = self.chip.geometry().cells_per_page();
+        let page = PageId::new(self.block, self.next_page);
+        self.next_page += 1;
+
+        // Program everything: every cell receives fresh program noise.
+        self.chip.program_page(page, &BitPattern::zeros(cpp))?;
+        let levels = self.chip.probe_voltages(page)?;
+
+        // Raw bit = LSB of the measured level; condition with von Neumann
+        // (01 -> 0, 10 -> 1, 00/11 -> discard) to strip bias.
+        let mut bit_acc = 0u8;
+        let mut bit_count = 0u8;
+        for pair in levels.chunks(2) {
+            if pair.len() < 2 {
+                break;
+            }
+            let (a, b) = (pair[0] & 1, pair[1] & 1);
+            if a == b {
+                continue;
+            }
+            bit_acc = (bit_acc << 1) | a;
+            bit_count += 1;
+            if bit_count == 8 {
+                self.pool.push(bit_acc);
+                bit_acc = 0;
+                bit_count = 0;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_flash::ChipProfile;
+
+    fn chip(seed: u64) -> Chip {
+        Chip::new(ChipProfile::vendor_a_scaled(), seed)
+    }
+
+    #[test]
+    fn produces_requested_bytes() {
+        let mut c = chip(1);
+        let mut trng = FlashTrng::new(&mut c, BlockId(7));
+        let bytes = trng.bytes(1024).unwrap();
+        assert_eq!(bytes.len(), 1024);
+    }
+
+    #[test]
+    fn output_is_balanced() {
+        let mut c = chip(2);
+        let mut trng = FlashTrng::new(&mut c, BlockId(7));
+        let bytes = trng.bytes(8192).unwrap();
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        let frac = f64::from(ones) / (8192.0 * 8.0);
+        assert!((0.48..0.52).contains(&frac), "ones fraction {frac}");
+    }
+
+    #[test]
+    fn output_has_no_gross_byte_bias() {
+        let mut c = chip(3);
+        let mut trng = FlashTrng::new(&mut c, BlockId(7));
+        let bytes = trng.bytes(16384).unwrap();
+        let mut counts = [0u32; 256];
+        for &b in &bytes {
+            counts[b as usize] += 1;
+        }
+        // Chi-square against uniform: expected 64 per bucket.
+        let expected = 16384.0 / 256.0;
+        let chi2: f64 =
+            counts.iter().map(|&c| (f64::from(c) - expected).powi(2) / expected).sum();
+        // 255 degrees of freedom: mean 255, sd ~22.6; 5 sigma ≈ 368.
+        assert!(chi2 < 368.0, "chi-square {chi2}");
+    }
+
+    #[test]
+    fn consecutive_outputs_differ() {
+        let mut c = chip(4);
+        let mut trng = FlashTrng::new(&mut c, BlockId(7));
+        let a = trng.bytes(64).unwrap();
+        let b = trng.bytes(64).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_chips_produce_distinct_streams() {
+        let mut c1 = chip(5);
+        let mut c2 = chip(6);
+        let a = FlashTrng::new(&mut c1, BlockId(7)).bytes(64).unwrap();
+        let b = FlashTrng::new(&mut c2, BlockId(7)).bytes(64).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Bit-error-rate measurement helpers.
+//!
+//! The paper's reliability metric throughout §6.3 and §8 is the raw BER of
+//! a decoded payload against the payload that was stored.
+
+use crate::bits::BitPattern;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+
+/// Accumulated bit-error statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitErrorStats {
+    /// Bits that differed.
+    pub errors: u64,
+    /// Bits compared.
+    pub bits: u64,
+}
+
+impl BitErrorStats {
+    /// Compares a read-back pattern against the stored reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the patterns have different lengths.
+    pub fn compare(stored: &BitPattern, read: &BitPattern) -> Self {
+        BitErrorStats {
+            errors: stored.hamming_distance(read) as u64,
+            bits: stored.len() as u64,
+        }
+    }
+
+    /// Builds stats from raw counts.
+    pub fn from_counts(errors: u64, bits: u64) -> Self {
+        assert!(errors <= bits, "more errors than bits");
+        BitErrorStats { errors, bits }
+    }
+
+    /// Merges another measurement into this one.
+    pub fn absorb(&mut self, other: BitErrorStats) {
+        self.errors += other.errors;
+        self.bits += other.bits;
+    }
+
+    /// The bit-error rate; 0 when nothing was compared.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.bits as f64
+        }
+    }
+}
+
+impl Sum for BitErrorStats {
+    fn sum<I: Iterator<Item = BitErrorStats>>(iter: I) -> Self {
+        let mut acc = BitErrorStats::default();
+        for s in iter {
+            acc.absorb(s);
+        }
+        acc
+    }
+}
+
+impl fmt::Display for BitErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} bits ({:.4}%)", self.errors, self.bits, self.ber() * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_counts_errors() {
+        let a = BitPattern::from_bytes(&[0b1111_0000], 8);
+        let b = BitPattern::from_bytes(&[0b1110_0001], 8);
+        let s = BitErrorStats::compare(&a, &b);
+        assert_eq!(s.errors, 2);
+        assert_eq!(s.bits, 8);
+        assert!((s.ber() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_and_sum() {
+        let s1 = BitErrorStats::from_counts(1, 100);
+        let s2 = BitErrorStats::from_counts(3, 100);
+        let total: BitErrorStats = [s1, s2].into_iter().sum();
+        assert_eq!(total.errors, 4);
+        assert_eq!(total.bits, 200);
+        assert!((total.ber() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(BitErrorStats::default().ber(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more errors than bits")]
+    fn invalid_counts_panic() {
+        let _ = BitErrorStats::from_counts(2, 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Bit-pattern buffers exchanged with the chip.
+//!
+//! Flash testers move page-sized bit patterns: the data pattern handed to a
+//! `PROGRAM` command, the pattern returned by a `READ`, and the cell masks
+//! used by partial programming. [`BitPattern`] is a compact, byte-backed bit
+//! vector with MSB-first bit order (bit 0 of the pattern is the most
+//! significant bit of byte 0, matching how pages are laid out on the bus).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use rand::Rng;
+
+/// A fixed-length sequence of bits backed by bytes, MSB-first.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitPattern {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitPattern {
+    /// All-`0` pattern of `len` bits. In flash terms: every cell programmed.
+    pub fn zeros(len: usize) -> Self {
+        BitPattern { bytes: vec![0u8; len.div_ceil(8)], len }
+    }
+
+    /// All-`1` pattern of `len` bits. In flash terms: every cell left erased.
+    pub fn ones(len: usize) -> Self {
+        let mut p = BitPattern { bytes: vec![0xFFu8; len.div_ceil(8)], len };
+        p.mask_tail();
+        p
+    }
+
+    /// Uniformly random pattern — the "pseudorandom data" the paper programs
+    /// when characterizing chips (§4), emulating encrypted public data.
+    pub fn random_half<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut bytes = vec![0u8; len.div_ceil(8)];
+        rng.fill(&mut bytes[..]);
+        let mut p = BitPattern { bytes, len };
+        p.mask_tail();
+        p
+    }
+
+    /// Builds a pattern from bytes, using the first `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(bytes.len() * 8 >= len, "need {len} bits, got {}", bytes.len() * 8);
+        let mut v = bytes[..len.div_ceil(8)].to_vec();
+        v.truncate(len.div_ceil(8));
+        let mut p = BitPattern { bytes: v, len };
+        p.mask_tail();
+        p
+    }
+
+    /// Builds a pattern of `len` bits from an iterator of booleans
+    /// (`true` = bit 1).
+    pub fn from_bits<I: IntoIterator<Item = bool>>(len: usize, bits: I) -> Self {
+        let mut p = BitPattern::zeros(len);
+        let mut n = 0;
+        for (i, b) in bits.into_iter().take(len).enumerate() {
+            if b {
+                p.set(i, true);
+            }
+            n = i + 1;
+        }
+        assert_eq!(n, len, "iterator yielded {n} bits, expected {len}");
+        p
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the pattern holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing bytes (the final partial byte, if any, is zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.bytes[i / 8] >> (7 - (i % 8))) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u8 << (7 - (i % 8));
+        if v {
+            self.bytes[i / 8] |= mask;
+        } else {
+            self.bytes[i / 8] &= !mask;
+        }
+    }
+
+    /// Number of `1` bits.
+    pub fn count_ones(&self) -> usize {
+        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Number of `0` bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Number of differing bit positions between two equal-length patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &BitPattern) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.bytes
+            .iter()
+            .zip(&other.bytes)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over the bits as booleans.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { pattern: self, idx: 0 }
+    }
+
+    /// Indices of all `1` bits, ascending.
+    pub fn one_positions(&self) -> Vec<usize> {
+        self.iter().enumerate().filter_map(|(i, b)| b.then_some(i)).collect()
+    }
+
+    /// Zeroes the padding bits beyond `len` in the final byte so that
+    /// byte-level operations (`count_ones`, `hamming_distance`) stay exact.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 8;
+        if rem != 0 {
+            if let Some(last) = self.bytes.last_mut() {
+                *last &= 0xFFu8 << (8 - rem);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitPattern({} bits, {} ones)", self.len, self.count_ones())
+    }
+}
+
+/// Iterator returned by [`BitPattern::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    pattern: &'a BitPattern,
+    idx: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.idx < self.pattern.len {
+            let b = self.pattern.get(self.idx);
+            self.idx += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.pattern.len - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a BitPattern {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<bool> for BitPattern {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitPattern::from_bits(bits.len(), bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitPattern::zeros(13);
+        assert_eq!(z.len(), 13);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitPattern::ones(13);
+        assert_eq!(o.count_ones(), 13);
+        assert_eq!(o.count_zeros(), 0);
+        // Padding bits must not leak into counts.
+        assert_eq!(o.as_bytes()[1] & 0b0000_0111, 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut p = BitPattern::zeros(20);
+        p.set(0, true);
+        p.set(7, true);
+        p.set(8, true);
+        p.set(19, true);
+        assert!(p.get(0) && p.get(7) && p.get(8) && p.get(19));
+        assert!(!p.get(1) && !p.get(18));
+        assert_eq!(p.count_ones(), 4);
+        p.set(8, false);
+        assert!(!p.get(8));
+        assert_eq!(p.count_ones(), 3);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut p = BitPattern::zeros(8);
+        p.set(0, true);
+        assert_eq!(p.as_bytes()[0], 0b1000_0000);
+        p.set(7, true);
+        assert_eq!(p.as_bytes()[0], 0b1000_0001);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        let a = BitPattern::from_bytes(&[0b1010_1010], 8);
+        let b = BitPattern::from_bytes(&[0b0101_0101], 8);
+        assert_eq!(a.hamming_distance(&b), 8);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn one_positions_ascending() {
+        let p = BitPattern::from_bytes(&[0b0100_0100, 0b1000_0000], 9);
+        assert_eq!(p.one_positions(), vec![1, 5, 8]);
+    }
+
+    #[test]
+    fn random_half_is_roughly_balanced() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let p = BitPattern::random_half(&mut rng, 80_000);
+        let ones = p.count_ones() as f64 / 80_000.0;
+        assert!((0.48..0.52).contains(&ones), "ones fraction {ones}");
+    }
+
+    #[test]
+    fn from_bits_and_iter_roundtrip() {
+        let bits = [true, false, true, true, false];
+        let p = BitPattern::from_bits(5, bits.iter().copied());
+        let back: Vec<bool> = p.iter().collect();
+        assert_eq!(back, bits);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: BitPattern = [true, true, false].into_iter().collect();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitPattern::zeros(4).get(4);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", BitPattern::zeros(0)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_bytes(bytes in proptest::collection::vec(any::<u8>(), 1..64)) {
+            let len = bytes.len() * 8;
+            let p = BitPattern::from_bytes(&bytes, len);
+            prop_assert_eq!(p.as_bytes(), &bytes[..]);
+            for i in 0..len {
+                prop_assert_eq!(p.get(i), (bytes[i / 8] >> (7 - i % 8)) & 1 == 1);
+            }
+        }
+
+        #[test]
+        fn prop_hamming_symmetric(a in proptest::collection::vec(any::<u8>(), 8),
+                                  b in proptest::collection::vec(any::<u8>(), 8)) {
+            let pa = BitPattern::from_bytes(&a, 64);
+            let pb = BitPattern::from_bytes(&b, 64);
+            prop_assert_eq!(pa.hamming_distance(&pb), pb.hamming_distance(&pa));
+        }
+
+        #[test]
+        fn prop_ones_zeros_sum(len in 1usize..200, seed in any::<u64>()) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let p = BitPattern::random_half(&mut rng, len);
+            prop_assert_eq!(p.count_ones() + p.count_zeros(), len);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-block simulation state.
+//!
+//! A chip tracks a small permanent record per block (wear, bad-block flag,
+//! PT-HI stress damage, manufacturing offsets) and materializes the bulky
+//! per-cell voltage state lazily — a paper-geometry block holds 37 M cells,
+//! so experiments touch a handful of blocks at a time and may
+//! [`discard`](crate::Chip::discard_block_state) voltage state they are done
+//! with while keeping the block's physical identity (wear, offsets, damage).
+
+use std::collections::HashMap;
+
+/// Bulky, lazily-materialized per-cell state of one erase block.
+#[derive(Debug, Clone)]
+pub(crate) struct VoltState {
+    /// True (analog) voltage per cell; may be negative (unmeasurable).
+    pub voltages: Vec<f32>,
+    /// Whether each page has been programmed since the last erase.
+    pub page_programmed: Vec<bool>,
+    /// Bitset over cells that received partial-program charge since the
+    /// last erase (leaks faster; see the retention model).
+    pub pp_written: Option<Vec<u64>>,
+    /// Days of retention aging accumulated since the last erase.
+    pub aged_days: f64,
+    /// Reads since last erase (read-disturb accounting).
+    pub read_count: u64,
+}
+
+impl VoltState {
+    pub(crate) fn new(cells: usize, pages: usize) -> Self {
+        VoltState {
+            voltages: vec![0.0; cells],
+            page_programmed: vec![false; pages],
+            pp_written: None,
+            aged_days: 0.0,
+            read_count: 0,
+        }
+    }
+
+    /// Marks a cell as carrying partial-program charge.
+    pub(crate) fn mark_pp(&mut self, cell: usize) {
+        let words = self.voltages.len().div_ceil(64);
+        let set = self.pp_written.get_or_insert_with(|| vec![0u64; words]);
+        set[cell / 64] |= 1u64 << (cell % 64);
+    }
+
+    /// Whether a cell carries partial-program charge.
+    pub(crate) fn is_pp(&self, cell: usize) -> bool {
+        match &self.pp_written {
+            Some(set) => set[cell / 64] & (1u64 << (cell % 64)) != 0,
+            None => false,
+        }
+    }
+}
+
+/// Permanent per-block record: survives voltage-state discard and erases.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockMeta {
+    /// Program/erase cycles endured.
+    pub pec: u32,
+    /// Bad-block flag.
+    pub bad: bool,
+    /// PT-HI stress damage: per-cell additive program-speed delta.
+    pub stress: HashMap<usize, f32>,
+    /// Cached per-cell interference coupling (only for small geometries).
+    pub coupling_cache: Option<Vec<f32>>,
+    /// Materialized voltage state, if any.
+    pub state: Option<Box<VoltState>>,
+}
+
+impl BlockMeta {
+    pub(crate) fn new() -> Self {
+        BlockMeta { pec: 0, bad: false, stress: HashMap::new(), coupling_cache: None, state: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_bitset_marks_and_reads() {
+        let mut s = VoltState::new(130, 2);
+        assert!(!s.is_pp(0));
+        assert!(!s.is_pp(129));
+        s.mark_pp(0);
+        s.mark_pp(64);
+        s.mark_pp(129);
+        assert!(s.is_pp(0) && s.is_pp(64) && s.is_pp(129));
+        assert!(!s.is_pp(1) && !s.is_pp(63) && !s.is_pp(128));
+    }
+
+    #[test]
+    fn fresh_meta_is_clean() {
+        let m = BlockMeta::new();
+        assert_eq!(m.pec, 0);
+        assert!(!m.bad);
+        assert!(m.state.is_none());
+        assert!(m.stress.is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for flash operations.
+
+use crate::geometry::{BlockId, PageId};
+use std::fmt;
+
+/// Errors returned by [`Chip`](crate::Chip) operations.
+///
+/// These mirror the failure modes a real flash tester reports: addressing
+/// outside the package geometry, violating the program-once-per-erase
+/// constraint, operating on a block marked bad, or handing a data pattern
+/// whose length does not match the page size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The block index is outside the chip geometry.
+    BlockOutOfRange(BlockId),
+    /// The page index is outside the block.
+    PageOutOfRange(PageId),
+    /// A full program was issued to a page that was already programmed since
+    /// the last erase (flash forbids in-place updates; see paper §3).
+    PageAlreadyProgrammed(PageId),
+    /// A partial program or stress operation was issued to a page that has
+    /// not been programmed since the last erase; the hiding pass runs on top
+    /// of public data.
+    PageNotProgrammed(PageId),
+    /// The operation targeted a block marked bad.
+    BadBlock(BlockId),
+    /// A supplied bit pattern does not match the page size.
+    PatternLength {
+        /// Cells per page required by the geometry.
+        expected: usize,
+        /// Bits actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BlockOutOfRange(b) => write!(f, "block {b} outside chip geometry"),
+            FlashError::PageOutOfRange(p) => write!(f, "page {p} outside block"),
+            FlashError::PageAlreadyProgrammed(p) => {
+                write!(f, "page {p} already programmed since last erase")
+            }
+            FlashError::PageNotProgrammed(p) => {
+                write!(f, "page {p} not programmed since last erase")
+            }
+            FlashError::BadBlock(b) => write!(f, "block {b} is marked bad"),
+            FlashError::PatternLength { expected, got } => {
+                write!(f, "bit pattern has {got} bits, page holds {expected} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            FlashError::BlockOutOfRange(BlockId(9)),
+            FlashError::PageOutOfRange(PageId::new(BlockId(1), 2)),
+            FlashError::PageAlreadyProgrammed(PageId::new(BlockId(0), 0)),
+            FlashError::PageNotProgrammed(PageId::new(BlockId(0), 1)),
+            FlashError::BadBlock(BlockId(4)),
+            FlashError::PatternLength { expected: 8, got: 4 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<FlashError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Voltage-level histograms — the measurement the paper's Figures 2, 3, 5,
+//! 8 and 9 plot, and the feature vector its SVM adversary trains on.
+
+use crate::Level;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A histogram over the 256 normalized voltage levels.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; 256], total: 0 }
+    }
+
+    /// Builds a histogram from probed levels.
+    pub fn from_levels(levels: &[Level]) -> Self {
+        let mut h = Histogram::new();
+        h.add_levels(levels);
+        h
+    }
+
+    /// Accumulates more probed levels.
+    pub fn add_levels(&mut self, levels: &[Level]) {
+        for &l in levels {
+            self.counts[l as usize] += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Total cells counted.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count at one level.
+    pub fn count(&self, level: Level) -> u64 {
+        self.counts[level as usize]
+    }
+
+    /// Percentage of all counted cells at one level — the paper's y-axis
+    /// ("% of cells in block/page").
+    pub fn pct(&self, level: Level) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.counts[level as usize] as f64 / self.total as f64
+        }
+    }
+
+    /// Fraction of cells with level in `lo..=hi`.
+    pub fn fraction_in(&self, lo: Level, hi: Level) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts[lo as usize..=hi as usize].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Fraction of cells with level ≥ `threshold`.
+    pub fn fraction_at_or_above(&self, threshold: Level) -> f64 {
+        self.fraction_in(threshold, 255)
+    }
+
+    /// Mean measured level.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.counts.iter().enumerate().map(|(l, &c)| l as f64 * c as f64).sum();
+        sum / self.total as f64
+    }
+
+    /// Standard deviation of the measured level.
+    pub fn std_dev(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| c as f64 * (l as f64 - m).powi(2))
+            .sum::<f64>()
+            / self.total as f64;
+        var.sqrt()
+    }
+
+    /// Normalized 256-bin density vector (sums to 1), the SVM feature layout.
+    pub fn to_feature_vector(&self) -> Vec<f64> {
+        let t = self.total.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// The paper restricts its erased-state plots to levels `[10, 70]` and
+    /// programmed plots to `[120, 210]`; this renders one such series as
+    /// `(level, pct)` pairs.
+    pub fn series(&self, lo: Level, hi: Level) -> Vec<(Level, f64)> {
+        (lo..=hi).map(|l| (l, self.pct(l))).collect()
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram(total={}, mean={:.2}, sd={:.2})",
+            self.total,
+            self.mean(),
+            self.std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_pct() {
+        let h = Histogram::from_levels(&[10, 10, 20, 30]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.count(10), 2);
+        assert!((h.pct(10) - 50.0).abs() < 1e-12);
+        assert!((h.pct(20) - 25.0).abs() < 1e-12);
+        assert_eq!(h.pct(11), 0.0);
+    }
+
+    #[test]
+    fn fraction_ranges() {
+        let h = Histogram::from_levels(&[0, 34, 35, 70, 200]);
+        assert!((h.fraction_at_or_above(34) - 0.8).abs() < 1e-12);
+        assert!((h.fraction_in(34, 70) - 0.6).abs() < 1e-12);
+        assert!((h.fraction_in(0, 0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let h = Histogram::from_levels(&[10, 20]);
+        assert!((h.mean() - 15.0).abs() < 1e-12);
+        assert!((h.std_dev() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::from_levels(&[1, 2]);
+        let b = Histogram::from_levels(&[2, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    fn feature_vector_sums_to_one() {
+        let h = Histogram::from_levels(&[5, 6, 7, 8, 9, 10]);
+        let f = h.to_feature_vector();
+        assert_eq!(f.len(), 256);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), 0.0);
+        assert_eq!(h.pct(0), 0.0);
+        assert_eq!(h.fraction_at_or_above(0), 0.0);
+    }
+
+    #[test]
+    fn series_covers_range() {
+        let h = Histogram::from_levels(&[12, 12, 13]);
+        let s = h.series(10, 15);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[2].0, 12);
+        assert!(s[2].1 > s[3].1);
+    }
+}

@@ -1,0 +1,212 @@
+//! Operation accounting: counts, simulated device time, simulated energy.
+//!
+//! The paper's §8 throughput and energy comparisons are arithmetic over
+//! operation counts and the per-operation latencies/energies of §6.1. The
+//! meter performs exactly that arithmetic as a side effect of running the
+//! real encode/decode code paths, so Table 1 and the 24x/50x/37x headline
+//! ratios fall out of executed work rather than hand-computed formulas.
+
+use crate::profile::TimingModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The tester-visible operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Page read (standard or threshold-shifted — same command timing).
+    Read,
+    /// Full page program.
+    Program,
+    /// Block erase.
+    Erase,
+    /// Partial-program step (aborted program).
+    PartialProgram,
+    /// Per-cell voltage probe (vendor characterization command; billed as a
+    /// page read on the bus).
+    Probe,
+}
+
+impl OpKind {
+    /// All operation kinds, for iteration in reports.
+    pub const ALL: [OpKind; 5] =
+        [OpKind::Read, OpKind::Program, OpKind::Erase, OpKind::PartialProgram, OpKind::Probe];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Read => "read",
+            OpKind::Program => "program",
+            OpKind::Erase => "erase",
+            OpKind::PartialProgram => "partial-program",
+            OpKind::Probe => "probe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cumulative operation counters with simulated time and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MeterSnapshot {
+    /// Operation counts indexed like [`OpKind::ALL`].
+    counts: [u64; 5],
+    /// Total simulated device time, microseconds.
+    pub device_time_us: f64,
+    /// Total simulated energy, microjoules.
+    pub energy_uj: f64,
+}
+
+impl MeterSnapshot {
+    /// Count of one operation kind.
+    pub fn count(&self, kind: OpKind) -> u64 {
+        self.counts[Self::idx(kind)]
+    }
+
+    /// Total operations of all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Component-wise difference `self - earlier` (for measuring a phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        let mut out = MeterSnapshot::default();
+        for i in 0..5 {
+            debug_assert!(self.counts[i] >= earlier.counts[i]);
+            out.counts[i] = self.counts[i] - earlier.counts[i];
+        }
+        out.device_time_us = self.device_time_us - earlier.device_time_us;
+        out.energy_uj = self.energy_uj - earlier.energy_uj;
+        out
+    }
+
+    fn idx(kind: OpKind) -> usize {
+        match kind {
+            OpKind::Read => 0,
+            OpKind::Program => 1,
+            OpKind::Erase => 2,
+            OpKind::PartialProgram => 3,
+            OpKind::Probe => 4,
+        }
+    }
+}
+
+impl fmt::Display for MeterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} programs={} erases={} pp={} probes={} time={:.3}ms energy={:.3}mJ",
+            self.count(OpKind::Read),
+            self.count(OpKind::Program),
+            self.count(OpKind::Erase),
+            self.count(OpKind::PartialProgram),
+            self.count(OpKind::Probe),
+            self.device_time_us / 1e3,
+            self.energy_uj / 1e3,
+        )
+    }
+}
+
+/// The live meter owned by a [`Chip`](crate::Chip).
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    snap: MeterSnapshot,
+}
+
+impl Meter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Records one operation using the chip's timing model.
+    pub fn record(&mut self, kind: OpKind, timing: &TimingModel) {
+        let (us, uj) = match kind {
+            OpKind::Read | OpKind::Probe => (timing.read_us, timing.read_uj),
+            OpKind::Program => (timing.program_us, timing.program_uj),
+            OpKind::Erase => (timing.erase_us, timing.erase_uj),
+            OpKind::PartialProgram => (timing.partial_program_us, timing.partial_program_uj),
+        };
+        self.snap.counts[MeterSnapshot::idx(kind)] += 1;
+        self.snap.device_time_us += us;
+        self.snap.energy_uj += uj;
+    }
+
+    /// Current cumulative totals.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        self.snap
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.snap = MeterSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> TimingModel {
+        TimingModel::paper_vendor_a()
+    }
+
+    #[test]
+    fn record_accumulates_time_and_energy() {
+        let mut m = Meter::new();
+        m.record(OpKind::Read, &timing());
+        m.record(OpKind::Program, &timing());
+        m.record(OpKind::Erase, &timing());
+        let s = m.snapshot();
+        assert_eq!(s.count(OpKind::Read), 1);
+        assert_eq!(s.total_ops(), 3);
+        assert!((s.device_time_us - (90.0 + 1200.0 + 5000.0)).abs() < 1e-9);
+        assert!((s.energy_uj - (50.0 + 68.0 + 190.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_billed_as_read() {
+        let mut m = Meter::new();
+        m.record(OpKind::Probe, &timing());
+        let s = m.snapshot();
+        assert_eq!(s.count(OpKind::Probe), 1);
+        assert_eq!(s.count(OpKind::Read), 0);
+        assert!((s.device_time_us - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_diffs_phases() {
+        let mut m = Meter::new();
+        m.record(OpKind::Program, &timing());
+        let mark = m.snapshot();
+        m.record(OpKind::PartialProgram, &timing());
+        m.record(OpKind::PartialProgram, &timing());
+        let d = m.snapshot().since(&mark);
+        assert_eq!(d.count(OpKind::PartialProgram), 2);
+        assert_eq!(d.count(OpKind::Program), 0);
+        assert!((d.device_time_us - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_vthi_page_energy_is_1_1_mj() {
+        // §8: ten PP+read iterations per hidden page ≈ 1.1 mJ.
+        let mut m = Meter::new();
+        for _ in 0..10 {
+            m.record(OpKind::PartialProgram, &timing());
+            m.record(OpKind::Read, &timing());
+        }
+        let mj = m.snapshot().energy_uj / 1000.0;
+        assert!((1.05..1.15).contains(&mj), "energy {mj} mJ");
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut m = Meter::new();
+        m.record(OpKind::Read, &timing());
+        let s = m.snapshot().to_string();
+        assert!(s.contains("reads=1"));
+    }
+}

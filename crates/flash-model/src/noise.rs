@@ -1,0 +1,115 @@
+//! Gaussian and mixture sampling for the voltage model.
+//!
+//! `rand_distr` is deliberately not a dependency (the approved dependency
+//! list is minimal); the Box–Muller transform below is all the simulator
+//! needs, and caching the second variate keeps it fast enough to program
+//! full 18 KB pages (≈144 K samples) in a few milliseconds.
+
+use rand::Rng;
+
+/// A Box–Muller standard-normal sampler that caches the spare variate.
+#[derive(Debug, Clone, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with an empty cache.
+    pub fn new() -> Self {
+        Gaussian { spare: None }
+    }
+
+    /// Draws one standard-normal variate using `rng` for uniforms.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller: two uniforms -> two independent normals.
+        let u1: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws a normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.sample(rng)
+    }
+}
+
+/// Standard normal cumulative distribution function (Abramowitz–Stegun
+/// 7.1.26-based erf approximation, max error ≈ 1.5e-7). Used by calibration
+/// tests and the analytic throughput model, not in the sampling hot path.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - y * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn gaussian_mean_and_variance() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut g = Gaussian::new();
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = g.sample(&mut rng);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_tail_fractions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut g = Gaussian::new();
+        let n = 400_000;
+        let above2 = (0..n).filter(|_| g.sample(&mut rng) > 2.0).count() as f64 / n as f64;
+        // P(Z > 2) = 2.275%
+        assert!((0.019..0.027).contains(&above2), "tail {above2}");
+    }
+
+    #[test]
+    fn sample_with_scales() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut g = Gaussian::new();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| g.sample_with(&mut rng, 10.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 3e-4);
+        assert!((normal_cdf(4.0) - 0.999_968_3).abs() < 1e-5);
+        assert!(normal_cdf(-8.0) < 1e-10);
+    }
+}

@@ -1,0 +1,430 @@
+//! Chip calibration profiles.
+//!
+//! Every numeric constant of the voltage model lives here, so that (a) the
+//! calibration tests can assert the paper-reported statistics against one
+//! authoritative parameter set, and (b) a second "vendor" is just a second
+//! profile (the paper verifies applicability on a chip from a different
+//! vendor in §8).
+
+use crate::geometry::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// Latency and energy of each tester-visible operation, from paper §6.1:
+/// read 90 µs / 50 µJ, program 1200 µs / 68 µJ, erase 5 ms / 190 µJ, and a
+/// partial-program step of 600 µs (§8 throughput model). The paper's §8
+/// energy arithmetic implies ≈60 µJ per PP step (10 steps · (PP + read)
+/// ≈ 1.1 mJ per hidden page).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Page-read latency, microseconds.
+    pub read_us: f64,
+    /// Page-program latency, microseconds.
+    pub program_us: f64,
+    /// Block-erase latency, microseconds.
+    pub erase_us: f64,
+    /// Partial-program step latency, microseconds.
+    pub partial_program_us: f64,
+    /// Page-read energy, microjoules.
+    pub read_uj: f64,
+    /// Page-program energy, microjoules.
+    pub program_uj: f64,
+    /// Block-erase energy, microjoules.
+    pub erase_uj: f64,
+    /// Partial-program step energy, microjoules.
+    pub partial_program_uj: f64,
+}
+
+impl TimingModel {
+    /// The paper's vendor-A timings (§6.1, §8).
+    pub fn paper_vendor_a() -> Self {
+        TimingModel {
+            read_us: 90.0,
+            program_us: 1200.0,
+            erase_us: 5000.0,
+            partial_program_us: 600.0,
+            read_uj: 50.0,
+            program_uj: 68.0,
+            erase_uj: 190.0,
+            partial_program_uj: 60.0,
+        }
+    }
+}
+
+/// Parameters of one charge-state distribution (true voltage, in normalized
+/// level units; negative values are physical but measured as 0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateModel {
+    /// Mean of the true voltage right after the state is established.
+    pub mean: f64,
+    /// Per-cell programming-noise standard deviation.
+    pub sigma: f64,
+    /// Rightward mean drift per 1000 PEC (overprogramming of worn cells,
+    /// paper Fig. 3).
+    pub drift_per_kpec: f64,
+    /// Additional sigma per 1000 PEC (distributions widen with wear).
+    pub widen_per_kpec: f64,
+}
+
+/// Program-interference model: programming a wordline couples charge onto
+/// its neighbors (paper §4, Fig. 2a: "non-programmed cells become partially
+/// charged due to interference from programming nearby cells").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceModel {
+    /// Mean voltage bump induced on an adjacent wordline per program
+    /// operation, before per-cell coupling is applied.
+    pub bump_mean: f64,
+    /// Standard deviation of that bump.
+    pub bump_sigma: f64,
+    /// Attenuation factor for wordlines at distance 2.
+    pub distance2_factor: f64,
+    /// Fraction of the full-program bump caused by one partial-program step.
+    pub pp_factor: f64,
+    /// Median of the per-cell lognormal coupling latent.
+    pub coupling_median: f64,
+    /// Log-sigma of the coupling latent (heavy tail ⇒ a small share of
+    /// erased cells charges far enough to be measured positive).
+    pub coupling_sigma_ln: f64,
+    /// Cap on the coupling latent so no erased cell ever approaches the SLC
+    /// read reference.
+    pub coupling_cap: f64,
+    /// Probability that one partial-program step turns a cell of an adjacent
+    /// wordline erratic (drives the public-data BER increase the paper
+    /// measures at small page intervals: +20% at interval 0, +10% at 1).
+    pub pp_disturb_defect_prob: f64,
+    /// Log-sigma of the per-block interference-strength latent. This
+    /// variation is *independent* of the block's voltage offset, so an
+    /// adversary cannot cancel the erased-tail noise using the programmed
+    /// lobe — the irreducible cover noise VT-HI hides in (paper §4).
+    pub bump_scale_sigma_block: f64,
+    /// Log-sigma of the per-page interference-strength latent (pages vary
+    /// more than blocks, paper Fig. 2c).
+    pub bump_scale_sigma_page: f64,
+    /// Log-jitter of the per-block coupling *median* (block-to-block tail
+    /// mass variation, independent of voltage offsets).
+    pub coupling_median_jitter: f64,
+    /// Additive jitter of the per-block coupling log-sigma: varies the
+    /// *slope* of the erased tail per block. A fatter-than-usual natural
+    /// tail looks exactly like a block with hidden data — this is the
+    /// cover noise that defeats the §7 SVM at matched wear.
+    pub coupling_sigma_jitter: f64,
+    /// Voltage at which interference coupling stops adding charge; bumps
+    /// are damped by `(1 - v/ceiling)` so no erased cell drifts toward the
+    /// read reference.
+    pub interference_saturation: f64,
+}
+
+/// Partial-program (PP) step model: an aborted program operation adds a
+/// coarse, noisy increment of charge (paper §6.2: "PP is less precise than a
+/// program command issued by the controller").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialProgramModel {
+    /// Mean raw charge injected per step for a cell with unit PP efficiency
+    /// (level units, before saturation).
+    pub step_mean: f64,
+    /// Per-step noise standard deviation.
+    pub step_sigma: f64,
+    /// Log-sigma of the per-cell PP-efficiency latent (slow cells stretch
+    /// the BER-vs-steps convergence of Fig. 6).
+    pub eff_sigma_ln: f64,
+    /// Saturation voltage of partial programming: injected charge decays
+    /// exponentially toward this level (`v' = S − (S − v)·e^(−inc/S)`), so
+    /// an aborted program can never push a cell anywhere near the SLC read
+    /// reference — hidden cells stay inside the erased distribution's range,
+    /// as the paper's Figures 5 and 8 show.
+    pub saturation: f64,
+}
+
+/// Retention model: charge leaks over time, faster for worn cells (trapped
+/// charge, paper §8 "Reliability") and faster for charge deposited by
+/// partial programming (no guard band; shallowly trapped).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionModel {
+    /// Baseline voltage-loss coefficient at PEC 0 (level units at the
+    /// programmed reference voltage after the full `horizon_days`).
+    pub base_loss: f64,
+    /// Additional loss per (PEC/1000)^`pec_exponent`.
+    pub loss_per_kpec: f64,
+    /// Wear exponent.
+    pub pec_exponent: f64,
+    /// Time constant (days) of the logarithmic decay law.
+    pub tau_days: f64,
+    /// Horizon (days) at which `base_loss`/`loss_per_kpec` are calibrated;
+    /// the paper's longest oven-emulated retention period is 4 months.
+    pub horizon_days: f64,
+    /// Reference voltage at which the loss coefficients are expressed;
+    /// actual loss scales with `v / reference_voltage`.
+    pub reference_voltage: f64,
+    /// Extra leakage multiplier for charge written by partial programming.
+    pub pp_penalty: f64,
+    /// Per-cell noise of the loss (level units).
+    pub noise_sigma: f64,
+}
+
+/// MLC-mode lobe placement (paper §3/§6.2: the same cells can operate at
+/// higher densities; "MLC distributions are typically narrower", Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlcModel {
+    /// Mean level of the L1 (gray `10`) lobe.
+    pub l1_mean: f64,
+    /// Mean level of the L2 (gray `00`) lobe.
+    pub l2_mean: f64,
+    /// Mean level of the L3 (gray `01`) lobe.
+    pub l3_mean: f64,
+    /// Per-lobe programming sigma (narrower than SLC).
+    pub sigma: f64,
+    /// Read reference voltages between lobes: [R1, R2, R3].
+    pub read_refs: [u8; 3],
+}
+
+/// Complete calibration of one chip model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipProfile {
+    /// Human-readable model name (vendors are anonymized, as in the paper).
+    pub name: String,
+    /// Package geometry.
+    pub geometry: Geometry,
+    /// Erased-state (logical `1`) distribution; mean is negative — most
+    /// erased cells are not measurable (paper §4 footnote).
+    pub erased: StateModel,
+    /// Programmed-state (logical `0`) distribution.
+    pub programmed: StateModel,
+    /// Chip-to-chip manufacturing offset sigma (level units).
+    pub chip_sigma: f64,
+    /// Block-to-block offset sigma.
+    pub block_sigma: f64,
+    /// Page-to-page offset sigma (pages are noisier than blocks, Fig. 2c/d).
+    pub page_sigma: f64,
+    /// Common-mode noise of one program pass over a page.
+    pub program_pass_sigma: f64,
+    /// Read-noise sigma (level units) applied per read/probe.
+    pub read_noise_sigma: f64,
+    /// Probability that a program operation leaves a cell erratic (uniform
+    /// random voltage) at PEC 0.
+    pub defect_prob_base: f64,
+    /// Additional erratic probability per 1000 PEC.
+    pub defect_prob_per_kpec: f64,
+    /// Interference model.
+    pub interference: InterferenceModel,
+    /// Partial-program model.
+    pub partial_program: PartialProgramModel,
+    /// Retention model.
+    pub retention: RetentionModel,
+    /// Intrinsic per-cell program-speed sigma (PT-HI substrate).
+    pub prog_speed_sigma: f64,
+    /// Fractional program-speed shift contributed by one stress cycle
+    /// (PT-HI encoding: hundreds of program cycles shift group timing).
+    pub stress_speed_per_cycle: f64,
+    /// PEC at which stress contrast has fully decayed (PT-HI reliability
+    /// collapses after a few hundred public PEC, paper §2/§8).
+    pub stress_decay_pec: f64,
+    /// MLC-mode calibration.
+    pub mlc: MlcModel,
+    /// Rated endurance in program/erase cycles (3000 for both vendors).
+    pub endurance_pec: u32,
+    /// Operation latencies and energies.
+    pub timing: TimingModel,
+}
+
+impl ChipProfile {
+    /// The paper's primary chip: 1x-nm MLC, vendor A (§6.1).
+    pub fn vendor_a() -> Self {
+        ChipProfile {
+            name: "vendor-A 1x-nm MLC 8GB".to_owned(),
+            geometry: Geometry::paper_vendor_a(),
+            erased: StateModel {
+                mean: -25.0,
+                sigma: 12.0,
+                drift_per_kpec: 2.2,
+                widen_per_kpec: 0.5,
+            },
+            programmed: StateModel {
+                mean: 165.0,
+                sigma: 9.0,
+                drift_per_kpec: 3.0,
+                widen_per_kpec: 0.8,
+            },
+            chip_sigma: 2.0,
+            block_sigma: 1.8,
+            page_sigma: 1.6,
+            program_pass_sigma: 0.8,
+            read_noise_sigma: 0.6,
+            defect_prob_base: 2.0e-5,
+            defect_prob_per_kpec: 0.7e-5,
+            interference: InterferenceModel {
+                bump_mean: 4.2,
+                bump_sigma: 1.8,
+                distance2_factor: 0.45,
+                pp_factor: 0.02,
+                coupling_median: 0.42,
+                coupling_sigma_ln: 1.0,
+                coupling_cap: 4.0,
+                pp_disturb_defect_prob: 1.3e-6,
+                bump_scale_sigma_block: 0.10,
+                bump_scale_sigma_page: 0.08,
+                coupling_median_jitter: 0.10,
+                coupling_sigma_jitter: 0.06,
+                interference_saturation: 110.0,
+            },
+            partial_program: PartialProgramModel {
+                step_mean: 65.0,
+                step_sigma: 12.0,
+                eff_sigma_ln: 0.45,
+                saturation: 68.0,
+            },
+            retention: RetentionModel {
+                base_loss: 0.03,
+                loss_per_kpec: 0.95,
+                pec_exponent: 1.7,
+                tau_days: 10.0,
+                horizon_days: 120.0,
+                reference_voltage: 165.0,
+                pp_penalty: 6.0,
+                noise_sigma: 0.10,
+            },
+            prog_speed_sigma: 0.06,
+            stress_speed_per_cycle: 4.0e-4,
+            stress_decay_pec: 1200.0,
+            mlc: MlcModel {
+                l1_mean: 85.0,
+                l2_mean: 145.0,
+                l3_mean: 200.0,
+                sigma: 5.5,
+                read_refs: [40, 115, 172],
+            },
+            endurance_pec: 3000,
+            timing: TimingModel::paper_vendor_a(),
+        }
+    }
+
+    /// The second major vendor's chip used for the applicability check (§8):
+    /// 16 GB, 2096 blocks, 18256-byte pages, slightly different noise.
+    pub fn vendor_b() -> Self {
+        let mut p = ChipProfile::vendor_a();
+        p.name = "vendor-B 1x-nm MLC 16GB".to_owned();
+        p.geometry = Geometry::paper_vendor_b();
+        // A different process corner: slightly wider programming noise and
+        // stronger interference coupling; same command set.
+        p.erased.mean = -23.0;
+        p.erased.sigma = 13.0;
+        p.programmed.mean = 168.0;
+        p.programmed.sigma = 9.8;
+        p.interference.bump_mean = 4.5;
+        p.interference.coupling_sigma_ln = 1.0;
+        p.partial_program.step_mean = 60.0;
+        p.partial_program.step_sigma = 13.0;
+        p.defect_prob_base = 2.6e-5;
+        p
+    }
+
+    /// Vendor-A physics on the scaled-down geometry used by the SVM
+    /// detectability experiments.
+    pub fn vendor_a_scaled() -> Self {
+        let mut p = ChipProfile::vendor_a();
+        p.name = "vendor-A (scaled geometry)".to_owned();
+        p.geometry = Geometry::scaled_svm();
+        p
+    }
+
+    /// Vendor-A physics on a tiny geometry for unit tests.
+    pub fn test_small() -> Self {
+        let mut p = ChipProfile::vendor_a();
+        p.name = "test-small".to_owned();
+        p.geometry = Geometry::tiny();
+        p
+    }
+
+    /// Erratic-cell probability per program operation at the given wear.
+    pub fn defect_prob(&self, pec: u32) -> f64 {
+        self.defect_prob_base + self.defect_prob_per_kpec * f64::from(pec) / 1000.0
+    }
+
+    /// The retention time factor: fraction of the `horizon_days` loss
+    /// realized after `days` (concave, logarithmic decay).
+    pub fn retention_time_factor(&self, days: f64) -> f64 {
+        let r = &self.retention;
+        if days <= 0.0 {
+            return 0.0;
+        }
+        (1.0 + days / r.tau_days).ln() / (1.0 + r.horizon_days / r.tau_days).ln()
+    }
+
+    /// Total voltage loss (level units) for a cell at voltage `v`, wear
+    /// `pec`, between ages `from_days` and `to_days`, excluding noise.
+    pub fn retention_loss(&self, v: f64, pec: u32, from_days: f64, to_days: f64) -> f64 {
+        let r = &self.retention;
+        if v <= 0.0 {
+            return 0.0;
+        }
+        let wear = (f64::from(pec) / 1000.0).powf(r.pec_exponent);
+        let rate = r.base_loss + r.loss_per_kpec * wear;
+        let dt = self.retention_time_factor(to_days) - self.retention_time_factor(from_days);
+        rate * dt * (v / r.reference_voltage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_profiles_differ() {
+        let a = ChipProfile::vendor_a();
+        let b = ChipProfile::vendor_b();
+        assert_ne!(a.geometry, b.geometry);
+        assert_ne!(a.programmed.mean, b.programmed.mean);
+        assert_eq!(a.endurance_pec, 3000);
+        assert_eq!(b.endurance_pec, 3000);
+    }
+
+    #[test]
+    fn timing_matches_paper_section_6_1() {
+        let t = TimingModel::paper_vendor_a();
+        assert_eq!(t.read_us, 90.0);
+        assert_eq!(t.program_us, 1200.0);
+        assert_eq!(t.erase_us, 5000.0);
+        // §8: PP time of 600 us.
+        assert_eq!(t.partial_program_us, 600.0);
+    }
+
+    #[test]
+    fn defect_prob_grows_with_wear() {
+        let p = ChipProfile::vendor_a();
+        assert!(p.defect_prob(0) < p.defect_prob(1000));
+        assert!(p.defect_prob(1000) < p.defect_prob(3000));
+    }
+
+    #[test]
+    fn retention_time_factor_is_concave_and_normalized() {
+        let p = ChipProfile::vendor_a();
+        assert_eq!(p.retention_time_factor(0.0), 0.0);
+        let f1 = p.retention_time_factor(1.0);
+        let f30 = p.retention_time_factor(30.0);
+        let f120 = p.retention_time_factor(120.0);
+        assert!(f1 > 0.0 && f1 < f30 && f30 < f120);
+        assert!((f120 - 1.0).abs() < 1e-12);
+        // Concavity: first day costs more than day 119->120.
+        assert!(f1 > f120 - p.retention_time_factor(119.0));
+    }
+
+    #[test]
+    fn retention_loss_increments_compose() {
+        let p = ChipProfile::vendor_a();
+        let full = p.retention_loss(165.0, 2000, 0.0, 120.0);
+        let part = p.retention_loss(165.0, 2000, 0.0, 30.0)
+            + p.retention_loss(165.0, 2000, 30.0, 120.0);
+        assert!((full - part).abs() < 1e-12);
+        // Calibration: ≈3 level units at the programmed reference after the
+        // 4-month horizon at PEC 2000 (drives the paper's 2.3x public-BER
+        // growth in Fig. 11).
+        assert!((2.4..3.8).contains(&full), "loss {full}");
+    }
+
+    #[test]
+    fn retention_scales_with_voltage_and_wear() {
+        let p = ChipProfile::vendor_a();
+        let hi = p.retention_loss(165.0, 2000, 0.0, 120.0);
+        let lo = p.retention_loss(40.0, 2000, 0.0, 120.0);
+        assert!(lo < hi && lo > 0.0);
+        assert!(p.retention_loss(165.0, 0, 0.0, 120.0) < 0.1 * hi);
+    }
+}

@@ -1,0 +1,197 @@
+//! TLC-mode operations: eight lobes, three logical pages per wordline.
+//!
+//! The paper's trajectory is explicit (§1): "flash can store one bit (SLC),
+//! four voltage levels / two bits (MLC), eight levels / three bits (TLC)…
+//! the number of bits stored in any given cell can be changed dynamically."
+//! §6.2 expects hiding to extend "to MLC or TLC" with controller support.
+//! TLC mode completes the density ladder for the simulator; the lobes are
+//! narrower still, and raw BER correspondingly higher — matching the
+//! industry trade-off the paper describes (refs [17, 20, 36]).
+//!
+//! Level order uses a 3-bit gray code so adjacent lobes differ in one bit:
+//! `111 110 100 101 001 000 010 011` (lower, middle, upper).
+
+use crate::bits::BitPattern;
+use crate::error::FlashError;
+use crate::geometry::PageId;
+use crate::meter::OpKind;
+use crate::{Chip, Result};
+
+/// The eight-lobe gray code, indexed by level (L0..L7), as
+/// (lower, middle, upper) bits.
+const GRAY: [(bool, bool, bool); 8] = [
+    (true, true, true),    // L0 (erased)
+    (true, true, false),   // L1
+    (true, false, false),  // L2
+    (true, false, true),   // L3
+    (false, false, true),  // L4
+    (false, false, false), // L5
+    (false, true, false),  // L6
+    (false, true, true),   // L7
+];
+
+/// TLC lobe means: L1..L7 spread across the same voltage window as MLC but
+/// tighter (paper Fig. 1: higher densities ⇒ narrower distributions).
+const TLC_MEANS: [f64; 7] = [62.0, 86.0, 110.0, 134.0, 158.0, 182.0, 206.0];
+/// TLC per-lobe sigma.
+const TLC_SIGMA: f64 = 3.4;
+/// Read references between adjacent lobes.
+const TLC_REFS: [u8; 7] = [40, 74, 98, 122, 146, 170, 194];
+
+impl Chip {
+    /// Programs a wordline in TLC mode: three logical pages across eight
+    /// lobes. Metered as three program operations.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses, bad blocks, pattern-length mismatch, or
+    /// if the wordline was already programmed since its last erase.
+    pub fn program_page_tlc(
+        &mut self,
+        p: PageId,
+        lower: &BitPattern,
+        middle: &BitPattern,
+        upper: &BitPattern,
+    ) -> Result<()> {
+        let cpp = self.geometry().cells_per_page();
+        for pat in [lower, middle, upper] {
+            if pat.len() != cpp {
+                return Err(FlashError::PatternLength { expected: cpp, got: pat.len() });
+            }
+        }
+        let programmed_mask: BitPattern = (0..cpp)
+            .map(|i| lower.get(i) && middle.get(i) && upper.get(i))
+            .collect();
+        self.program_page(p, &programmed_mask)?;
+
+        for i in 0..cpp {
+            let bits = (lower.get(i), middle.get(i), upper.get(i));
+            let level = GRAY.iter().position(|&g| g == bits).expect("gray code is total");
+            if level == 0 {
+                continue; // erased
+            }
+            self.place_cell_level(p, i, TLC_MEANS[level - 1], TLC_SIGMA);
+        }
+        // Middle + upper page passes.
+        self.meter_record(OpKind::Program);
+        self.meter_record(OpKind::Program);
+        Ok(())
+    }
+
+    /// Reads a wordline in TLC mode via seven reference comparisons,
+    /// undoing the gray mapping.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    pub fn read_page_tlc(&mut self, p: PageId) -> Result<(BitPattern, BitPattern, BitPattern)> {
+        let cpp = self.geometry().cells_per_page();
+        let mut below: Vec<BitPattern> = Vec::with_capacity(7);
+        for &r in &TLC_REFS {
+            below.push(self.read_page_shifted(p, r)?);
+        }
+        let mut lower = BitPattern::zeros(cpp);
+        let mut middle = BitPattern::zeros(cpp);
+        let mut upper = BitPattern::zeros(cpp);
+        for i in 0..cpp {
+            let level = below.iter().take_while(|b| !b.get(i)).count();
+            let (l, m, u) = GRAY[level];
+            lower.set(i, l);
+            middle.set(i, m);
+            upper.set(i, u);
+        }
+        Ok((lower, middle, upper))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockId, ChipProfile};
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    fn chip() -> Chip {
+        Chip::new(ChipProfile::test_small(), 31)
+    }
+
+    fn pattern(chip: &Chip, seed: u64) -> BitPattern {
+        BitPattern::random_half(
+            &mut SmallRng::seed_from_u64(seed),
+            chip.geometry().cells_per_page(),
+        )
+    }
+
+    #[test]
+    fn gray_code_is_a_bijection_with_single_bit_steps() {
+        let set: std::collections::HashSet<_> = GRAY.iter().collect();
+        assert_eq!(set.len(), 8);
+        for w in GRAY.windows(2) {
+            let diff = usize::from(w[0].0 != w[1].0)
+                + usize::from(w[0].1 != w[1].1)
+                + usize::from(w[0].2 != w[1].2);
+            assert_eq!(diff, 1, "adjacent lobes must differ in one bit: {w:?}");
+        }
+    }
+
+    #[test]
+    fn tlc_roundtrip_three_logical_pages() {
+        let mut c = chip();
+        let (l, m, u) = (pattern(&c, 1), pattern(&c, 2), pattern(&c, 3));
+        c.erase_block(BlockId(0)).unwrap();
+        let p = PageId::new(BlockId(0), 0);
+        c.program_page_tlc(p, &l, &m, &u).unwrap();
+        let (rl, rm, ru) = c.read_page_tlc(p).unwrap();
+        let errs =
+            rl.hamming_distance(&l) + rm.hamming_distance(&m) + ru.hamming_distance(&u);
+        // TLC margins are tight; a handful of raw errors per 3x2048 bits is
+        // the realistic price of the density (paper refs [17, 36]).
+        assert!(errs <= 12, "TLC raw errors {errs}");
+    }
+
+    #[test]
+    fn tlc_raw_ber_higher_than_mlc() {
+        let mut c = chip();
+        let (l, m, u) = (pattern(&c, 4), pattern(&c, 5), pattern(&c, 6));
+        c.erase_block(BlockId(0)).unwrap();
+        c.erase_block(BlockId(1)).unwrap();
+        let tlc_page = PageId::new(BlockId(0), 0);
+        let mlc_page = PageId::new(BlockId(1), 0);
+        c.program_page_tlc(tlc_page, &l, &m, &u).unwrap();
+        c.program_page_mlc(mlc_page, &l, &m).unwrap();
+        let (rl, rm, ru) = c.read_page_tlc(tlc_page).unwrap();
+        let tlc_errs =
+            rl.hamming_distance(&l) + rm.hamming_distance(&m) + ru.hamming_distance(&u);
+        let (ml, mm) = c.read_page_mlc(mlc_page).unwrap();
+        let mlc_errs = ml.hamming_distance(&l) + mm.hamming_distance(&m);
+        // Normalize per stored bit.
+        let tlc_ber = tlc_errs as f64 / (3.0 * l.len() as f64);
+        let mlc_ber = mlc_errs as f64 / (2.0 * l.len() as f64);
+        assert!(
+            tlc_ber >= mlc_ber,
+            "TLC ({tlc_ber:.2e}) should not beat MLC ({mlc_ber:.2e}) reliability"
+        );
+    }
+
+    #[test]
+    fn tlc_metered_as_three_programs() {
+        let mut c = chip();
+        let (l, m, u) = (pattern(&c, 7), pattern(&c, 8), pattern(&c, 9));
+        c.erase_block(BlockId(0)).unwrap();
+        c.reset_meter();
+        c.program_page_tlc(PageId::new(BlockId(0), 0), &l, &m, &u).unwrap();
+        assert_eq!(c.meter().count(OpKind::Program), 3);
+    }
+
+    #[test]
+    fn tlc_respects_erase_rule() {
+        let mut c = chip();
+        let (l, m, u) = (pattern(&c, 10), pattern(&c, 11), pattern(&c, 12));
+        c.erase_block(BlockId(0)).unwrap();
+        let p = PageId::new(BlockId(0), 0);
+        c.program_page_tlc(p, &l, &m, &u).unwrap();
+        assert!(matches!(
+            c.program_page_tlc(p, &l, &m, &u),
+            Err(FlashError::PageAlreadyProgrammed(_))
+        ));
+    }
+}

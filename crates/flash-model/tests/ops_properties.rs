@@ -1,0 +1,126 @@
+//! Property tests over the tester command set: invariants that must hold
+//! for every pattern, page and seed.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, OpKind, PageId};
+
+fn tiny_chip(seed: u64) -> Chip {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 4, pages_per_block: 4, page_bytes: 256 };
+    Chip::new(profile, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whatever is programmed reads back (modulo the noise floor) for any
+    /// pattern, not just balanced random ones.
+    #[test]
+    fn prop_program_read_roundtrip(seed in any::<u64>(), pattern_seed in any::<u64>(),
+                                   density in 0.0f64..=1.0) {
+        let mut chip = tiny_chip(seed);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(pattern_seed);
+        let data: BitPattern =
+            (0..cpp).map(|_| rand::Rng::gen_bool(&mut rng, density)).collect();
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), 0);
+        chip.program_page(page, &data).unwrap();
+        let back = chip.read_page(page).unwrap();
+        // Weak pages (3-sigma-low voltage offsets) may carry a few raw
+        // errors — that's what the public ECC path absorbs on real drives.
+        prop_assert!(back.hamming_distance(&data) <= 8);
+    }
+
+    /// Erase always returns every cell to logical 1, from any prior state.
+    #[test]
+    fn prop_erase_clears(seed in any::<u64>(), pec in 0u32..3000) {
+        let mut chip = tiny_chip(seed);
+        let cpp = chip.geometry().cells_per_page();
+        chip.cycle_block(BlockId(1), pec).unwrap();
+        chip.erase_block(BlockId(1)).unwrap();
+        let page = PageId::new(BlockId(1), 2);
+        chip.program_page(page, &BitPattern::zeros(cpp)).unwrap();
+        chip.erase_block(BlockId(1)).unwrap();
+        let bits = chip.read_page(page).unwrap();
+        prop_assert_eq!(bits.count_zeros(), 0);
+    }
+
+    /// The meter is exact: op counts reflect issued commands one-for-one.
+    #[test]
+    fn prop_meter_counts_exact(seed in any::<u64>(), reads in 0u8..8, pps in 0u8..8) {
+        let mut chip = tiny_chip(seed);
+        let cpp = chip.geometry().cells_per_page();
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), 0);
+        chip.program_page(page, &BitPattern::zeros(cpp)).unwrap();
+        chip.reset_meter();
+        for _ in 0..reads {
+            let _ = chip.read_page(page).unwrap();
+        }
+        let mask = BitPattern::ones(cpp);
+        for _ in 0..pps {
+            chip.partial_program(page, &mask).unwrap();
+        }
+        let m = chip.meter();
+        prop_assert_eq!(m.count(OpKind::Read), u64::from(reads));
+        prop_assert_eq!(m.count(OpKind::PartialProgram), u64::from(pps));
+        prop_assert_eq!(m.total_ops(), u64::from(reads) + u64::from(pps));
+    }
+
+    /// Shifted reads are consistent: lowering the reference can only turn
+    /// 1s into 0s (monotone thresholding), up to read noise on boundary
+    /// cells.
+    #[test]
+    fn prop_shifted_reads_monotone(seed in any::<u64>()) {
+        let mut chip = tiny_chip(seed);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5);
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), 0);
+        chip.program_page(page, &data).unwrap();
+        let low = chip.read_page_shifted(page, 30).unwrap();
+        let high = chip.read_page_shifted(page, 200).unwrap();
+        // A cell reading 1 at vref=30 (v < 30) must read 1 at vref=200
+        // unless read noise crosses it — allow a tiny violation count.
+        let violations = (0..cpp)
+            .filter(|&i| low.get(i) && !high.get(i))
+            .count();
+        prop_assert!(violations <= 2, "{violations} monotonicity violations");
+    }
+
+    /// Probing never changes what a subsequent read returns (beyond noise):
+    /// characterization is non-destructive.
+    #[test]
+    fn prop_probe_nondestructive(seed in any::<u64>()) {
+        let mut chip = tiny_chip(seed);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), 0);
+        chip.program_page(page, &data).unwrap();
+        for _ in 0..5 {
+            let _ = chip.probe_voltages(page).unwrap();
+        }
+        let back = chip.read_page(page).unwrap();
+        prop_assert!(back.hamming_distance(&data) <= 8);
+    }
+
+    /// Two chips with the same seed are indistinguishable; different seeds
+    /// are different silicon.
+    #[test]
+    fn prop_seed_determinism(seed in any::<u64>()) {
+        let levels = |s: u64| {
+            let mut chip = tiny_chip(s);
+            let cpp = chip.geometry().cells_per_page();
+            chip.erase_block(BlockId(0)).unwrap();
+            let page = PageId::new(BlockId(0), 0);
+            chip.program_page(page, &BitPattern::zeros(cpp)).unwrap();
+            chip.probe_voltages(page).unwrap()
+        };
+        prop_assert_eq!(levels(seed), levels(seed));
+    }
+}

@@ -1,0 +1,45 @@
+//! Profiles, geometries and meter snapshots are plain data structures:
+//! they serialize (for experiment manifests) and deserialize back intact.
+
+use stash_flash::{BitPattern, ChipProfile, Geometry, Meter, OpKind, TimingModel};
+
+#[test]
+fn profile_roundtrips_through_json() {
+    for profile in [ChipProfile::vendor_a(), ChipProfile::vendor_b()] {
+        let json = serde_json::to_string(&profile).expect("serialize");
+        let back: ChipProfile = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, profile);
+    }
+}
+
+#[test]
+fn geometry_roundtrips_through_json() {
+    let g = Geometry::paper_vendor_a();
+    let json = serde_json::to_string(&g).expect("serialize");
+    let back: Geometry = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, g);
+}
+
+#[test]
+fn geometry_equality_semantics() {
+    assert_eq!(Geometry::paper_vendor_a(), Geometry::paper_vendor_a());
+    assert_ne!(Geometry::paper_vendor_a(), Geometry::paper_vendor_b());
+}
+
+#[test]
+fn meter_snapshot_is_plain_data() {
+    let timing = TimingModel::paper_vendor_a();
+    let mut m = Meter::new();
+    m.record(OpKind::Read, &timing);
+    let snap = m.snapshot();
+    let copy = snap;
+    assert_eq!(snap, copy);
+}
+
+#[test]
+fn bitpattern_clone_and_eq() {
+    let p = BitPattern::from_bytes(&[0xAB, 0xCD], 16);
+    let q = p.clone();
+    assert_eq!(p, q);
+    assert_eq!(p.hamming_distance(&q), 0);
+}

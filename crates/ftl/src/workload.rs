@@ -1,0 +1,127 @@
+//! Synthetic host workloads for exercising the FTL and the hiding layers
+//! above it — the traffic a long-lived steganographic SSD must survive
+//! (paper §2: PT-HI's wear behaviour "potentially disqualifies PT-HI as a
+//! building block for a long-lived, steganographic SSD"; §9.2's hidden
+//! volume rides on exactly this kind of device activity).
+
+use crate::ftl::Lpn;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+/// Host access patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Sequential sweeps over the logical space.
+    Sequential,
+    /// Uniformly random page writes.
+    UniformRandom,
+    /// Zipfian-skewed writes (a small hot set absorbs most traffic),
+    /// parameterized by the skew exponent (≈1.0 for classic Zipf).
+    Zipfian {
+        /// Skew exponent; larger = hotter hot set.
+        theta: f64,
+    },
+}
+
+/// A reproducible stream of logical page numbers to write.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    pattern: AccessPattern,
+    capacity: u64,
+    rng: SmallRng,
+    cursor: u64,
+    /// Precomputed inverse-CDF table for Zipfian sampling.
+    zipf_cdf: Vec<f64>,
+}
+
+impl WorkloadGen {
+    /// Creates a workload over `capacity` logical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(pattern: AccessPattern, capacity: u64, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let zipf_cdf = match pattern {
+            AccessPattern::Zipfian { theta } => {
+                // Rank-1 is the hottest page; identity permutation keeps the
+                // generator simple (the FTL is rank-agnostic anyway).
+                let mut weights: Vec<f64> =
+                    (1..=capacity.min(1 << 16)).map(|r| 1.0 / (r as f64).powf(theta)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                weights
+            }
+            _ => Vec::new(),
+        };
+        WorkloadGen { pattern, capacity, rng: SmallRng::seed_from_u64(seed), cursor: 0, zipf_cdf }
+    }
+
+    /// The next logical page to write.
+    pub fn next_lpn(&mut self) -> Lpn {
+        match self.pattern {
+            AccessPattern::Sequential => {
+                let lpn = self.cursor % self.capacity;
+                self.cursor += 1;
+                lpn
+            }
+            AccessPattern::UniformRandom => self.rng.gen_range(0..self.capacity),
+            AccessPattern::Zipfian { .. } => {
+                let u: f64 = self.rng.gen();
+                let rank = match self
+                    .zipf_cdf
+                    .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+                {
+                    Ok(i) | Err(i) => i,
+                };
+                (rank as u64).min(self.capacity - 1)
+            }
+        }
+    }
+
+    /// Convenience: the next `n` logical pages.
+    pub fn take_lpns(&mut self, n: usize) -> Vec<Lpn> {
+        (0..n).map(|_| self.next_lpn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_sweeps_wrap() {
+        let mut w = WorkloadGen::new(AccessPattern::Sequential, 4, 1);
+        assert_eq!(w.take_lpns(6), vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn uniform_covers_space() {
+        let mut w = WorkloadGen::new(AccessPattern::UniformRandom, 16, 2);
+        let mut seen = std::collections::HashSet::new();
+        for lpn in w.take_lpns(400) {
+            assert!(lpn < 16);
+            seen.insert(lpn);
+        }
+        assert_eq!(seen.len(), 16, "400 uniform draws must cover 16 pages");
+    }
+
+    #[test]
+    fn zipfian_is_skewed_but_total() {
+        let mut w = WorkloadGen::new(AccessPattern::Zipfian { theta: 1.0 }, 64, 3);
+        let lpns = w.take_lpns(4000);
+        let hot = lpns.iter().filter(|&&l| l < 8).count() as f64 / 4000.0;
+        assert!(hot > 0.5, "top 12.5% of pages should absorb >50% of traffic, got {hot}");
+        assert!(lpns.iter().all(|&l| l < 64));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadGen::new(AccessPattern::Zipfian { theta: 0.9 }, 100, 7).take_lpns(50);
+        let b = WorkloadGen::new(AccessPattern::Zipfian { theta: 0.9 }, 100, 7).take_lpns(50);
+        assert_eq!(a, b);
+    }
+}

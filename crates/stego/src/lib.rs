@@ -1,0 +1,29 @@
+//! # stash-stego — a steganographic hidden volume over VT-HI
+//!
+//! The paper sketches (§9.2) how VT-HI becomes a building block for a
+//! steganographic storage system: a publicly visible, encrypted volume
+//! inside which a user can mount a hidden volume with a secret key. This
+//! crate implements that design against the [`stash_ftl::Ftl`]:
+//!
+//! * Hidden data lives in fixed-size **slots**; each slot rides inside the
+//!   physical page currently backing one key-selected public logical page,
+//!   so the hidden volume's location is re-derived from the key at mount
+//!   time and never persisted.
+//! * Writing a hidden slot rewrites its public page (flash cells only
+//!   charge upward, so fresh hidden bits need a fresh physical page) — the
+//!   public rewrite *is* the cover traffic.
+//! * When FTL garbage collection migrates or erases pages, the mounted
+//!   volume re-embeds affected slots ([paper §5.1]: "the HU must re-embed
+//!   the hidden data in a new location before the old NU page containing it
+//!   is permanently erased").
+//! * Optional XOR **parity groups** reconstruct slots that were lost while
+//!   the volume was unmounted (the paper's suggested RAID-like redundancy).
+//! * A **piggyback** mode defers hidden embedding until the owning public
+//!   page is naturally rewritten, for the multiple-snapshot adversary of
+//!   §9.2.
+//!
+//! [paper §5.1]: https://www.usenix.org/conference/fast18/presentation/zuck
+
+mod volume;
+
+pub use volume::{HiddenVolume, RecoveryReport, StegoConfig, StegoError};

@@ -1,0 +1,720 @@
+//! The hidden-volume implementation.
+
+use stash_crypto::{HidingKey, SelectionPrng};
+use stash_flash::BitPattern;
+use stash_ftl::{Ftl, FtlError, Migration};
+use std::collections::HashMap;
+use std::fmt;
+use vthi::{HideError, Hider, SelectionMode, VthiConfig};
+
+/// Stream id (PRNG namespace) for the slot → LPN placement permutation.
+const PLACEMENT_STREAM: u64 = 0x5157_4F4C_5F4D_4150;
+
+/// Hidden-volume configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StegoConfig {
+    /// The underlying VT-HI configuration.
+    pub vthi: VthiConfig,
+    /// Data slots per parity group; 0 disables parity. Each group carries
+    /// one extra parity slot that can reconstruct a single lost member.
+    pub parity_group: usize,
+    /// Defer hidden embedding until the owning public page is rewritten
+    /// anyway (multiple-snapshot hardening, §9.2).
+    pub piggyback: bool,
+}
+
+impl StegoConfig {
+    /// A sensible default for a given chip geometry: scaled VT-HI, parity
+    /// groups of 4, immediate embedding.
+    pub fn for_geometry(geometry: &stash_flash::Geometry) -> Self {
+        StegoConfig {
+            vthi: VthiConfig::scaled_for(geometry),
+            parity_group: 4,
+            piggyback: false,
+        }
+    }
+
+    /// Hidden bytes per slot.
+    pub fn slot_bytes(&self) -> usize {
+        self.vthi.payload_bytes_per_page()
+    }
+}
+
+/// Errors from the hidden volume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StegoError {
+    /// FTL failure.
+    Ftl(FtlError),
+    /// Hiding-layer failure.
+    Hide(HideError),
+    /// Slot index out of range.
+    SlotOutOfRange {
+        /// Requested slot.
+        slot: usize,
+        /// Slots in the volume.
+        count: usize,
+    },
+    /// The slot's public page has never been written, so there is nothing
+    /// to hide inside yet.
+    UnbackedSlot {
+        /// The public logical page that must be written first.
+        lpn: u64,
+    },
+    /// Payload does not match the slot size.
+    PayloadLength {
+        /// Bytes per slot.
+        expected: usize,
+        /// Bytes supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StegoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StegoError::Ftl(e) => write!(f, "ftl failure: {e}"),
+            StegoError::Hide(e) => write!(f, "hiding failure: {e}"),
+            StegoError::SlotOutOfRange { slot, count } => {
+                write!(f, "slot {slot} out of range (volume has {count})")
+            }
+            StegoError::UnbackedSlot { lpn } => {
+                write!(f, "slot's public page {lpn} has no data yet")
+            }
+            StegoError::PayloadLength { expected, got } => {
+                write!(f, "slot payload is {got} bytes, slots hold {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StegoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StegoError::Ftl(e) => Some(e),
+            StegoError::Hide(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for StegoError {
+    fn from(e: FtlError) -> Self {
+        StegoError::Ftl(e)
+    }
+}
+
+impl From<HideError> for StegoError {
+    fn from(e: HideError) -> Self {
+        StegoError::Hide(e)
+    }
+}
+
+/// What a remount managed to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Slots decoded directly.
+    pub recovered: usize,
+    /// Slots rebuilt from parity.
+    pub reconstructed: usize,
+    /// Slots lost for good.
+    pub lost: usize,
+    /// Slots that were never written.
+    pub empty: usize,
+}
+
+/// A mounted hidden volume: the public block device plus the keyed hidden
+/// slot space inside it.
+#[derive(Debug)]
+pub struct HiddenVolume {
+    ftl: Ftl,
+    key: HidingKey,
+    cfg: StegoConfig,
+    /// Data slots exposed to the user (parity slots live after them).
+    data_slots: usize,
+    /// Slot → owning public LPN (keyed permutation, derived at mount).
+    slot_lpn: Vec<u64>,
+    /// Reverse: LPN → slot.
+    lpn_slot: HashMap<u64, usize>,
+    /// In-memory slot contents while mounted.
+    cache: Vec<Option<Vec<u8>>>,
+    /// Slots whose on-flash embedding is stale (piggyback mode).
+    dirty: Vec<bool>,
+}
+
+impl HiddenVolume {
+    /// Creates (formats) a hidden volume of `slots` data slots over an FTL.
+    /// Parity slots are added on top of `slots` when parity is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the FTL cannot host that many slots.
+    pub fn format(
+        ftl: Ftl,
+        key: HidingKey,
+        cfg: StegoConfig,
+        slots: usize,
+    ) -> Result<Self, StegoError> {
+        let total = Self::total_slots(&cfg, slots);
+        let capacity = ftl.capacity_pages();
+        if total as u64 > capacity / 2 {
+            return Err(StegoError::SlotOutOfRange { slot: total, count: capacity as usize / 2 });
+        }
+        let slot_lpn = Self::derive_placement(&key, capacity, total);
+        let lpn_slot = slot_lpn.iter().enumerate().map(|(s, &l)| (l, s)).collect();
+        Ok(HiddenVolume {
+            ftl,
+            key,
+            cfg,
+            data_slots: slots,
+            slot_lpn,
+            lpn_slot,
+            cache: vec![None; total],
+            dirty: vec![false; total],
+        })
+    }
+
+    /// Re-mounts an existing volume: re-derives slot placement from the key
+    /// and decodes every slot from flash, using parity to rebuild single
+    /// losses per group.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on flash/FTL errors; unrecoverable slots are reported,
+    /// not fatal.
+    pub fn remount(
+        ftl: Ftl,
+        key: HidingKey,
+        cfg: StegoConfig,
+        slots: usize,
+    ) -> Result<(Self, RecoveryReport), StegoError> {
+        let mut vol = Self::format(ftl, key, cfg, slots)?;
+        let mut report = RecoveryReport::default();
+        let total = vol.cache.len();
+        let mut failed: Vec<usize> = Vec::new();
+        for slot in 0..total {
+            match vol.try_decode_slot(slot) {
+                Ok(Some(bytes)) => {
+                    vol.cache[slot] = Some(bytes);
+                    report.recovered += 1;
+                }
+                Ok(None) => report.empty += 1,
+                Err(_) => failed.push(slot),
+            }
+        }
+        // Parity reconstruction: one loss per group is recoverable. Groups
+        // are initialized as a unit, so any non-present slot (failed decode
+        // OR read-as-empty) inside a group with present members is a loss.
+        if vol.cfg.parity_group > 0 {
+            let groups = vol.data_slots.div_ceil(vol.cfg.parity_group);
+            let mut losses: Vec<usize> = failed.clone();
+            for group in 0..groups {
+                let mut members = vol.group_members(group);
+                members.push(vol.parity_slot_of_group(group));
+                let present = members.iter().filter(|m| vol.cache[**m].is_some()).count();
+                if present == 0 || present == members.len() {
+                    continue;
+                }
+                for &m in &members {
+                    if vol.cache[m].is_none() && !losses.contains(&m) {
+                        losses.push(m);
+                        report.empty = report.empty.saturating_sub(1);
+                    }
+                }
+            }
+            for &slot in &losses {
+                let group = vol.group_of(slot);
+                let mut members = vol.group_members(group);
+                members.push(vol.parity_slot_of_group(group));
+                let missing: Vec<usize> =
+                    members.iter().copied().filter(|m| vol.cache[*m].is_none()).collect();
+                if missing == vec![slot] {
+                    let mut acc = vec![0u8; vol.cfg.slot_bytes()];
+                    for &m in &members {
+                        if m != slot {
+                            for (a, b) in
+                                acc.iter_mut().zip(vol.cache[m].as_ref().expect("present"))
+                            {
+                                *a ^= b;
+                            }
+                        }
+                    }
+                    vol.cache[slot] = Some(acc);
+                    // Re-embed the rebuilt slot so flash is healthy again.
+                    vol.dirty[slot] = true;
+                    report.reconstructed += 1;
+                } else {
+                    report.lost += 1;
+                }
+            }
+        } else {
+            report.lost = failed.len();
+        }
+        let _ = &failed;
+        // Recovered-but-empty parity slots of never-written groups read as
+        // empty; counted under `empty` above.
+        if !vol.cfg.piggyback {
+            vol.flush()?;
+        }
+        Ok((vol, report))
+    }
+
+    fn total_slots(cfg: &StegoConfig, data_slots: usize) -> usize {
+        if cfg.parity_group == 0 {
+            data_slots
+        } else {
+            // One parity slot per (possibly partial) group.
+            data_slots + data_slots.div_ceil(cfg.parity_group)
+        }
+    }
+
+    /// Maps a volume-visible data-slot index to the internal slot index
+    /// (data slots come first; parity slots are appended after them).
+    fn internal_slot(&self, data_slot: usize) -> usize {
+        data_slot
+    }
+
+    /// The internal parity-slot index of a group.
+    fn parity_slot_of_group(&self, group: usize) -> usize {
+        self.data_slots + group
+    }
+
+    /// The data members (internal indices) of a parity group.
+    fn group_members(&self, group: usize) -> Vec<usize> {
+        let g = self.cfg.parity_group;
+        (group * g..((group + 1) * g).min(self.data_slots)).collect()
+    }
+
+    /// The parity group an internal slot belongs to.
+    fn group_of(&self, slot: usize) -> usize {
+        if slot < self.data_slots {
+            slot / self.cfg.parity_group.max(1)
+        } else {
+            slot - self.data_slots
+        }
+    }
+
+    fn derive_placement(key: &HidingKey, capacity: u64, total: usize) -> Vec<u64> {
+        let mut prng = SelectionPrng::new(key, PLACEMENT_STREAM);
+        prng.choose_distinct(total, capacity as usize)
+            .into_iter()
+            .map(|v| v as u64)
+            .collect()
+    }
+
+    /// Data slots visible to the user.
+    pub fn data_slot_count(&self) -> usize {
+        self.data_slots
+    }
+
+    /// Bytes per slot.
+    pub fn slot_bytes(&self) -> usize {
+        self.cfg.slot_bytes()
+    }
+
+    /// The underlying FTL (public volume view).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Unmounts, returning the FTL. Pending piggyback embeddings are NOT
+    /// flushed — exactly the situation where parity earns its keep.
+    pub fn unmount(self) -> Ftl {
+        self.ftl
+    }
+
+    /// Public-volume write. Re-embeds any hidden slots disturbed by GC, and
+    /// (in piggyback mode) flushes a pending hidden write for this page.
+    ///
+    /// # Errors
+    ///
+    /// Fails on FTL or hiding errors.
+    pub fn write_public(&mut self, lpn: u64, data: &BitPattern) -> Result<(), StegoError> {
+        let report = self.ftl.write(lpn, data)?;
+        self.reembed_after_migrations(&report.migrations)?;
+        if let Some(&slot) = self.lpn_slot.get(&lpn) {
+            // The slot's backing page moved to fresh cells: embed its
+            // payload (if any) into the new physical page.
+            if self.cache[slot].is_some() {
+                self.embed_slot(slot)?;
+                self.dirty[slot] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Public-volume read.
+    ///
+    /// # Errors
+    ///
+    /// Fails on FTL errors.
+    pub fn read_public(&mut self, lpn: u64) -> Result<Option<BitPattern>, StegoError> {
+        Ok(self.ftl.read(lpn)?)
+    }
+
+    /// Writes a hidden slot. In immediate mode the owning public page is
+    /// rewritten at once (cover traffic); in piggyback mode the payload
+    /// waits in memory until that page is next written publicly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on range/size errors, an unbacked public page (immediate
+    /// mode), or FTL/hiding errors.
+    pub fn write_hidden(&mut self, data_slot: usize, payload: &[u8]) -> Result<(), StegoError> {
+        if data_slot >= self.data_slot_count() {
+            return Err(StegoError::SlotOutOfRange {
+                slot: data_slot,
+                count: self.data_slot_count(),
+            });
+        }
+        if payload.len() != self.slot_bytes() {
+            return Err(StegoError::PayloadLength {
+                expected: self.slot_bytes(),
+                got: payload.len(),
+            });
+        }
+        let slot = self.internal_slot(data_slot);
+        self.cache[slot] = Some(payload.to_vec());
+        self.dirty[slot] = true;
+        // Maintain the group parity in cache. The whole group is
+        // initialized as a unit (unwritten siblings become zero-filled), so
+        // that at remount an *empty* slot inside a live group is provably a
+        // destroyed slot and parity knows to rebuild it.
+        if self.cfg.parity_group > 0 {
+            let group = data_slot / self.cfg.parity_group;
+            for member in self.group_members(group) {
+                if self.cache[member].is_none() {
+                    self.cache[member] = Some(vec![0u8; self.slot_bytes()]);
+                    self.dirty[member] = true;
+                }
+            }
+            self.recompute_parity(group);
+        }
+        if !self.cfg.piggyback {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reads a hidden slot (from the mounted cache; `None` if never
+    /// written).
+    ///
+    /// # Errors
+    ///
+    /// Returns range errors only — a mounted volume serves from cache.
+    pub fn read_hidden(&mut self, data_slot: usize) -> Result<Option<Vec<u8>>, StegoError> {
+        if data_slot >= self.data_slot_count() {
+            return Err(StegoError::SlotOutOfRange {
+                slot: data_slot,
+                count: self.data_slot_count(),
+            });
+        }
+        let slot = self.internal_slot(data_slot);
+        Ok(self.cache[slot].clone())
+    }
+
+    /// Embeds every dirty slot, rewriting its public page as cover traffic.
+    ///
+    /// # Errors
+    ///
+    /// Fails on FTL or hiding errors; [`StegoError::UnbackedSlot`] if a
+    /// slot's public page was never written.
+    pub fn flush(&mut self) -> Result<(), StegoError> {
+        for slot in 0..self.cache.len() {
+            if !self.dirty[slot] || self.cache[slot].is_none() {
+                continue;
+            }
+            let lpn = self.slot_lpn[slot];
+            // Rewrite the public page to get fresh cells to charge.
+            let public = self
+                .ftl
+                .read(lpn)?
+                .ok_or(StegoError::UnbackedSlot { lpn })?;
+            let report = self.ftl.write(lpn, &public)?;
+            self.reembed_after_migrations(&report.migrations)?;
+            self.embed_slot(slot)?;
+            self.dirty[slot] = false;
+        }
+        Ok(())
+    }
+
+    /// Slots with pending (unflushed) hidden writes.
+    pub fn pending_slots(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn recompute_parity(&mut self, group: usize) {
+        let parity_slot = self.parity_slot_of_group(group);
+        if parity_slot >= self.cache.len() {
+            return;
+        }
+        let mut acc = vec![0u8; self.slot_bytes()];
+        let mut any = false;
+        for s in self.group_members(group) {
+            if let Some(data) = &self.cache[s] {
+                any = true;
+                for (a, b) in acc.iter_mut().zip(data) {
+                    *a ^= b;
+                }
+            }
+        }
+        if any {
+            self.cache[parity_slot] = Some(acc);
+            self.dirty[parity_slot] = true;
+        }
+    }
+
+    /// Re-embeds cached slots whose backing pages were migrated by GC.
+    fn reembed_after_migrations(&mut self, migrations: &[Migration]) -> Result<(), StegoError> {
+        let mut affected: Vec<usize> = migrations
+            .iter()
+            .filter_map(|m| self.lpn_slot.get(&m.lpn).copied())
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for slot in affected {
+            if self.cache[slot].is_some() {
+                self.embed_slot(slot)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one slot's payload into its current physical page.
+    fn embed_slot(&mut self, slot: usize) -> Result<(), StegoError> {
+        let lpn = self.slot_lpn[slot];
+        let Some(page) = self.ftl.physical_of(lpn) else {
+            return Err(StegoError::UnbackedSlot { lpn });
+        };
+        let payload = self.cache[slot].clone().expect("caller checked");
+        let public = self
+            .ftl
+            .chip_mut()
+            .read_page(page)
+            .map_err(HideError::from)?;
+        let key = self.key.clone();
+        let cfg = self.cfg.vthi.clone();
+        // Absolute selection: the volume has no ECC-exact copy of the
+        // public bits (the paper assumes the public path is ECC-protected),
+        // so it uses the read-error-tolerant selection variant.
+        let mut hider = Hider::new(self.ftl.chip_mut(), key, cfg)
+            .with_selection_mode(SelectionMode::Absolute);
+        hider.hide_in_programmed_page(page, &public, &payload, false)?;
+        Ok(())
+    }
+
+    /// Attempts to decode one slot from flash (used at mount).
+    fn try_decode_slot(&mut self, slot: usize) -> Result<Option<Vec<u8>>, StegoError> {
+        let lpn = self.slot_lpn[slot];
+        let Some(page) = self.ftl.physical_of(lpn) else {
+            return Ok(None);
+        };
+        let key = self.key.clone();
+        let cfg = self.cfg.vthi.clone();
+        let geometry = *self.ftl.chip().geometry();
+        let mut hider = Hider::new(self.ftl.chip_mut(), key.clone(), cfg.clone())
+            .with_selection_mode(SelectionMode::Absolute);
+        // One shifted read serves both the emptiness heuristic and the
+        // decode. A written slot has ≈half its hidden cells charged above
+        // Vth; an untouched page has only the natural ~1-2% there.
+        let bits = hider.read_hidden_bits(page, None)?;
+        let above = bits.iter().filter(|&&b| !b).count();
+        if above * 10 < bits.len() {
+            return Ok(None);
+        }
+        let stream = vthi::select::page_stream_id(&geometry, page);
+        let bytes = vthi::payload::decode_payload(&key, &cfg, stream, &bits)?;
+        Ok(Some(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+    use stash_flash::{Chip, ChipProfile};
+    use stash_ftl::FtlConfig;
+
+    /// A small-volume profile: vendor-A physics, few blocks, 1 KB pages —
+    /// functional tests do not need statistical scale.
+    fn small_profile() -> ChipProfile {
+        let mut p = ChipProfile::vendor_a();
+        p.geometry =
+            stash_flash::Geometry { blocks_per_chip: 12, pages_per_block: 8, page_bytes: 1024 };
+        p
+    }
+
+    fn make_ftl(seed: u64) -> Ftl {
+        let chip = Chip::new(small_profile(), seed);
+        Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap()
+    }
+
+    fn key() -> HidingKey {
+        HidingKey::from_passphrase("hidden volume")
+    }
+
+    fn fill_public(vol: &mut HiddenVolume, lpns: u64, seed: u64) {
+        let cpp = vol.ftl().chip().geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for lpn in 0..lpns {
+            let data = BitPattern::random_half(&mut rng, cpp);
+            vol.write_public(lpn, &data).unwrap();
+        }
+    }
+
+    #[test]
+    fn hidden_roundtrip_through_volume() {
+        let ftl = make_ftl(1);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 8).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 10);
+
+        let secret: Vec<u8> = (0..vol.slot_bytes() as u8).collect();
+        vol.write_hidden(0, &secret).unwrap();
+        assert_eq!(vol.read_hidden(0).unwrap().unwrap(), secret);
+        // Slot 1 shares slot 0's parity group: initialized to zeros.
+        assert_eq!(vol.read_hidden(1).unwrap(), Some(vec![0u8; vol.slot_bytes()]));
+    }
+
+    #[test]
+    fn survives_remount() {
+        let ftl = make_ftl(2);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let secrets: Vec<Vec<u8>>;
+        let ftl_back;
+        {
+            let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 6).unwrap();
+            let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 11);
+            secrets = (0..4u8)
+                .map(|i| vec![i.wrapping_mul(17); vol.slot_bytes()])
+                .collect();
+            for (i, s) in secrets.iter().enumerate() {
+                vol.write_hidden(i, s).unwrap();
+            }
+            ftl_back = vol.unmount();
+        }
+        let (mut vol, report) =
+            HiddenVolume::remount(ftl_back, key(), cfg, 6).unwrap();
+        assert_eq!(report.lost, 0, "nothing should be lost: {report:?}");
+        assert!(report.recovered >= 4);
+        for (i, s) in secrets.iter().enumerate() {
+            assert_eq!(vol.read_hidden(i).unwrap().as_ref(), Some(s), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn hidden_data_survives_gc_churn() {
+        let ftl = make_ftl(3);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 4).unwrap();
+        let lpns = vol.ftl().capacity_pages();
+        fill_public(&mut vol, lpns, 12);
+        let secret = vec![0xC3u8; vol.slot_bytes()];
+        vol.write_hidden(2, &secret).unwrap();
+
+        // Grind the public volume until GC has run repeatedly.
+        let cpp = vol.ftl().chip().geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..(lpns * 2) {
+            let lpn = rng.gen_range(0..lpns);
+            let data = BitPattern::random_half(&mut rng, cpp);
+            vol.write_public(lpn, &data).unwrap();
+        }
+        assert!(vol.ftl().stats().gc_runs > 0, "GC must have churned");
+        assert_eq!(vol.read_hidden(2).unwrap().unwrap(), secret);
+
+        // And the on-flash copy (not just the cache) survived: remount.
+        let ftl_back = vol.unmount();
+        let geometry = *ftl_back.chip().geometry();
+        let (mut vol2, report) =
+            HiddenVolume::remount(ftl_back, key(), StegoConfig::for_geometry(&geometry), 4)
+                .unwrap();
+        assert_eq!(report.lost, 0, "{report:?}");
+        assert_eq!(vol2.read_hidden(2).unwrap().unwrap(), secret);
+    }
+
+    #[test]
+    fn parity_reconstructs_slot_lost_while_unmounted() {
+        let ftl = make_ftl(4);
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.parity_group = 3;
+        let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 3).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 14);
+        let secrets: Vec<Vec<u8>> =
+            (0..3u8).map(|i| vec![i + 1; vol.slot_bytes()]).collect();
+        for (i, s) in secrets.iter().enumerate() {
+            vol.write_hidden(i, s).unwrap();
+        }
+        // Unmounted: the normal user overwrites one slot's public page,
+        // destroying its hidden payload (fresh physical page, no hiding).
+        let victim_lpn = vol.slot_lpn[vol.internal_slot(1)];
+        let mut ftl_back = vol.unmount();
+        let cpp = ftl_back.chip().geometry().cells_per_page();
+        let noise = BitPattern::random_half(&mut SmallRng::seed_from_u64(15), cpp);
+        ftl_back.write(victim_lpn, &noise).unwrap();
+
+        let (mut vol2, report) = HiddenVolume::remount(ftl_back, key(), cfg, 3).unwrap();
+        assert_eq!(report.reconstructed, 1, "{report:?}");
+        assert_eq!(report.lost, 0, "{report:?}");
+        assert_eq!(vol2.read_hidden(1).unwrap().unwrap(), secrets[1]);
+    }
+
+    #[test]
+    fn piggyback_defers_until_public_write() {
+        let ftl = make_ftl(5);
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.piggyback = true;
+        cfg.parity_group = 0;
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 4).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 16);
+
+        let secret = vec![0x42u8; vol.slot_bytes()];
+        vol.write_hidden(0, &secret).unwrap();
+        assert_eq!(vol.pending_slots(), 1, "embedding must be deferred");
+
+        // A public write to the owning page flushes the hidden bits.
+        let lpn = vol.slot_lpn[0];
+        let cpp = vol.ftl().chip().geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut SmallRng::seed_from_u64(17), cpp);
+        vol.write_public(lpn, &data).unwrap();
+        assert_eq!(vol.pending_slots(), 0);
+        assert_eq!(vol.read_hidden(0).unwrap().unwrap(), secret);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let ftl = make_ftl(6);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 2).unwrap();
+        assert!(matches!(
+            vol.write_hidden(5, &[]),
+            Err(StegoError::SlotOutOfRange { .. })
+        ));
+        let wrong = vec![0u8; vol.slot_bytes() + 1];
+        assert!(matches!(
+            vol.write_hidden(0, &wrong),
+            Err(StegoError::PayloadLength { .. })
+        ));
+        // Unbacked public page.
+        let secret = vec![0u8; vol.slot_bytes()];
+        assert!(matches!(
+            vol.write_hidden(0, &secret),
+            Err(StegoError::UnbackedSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn placement_is_key_dependent() {
+        let a = HiddenVolume::derive_placement(&key(), 1024, 16);
+        let b = HiddenVolume::derive_placement(&key(), 1024, 16);
+        let c =
+            HiddenVolume::derive_placement(&HidingKey::from_passphrase("other"), 1024, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

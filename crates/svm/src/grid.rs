@@ -1,0 +1,152 @@
+//! k-fold cross-validation and hyperparameter grid search
+//! (paper §7: "optimal parameters obtained using grid search, and performed
+//! three-fold cross-validation").
+
+use crate::scaler::StandardScaler;
+use crate::smo::{Kernel, Svm, SvmParams};
+use crate::Dataset;
+use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
+
+/// Mean k-fold cross-validated accuracy of one hyperparameter setting.
+///
+/// Each fold fits its own scaler on the training split only (no leakage).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the dataset has fewer than `k` samples.
+pub fn k_fold_accuracy(data: &Dataset, k: usize, params: &SvmParams, seed: u64) -> f64 {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(data.len() >= k, "fewer samples than folds");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.shuffle(&mut SmallRng::seed_from_u64(seed));
+
+    let mut total_correct = 0usize;
+    let mut total = 0usize;
+    for fold in 0..k {
+        let test_idx: Vec<usize> =
+            idx.iter().enumerate().filter(|(i, _)| i % k == fold).map(|(_, &v)| v).collect();
+        let train_idx: Vec<usize> =
+            idx.iter().enumerate().filter(|(i, _)| i % k != fold).map(|(_, &v)| v).collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        // A fold may end up single-class on tiny datasets; count it as
+        // chance rather than crashing.
+        let one_class = train.labels().iter().all(|&l| l == train.labels()[0]);
+        if one_class {
+            total_correct += test.len() / 2;
+            total += test.len();
+            continue;
+        }
+        let scaler = StandardScaler::fit(&train);
+        let model = Svm::train(&scaler.transform_dataset(&train), params);
+        let test_scaled = scaler.transform_dataset(&test);
+        let correct = test_scaled
+            .features()
+            .iter()
+            .zip(test_scaled.labels())
+            .filter(|(f, &l)| model.predict(f) == l)
+            .count();
+        total_correct += correct;
+        total += test.len();
+    }
+    total_correct as f64 / total.max(1) as f64
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSearchResult {
+    /// Winning hyperparameters.
+    pub params: SvmParams,
+    /// Its cross-validated accuracy.
+    pub accuracy: f64,
+    /// Accuracy of every evaluated candidate, in evaluation order.
+    pub all: Vec<(SvmParams, f64)>,
+}
+
+/// Grid-searches `C` and RBF `gamma` (plus a linear-kernel row) by k-fold
+/// cross-validation, returning the best setting — the adversary's strongest
+/// classifier configuration.
+pub fn grid_search(
+    data: &Dataset,
+    cs: &[f64],
+    gammas: &[f64],
+    k: usize,
+    seed: u64,
+) -> GridSearchResult {
+    let mut all = Vec::new();
+    let mut best: Option<(SvmParams, f64)> = None;
+    let mut consider = |params: SvmParams, acc: f64, all: &mut Vec<(SvmParams, f64)>| {
+        all.push((params, acc));
+        if best.as_ref().map_or(true, |(_, b)| acc > *b) {
+            best = Some((params, acc));
+        }
+    };
+
+    for &c in cs {
+        let lin = SvmParams { kernel: Kernel::Linear, c, ..Default::default() };
+        let acc = k_fold_accuracy(data, k, &lin, seed);
+        consider(lin, acc, &mut all);
+        for &gamma in gammas {
+            let rbf = SvmParams { kernel: Kernel::Rbf { gamma }, c, ..Default::default() };
+            let acc = k_fold_accuracy(data, k, &rbf, seed);
+            consider(rbf, acc, &mut all);
+        }
+    }
+    let (params, accuracy) = best.expect("grid must be non-empty");
+    GridSearchResult { params, accuracy, all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn blobs(separation: f64, n: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for _ in 0..n {
+            d.push(vec![separation + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], 1);
+            d.push(vec![-separation + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], -1);
+        }
+        d
+    }
+
+    #[test]
+    fn cv_high_on_separable_data() {
+        let d = blobs(3.0, 30, 1);
+        let acc = k_fold_accuracy(&d, 3, &SvmParams::default(), 7);
+        assert!(acc > 0.95, "cv accuracy {acc}");
+    }
+
+    #[test]
+    fn cv_near_chance_on_identical_classes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut d = Dataset::new();
+        for i in 0..120 {
+            d.push(
+                vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                if i % 2 == 0 { 1 } else { -1 },
+            );
+        }
+        let acc = k_fold_accuracy(&d, 3, &SvmParams::default(), 7);
+        assert!((0.3..0.7).contains(&acc), "cv accuracy {acc} should be near 0.5");
+    }
+
+    #[test]
+    fn grid_search_finds_good_setting() {
+        let d = blobs(2.0, 25, 3);
+        let res = grid_search(&d, &[0.1, 1.0, 10.0], &[0.01, 0.1, 1.0], 3, 11);
+        assert!(res.accuracy > 0.9, "best accuracy {}", res.accuracy);
+        // 3 Cs × (1 linear + 3 gammas) candidates.
+        assert_eq!(res.all.len(), 12);
+        let max_all = res.all.iter().map(|(_, a)| *a).fold(f64::MIN, f64::max);
+        assert!((res.accuracy - max_all).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_panics() {
+        let d = blobs(1.0, 5, 0);
+        let _ = k_fold_accuracy(&d, 1, &SvmParams::default(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! # stash-svm — the detectability adversary
+//!
+//! The paper's security evaluation (§7) follows Wang et al. \[38\]: a
+//! support-vector machine is trained to distinguish flash blocks/pages with
+//! hidden data from those without, using voltage-level distributions as
+//! features. VT-HI is considered secure when the classifier cannot beat a
+//! coin flip (50%). This crate implements the full adversary pipeline from
+//! scratch: an SMO-trained SVM with linear and RBF kernels, feature
+//! standardization, k-fold cross-validation and grid search over
+//! hyperparameters ("the classifier used optimal parameters obtained using
+//! grid search, and performed three-fold cross-validation").
+//!
+//! ```
+//! use stash_svm::{Dataset, Kernel, SvmParams, Svm};
+//!
+//! // A linearly separable toy problem.
+//! let mut data = Dataset::new();
+//! for i in 0..20 {
+//!     let x = f64::from(i);
+//!     data.push(vec![x, 1.0], 1);
+//!     data.push(vec![x, -1.0], -1);
+//! }
+//! let model = Svm::train(&data, &SvmParams { kernel: Kernel::Linear, c: 1.0, ..Default::default() });
+//! assert_eq!(model.predict(&[3.0, 0.9]), 1);
+//! assert_eq!(model.predict(&[3.0, -0.9]), -1);
+//! ```
+
+pub mod grid;
+pub mod metrics;
+pub mod scaler;
+pub mod smo;
+
+pub use grid::{grid_search, k_fold_accuracy, GridSearchResult};
+pub use metrics::{roc_auc, ConfusionMatrix};
+pub use scaler::StandardScaler;
+pub use smo::{Kernel, Svm, SvmParams};
+
+/// A labelled dataset: feature vectors with ±1 labels.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<i8>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not ±1 or the dimension disagrees with
+    /// earlier samples.
+    pub fn push(&mut self, features: Vec<f64>, label: i8) {
+        assert!(label == 1 || label == -1, "labels must be ±1, got {label}");
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "feature dimension mismatch");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimension (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Borrowed feature matrix.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Borrowed labels.
+    pub fn labels(&self) -> &[i8] {
+        &self.labels
+    }
+
+    /// Builds a sub-dataset from sample indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Merges another dataset of the same dimension into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn extend(&mut self, other: &Dataset) {
+        for (f, &l) in other.features.iter().zip(&other.labels) {
+            self.push(f.clone(), l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be ±1")]
+    fn bad_label_panics() {
+        Dataset::new().push(vec![1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn bad_dim_panics() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], 1);
+        d.push(vec![1.0, 2.0], -1);
+    }
+
+    #[test]
+    fn subset_selects() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], 1);
+        d.push(vec![2.0], -1);
+        d.push(vec![3.0], 1);
+        let s = d.subset(&[0, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[1, 1]);
+    }
+}

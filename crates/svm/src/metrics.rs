@@ -1,0 +1,207 @@
+//! Classifier evaluation metrics beyond raw accuracy.
+//!
+//! Accuracy is the paper's headline number, but a forensic analyst would
+//! also look at the trade-off curve: how many normal blocks must be falsely
+//! accused to catch a given share of hidden blocks. This module provides
+//! the standard machinery (confusion matrix, precision/recall/F1, ROC AUC
+//! over decision values).
+
+use crate::smo::Svm;
+use crate::Dataset;
+
+/// Binary confusion matrix with +1 as the positive (hidden) class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Hidden blocks called hidden.
+    pub true_positives: usize,
+    /// Normal blocks called hidden (false accusations).
+    pub false_positives: usize,
+    /// Normal blocks called normal.
+    pub true_negatives: usize,
+    /// Hidden blocks that evaded the classifier.
+    pub false_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates a trained model on a dataset.
+    pub fn evaluate(model: &Svm, data: &Dataset) -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::default();
+        for (f, &label) in data.features().iter().zip(data.labels()) {
+            match (model.predict(f), label) {
+                (1, 1) => cm.true_positives += 1,
+                (1, -1) => cm.false_positives += 1,
+                (-1, -1) => cm.true_negatives += 1,
+                (-1, 1) => cm.false_negatives += 1,
+                _ => unreachable!("labels are ±1"),
+            }
+        }
+        cm
+    }
+
+    /// Samples evaluated.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Of blocks called hidden, the fraction actually hidden.
+    pub fn precision(&self) -> f64 {
+        let called = self.true_positives + self.false_positives;
+        if called == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / called as f64
+        }
+    }
+
+    /// Of hidden blocks, the fraction caught.
+    pub fn recall(&self) -> f64 {
+        let actual = self.true_positives + self.false_negatives;
+        if actual == 0 {
+            0.0
+        } else {
+            self.true_positives as f64 / actual as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Of normal blocks, the fraction falsely accused.
+    pub fn false_positive_rate(&self) -> f64 {
+        let negatives = self.false_positives + self.true_negatives;
+        if negatives == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / negatives as f64
+        }
+    }
+}
+
+/// Area under the ROC curve from the model's continuous decision values
+/// (probability that a random hidden block scores above a random normal
+/// block; 0.5 = the classifier learned nothing).
+pub fn roc_auc(model: &Svm, data: &Dataset) -> f64 {
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (f, &label) in data.features().iter().zip(data.labels()) {
+        let d = model.decision(f);
+        if label == 1 {
+            pos.push(d);
+        } else {
+            neg.push(d);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // Mann–Whitney U statistic.
+    let mut wins = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smo::{Kernel, SvmParams};
+
+    fn separable() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            let x = f64::from(i) / 10.0;
+            d.push(vec![x, 1.0], 1);
+            d.push(vec![x, -1.0], -1);
+        }
+        d
+    }
+
+    fn identical_classes(seed: u64) -> Dataset {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut d = Dataset::new();
+        for i in 0..80 {
+            d.push(
+                vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                if i % 2 == 0 { 1 } else { -1 },
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let data = separable();
+        let model = Svm::train(
+            &data,
+            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
+        );
+        let cm = ConfusionMatrix::evaluate(&model, &data);
+        assert_eq!(cm.total(), 40);
+        assert!(cm.accuracy() > 0.97);
+        assert!(cm.precision() > 0.95);
+        assert!(cm.recall() > 0.95);
+        assert!(cm.f1() > 0.95);
+        assert!(cm.false_positive_rate() < 0.05);
+        assert!(roc_auc(&model, &data) > 0.99);
+    }
+
+    #[test]
+    fn chance_classifier_has_half_auc() {
+        let train = identical_classes(1);
+        let test = identical_classes(2);
+        let model = Svm::train(&train, &SvmParams::default());
+        let auc = roc_auc(&model, &test);
+        assert!((0.3..0.7).contains(&auc), "AUC {auc} should hover near 0.5");
+    }
+
+    #[test]
+    fn degenerate_matrices_are_safe() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.false_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let data = separable();
+        let model = Svm::train(
+            &data,
+            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
+        );
+        let cm = ConfusionMatrix::evaluate(&model, &data);
+        assert_eq!(
+            cm.true_positives + cm.false_negatives,
+            data.labels().iter().filter(|&&l| l == 1).count()
+        );
+        assert_eq!(
+            cm.true_negatives + cm.false_positives,
+            data.labels().iter().filter(|&&l| l == -1).count()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Feature standardization (zero mean, unit variance per dimension).
+//!
+//! Voltage-histogram features span several orders of magnitude (the erased
+//! spike at level 0 vs. sparse tail bins); SVMs need standardized inputs.
+
+use crate::Dataset;
+
+/// Per-dimension affine scaler fitted on training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a scaler on no data");
+        let n = data.len() as f64;
+        let dim = data.dim();
+        let mut means = vec![0.0; dim];
+        for f in data.features() {
+            for (m, v) in means.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; dim];
+        for f in data.features() {
+            for ((s, v), m) in stds.iter_mut().zip(f).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            // Constant dimensions pass through unscaled.
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transforms one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.means.len(), "dimension mismatch");
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms a whole dataset, keeping labels.
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new();
+        for (f, &l) in data.features().iter().zip(data.labels()) {
+            out.push(self.transform(f), l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_mean_and_variance() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 100.0], 1);
+        d.push(vec![3.0, 300.0], -1);
+        d.push(vec![5.0, 500.0], 1);
+        let sc = StandardScaler::fit(&d);
+        let t = sc.transform_dataset(&d);
+        for dim in 0..2 {
+            let vals: Vec<f64> = t.features().iter().map(|f| f[dim]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 3.0;
+            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12, "dim {dim} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-9, "dim {dim} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_dimension_is_safe() {
+        let mut d = Dataset::new();
+        d.push(vec![7.0], 1);
+        d.push(vec![7.0], -1);
+        let sc = StandardScaler::fit(&d);
+        let t = sc.transform(&[7.0]);
+        assert!(t[0].abs() < 1e-12);
+        assert!(t[0].is_finite());
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], 1);
+        d.push(vec![2.0], -1);
+        let sc = StandardScaler::fit(&d);
+        assert_eq!(sc.transform_dataset(&d).labels(), d.labels());
+    }
+}

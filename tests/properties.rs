@@ -1,0 +1,148 @@
+//! Cross-crate property tests: VT-HI invariants under arbitrary payloads,
+//! keys and configurations.
+
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, SeedableRng};
+use stash::crypto::HidingKey;
+use stash::flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, PageId};
+use stash::vthi::{EccChoice, Hider, SelectionMode, VthiConfig};
+
+/// A quick chip: vendor-A physics, small pages.
+fn small_chip(seed: u64) -> Chip {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 4, pages_per_block: 8, page_bytes: 1024 };
+    Chip::new(profile, seed)
+}
+
+fn small_cfg() -> VthiConfig {
+    let mut cfg = VthiConfig::paper_default();
+    cfg.hidden_bits_per_page = 64;
+    cfg.ecc = EccChoice::Bch { t: 3, segment_bits: 0 };
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload hidden under any key round-trips, regardless of the
+    /// public pattern (as long as it has enough erased cells).
+    #[test]
+    fn prop_hide_reveal_roundtrip(
+        chip_seed in any::<u64>(),
+        key_byte in any::<u8>(),
+        payload_seed in any::<u64>(),
+        page_idx in 0u32..8,
+    ) {
+        let mut chip = small_chip(chip_seed);
+        let cfg = small_cfg();
+        let key = HidingKey::new([key_byte; 32]);
+        let mut rng = SmallRng::seed_from_u64(payload_seed);
+        let public = BitPattern::random_half(&mut rng, chip.geometry().cells_per_page());
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page())
+            .map(|_| rand::Rng::gen(&mut rng))
+            .collect();
+
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), page_idx);
+        let mut hider = Hider::new(&mut chip, key, cfg);
+        hider.hide_on_fresh_page(page, &public, &payload).unwrap();
+        prop_assert_eq!(hider.reveal_page(page, Some(&public)).unwrap(), payload);
+    }
+
+    /// Hiding never changes what the public read returns (beyond the
+    /// device's own noise floor).
+    #[test]
+    fn prop_public_data_invariant(
+        chip_seed in any::<u64>(),
+        payload_seed in any::<u64>(),
+    ) {
+        let cfg = small_cfg();
+        let mut rng = SmallRng::seed_from_u64(payload_seed);
+        let key = HidingKey::new([1u8; 32]);
+
+        // Reference: program only, no hiding.
+        let mut plain = small_chip(chip_seed);
+        let public = BitPattern::random_half(&mut rng, plain.geometry().cells_per_page());
+        plain.erase_block(BlockId(0)).unwrap();
+        plain.program_page(PageId::new(BlockId(0), 0), &public).unwrap();
+        let baseline = plain.read_page(PageId::new(BlockId(0), 0)).unwrap();
+
+        // Same chip sample, with hiding.
+        let mut hidden_chip = small_chip(chip_seed);
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page())
+            .map(|_| rand::Rng::gen(&mut rng))
+            .collect();
+        hidden_chip.erase_block(BlockId(0)).unwrap();
+        let mut hider = Hider::new(&mut hidden_chip, key, cfg);
+        hider.hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload).unwrap();
+        let with_hiding = hider.chip_mut().read_page(PageId::new(BlockId(0), 0)).unwrap();
+
+        // The invariant is that hiding adds (essentially) nothing on top of
+        // the device's own noise — weak pages with low voltage offsets may
+        // legitimately carry a few raw errors either way.
+        let b = baseline.hamming_distance(&public) as i64;
+        let h = with_hiding.hamming_distance(&public) as i64;
+        prop_assert!(b <= 16, "baseline noise implausibly high: {b}");
+        prop_assert!(h <= 16, "noise with hiding implausibly high: {h}");
+        prop_assert!((h - b).abs() <= 6, "hiding changed public errors: {b} -> {h}");
+    }
+
+    /// The two selection modes both produce distinct, erased-cell-only
+    /// selections of the right size.
+    #[test]
+    fn prop_selection_sound(
+        key_byte in any::<u8>(),
+        page_idx in 0u32..8,
+        mode_abs in any::<bool>(),
+    ) {
+        let geometry = Geometry { blocks_per_chip: 4, pages_per_block: 8, page_bytes: 1024 };
+        let key = HidingKey::new([key_byte; 32]);
+        let mut rng = SmallRng::seed_from_u64(u64::from(key_byte));
+        let public = BitPattern::random_half(&mut rng, geometry.cells_per_page());
+        let mode = if mode_abs { SelectionMode::Absolute } else { SelectionMode::OnesIndexed };
+        let cells = stash::vthi::select_hidden_cells(
+            &key, &geometry, PageId::new(BlockId(0), page_idx), &public, 64, mode,
+        ).unwrap();
+        prop_assert_eq!(cells.len(), 64);
+        let unique: std::collections::HashSet<_> = cells.iter().collect();
+        prop_assert_eq!(unique.len(), 64);
+        prop_assert!(cells.iter().all(|&c| public.get(c)));
+    }
+
+    /// Voltage monotonicity: partial programming can only raise measured
+    /// levels (within read noise), never lower them.
+    #[test]
+    fn prop_pp_monotone(chip_seed in any::<u64>(), steps in 1u8..6) {
+        let mut chip = small_chip(chip_seed);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(chip_seed ^ 0xF0F0);
+        let public = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), 0);
+        chip.program_page(page, &public).unwrap();
+
+        let mut mask = BitPattern::zeros(cpp);
+        let mut n = 0;
+        for i in 0..cpp {
+            if public.get(i) {
+                mask.set(i, true);
+                n += 1;
+                if n == 32 { break; }
+            }
+        }
+        let before = chip.probe_voltages(page).unwrap();
+        for _ in 0..steps {
+            chip.partial_program(page, &mask).unwrap();
+        }
+        let after = chip.probe_voltages(page).unwrap();
+        for i in 0..cpp {
+            if mask.get(i) {
+                // Allow a few levels of read noise; charge itself only goes up.
+                prop_assert!(
+                    i32::from(after[i]) >= i32::from(before[i]) - 3,
+                    "cell {i} dropped: {} -> {}", before[i], after[i]
+                );
+            }
+        }
+    }
+}
