@@ -80,7 +80,7 @@ fn vthi_encode(c: &mut Criterion) {
                 chip.erase_block(block).unwrap();
             }
             let mut hider = PthiHider::new(&mut chip, key.clone(), cfg.clone());
-            black_box(hider.encode_page(p, &bits).unwrap());
+            hider.encode_page(p, black_box(&bits)).unwrap();
             page += 1;
         });
     });

@@ -55,8 +55,8 @@ fn main() {
                     // Pages that converged early keep their final BER for
                     // the remaining steps (the paper plots flat tails).
                     if let Some(last) = rep.step_ber.last() {
-                        for s in rep.step_ber.len()..STEPS as usize {
-                            acc[s].absorb(*last);
+                        for a in acc.iter_mut().take(STEPS as usize).skip(rep.step_ber.len()) {
+                            a.absorb(*last);
                         }
                     }
                 }

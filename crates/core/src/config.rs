@@ -243,7 +243,7 @@ impl VthiConfig {
             EccChoice::None => Ok(None),
             EccChoice::Bch { t, .. } => {
                 let n = self.segment_bits();
-                let m = (5..=13u32).find(|&m| (1usize << m) - 1 >= n).ok_or_else(|| {
+                let m = (5..=13u32).find(|&m| (1usize << m) > n).ok_or_else(|| {
                     HideError::InvalidConfig(format!("segment of {n} bits exceeds GF(2^13)"))
                 })?;
                 let full = Bch::new(m, t);

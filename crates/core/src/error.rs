@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Errors returned by the hiding layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum HideError {
     /// An underlying flash operation failed.
     Flash(FlashError),

@@ -54,6 +54,7 @@ pub mod mlc;
 pub mod payload;
 pub mod perf;
 pub mod placement;
+pub mod recovery;
 pub mod select;
 
 pub use capacity::{shannon_capacity_bits, PageCapacity};
@@ -63,6 +64,7 @@ pub use hider::{BlockEncodeReport, Hider, PageEncodeReport};
 pub use mlc::{MlcHideConfig, MlcHider};
 pub use perf::{HidingThroughput, PAPER_PAGES_PER_BLOCK_S8};
 pub use placement::WearPlan;
+pub use recovery::RetryPolicy;
 pub use select::{select_hidden_cells, SelectionMode};
 
 /// Result alias for hiding operations.

@@ -68,8 +68,8 @@ impl ChaCha20 {
             quarter(&mut w, 2, 7, 8, 13);
             quarter(&mut w, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            let word = w[i].wrapping_add(self.state[i]);
+        for (i, &wi) in w.iter().enumerate() {
+            let word = wi.wrapping_add(self.state[i]);
             self.keystream[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
         }
         self.state[12] = self.state[12].wrapping_add(1);

@@ -39,8 +39,8 @@ impl GaloisField {
         let mut exp = vec![0u16; 2 * n];
         let mut log = vec![0u16; n + 1];
         let mut x = 1u32;
-        for i in 0..n {
-            exp[i] = x as u16;
+        for (i, e) in exp.iter_mut().enumerate().take(n) {
+            *e = x as u16;
             log[x as usize] = i as u16;
             x <<= 1;
             if x & (1 << m) != 0 {

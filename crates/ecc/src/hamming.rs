@@ -52,9 +52,9 @@ impl BlockCode for ExtendedHamming {
         let n = self.block_len();
         let mut code = vec![false; n];
         let mut it = data.iter();
-        for pos in 1..n {
+        for (pos, c) in code.iter_mut().enumerate().take(n).skip(1) {
             if !self.is_parity_pos(pos) {
-                code[pos] = *it.next().unwrap();
+                *c = *it.next().unwrap();
             }
         }
         // Hamming parity bits: parity at 2^i covers positions with bit i set.
@@ -94,9 +94,9 @@ impl BlockCode for ExtendedHamming {
         }
 
         let mut data = Vec::with_capacity(self.data_len());
-        for pos in 1..n {
+        for (pos, &bit) in fixed.iter().enumerate().take(n).skip(1) {
             if !self.is_parity_pos(pos) {
-                data.push(fixed[pos]);
+                data.push(bit);
             }
         }
         Ok(data)

@@ -57,8 +57,11 @@ impl VoltState {
 pub(crate) struct BlockMeta {
     /// Program/erase cycles endured.
     pub pec: u32,
-    /// Bad-block flag.
+    /// Factory bad-block flag (fails every operation, reads included).
     pub bad: bool,
+    /// Grown bad-block flag (wore out at runtime): rejects program and
+    /// erase but still reads, so data can be migrated off the block.
+    pub grown_bad: bool,
     /// PT-HI stress damage: per-cell additive program-speed delta.
     pub stress: HashMap<usize, f32>,
     /// Cached per-cell interference coupling (only for small geometries).
@@ -69,7 +72,14 @@ pub(crate) struct BlockMeta {
 
 impl BlockMeta {
     pub(crate) fn new() -> Self {
-        BlockMeta { pec: 0, bad: false, stress: HashMap::new(), coupling_cache: None, state: None }
+        BlockMeta {
+            pec: 0,
+            bad: false,
+            grown_bad: false,
+            stress: HashMap::new(),
+            coupling_cache: None,
+            state: None,
+        }
     }
 }
 
@@ -94,6 +104,7 @@ mod tests {
         let m = BlockMeta::new();
         assert_eq!(m.pec, 0);
         assert!(!m.bad);
+        assert!(!m.grown_bad);
         assert!(m.state.is_none());
         assert!(m.stress.is_empty());
     }

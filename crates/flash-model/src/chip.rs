@@ -6,9 +6,10 @@ use rand::{rngs::SmallRng, Rng, SeedableRng};
 use crate::bits::BitPattern;
 use crate::block::{BlockMeta, VoltState};
 use crate::error::FlashError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::geometry::{BlockId, Geometry, PageId};
 use crate::latent;
-use crate::meter::{Meter, MeterSnapshot, OpKind};
+use crate::meter::{FaultKind, Meter, MeterSnapshot, OpKind};
 use crate::noise::Gaussian;
 use crate::profile::ChipProfile;
 use crate::{Level, Result, SLC_READ_REF};
@@ -44,6 +45,9 @@ pub struct Chip {
     rng: SmallRng,
     gauss: Gaussian,
     meter: Meter,
+    /// Installed fault schedule; `None` (the default) keeps every operation
+    /// on the exact fault-free code path.
+    fault: Option<Box<FaultState>>,
 }
 
 impl Chip {
@@ -62,7 +66,27 @@ impl Chip {
             rng: SmallRng::seed_from_u64(latent::splitmix64(seed ^ 0xA5A5_5A5A)),
             gauss: Gaussian::new(),
             meter: Meter::new(),
+            fault: None,
         }
+    }
+
+    /// Creates a chip with a fault schedule installed from the start.
+    pub fn with_faults(profile: ChipProfile, seed: u64, plan: FaultPlan) -> Self {
+        let mut chip = Chip::new(profile, seed);
+        chip.set_fault_plan(plan);
+        chip
+    }
+
+    /// Installs (or, with [`FaultPlan::none`], removes) a fault schedule.
+    /// The plan's operation counter and RNG stream restart from the seed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault =
+            if plan.is_none() { None } else { Some(Box::new(FaultState::new(plan))) };
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
     }
 
     /// The package geometry.
@@ -121,6 +145,42 @@ impl Chip {
         Ok(self.blocks[b.0 as usize].bad)
     }
 
+    /// Marks a block as grown bad, as a controller would after an
+    /// unrecoverable program/erase failure: subsequent program, partial
+    /// program and erase operations fail with
+    /// [`FlashError::GrownBadBlock`], but the block still reads so
+    /// surviving data can be migrated off it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BlockOutOfRange`] for an invalid block.
+    pub fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        self.check_block(b)?;
+        if !self.blocks[b.0 as usize].grown_bad {
+            self.blocks[b.0 as usize].grown_bad = true;
+            self.meter.record_fault(FaultKind::GrownBad);
+        }
+        Ok(())
+    }
+
+    /// Whether a block has grown bad (at runtime, via the fault plan or
+    /// [`grow_bad_block`](Self::grow_bad_block)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BlockOutOfRange`] for an invalid block.
+    pub fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        self.check_block(b)?;
+        Ok(self.blocks[b.0 as usize].grown_bad)
+    }
+
+    /// Advances simulated wall-clock time without issuing an operation
+    /// (retry backoff); accounted separately in the meter's `wait_time_us`.
+    pub fn advance_time_us(&mut self, us: f64) {
+        assert!(us >= 0.0, "time cannot run backwards");
+        self.meter.add_wait_us(us);
+    }
+
     /// Whether a page has been programmed since its block's last erase.
     ///
     /// # Errors
@@ -131,7 +191,7 @@ impl Chip {
         Ok(self.blocks[p.block.0 as usize]
             .state
             .as_ref()
-            .map_or(false, |s| s.page_programmed[p.page as usize]))
+            .is_some_and(|s| s.page_programmed[p.page as usize]))
     }
 
     /// Frees the bulky per-cell voltage state of a block while keeping its
@@ -160,6 +220,22 @@ impl Chip {
     /// Fails on invalid addresses or bad blocks.
     pub fn erase_block(&mut self, b: BlockId) -> Result<()> {
         self.check_usable_block(b)?;
+        self.fault_tick(b);
+        self.check_not_grown_bad(b)?;
+        if let Some(fs) = self.fault.as_mut() {
+            let next_pec = self.blocks[b.0 as usize].pec.saturating_add(1);
+            if fs.roll_pec_wearout(next_pec) {
+                self.blocks[b.0 as usize].grown_bad = true;
+                self.meter.record_fault(FaultKind::GrownBad);
+                self.meter.record(OpKind::Erase, &self.profile.timing);
+                return Err(FlashError::GrownBadBlock(b));
+            }
+            if fs.roll_erase() {
+                self.meter.record_fault(FaultKind::TransientErase);
+                self.meter.record(OpKind::Erase, &self.profile.timing);
+                return Err(FlashError::EraseFail(b));
+            }
+        }
         self.blocks[b.0 as usize].pec = self.blocks[b.0 as usize].pec.saturating_add(1);
         self.redraw_erased(b);
         self.meter.record(OpKind::Erase, &self.profile.timing);
@@ -193,6 +269,8 @@ impl Chip {
     /// if the page was already programmed since the last erase.
     pub fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
         self.check_usable_page(p)?;
+        self.fault_tick(p.block);
+        self.check_not_grown_bad(p.block)?;
         let cpp = self.profile.geometry.cells_per_page();
         if data.len() != cpp {
             return Err(FlashError::PatternLength { expected: cpp, got: data.len() });
@@ -204,6 +282,16 @@ impl Chip {
             [p.page as usize]
         {
             return Err(FlashError::PageAlreadyProgrammed(p));
+        }
+
+        // Transient program failure: abort before drawing any process noise
+        // or charging any cell, so a retry sees the page untouched.
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_program() {
+                self.meter.record_fault(FaultKind::TransientProgram);
+                self.meter.record(OpKind::Program, &self.profile.timing);
+                return Err(FlashError::TransientProgramFail(p));
+            }
         }
 
         // Effective programmed distribution for this pass.
@@ -261,6 +349,8 @@ impl Chip {
     /// if the page has not been programmed since the last erase.
     pub fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
         self.check_usable_page(p)?;
+        self.fault_tick(p.block);
+        self.check_not_grown_bad(p.block)?;
         let cpp = self.profile.geometry.cells_per_page();
         if mask.len() != cpp {
             return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
@@ -270,6 +360,13 @@ impl Chip {
             [p.page as usize]
         {
             return Err(FlashError::PageNotProgrammed(p));
+        }
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_partial_program() {
+                self.meter.record_fault(FaultKind::TransientProgram);
+                self.meter.record(OpKind::PartialProgram, &self.profile.timing);
+                return Err(FlashError::TransientProgramFail(p));
+            }
         }
 
         let pp = self.profile.partial_program;
@@ -322,6 +419,8 @@ impl Chip {
         target: Level,
     ) -> Result<()> {
         self.check_usable_page(p)?;
+        self.fault_tick(p.block);
+        self.check_not_grown_bad(p.block)?;
         let cpp = self.profile.geometry.cells_per_page();
         if mask.len() != cpp {
             return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
@@ -331,6 +430,13 @@ impl Chip {
             [p.page as usize]
         {
             return Err(FlashError::PageNotProgrammed(p));
+        }
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_partial_program() {
+                self.meter.record_fault(FaultKind::TransientProgram);
+                self.meter.record(OpKind::PartialProgram, &self.profile.timing);
+                return Err(FlashError::TransientProgramFail(p));
+            }
         }
 
         let base = p.page as usize * cpp;
@@ -377,10 +483,14 @@ impl Chip {
     /// Fails on invalid addresses or bad blocks.
     pub fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
         self.check_usable_page(p)?;
+        let op = self.fault_tick(p.block);
         self.ensure_state(p.block);
         let cpp = self.profile.geometry.cells_per_page();
         let base = p.page as usize * cpp;
-        let noise = self.profile.read_noise_sigma;
+        let mut noise = self.profile.read_noise_sigma;
+        if let Some(fs) = self.fault.as_ref() {
+            noise *= fs.plan.noise_factor(op);
+        }
         let vref = f64::from(vref);
 
         let mut bits = BitPattern::zeros(cpp);
@@ -396,6 +506,13 @@ impl Chip {
             }
             state.read_count += 1;
         }
+        if let Some(fs) = self.fault.as_ref() {
+            for sc in fs.plan.stuck_in(p.block) {
+                if (base..base + cpp).contains(&sc.cell) {
+                    bits.set(sc.cell - base, f64::from(sc.level) < vref);
+                }
+            }
+        }
         self.meter.record(OpKind::Read, &self.profile.timing);
         Ok(bits)
     }
@@ -409,10 +526,14 @@ impl Chip {
     /// Fails on invalid addresses or bad blocks.
     pub fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
         self.check_usable_page(p)?;
+        let op = self.fault_tick(p.block);
         self.ensure_state(p.block);
         let cpp = self.profile.geometry.cells_per_page();
         let base = p.page as usize * cpp;
-        let noise = self.profile.read_noise_sigma;
+        let mut noise = self.profile.read_noise_sigma;
+        if let Some(fs) = self.fault.as_ref() {
+            noise *= fs.plan.noise_factor(op);
+        }
 
         let mut out = Vec::with_capacity(cpp);
         {
@@ -423,6 +544,13 @@ impl Chip {
                 out.push(measured.round().clamp(0.0, 255.0) as Level);
             }
             state.read_count += 1;
+        }
+        if let Some(fs) = self.fault.as_ref() {
+            for sc in fs.plan.stuck_in(p.block) {
+                if (base..base + cpp).contains(&sc.cell) {
+                    out[sc.cell - base] = sc.level;
+                }
+            }
         }
         self.meter.record(OpKind::Probe, &self.profile.timing);
         Ok(out)
@@ -473,6 +601,8 @@ impl Chip {
     /// Fails on invalid addresses, bad blocks, or pattern-length mismatch.
     pub fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
         self.check_usable_page(p)?;
+        self.fault_tick(p.block);
+        self.check_not_grown_bad(p.block)?;
         let cpp = self.profile.geometry.cells_per_page();
         if mask.len() != cpp {
             return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
@@ -517,6 +647,8 @@ impl Chip {
     /// Fails on invalid addresses or bad blocks.
     pub fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
         self.check_usable_page(p)?;
+        self.fault_tick(p.block);
+        self.check_not_grown_bad(p.block)?;
         self.ensure_state(p.block);
         let cpp = self.profile.geometry.cells_per_page();
         let base = p.page as usize * cpp;
@@ -571,6 +703,26 @@ impl Chip {
     }
 
     // ---- internal helpers -------------------------------------------------
+
+    /// Advances the fault-plan operation counter (when a plan is installed)
+    /// and applies any scheduled grown-bad marking for the touched block.
+    /// Returns this operation's global index (0 with no plan).
+    fn fault_tick(&mut self, b: BlockId) -> u64 {
+        let Some(fs) = self.fault.as_mut() else { return 0 };
+        let op = fs.tick();
+        if fs.plan.grown_bad_scheduled(b, op) && !self.blocks[b.0 as usize].grown_bad {
+            self.blocks[b.0 as usize].grown_bad = true;
+            self.meter.record_fault(FaultKind::GrownBad);
+        }
+        op
+    }
+
+    fn check_not_grown_bad(&self, b: BlockId) -> Result<()> {
+        if self.blocks[b.0 as usize].grown_bad {
+            return Err(FlashError::GrownBadBlock(b));
+        }
+        Ok(())
+    }
 
     fn check_block(&self, b: BlockId) -> Result<()> {
         if !self.profile.geometry.contains_block(b) {
@@ -952,8 +1104,8 @@ mod tests {
         let levels = c.probe_voltages(p).unwrap();
         let bits = c.read_page(p).unwrap();
         let mut agree = 0;
-        for i in 0..levels.len() {
-            let by_level = levels[i] < SLC_READ_REF;
+        for (i, &level) in levels.iter().enumerate() {
+            let by_level = level < SLC_READ_REF;
             if by_level == bits.get(i) {
                 agree += 1;
             }
@@ -1144,5 +1296,133 @@ mod tests {
     fn chip_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Chip>();
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut c = Chip::new(ChipProfile::test_small(), 77);
+            if let Some(plan) = plan {
+                c.set_fault_plan(plan);
+            }
+            let (p, _) = programmed_page(&mut c);
+            let mask = BitPattern::ones(c.geometry().cells_per_page());
+            c.partial_program(p, &mask).unwrap();
+            (c.probe_voltages(p).unwrap(), c.meter())
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+    }
+
+    #[test]
+    fn transient_program_fault_leaves_page_untouched() {
+        let mut c = chip();
+        c.set_fault_plan(FaultPlan::new(3).with_program_fail(1.0));
+        let p = PageId::new(BlockId(0), 0);
+        c.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(c.geometry().cells_per_page());
+        assert_eq!(c.program_page(p, &data), Err(FlashError::TransientProgramFail(p)));
+        assert!(!c.is_page_programmed(p).unwrap(), "failed program must not mark the page");
+        // The failed attempt still reads fully erased, and a fault was metered.
+        let bits = c.read_page(p).unwrap();
+        assert_eq!(bits.count_zeros(), 0);
+        assert_eq!(c.meter().fault_count(FaultKind::TransientProgram), 1);
+        // Lifting the plan lets the same program succeed.
+        c.set_fault_plan(FaultPlan::none());
+        c.program_page(p, &data).unwrap();
+    }
+
+    #[test]
+    fn grown_bad_block_reads_but_rejects_writes() {
+        let mut c = chip();
+        let (p, data) = programmed_page(&mut c);
+        let b = p.block;
+        c.grow_bad_block(b).unwrap();
+        assert!(c.is_grown_bad(b).unwrap());
+        // Data written before the block grew bad is still readable...
+        let back = c.read_page(p).unwrap();
+        assert!(back.hamming_distance(&data) <= 2);
+        // ...but program/PP/erase are rejected, typed.
+        assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
+        let mask = BitPattern::ones(c.geometry().cells_per_page());
+        assert_eq!(c.partial_program(p, &mask), Err(FlashError::GrownBadBlock(b)));
+        assert_eq!(
+            c.program_page(PageId::new(b, 7), &mask),
+            Err(FlashError::GrownBadBlock(b))
+        );
+    }
+
+    #[test]
+    fn scheduled_grown_bad_fires_at_op_index() {
+        let mut c = chip();
+        c.set_fault_plan(FaultPlan::new(1).schedule_grown_bad(BlockId(0), 2));
+        let b = BlockId(0);
+        c.erase_block(b).unwrap(); // op 0
+        let data = BitPattern::ones(c.geometry().cells_per_page());
+        c.program_page(PageId::new(b, 0), &data).unwrap(); // op 1
+        // Op 2 touches the block: the schedule marks it grown bad first.
+        assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
+        assert!(c.is_grown_bad(b).unwrap());
+        assert_eq!(c.meter().fault_count(FaultKind::GrownBad), 1);
+    }
+
+    #[test]
+    fn pec_threshold_grows_bad_on_erase() {
+        let mut c = chip();
+        c.set_fault_plan(FaultPlan::new(1).with_grown_bad_after_pec(5));
+        let b = BlockId(1);
+        for _ in 0..4 {
+            c.erase_block(b).unwrap();
+        }
+        assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
+        assert!(c.is_grown_bad(b).unwrap());
+        assert_eq!(c.block_pec(b).unwrap(), 4, "the failed erase must not add wear");
+    }
+
+    #[test]
+    fn noise_spike_inflates_read_errors_within_window() {
+        let errors_with = |factor: f64| {
+            let mut c = Chip::new(ChipProfile::test_small(), 11);
+            c.set_fault_plan(FaultPlan::new(2).with_noise_spike(0, 1_000, factor));
+            let (p, data) = programmed_page(&mut c);
+            let mut errs = 0;
+            for _ in 0..10 {
+                errs += c.read_page(p).unwrap().hamming_distance(&data);
+            }
+            errs
+        };
+        assert!(
+            errors_with(20.0) > errors_with(1.0) + 50,
+            "a 20x sigma spike must visibly corrupt reads"
+        );
+    }
+
+    #[test]
+    fn stuck_cell_overrides_reads_and_probes() {
+        let mut c = chip();
+        let cpp = c.geometry().cells_per_page();
+        // Stick cell 5 of page 0 high and cell 7 low.
+        c.set_fault_plan(
+            FaultPlan::new(4)
+                .with_stuck_cell(BlockId(0), 5, 200)
+                .with_stuck_cell(BlockId(0), 7, 0),
+        );
+        let p = PageId::new(BlockId(0), 0);
+        c.erase_block(p.block).unwrap();
+        c.program_page(p, &BitPattern::ones(cpp)).unwrap();
+        let levels = c.probe_voltages(p).unwrap();
+        assert_eq!(levels[5], 200);
+        assert_eq!(levels[7], 0);
+        let bits = c.read_page(p).unwrap();
+        assert!(!bits.get(5), "stuck-high cell must read programmed");
+        assert!(bits.get(7), "stuck-low cell must read erased");
+    }
+
+    #[test]
+    fn advance_time_accumulates_wait() {
+        let mut c = chip();
+        c.advance_time_us(250.0);
+        c.advance_time_us(750.0);
+        assert!((c.meter().wait_time_us - 1000.0).abs() < 1e-9);
+        assert_eq!(c.meter().total_ops(), 0);
     }
 }

@@ -10,6 +10,7 @@ use std::fmt;
 /// constraint, operating on a block marked bad, or handing a data pattern
 /// whose length does not match the page size.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FlashError {
     /// The block index is outside the chip geometry.
     BlockOutOfRange(BlockId),
@@ -31,6 +32,16 @@ pub enum FlashError {
         /// Bits actually supplied.
         got: usize,
     },
+    /// A program or partial-program operation failed transiently (injected
+    /// fault). The page is unchanged; the operation may be retried.
+    TransientProgramFail(PageId),
+    /// A block erase failed transiently (injected fault). The block is
+    /// unchanged; the operation may be retried.
+    EraseFail(BlockId),
+    /// The operation targeted a block that wore out at runtime (a *grown*
+    /// bad block). Unlike factory [`BadBlock`](Self::BadBlock)s, grown bad
+    /// blocks still read, so surviving data can be migrated off them.
+    GrownBadBlock(BlockId),
 }
 
 impl fmt::Display for FlashError {
@@ -47,6 +58,15 @@ impl fmt::Display for FlashError {
             FlashError::BadBlock(b) => write!(f, "block {b} is marked bad"),
             FlashError::PatternLength { expected, got } => {
                 write!(f, "bit pattern has {got} bits, page holds {expected} cells")
+            }
+            FlashError::TransientProgramFail(p) => {
+                write!(f, "program of page {p} failed transiently (retryable)")
+            }
+            FlashError::EraseFail(b) => {
+                write!(f, "erase of block {b} failed transiently (retryable)")
+            }
+            FlashError::GrownBadBlock(b) => {
+                write!(f, "block {b} has grown bad (read-only)")
             }
         }
     }
@@ -67,6 +87,9 @@ mod tests {
             FlashError::PageNotProgrammed(PageId::new(BlockId(0), 1)),
             FlashError::BadBlock(BlockId(4)),
             FlashError::PatternLength { expected: 8, got: 4 },
+            FlashError::TransientProgramFail(PageId::new(BlockId(2), 5)),
+            FlashError::EraseFail(BlockId(6)),
+            FlashError::GrownBadBlock(BlockId(7)),
         ];
         for e in errs {
             let s = e.to_string();

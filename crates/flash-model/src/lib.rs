@@ -53,6 +53,7 @@ pub mod bits;
 pub mod block;
 pub mod chip;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod histogram;
 pub mod latent;
@@ -66,9 +67,10 @@ pub use ber::BitErrorStats;
 pub use bits::BitPattern;
 pub use chip::Chip;
 pub use error::FlashError;
+pub use fault::{FaultPlan, NoiseSpike, StuckCell};
 pub use geometry::{BlockId, Geometry, PageId};
 pub use histogram::Histogram;
-pub use meter::{Meter, MeterSnapshot, OpKind};
+pub use meter::{FaultKind, Meter, MeterSnapshot, OpKind};
 pub use profile::{ChipProfile, TimingModel};
 
 /// A measured, normalized voltage level, as reported by the vendor

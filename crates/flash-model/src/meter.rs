@@ -45,13 +45,55 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// Classes of injected faults, counted separately from operations (a faulted
+/// operation is billed both as an attempt of its [`OpKind`] and as a fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A program or partial-program step failed transiently.
+    TransientProgram,
+    /// A block erase failed transiently.
+    TransientErase,
+    /// A block wore out and became a grown bad block.
+    GrownBad,
+}
+
+impl FaultKind {
+    /// All fault kinds, for iteration in reports.
+    pub const ALL: [FaultKind; 3] =
+        [FaultKind::TransientProgram, FaultKind::TransientErase, FaultKind::GrownBad];
+
+    fn idx(self) -> usize {
+        match self {
+            FaultKind::TransientProgram => 0,
+            FaultKind::TransientErase => 1,
+            FaultKind::GrownBad => 2,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::TransientProgram => "transient-program",
+            FaultKind::TransientErase => "transient-erase",
+            FaultKind::GrownBad => "grown-bad",
+        };
+        f.write_str(s)
+    }
+}
+
 /// Cumulative operation counters with simulated time and energy.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct MeterSnapshot {
     /// Operation counts indexed like [`OpKind::ALL`].
     counts: [u64; 5],
+    /// Fault counts indexed like [`FaultKind::ALL`].
+    fault_counts: [u64; 3],
     /// Total simulated device time, microseconds.
     pub device_time_us: f64,
+    /// Simulated time spent waiting (retry backoff), microseconds. Included
+    /// on top of `device_time_us`, not inside it.
+    pub wait_time_us: f64,
     /// Total simulated energy, microjoules.
     pub energy_uj: f64,
 }
@@ -67,6 +109,16 @@ impl MeterSnapshot {
         self.counts.iter().sum()
     }
 
+    /// Count of one injected-fault kind.
+    pub fn fault_count(&self, kind: FaultKind) -> u64 {
+        self.fault_counts[kind.idx()]
+    }
+
+    /// Total injected faults of all kinds.
+    pub fn total_faults(&self) -> u64 {
+        self.fault_counts.iter().sum()
+    }
+
     /// Component-wise difference `self - earlier` (for measuring a phase).
     ///
     /// # Panics
@@ -78,7 +130,12 @@ impl MeterSnapshot {
             debug_assert!(self.counts[i] >= earlier.counts[i]);
             out.counts[i] = self.counts[i] - earlier.counts[i];
         }
+        for i in 0..3 {
+            debug_assert!(self.fault_counts[i] >= earlier.fault_counts[i]);
+            out.fault_counts[i] = self.fault_counts[i] - earlier.fault_counts[i];
+        }
         out.device_time_us = self.device_time_us - earlier.device_time_us;
+        out.wait_time_us = self.wait_time_us - earlier.wait_time_us;
         out.energy_uj = self.energy_uj - earlier.energy_uj;
         out
     }
@@ -106,7 +163,19 @@ impl fmt::Display for MeterSnapshot {
             self.count(OpKind::Probe),
             self.device_time_us / 1e3,
             self.energy_uj / 1e3,
-        )
+        )?;
+        if self.total_faults() > 0 || self.wait_time_us > 0.0 {
+            write!(
+                f,
+                " faults={} (program={} erase={} grown-bad={}) wait={:.3}ms",
+                self.total_faults(),
+                self.fault_count(FaultKind::TransientProgram),
+                self.fault_count(FaultKind::TransientErase),
+                self.fault_count(FaultKind::GrownBad),
+                self.wait_time_us / 1e3,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +202,16 @@ impl Meter {
         self.snap.counts[MeterSnapshot::idx(kind)] += 1;
         self.snap.device_time_us += us;
         self.snap.energy_uj += uj;
+    }
+
+    /// Records one injected fault.
+    pub fn record_fault(&mut self, kind: FaultKind) {
+        self.snap.fault_counts[kind.idx()] += 1;
+    }
+
+    /// Adds simulated wait time (retry backoff) outside device operations.
+    pub fn add_wait_us(&mut self, us: f64) {
+        self.snap.wait_time_us += us;
     }
 
     /// Current cumulative totals.
@@ -208,5 +287,30 @@ mod tests {
         m.record(OpKind::Read, &timing());
         let s = m.snapshot().to_string();
         assert!(s.contains("reads=1"));
+        assert!(!s.contains("faults="), "fault-free snapshots stay terse");
+        m.record_fault(FaultKind::GrownBad);
+        assert!(m.snapshot().to_string().contains("faults=1"));
+    }
+
+    #[test]
+    fn faults_and_wait_accumulate_and_diff() {
+        let mut m = Meter::new();
+        m.record_fault(FaultKind::TransientProgram);
+        m.add_wait_us(100.0);
+        let mark = m.snapshot();
+        m.record_fault(FaultKind::TransientProgram);
+        m.record_fault(FaultKind::TransientErase);
+        m.add_wait_us(50.0);
+        let s = m.snapshot();
+        assert_eq!(s.fault_count(FaultKind::TransientProgram), 2);
+        assert_eq!(s.total_faults(), 3);
+        assert!((s.wait_time_us - 150.0).abs() < 1e-9);
+        let d = s.since(&mark);
+        assert_eq!(d.fault_count(FaultKind::TransientProgram), 1);
+        assert_eq!(d.fault_count(FaultKind::TransientErase), 1);
+        assert_eq!(d.fault_count(FaultKind::GrownBad), 0);
+        assert!((d.wait_time_us - 50.0).abs() < 1e-9);
+        m.reset();
+        assert_eq!(m.snapshot().total_faults(), 0);
     }
 }

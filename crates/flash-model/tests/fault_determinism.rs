@@ -1,0 +1,51 @@
+//! Seed-determinism regression: the same `FaultPlan` seed must produce the
+//! same fault schedule, operation by operation, and an identical meter —
+//! chaos runs are only debuggable if they replay exactly.
+
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry, MeterSnapshot, PageId};
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_program_fail(0.2)
+        .with_partial_program_fail(0.2)
+        .with_erase_fail(0.2)
+        .schedule_grown_bad(BlockId(3), 50)
+}
+
+/// Runs a fixed operation mix, logging every outcome.
+fn run(plan_seed: u64) -> (Vec<String>, MeterSnapshot) {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 4, pages_per_block: 8, page_bytes: 512 };
+    let mut chip = Chip::with_faults(profile, 42, plan(plan_seed));
+    let pattern = BitPattern::ones(chip.geometry().cells_per_page());
+    let mask = BitPattern::zeros(chip.geometry().cells_per_page());
+
+    let mut log = Vec::new();
+    for round in 0..4u32 {
+        for b in 0..4u32 {
+            log.push(format!("erase B{b} r{round}: {:?}", chip.erase_block(BlockId(b))));
+            for p in 0..8u32 {
+                let page = PageId::new(BlockId(b), p);
+                log.push(format!("program {page:?}: {:?}", chip.program_page(page, &pattern)));
+                log.push(format!("pp {page:?}: {:?}", chip.partial_program(page, &mask)));
+            }
+        }
+    }
+    (log, chip.meter())
+}
+
+#[test]
+fn same_fault_seed_replays_identically() {
+    let (log_a, meter_a) = run(5);
+    let (log_b, meter_b) = run(5);
+    assert_eq!(log_a, log_b, "fault schedule must replay exactly");
+    assert_eq!(meter_a, meter_b, "meters must match bit for bit");
+    assert!(meter_a.total_faults() > 0, "the mix must actually fault");
+}
+
+#[test]
+fn different_fault_seed_changes_the_schedule() {
+    let (log_a, _) = run(5);
+    let (log_b, _) = run(6);
+    assert_ne!(log_a, log_b, "distinct seeds should fault differently");
+}

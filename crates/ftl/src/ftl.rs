@@ -105,6 +105,10 @@ pub struct FtlStats {
     pub gc_moves: u64,
     /// Blocks erased.
     pub erases: u64,
+    /// Blocks permanently retired after going grown bad.
+    pub retirements: u64,
+    /// Transient program/erase failures absorbed by retries.
+    pub transient_retries: u64,
 }
 
 impl FtlStats {
@@ -135,8 +139,15 @@ pub struct Ftl {
     free: Vec<BlockId>,
     /// Block currently absorbing writes.
     active: Option<BlockId>,
+    /// Blocks pulled out of rotation after going grown bad.
+    retired: Vec<bool>,
     stats: FtlStats,
 }
+
+/// Attempts after the first for transient program/erase failures.
+const TRANSIENT_RETRIES: u32 = 4;
+/// Simulated backoff before retry `n` is `RETRY_BACKOFF_US * 2^n`.
+const RETRY_BACKOFF_US: f64 = 50.0;
 
 impl Ftl {
     /// Creates an FTL over a chip, erasing nothing up front (all blocks are
@@ -172,6 +183,7 @@ impl Ftl {
             cursor: vec![0; blocks as usize],
             free,
             active: None,
+            retired: vec![false; blocks as usize],
             stats: FtlStats::default(),
         })
     }
@@ -225,10 +237,8 @@ impl Ftl {
         let (mut migrations, mut erased) = (Vec::new(), Vec::new());
         self.ensure_headroom(&mut migrations, &mut erased)?;
 
-        let page = self.allocate_page(&mut migrations, &mut erased)?;
-        self.chip.program_page(page, data)?;
+        let page = self.program_on_fresh_page(data, &mut migrations, &mut erased)?;
         self.stats.host_writes += 1;
-        self.stats.physical_writes += 1;
 
         // Invalidate the old copy, if any.
         if let Some(old) = self.map.insert(lpn, page) {
@@ -291,6 +301,7 @@ impl Ftl {
         let Some(cold) = (0..self.valid.len())
             .map(|i| BlockId(i as u32))
             .filter(|b| Some(*b) != self.active)
+            .filter(|b| !self.retired[b.0 as usize])
             .filter(|b| self.cursor[b.0 as usize] == pages_per_block)
             .filter(|b| self.valid[b.0 as usize] > 0)
             .min_by_key(|b| pecs[b.0 as usize])
@@ -307,9 +318,7 @@ impl Ftl {
             let from = PageId::new(cold, p);
             let Some(&lpn) = self.rmap.get(&from) else { continue };
             let data = self.chip.read_page(from)?;
-            let to = self.allocate_page(&mut migrations, &mut erased)?;
-            self.chip.program_page(to, &data)?;
-            self.stats.physical_writes += 1;
+            let to = self.program_on_fresh_page(&data, &mut migrations, &mut erased)?;
             self.stats.gc_moves += 1;
             self.rmap.remove(&from);
             self.valid[cold.0 as usize] -= 1;
@@ -318,16 +327,148 @@ impl Ftl {
             self.valid[to.block.0 as usize] += 1;
             migrations.push(Migration { lpn, from, to });
         }
-        self.chip.erase_block(cold)?;
-        self.stats.erases += 1;
-        self.cursor[cold.0 as usize] = 0;
-        self.free.push(cold);
+        if self.erase_unless_grown_bad(cold)? {
+            self.cursor[cold.0 as usize] = 0;
+            self.free.push(cold);
+        }
         Ok(migrations)
     }
 
     /// Blocks currently in the free pool.
     pub fn free_blocks(&self) -> usize {
         self.free.len() + usize::from(self.active_has_room())
+    }
+
+    /// Blocks permanently retired after going grown bad.
+    pub fn retired_blocks(&self) -> Vec<BlockId> {
+        self.retired
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r)
+            .map(|(i, _)| BlockId(i as u32))
+            .collect()
+    }
+
+    /// Moves every valid page off `block` and takes it out of rotation.
+    ///
+    /// This is the grown-bad remap hook for scrub/recovery layers: when the
+    /// chip declares a block grown bad its pages still *read* fine but can
+    /// never be erased or reprogrammed, so live data must move while it is
+    /// legible. The block is erased and refreed when it is actually
+    /// healthy, retired otherwise. Returns the migrations performed —
+    /// hidden payloads on them must be re-embedded, like any GC move.
+    ///
+    /// # Errors
+    ///
+    /// Fails on flash errors or if space cannot be reclaimed for the moved
+    /// pages.
+    pub fn evacuate_block(&mut self, block: BlockId) -> Result<Vec<Migration>, FtlError> {
+        let pages_per_block = self.chip.geometry().pages_per_block;
+        if self.active == Some(block) {
+            self.active = None;
+        }
+        // Never hand out pages from the block while it drains.
+        self.cursor[block.0 as usize] = pages_per_block;
+        if let Some(pos) = self.free.iter().position(|&b| b == block) {
+            self.free.swap_remove(pos);
+        }
+        let mut migrations = Vec::new();
+        let mut erased = Vec::new();
+        for p in 0..pages_per_block {
+            let from = PageId::new(block, p);
+            let Some(&lpn) = self.rmap.get(&from) else { continue };
+            let data = self.chip.read_page(from)?;
+            let to = self.program_on_fresh_page(&data, &mut migrations, &mut erased)?;
+            self.stats.gc_moves += 1;
+            self.rmap.remove(&from);
+            self.valid[block.0 as usize] -= 1;
+            self.map.insert(lpn, to);
+            self.rmap.insert(to, lpn);
+            self.valid[to.block.0 as usize] += 1;
+            migrations.push(Migration { lpn, from, to });
+        }
+        if self.chip.is_grown_bad(block)? {
+            self.mark_retired(block);
+        } else if self.erase_unless_grown_bad(block)? {
+            self.cursor[block.0 as usize] = 0;
+            self.free.push(block);
+        }
+        Ok(migrations)
+    }
+
+    /// Takes a block out of every allocation structure, permanently.
+    fn mark_retired(&mut self, b: BlockId) {
+        if !self.retired[b.0 as usize] {
+            self.retired[b.0 as usize] = true;
+            self.stats.retirements += 1;
+        }
+        if let Some(pos) = self.free.iter().position(|&x| x == b) {
+            self.free.swap_remove(pos);
+        }
+        if self.active == Some(b) {
+            self.active = None;
+        }
+    }
+
+    /// Erases a block, absorbing transient failures with bounded retries.
+    /// Returns `Ok(false)` — and retires the block — when the erase fails
+    /// because the block went grown bad.
+    fn erase_unless_grown_bad(&mut self, b: BlockId) -> Result<bool, FtlError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.chip.erase_block(b) {
+                Ok(()) => {
+                    self.stats.erases += 1;
+                    return Ok(true);
+                }
+                Err(FlashError::GrownBadBlock(_)) => {
+                    self.mark_retired(b);
+                    return Ok(false);
+                }
+                Err(FlashError::EraseFail(_)) if attempt < TRANSIENT_RETRIES => {
+                    self.stats.transient_retries += 1;
+                    self.chip.advance_time_us(RETRY_BACKOFF_US * f64::from(1u32 << attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Programs `data` on a freshly allocated page, retrying transient
+    /// program failures and re-allocating elsewhere when the destination
+    /// block goes grown bad mid-write.
+    fn program_on_fresh_page(
+        &mut self,
+        data: &BitPattern,
+        migrations: &mut Vec<Migration>,
+        erased: &mut Vec<BlockId>,
+    ) -> Result<PageId, FtlError> {
+        loop {
+            let page = self.allocate_page(migrations, erased)?;
+            let mut attempt = 0u32;
+            loop {
+                match self.chip.program_page(page, data) {
+                    Ok(()) => {
+                        self.stats.physical_writes += 1;
+                        return Ok(page);
+                    }
+                    Err(FlashError::GrownBadBlock(_)) => {
+                        // Valid pages already on the block stay mapped —
+                        // grown-bad blocks still read — but nothing new
+                        // lands there.
+                        self.mark_retired(page.block);
+                        break;
+                    }
+                    Err(FlashError::TransientProgramFail(_)) if attempt < TRANSIENT_RETRIES => {
+                        self.stats.transient_retries += 1;
+                        self.chip.advance_time_us(RETRY_BACKOFF_US * f64::from(1u32 << attempt));
+                        attempt += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
     }
 
     fn active_has_room(&self) -> bool {
@@ -369,6 +510,7 @@ impl Ftl {
         let victim = (0..self.valid.len())
             .map(|i| BlockId(i as u32))
             .filter(|b| Some(*b) != self.active)
+            .filter(|b| !self.retired[b.0 as usize])
             .filter(|b| self.cursor[b.0 as usize] == pages_per_block)
             .min_by_key(|b| self.valid[b.0 as usize])
             .ok_or(FtlError::NoSpace)?;
@@ -382,9 +524,7 @@ impl Ftl {
             let from = PageId::new(victim, p);
             let Some(&lpn) = self.rmap.get(&from) else { continue };
             let data = self.chip.read_page(from)?;
-            let to = self.allocate_page(migrations, erased)?;
-            self.chip.program_page(to, &data)?;
-            self.stats.physical_writes += 1;
+            let to = self.program_on_fresh_page(&data, migrations, erased)?;
             self.stats.gc_moves += 1;
 
             self.rmap.remove(&from);
@@ -395,11 +535,11 @@ impl Ftl {
             migrations.push(Migration { lpn, from, to });
         }
 
-        self.chip.erase_block(victim)?;
-        self.stats.erases += 1;
-        erased.push(victim);
-        self.cursor[victim.0 as usize] = 0;
-        self.free.push(victim);
+        if self.erase_unless_grown_bad(victim)? {
+            erased.push(victim);
+            self.cursor[victim.0 as usize] = 0;
+            self.free.push(victim);
+        }
         Ok(())
     }
 
@@ -420,8 +560,15 @@ impl Ftl {
                 }
                 self.active = None;
             }
+            // Drop blocks the chip has since declared grown bad.
+            let bad: Vec<BlockId> =
+                self.free.iter().copied().filter(|&b| self.chip.is_grown_bad(b).unwrap_or(false)).collect();
+            for b in bad {
+                self.mark_retired(b);
+            }
             if self.free.is_empty() {
                 self.collect_one(migrations, erased)?;
+                continue;
             }
             // Dynamic wear leveling: open the least-worn free block.
             let (idx, _) = self
@@ -431,10 +578,12 @@ impl Ftl {
                 .min_by_key(|(_, b)| self.chip.block_pec(**b).unwrap_or(u32::MAX))
                 .ok_or(FtlError::NoSpace)?;
             let b = self.free.swap_remove(idx);
-            // Blocks enter the pool erased except at mount time.
-            if self.cursor[b.0 as usize] != 0 || self.chip.is_page_programmed(PageId::new(b, 0))? {
-                self.chip.erase_block(b)?;
-                self.stats.erases += 1;
+            // Blocks enter the pool erased except at mount time; an erase
+            // that outs the block as grown bad sends us back for another.
+            if (self.cursor[b.0 as usize] != 0 || self.chip.is_page_programmed(PageId::new(b, 0))?)
+                && !self.erase_unless_grown_bad(b)?
+            {
+                continue;
             }
             self.cursor[b.0 as usize] = 0;
             self.active = Some(b);
@@ -674,6 +823,92 @@ mod tests {
         assert!(Ftl::new(chip.clone(), FtlConfig { reserve_blocks: 1, gc_low_water: 1 }).is_err());
         assert!(Ftl::new(chip.clone(), FtlConfig { reserve_blocks: 99, gc_low_water: 1 }).is_err());
         assert!(Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 4 }).is_err());
+    }
+
+    #[test]
+    fn grown_bad_blocks_leave_the_allocation_rotation() {
+        let mut f = ftl();
+        let bad = BlockId(2);
+        f.chip_mut().grow_bad_block(bad).unwrap();
+        let cap = f.capacity_pages();
+        let mut rng = SmallRng::seed_from_u64(21);
+        for round in 0..3u64 {
+            for lpn in 0..cap {
+                let d =
+                    BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
+                f.write((lpn + round) % cap, &d).unwrap();
+            }
+        }
+        assert_eq!(f.retired_blocks(), vec![bad]);
+        assert!(f.stats().retirements >= 1);
+        for page in f.map.values() {
+            assert_ne!(page.block, bad, "write landed on a grown-bad block");
+        }
+    }
+
+    #[test]
+    fn evacuate_block_moves_data_and_retires_grown_bad() {
+        let mut f = ftl();
+        let cap = f.capacity_pages();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut truth = HashMap::new();
+        for lpn in 0..cap {
+            let d = BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
+            f.write(lpn, &d).unwrap();
+            truth.insert(lpn, d);
+        }
+        let victim_block = f.physical_of(0).unwrap().block;
+        f.chip_mut().grow_bad_block(victim_block).unwrap();
+        let moves = f.evacuate_block(victim_block).unwrap();
+        assert!(!moves.is_empty(), "live pages should have moved");
+        for m in &moves {
+            assert_eq!(m.from.block, victim_block);
+            assert_ne!(m.to.block, victim_block);
+        }
+        assert!(f.retired_blocks().contains(&victim_block));
+        // Every logical page, including the moved ones, still reads back.
+        for (lpn, d) in &truth {
+            let back = f.read(*lpn).unwrap().expect("mapped");
+            assert!(back.hamming_distance(d) <= 2, "lpn {lpn} corrupted");
+        }
+    }
+
+    #[test]
+    fn evacuate_healthy_block_refrees_it() {
+        let mut f = ftl();
+        let d = pattern(&f, 41);
+        f.write(0, &d).unwrap();
+        let b = f.physical_of(0).unwrap().block;
+        let before = f.free_blocks();
+        f.evacuate_block(b).unwrap();
+        assert!(f.retired_blocks().is_empty());
+        assert!(f.free_blocks() >= before, "healthy block should re-enter the pool");
+        assert!(f.read(0).unwrap().is_some());
+    }
+
+    #[test]
+    fn transient_program_faults_are_absorbed_by_retries() {
+        use stash_flash::{ChipProfile, FaultPlan};
+        let plan = FaultPlan::new(7).with_program_fail(0.05).with_erase_fail(0.05);
+        let chip = Chip::with_faults(ChipProfile::test_small(), 5, plan);
+        let mut f = Ftl::new(chip, FtlConfig::default()).unwrap();
+        let cap = f.capacity_pages();
+        let mut rng = SmallRng::seed_from_u64(51);
+        let mut truth = HashMap::new();
+        for round in 0..4u64 {
+            for lpn in 0..cap {
+                let d =
+                    BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
+                f.write((lpn * 7 + round) % cap, &d).unwrap();
+                truth.insert((lpn * 7 + round) % cap, d);
+            }
+        }
+        assert!(f.stats().transient_retries > 0, "faults should have fired");
+        assert!(f.chip().meter().total_faults() > 0);
+        for (lpn, d) in &truth {
+            let back = f.read(*lpn).unwrap().expect("mapped");
+            assert!(back.hamming_distance(d) <= 2, "lpn {lpn} corrupted");
+        }
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The hidden-volume implementation.
 
 use stash_crypto::{HidingKey, SelectionPrng};
-use stash_flash::BitPattern;
+use stash_flash::{BitPattern, BlockId};
 use stash_ftl::{Ftl, FtlError, Migration};
 use std::collections::HashMap;
 use std::fmt;
-use vthi::{HideError, Hider, SelectionMode, VthiConfig};
+use vthi::{HideError, Hider, RetryPolicy, SelectionMode, VthiConfig};
 
 /// Stream id (PRNG namespace) for the slot → LPN placement permutation.
 const PLACEMENT_STREAM: u64 = 0x5157_4F4C_5F4D_4150;
@@ -109,17 +109,26 @@ impl From<HideError> for StegoError {
     }
 }
 
-/// What a remount managed to recover.
+/// What a remount or scrub managed to recover.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
     /// Slots decoded directly.
     pub recovered: usize,
-    /// Slots rebuilt from parity.
+    /// Slots rebuilt from parity (or, during a scrub, re-written from the
+    /// mounted cache after their flash copy stopped decoding).
     pub reconstructed: usize,
     /// Slots lost for good.
     pub lost: usize,
     /// Slots that were never written.
     pub empty: usize,
+    /// Slots rewritten onto fresh cells because their winning read still
+    /// needed too many ECC corrections (scrub only).
+    pub refreshed: usize,
+    /// Slots moved off grown-bad blocks (scrub only).
+    pub migrated: usize,
+    /// Data slots written off as unrecoverable — the advertised hidden
+    /// capacity shrank by this many slots (scrub only).
+    pub capacity_lost: usize,
 }
 
 /// A mounted hidden volume: the public block device plus the keyed hidden
@@ -139,6 +148,10 @@ pub struct HiddenVolume {
     cache: Vec<Option<Vec<u8>>>,
     /// Slots whose on-flash embedding is stale (piggyback mode).
     dirty: Vec<bool>,
+    /// Data slots scrubbed off as unrecoverable.
+    lost_capacity: usize,
+    /// Per-slot write-off flags, so capacity shrinks once per slot.
+    written_off: Vec<bool>,
 }
 
 impl HiddenVolume {
@@ -170,6 +183,8 @@ impl HiddenVolume {
             lpn_slot,
             cache: vec![None; total],
             dirty: vec![false; total],
+            lost_capacity: 0,
+            written_off: vec![false; total],
         })
     }
 
@@ -306,6 +321,17 @@ impl HiddenVolume {
         self.data_slots
     }
 
+    /// Data slots still advertised: formatted slots minus those the
+    /// scrubber wrote off as unrecoverable.
+    pub fn advertised_slot_count(&self) -> usize {
+        self.data_slots - self.lost_capacity
+    }
+
+    /// Hidden bytes the volume still promises to hold.
+    pub fn advertised_capacity_bytes(&self) -> usize {
+        self.advertised_slot_count() * self.slot_bytes()
+    }
+
     /// Bytes per slot.
     pub fn slot_bytes(&self) -> usize {
         self.cfg.slot_bytes()
@@ -314,6 +340,28 @@ impl HiddenVolume {
     /// The underlying FTL (public volume view).
     pub fn ftl(&self) -> &Ftl {
         &self.ftl
+    }
+
+    /// Exclusive access to the underlying FTL — fault-injection and
+    /// maintenance harnesses use this to reach the chip.
+    pub fn ftl_mut(&mut self) -> &mut Ftl {
+        &mut self.ftl
+    }
+
+    /// Physical page currently backing a data slot, if its public page has
+    /// been written (maintenance tooling uses this to target scrub tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StegoError::SlotOutOfRange`] for an invalid slot index.
+    pub fn slot_location(&self, data_slot: usize) -> Result<Option<stash_flash::PageId>, StegoError> {
+        if data_slot >= self.data_slot_count() {
+            return Err(StegoError::SlotOutOfRange {
+                slot: data_slot,
+                count: self.data_slot_count(),
+            });
+        }
+        Ok(self.ftl.physical_of(self.slot_lpn[self.internal_slot(data_slot)]))
     }
 
     /// Unmounts, returning the FTL. Pending piggyback embeddings are NOT
@@ -379,8 +427,7 @@ impl HiddenVolume {
         // initialized as a unit (unwritten siblings become zero-filled), so
         // that at remount an *empty* slot inside a live group is provably a
         // destroyed slot and parity knows to rebuild it.
-        if self.cfg.parity_group > 0 {
-            let group = data_slot / self.cfg.parity_group;
+        if let Some(group) = data_slot.checked_div(self.cfg.parity_group) {
             for member in self.group_members(group) {
                 if self.cache[member].is_none() {
                     self.cache[member] = Some(vec![0u8; self.slot_bytes()]);
@@ -423,16 +470,7 @@ impl HiddenVolume {
             if !self.dirty[slot] || self.cache[slot].is_none() {
                 continue;
             }
-            let lpn = self.slot_lpn[slot];
-            // Rewrite the public page to get fresh cells to charge.
-            let public = self
-                .ftl
-                .read(lpn)?
-                .ok_or(StegoError::UnbackedSlot { lpn })?;
-            let report = self.ftl.write(lpn, &public)?;
-            self.reembed_after_migrations(&report.migrations)?;
-            self.embed_slot(slot)?;
-            self.dirty[slot] = false;
+            self.refresh_slot(slot)?;
         }
         Ok(())
     }
@@ -442,7 +480,125 @@ impl HiddenVolume {
         self.dirty.iter().filter(|&&d| d).count()
     }
 
+    /// Preventive-maintenance walk over every hidden slot — the online half
+    /// of the recovery pipeline (remount reconstruction is the offline
+    /// half).
+    ///
+    /// 1. Slots sitting on grown-bad blocks are migrated off via the FTL's
+    ///    evacuation hook and re-embedded on their new pages (grown-bad
+    ///    blocks still *read*, so this must happen before they degrade
+    ///    further).
+    /// 2. Every backed slot is re-read with the standard recovery sweep;
+    ///    slots whose winning read still needed at least
+    ///    `refresh_threshold` bit corrections are rewritten onto fresh
+    ///    cells before retention finishes the job.
+    /// 3. Slots that no longer decode are rebuilt from the mounted cache or
+    ///    group parity when possible; otherwise they are written off and
+    ///    the advertised hidden capacity shrinks
+    ///    ([`advertised_slot_count`](Self::advertised_slot_count)).
+    ///
+    /// # Errors
+    ///
+    /// Fails on FTL/flash errors only; per-slot decode failures are
+    /// accounted in the report, not fatal.
+    pub fn scrub(&mut self, refresh_threshold: usize) -> Result<RecoveryReport, StegoError> {
+        let mut report = RecoveryReport::default();
+
+        // Pass 1: get hidden data off grown-bad blocks while it still reads.
+        let mut bad_blocks: Vec<BlockId> = Vec::new();
+        for slot in 0..self.cache.len() {
+            if let Some(page) = self.ftl.physical_of(self.slot_lpn[slot]) {
+                let grown =
+                    self.ftl.chip().is_grown_bad(page.block).map_err(HideError::from)?;
+                if grown && !bad_blocks.contains(&page.block) {
+                    bad_blocks.push(page.block);
+                }
+            }
+        }
+        for block in bad_blocks {
+            let moves = self.ftl.evacuate_block(block)?;
+            report.migrated +=
+                moves.iter().filter(|m| self.lpn_slot.contains_key(&m.lpn)).count();
+            self.reembed_after_migrations(&moves)?;
+        }
+
+        // Pass 2: health-read every slot; refresh the ones going stale.
+        for slot in 0..self.cache.len() {
+            if self.ftl.physical_of(self.slot_lpn[slot]).is_none() {
+                report.empty += 1;
+                continue;
+            }
+            match self.try_decode_slot_counting(slot) {
+                Ok(None) => report.empty += 1,
+                Ok(Some((bytes, corrected))) => {
+                    self.cache[slot] = Some(bytes);
+                    report.recovered += 1;
+                    if corrected >= refresh_threshold {
+                        self.refresh_slot(slot)?;
+                        report.refreshed += 1;
+                    }
+                }
+                Err(StegoError::Hide(HideError::Unrecoverable { .. })) => {
+                    if self.cache[slot].is_some() || self.rebuild_from_parity(slot) {
+                        // The mounted cache (or parity) still holds the
+                        // payload: rewrite it onto fresh cells.
+                        self.refresh_slot(slot)?;
+                        report.reconstructed += 1;
+                    } else {
+                        report.lost += 1;
+                        if slot < self.data_slots && !self.written_off[slot] {
+                            self.written_off[slot] = true;
+                            self.lost_capacity += 1;
+                            report.capacity_lost += 1;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
     // ---- internals --------------------------------------------------------
+
+    /// Rewrites a slot's public page (getting fresh cells to charge) and
+    /// re-embeds its cached payload.
+    fn refresh_slot(&mut self, slot: usize) -> Result<(), StegoError> {
+        let lpn = self.slot_lpn[slot];
+        let public = self.ftl.read(lpn)?.ok_or(StegoError::UnbackedSlot { lpn })?;
+        let report = self.ftl.write(lpn, &public)?;
+        self.reembed_after_migrations(&report.migrations)?;
+        self.embed_slot(slot)?;
+        self.dirty[slot] = false;
+        Ok(())
+    }
+
+    /// Rebuilds a slot's cache entry by XOR-ing the rest of its parity
+    /// group; `true` on success.
+    fn rebuild_from_parity(&mut self, slot: usize) -> bool {
+        if self.cfg.parity_group == 0 {
+            return false;
+        }
+        let group = self.group_of(slot);
+        let mut members = self.group_members(group);
+        members.push(self.parity_slot_of_group(group));
+        let mut acc = vec![0u8; self.slot_bytes()];
+        for &m in &members {
+            if m == slot {
+                continue;
+            }
+            match &self.cache[m] {
+                Some(data) => {
+                    for (a, b) in acc.iter_mut().zip(data) {
+                        *a ^= b;
+                    }
+                }
+                None => return false,
+            }
+        }
+        self.cache[slot] = Some(acc);
+        true
+    }
 
     fn recompute_parity(&mut self, group: usize) {
         let parity_slot = self.parity_slot_of_group(group);
@@ -498,34 +654,46 @@ impl HiddenVolume {
         // Absolute selection: the volume has no ECC-exact copy of the
         // public bits (the paper assumes the public path is ECC-protected),
         // so it uses the read-error-tolerant selection variant.
+        // The standard retry policy rides out transient partial-program
+        // faults during the charge passes.
         let mut hider = Hider::new(self.ftl.chip_mut(), key, cfg)
-            .with_selection_mode(SelectionMode::Absolute);
+            .with_selection_mode(SelectionMode::Absolute)
+            .with_retry_policy(RetryPolicy::standard());
         hider.hide_in_programmed_page(page, &public, &payload, false)?;
         Ok(())
     }
 
     /// Attempts to decode one slot from flash (used at mount).
     fn try_decode_slot(&mut self, slot: usize) -> Result<Option<Vec<u8>>, StegoError> {
+        Ok(self.try_decode_slot_counting(slot)?.map(|(bytes, _)| bytes))
+    }
+
+    /// [`try_decode_slot`](Self::try_decode_slot), also reporting the
+    /// winning read's ECC correction count (the scrubber's health signal).
+    /// Decodes run under the standard recovery sweep.
+    fn try_decode_slot_counting(
+        &mut self,
+        slot: usize,
+    ) -> Result<Option<(Vec<u8>, usize)>, StegoError> {
         let lpn = self.slot_lpn[slot];
         let Some(page) = self.ftl.physical_of(lpn) else {
             return Ok(None);
         };
         let key = self.key.clone();
         let cfg = self.cfg.vthi.clone();
-        let geometry = *self.ftl.chip().geometry();
-        let mut hider = Hider::new(self.ftl.chip_mut(), key.clone(), cfg.clone())
-            .with_selection_mode(SelectionMode::Absolute);
-        // One shifted read serves both the emptiness heuristic and the
-        // decode. A written slot has ≈half its hidden cells charged above
-        // Vth; an untouched page has only the natural ~1-2% there.
+        let mut hider = Hider::new(self.ftl.chip_mut(), key, cfg)
+            .with_selection_mode(SelectionMode::Absolute)
+            .with_retry_policy(RetryPolicy::standard());
+        // The shifted read serves the emptiness heuristic first. A written
+        // slot has ≈half its hidden cells charged above Vth; an untouched
+        // page has only the natural ~1-2% there.
         let bits = hider.read_hidden_bits(page, None)?;
         let above = bits.iter().filter(|&&b| !b).count();
         if above * 10 < bits.len() {
             return Ok(None);
         }
-        let stream = vthi::select::page_stream_id(&geometry, page);
-        let bytes = vthi::payload::decode_payload(&key, &cfg, stream, &bits)?;
-        Ok(Some(bytes))
+        let (bytes, corrected) = hider.reveal_page_recovered(page, None)?;
+        Ok(Some((bytes, corrected)))
     }
 }
 
@@ -706,6 +874,108 @@ mod tests {
             vol.write_hidden(0, &secret),
             Err(StegoError::UnbackedSlot { .. })
         ));
+    }
+
+    #[test]
+    fn scrub_migrates_slots_off_grown_bad_blocks() {
+        let ftl = make_ftl(7);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 4).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 18);
+        let secret = vec![0x5Au8; vol.slot_bytes()];
+        vol.write_hidden(0, &secret).unwrap();
+
+        let block = vol.ftl.physical_of(vol.slot_lpn[0]).unwrap().block;
+        vol.ftl.chip_mut().grow_bad_block(block).unwrap();
+
+        let report = vol.scrub(usize::MAX).unwrap();
+        assert!(report.migrated >= 1, "{report:?}");
+        assert_eq!(report.lost, 0, "{report:?}");
+        assert_ne!(
+            vol.ftl.physical_of(vol.slot_lpn[0]).unwrap().block,
+            block,
+            "slot must have moved off the grown-bad block"
+        );
+        assert_eq!(vol.read_hidden(0).unwrap().unwrap(), secret);
+
+        // The migrated on-flash copy (not just the cache) decodes: remount.
+        let ftl_back = vol.unmount();
+        let geometry = *ftl_back.chip().geometry();
+        let (mut vol2, rep) =
+            HiddenVolume::remount(ftl_back, key(), StegoConfig::for_geometry(&geometry), 4)
+                .unwrap();
+        assert_eq!(rep.lost, 0, "{rep:?}");
+        assert_eq!(vol2.read_hidden(0).unwrap().unwrap(), secret);
+    }
+
+    #[test]
+    fn scrub_refreshes_slots_over_the_watermark() {
+        let ftl = make_ftl(8);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 4).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 19);
+        let secret = vec![0x77u8; vol.slot_bytes()];
+        vol.write_hidden(0, &secret).unwrap();
+
+        // Threshold 0 forces a refresh of every live slot; the payload must
+        // survive the rewrite cycle.
+        let report = vol.scrub(0).unwrap();
+        assert!(report.refreshed >= 1, "{report:?}");
+        assert_eq!(report.lost, 0, "{report:?}");
+        assert_eq!(vol.read_hidden(0).unwrap().unwrap(), secret);
+
+        // An impossible threshold refreshes nothing.
+        let report = vol.scrub(usize::MAX).unwrap();
+        assert_eq!(report.refreshed, 0, "{report:?}");
+        assert_eq!(vol.read_hidden(0).unwrap().unwrap(), secret);
+    }
+
+    #[test]
+    fn scrub_writes_off_destroyed_slots_and_shrinks_capacity() {
+        use stash_flash::FaultPlan;
+        let ftl = make_ftl(9);
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.parity_group = 0; // no parity: destruction is permanent
+        let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 3).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 20);
+        for i in 0..3 {
+            vol.write_hidden(i, &vec![i as u8 + 1; vol.slot_bytes()]).unwrap();
+        }
+        assert_eq!(vol.advertised_slot_count(), 3);
+
+        // Slot 1's page dies hard while the volume is unmounted: every cell
+        // reads a stuck alternating pattern, so the slot still *looks*
+        // written (≈half its hidden cells read charged) but no sweep offset
+        // decodes it, and with the cache gone there is nothing to rebuild
+        // from (parity is off).
+        let victim = vol.ftl.physical_of(vol.slot_lpn[vol.internal_slot(1)]).unwrap();
+        let mut ftl_back = vol.unmount();
+        let cpp = ftl_back.chip().geometry().cells_per_page();
+        let base = victim.page as usize * cpp;
+        let mut plan = FaultPlan::new(1);
+        for i in 0..cpp {
+            let level = if i % 2 == 0 { 5 } else { 120 };
+            plan = plan.with_stuck_cell(victim.block, base + i, level);
+        }
+        ftl_back.chip_mut().set_fault_plan(plan);
+
+        let (mut vol2, remount_report) = HiddenVolume::remount(ftl_back, key(), cfg, 3).unwrap();
+        assert_eq!(remount_report.lost, 1, "{remount_report:?}");
+        let report = vol2.scrub(usize::MAX).unwrap();
+        assert_eq!(report.capacity_lost, 1, "{report:?}");
+        assert_eq!(report.lost, 1, "{report:?}");
+        assert_eq!(vol2.advertised_slot_count(), 2);
+        assert_eq!(vol2.advertised_capacity_bytes(), 2 * vol2.slot_bytes());
+        // The surviving slots still read.
+        assert_eq!(vol2.read_hidden(0).unwrap().unwrap(), vec![1u8; vol2.slot_bytes()]);
+        assert_eq!(vol2.read_hidden(2).unwrap().unwrap(), vec![3u8; vol2.slot_bytes()]);
+        // A second scrub does not write the same slot off twice.
+        let report = vol2.scrub(usize::MAX).unwrap();
+        assert_eq!(report.capacity_lost, 0, "{report:?}");
+        assert_eq!(vol2.advertised_slot_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,19 @@
+# Developer shortcuts. Run with `just <recipe>` (or copy the commands).
+
+# Build, test, and lint the whole workspace — the pre-commit gate.
+verify:
+    cargo build --release
+    cargo test -q
+    cargo clippy --all-targets -- -D warnings
+
+# Fast edit loop: tier-1 integration suites only (root package).
+test:
+    cargo test -q
+
+# Full workspace suite, all crates.
+test-all:
+    cargo test -q --workspace
+
+# The chaos sweep: hidden-byte survival under injected faults.
+chaos:
+    cargo run --release -p stash-bench --bin chaos

@@ -1,0 +1,105 @@
+//! Chaos end-to-end: a hidden volume hit by grown-bad blocks, transient
+//! faults and retention aging recovers everything through the scrub
+//! pipeline — migration off the dying block included.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use stash::crypto::HidingKey;
+use stash::flash::{BitPattern, Chip, ChipProfile, FaultPlan, Geometry};
+use stash::ftl::{Ftl, FtlConfig};
+use stash::stego::{HiddenVolume, StegoConfig};
+
+const SLOTS: usize = 4;
+
+fn key() -> HidingKey {
+    HidingKey::from_passphrase("chaos e2e")
+}
+
+fn chaotic_ftl(seed: u64) -> Ftl {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 8, page_bytes: 1024 };
+    let plan = FaultPlan::new(seed)
+        .with_program_fail(0.01)
+        .with_partial_program_fail(0.01)
+        .with_erase_fail(0.01);
+    let chip = Chip::with_faults(profile, seed, plan);
+    Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap()
+}
+
+#[test]
+fn hidden_volume_recovers_from_grown_bad_and_aging() {
+    let ftl = chaotic_ftl(11);
+    let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+    let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), SLOTS).unwrap();
+
+    let cap = vol.ftl().capacity_pages();
+    let cpp = vol.ftl().chip().geometry().cells_per_page();
+    let mut rng = SmallRng::seed_from_u64(12);
+    for lpn in 0..cap {
+        vol.write_public(lpn, &BitPattern::random_half(&mut rng, cpp)).unwrap();
+    }
+    let secrets: Vec<Vec<u8>> =
+        (0..SLOTS).map(|s| vec![0xA0 + s as u8; vol.slot_bytes()]).collect();
+    for (s, secret) in secrets.iter().enumerate() {
+        vol.write_hidden(s, secret).unwrap();
+    }
+
+    // Disaster strikes: the block backing slot 0 goes grown bad, and the
+    // device then sits unpowered for two months.
+    let bad_block = vol.slot_location(0).unwrap().expect("slot 0 backed").block;
+    vol.ftl_mut().chip_mut().grow_bad_block(bad_block).unwrap();
+    vol.ftl_mut().chip_mut().age_days(60.0);
+
+    let report = vol.scrub(8).unwrap();
+    assert!(report.migrated >= 1, "slot 0 must migrate off the grown-bad block: {report:?}");
+    assert_eq!(report.lost, 0, "{report:?}");
+    assert_eq!(report.capacity_lost, 0, "{report:?}");
+    assert_ne!(
+        vol.slot_location(0).unwrap().expect("still backed").block,
+        bad_block,
+        "slot 0 still sits on the grown-bad block"
+    );
+    assert!(vol.ftl().retired_blocks().contains(&bad_block), "block must be retired");
+
+    // Full recovery, in cache and on flash: every payload byte survives.
+    for (s, secret) in secrets.iter().enumerate() {
+        assert_eq!(vol.read_hidden(s).unwrap().as_ref(), Some(secret), "slot {s}");
+    }
+    let ftl_back = vol.unmount();
+    let (mut vol2, remount) = HiddenVolume::remount(ftl_back, key(), cfg, SLOTS).unwrap();
+    assert_eq!(remount.lost, 0, "{remount:?}");
+    for (s, secret) in secrets.iter().enumerate() {
+        assert_eq!(vol2.read_hidden(s).unwrap().as_ref(), Some(secret), "slot {s} after remount");
+    }
+}
+
+#[test]
+fn churn_under_faults_loses_nothing() {
+    // GC churn with transient program/erase faults firing throughout: the
+    // retry paths inside the FTL and hider must keep both volumes intact.
+    let ftl = chaotic_ftl(21);
+    let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+    let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), SLOTS).unwrap();
+
+    let cap = vol.ftl().capacity_pages();
+    let cpp = vol.ftl().chip().geometry().cells_per_page();
+    let mut rng = SmallRng::seed_from_u64(22);
+    for lpn in 0..cap {
+        vol.write_public(lpn, &BitPattern::random_half(&mut rng, cpp)).unwrap();
+    }
+    let secrets: Vec<Vec<u8>> =
+        (0..SLOTS).map(|s| vec![0x11 * (s as u8 + 1); vol.slot_bytes()]).collect();
+    for (s, secret) in secrets.iter().enumerate() {
+        vol.write_hidden(s, secret).unwrap();
+    }
+    for _ in 0..cap * 2 {
+        let lpn = rng.gen_range(0..cap);
+        vol.write_public(lpn, &BitPattern::random_half(&mut rng, cpp)).unwrap();
+    }
+    assert!(vol.ftl().chip().meter().total_faults() > 0, "faults should have fired");
+
+    let report = vol.scrub(8).unwrap();
+    assert_eq!(report.lost, 0, "{report:?}");
+    for (s, secret) in secrets.iter().enumerate() {
+        assert_eq!(vol.read_hidden(s).unwrap().as_ref(), Some(secret), "slot {s}");
+    }
+}

@@ -4,13 +4,21 @@
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use stash::crypto::HidingKey;
-use stash::flash::{BitPattern, BlockId, Chip, ChipProfile, FlashError, Geometry, PageId};
-use stash::vthi::{EccChoice, HideError, Hider, VthiConfig};
+use stash::flash::{
+    BitPattern, BlockId, Chip, ChipProfile, FaultPlan, FlashError, Geometry, PageId,
+};
+use stash::vthi::{EccChoice, HideError, Hider, RetryPolicy, VthiConfig};
 
 fn small_chip(seed: u64) -> Chip {
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = Geometry { blocks_per_chip: 4, pages_per_block: 8, page_bytes: 1024 };
     Chip::new(profile, seed)
+}
+
+fn small_faulty_chip(seed: u64, plan: FaultPlan) -> Chip {
+    let mut chip = small_chip(seed);
+    chip.set_fault_plan(plan);
+    chip
 }
 
 fn small_cfg() -> VthiConfig {
@@ -121,6 +129,69 @@ fn zero_capacity_config_rejected_before_touching_flash() {
         .hide_in_programmed_page(PageId::new(BlockId(0), 0), &public, &[], false)
         .unwrap_err();
     assert!(matches!(err, HideError::InvalidConfig(_)));
+}
+
+#[test]
+fn transient_program_fault_is_typed_and_side_effect_free() {
+    let mut chip = small_faulty_chip(7, FaultPlan::new(7).with_program_fail(1.0));
+    chip.erase_block(BlockId(0)).unwrap();
+    let public = BitPattern::ones(chip.geometry().cells_per_page());
+    let page = PageId::new(BlockId(0), 0);
+    let err = chip.program_page(page, &public).unwrap_err();
+    assert_eq!(err, FlashError::TransientProgramFail(page));
+    // The failed attempt left no state behind: with the fault cleared, the
+    // identical operation succeeds.
+    chip.set_fault_plan(FaultPlan::none());
+    chip.program_page(page, &public).unwrap();
+}
+
+#[test]
+fn erase_and_grown_bad_failures_are_typed_through_the_stack() {
+    let mut chip = small_faulty_chip(8, FaultPlan::new(8).with_erase_fail(1.0));
+    assert_eq!(chip.erase_block(BlockId(1)).unwrap_err(), FlashError::EraseFail(BlockId(1)));
+    chip.set_fault_plan(FaultPlan::none());
+    chip.grow_bad_block(BlockId(1)).unwrap();
+    assert_eq!(
+        chip.erase_block(BlockId(1)).unwrap_err(),
+        FlashError::GrownBadBlock(BlockId(1))
+    );
+    // Through the hiding layer the same failure arrives typed, not mangled.
+    let cfg = small_cfg();
+    let key = HidingKey::new([8; 32]);
+    let public = BitPattern::ones(chip.geometry().cells_per_page());
+    let payload = vec![0u8; cfg.payload_bytes_per_page()];
+    let mut hider = Hider::new(&mut chip, key, cfg);
+    let err = hider
+        .hide_on_fresh_page(PageId::new(BlockId(1), 0), &public, &payload)
+        .unwrap_err();
+    assert_eq!(err, HideError::Flash(FlashError::GrownBadBlock(BlockId(1))));
+}
+
+#[test]
+fn transient_faults_do_not_corrupt_public_data() {
+    // Hide under heavy transient faulting (with retries); the public page
+    // must read back exactly as clean as on a fault-free chip, and the
+    // hidden payload must decode.
+    let plan = FaultPlan::new(9).with_program_fail(0.5).with_partial_program_fail(0.2);
+    let mut chip = small_faulty_chip(9, plan);
+    let cfg = small_cfg();
+    let key = HidingKey::new([9; 32]);
+    let mut rng = SmallRng::seed_from_u64(3);
+    chip.erase_block(BlockId(0)).unwrap();
+    let public = BitPattern::random_half(&mut rng, chip.geometry().cells_per_page());
+    let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+    let page = PageId::new(BlockId(0), 0);
+    let mut hider =
+        Hider::new(&mut chip, key, cfg).with_retry_policy(RetryPolicy::standard());
+    hider.hide_on_fresh_page(page, &public, &payload).unwrap();
+    assert!(hider.chip().meter().total_faults() > 0, "faults should have fired");
+
+    let read = hider.chip_mut().read_page(page).unwrap();
+    assert!(
+        read.hamming_distance(&public) < public.len() / 1000,
+        "transient faults corrupted public data"
+    );
+    assert_eq!(hider.reveal_page(page, Some(&public)).unwrap(), payload);
 }
 
 #[test]

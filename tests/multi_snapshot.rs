@@ -65,10 +65,7 @@ fn setup(seed: u64, piggyback: bool) -> HiddenVolume {
 fn eager_hidden_write_between_snapshots_leaves_telltale() {
     let mut vol = setup(1, false);
     // Snapshot 1.
-    let snap1 = {
-        let probes = snapshot_via(&mut vol);
-        probes
-    };
+    let snap1 = snapshot_via(&mut vol);
     // Hidden write with NO public activity: immediate mode rewrites the
     // owning public page and charges cells — visible in the diff.
     let secret = vec![0x42u8; vol.slot_bytes()];
