@@ -47,10 +47,9 @@ fn ablations(c: &mut Criterion) {
     // --- 2: selection strategy ----------------------------------------------
     {
         let mut group = c.benchmark_group("ablation_selection");
-        for (name, mode) in [
-            ("ones_indexed", SelectionMode::OnesIndexed),
-            ("absolute", SelectionMode::Absolute),
-        ] {
+        for (name, mode) in
+            [("ones_indexed", SelectionMode::OnesIndexed), ("absolute", SelectionMode::Absolute)]
+        {
             group.bench_function(name, |b| {
                 let key = experiment_key();
                 let geometry = stash_flash::Geometry::paper_vendor_a();
@@ -58,9 +57,7 @@ fn ablations(c: &mut Criterion) {
                 let public = BitPattern::random_half(&mut rng, geometry.cells_per_page());
                 let page = PageId::new(BlockId(0), 0);
                 b.iter(|| {
-                    black_box(vthi::select_hidden_cells(
-                        &key, &geometry, page, &public, 256, mode,
-                    ))
+                    black_box(vthi::select_hidden_cells(&key, &geometry, page, &public, 256, mode))
                 });
             });
         }

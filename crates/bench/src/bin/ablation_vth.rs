@@ -6,8 +6,8 @@
 //! The paper picked 34 empirically; this harness shows the whole trade-off.
 
 use stash_bench::{
-    experiment_key, f, fill_block, fill_block_hiding, header, measure_hidden_ber,
-    raw_paper_config, rng, row, short_block_geometry,
+    experiment_key, f, fill_block, fill_block_hiding, header, measure_hidden_ber, raw_paper_config,
+    rng, row, short_block_geometry,
 };
 use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, Histogram, PageId};
 
@@ -23,13 +23,8 @@ fn main() {
         "Ablation: hidden threshold Vth — capacity vs reliability",
         &format!("{BLOCKS} blocks per point; 256 hidden bits/page; 18048-byte pages"),
     );
-    row([
-        "vth",
-        "natural_above_pct",
-        "stealth_budget_bits_per_page",
-        "hidden_ber_at_10_steps",
-    ]
-    .map(String::from));
+    row(["vth", "natural_above_pct", "stealth_budget_bits_per_page", "hidden_ber_at_10_steps"]
+        .map(String::from));
 
     let mut r = rng(340);
 
@@ -69,12 +64,7 @@ fn main() {
         // §6.3 budget: ~73% of the natural population, in cells ⇒ ×2 bits.
         let erased_per_page = 144_384 / 2;
         let budget = (above * erased_per_page as f64 * 0.73 * 2.0) as usize;
-        row([
-            vth.to_string(),
-            f(above * 100.0, 3),
-            budget.to_string(),
-            f(total.ber(), 5),
-        ]);
+        row([vth.to_string(), f(above * 100.0, 3), budget.to_string(), f(total.ber(), 5)]);
     }
     println!();
     println!("# the paper's Vth=34 sits where the natural population still covers the");

@@ -3,10 +3,10 @@
 //! hides a 256-bit payload per relevant page on a fresh chip and measures a
 //! BER of ≈1%, similar to vendor A.
 
+use stash_bench::rng;
 use stash_bench::{
     experiment_key, f, fill_block_hiding, header, measure_hidden_ber, raw_paper_config, row,
 };
-use stash_bench::rng;
 use stash_flash::{BlockId, Chip, ChipProfile, Geometry};
 
 fn main() {
@@ -20,10 +20,9 @@ fn main() {
     row(["chip_model", "page_bytes", "hidden_ber"].map(String::from));
 
     let mut r = rng(88);
-    for (name, mut profile) in [
-        ("vendor-A", ChipProfile::vendor_a()),
-        ("vendor-B", ChipProfile::vendor_b()),
-    ] {
+    for (name, mut profile) in
+        [("vendor-A", ChipProfile::vendor_a()), ("vendor-B", ChipProfile::vendor_b())]
+    {
         // Short blocks, full-size pages of the respective vendor.
         profile.geometry = Geometry {
             blocks_per_chip: 16,
@@ -38,11 +37,7 @@ fn main() {
             total.absorb(measure_hidden_ber(&mut chip, &key, &cfg, &reports));
             chip.discard_block_state(BlockId(b)).expect("discard");
         }
-        row([
-            name.to_owned(),
-            profile.geometry.page_bytes.to_string(),
-            f(total.ber(), 4),
-        ]);
+        row([name.to_owned(), profile.geometry.page_bytes.to_string(), f(total.ber(), 4)]);
     }
     println!();
     println!("# paper: vendor-B BER ~1%, 'similar to the one in the first model'");

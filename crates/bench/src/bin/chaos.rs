@@ -8,14 +8,19 @@
 //! must hold byte survival at ≥ 99.9% through the 1% fault point.
 
 use rand::Rng;
-use stash_bench::{f, header, rng, row};
+use stash_bench::{f, header, rng, row, write_trace_artifacts};
 use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry};
 use stash_ftl::{Ftl, FtlConfig};
+use stash_obs::json::write_num;
+use stash_obs::Tracer;
 use stash_stego::{HiddenVolume, StegoConfig};
+use std::fmt::Write as _;
 
 const RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.05];
 const SLOTS: usize = 6;
 const GROWN_BAD_AT_OP: u64 = 400;
+/// The fault rate whose trace is exported as the flamegraph/JSONL artifact.
+const TRACED_RATE: f64 = 0.01;
 
 fn volume_profile() -> ChipProfile {
     let mut p = ChipProfile::vendor_a();
@@ -36,11 +41,10 @@ fn main() {
              then scrub + remount"
         ),
     );
-    row(
-        ["fault_rate", "survival", "faults", "retired", "migrated", "refreshed", "lost"]
-            .map(String::from),
-    );
+    row(["fault_rate", "survival", "faults", "retired", "migrated", "refreshed", "lost"]
+        .map(String::from));
 
+    let mut json_rows = String::new();
     for (i, &rate) in RATES.iter().enumerate() {
         let seed = 9000 + i as u64;
         let plan = FaultPlan::new(seed)
@@ -52,29 +56,43 @@ fn main() {
         let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
         let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
         let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), SLOTS).unwrap();
+        let tracer = Tracer::shared();
+        vol.attach_tracer(Some(tracer.clone()));
 
         // Public fill, hidden payloads, then GC churn — all under faults.
         let cap = vol.ftl().capacity_pages();
         let cpp = vol.ftl().chip().geometry().cells_per_page();
         let mut r = rng(seed);
-        for lpn in 0..cap {
-            let data = BitPattern::random_half(&mut r, cpp);
-            vol.write_public(lpn, &data).expect("public write");
+        {
+            let _s = tracer.span("fill_public");
+            for lpn in 0..cap {
+                let data = BitPattern::random_half(&mut r, cpp);
+                vol.write_public(lpn, &data).expect("public write");
+            }
         }
         let payloads: Vec<Vec<u8>> = (0..SLOTS)
             .map(|s| (0..cfg.slot_bytes()).map(|b| (s * 37 + b) as u8).collect())
             .collect();
-        for (s, p) in payloads.iter().enumerate() {
-            vol.write_hidden(s, p).expect("hidden write");
+        {
+            let _s = tracer.span("write_hidden");
+            for (s, p) in payloads.iter().enumerate() {
+                vol.write_hidden(s, p).expect("hidden write");
+            }
         }
-        for _ in 0..cap {
-            let lpn = r.gen_range(0..cap);
-            let data = BitPattern::random_half(&mut r, cpp);
-            vol.write_public(lpn, &data).expect("churn write");
+        {
+            let _s = tracer.span("churn");
+            for _ in 0..cap {
+                let lpn = r.gen_range(0..cap);
+                let data = BitPattern::random_half(&mut r, cpp);
+                vol.write_public(lpn, &data).expect("churn write");
+            }
         }
 
         // A month on the shelf, then the maintenance pass.
-        vol.ftl_mut().chip_mut().age_days(30.0);
+        {
+            let _s = tracer.span("retention_wait");
+            vol.ftl_mut().chip_mut().age_days(30.0);
+        }
         let scrub = vol.scrub(8).expect("scrub");
 
         // Cold remount: what actually survives on flash?
@@ -83,9 +101,12 @@ fn main() {
             HiddenVolume::remount(ftl_back, key(), cfg.clone(), SLOTS).expect("remount");
         let mut survived = 0usize;
         let total = SLOTS * cfg.slot_bytes();
-        for (s, expect) in payloads.iter().enumerate() {
-            if let Ok(Some(got)) = vol2.read_hidden(s) {
-                survived += got.iter().zip(expect).filter(|(a, b)| a == b).count();
+        {
+            let _s = tracer.span("readback");
+            for (s, expect) in payloads.iter().enumerate() {
+                if let Ok(Some(got)) = vol2.read_hidden(s) {
+                    survived += got.iter().zip(expect).filter(|(a, b)| a == b).count();
+                }
             }
         }
         let survival = survived as f64 / total as f64;
@@ -99,12 +120,47 @@ fn main() {
             scrub.refreshed.to_string(),
             (scrub.lost + remount.lost).to_string(),
         ]);
+
+        let report = tracer.report();
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        json_rows.push_str("    {\"fault_rate\":");
+        write_num(&mut json_rows, rate);
+        json_rows.push_str(",\"survival\":");
+        write_num(&mut json_rows, survival);
+        let _ = write!(
+            json_rows,
+            ",\"faults\":{},\"retired_blocks\":{},\"scrub_migrated\":{},\"scrub_refreshed\":{},\
+             \"lost\":{},\"retries\":{},\"ops\":{},\"device_time_us\":",
+            meter.total_faults(),
+            vol2.ftl().stats().retirements,
+            scrub.migrated,
+            scrub.refreshed,
+            scrub.lost + remount.lost,
+            report.counters.iter().find(|(n, _, _)| n == "transient_retries").map_or(0, |c| c.2),
+            meter.total_ops(),
+        );
+        write_num(&mut json_rows, meter.device_time_us);
+        json_rows.push_str(",\"energy_uj\":");
+        write_num(&mut json_rows, meter.energy_uj);
+        json_rows.push('}');
+
+        if rate == TRACED_RATE {
+            write_trace_artifacts("chaos", &report);
+        }
         if rate <= 0.01 {
-            assert!(
-                survival >= 0.999,
-                "survival {survival} below 99.9% at fault rate {rate}"
-            );
+            assert!(survival >= 0.999, "survival {survival} below 99.9% at fault rate {rate}");
         }
     }
+    let json = format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"slots\": {SLOTS},\n  \"grown_bad_at_op\": \
+         {GROWN_BAD_AT_OP},\n  \"rates\": [\n{json_rows}\n  ]\n}}\n"
+    );
+    if std::fs::create_dir_all("results").is_ok() {
+        std::fs::write("results/BENCH_chaos.json", json).expect("write BENCH_chaos.json");
+    }
     println!("ok: >=99.9% of hidden payload bytes survive through the 1% fault point");
+    println!("# machine-readable series: results/BENCH_chaos.json");
+    println!("# trace artifacts (rate {TRACED_RATE}): results/TRACE_chaos.jsonl, results/TRACE_chaos.folded");
 }

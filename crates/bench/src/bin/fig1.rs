@@ -31,12 +31,8 @@ fn main() {
     let slc = mixture(&[(0.5, -1.8, 14.0), (0.5, 165.0, 9.0)]);
     // MLC: four narrower lobes in the same range (paper: "MLC distributions
     // are typically narrower").
-    let mlc = mixture(&[
-        (0.25, -1.8, 9.0),
-        (0.25, 85.0, 6.0),
-        (0.25, 145.0, 6.0),
-        (0.25, 200.0, 6.0),
-    ]);
+    let mlc =
+        mixture(&[(0.25, -1.8, 9.0), (0.25, 85.0, 6.0), (0.25, 145.0, 6.0), (0.25, 200.0, 6.0)]);
 
     row(["level", "slc_pct", "mlc_pct"].map(String::from));
     for level in 0..=255usize {

@@ -38,25 +38,20 @@ fn main() {
     // Feature cache: (pec, hidden?) -> per-chip feature sets.
     let mut cache: HashMap<(u32, bool), [Vec<Vec<f64>>; 3]> = HashMap::new();
     let mut r = rng(10);
-    let mut features =
-        |pec: u32, hidden: bool, r: &mut rand::rngs::SmallRng| -> [Vec<Vec<f64>>; 3] {
-            cache
-                .entry((pec, hidden))
-                .or_insert_with(|| {
-                    let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
-                        prepare_features(
-                            &profile,
-                            seed,
-                            pec,
-                            hidden.then_some((&key, &cfg)),
-                            blocks,
-                            r,
-                        )
-                    };
-                    [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
-                })
-                .clone()
-        };
+    let mut features = |pec: u32,
+                        hidden: bool,
+                        r: &mut rand::rngs::SmallRng|
+     -> [Vec<Vec<f64>>; 3] {
+        cache
+            .entry((pec, hidden))
+            .or_insert_with(|| {
+                let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
+                    prepare_features(&profile, seed, pec, hidden.then_some((&key, &cfg)), blocks, r)
+                };
+                [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
+            })
+            .clone()
+    };
 
     let mut head = vec!["normal_pec".to_owned()];
     head.extend(HIDDEN_PECS.iter().map(|p| format!("hidden_pec_{p}")));

@@ -40,22 +40,22 @@ fn main() {
         for b in 0..BLOCKS {
             let block = BlockId(b);
             chip.cycle_block(block, pec).expect("cycle");
-            let (publics, reports) =
-                fill_block_hiding(&mut chip, block, &key, &cfg, &mut r, false);
+            let (publics, reports) = fill_block_hiding(&mut chip, block, &key, &cfg, &mut r, false);
             stored.push((block, publics, reports));
         }
 
-        let measure = |chip: &mut Chip,
-                       stored: &[(BlockId, Vec<stash_flash::BitPattern>, Vec<vthi::PageEncodeReport>)]|
-         -> (f64, f64) {
-            let mut hid = BitErrorStats::default();
-            let mut pubs = BitErrorStats::default();
-            for (block, publics, reports) in stored {
-                hid.absorb(measure_hidden_ber(chip, &key, &cfg, reports));
-                pubs.absorb(measure_public_ber(chip, *block, publics));
-            }
-            (hid.ber(), pubs.ber())
-        };
+        let measure =
+            |chip: &mut Chip,
+             stored: &[(BlockId, Vec<stash_flash::BitPattern>, Vec<vthi::PageEncodeReport>)]|
+             -> (f64, f64) {
+                let mut hid = BitErrorStats::default();
+                let mut pubs = BitErrorStats::default();
+                for (block, publics, reports) in stored {
+                    hid.absorb(measure_hidden_ber(chip, &key, &cfg, reports));
+                    pubs.absorb(measure_public_ber(chip, *block, publics));
+                }
+                (hid.ber(), pubs.ber())
+            };
 
         let (h0, p0) = measure(&mut chip, &stored);
         let mut line = Line { pec, hidden_t0: h0, public_t0: p0, hidden: vec![], public: vec![] };
@@ -74,10 +74,7 @@ fn main() {
         "Figure 11: normalized retention BER (vs zero time)",
         &format!("{BLOCKS} blocks per wear level; 256 hidden bits/page; 18048-byte pages"),
     );
-    row([
-        "period", "kind", "PEC0", "PEC1000", "PEC2000",
-    ]
-    .map(String::from));
+    row(["period", "kind", "PEC0", "PEC1000", "PEC2000"].map(String::from));
     let labels = ["1day", "1month", "4month"];
     for (ci, label) in labels.iter().enumerate() {
         for kind in ["vthi", "normal"] {

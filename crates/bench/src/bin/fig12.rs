@@ -75,25 +75,20 @@ fn main() {
 
     let mut cache: HashMap<(u32, bool), [Vec<Vec<f64>>; 3]> = HashMap::new();
     let mut r = rng(12);
-    let mut features =
-        |pec: u32, hidden: bool, r: &mut rand::rngs::SmallRng| -> [Vec<Vec<f64>>; 3] {
-            cache
-                .entry((pec, hidden))
-                .or_insert_with(|| {
-                    let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
-                        prepare_features(
-                            &profile,
-                            seed,
-                            pec,
-                            hidden.then_some((&key, &cfg)),
-                            blocks,
-                            r,
-                        )
-                    };
-                    [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
-                })
-                .clone()
-        };
+    let mut features = |pec: u32,
+                        hidden: bool,
+                        r: &mut rand::rngs::SmallRng|
+     -> [Vec<Vec<f64>>; 3] {
+        cache
+            .entry((pec, hidden))
+            .or_insert_with(|| {
+                let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
+                    prepare_features(&profile, seed, pec, hidden.then_some((&key, &cfg)), blocks, r)
+                };
+                [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
+            })
+            .clone()
+    };
 
     let mut head = vec!["normal_pec".to_owned()];
     head.extend(HIDDEN_PECS.iter().map(|p| format!("hidden_pec_{p}")));
@@ -138,11 +133,7 @@ fn main() {
         let hidden =
             [mk(CHIP_SEEDS[0], &mut r2), mk(CHIP_SEEDS[1], &mut r2), mk(CHIP_SEEDS[2], &mut r2)];
         let (acc, _) = train_two_test_one(&normal, &hidden);
-        row([
-            format!("{mult}x"),
-            dcfg.hidden_bits_per_page.to_string(),
-            f(acc * 100.0, 1),
-        ]);
+        row([format!("{mult}x"), dcfg.hidden_bits_per_page.to_string(), f(acc * 100.0, 1)]);
     }
     println!();
     println!("# simulator-vs-silicon note: our calibrated natural variability at low");

@@ -9,10 +9,11 @@
 //! PP step.
 
 use stash_bench::{
-    experiment_key, f, fill_block_hiding, header, raw_paper_config, rng, row,
-    short_block_geometry,
+    experiment_key, f, fill_block_hiding_traced, header, raw_paper_config, rng, row,
+    short_block_geometry, write_trace_artifacts,
 };
 use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+use stash_obs::Tracer;
 
 const STEPS: u8 = 15;
 const BLOCKS: u32 = 5;
@@ -36,6 +37,9 @@ fn main() {
     let mut labels = Vec::new();
     let mut series: Vec<Vec<BitErrorStats>> = Vec::new();
     let mut r = rng(6);
+    // One tracer across the whole sweep: the flamegraph shows how encode
+    // time splits between PP iterations and verify reads per combination.
+    let tracer = Tracer::shared();
 
     for &interval in &INTERVALS {
         for &bits in &BITS {
@@ -45,9 +49,18 @@ fn main() {
             let mut acc = vec![BitErrorStats::default(); STEPS as usize];
 
             let mut chip = Chip::new(profile.clone(), 1000 + interval as u64 * 10 + bits as u64);
+            chip.set_recorder(Some(tracer.clone()));
+            let _combo = tracer.span_labeled("combo", format!("interval={interval} bits={bits}"));
             for b in 0..BLOCKS {
-                let (_publics, reports) =
-                    fill_block_hiding(&mut chip, BlockId(b), &key, &cfg, &mut r, true);
+                let (_publics, reports) = fill_block_hiding_traced(
+                    &mut chip,
+                    BlockId(b),
+                    &key,
+                    &cfg,
+                    &mut r,
+                    true,
+                    Some(tracer.clone()),
+                );
                 for rep in &reports {
                     for (s, ber) in rep.step_ber.iter().enumerate() {
                         acc[s.min(STEPS as usize - 1)].absorb(*ber);
@@ -78,9 +91,7 @@ fn main() {
     println!();
     println!("# paper: BER converges to <1% after ~10 steps for all combinations");
     let converged = series.iter().filter(|acc| acc[9].ber() < 0.01).count();
-    println!(
-        "# measured: {}/{} combinations below 1% at step 10",
-        converged,
-        series.len()
-    );
+    println!("# measured: {}/{} combinations below 1% at step 10", converged, series.len());
+    write_trace_artifacts("fig6", &tracer.report());
+    println!("# trace artifacts: results/TRACE_fig6.jsonl, results/TRACE_fig6.folded");
 }

@@ -54,9 +54,11 @@ fn main() {
     dump("(b) programmed cells", 120, 210, &programmed);
 
     // Chip-to-chip spread vs hiding-induced shift, quantified.
-    let above: Vec<f64> =
-        erased.iter().map(|(_, h)| h.fraction_at_or_above(34) * 100.0).collect();
-    println!("# erased cells >= Vth per block (%): {:?}", above.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>());
+    let above: Vec<f64> = erased.iter().map(|(_, h)| h.fraction_at_or_above(34) * 100.0).collect();
+    println!(
+        "# erased cells >= Vth per block (%): {:?}",
+        above.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
+    );
     println!("# the hiding shift hides inside the chip-to-chip spread (paper: 'the human");
     println!("# eye has difficulty distinguishing which distributions come from blocks");
     println!("# with hidden data')");

@@ -28,8 +28,7 @@ fn weights_for(normal_pec: u32, hidden_pec: u32) -> (Vec<f64>, f64, f64) {
         for feat in prepare_features(&profile, seed, normal_pec, None, BLOCKS, &mut r) {
             train.push(feat, -1);
         }
-        for feat in
-            prepare_features(&profile, seed, hidden_pec, Some((&key, &cfg)), BLOCKS, &mut r)
+        for feat in prepare_features(&profile, seed, hidden_pec, Some((&key, &cfg)), BLOCKS, &mut r)
         {
             train.push(feat, 1);
         }
@@ -64,10 +63,9 @@ fn main() {
         &format!("{BLOCKS} blocks/class/chip, 2 chips, training-set weights"),
     );
 
-    for (label, normal_pec, hidden_pec) in [
-        ("matched wear (hiding only)", 1000u32, 1000u32),
-        ("wear gap (PEC 0 vs 2000)", 0, 2000),
-    ] {
+    for (label, normal_pec, hidden_pec) in
+        [("matched wear (hiding only)", 1000u32, 1000u32), ("wear gap (PEC 0 vs 2000)", 0, 2000)]
+    {
         let (w, train_acc, test_acc) = weights_for(normal_pec, hidden_pec);
         println!();
         println!(
@@ -84,12 +82,7 @@ fn main() {
                 71..=126 => "guard band",
                 _ => "programmed lobe",
             };
-            row([
-                (rank + 1).to_string(),
-                level.to_string(),
-                f(weight, 3),
-                region.to_owned(),
-            ]);
+            row([(rank + 1).to_string(), level.to_string(), f(weight, 3), region.to_owned()]);
         }
     }
     println!();

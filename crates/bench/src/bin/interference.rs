@@ -4,8 +4,8 @@
 //! at one page interval, which became the default.
 
 use stash_bench::{
-    experiment_key, f, fill_block, fill_block_hiding, header, measure_public_ber,
-    raw_paper_config, rng, row, short_block_geometry,
+    experiment_key, f, fill_block, fill_block_hiding, header, measure_public_ber, raw_paper_config,
+    rng, row, short_block_geometry,
 };
 use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
 

@@ -42,8 +42,7 @@ fn main() {
         let data = BitPattern::random_half(&mut rng, cpp);
         vol.write_public(lpn, &data).unwrap();
     }
-    let secrets: Vec<Vec<u8>> =
-        (0..6u8).map(|i| vec![0xB0 + i; vol.slot_bytes()]).collect();
+    let secrets: Vec<Vec<u8>> = (0..6u8).map(|i| vec![0xB0 + i; vol.slot_bytes()]).collect();
     for (i, s) in secrets.iter().enumerate() {
         vol.write_hidden(i, s).unwrap();
     }
@@ -99,9 +98,8 @@ fn main() {
 
         let stats = vol.ftl().stats();
         let blocks = vol.ftl().chip().geometry().blocks_per_chip;
-        let pecs: Vec<u32> = (0..blocks)
-            .map(|b| vol.ftl().chip().block_pec(BlockId(b)).unwrap())
-            .collect();
+        let pecs: Vec<u32> =
+            (0..blocks).map(|b| vol.ftl().chip().block_pec(BlockId(b)).unwrap()).collect();
         let wear_min = *pecs.iter().min().unwrap();
         let wear_max = *pecs.iter().max().unwrap();
 
@@ -112,11 +110,7 @@ fn main() {
                 pthi_chip.cycle_block(BlockId(0), wear_max - current).unwrap();
             }
             let mut chip_copy = pthi_chip.clone();
-            let mut ph = PthiHider::new(
-                &mut chip_copy,
-                experiment_key(),
-                pcfg.clone(),
-            );
+            let mut ph = PthiHider::new(&mut chip_copy, experiment_key(), pcfg.clone());
             let got = ph.decode_page(pthi_page).unwrap();
             got.iter().zip(&pthi_truth).filter(|(a, b)| a != b).count() as f64
                 / pthi_truth.len() as f64
@@ -136,13 +130,9 @@ fn main() {
     // Final proof from flash, not cache: power-cycle and remount.
     let geometry = *vol.ftl().chip().geometry();
     let ftl = vol.unmount();
-    let (mut vol2, report) = HiddenVolume::remount(
-        ftl,
-        experiment_key(),
-        StegoConfig::for_geometry(&geometry),
-        6,
-    )
-    .unwrap();
+    let (mut vol2, report) =
+        HiddenVolume::remount(ftl, experiment_key(), StegoConfig::for_geometry(&geometry), 6)
+            .unwrap();
     let intact_after_remount = (0..6)
         .filter(|&i| vol2.read_hidden(i).unwrap().as_deref() == Some(&secrets[i][..]))
         .count();

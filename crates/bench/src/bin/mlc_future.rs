@@ -55,10 +55,7 @@ fn main() {
                     .zip(&payload)
                     .map(|(a, b)| u64::from((a ^ b).count_ones()))
                     .sum::<u64>();
-                hidden_errs.absorb(BitErrorStats::from_counts(
-                    errors,
-                    payload.len() as u64 * 8,
-                ));
+                hidden_errs.absorb(BitErrorStats::from_counts(errors, payload.len() as u64 * 8));
             }
             Err(_) => {
                 hidden_errs.absorb(BitErrorStats::from_counts(
@@ -77,10 +74,7 @@ fn main() {
     row(["metric", "value"].map(String::from));
     row(["post-ECC hidden payload BER".into(), f(hidden_errs.ber(), 6)]);
     row(["public MLC data BER".into(), format!("{:.3e}", public_errs.ber())]);
-    row([
-        "hidden payload bytes per wordline".into(),
-        payload_bytes.to_string(),
-    ]);
+    row(["hidden payload bytes per wordline".into(), payload_bytes.to_string()]);
     row([
         "MLC public capacity per wordline".into(),
         format!("{} bytes (2 logical pages)", cpp / 8 * 2),

@@ -57,11 +57,7 @@ fn main() {
             ph.chip_mut().cycle_block(block, pec).expect("cycle");
             for p in 0..pages {
                 let got = ph.decode_page(PageId::new(block, p)).expect("decode");
-                errs += got
-                    .iter()
-                    .zip(&truth[p as usize])
-                    .filter(|(a, b)| a != b)
-                    .count() as u64;
+                errs += got.iter().zip(&truth[p as usize]).filter(|(a, b)| a != b).count() as u64;
                 bits_total += got.len() as u64;
             }
         }

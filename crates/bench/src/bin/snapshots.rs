@@ -5,7 +5,7 @@
 //! telltales both ways.
 
 use rand::Rng;
-use stash_bench::{header, row, rng};
+use stash_bench::{header, rng, row};
 use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, PageId};
 use stash_ftl::{Ftl, FtlConfig};
 use stash_stego::{HiddenVolume, StegoConfig};

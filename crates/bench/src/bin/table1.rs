@@ -11,18 +11,19 @@
 //! ~2× capacity (enhanced configuration vs PT-HI).
 
 use pthi::{PthiConfig, PthiHider};
-use stash_bench::{experiment_key, f, fill_block_hiding, header, raw_paper_config, rng, row, short_block_geometry};
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, PageId};
-use vthi::{
-    shannon_capacity_bits, Hider, HidingThroughput, PAPER_PAGES_PER_BLOCK_S8,
+use stash_bench::{
+    experiment_key, f, fill_block_hiding_traced, header, raw_paper_config, rng, row,
+    short_block_geometry, write_trace_artifacts,
 };
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, PageId};
+use stash_obs::Tracer;
+use vthi::{shannon_capacity_bits, Hider, HidingThroughput, PAPER_PAGES_PER_BLOCK_S8};
 
 fn main() {
     let timing = stash_flash::TimingModel::paper_vendor_a();
 
     // ---- method 1: the paper's closed-form model --------------------------
-    let vthi_model =
-        HidingThroughput::vthi_model(&timing, 10, PAPER_PAGES_PER_BLOCK_S8, 243.6);
+    let vthi_model = HidingThroughput::vthi_model(&timing, 10, PAPER_PAGES_PER_BLOCK_S8, 243.6);
     let pthi_model = HidingThroughput::pthi_model(&timing, PAPER_PAGES_PER_BLOCK_S8);
 
     // ---- method 2: metered execution on the simulator ---------------------
@@ -37,14 +38,26 @@ fn main() {
     let mut chip = Chip::new(profile.clone(), 71);
     let mut r = rng(42);
     chip.reset_meter();
+    let tracer = Tracer::shared();
+    chip.set_recorder(Some(tracer.clone()));
     let before = chip.meter();
-    let (publics, reports) = fill_block_hiding(&mut chip, BlockId(0), &key, &cfg, &mut r, false);
+    let (publics, reports) = fill_block_hiding_traced(
+        &mut chip,
+        BlockId(0),
+        &key,
+        &cfg,
+        &mut r,
+        false,
+        Some(tracer.clone()),
+    );
     let after_encode = chip.meter();
     // Subtract the public programming (the normal user pays it anyway).
     let programs = after_encode.count(stash_flash::OpKind::Program);
     let hidden_pages = reports.len() as u32;
     {
-        let mut hider = Hider::new(&mut chip, key.clone(), cfg.clone());
+        let _decode = tracer.span("decode_block");
+        let mut hider =
+            Hider::new(&mut chip, key.clone(), cfg.clone()).with_tracer(Some(tracer.clone()));
         for (i, _rep) in reports.iter().enumerate() {
             let page = PageId::new(BlockId(0), i as u32 * cfg.page_stride());
             let _ = hider
@@ -53,6 +66,8 @@ fn main() {
         }
     }
     let after_decode = chip.meter();
+    chip.set_recorder(None);
+    write_trace_artifacts("table1", &tracer.report());
 
     let mut encode_meter = after_encode.since(&before);
     // Remove the public program ops from the hidden-encode account.
@@ -83,7 +98,8 @@ fn main() {
     {
         let mut ph = PthiHider::new(&mut chip2, key.clone(), pcfg.clone());
         for p in 0..pages {
-            let bits: Vec<bool> = (0..pcfg.bits_per_page).map(|i| (i + p as usize) % 2 == 0).collect();
+            let bits: Vec<bool> =
+                (0..pcfg.bits_per_page).map(|i| (i + p as usize) % 2 == 0).collect();
             ph.encode_page(PageId::new(BlockId(0), p), &bits).expect("encode");
         }
     }
@@ -161,7 +177,9 @@ fn main() {
     let (enc, dec, energy) = vthi_model.speedup_over(&pthi_model);
     let (enc_m, dec_m, energy_m) = vthi_measured.speedup_over(&pthi_measured);
     println!();
-    println!("# headline ratios  (model):    encode {enc:.1}x, decode {dec:.1}x, energy {energy:.1}x");
+    println!(
+        "# headline ratios  (model):    encode {enc:.1}x, decode {dec:.1}x, energy {energy:.1}x"
+    );
     println!("# headline ratios  (measured): encode {enc_m:.1}x, decode {dec_m:.1}x, energy {energy_m:.1}x");
     println!("# paper:                       encode 24x,   decode 50x,   energy 37x");
 
@@ -179,4 +197,5 @@ fn main() {
         "# default VT-HI capacity {:.1} usable bits/page (paper: 243.6)",
         shannon_capacity_bits(256, 0.005)
     );
+    println!("# trace artifacts (VT-HI measured run): results/TRACE_table1.jsonl, results/TRACE_table1.folded");
 }

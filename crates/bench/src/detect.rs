@@ -61,10 +61,7 @@ pub fn prepare_features(
 /// The paper's train-on-two-chips / classify-the-third protocol: grid
 /// search with 3-fold CV on the training chips, then report accuracy on the
 /// held-out chip's blocks. Returns `(held_out_accuracy, cv_accuracy)`.
-pub fn train_two_test_one(
-    normal: &[Vec<Vec<f64>>; 3],
-    hidden: &[Vec<Vec<f64>>; 3],
-) -> (f64, f64) {
+pub fn train_two_test_one(normal: &[Vec<Vec<f64>>; 3], hidden: &[Vec<Vec<f64>>; 3]) -> (f64, f64) {
     let mut train = Dataset::new();
     for chip in 0..2 {
         for f in &normal[chip] {

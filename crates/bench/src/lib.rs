@@ -19,6 +19,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stash_crypto::HidingKey;
 use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Geometry, Histogram, PageId};
+use stash_obs::{span, TraceReport, Tracer};
+use std::sync::Arc;
 use vthi::{Hider, PageEncodeReport, VthiConfig};
 
 /// A geometry with the paper's full 18048-byte pages but short (16-page)
@@ -64,33 +66,75 @@ pub fn fill_block_hiding(
     rng: &mut SmallRng,
     track_steps: bool,
 ) -> (Vec<BitPattern>, Vec<PageEncodeReport>) {
+    fill_block_hiding_traced(chip, block, key, cfg, rng, track_steps, None)
+}
+
+/// [`fill_block_hiding`] with an optional tracer: phases open spans on it
+/// and the hider reports its PP-step/retry metrics (identical behavior when
+/// `None`).
+#[allow(clippy::too_many_arguments)]
+pub fn fill_block_hiding_traced(
+    chip: &mut Chip,
+    block: BlockId,
+    key: &HidingKey,
+    cfg: &VthiConfig,
+    rng: &mut SmallRng,
+    track_steps: bool,
+    tracer: Option<Arc<Tracer>>,
+) -> (Vec<BitPattern>, Vec<PageEncodeReport>) {
     let cpp = chip.geometry().cells_per_page();
     let pages = chip.geometry().pages_per_block;
     let stride = cfg.page_stride();
-    chip.erase_block(block).expect("erase");
+    {
+        let _erase = span!(tracer, "erase_block", "block={block}");
+        chip.erase_block(block).expect("erase");
+    }
 
     // First pass: program all non-hidden pages (the normal user's data).
-    let publics: Vec<BitPattern> =
-        (0..pages).map(|_| BitPattern::random_half(rng, cpp)).collect();
-    for p in 0..pages {
-        if p % stride != 0 {
-            chip.program_page(PageId::new(block, p), &publics[p as usize]).expect("program");
+    let publics: Vec<BitPattern> = (0..pages).map(|_| BitPattern::random_half(rng, cpp)).collect();
+    {
+        let _public = span!(tracer, "program_public", "block={block}");
+        for p in 0..pages {
+            if p % stride != 0 {
+                chip.program_page(PageId::new(block, p), &publics[p as usize]).expect("program");
+            }
         }
     }
     // Second pass: hide on the strided pages.
     let mut reports = Vec::new();
-    let mut hider = Hider::new(chip, key.clone(), cfg.clone());
+    let mut hider = Hider::new(chip, key.clone(), cfg.clone()).with_tracer(tracer.clone());
     for p in (0..pages).step_by(stride as usize) {
-        let payload: Vec<u8> =
-            (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
         let page = PageId::new(block, p);
-        hider.chip_mut().program_page(page, &publics[p as usize]).expect("program");
+        {
+            let _public = span!(tracer, "program_public", "block={block}");
+            hider.chip_mut().program_page(page, &publics[p as usize]).expect("program");
+        }
         let rep = hider
             .hide_in_programmed_page(page, &publics[p as usize], &payload, track_steps)
             .expect("hide");
         reports.push(rep);
     }
     (publics, reports)
+}
+
+/// Writes a trace's JSONL event stream (`TRACE_<name>.jsonl`) and
+/// collapsed-stack flamegraph (`TRACE_<name>.folded`) into `results/`,
+/// next to the bench's TSV output. Both are deterministic for a fixed
+/// seed, like every other artifact.
+pub fn write_trace_artifacts(name: &str, report: &TraceReport) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(
+        dir.join(format!("TRACE_{name}.jsonl")),
+        stash_obs::export::export_jsonl(report),
+    );
+    let _ = std::fs::write(
+        dir.join(format!("TRACE_{name}.folded")),
+        stash_obs::export::export_collapsed(report),
+    );
 }
 
 /// Probes a whole block and splits the histogram by cell state.
@@ -122,10 +166,7 @@ pub fn measure_hidden_ber(
     reports: &[PageEncodeReport],
 ) -> BitErrorStats {
     let mut hider = Hider::new(chip, key.clone(), cfg.clone());
-    reports
-        .iter()
-        .map(|rep| hider.measure_raw_ber(rep.page, rep).expect("measure"))
-        .sum()
+    reports.iter().map(|rep| hider.measure_raw_ber(rep.page, rep).expect("measure")).sum()
 }
 
 /// Measures the public-data BER of a block against the stored patterns.

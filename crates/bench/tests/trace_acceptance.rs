@@ -1,0 +1,148 @@
+//! Acceptance test for the tracing layer: one traced chaos-like run
+//! (chip → FTL → hidden volume, with injected faults, scrub and remount)
+//! must produce (1) a span tree whose root simulated-time total matches
+//! the chip meter, (2) a JSONL stream where every line parses, and (3) a
+//! collapsed-stack flamegraph that attributes ≥95% of simulated device
+//! time to leaf spans.
+
+use rand::Rng;
+use stash_bench::rng;
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry};
+use stash_ftl::{Ftl, FtlConfig};
+use stash_obs::export::{export_collapsed, export_jsonl};
+use stash_obs::json::{self, JsonValue};
+use stash_obs::{TraceReport, Tracer};
+use stash_stego::{HiddenVolume, StegoConfig};
+use std::sync::Arc;
+
+const SLOTS: usize = 4;
+const FAULT_RATE: f64 = 0.01;
+
+/// Runs the full stack under faults with a tracer attached and returns the
+/// trace report plus the chip meter's device-time total for the same window.
+fn traced_chaos_run() -> (TraceReport, f64) {
+    let seed = 4242;
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 8, page_bytes: 1024 };
+    let plan = FaultPlan::new(seed)
+        .with_program_fail(FAULT_RATE)
+        .with_partial_program_fail(FAULT_RATE)
+        .with_erase_fail(FAULT_RATE)
+        .schedule_grown_bad(BlockId(5), 400);
+    let chip = Chip::with_faults(profile, seed, plan);
+    let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
+    let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+    let key = stash_crypto::HidingKey::from_passphrase("trace acceptance");
+    let mut vol = HiddenVolume::format(ftl, key.clone(), cfg.clone(), SLOTS).unwrap();
+
+    // The tracer observes everything from here on; reset the meter so the
+    // two accounts cover the same window (format ops predate the tracer).
+    vol.ftl_mut().chip_mut().reset_meter();
+    let tracer = Tracer::shared();
+    vol.attach_tracer(Some(Arc::clone(&tracer)));
+
+    let cap = vol.ftl().capacity_pages();
+    let cpp = vol.ftl().chip().geometry().cells_per_page();
+    let mut r = rng(seed);
+    {
+        let _s = tracer.span("fill_public");
+        for lpn in 0..cap {
+            let data = BitPattern::random_half(&mut r, cpp);
+            vol.write_public(lpn, &data).expect("public write");
+        }
+    }
+    let payloads: Vec<Vec<u8>> =
+        (0..SLOTS).map(|s| (0..cfg.slot_bytes()).map(|b| (s * 37 + b) as u8).collect()).collect();
+    {
+        let _s = tracer.span("write_hidden");
+        for (s, p) in payloads.iter().enumerate() {
+            vol.write_hidden(s, p).expect("hidden write");
+        }
+    }
+    {
+        let _s = tracer.span("churn");
+        for _ in 0..cap {
+            let lpn = r.gen_range(0..cap);
+            let data = BitPattern::random_half(&mut r, cpp);
+            vol.write_public(lpn, &data).expect("churn write");
+        }
+    }
+    {
+        let _s = tracer.span("retention_wait");
+        vol.ftl_mut().chip_mut().age_days(30.0);
+    }
+    vol.scrub(8).expect("scrub");
+
+    let ftl_back = vol.unmount();
+    let (mut vol2, _remount) = HiddenVolume::remount(ftl_back, key, cfg, SLOTS).expect("remount");
+    {
+        let _s = tracer.span("readback");
+        for s in 0..SLOTS {
+            let _ = vol2.read_hidden(s);
+        }
+    }
+    let meter_us = vol2.ftl().chip().meter().device_time_us;
+    (tracer.report(), meter_us)
+}
+
+#[test]
+fn traced_run_meets_acceptance_criteria() {
+    let (report, meter_us) = traced_chaos_run();
+
+    // Something substantial actually ran.
+    assert!(report.totals.total_ops() > 500, "run too small: {} ops", report.totals.total_ops());
+    assert!(meter_us > 0.0);
+
+    // (1) Root span total simulated time matches the chip meter within 1%.
+    let root_us = report.root.total().device_time_us;
+    let rel = (root_us - meter_us).abs() / meter_us;
+    assert!(
+        rel <= 0.01,
+        "root span total {root_us} us vs chip meter {meter_us} us (off by {:.2}%)",
+        100.0 * rel
+    );
+
+    // (2) Every JSONL line parses, and the header totals agree with the tree.
+    let jsonl = export_jsonl(&report);
+    let mut lines = jsonl.lines();
+    let head = json::parse(lines.next().expect("summary line")).expect("summary parses");
+    assert_eq!(head.get("type").and_then(JsonValue::as_str), Some("trace_summary"));
+    let head_us = head.get("device_time_us").and_then(JsonValue::as_f64).unwrap();
+    assert!((head_us - report.totals.device_time_us).abs() < 1.0);
+    let mut events = 0usize;
+    for line in lines {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        assert!(v.get("seq").is_some() && v.get("path").is_some(), "line missing keys: {line}");
+        events += 1;
+    }
+    assert_eq!(events, report.events.len());
+
+    // (3) The collapsed stacks attribute >=95% of device time to leaves
+    // (paths no other line extends), i.e. almost nothing hides in interior
+    // span self-time or outside any span.
+    let folded = export_collapsed(&report);
+    let rows: Vec<(&str, u64)> = folded
+        .lines()
+        .map(|l| {
+            let (path, us) = l.rsplit_once(' ').expect("`path us` line");
+            (path, us.parse::<u64>().expect("integer us"))
+        })
+        .collect();
+    assert!(!rows.is_empty());
+    let total: u64 = rows.iter().map(|(_, us)| us).sum();
+    let leaf: u64 = rows
+        .iter()
+        .filter(|(path, _)| {
+            !rows.iter().any(|(other, _)| {
+                other.len() > path.len()
+                    && other.starts_with(path)
+                    && other.as_bytes()[path.len()] == b';'
+            })
+        })
+        .map(|(_, us)| us)
+        .sum();
+    let frac = leaf as f64 / total as f64;
+    assert!(frac >= 0.95, "only {:.1}% of device time on leaf spans\n{folded}", 100.0 * frac);
+    // The folded total is the tree total up to per-span rounding.
+    assert!((total as f64 - root_us).abs() <= rows.len() as f64);
+}

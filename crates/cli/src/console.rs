@@ -4,6 +4,8 @@ use rand::{rngs::SmallRng, SeedableRng};
 use stash_crypto::HidingKey;
 use stash_fingerprint::{Fingerprint, FlashTrng};
 use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Histogram, PageId};
+use stash_obs::{export, Tracer};
+use std::sync::Arc;
 use vthi::{Hider, PageCapacity, VthiConfig, WearPlan};
 
 /// What the main loop should do after a command.
@@ -26,6 +28,8 @@ pub struct Console {
     publics: std::collections::HashMap<(u32, u32), BitPattern>,
     /// Remember enrolled fingerprints by label.
     fingerprints: std::collections::HashMap<String, Fingerprint>,
+    /// Active tracer (`trace on`); installed as the chip's recorder.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Console {
@@ -40,6 +44,7 @@ impl Console {
             rng: SmallRng::seed_from_u64(1),
             publics: std::collections::HashMap::new(),
             fingerprints: std::collections::HashMap::new(),
+            tracer: None,
         }
     }
 
@@ -91,6 +96,7 @@ impl Console {
                 println!("{}", self.chip.meter());
                 Ok(())
             }
+            "trace" => self.cmd_trace(&args),
             other => Err(format!("unknown command `{other}` (try `help`)")),
         };
         if let Err(msg) = result {
@@ -119,15 +125,14 @@ impl Console {
              \x20 fingerprint <label|cmp a b> enroll / compare fingerprints\n\
              \x20 trng <bytes>                harvest random bytes\n\
              \x20 meter                       op counts / device time / energy\n\
+             \x20 trace on|off|dump [fmt]     span tracing; fmt: tree|json|flame\n\
              \x20 quit"
         );
     }
 
     fn parse_block(&self, s: Option<&&str>) -> Result<BlockId, String> {
-        let b: u32 = s
-            .ok_or("missing block")?
-            .parse()
-            .map_err(|_| "block must be a number".to_owned())?;
+        let b: u32 =
+            s.ok_or("missing block")?.parse().map_err(|_| "block must be a number".to_owned())?;
         Ok(BlockId(b))
     }
 
@@ -249,8 +254,10 @@ impl Console {
         }
         payload.resize(cap, 0);
         let public = BitPattern::random_half(&mut self.rng, self.chip.geometry().cells_per_page());
-        let mut hider = Hider::new(&mut self.chip, key, self.cfg.clone());
-        let report = hider.hide_on_fresh_page(page, &public, &payload).map_err(|e| e.to_string())?;
+        let tracer = self.tracer.clone();
+        let mut hider = Hider::new(&mut self.chip, key, self.cfg.clone()).with_tracer(tracer);
+        let report =
+            hider.hide_on_fresh_page(page, &public, &payload).map_err(|e| e.to_string())?;
         self.publics.insert((page.block.0, page.page), public);
         println!(
             "hidden {} bytes in {page} ({} cells, {} PP steps)",
@@ -265,7 +272,8 @@ impl Console {
         let page = self.parse_page(args)?;
         let key = self.key_or_err()?;
         let public = self.publics.get(&(page.block.0, page.page)).cloned();
-        let mut hider = Hider::new(&mut self.chip, key, self.cfg.clone());
+        let tracer = self.tracer.clone();
+        let mut hider = Hider::new(&mut self.chip, key, self.cfg.clone()).with_tracer(tracer);
         let bytes = hider.reveal_page(page, public.as_ref()).map_err(|e| e.to_string())?;
         let text: String = bytes
             .iter()
@@ -354,6 +362,36 @@ impl Console {
         }
     }
 
+    fn cmd_trace(&mut self, args: &[&str]) -> Result<(), String> {
+        match args.first().copied() {
+            Some("on") => {
+                let tracer = Tracer::shared();
+                self.chip.set_recorder(Some(tracer.clone()));
+                self.tracer = Some(tracer);
+                println!("tracing on — chip ops now attribute to spans");
+                Ok(())
+            }
+            Some("off") => {
+                self.chip.set_recorder(None);
+                self.tracer = None;
+                println!("tracing off");
+                Ok(())
+            }
+            Some("dump") => {
+                let tracer = self.tracer.as_ref().ok_or("tracing is off (trace on first)")?;
+                let report = tracer.report();
+                match args.get(1).copied().unwrap_or("tree") {
+                    "tree" => print!("{}", export::render_tree(&report)),
+                    "json" => print!("{}", export::export_jsonl(&report)),
+                    "flame" => print!("{}", export::export_collapsed(&report)),
+                    other => return Err(format!("unknown format `{other}` (tree|json|flame)")),
+                }
+                Ok(())
+            }
+            _ => Err("usage: trace on|off|dump [tree|json|flame]".into()),
+        }
+    }
+
     fn cmd_trng(&mut self, args: &[&str]) -> Result<(), String> {
         let n: usize = args.first().unwrap_or(&"16").parse().map_err(|_| "bad count".to_owned())?;
         if n > 4096 {
@@ -427,6 +465,33 @@ mod tests {
                 "trng 100000",
             ],
         );
+    }
+
+    #[test]
+    fn trace_workflow_through_console() {
+        let mut c = Console::new();
+        run(
+            &mut c,
+            &[
+                "trace dump", // error: tracing off — reported, not fatal
+                "trace on",
+                "key hunter2",
+                "erase 1",
+                "hide 1 0 meet at dawn",
+                "reveal 1 0",
+                "trace dump tree",
+                "trace dump json",
+                "trace dump flame",
+                "trace dump bogus", // error reported, not fatal
+                "trace off",
+            ],
+        );
+        assert!(c.tracer.is_none());
+        // And the spans really captured the work.
+        c.dispatch("trace on");
+        c.dispatch("erase 2");
+        let report = c.tracer.as_ref().unwrap().report();
+        assert!(report.totals.total_ops() >= 1);
     }
 
     #[test]

@@ -49,8 +49,7 @@ impl PageCapacity {
                 }
             }
         }
-        let recommended_max_bits =
-            (naturally_above as f64 * NATURAL_OCCUPANCY_BUDGET) as usize;
+        let recommended_max_bits = (naturally_above as f64 * NATURAL_OCCUPANCY_BUDGET) as usize;
         Ok(PageCapacity { erased_cells, naturally_above, recommended_max_bits })
     }
 
@@ -193,9 +192,8 @@ mod tests {
         let cfg = VthiConfig::scaled_for(chip.geometry());
         // Hidden pages sit at the configured stride; their publics are the
         // patterns already programmed there.
-        let publics: Vec<BitPattern> = (0..4)
-            .map(|i| all[(i * cfg.page_stride()) as usize].clone())
-            .collect();
+        let publics: Vec<BitPattern> =
+            (0..4).map(|i| all[(i * cfg.page_stride()) as usize].clone()).collect();
         assert!(block_admits(&mut chip, BlockId(0), &publics, &cfg).unwrap());
     }
 

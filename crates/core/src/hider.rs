@@ -7,6 +7,8 @@ use crate::recovery::{offset_level, RetryPolicy};
 use crate::select::{page_stream_id, select_hidden_cells, SelectionMode};
 use stash_crypto::HidingKey;
 use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Level, PageId};
+use stash_obs::{span, Tracer};
+use std::sync::Arc;
 
 /// Outcome of hiding a payload in one page.
 #[derive(Debug, Clone)]
@@ -45,13 +47,32 @@ pub struct Hider<'c> {
     cfg: VthiConfig,
     mode: SelectionMode,
     retry: RetryPolicy,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl<'c> Hider<'c> {
     /// Creates a hider. Panics only through [`VthiConfig::validate`]
     /// misuse; call `validate` first when the config is user-supplied.
     pub fn new(chip: &'c mut Chip, key: HidingKey, cfg: VthiConfig) -> Self {
-        Hider { chip, key, cfg, mode: SelectionMode::OnesIndexed, retry: RetryPolicy::none() }
+        Hider {
+            chip,
+            key,
+            cfg,
+            mode: SelectionMode::OnesIndexed,
+            retry: RetryPolicy::none(),
+            tracer: None,
+        }
+    }
+
+    /// Attaches a tracer: encode/decode phases open spans on it and feed
+    /// the PP-step and retry histograms. `None` (the default) keeps every
+    /// instrumentation point a no-op. The tracer is *not* installed as the
+    /// chip's recorder here — callers that want chip ops attributed should
+    /// also `chip.set_recorder(Some(tracer))` (the FTL and hidden-volume
+    /// layers do this in their `attach_tracer`).
+    pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Switches the cell-selection strategy (see [`SelectionMode`]).
@@ -80,16 +101,24 @@ impl<'c> Hider<'c> {
         mut op: impl FnMut(&mut Chip) -> stash_flash::Result<T>,
     ) -> crate::Result<T> {
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             match op(self.chip) {
-                Ok(v) => return Ok(v),
+                Ok(v) => break Ok(v),
                 Err(e) if RetryPolicy::is_transient(&e) && attempt < self.retry.max_retries => {
+                    let _backoff = span!(self.tracer, "retry_backoff", "attempt={attempt}");
                     self.chip.advance_time_us(self.retry.backoff_us(attempt));
                     attempt += 1;
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => break Err(e.into()),
+            }
+        };
+        if attempt > 0 {
+            if let Some(t) = &self.tracer {
+                t.observe("retries_per_op", "", u64::from(attempt));
+                t.counter_add("transient_retries", "", u64::from(attempt));
             }
         }
+        result
     }
 
     /// The configuration in use.
@@ -147,6 +176,7 @@ impl<'c> Hider<'c> {
         track_steps: bool,
     ) -> crate::Result<PageEncodeReport> {
         self.cfg.validate()?;
+        let _encode = span!(self.tracer, "encode_page", "page={page}");
         let geometry = *self.chip.geometry();
         let cpp = geometry.cells_per_page();
         let stream = page_stream_id(&geometry, page);
@@ -168,11 +198,8 @@ impl<'c> Hider<'c> {
         debug_assert_eq!(stored_bits.len(), cells.len());
 
         // Cells destined to hold hidden '0' must be pushed above Vth.
-        let zero_cells: Vec<usize> = cells
-            .iter()
-            .zip(&stored_bits)
-            .filter_map(|(&c, &bit)| (!bit).then_some(c))
-            .collect();
+        let zero_cells: Vec<usize> =
+            cells.iter().zip(&stored_bits).filter_map(|(&c, &bit)| (!bit).then_some(c)).collect();
 
         let mut report = PageEncodeReport {
             page,
@@ -190,12 +217,16 @@ impl<'c> Hider<'c> {
                 mask.set(c, true);
             }
             let vth = self.cfg.vth;
-            self.with_retries(|chip| chip.fine_partial_program(page, &mask, vth))?;
+            {
+                let _pp = span!(self.tracer, "pp_step", "fine");
+                self.with_retries(|chip| chip.fine_partial_program(page, &mask, vth))?;
+            }
             report.pp_steps = 1;
             if track_steps {
                 let ber = self.measure_raw_ber(page, &report)?;
                 report.step_ber.push(ber);
             }
+            self.note_encode_metrics(&report);
             return Ok(report);
         }
 
@@ -203,7 +234,10 @@ impl<'c> Hider<'c> {
         // hidden '0' cells still below Vth, repeat.
         let mut below: Vec<usize> = zero_cells;
         for _ in 0..self.cfg.max_pp_steps {
-            let shifted = self.chip.read_page_shifted(page, self.cfg.vth)?;
+            let shifted = {
+                let _verify = span!(self.tracer, "verify_read");
+                self.chip.read_page_shifted(page, self.cfg.vth)?
+            };
             below.retain(|&c| shifted.get(c)); // bit 1 ⇒ still below Vth
             if below.is_empty() && !track_steps {
                 break;
@@ -213,6 +247,7 @@ impl<'c> Hider<'c> {
                 for &c in &below {
                     mask.set(c, true);
                 }
+                let _pp = span!(self.tracer, "pp_step", "below={}", below.len());
                 self.with_retries(|chip| chip.partial_program(page, &mask))?;
                 report.pp_steps += 1;
             }
@@ -225,14 +260,29 @@ impl<'c> Hider<'c> {
             }
         }
         // Final accounting read for stragglers.
-        let shifted = self.chip.read_page_shifted(page, self.cfg.vth)?;
+        let shifted = {
+            let _verify = span!(self.tracer, "verify_read");
+            self.chip.read_page_shifted(page, self.cfg.vth)?
+        };
         report.stragglers = report
             .cells
             .iter()
             .zip(&report.stored_bits)
             .filter(|&(&c, &bit)| !bit && shifted.get(c))
             .count();
+        self.note_encode_metrics(&report);
         Ok(report)
+    }
+
+    /// Feeds one finished page encode into the tracer's metrics.
+    fn note_encode_metrics(&self, report: &PageEncodeReport) {
+        if let Some(t) = &self.tracer {
+            t.observe("pp_steps_per_page", "", u64::from(report.pp_steps));
+            t.counter_add("pages_encoded", "", 1);
+            if report.stragglers > 0 {
+                t.counter_add("stragglers", "", report.stragglers as u64);
+            }
+        }
     }
 
     /// Hides a block-sized payload: consecutive hidden pages are spaced by
@@ -289,6 +339,7 @@ impl<'c> Hider<'c> {
         public: Option<&BitPattern>,
     ) -> crate::Result<Vec<u8>> {
         if self.retry.vth_sweep.is_empty() {
+            let _decode = span!(self.tracer, "decode_page", "page={page}");
             let geometry = *self.chip.geometry();
             let stream = page_stream_id(&geometry, page);
             let bits = self.read_hidden_bits(page, public)?;
@@ -316,6 +367,7 @@ impl<'c> Hider<'c> {
         page: PageId,
         public: Option<&BitPattern>,
     ) -> crate::Result<(Vec<u8>, usize)> {
+        let _decode = span!(self.tracer, "decode_page", "page={page}");
         let geometry = *self.chip.geometry();
         let stream = page_stream_id(&geometry, page);
 
@@ -350,10 +402,17 @@ impl<'c> Hider<'c> {
         let vth = self.cfg.vth;
         if !consider(self, vth)? {
             let sweep = self.retry.vth_sweep.clone();
+            let mut sweeps = 0u64;
             for off in sweep {
+                let _sweep = span!(self.tracer, "vth_sweep", "offset={off}");
+                sweeps += 1;
                 if consider(self, offset_level(vth, off))? {
                     break;
                 }
+            }
+            if let Some(t) = &self.tracer {
+                t.observe("sweep_reads_per_recovery", "", sweeps);
+                t.counter_add("recovery_sweeps", "", 1);
             }
         }
         match best {
@@ -374,7 +433,7 @@ impl<'c> Hider<'c> {
         Ok(expected.iter().zip(read_bits).filter(|(a, b)| a != b).count())
     }
 
-    /// Recovers a block-sized payload hidden by 
+    /// Recovers a block-sized payload hidden by
     /// (`Self::hide_in_block`).
     ///
     /// # Errors
@@ -456,6 +515,7 @@ impl<'c> Hider<'c> {
         page: PageId,
         report: &PageEncodeReport,
     ) -> crate::Result<BitErrorStats> {
+        let _probe = span!(self.tracer, "ber_probe");
         let shifted = self.chip.read_page_shifted(page, self.cfg.vth)?;
         let mut errors = 0u64;
         for (&c, &bit) in report.cells.iter().zip(&report.stored_bits) {
@@ -481,6 +541,7 @@ impl<'c> Hider<'c> {
         page: PageId,
         public: Option<&BitPattern>,
     ) -> crate::Result<PageEncodeReport> {
+        let _refresh = span!(self.tracer, "refresh_page", "page={page}");
         let geometry = *self.chip.geometry();
         let stream = page_stream_id(&geometry, page);
         let bits = self.read_hidden_bits(page, public)?;
@@ -526,7 +587,10 @@ mod tests {
     }
 
     fn random_public(chip: &Chip, seed: u64) -> BitPattern {
-        BitPattern::random_half(&mut SmallRng::seed_from_u64(seed), chip.geometry().cells_per_page())
+        BitPattern::random_half(
+            &mut SmallRng::seed_from_u64(seed),
+            chip.geometry().cells_per_page(),
+        )
     }
 
     #[test]
@@ -625,8 +689,7 @@ mod tests {
         for p in 0..8u32 {
             let page = PageId::new(BlockId(0), p * cfg.page_stride());
             let public = BitPattern::random_half(&mut rng, cpp);
-            let payload: Vec<u8> =
-                (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+            let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
             let rep = h.hide_on_fresh_page(page, &public, &payload).unwrap();
             total.absorb(h.measure_raw_ber(page, &rep).unwrap());
         }
@@ -685,8 +748,11 @@ mod tests {
     fn oversized_block_payload_rejected() {
         let mut c = chip();
         let cfg = cfg(&c);
-        let too_big =
-            vec![0u8; cfg.payload_bytes_per_page() * (cfg.hidden_pages_per_block(c.geometry()) as usize + 1)];
+        let too_big = vec![
+            0u8;
+            cfg.payload_bytes_per_page()
+                * (cfg.hidden_pages_per_block(c.geometry()) as usize + 1)
+        ];
         let mut h = Hider::new(&mut c, key(), cfg);
         h.chip_mut().erase_block(BlockId(0)).unwrap();
         let err = h.hide_in_block(BlockId(0), &[], &too_big).unwrap_err();
@@ -705,9 +771,7 @@ mod tests {
         let payload = vec![0u8; cfg.payload_bytes_per_page()];
         let mut h = Hider::new(&mut c, key(), cfg);
         h.chip_mut().erase_block(BlockId(0)).unwrap();
-        let err = h
-            .hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload)
-            .unwrap_err();
+        let err = h.hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload).unwrap_err();
         assert!(matches!(err, HideError::InsufficientOnes { .. }));
     }
 
@@ -766,8 +830,7 @@ mod tests {
         for i in 0..8u32 {
             let page = PageId::new(BlockId(0), i * cfg.page_stride());
             let public = BitPattern::random_half(&mut rng, cpp);
-            let payload: Vec<u8> =
-                (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+            let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
             let rep = h.hide_on_fresh_page(page, &public, &payload).unwrap();
             pages.push((page, public, rep));
         }
@@ -820,16 +883,13 @@ mod tests {
         let mut c = chip();
         // One in four programs and PP steps fails transiently.
         c.set_fault_plan(
-            stash_flash::FaultPlan::new(8)
-                .with_program_fail(0.25)
-                .with_partial_program_fail(0.25),
+            stash_flash::FaultPlan::new(8).with_program_fail(0.25).with_partial_program_fail(0.25),
         );
         let cfg = cfg(&c);
         let payload: Vec<u8> = (0..cfg.payload_bytes_per_page() as u8).collect();
         let public = random_public(&c, 13);
         let page = PageId::new(BlockId(0), 0);
-        let mut h =
-            Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
+        let mut h = Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
         h.chip_mut().erase_block(BlockId(0)).unwrap();
         h.hide_on_fresh_page(page, &public, &payload).unwrap();
         assert_eq!(h.reveal_page(page, Some(&public)).unwrap(), payload);
@@ -849,8 +909,7 @@ mod tests {
         let payload = vec![0u8; cfg.payload_bytes_per_page()];
         let public = random_public(&c, 14);
         let page = PageId::new(BlockId(0), 0);
-        let mut h =
-            Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
+        let mut h = Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
         h.chip_mut().erase_block(BlockId(0)).unwrap();
         let err = h.hide_on_fresh_page(page, &public, &payload).unwrap_err();
         assert!(matches!(err, HideError::Flash(stash_flash::FlashError::TransientProgramFail(_))));
@@ -872,10 +931,8 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(15);
             c.cycle_block(BlockId(0), 2500).unwrap();
             c.erase_block(BlockId(0)).unwrap();
-            let public =
-                BitPattern::random_half(&mut rng, c.geometry().cells_per_page());
-            let payload: Vec<u8> =
-                (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+            let public = BitPattern::random_half(&mut rng, c.geometry().cells_per_page());
+            let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
             let page = PageId::new(BlockId(0), 0);
             let policy = if sweep {
                 RetryPolicy {
@@ -906,8 +963,7 @@ mod tests {
         let payload: Vec<u8> = (0..cfg.payload_bytes_per_page() as u8).collect();
         let public = random_public(&c, 16);
         let page = PageId::new(BlockId(0), 0);
-        let mut h = Hider::new(&mut c, key(), cfg)
-            .with_retry_policy(RetryPolicy::standard());
+        let mut h = Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
         h.chip_mut().erase_block(BlockId(0)).unwrap();
         h.hide_on_fresh_page(page, &public, &payload).unwrap();
         let (got, corrected) = h.reveal_page_recovered(page, Some(&public)).unwrap();
@@ -922,8 +978,7 @@ mod tests {
         let payload = vec![0x3Cu8; cfg.payload_bytes_per_page()];
         let public = random_public(&c, 10);
         let page = PageId::new(BlockId(3), 0);
-        let mut h =
-            Hider::new(&mut c, key(), cfg).with_selection_mode(SelectionMode::Absolute);
+        let mut h = Hider::new(&mut c, key(), cfg).with_selection_mode(SelectionMode::Absolute);
         h.chip_mut().erase_block(BlockId(3)).unwrap();
         h.hide_on_fresh_page(page, &public, &payload).unwrap();
         assert_eq!(h.reveal_page(page, Some(&public)).unwrap(), payload);

@@ -102,9 +102,7 @@ impl<'c> MlcHider<'c> {
         lower: &BitPattern,
         upper: &BitPattern,
     ) -> crate::Result<Vec<usize>> {
-        let l1: Vec<usize> = (0..lower.len())
-            .filter(|&i| lower.get(i) && !upper.get(i))
-            .collect();
+        let l1: Vec<usize> = (0..lower.len()).filter(|&i| lower.get(i) && !upper.get(i)).collect();
         let need = self.cfg.hidden_bits_per_page;
         if l1.len() < need {
             return Err(HideError::InsufficientOnes { needed: need, available: l1.len() });
@@ -229,10 +227,7 @@ mod tests {
         hider.hide_on_fresh_wordline(page, &lower, &upper, &payload).unwrap();
         let (l, u) = hider.chip_mut().read_page_mlc(page).unwrap();
         let errs = l.hamming_distance(&lower) + u.hamming_distance(&upper);
-        assert!(
-            errs <= lower.len() / 1000,
-            "MLC public data disturbed by hiding: {errs} errors"
-        );
+        assert!(errs <= lower.len() / 1000, "MLC public data disturbed by hiding: {errs} errors");
     }
 
     #[test]

@@ -71,15 +71,13 @@ impl HidingThroughput {
         payload_bits_per_page: f64,
     ) -> Self {
         let pages = f64::from(pages_per_block);
-        let encode_us =
-            (timing.partial_program_us + timing.read_us) * f64::from(steps) * pages;
+        let encode_us = (timing.partial_program_us + timing.read_us) * f64::from(steps) * pages;
         let decode_us = timing.read_us * pages;
         HidingThroughput {
             hidden_bits_per_block: payload_bits_per_page * pages,
             encode_s_per_block: encode_us / 1e6,
             decode_s_per_block: decode_us / 1e6,
-            encode_mj_per_page: f64::from(steps)
-                * (timing.partial_program_uj + timing.read_uj)
+            encode_mj_per_page: f64::from(steps) * (timing.partial_program_uj + timing.read_uj)
                 / 1000.0,
             wear_ops_per_page: f64::from(steps),
             destructive_decode: false,
@@ -91,8 +89,8 @@ impl HidingThroughput {
     /// per page, destructive.
     pub fn pthi_model(timing: &TimingModel, pages_per_block: u32) -> Self {
         let pages = f64::from(pages_per_block);
-        let encode_us = (timing.program_us * pages + timing.erase_us)
-            * f64::from(PTHI_ENCODE_CYCLES);
+        let encode_us =
+            (timing.program_us * pages + timing.erase_us) * f64::from(PTHI_ENCODE_CYCLES);
         let decode_us =
             (timing.partial_program_us + timing.read_us) * pages * f64::from(PTHI_DECODE_STEPS);
         HidingThroughput {

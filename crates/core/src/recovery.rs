@@ -44,7 +44,12 @@ impl RetryPolicy {
     /// No retries, no sweep: every operation behaves exactly as it did
     /// before recovery existed.
     pub fn none() -> Self {
-        RetryPolicy { max_retries: 0, base_backoff_us: 0.0, vth_sweep: Vec::new(), ecc_watermark: None }
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_us: 0.0,
+            vth_sweep: Vec::new(),
+            ecc_watermark: None,
+        }
     }
 
     /// A reasonable controller-style default: four retries starting at

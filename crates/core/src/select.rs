@@ -143,16 +143,12 @@ mod tests {
         // A public-read bit error outside the selected set must not change
         // the selection; inside the set it perturbs at most the tail.
         let (key, g, page, public) = setup();
-        let a =
-            select_hidden_cells(&key, &g, page, &public, 64, SelectionMode::Absolute).unwrap();
+        let a = select_hidden_cells(&key, &g, page, &public, 64, SelectionMode::Absolute).unwrap();
         let mut flipped = public.clone();
         // Flip a bit that was NOT selected and is a 0 -> becomes usable 1.
-        let victim = (0..public.len())
-            .find(|&i| !public.get(i) && !a.contains(&i))
-            .unwrap();
+        let victim = (0..public.len()).find(|&i| !public.get(i) && !a.contains(&i)).unwrap();
         flipped.set(victim, true);
-        let b =
-            select_hidden_cells(&key, &g, page, &flipped, 64, SelectionMode::Absolute).unwrap();
+        let b = select_hidden_cells(&key, &g, page, &flipped, 64, SelectionMode::Absolute).unwrap();
         // The flip causes at most one insertion into the draw order: the
         // two selections share all but at most one cell.
         let sa: std::collections::HashSet<_> = a.iter().collect();

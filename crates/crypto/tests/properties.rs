@@ -1,7 +1,9 @@
 //! Property tests for the cryptographic primitives.
 
 use proptest::prelude::*;
-use stash_crypto::{chacha20_xor, hmac_sha256, sha256, HidingKey, KeyedPrng, SelectionPrng, Sha256};
+use stash_crypto::{
+    chacha20_xor, hmac_sha256, sha256, HidingKey, KeyedPrng, SelectionPrng, Sha256,
+};
 
 proptest! {
     #[test]

@@ -198,8 +198,7 @@ impl BlockCode for Bch {
             // Shift remainder up by one, inject bit at the top.
             let feedback = (rem[parity - 1] == 1) ^ bit;
             for i in (1..parity).rev() {
-                rem[i] = rem[i - 1]
-                    ^ if feedback && self.generator[i] == 1 { 1 } else { 0 };
+                rem[i] = rem[i - 1] ^ if feedback && self.generator[i] == 1 { 1 } else { 0 };
             }
             rem[0] = u8::from(feedback && self.generator[0] == 1);
         }
@@ -350,10 +349,7 @@ mod tests {
         }
         // A t=2 code cannot promise detection of 3 errors, but most
         // 3-error patterns must be flagged or land back on the codeword.
-        assert!(
-            wrong < total / 2,
-            "{wrong}/{total} triple-error patterns silently miscorrected"
-        );
+        assert!(wrong < total / 2, "{wrong}/{total} triple-error patterns silently miscorrected");
     }
 
     #[test]

@@ -2,18 +2,20 @@
 
 /// Primitive polynomials (bit i = coefficient of x^i), indexed by m.
 const PRIMITIVE_POLYS: [u32; 14] = [
-    0, 0, 0,
-    0b1011,            // m=3:  x^3 + x + 1
-    0b10011,           // m=4:  x^4 + x + 1
-    0b100101,          // m=5:  x^5 + x^2 + 1
-    0b1000011,         // m=6:  x^6 + x + 1
-    0b10001001,        // m=7:  x^7 + x^3 + 1
-    0b100011101,       // m=8:  x^8 + x^4 + x^3 + x^2 + 1
-    0b1000010001,      // m=9:  x^9 + x^4 + 1
-    0b10000001001,     // m=10: x^10 + x^3 + 1
-    0b100000000101,    // m=11: x^11 + x^2 + 1
-    0b1000001010011,   // m=12: x^12 + x^6 + x^4 + x + 1
-    0b10000000011011,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0,
+    0,
+    0,
+    0b1011,           // m=3:  x^3 + x + 1
+    0b10011,          // m=4:  x^4 + x + 1
+    0b100101,         // m=5:  x^5 + x^2 + 1
+    0b1000011,        // m=6:  x^6 + x + 1
+    0b10001001,       // m=7:  x^7 + x^3 + 1
+    0b100011101,      // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b1000010001,     // m=9:  x^9 + x^4 + 1
+    0b10000001001,    // m=10: x^10 + x^3 + 1
+    0b100000000101,   // m=11: x^11 + x^2 + 1
+    0b1000001010011,  // m=12: x^12 + x^6 + x^4 + x + 1
+    0b10000000011011, // m=13: x^13 + x^4 + x^3 + x + 1
 ];
 
 /// The field GF(2^m) with its exponent/log tables.

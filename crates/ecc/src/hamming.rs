@@ -60,11 +60,8 @@ impl BlockCode for ExtendedHamming {
         // Hamming parity bits: parity at 2^i covers positions with bit i set.
         for i in 0..self.r {
             let p = 1usize << i;
-            let parity = (1..n)
-                .filter(|&pos| pos & p != 0 && pos != p && code[pos])
-                .count()
-                % 2
-                == 1;
+            let parity =
+                (1..n).filter(|&pos| pos & p != 0 && pos != p && code[pos]).count() % 2 == 1;
             code[p] = parity;
         }
         // Overall parity over everything.

@@ -96,11 +96,8 @@ mod tests {
             il.deinterleave(&inter)
         };
         flags.copy_from_slice(&de);
-        let rows_hit: std::collections::HashSet<usize> = flags
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &f)| f.then_some(i / 8))
-            .collect();
+        let rows_hit: std::collections::HashSet<usize> =
+            flags.iter().enumerate().filter_map(|(i, &f)| f.then_some(i / 8)).collect();
         assert_eq!(rows_hit.len(), 4, "burst should spread across all rows");
     }
 

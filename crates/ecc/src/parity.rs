@@ -78,10 +78,7 @@ pub fn reconstruct(
             *r ^= b;
         }
     }
-    Ok(stripes
-        .iter()
-        .map(|s| s.clone().unwrap_or_else(|| rebuilt.clone()))
-        .collect())
+    Ok(stripes.iter().map(|s| s.clone().unwrap_or_else(|| rebuilt.clone())).collect())
 }
 
 #[cfg(test)]
@@ -123,10 +120,7 @@ mod tests {
         let data = stripes();
         let p = parity_stripe(&data);
         let partial = vec![None, None, Some(data[2].clone())];
-        assert_eq!(
-            reconstruct(&partial, &p),
-            Err(ParityError::TooManyMissing { missing: 2 })
-        );
+        assert_eq!(reconstruct(&partial, &p), Err(ParityError::TooManyMissing { missing: 2 }));
     }
 
     #[test]

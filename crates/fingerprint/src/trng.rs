@@ -130,8 +130,7 @@ mod tests {
         }
         // Chi-square against uniform: expected 64 per bucket.
         let expected = 16384.0 / 256.0;
-        let chi2: f64 =
-            counts.iter().map(|&c| (f64::from(c) - expected).powi(2) / expected).sum();
+        let chi2: f64 = counts.iter().map(|&c| (f64::from(c) - expected).powi(2) / expected).sum();
         // 255 degrees of freedom: mean 255, sd ~22.6; 5 sigma ≈ 368.
         assert!(chi2 < 368.0, "chi-square {chi2}");
     }

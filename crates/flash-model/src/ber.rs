@@ -24,10 +24,7 @@ impl BitErrorStats {
     ///
     /// Panics if the patterns have different lengths.
     pub fn compare(stored: &BitPattern, read: &BitPattern) -> Self {
-        BitErrorStats {
-            errors: stored.hamming_distance(read) as u64,
-            bits: stored.len() as u64,
-        }
+        BitErrorStats { errors: stored.hamming_distance(read) as u64, bits: stored.len() as u64 }
     }
 
     /// Builds stats from raw counts.

@@ -129,11 +129,7 @@ impl BitPattern {
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &BitPattern) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.bytes
-            .iter()
-            .zip(&other.bytes)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.bytes.iter().zip(&other.bytes).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Iterator over the bits as booleans.

@@ -2,7 +2,6 @@
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
-
 use crate::bits::BitPattern;
 use crate::block::{BlockMeta, VoltState};
 use crate::error::FlashError;
@@ -12,6 +11,7 @@ use crate::latent;
 use crate::meter::{FaultKind, Meter, MeterSnapshot, OpKind};
 use crate::noise::Gaussian;
 use crate::profile::ChipProfile;
+use crate::recorder::SharedRecorder;
 use crate::{Level, Result, SLC_READ_REF};
 
 /// Cells at or above this true voltage are treated as programmed for
@@ -48,6 +48,9 @@ pub struct Chip {
     /// Installed fault schedule; `None` (the default) keeps every operation
     /// on the exact fault-free code path.
     fault: Option<Box<FaultState>>,
+    /// Installed event observer; `None` (the default) costs one branch per
+    /// metered event. Cloning the chip shares the recorder.
+    recorder: Option<SharedRecorder>,
 }
 
 impl Chip {
@@ -67,6 +70,7 @@ impl Chip {
             gauss: Gaussian::new(),
             meter: Meter::new(),
             fault: None,
+            recorder: None,
         }
     }
 
@@ -80,13 +84,24 @@ impl Chip {
     /// Installs (or, with [`FaultPlan::none`], removes) a fault schedule.
     /// The plan's operation counter and RNG stream restart from the seed.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault =
-            if plan.is_none() { None } else { Some(Box::new(FaultState::new(plan))) };
+        self.fault = if plan.is_none() { None } else { Some(Box::new(FaultState::new(plan))) };
     }
 
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// Installs (or, with `None`, removes) an event recorder. Every metered
+    /// operation, fault and wait is reported to it, synchronously, with the
+    /// same costs the [`Meter`] bills.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&SharedRecorder> {
+        self.recorder.as_ref()
     }
 
     /// The package geometry.
@@ -158,7 +173,7 @@ impl Chip {
         self.check_block(b)?;
         if !self.blocks[b.0 as usize].grown_bad {
             self.blocks[b.0 as usize].grown_bad = true;
-            self.meter.record_fault(FaultKind::GrownBad);
+            self.meter_fault(FaultKind::GrownBad);
         }
         Ok(())
     }
@@ -179,6 +194,9 @@ impl Chip {
     pub fn advance_time_us(&mut self, us: f64) {
         assert!(us >= 0.0, "time cannot run backwards");
         self.meter.add_wait_us(us);
+        if let Some(r) = &self.recorder {
+            r.record_wait(us);
+        }
     }
 
     /// Whether a page has been programmed since its block's last erase.
@@ -226,19 +244,19 @@ impl Chip {
             let next_pec = self.blocks[b.0 as usize].pec.saturating_add(1);
             if fs.roll_pec_wearout(next_pec) {
                 self.blocks[b.0 as usize].grown_bad = true;
-                self.meter.record_fault(FaultKind::GrownBad);
-                self.meter.record(OpKind::Erase, &self.profile.timing);
+                self.meter_fault(FaultKind::GrownBad);
+                self.meter_record(OpKind::Erase);
                 return Err(FlashError::GrownBadBlock(b));
             }
             if fs.roll_erase() {
-                self.meter.record_fault(FaultKind::TransientErase);
-                self.meter.record(OpKind::Erase, &self.profile.timing);
+                self.meter_fault(FaultKind::TransientErase);
+                self.meter_record(OpKind::Erase);
                 return Err(FlashError::EraseFail(b));
             }
         }
         self.blocks[b.0 as usize].pec = self.blocks[b.0 as usize].pec.saturating_add(1);
         self.redraw_erased(b);
-        self.meter.record(OpKind::Erase, &self.profile.timing);
+        self.meter_record(OpKind::Erase);
         Ok(())
     }
 
@@ -278,8 +296,7 @@ impl Chip {
         self.ensure_state(p.block);
 
         let pec = self.blocks[p.block.0 as usize].pec;
-        if self.blocks[p.block.0 as usize].state.as_ref().unwrap().page_programmed
-            [p.page as usize]
+        if self.blocks[p.block.0 as usize].state.as_ref().unwrap().page_programmed[p.page as usize]
         {
             return Err(FlashError::PageAlreadyProgrammed(p));
         }
@@ -288,8 +305,8 @@ impl Chip {
         // or charging any cell, so a retry sees the page untouched.
         if let Some(fs) = self.fault.as_mut() {
             if fs.roll_program() {
-                self.meter.record_fault(FaultKind::TransientProgram);
-                self.meter.record(OpKind::Program, &self.profile.timing);
+                self.meter_fault(FaultKind::TransientProgram);
+                self.meter_record(OpKind::Program);
                 return Err(FlashError::TransientProgramFail(p));
             }
         }
@@ -297,7 +314,8 @@ impl Chip {
         // Effective programmed distribution for this pass.
         let prog = &self.profile.programmed;
         let kpec = f64::from(pec) / 1000.0;
-        let pass_noise = self.gauss.sample_with(&mut self.rng, 0.0, self.profile.program_pass_sigma);
+        let pass_noise =
+            self.gauss.sample_with(&mut self.rng, 0.0, self.profile.program_pass_sigma);
         let mean = prog.mean
             + self.chip_offset
             + self.block_offset(p.block)
@@ -332,7 +350,7 @@ impl Chip {
         // Interference onto this wordline's erased cells and onto neighbors.
         self.apply_interference(p, 1.0);
 
-        self.meter.record(OpKind::Program, &self.profile.timing);
+        self.meter_record(OpKind::Program);
         Ok(())
     }
 
@@ -356,15 +374,14 @@ impl Chip {
             return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
         }
         self.ensure_state(p.block);
-        if !self.blocks[p.block.0 as usize].state.as_ref().unwrap().page_programmed
-            [p.page as usize]
+        if !self.blocks[p.block.0 as usize].state.as_ref().unwrap().page_programmed[p.page as usize]
         {
             return Err(FlashError::PageNotProgrammed(p));
         }
         if let Some(fs) = self.fault.as_mut() {
             if fs.roll_partial_program() {
-                self.meter.record_fault(FaultKind::TransientProgram);
-                self.meter.record(OpKind::PartialProgram, &self.profile.timing);
+                self.meter_fault(FaultKind::TransientProgram);
+                self.meter_record(OpKind::PartialProgram);
                 return Err(FlashError::TransientProgramFail(p));
             }
         }
@@ -397,7 +414,7 @@ impl Chip {
         self.apply_interference(p, pp_factor);
         self.apply_pp_disturb_defects(p);
 
-        self.meter.record(OpKind::PartialProgram, &self.profile.timing);
+        self.meter_record(OpKind::PartialProgram);
         Ok(())
     }
 
@@ -426,15 +443,14 @@ impl Chip {
             return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
         }
         self.ensure_state(p.block);
-        if !self.blocks[p.block.0 as usize].state.as_ref().unwrap().page_programmed
-            [p.page as usize]
+        if !self.blocks[p.block.0 as usize].state.as_ref().unwrap().page_programmed[p.page as usize]
         {
             return Err(FlashError::PageNotProgrammed(p));
         }
         if let Some(fs) = self.fault.as_mut() {
             if fs.roll_partial_program() {
-                self.meter.record_fault(FaultKind::TransientProgram);
-                self.meter.record(OpKind::PartialProgram, &self.profile.timing);
+                self.meter_fault(FaultKind::TransientProgram);
+                self.meter_record(OpKind::PartialProgram);
                 return Err(FlashError::TransientProgramFail(p));
             }
         }
@@ -444,8 +460,7 @@ impl Chip {
             if !mask.get(i) {
                 continue;
             }
-            let goal = f64::from(target)
-                + self.gauss.sample_with(&mut self.rng, 4.0, 2.5).max(0.3);
+            let goal = f64::from(target) + self.gauss.sample_with(&mut self.rng, 4.0, 2.5).max(0.3);
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
             let v = f64::from(state.voltages[base + i]);
             if v < goal {
@@ -460,7 +475,7 @@ impl Chip {
         self.apply_interference(p, pp_factor);
         self.apply_pp_disturb_defects(p);
 
-        self.meter.record(OpKind::PartialProgram, &self.profile.timing);
+        self.meter_record(OpKind::PartialProgram);
         Ok(())
     }
 
@@ -513,7 +528,7 @@ impl Chip {
                 }
             }
         }
-        self.meter.record(OpKind::Read, &self.profile.timing);
+        self.meter_record(OpKind::Read);
         Ok(bits)
     }
 
@@ -552,7 +567,7 @@ impl Chip {
                 }
             }
         }
-        self.meter.record(OpKind::Probe, &self.profile.timing);
+        self.meter_record(OpKind::Probe);
         Ok(out)
     }
 
@@ -630,7 +645,7 @@ impl Chip {
             state.page_programmed[p.page as usize] = true;
         }
         for _ in 0..cycles {
-            self.meter.record(OpKind::Program, &self.profile.timing);
+            self.meter_record(OpKind::Program);
         }
         Ok(())
     }
@@ -681,8 +696,8 @@ impl Chip {
             state.page_programmed[p.page as usize] = true;
         }
         for _ in 0..steps {
-            self.meter.record(OpKind::PartialProgram, &self.profile.timing);
-            self.meter.record(OpKind::Read, &self.profile.timing);
+            self.meter_record(OpKind::PartialProgram);
+            self.meter_record(OpKind::Read);
         }
         Ok(out)
     }
@@ -697,9 +712,22 @@ impl Chip {
         state.voltages[base + cell] = v;
     }
 
-    /// Crate-internal: records one operation on the meter.
+    /// Crate-internal: records one operation on the meter and reports it to
+    /// the installed recorder, if any.
     pub(crate) fn meter_record(&mut self, kind: OpKind) {
         self.meter.record(kind, &self.profile.timing);
+        if let Some(r) = &self.recorder {
+            let (us, uj) = self.profile.timing.cost(kind);
+            r.record_op(kind, us, uj);
+        }
+    }
+
+    /// Records one injected fault on the meter and the recorder.
+    fn meter_fault(&mut self, kind: FaultKind) {
+        self.meter.record_fault(kind);
+        if let Some(r) = &self.recorder {
+            r.record_fault(kind);
+        }
     }
 
     // ---- internal helpers -------------------------------------------------
@@ -712,7 +740,7 @@ impl Chip {
         let op = fs.tick();
         if fs.plan.grown_bad_scheduled(b, op) && !self.blocks[b.0 as usize].grown_bad {
             self.blocks[b.0 as usize].grown_bad = true;
-            self.meter.record_fault(FaultKind::GrownBad);
+            self.meter_fault(FaultKind::GrownBad);
         }
         op
     }
@@ -769,10 +797,8 @@ impl Chip {
     fn ensure_state(&mut self, b: BlockId) {
         if self.blocks[b.0 as usize].state.is_none() {
             let g = self.profile.geometry;
-            self.blocks[b.0 as usize].state = Some(Box::new(VoltState::new(
-                g.cells_per_block(),
-                g.pages_per_block as usize,
-            )));
+            self.blocks[b.0 as usize].state =
+                Some(Box::new(VoltState::new(g.cells_per_block(), g.pages_per_block as usize)));
             self.redraw_erased(b);
         }
     }
@@ -861,9 +887,13 @@ impl Chip {
         let pages = g.pages_per_block as i64;
         let src = i64::from(source.page);
 
-        for (d, w) in [(0i64, 1.0), (-1, 1.0), (1, 1.0), (-2, inter.distance2_factor),
-                       (2, inter.distance2_factor)]
-        {
+        for (d, w) in [
+            (0i64, 1.0),
+            (-1, 1.0),
+            (1, 1.0),
+            (-2, inter.distance2_factor),
+            (2, inter.distance2_factor),
+        ] {
             let q = src + d;
             if q < 0 || q >= pages {
                 continue;
@@ -884,8 +914,8 @@ impl Chip {
             let weight = w * factor * scale;
             let base = q as usize * cpp;
             for i in 0..cpp {
-                let v = self.blocks[source.block.0 as usize].state.as_ref().unwrap().voltages
-                    [base + i];
+                let v =
+                    self.blocks[source.block.0 as usize].state.as_ref().unwrap().voltages[base + i];
                 if v >= INTERFERENCE_CEILING {
                     continue;
                 }
@@ -893,8 +923,8 @@ impl Chip {
                 // Coupling saturates as stored charge approaches the
                 // interference ceiling: no erased cell drifts toward the
                 // read reference however many neighbors are programmed.
-                let damping = (1.0 - f64::from(v.max(0.0)) / inter.interference_saturation)
-                    .clamp(0.0, 1.0);
+                let damping =
+                    (1.0 - f64::from(v.max(0.0)) / inter.interference_saturation).clamp(0.0, 1.0);
                 let bump = self
                     .gauss
                     .sample_with(&mut self.rng, inter.bump_mean * weight, inter.bump_sigma * weight)
@@ -915,8 +945,8 @@ impl Chip {
         let pages = g.pages_per_block as i64;
         let src = i64::from(source.page);
 
-        for (d, w) in [(-1i64, 1.0), (1, 1.0), (-2, inter.distance2_factor),
-                       (2, inter.distance2_factor)]
+        for (d, w) in
+            [(-1i64, 1.0), (1, 1.0), (-2, inter.distance2_factor), (2, inter.distance2_factor)]
         {
             let q = src + d;
             if q < 0 || q >= pages {
@@ -928,8 +958,7 @@ impl Chip {
             for _ in 0..victims {
                 let i = self.rng.gen_range(0..cpp);
                 let v = self.rng.gen_range(0.0..255.0f32);
-                self.blocks[source.block.0 as usize].state.as_mut().unwrap().voltages[base + i] =
-                    v;
+                self.blocks[source.block.0 as usize].state.as_mut().unwrap().voltages[base + i] = v;
             }
         }
     }
@@ -966,7 +995,10 @@ mod tests {
     fn programmed_page(chip: &mut Chip) -> (PageId, BitPattern) {
         let p = PageId::new(BlockId(0), 2);
         chip.erase_block(p.block).unwrap();
-        let data = BitPattern::random_half(&mut rand::rngs::SmallRng::seed_from_u64(9), chip.geometry().cells_per_page());
+        let data = BitPattern::random_half(
+            &mut rand::rngs::SmallRng::seed_from_u64(9),
+            chip.geometry().cells_per_page(),
+        );
         chip.program_page(p, &data).unwrap();
         (p, data)
     }
@@ -1066,9 +1098,7 @@ mod tests {
         c.fine_partial_program(p, &mask, 34).unwrap();
         assert_eq!(c.meter().count(OpKind::PartialProgram), 1);
         let levels = c.probe_voltages(p).unwrap();
-        let reached = (0..cpp)
-            .filter(|&i| mask.get(i) && levels[i] >= 34)
-            .count();
+        let reached = (0..cpp).filter(|&i| mask.get(i) && levels[i] >= 34).count();
         assert!(reached >= 62, "only {reached}/64 cells reached the target");
     }
 
@@ -1247,7 +1277,11 @@ mod tests {
         }
         c.stress_cells(p, &mask, 625).unwrap();
         c.erase_block(BlockId(0)).unwrap();
-        c.program_page(p, &BitPattern::random_half(&mut rand::rngs::SmallRng::seed_from_u64(1), cpp)).unwrap();
+        c.program_page(
+            p,
+            &BitPattern::random_half(&mut rand::rngs::SmallRng::seed_from_u64(1), cpp),
+        )
+        .unwrap();
         let steps = c.program_time_probe(p, 30).unwrap();
         let mean = |s: &[u16]| s.iter().map(|&x| f64::from(x)).sum::<f64>() / s.len() as f64;
         let stressed = mean(&steps[..cpp / 2]);
@@ -1345,10 +1379,7 @@ mod tests {
         assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
         let mask = BitPattern::ones(c.geometry().cells_per_page());
         assert_eq!(c.partial_program(p, &mask), Err(FlashError::GrownBadBlock(b)));
-        assert_eq!(
-            c.program_page(PageId::new(b, 7), &mask),
-            Err(FlashError::GrownBadBlock(b))
-        );
+        assert_eq!(c.program_page(PageId::new(b, 7), &mask), Err(FlashError::GrownBadBlock(b)));
     }
 
     #[test]
@@ -1359,7 +1390,7 @@ mod tests {
         c.erase_block(b).unwrap(); // op 0
         let data = BitPattern::ones(c.geometry().cells_per_page());
         c.program_page(PageId::new(b, 0), &data).unwrap(); // op 1
-        // Op 2 touches the block: the schedule marks it grown bad first.
+                                                           // Op 2 touches the block: the schedule marks it grown bad first.
         assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
         assert!(c.is_grown_bad(b).unwrap());
         assert_eq!(c.meter().fault_count(FaultKind::GrownBad), 1);
@@ -1401,11 +1432,11 @@ mod tests {
         let mut c = chip();
         let cpp = c.geometry().cells_per_page();
         // Stick cell 5 of page 0 high and cell 7 low.
-        c.set_fault_plan(
-            FaultPlan::new(4)
-                .with_stuck_cell(BlockId(0), 5, 200)
-                .with_stuck_cell(BlockId(0), 7, 0),
-        );
+        c.set_fault_plan(FaultPlan::new(4).with_stuck_cell(BlockId(0), 5, 200).with_stuck_cell(
+            BlockId(0),
+            7,
+            0,
+        ));
         let p = PageId::new(BlockId(0), 0);
         c.erase_block(p.block).unwrap();
         c.program_page(p, &BitPattern::ones(cpp)).unwrap();

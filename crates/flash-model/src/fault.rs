@@ -271,9 +271,7 @@ mod tests {
 
     #[test]
     fn noise_factor_composes_overlapping_spikes() {
-        let p = FaultPlan::new(1)
-            .with_noise_spike(10, 20, 2.0)
-            .with_noise_spike(15, 25, 3.0);
+        let p = FaultPlan::new(1).with_noise_spike(10, 20, 2.0).with_noise_spike(15, 25, 3.0);
         assert_eq!(p.noise_factor(5), 1.0);
         assert_eq!(p.noise_factor(12), 2.0);
         assert_eq!(p.noise_factor(17), 6.0);

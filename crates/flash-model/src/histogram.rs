@@ -112,6 +112,25 @@ impl Histogram {
         self.counts.iter().map(|&c| c as f64 / t).collect()
     }
 
+    /// The level at or below which at least `p` (in `0.0..=1.0`) of the
+    /// counted cells sit — the smallest level `l` with
+    /// `fraction_in(0, l) >= p`. An empty histogram reports level 0;
+    /// `p = 0.0` reports the lowest occupied level.
+    pub fn percentile(&self, p: f64) -> Level {
+        if self.total == 0 {
+            return 0;
+        }
+        let goal = (p.clamp(0.0, 1.0) * self.total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (l, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen as f64 >= goal {
+                return l as Level;
+            }
+        }
+        255
+    }
+
     /// The paper restricts its erased-state plots to levels `[10, 70]` and
     /// programmed plots to `[120, 210]`; this renders one such series as
     /// `(level, pct)` pairs.
@@ -185,6 +204,50 @@ mod tests {
         assert_eq!(h.std_dev(), 0.0);
         assert_eq!(h.pct(0), 0.0);
         assert_eq!(h.fraction_at_or_above(0), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction_in(0, 255), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let h = Histogram::from_levels(&[42]);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.percentile(0.0), 42);
+        assert_eq!(h.percentile(0.5), 42);
+        assert_eq!(h.percentile(1.0), 42);
+        assert!((h.mean() - 42.0).abs() < 1e-12);
+        assert_eq!(h.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn percentile_at_bucket_boundaries() {
+        // Four cells at 10, four at 20, two at 30: cumulative fractions are
+        // exactly 0.4 at level 10, 0.8 at 20, 1.0 at 30.
+        let h = Histogram::from_levels(&[10, 10, 10, 10, 20, 20, 20, 20, 30, 30]);
+        assert_eq!(h.percentile(0.4), 10, "boundary lands in the lower bucket");
+        let eps = 1e-9;
+        assert_eq!(h.percentile(0.4 + eps), 20, "just past the boundary moves up");
+        assert_eq!(h.percentile(0.8), 20);
+        assert_eq!(h.percentile(0.8 + eps), 30);
+        assert_eq!(h.percentile(1.0), 30);
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(h.percentile(-1.0), 10);
+        assert_eq!(h.percentile(2.0), 30);
+    }
+
+    #[test]
+    fn percentile_at_level_extremes() {
+        let h = Histogram::from_levels(&[0, 255]);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.percentile(1.0), 255);
     }
 
     #[test]

@@ -59,9 +59,10 @@ pub mod histogram;
 pub mod latent;
 pub mod meter;
 pub mod mlc;
-pub mod tlc;
 pub mod noise;
 pub mod profile;
+pub mod recorder;
+pub mod tlc;
 
 pub use ber::BitErrorStats;
 pub use bits::BitPattern;
@@ -72,6 +73,7 @@ pub use geometry::{BlockId, Geometry, PageId};
 pub use histogram::Histogram;
 pub use meter::{FaultKind, Meter, MeterSnapshot, OpKind};
 pub use profile::{ChipProfile, TimingModel};
+pub use recorder::{CountingRecorder, Recorder, SharedRecorder};
 
 /// A measured, normalized voltage level, as reported by the vendor
 /// characterization command (`0..=255`, see paper §4 footnote 1: negative

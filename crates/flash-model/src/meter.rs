@@ -121,23 +121,50 @@ impl MeterSnapshot {
 
     /// Component-wise difference `self - earlier` (for measuring a phase).
     ///
+    /// Swapped arguments are a caller bug; rather than silently wrapping
+    /// the counters around in release builds, every component saturates
+    /// at zero.
+    ///
     /// # Panics
     ///
     /// Panics in debug builds if `earlier` is not actually earlier.
     pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
         let mut out = MeterSnapshot::default();
         for i in 0..5 {
-            debug_assert!(self.counts[i] >= earlier.counts[i]);
-            out.counts[i] = self.counts[i] - earlier.counts[i];
+            debug_assert!(self.counts[i] >= earlier.counts[i], "snapshots swapped");
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
         }
         for i in 0..3 {
-            debug_assert!(self.fault_counts[i] >= earlier.fault_counts[i]);
-            out.fault_counts[i] = self.fault_counts[i] - earlier.fault_counts[i];
+            debug_assert!(self.fault_counts[i] >= earlier.fault_counts[i], "snapshots swapped");
+            out.fault_counts[i] = self.fault_counts[i].saturating_sub(earlier.fault_counts[i]);
         }
-        out.device_time_us = self.device_time_us - earlier.device_time_us;
-        out.wait_time_us = self.wait_time_us - earlier.wait_time_us;
-        out.energy_uj = self.energy_uj - earlier.energy_uj;
+        out.device_time_us = (self.device_time_us - earlier.device_time_us).max(0.0);
+        out.wait_time_us = (self.wait_time_us - earlier.wait_time_us).max(0.0);
+        out.energy_uj = (self.energy_uj - earlier.energy_uj).max(0.0);
         out
+    }
+
+    /// Assembles a snapshot from raw parts: counts indexed like
+    /// [`OpKind::ALL`] and [`FaultKind::ALL`]. Used by observability layers
+    /// that aggregate per-span deltas outside a live [`Meter`].
+    pub fn from_parts(
+        counts: [u64; 5],
+        fault_counts: [u64; 3],
+        device_time_us: f64,
+        wait_time_us: f64,
+        energy_uj: f64,
+    ) -> Self {
+        MeterSnapshot { counts, fault_counts, device_time_us, wait_time_us, energy_uj }
+    }
+
+    /// Stable index of an operation kind in [`OpKind::ALL`].
+    pub fn op_index(kind: OpKind) -> usize {
+        Self::idx(kind)
+    }
+
+    /// Stable index of a fault kind in [`FaultKind::ALL`].
+    pub fn fault_index(kind: FaultKind) -> usize {
+        kind.idx()
     }
 
     fn idx(kind: OpKind) -> usize {
@@ -193,12 +220,7 @@ impl Meter {
 
     /// Records one operation using the chip's timing model.
     pub fn record(&mut self, kind: OpKind, timing: &TimingModel) {
-        let (us, uj) = match kind {
-            OpKind::Read | OpKind::Probe => (timing.read_us, timing.read_uj),
-            OpKind::Program => (timing.program_us, timing.program_uj),
-            OpKind::Erase => (timing.erase_us, timing.erase_uj),
-            OpKind::PartialProgram => (timing.partial_program_us, timing.partial_program_uj),
-        };
+        let (us, uj) = timing.cost(kind);
         self.snap.counts[MeterSnapshot::idx(kind)] += 1;
         self.snap.device_time_us += us;
         self.snap.energy_uj += uj;
@@ -290,6 +312,57 @@ mod tests {
         assert!(!s.contains("faults="), "fault-free snapshots stay terse");
         m.record_fault(FaultKind::GrownBad);
         assert!(m.snapshot().to_string().contains("faults=1"));
+    }
+
+    fn swapped_snapshots() -> (MeterSnapshot, MeterSnapshot) {
+        let mut m = Meter::new();
+        m.record(OpKind::Read, &timing());
+        m.add_wait_us(10.0);
+        let earlier = m.snapshot();
+        m.record(OpKind::Read, &timing());
+        m.record_fault(FaultKind::GrownBad);
+        m.add_wait_us(5.0);
+        (earlier, m.snapshot())
+    }
+
+    // `[profile.test]` keeps debug assertions on, so in test builds the
+    // swapped-argument bug is caught loudly...
+    #[cfg(debug_assertions)]
+    #[test]
+    fn since_swapped_panics_in_debug() {
+        let (earlier, later) = swapped_snapshots();
+        let r = std::panic::catch_unwind(|| earlier.since(&later));
+        assert!(r.is_err(), "swapped since() must trip the debug assert");
+    }
+
+    // ...while release builds (debug assertions off) saturate at zero
+    // instead of wrapping the counters around to ~u64::MAX.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn since_swapped_saturates_in_release() {
+        let (earlier, later) = swapped_snapshots();
+        let d = earlier.since(&later);
+        assert_eq!(d.count(OpKind::Read), 0);
+        assert_eq!(d.total_ops(), 0);
+        assert_eq!(d.total_faults(), 0);
+        assert_eq!(d.device_time_us, 0.0);
+        assert_eq!(d.wait_time_us, 0.0);
+        assert_eq!(d.energy_uj, 0.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_counts() {
+        let s = MeterSnapshot::from_parts([1, 2, 3, 4, 5], [6, 7, 8], 90.0, 10.0, 50.0);
+        for (i, kind) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(s.count(*kind), i as u64 + 1);
+            assert_eq!(MeterSnapshot::op_index(*kind), i);
+        }
+        for (i, kind) in FaultKind::ALL.iter().enumerate() {
+            assert_eq!(s.fault_count(*kind), i as u64 + 6);
+            assert_eq!(MeterSnapshot::fault_index(*kind), i);
+        }
+        assert_eq!(s.total_ops(), 15);
+        assert_eq!(s.total_faults(), 21);
     }
 
     #[test]

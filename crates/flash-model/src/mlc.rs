@@ -145,8 +145,7 @@ mod tests {
             .map(|i| f64::from(levels[i]))
             .collect();
         let mean = l2.iter().sum::<f64>() / l2.len() as f64;
-        let sd =
-            (l2.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / l2.len() as f64).sqrt();
+        let sd = (l2.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / l2.len() as f64).sqrt();
         assert!((mean - mlc.l2_mean).abs() < 4.0, "L2 mean {mean}");
         assert!(sd < 9.0, "L2 sd {sd} should be narrower than the SLC lobe");
     }

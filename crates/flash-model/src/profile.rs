@@ -7,6 +7,7 @@
 //! vendor in §8).
 
 use crate::geometry::Geometry;
+use crate::meter::OpKind;
 use serde::{Deserialize, Serialize};
 
 /// Latency and energy of each tester-visible operation, from paper §6.1:
@@ -46,6 +47,17 @@ impl TimingModel {
             program_uj: 68.0,
             erase_uj: 190.0,
             partial_program_uj: 60.0,
+        }
+    }
+
+    /// Latency (µs) and energy (µJ) of one operation. Probes are billed as
+    /// reads (same command timing on the bus).
+    pub fn cost(&self, kind: OpKind) -> (f64, f64) {
+        match kind {
+            OpKind::Read | OpKind::Probe => (self.read_us, self.read_uj),
+            OpKind::Program => (self.program_us, self.program_uj),
+            OpKind::Erase => (self.erase_us, self.erase_uj),
+            OpKind::PartialProgram => (self.partial_program_us, self.partial_program_uj),
         }
     }
 }
@@ -410,8 +422,8 @@ mod tests {
     fn retention_loss_increments_compose() {
         let p = ChipProfile::vendor_a();
         let full = p.retention_loss(165.0, 2000, 0.0, 120.0);
-        let part = p.retention_loss(165.0, 2000, 0.0, 30.0)
-            + p.retention_loss(165.0, 2000, 30.0, 120.0);
+        let part =
+            p.retention_loss(165.0, 2000, 0.0, 30.0) + p.retention_loss(165.0, 2000, 30.0, 120.0);
         assert!((full - part).abs() < 1e-12);
         // Calibration: ≈3 level units at the programmed reference after the
         // 4-month horizon at PEC 2000 (drives the paper's 2.3x public-BER

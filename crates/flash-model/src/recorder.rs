@@ -1,0 +1,117 @@
+//! Lightweight observer hook for chip-level events.
+//!
+//! The flash model stays dependency-free: it only defines the [`Recorder`]
+//! trait and calls it (when installed) at every metered event. The
+//! `stash-obs` crate implements the trait with a span-aware tracer; tests
+//! can implement it with a plain counter. With no recorder installed the
+//! hot path pays a single `Option` branch per operation.
+
+use crate::meter::{FaultKind, OpKind};
+use std::fmt;
+use std::sync::Arc;
+
+/// Observer of chip-level events, called synchronously from the chip's
+/// metering sites. Implementations use interior mutability (`&self`
+/// methods) so one recorder can be shared by several chips and by the
+/// layers above them.
+pub trait Recorder: fmt::Debug + Send + Sync {
+    /// One device operation completed, costing `device_us` microseconds and
+    /// `energy_uj` microjoules of simulated budget. Faulted attempts are
+    /// billed too, exactly as the [`Meter`](crate::Meter) bills them.
+    fn record_op(&self, kind: OpKind, device_us: f64, energy_uj: f64);
+
+    /// One injected fault fired (the op itself is also reported via
+    /// [`record_op`](Self::record_op) when it was billed).
+    fn record_fault(&self, kind: FaultKind) {
+        let _ = kind;
+    }
+
+    /// Simulated wall-clock wait (retry backoff) advanced outside any
+    /// device operation.
+    fn record_wait(&self, wait_us: f64) {
+        let _ = wait_us;
+    }
+}
+
+/// Shared handle to a recorder; cloning a [`Chip`](crate::Chip) shares the
+/// recorder rather than splitting it.
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// A recorder that counts events — useful as a smoke-test observer.
+#[derive(Debug, Default)]
+pub struct CountingRecorder {
+    ops: std::sync::atomic::AtomicU64,
+    faults: std::sync::atomic::AtomicU64,
+    waits: std::sync::atomic::AtomicU64,
+}
+
+impl CountingRecorder {
+    /// Creates a zeroed counting recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of operations observed.
+    pub fn ops(&self) -> u64 {
+        self.ops.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of faults observed.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of waits observed.
+    pub fn waits(&self) -> u64 {
+        self.waits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl Recorder for CountingRecorder {
+    fn record_op(&self, _kind: OpKind, _device_us: f64, _energy_uj: f64) {
+        self.ops.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn record_fault(&self, _kind: FaultKind) {
+        self.faults.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn record_wait(&self, _wait_us: f64) {
+        self.waits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ChipProfile;
+    use crate::Chip;
+
+    #[test]
+    fn counting_recorder_observes_chip_ops() {
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = Chip::new(ChipProfile::test_small(), 3);
+        c.set_recorder(Some(rec.clone()));
+        c.erase_block(crate::BlockId(0)).unwrap();
+        let _ = c.read_page(crate::PageId::new(crate::BlockId(0), 0)).unwrap();
+        c.advance_time_us(25.0);
+        assert_eq!(rec.ops(), 2);
+        assert_eq!(rec.waits(), 1);
+        assert_eq!(rec.faults(), 0);
+        // Ops observed match the meter exactly.
+        assert_eq!(rec.ops(), c.meter().total_ops());
+    }
+
+    #[test]
+    fn recorder_survives_chip_clone() {
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = Chip::new(ChipProfile::test_small(), 3);
+        c.set_recorder(Some(rec.clone()));
+        let mut c2 = c.clone();
+        c2.erase_block(crate::BlockId(0)).unwrap();
+        assert_eq!(rec.ops(), 1, "clone shares the recorder");
+        c.set_recorder(None);
+        c.erase_block(crate::BlockId(1)).unwrap();
+        assert_eq!(rec.ops(), 1, "detached chip stops reporting");
+    }
+}

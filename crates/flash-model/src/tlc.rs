@@ -59,9 +59,8 @@ impl Chip {
                 return Err(FlashError::PatternLength { expected: cpp, got: pat.len() });
             }
         }
-        let programmed_mask: BitPattern = (0..cpp)
-            .map(|i| lower.get(i) && middle.get(i) && upper.get(i))
-            .collect();
+        let programmed_mask: BitPattern =
+            (0..cpp).map(|i| lower.get(i) && middle.get(i) && upper.get(i)).collect();
         self.program_page(p, &programmed_mask)?;
 
         for i in 0..cpp {
@@ -141,8 +140,7 @@ mod tests {
         let p = PageId::new(BlockId(0), 0);
         c.program_page_tlc(p, &l, &m, &u).unwrap();
         let (rl, rm, ru) = c.read_page_tlc(p).unwrap();
-        let errs =
-            rl.hamming_distance(&l) + rm.hamming_distance(&m) + ru.hamming_distance(&u);
+        let errs = rl.hamming_distance(&l) + rm.hamming_distance(&m) + ru.hamming_distance(&u);
         // TLC margins are tight; a handful of raw errors per 3x2048 bits is
         // the realistic price of the density (paper refs [17, 36]).
         assert!(errs <= 12, "TLC raw errors {errs}");
@@ -159,8 +157,7 @@ mod tests {
         c.program_page_tlc(tlc_page, &l, &m, &u).unwrap();
         c.program_page_mlc(mlc_page, &l, &m).unwrap();
         let (rl, rm, ru) = c.read_page_tlc(tlc_page).unwrap();
-        let tlc_errs =
-            rl.hamming_distance(&l) + rm.hamming_distance(&m) + ru.hamming_distance(&u);
+        let tlc_errs = rl.hamming_distance(&l) + rm.hamming_distance(&m) + ru.hamming_distance(&u);
         let (ml, mm) = c.read_page_mlc(mlc_page).unwrap();
         let mlc_errs = ml.hamming_distance(&l) + mm.hamming_distance(&m);
         // Normalize per stored bit.

@@ -157,10 +157,7 @@ fn distributions_shift_right_with_wear() {
     let shift = means[3] - means[0];
     assert!((4.0..16.0).contains(&shift), "programmed shift over 3000 PEC: {shift:.2}");
     // The erased positive tail thickens with wear (Fig. 3a).
-    assert!(
-        tails[3] > tails[0] * 1.2,
-        "erased tail should grow with wear: {tails:?}"
-    );
+    assert!(tails[3] > tails[0] * 1.2, "erased tail should grow with wear: {tails:?}");
 }
 
 #[test]
@@ -203,8 +200,7 @@ fn page_level_noisier_than_block_level() {
         page_means.push(h.mean());
     }
     let mean = page_means.iter().sum::<f64>() / page_means.len() as f64;
-    let var = page_means.iter().map(|m| (m - mean).powi(2)).sum::<f64>()
-        / page_means.len() as f64;
+    let var = page_means.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / page_means.len() as f64;
     let page_sd = var.sqrt();
     // Per-page means must wander by a meaningful fraction of a level.
     assert!(page_sd > 0.5, "page-to-page sd {page_sd:.3}");

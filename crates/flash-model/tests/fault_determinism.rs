@@ -2,7 +2,9 @@
 //! same fault schedule, operation by operation, and an identical meter —
 //! chaos runs are only debuggable if they replay exactly.
 
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry, MeterSnapshot, PageId};
+use stash_flash::{
+    BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry, MeterSnapshot, PageId,
+};
 
 fn plan(seed: u64) -> FaultPlan {
     FaultPlan::new(seed)

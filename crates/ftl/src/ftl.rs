@@ -1,8 +1,10 @@
 //! The page-mapped FTL implementation.
 
 use stash_flash::{BitPattern, BlockId, Chip, FlashError, PageId};
+use stash_obs::{span, Tracer};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Logical page number.
 pub type Lpn = u64;
@@ -142,6 +144,7 @@ pub struct Ftl {
     /// Blocks pulled out of rotation after going grown bad.
     retired: Vec<bool>,
     stats: FtlStats,
+    tracer: Option<Arc<Tracer>>,
 }
 
 /// Attempts after the first for transient program/erase failures.
@@ -185,7 +188,22 @@ impl Ftl {
             active: None,
             retired: vec![false; blocks as usize],
             stats: FtlStats::default(),
+            tracer: None,
         })
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer: GC, wear leveling and
+    /// evacuation open spans on it, and the tracer is installed as the
+    /// chip's [`Recorder`](stash_flash::Recorder) so every flash op
+    /// attributes to the span that issued it.
+    pub fn attach_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.chip.set_recorder(tracer.clone().map(|t| t as stash_flash::SharedRecorder));
+        self.tracer = tracer;
+    }
+
+    /// The tracer attached via [`attach_tracer`](Self::attach_tracer).
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Logical pages exported to the host.
@@ -234,6 +252,7 @@ impl Ftl {
     /// device cannot reclaim space.
     pub fn write(&mut self, lpn: Lpn, data: &BitPattern) -> Result<WriteReport, FtlError> {
         self.check_lpn(lpn)?;
+        let _write = span!(self.tracer, "host_write", "lpn={lpn}");
         let (mut migrations, mut erased) = (Vec::new(), Vec::new());
         self.ensure_headroom(&mut migrations, &mut erased)?;
 
@@ -260,7 +279,10 @@ impl Ftl {
         self.check_lpn(lpn)?;
         match self.map.get(&lpn) {
             None => Ok(None),
-            Some(&page) => Ok(Some(self.chip.read_page(page)?)),
+            Some(&page) => {
+                let _read = span!(self.tracer, "host_read", "lpn={lpn}");
+                Ok(Some(self.chip.read_page(page)?))
+            }
         }
     }
 
@@ -311,6 +333,7 @@ impl Ftl {
         if max_pec.saturating_sub(pecs[cold.0 as usize]) < threshold {
             return Ok(Vec::new());
         }
+        let _wl = span!(self.tracer, "static_wear_level", "cold={cold}");
 
         let mut migrations = Vec::new();
         let mut erased = Vec::new();
@@ -363,6 +386,7 @@ impl Ftl {
     /// Fails on flash errors or if space cannot be reclaimed for the moved
     /// pages.
     pub fn evacuate_block(&mut self, block: BlockId) -> Result<Vec<Migration>, FtlError> {
+        let _evac = span!(self.tracer, "evacuate_block", "block={block}");
         let pages_per_block = self.chip.geometry().pages_per_block;
         if self.active == Some(block) {
             self.active = None;
@@ -377,7 +401,10 @@ impl Ftl {
         for p in 0..pages_per_block {
             let from = PageId::new(block, p);
             let Some(&lpn) = self.rmap.get(&from) else { continue };
-            let data = self.chip.read_page(from)?;
+            let data = {
+                let _copy = span!(self.tracer, "migrate_read");
+                self.chip.read_page(from)?
+            };
             let to = self.program_on_fresh_page(&data, &mut migrations, &mut erased)?;
             self.stats.gc_moves += 1;
             self.rmap.remove(&from);
@@ -401,6 +428,9 @@ impl Ftl {
         if !self.retired[b.0 as usize] {
             self.retired[b.0 as usize] = true;
             self.stats.retirements += 1;
+            if let Some(t) = &self.tracer {
+                t.counter_add("block_retirements", "", 1);
+            }
         }
         if let Some(pos) = self.free.iter().position(|&x| x == b) {
             self.free.swap_remove(pos);
@@ -414,6 +444,7 @@ impl Ftl {
     /// Returns `Ok(false)` — and retires the block — when the erase fails
     /// because the block went grown bad.
     fn erase_unless_grown_bad(&mut self, b: BlockId) -> Result<bool, FtlError> {
+        let _erase = span!(self.tracer, "erase_block", "block={b}");
         let mut attempt = 0u32;
         loop {
             match self.chip.erase_block(b) {
@@ -446,6 +477,7 @@ impl Ftl {
     ) -> Result<PageId, FtlError> {
         loop {
             let page = self.allocate_page(migrations, erased)?;
+            let _prog = span!(self.tracer, "program_page");
             let mut attempt = 0u32;
             loop {
                 match self.chip.program_page(page, data) {
@@ -518,12 +550,17 @@ impl Ftl {
             return Err(FtlError::NoSpace);
         }
         self.stats.gc_runs += 1;
+        let _gc = span!(self.tracer, "gc_collect", "victim={victim}");
+        let moved_before = migrations.len();
 
         // Relocate valid pages.
         for p in 0..pages_per_block {
             let from = PageId::new(victim, p);
             let Some(&lpn) = self.rmap.get(&from) else { continue };
-            let data = self.chip.read_page(from)?;
+            let data = {
+                let _copy = span!(self.tracer, "migrate_read");
+                self.chip.read_page(from)?
+            };
             let to = self.program_on_fresh_page(&data, migrations, erased)?;
             self.stats.gc_moves += 1;
 
@@ -539,6 +576,10 @@ impl Ftl {
             erased.push(victim);
             self.cursor[victim.0 as usize] = 0;
             self.free.push(victim);
+        }
+        if let Some(t) = &self.tracer {
+            t.counter_add("gc_migrations", "", (migrations.len() - moved_before) as u64);
+            t.gauge_set("free_blocks", "", self.free_blocks() as f64);
         }
         Ok(())
     }
@@ -561,8 +602,12 @@ impl Ftl {
                 self.active = None;
             }
             // Drop blocks the chip has since declared grown bad.
-            let bad: Vec<BlockId> =
-                self.free.iter().copied().filter(|&b| self.chip.is_grown_bad(b).unwrap_or(false)).collect();
+            let bad: Vec<BlockId> = self
+                .free
+                .iter()
+                .copied()
+                .filter(|&b| self.chip.is_grown_bad(b).unwrap_or(false))
+                .collect();
             for b in bad {
                 self.mark_retired(b);
             }
@@ -580,7 +625,8 @@ impl Ftl {
             let b = self.free.swap_remove(idx);
             // Blocks enter the pool erased except at mount time; an erase
             // that outs the block as grown bad sends us back for another.
-            if (self.cursor[b.0 as usize] != 0 || self.chip.is_page_programmed(PageId::new(b, 0))?)
+            if (self.cursor[b.0 as usize] != 0
+                || self.chip.is_page_programmed(PageId::new(b, 0))?)
                 && !self.erase_unless_grown_bad(b)?
             {
                 continue;
@@ -648,10 +694,7 @@ mod tests {
         let mut f = ftl();
         let cap = f.capacity_pages();
         let d = pattern(&f, 4);
-        assert!(matches!(
-            f.write(cap, &d),
-            Err(FtlError::LpnOutOfRange { .. })
-        ));
+        assert!(matches!(f.write(cap, &d), Err(FtlError::LpnOutOfRange { .. })));
         assert!(matches!(f.read(cap), Err(FtlError::LpnOutOfRange { .. })));
     }
 
@@ -666,10 +709,7 @@ mod tests {
         for round in 0..6u64 {
             for lpn in 0..cap {
                 if rng.gen_bool(0.5) || round == 0 {
-                    let d = BitPattern::random_half(
-                        &mut rng,
-                        f.chip().geometry().cells_per_page(),
-                    );
+                    let d = BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
                     f.write(lpn, &d).unwrap();
                     truth.insert(lpn, d);
                 }
@@ -710,8 +750,8 @@ mod tests {
             // Every reported migration's destination must now be the live
             // mapping (unless migrated again later in the same write).
             let current = f.physical_of(m.lpn).unwrap();
-            let still_there = current == m.to
-                || seen.iter().any(|m2| m2.lpn == m.lpn && m2.from == m.to);
+            let still_there =
+                current == m.to || seen.iter().any(|m2| m2.lpn == m.lpn && m2.from == m.to);
             assert!(still_there, "migration report inconsistent for lpn {}", m.lpn);
         }
     }
@@ -728,8 +768,7 @@ mod tests {
             }
         }
         let blocks = f.chip().geometry().blocks_per_chip;
-        let pecs: Vec<u32> =
-            (0..blocks).map(|b| f.chip().block_pec(BlockId(b)).unwrap()).collect();
+        let pecs: Vec<u32> = (0..blocks).map(|b| f.chip().block_pec(BlockId(b)).unwrap()).collect();
         let max = *pecs.iter().max().unwrap();
         let nonzero = pecs.iter().filter(|&&p| p > 0).count() as u32;
         // Dynamic wear leveling: nearly every block participates and no
@@ -758,8 +797,7 @@ mod tests {
         }
         // valid counters agree with rmap.
         for b in 0..f.valid.len() {
-            let counted =
-                f.rmap.keys().filter(|p| p.block.0 as usize == b).count() as u32;
+            let counted = f.rmap.keys().filter(|p| p.block.0 as usize == b).count() as u32;
             assert_eq!(f.valid[b], counted, "block {b} valid counter");
         }
     }
@@ -803,8 +841,7 @@ mod tests {
 
     fn wear_spread(f: &Ftl) -> u32 {
         let blocks = f.chip().geometry().blocks_per_chip;
-        let pecs: Vec<u32> =
-            (0..blocks).map(|b| f.chip().block_pec(BlockId(b)).unwrap()).collect();
+        let pecs: Vec<u32> = (0..blocks).map(|b| f.chip().block_pec(BlockId(b)).unwrap()).collect();
         pecs.iter().max().unwrap() - pecs.iter().min().unwrap()
     }
 
@@ -834,8 +871,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(21);
         for round in 0..3u64 {
             for lpn in 0..cap {
-                let d =
-                    BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
+                let d = BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
                 f.write((lpn + round) % cap, &d).unwrap();
             }
         }
@@ -897,8 +933,7 @@ mod tests {
         let mut truth = HashMap::new();
         for round in 0..4u64 {
             for lpn in 0..cap {
-                let d =
-                    BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
+                let d = BitPattern::random_half(&mut rng, f.chip().geometry().cells_per_page());
                 f.write((lpn * 7 + round) % cap, &d).unwrap();
                 truth.insert((lpn * 7 + round) % cap, d);
             }

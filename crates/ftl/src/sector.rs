@@ -108,7 +108,10 @@ impl SectorDevice {
                 capacity: self.ftl.capacity_pages(),
             });
         }
-        Ok((sector / self.sectors_per_page as u64, (sector % self.sectors_per_page as u64) as usize))
+        Ok((
+            sector / self.sectors_per_page as u64,
+            (sector % self.sectors_per_page as u64) as usize,
+        ))
     }
 
     /// Reads one sector; unwritten space reads as zeros (like a fresh
@@ -117,7 +120,11 @@ impl SectorDevice {
     /// # Errors
     ///
     /// Fails on out-of-range addresses or flash errors.
-    pub fn read_sector(&mut self, sector: u64, buf: &mut [u8; SECTOR_BYTES]) -> Result<(), FtlError> {
+    pub fn read_sector(
+        &mut self,
+        sector: u64,
+        buf: &mut [u8; SECTOR_BYTES],
+    ) -> Result<(), FtlError> {
         let (lpn, idx) = self.locate(sector)?;
         match self.ftl.read(lpn)? {
             None => buf.fill(0),
@@ -178,8 +185,7 @@ mod tests {
 
     fn device() -> SectorDevice {
         let mut profile = ChipProfile::vendor_a();
-        profile.geometry =
-            Geometry { blocks_per_chip: 10, pages_per_block: 8, page_bytes: 2048 };
+        profile.geometry = Geometry { blocks_per_chip: 10, pages_per_block: 8, page_bytes: 2048 };
         let ftl = Ftl::new(Chip::new(profile, 77), FtlConfig::default()).unwrap();
         SectorDevice::new(ftl).unwrap()
     }
@@ -234,10 +240,7 @@ mod tests {
         let mut d = device();
         let cap = d.capacity_sectors();
         let buf = [0u8; SECTOR_BYTES];
-        assert!(matches!(
-            d.write_sector(cap, &buf),
-            Err(FtlError::LpnOutOfRange { .. })
-        ));
+        assert!(matches!(d.write_sector(cap, &buf), Err(FtlError::LpnOutOfRange { .. })));
     }
 
     #[test]
@@ -258,8 +261,7 @@ mod tests {
     fn too_small_page_rejected() {
         let mut profile = ChipProfile::vendor_a();
         // 256-byte pages cannot hold one protected 512-byte sector.
-        profile.geometry =
-            Geometry { blocks_per_chip: 8, pages_per_block: 8, page_bytes: 256 };
+        profile.geometry = Geometry { blocks_per_chip: 8, pages_per_block: 8, page_bytes: 256 };
         let ftl = Ftl::new(Chip::new(profile, 1), FtlConfig::default()).unwrap();
         assert!(matches!(SectorDevice::new(ftl), Err(FtlError::InvalidConfig(_))));
     }

@@ -71,12 +71,10 @@ impl WorkloadGen {
             AccessPattern::UniformRandom => self.rng.gen_range(0..self.capacity),
             AccessPattern::Zipfian { .. } => {
                 let u: f64 = self.rng.gen();
-                let rank = match self
-                    .zipf_cdf
-                    .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
-                {
-                    Ok(i) | Err(i) => i,
-                };
+                let rank =
+                    match self.zipf_cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+                        Ok(i) | Err(i) => i,
+                    };
                 (rank as u64).min(self.capacity - 1)
             }
         }

@@ -1,0 +1,116 @@
+//! # stash-obs — structured tracing and metrics for the stash stack
+//!
+//! The paper's headline numbers (24× encode, 50× decode, 37× energy) are
+//! arithmetic over per-operation work; this crate makes that work visible
+//! per *phase* instead of only as end-of-run [`Meter`](stash_flash::Meter)
+//! totals. It provides:
+//!
+//! * **Spans** keyed to simulated device time: guard-based, hierarchical,
+//!   aggregated into a tree with per-span [`MeterSnapshot`] deltas (ops,
+//!   faults, µs, µJ) plus a bounded ring buffer of raw events.
+//! * A **metrics registry**: labeled counters, gauges and log2-bucketed
+//!   histograms (PP-steps-per-page, retries-per-read, scrub migrations,
+//!   fault-kind counts).
+//! * **Exporters**: a human-readable tree summary, a JSONL event stream,
+//!   and a collapsed-stack flamegraph text attributing simulated µs/µJ
+//!   per span path.
+//!
+//! The [`Tracer`] implements the flash model's
+//! [`Recorder`](stash_flash::Recorder) hook, so installing one on a
+//! [`Chip`](stash_flash::Chip) captures every operation and fault; the
+//! layers above (hider, FTL, hidden volume) open spans on the same tracer
+//! so chip costs attribute to the phase that issued them. With no recorder
+//! installed the chip's hot path pays one `Option` branch per op — tracing
+//! is strictly opt-in.
+//!
+//! ```
+//! use stash_flash::{BlockId, Chip, ChipProfile};
+//! use stash_obs::{span, Tracer};
+//!
+//! let tracer = Tracer::shared();
+//! let mut chip = Chip::new(ChipProfile::test_small(), 7);
+//! chip.set_recorder(Some(tracer.clone()));
+//!
+//! {
+//!     let _s = tracer.span("erase_all");
+//!     chip.erase_block(BlockId(0)).unwrap();
+//! }
+//! // Layers that hold an `Option<Arc<Tracer>>` use the macro instead:
+//! let maybe: Option<std::sync::Arc<Tracer>> = Some(tracer.clone());
+//! let _g = span!(maybe, "encode_page", "page={}", 3);
+//!
+//! let report = tracer.report();
+//! assert_eq!(report.totals.total_ops(), 1);
+//! println!("{}", stash_obs::export::render_tree(&report));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use metrics::{Log2Histogram, Registry, LOG2_BUCKETS};
+pub use tracer::{
+    add_snapshots, SpanGuard, SpanNode, TraceConfig, TraceEvent, TraceEventKind, TraceReport,
+    Tracer, DEFAULT_EVENT_CAPACITY,
+};
+
+/// Opens a span on an `Option<Arc<Tracer>>`, returning an
+/// `Option<SpanGuard>` that must be bound to keep the span open:
+///
+/// ```
+/// # use stash_obs::{span, Tracer};
+/// # let tracer = Some(Tracer::shared());
+/// let _span = span!(tracer, "encode_page");
+/// let _labeled = span!(tracer, "pp_step", "step={}", 1);
+/// ```
+///
+/// With `None` the macro is a no-op, so instrumented layers cost nothing
+/// when tracing is off.
+#[macro_export]
+macro_rules! span {
+    ($tracer:expr, $name:expr) => {
+        $tracer.as_ref().map(|t| $crate::Tracer::span(t, $name))
+    };
+    ($tracer:expr, $name:expr, $($arg:tt)+) => {
+        $tracer.as_ref().map(|t| $crate::Tracer::span_labeled(t, $name, format!($($arg)+)))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stash_flash::{BlockId, Chip, ChipProfile, PageId};
+
+    #[test]
+    fn tracer_attached_to_chip_matches_meter_exactly() {
+        let tracer = Tracer::shared();
+        let mut chip = Chip::new(ChipProfile::test_small(), 99);
+        chip.set_recorder(Some(tracer.clone()));
+        {
+            let _s = tracer.span("workload");
+            chip.erase_block(BlockId(0)).unwrap();
+            let data = stash_flash::BitPattern::zeros(chip.geometry().cells_per_page());
+            chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
+            let _ = chip.read_page(PageId::new(BlockId(0), 0)).unwrap();
+            chip.advance_time_us(100.0);
+        }
+        let meter = chip.meter();
+        let report = tracer.report();
+        assert_eq!(report.totals.total_ops(), meter.total_ops());
+        assert!((report.totals.device_time_us - meter.device_time_us).abs() < 1e-9);
+        assert!((report.totals.wait_time_us - meter.wait_time_us).abs() < 1e-9);
+        assert!((report.totals.energy_uj - meter.energy_uj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_macro_is_noop_on_none() {
+        let none: Option<std::sync::Arc<Tracer>> = None;
+        let g = span!(none, "anything");
+        assert!(g.is_none());
+        let g2 = span!(none, "labeled", "x={}", 1);
+        assert!(g2.is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Metrics registry: counters, gauges and log2-bucketed histograms, each
+//! keyed by a metric name plus an optional label (one labeled series per
+//! `(name, label)` pair). Storage is `BTreeMap`-backed so every exporter
+//! iterates in a deterministic order.
+
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `b >= 1`
+/// holds `2^(b-1) ..= 2^b - 1`, up to bucket 64 for the top of the `u64`
+/// range.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with exponentially growing buckets —
+/// the right shape for per-page PP-step counts, retries-per-read and
+/// migration tallies, where the tail matters and memory must stay flat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    total: u64,
+    sum: u128,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { counts: [0; LOG2_BUCKETS], total: 0, sum: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: 0 for the value 0, otherwise
+    /// `1 + floor(log2(v))`.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `(low, high)` value range of one bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket >= LOG2_BUCKETS`.
+    pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+        assert!(bucket < LOG2_BUCKETS, "bucket out of range");
+        match bucket {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            b => (1u64 << (b - 1), (1u64 << b) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw count in one bucket.
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the `p`-th quantile
+    /// (`0.0..=1.0`); 0 when empty. A conservative (over-)estimate, as
+    /// bucketed histograms give.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let goal = (p.clamp(0.0, 1.0) * self.total as f64).max(1.0);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen as f64 >= goal {
+                return Self::bucket_bounds(b).1;
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Occupied buckets as `(low, high, count)` rows, lowest first.
+    pub fn rows(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let (lo, hi) = Self::bucket_bounds(b);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// One `(metric name, label)` series key; the label is empty for
+/// unlabeled series.
+pub type SeriesKey = (String, String);
+
+/// A registry of labeled counters, gauges and log2 histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, f64>,
+    histograms: BTreeMap<SeriesKey, Log2Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter series, creating it at zero if absent.
+    pub fn counter_add(&mut self, name: &str, label: &str, n: u64) {
+        *self.counters.entry((name.to_owned(), label.to_owned())).or_insert(0) += n;
+    }
+
+    /// Sets a gauge series to `v`.
+    pub fn gauge_set(&mut self, name: &str, label: &str, v: f64) {
+        self.gauges.insert((name.to_owned(), label.to_owned()), v);
+    }
+
+    /// Records one sample into a histogram series.
+    pub fn observe(&mut self, name: &str, label: &str, v: u64) {
+        self.histograms.entry((name.to_owned(), label.to_owned())).or_default().observe(v);
+    }
+
+    /// Value of one counter series (0 if absent).
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters.get(&(name.to_owned(), label.to_owned())).copied().unwrap_or(0)
+    }
+
+    /// Value of one gauge series, if set.
+    pub fn gauge(&self, name: &str, label: &str) -> Option<f64> {
+        self.gauges.get(&(name.to_owned(), label.to_owned())).copied()
+    }
+
+    /// One histogram series, if any samples were recorded.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(&(name.to_owned(), label.to_owned()))
+    }
+
+    /// All counter series in deterministic order.
+    pub fn counters(&self) -> impl Iterator<Item = (&SeriesKey, &u64)> {
+        self.counters.iter()
+    }
+
+    /// All gauge series in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&SeriesKey, &f64)> {
+        self.gauges.iter()
+    }
+
+    /// All histogram series in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&SeriesKey, &Log2Histogram)> {
+        self.histograms.iter()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(7), 3);
+        assert_eq!(Log2Histogram::bucket_of(8), 4);
+        assert_eq!(Log2Histogram::bucket_of(1 << 62), 63);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_roundtrip_bucket_of() {
+        for b in 0..LOG2_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(b);
+            assert_eq!(Log2Histogram::bucket_of(lo), b, "low bound of bucket {b}");
+            assert_eq!(Log2Histogram::bucket_of(hi), b, "high bound of bucket {b}");
+            assert!(lo <= hi);
+            if b >= 1 {
+                let (_, prev_hi) = Log2Histogram::bucket_bounds(b - 1);
+                assert_eq!(lo, prev_hi + 1, "buckets {b} and {} must tile", b - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert!(h.rows().is_empty());
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Log2Histogram::new();
+        h.observe(10);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.mean(), 10.0);
+        // 10 lands in bucket 8..=15; every percentile reports its upper bound.
+        assert_eq!(h.percentile(0.0), 15);
+        assert_eq!(h.percentile(1.0), 15);
+        assert_eq!(h.rows(), vec![(8, 15, 1)]);
+    }
+
+    #[test]
+    fn percentile_across_buckets() {
+        let mut h = Log2Histogram::new();
+        for v in [1u64, 1, 1, 1, 8, 8, 8, 8, 100, 100] {
+            h.observe(v);
+        }
+        // Cumulative: bucket(1)=4 at 40%, bucket(8..15)=8 at 80%, rest 100%.
+        assert_eq!(h.percentile(0.4), 1);
+        assert_eq!(h.percentile(0.5), 15);
+        assert_eq!(h.percentile(0.8), 15);
+        assert_eq!(h.percentile(0.95), 127);
+        assert_eq!(h.percentile(1.0), 127);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sum() {
+        let mut a = Log2Histogram::new();
+        a.observe(3);
+        let mut b = Log2Histogram::new();
+        b.observe(5);
+        b.observe(0);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.bucket_count(0), 1);
+        assert!((a.mean() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_series_are_independent_per_label() {
+        let mut r = Registry::new();
+        r.counter_add("fault", "transient-program", 2);
+        r.counter_add("fault", "grown-bad", 1);
+        r.counter_add("fault", "transient-program", 1);
+        assert_eq!(r.counter("fault", "transient-program"), 3);
+        assert_eq!(r.counter("fault", "grown-bad"), 1);
+        assert_eq!(r.counter("fault", "transient-erase"), 0);
+
+        r.gauge_set("free_blocks", "", 7.0);
+        r.gauge_set("free_blocks", "", 5.0);
+        assert_eq!(r.gauge("free_blocks", ""), Some(5.0));
+
+        r.observe("pp_steps_per_page", "", 9);
+        r.observe("pp_steps_per_page", "", 12);
+        let h = r.histogram("pp_steps_per_page", "").unwrap();
+        assert_eq!(h.total(), 2);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,544 @@
+//! The span-aware tracer: a [`Recorder`] implementation that attributes
+//! every chip operation, fault and wait to the innermost open span, keeps
+//! an aggregated span tree with per-span [`MeterSnapshot`] deltas, and
+//! records a bounded ring buffer of raw events for the JSONL exporter.
+//!
+//! All state sits behind one `Mutex` so a single tracer can observe a chip
+//! and the layers above it (hider, FTL, hidden volume) at the same time.
+//! Spans are guard-based: [`Tracer::span`] returns a [`SpanGuard`] that
+//! closes the span on drop, so early returns and `?` unwind correctly.
+
+use crate::metrics::{Log2Histogram, Registry};
+use stash_flash::{FaultKind, MeterSnapshot, OpKind, Recorder};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Default bound on the raw-event ring buffer.
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Tracer construction options.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Maximum raw events retained; older events are dropped (and counted)
+    /// once the ring is full. The span tree and metrics are aggregates and
+    /// never drop anything.
+    pub event_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { event_capacity: DEFAULT_EVENT_CAPACITY }
+    }
+}
+
+/// What one raw trace event was.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEventKind {
+    /// A span opened (the event's path already includes it).
+    SpanStart {
+        /// Formatted span label, when the opener provided one.
+        label: Option<String>,
+    },
+    /// A span closed.
+    SpanEnd,
+    /// One device operation, with its simulated cost.
+    Op {
+        /// Operation class.
+        kind: OpKind,
+        /// Device latency billed, microseconds.
+        device_us: f64,
+        /// Energy billed, microjoules.
+        energy_uj: f64,
+    },
+    /// One injected fault fired.
+    Fault {
+        /// Fault class.
+        kind: FaultKind,
+    },
+    /// Simulated retry-backoff wait.
+    Wait {
+        /// Wait length, microseconds.
+        wait_us: f64,
+    },
+}
+
+/// One entry of the bounded event ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic sequence number (never reused, survives ring drops).
+    pub seq: u64,
+    /// Simulated clock (device time + waits, µs) after the event.
+    pub t_us: f64,
+    /// Semicolon-joined span path, e.g. `root;encode_page;pp_step`.
+    pub path: String,
+    /// Event payload.
+    pub kind: TraceEventKind,
+}
+
+/// Aggregated per-span node of the exported tree. Costs in `meter` are
+/// *self* costs (attributed while this span was innermost); use
+/// [`total`](Self::total) for self plus descendants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span name (aggregation key under one parent).
+    pub name: String,
+    /// Times this span was entered.
+    pub count: u64,
+    /// Self costs: ops, faults, device µs, wait µs, energy µJ.
+    pub meter: MeterSnapshot,
+    /// Child spans in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Self plus all descendants' costs.
+    pub fn total(&self) -> MeterSnapshot {
+        let mut acc = self.meter;
+        for c in &self.children {
+            acc = add_snapshots(&acc, &c.total());
+        }
+        acc
+    }
+}
+
+/// Component-wise sum of two snapshots.
+pub fn add_snapshots(a: &MeterSnapshot, b: &MeterSnapshot) -> MeterSnapshot {
+    let mut counts = [0u64; 5];
+    for (i, kind) in OpKind::ALL.iter().enumerate() {
+        counts[i] = a.count(*kind) + b.count(*kind);
+    }
+    let mut faults = [0u64; 3];
+    for (i, kind) in FaultKind::ALL.iter().enumerate() {
+        faults[i] = a.fault_count(*kind) + b.fault_count(*kind);
+    }
+    MeterSnapshot::from_parts(
+        counts,
+        faults,
+        a.device_time_us + b.device_time_us,
+        a.wait_time_us + b.wait_time_us,
+        a.energy_uj + b.energy_uj,
+    )
+}
+
+/// A point-in-time copy of everything the tracer knows, consumed by the
+/// exporters in [`crate::export`].
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// The span tree; the root aggregates the whole run and its self costs
+    /// are whatever was recorded outside any open span.
+    pub root: SpanNode,
+    /// Ring-buffer contents, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events dropped because the ring was full.
+    pub dropped_events: u64,
+    /// Grand totals observed (equals `root.total()`).
+    pub totals: MeterSnapshot,
+    /// Counter series `(name, label, value)` in deterministic order.
+    pub counters: Vec<(String, String, u64)>,
+    /// Gauge series `(name, label, value)` in deterministic order.
+    pub gauges: Vec<(String, String, f64)>,
+    /// Histogram series `(name, label, histogram)` in deterministic order.
+    pub histograms: Vec<(String, String, Log2Histogram)>,
+}
+
+struct Node {
+    name: String,
+    parent: usize,
+    children: Vec<usize>,
+    count: u64,
+    ops: [u64; 5],
+    faults: [u64; 3],
+    self_device_us: f64,
+    self_wait_us: f64,
+    self_energy_uj: f64,
+}
+
+impl Node {
+    fn new(name: String, parent: usize) -> Self {
+        Node {
+            name,
+            parent,
+            children: Vec::new(),
+            count: 0,
+            ops: [0; 5],
+            faults: [0; 3],
+            self_device_us: 0.0,
+            self_wait_us: 0.0,
+            self_energy_uj: 0.0,
+        }
+    }
+}
+
+struct Inner {
+    cfg: TraceConfig,
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+    events: VecDeque<TraceEvent>,
+    dropped_events: u64,
+    clock_us: f64,
+    seq: u64,
+    metrics: Registry,
+}
+
+/// The tracer. Construct with [`Tracer::new`], wrap in an [`Arc`], install
+/// on a [`Chip`](stash_flash::Chip) via `set_recorder`, and hand clones of
+/// the `Arc` to the layers whose phases should appear as spans.
+pub struct Tracer {
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("tracer lock");
+        f.debug_struct("Tracer")
+            .field("spans", &inner.nodes.len())
+            .field("events", &inner.events.len())
+            .field("clock_us", &inner.clock_us)
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(TraceConfig::default())
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with the given options.
+    pub fn new(cfg: TraceConfig) -> Self {
+        let root = Node::new("root".to_owned(), 0);
+        Tracer {
+            inner: Mutex::new(Inner {
+                cfg,
+                nodes: vec![root],
+                stack: Vec::new(),
+                events: VecDeque::new(),
+                dropped_events: 0,
+                clock_us: 0.0,
+                seq: 0,
+                metrics: Registry::new(),
+            }),
+        }
+    }
+
+    /// Creates a shared tracer with default options — the common entry
+    /// point: `let tracer = Tracer::shared();`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Opens a span named `name` nested under the innermost open span.
+    /// The returned guard closes it on drop.
+    pub fn span(self: &Arc<Self>, name: &str) -> SpanGuard {
+        self.span_inner(name, None)
+    }
+
+    /// Opens a span with a formatted instance label (recorded on the raw
+    /// event; aggregation stays keyed by `name`).
+    pub fn span_labeled(self: &Arc<Self>, name: &str, label: String) -> SpanGuard {
+        self.span_inner(name, Some(label))
+    }
+
+    fn span_inner(self: &Arc<Self>, name: &str, label: Option<String>) -> SpanGuard {
+        let node = {
+            let mut inner = self.inner.lock().expect("tracer lock");
+            let parent = inner.stack.last().copied().unwrap_or(0);
+            let node = inner.find_or_create_child(parent, name);
+            inner.nodes[node].count += 1;
+            inner.stack.push(node);
+            let path = inner.path_of(node);
+            inner.push_event(path, TraceEventKind::SpanStart { label });
+            node
+        };
+        SpanGuard { tracer: Arc::clone(self), node }
+    }
+
+    /// Adds `n` to a counter series.
+    pub fn counter_add(&self, name: &str, label: &str, n: u64) {
+        self.inner.lock().expect("tracer lock").metrics.counter_add(name, label, n);
+    }
+
+    /// Sets a gauge series.
+    pub fn gauge_set(&self, name: &str, label: &str, v: f64) {
+        self.inner.lock().expect("tracer lock").metrics.gauge_set(name, label, v);
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&self, name: &str, label: &str, v: u64) {
+        self.inner.lock().expect("tracer lock").metrics.observe(name, label, v);
+    }
+
+    /// Simulated clock observed so far (device time + waits, µs).
+    pub fn clock_us(&self) -> f64 {
+        self.inner.lock().expect("tracer lock").clock_us
+    }
+
+    /// Snapshots the whole trace for export.
+    pub fn report(&self) -> TraceReport {
+        let inner = self.inner.lock().expect("tracer lock");
+        let root = inner.export_node(0);
+        let totals = root.total();
+        TraceReport {
+            root,
+            events: inner.events.iter().cloned().collect(),
+            dropped_events: inner.dropped_events,
+            totals,
+            counters: inner
+                .metrics
+                .counters()
+                .map(|((n, l), v)| (n.clone(), l.clone(), *v))
+                .collect(),
+            gauges: inner.metrics.gauges().map(|((n, l), v)| (n.clone(), l.clone(), *v)).collect(),
+            histograms: inner
+                .metrics
+                .histograms()
+                .map(|((n, l), h)| (n.clone(), l.clone(), h.clone()))
+                .collect(),
+        }
+    }
+
+    fn exit_span(&self, node: usize) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        // Pop until the guard's own span is closed; tolerates guards
+        // dropped out of order instead of corrupting the stack.
+        while let Some(top) = inner.stack.pop() {
+            let path = inner.path_of(top);
+            inner.push_event(path, TraceEventKind::SpanEnd);
+            if top == node {
+                break;
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn find_or_create_child(&mut self, parent: usize, name: &str) -> usize {
+        if let Some(&c) = self.nodes[parent].children.iter().find(|&&c| self.nodes[c].name == name)
+        {
+            return c;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node::new(name.to_owned(), parent));
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    fn path_of(&self, mut node: usize) -> String {
+        let mut parts = vec![self.nodes[node].name.as_str()];
+        while node != 0 {
+            node = self.nodes[node].parent;
+            parts.push(self.nodes[node].name.as_str());
+        }
+        parts.reverse();
+        parts.join(";")
+    }
+
+    fn current_path(&self) -> String {
+        self.path_of(self.stack.last().copied().unwrap_or(0))
+    }
+
+    fn push_event(&mut self, path: String, kind: TraceEventKind) {
+        if self.events.len() >= self.cfg.event_capacity {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push_back(TraceEvent { seq, t_us: self.clock_us, path, kind });
+    }
+
+    fn top_node(&mut self) -> &mut Node {
+        let id = self.stack.last().copied().unwrap_or(0);
+        &mut self.nodes[id]
+    }
+
+    fn export_node(&self, id: usize) -> SpanNode {
+        let n = &self.nodes[id];
+        SpanNode {
+            name: n.name.clone(),
+            count: n.count,
+            meter: MeterSnapshot::from_parts(
+                n.ops,
+                n.faults,
+                n.self_device_us,
+                n.self_wait_us,
+                n.self_energy_uj,
+            ),
+            children: n.children.iter().map(|&c| self.export_node(c)).collect(),
+        }
+    }
+}
+
+impl Recorder for Tracer {
+    fn record_op(&self, kind: OpKind, device_us: f64, energy_uj: f64) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.clock_us += device_us;
+        {
+            let node = inner.top_node();
+            node.ops[MeterSnapshot::op_index(kind)] += 1;
+            node.self_device_us += device_us;
+            node.self_energy_uj += energy_uj;
+        }
+        inner.metrics.counter_add("chip_op", &kind.to_string(), 1);
+        let path = inner.current_path();
+        inner.push_event(path, TraceEventKind::Op { kind, device_us, energy_uj });
+    }
+
+    fn record_fault(&self, kind: FaultKind) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.top_node().faults[MeterSnapshot::fault_index(kind)] += 1;
+        inner.metrics.counter_add("fault", &kind.to_string(), 1);
+        let path = inner.current_path();
+        inner.push_event(path, TraceEventKind::Fault { kind });
+    }
+
+    fn record_wait(&self, wait_us: f64) {
+        let mut inner = self.inner.lock().expect("tracer lock");
+        inner.clock_us += wait_us;
+        inner.top_node().self_wait_us += wait_us;
+        let path = inner.current_path();
+        inner.push_event(path, TraceEventKind::Wait { wait_us });
+    }
+}
+
+/// Closes its span when dropped. Keep it alive for the span's extent:
+/// `let _span = tracer.span("scrub");`.
+#[must_use = "a span guard closes its span when dropped; bind it with `let`"]
+pub struct SpanGuard {
+    tracer: Arc<Tracer>,
+    node: usize,
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanGuard").field("node", &self.node).finish()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.exit_span(self.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_aggregate_by_name() {
+        let t = Tracer::shared();
+        for _ in 0..3 {
+            let _a = t.span("encode_page");
+            for _ in 0..2 {
+                let _b = t.span("pp_step");
+                t.record_op(OpKind::PartialProgram, 600.0, 60.0);
+            }
+            t.record_op(OpKind::Read, 90.0, 50.0);
+        }
+        let r = t.report();
+        assert_eq!(r.root.children.len(), 1);
+        let enc = &r.root.children[0];
+        assert_eq!(enc.name, "encode_page");
+        assert_eq!(enc.count, 3);
+        assert_eq!(enc.children.len(), 1);
+        let pp = &enc.children[0];
+        assert_eq!(pp.count, 6);
+        assert_eq!(pp.meter.count(OpKind::PartialProgram), 6);
+        // The read was issued while encode_page was innermost.
+        assert_eq!(enc.meter.count(OpKind::Read), 3);
+        assert!((enc.total().device_time_us - (6.0 * 600.0 + 3.0 * 90.0)).abs() < 1e-9);
+        assert_eq!(r.totals.total_ops(), 9);
+    }
+
+    #[test]
+    fn ops_outside_spans_land_on_root_self() {
+        let t = Tracer::shared();
+        t.record_op(OpKind::Erase, 5000.0, 190.0);
+        let r = t.report();
+        assert_eq!(r.root.meter.count(OpKind::Erase), 1);
+        assert!((r.totals.device_time_us - 5000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_tracks_device_time_and_waits() {
+        let t = Tracer::shared();
+        t.record_op(OpKind::Read, 90.0, 50.0);
+        t.record_wait(50.0);
+        assert!((t.clock_us() - 140.0).abs() < 1e-9);
+        let r = t.report();
+        assert!((r.totals.wait_time_us - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_events_count_and_label() {
+        let t = Tracer::shared();
+        {
+            let _s = t.span("erase");
+            t.record_fault(FaultKind::TransientErase);
+        }
+        let r = t.report();
+        assert_eq!(r.root.children[0].meter.fault_count(FaultKind::TransientErase), 1);
+        assert!(r
+            .counters
+            .iter()
+            .any(|(n, l, v)| n == "fault" && l == "transient-erase" && *v == 1));
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_counts_drops() {
+        let t = Arc::new(Tracer::new(TraceConfig { event_capacity: 4 }));
+        for _ in 0..10 {
+            t.record_op(OpKind::Read, 90.0, 50.0);
+        }
+        let r = t.report();
+        assert_eq!(r.events.len(), 4);
+        assert_eq!(r.dropped_events, 6);
+        // Oldest retained event is #6; aggregates never drop.
+        assert_eq!(r.events[0].seq, 6);
+        assert_eq!(r.totals.count(OpKind::Read), 10);
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_recovers() {
+        let t = Tracer::shared();
+        let outer = t.span("outer");
+        let inner = t.span("inner");
+        drop(outer); // drops inner's frame too
+        drop(inner); // must not pop anything else
+        let _next = t.span("next");
+        let r = t.report();
+        let names: Vec<_> = r.root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["outer", "next"], "next nests under root, not under inner");
+    }
+
+    #[test]
+    fn span_events_record_paths_and_labels() {
+        let t = Tracer::shared();
+        {
+            let _s = t.span_labeled("encode_page", "page=7".to_owned());
+        }
+        let r = t.report();
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[0].path, "root;encode_page");
+        assert!(matches!(
+            &r.events[0].kind,
+            TraceEventKind::SpanStart { label: Some(l) } if l == "page=7"
+        ));
+        assert!(matches!(r.events[1].kind, TraceEventKind::SpanEnd));
+    }
+
+    #[test]
+    fn report_totals_equal_root_total() {
+        let t = Tracer::shared();
+        {
+            let _s = t.span("a");
+            t.record_op(OpKind::Program, 1200.0, 68.0);
+        }
+        t.record_op(OpKind::Read, 90.0, 50.0);
+        let r = t.report();
+        assert_eq!(r.totals, r.root.total());
+    }
+}

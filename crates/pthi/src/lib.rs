@@ -169,8 +169,7 @@ impl<'c> PthiHider<'c> {
         if needed > cpp {
             return Err(PthiError::InsufficientCells { needed, available: cpp });
         }
-        let stream = u64::from(page.block.0)
-            * u64::from(self.chip.geometry().pages_per_block)
+        let stream = u64::from(page.block.0) * u64::from(self.chip.geometry().pages_per_block)
             + u64::from(page.page);
         let mut prng = SelectionPrng::new(&self.key, stream);
         let cells = prng.choose_distinct(needed, cpp);

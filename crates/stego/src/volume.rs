@@ -3,8 +3,10 @@
 use stash_crypto::{HidingKey, SelectionPrng};
 use stash_flash::{BitPattern, BlockId};
 use stash_ftl::{Ftl, FtlError, Migration};
+use stash_obs::{span, Tracer};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use vthi::{HideError, Hider, RetryPolicy, SelectionMode, VthiConfig};
 
 /// Stream id (PRNG namespace) for the slot → LPN placement permutation.
@@ -27,11 +29,7 @@ impl StegoConfig {
     /// A sensible default for a given chip geometry: scaled VT-HI, parity
     /// groups of 4, immediate embedding.
     pub fn for_geometry(geometry: &stash_flash::Geometry) -> Self {
-        StegoConfig {
-            vthi: VthiConfig::scaled_for(geometry),
-            parity_group: 4,
-            piggyback: false,
-        }
+        StegoConfig { vthi: VthiConfig::scaled_for(geometry), parity_group: 4, piggyback: false }
     }
 
     /// Hidden bytes per slot.
@@ -152,6 +150,7 @@ pub struct HiddenVolume {
     lost_capacity: usize,
     /// Per-slot write-off flags, so capacity shrinks once per slot.
     written_off: Vec<bool>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl HiddenVolume {
@@ -174,6 +173,9 @@ impl HiddenVolume {
         }
         let slot_lpn = Self::derive_placement(&key, capacity, total);
         let lpn_slot = slot_lpn.iter().enumerate().map(|(s, &l)| (l, s)).collect();
+        // Inherit a tracer already attached to the FTL, so a remount over
+        // a traced FTL is traced from the first decode.
+        let tracer = ftl.tracer().cloned();
         Ok(HiddenVolume {
             ftl,
             key,
@@ -185,7 +187,21 @@ impl HiddenVolume {
             dirty: vec![false; total],
             lost_capacity: 0,
             written_off: vec![false; total],
+            tracer,
         })
+    }
+
+    /// Attaches (or detaches, with `None`) a tracer to the whole stack:
+    /// the volume's scrub/embed/decode phases, the FTL's GC phases and the
+    /// chip's per-op recorder all report to it.
+    pub fn attach_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.ftl.attach_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The tracer attached via [`attach_tracer`](Self::attach_tracer).
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// Re-mounts an existing volume: re-derives slot placement from the key
@@ -203,6 +219,7 @@ impl HiddenVolume {
         slots: usize,
     ) -> Result<(Self, RecoveryReport), StegoError> {
         let mut vol = Self::format(ftl, key, cfg, slots)?;
+        let _mount = span!(vol.tracer, "remount");
         let mut report = RecoveryReport::default();
         let total = vol.cache.len();
         let mut failed: Vec<usize> = Vec::new();
@@ -310,10 +327,7 @@ impl HiddenVolume {
 
     fn derive_placement(key: &HidingKey, capacity: u64, total: usize) -> Vec<u64> {
         let mut prng = SelectionPrng::new(key, PLACEMENT_STREAM);
-        prng.choose_distinct(total, capacity as usize)
-            .into_iter()
-            .map(|v| v as u64)
-            .collect()
+        prng.choose_distinct(total, capacity as usize).into_iter().map(|v| v as u64).collect()
     }
 
     /// Data slots visible to the user.
@@ -354,7 +368,10 @@ impl HiddenVolume {
     /// # Errors
     ///
     /// Returns [`StegoError::SlotOutOfRange`] for an invalid slot index.
-    pub fn slot_location(&self, data_slot: usize) -> Result<Option<stash_flash::PageId>, StegoError> {
+    pub fn slot_location(
+        &self,
+        data_slot: usize,
+    ) -> Result<Option<stash_flash::PageId>, StegoError> {
         if data_slot >= self.data_slot_count() {
             return Err(StegoError::SlotOutOfRange {
                 slot: data_slot,
@@ -502,14 +519,15 @@ impl HiddenVolume {
     /// Fails on FTL/flash errors only; per-slot decode failures are
     /// accounted in the report, not fatal.
     pub fn scrub(&mut self, refresh_threshold: usize) -> Result<RecoveryReport, StegoError> {
+        let _scrub = span!(self.tracer, "scrub");
         let mut report = RecoveryReport::default();
 
         // Pass 1: get hidden data off grown-bad blocks while it still reads.
+        let _evac_pass = span!(self.tracer, "scrub_evacuate");
         let mut bad_blocks: Vec<BlockId> = Vec::new();
         for slot in 0..self.cache.len() {
             if let Some(page) = self.ftl.physical_of(self.slot_lpn[slot]) {
-                let grown =
-                    self.ftl.chip().is_grown_bad(page.block).map_err(HideError::from)?;
+                let grown = self.ftl.chip().is_grown_bad(page.block).map_err(HideError::from)?;
                 if grown && !bad_blocks.contains(&page.block) {
                     bad_blocks.push(page.block);
                 }
@@ -517,12 +535,13 @@ impl HiddenVolume {
         }
         for block in bad_blocks {
             let moves = self.ftl.evacuate_block(block)?;
-            report.migrated +=
-                moves.iter().filter(|m| self.lpn_slot.contains_key(&m.lpn)).count();
+            report.migrated += moves.iter().filter(|m| self.lpn_slot.contains_key(&m.lpn)).count();
             self.reembed_after_migrations(&moves)?;
         }
+        drop(_evac_pass);
 
         // Pass 2: health-read every slot; refresh the ones going stale.
+        let _health_pass = span!(self.tracer, "scrub_health");
         for slot in 0..self.cache.len() {
             if self.ftl.physical_of(self.slot_lpn[slot]).is_none() {
                 report.empty += 1;
@@ -556,6 +575,15 @@ impl HiddenVolume {
                 Err(e) => return Err(e),
             }
         }
+        drop(_health_pass);
+        if let Some(t) = &self.tracer {
+            t.counter_add("scrub_runs", "", 1);
+            t.counter_add("scrub_migrations", "", report.migrated as u64);
+            t.counter_add("scrub_refreshes", "", report.refreshed as u64);
+            t.counter_add("scrub_reconstructed", "", report.reconstructed as u64);
+            t.counter_add("scrub_lost", "", report.lost as u64);
+            t.gauge_set("lost_capacity_slots", "", self.lost_capacity as f64);
+        }
         Ok(report)
     }
 
@@ -564,6 +592,7 @@ impl HiddenVolume {
     /// Rewrites a slot's public page (getting fresh cells to charge) and
     /// re-embeds its cached payload.
     fn refresh_slot(&mut self, slot: usize) -> Result<(), StegoError> {
+        let _refresh = span!(self.tracer, "refresh_slot", "slot={slot}");
         let lpn = self.slot_lpn[slot];
         let public = self.ftl.read(lpn)?.ok_or(StegoError::UnbackedSlot { lpn })?;
         let report = self.ftl.write(lpn, &public)?;
@@ -623,10 +652,8 @@ impl HiddenVolume {
 
     /// Re-embeds cached slots whose backing pages were migrated by GC.
     fn reembed_after_migrations(&mut self, migrations: &[Migration]) -> Result<(), StegoError> {
-        let mut affected: Vec<usize> = migrations
-            .iter()
-            .filter_map(|m| self.lpn_slot.get(&m.lpn).copied())
-            .collect();
+        let mut affected: Vec<usize> =
+            migrations.iter().filter_map(|m| self.lpn_slot.get(&m.lpn).copied()).collect();
         affected.sort_unstable();
         affected.dedup();
         for slot in affected {
@@ -639,18 +666,19 @@ impl HiddenVolume {
 
     /// Charges one slot's payload into its current physical page.
     fn embed_slot(&mut self, slot: usize) -> Result<(), StegoError> {
+        let _embed = span!(self.tracer, "embed_slot", "slot={slot}");
         let lpn = self.slot_lpn[slot];
         let Some(page) = self.ftl.physical_of(lpn) else {
             return Err(StegoError::UnbackedSlot { lpn });
         };
         let payload = self.cache[slot].clone().expect("caller checked");
-        let public = self
-            .ftl
-            .chip_mut()
-            .read_page(page)
-            .map_err(HideError::from)?;
+        let public = {
+            let _cover = span!(self.tracer, "cover_read");
+            self.ftl.chip_mut().read_page(page).map_err(HideError::from)?
+        };
         let key = self.key.clone();
         let cfg = self.cfg.vthi.clone();
+        let tracer = self.tracer.clone();
         // Absolute selection: the volume has no ECC-exact copy of the
         // public bits (the paper assumes the public path is ECC-protected),
         // so it uses the read-error-tolerant selection variant.
@@ -658,7 +686,8 @@ impl HiddenVolume {
         // faults during the charge passes.
         let mut hider = Hider::new(self.ftl.chip_mut(), key, cfg)
             .with_selection_mode(SelectionMode::Absolute)
-            .with_retry_policy(RetryPolicy::standard());
+            .with_retry_policy(RetryPolicy::standard())
+            .with_tracer(tracer);
         hider.hide_in_programmed_page(page, &public, &payload, false)?;
         Ok(())
     }
@@ -675,19 +704,25 @@ impl HiddenVolume {
         &mut self,
         slot: usize,
     ) -> Result<Option<(Vec<u8>, usize)>, StegoError> {
+        let _decode = span!(self.tracer, "decode_slot", "slot={slot}");
         let lpn = self.slot_lpn[slot];
         let Some(page) = self.ftl.physical_of(lpn) else {
             return Ok(None);
         };
         let key = self.key.clone();
         let cfg = self.cfg.vthi.clone();
+        let tracer = self.tracer.clone();
         let mut hider = Hider::new(self.ftl.chip_mut(), key, cfg)
             .with_selection_mode(SelectionMode::Absolute)
-            .with_retry_policy(RetryPolicy::standard());
+            .with_retry_policy(RetryPolicy::standard())
+            .with_tracer(tracer);
         // The shifted read serves the emptiness heuristic first. A written
         // slot has ≈half its hidden cells charged above Vth; an untouched
         // page has only the natural ~1-2% there.
-        let bits = hider.read_hidden_bits(page, None)?;
+        let bits = {
+            let _probe = span!(self.tracer, "probe_read");
+            hider.read_hidden_bits(page, None)?
+        };
         let above = bits.iter().filter(|&&b| !b).count();
         if above * 10 < bits.len() {
             return Ok(None);
@@ -755,17 +790,14 @@ mod tests {
         {
             let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 6).unwrap();
             let cap = vol.ftl().capacity_pages();
-        fill_public(&mut vol, cap, 11);
-            secrets = (0..4u8)
-                .map(|i| vec![i.wrapping_mul(17); vol.slot_bytes()])
-                .collect();
+            fill_public(&mut vol, cap, 11);
+            secrets = (0..4u8).map(|i| vec![i.wrapping_mul(17); vol.slot_bytes()]).collect();
             for (i, s) in secrets.iter().enumerate() {
                 vol.write_hidden(i, s).unwrap();
             }
             ftl_back = vol.unmount();
         }
-        let (mut vol, report) =
-            HiddenVolume::remount(ftl_back, key(), cfg, 6).unwrap();
+        let (mut vol, report) = HiddenVolume::remount(ftl_back, key(), cfg, 6).unwrap();
         assert_eq!(report.lost, 0, "nothing should be lost: {report:?}");
         assert!(report.recovered >= 4);
         for (i, s) in secrets.iter().enumerate() {
@@ -812,8 +844,7 @@ mod tests {
         let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 3).unwrap();
         let cap = vol.ftl().capacity_pages();
         fill_public(&mut vol, cap, 14);
-        let secrets: Vec<Vec<u8>> =
-            (0..3u8).map(|i| vec![i + 1; vol.slot_bytes()]).collect();
+        let secrets: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i + 1; vol.slot_bytes()]).collect();
         for (i, s) in secrets.iter().enumerate() {
             vol.write_hidden(i, s).unwrap();
         }
@@ -859,21 +890,12 @@ mod tests {
         let ftl = make_ftl(6);
         let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
         let mut vol = HiddenVolume::format(ftl, key(), cfg, 2).unwrap();
-        assert!(matches!(
-            vol.write_hidden(5, &[]),
-            Err(StegoError::SlotOutOfRange { .. })
-        ));
+        assert!(matches!(vol.write_hidden(5, &[]), Err(StegoError::SlotOutOfRange { .. })));
         let wrong = vec![0u8; vol.slot_bytes() + 1];
-        assert!(matches!(
-            vol.write_hidden(0, &wrong),
-            Err(StegoError::PayloadLength { .. })
-        ));
+        assert!(matches!(vol.write_hidden(0, &wrong), Err(StegoError::PayloadLength { .. })));
         // Unbacked public page.
         let secret = vec![0u8; vol.slot_bytes()];
-        assert!(matches!(
-            vol.write_hidden(0, &secret),
-            Err(StegoError::UnbackedSlot { .. })
-        ));
+        assert!(matches!(vol.write_hidden(0, &secret), Err(StegoError::UnbackedSlot { .. })));
     }
 
     #[test]
@@ -982,8 +1004,7 @@ mod tests {
     fn placement_is_key_dependent() {
         let a = HiddenVolume::derive_placement(&key(), 1024, 16);
         let b = HiddenVolume::derive_placement(&key(), 1024, 16);
-        let c =
-            HiddenVolume::derive_placement(&HidingKey::from_passphrase("other"), 1024, 16);
+        let c = HiddenVolume::derive_placement(&HidingKey::from_passphrase("other"), 1024, 16);
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -154,10 +154,8 @@ mod tests {
     #[test]
     fn perfect_classifier_metrics() {
         let data = separable();
-        let model = Svm::train(
-            &data,
-            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
-        );
+        let model =
+            Svm::train(&data, &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() });
         let cm = ConfusionMatrix::evaluate(&model, &data);
         assert_eq!(cm.total(), 40);
         assert!(cm.accuracy() > 0.97);
@@ -190,10 +188,8 @@ mod tests {
     #[test]
     fn counts_are_consistent() {
         let data = separable();
-        let model = Svm::train(
-            &data,
-            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
-        );
+        let model =
+            Svm::train(&data, &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() });
         let cm = ConfusionMatrix::evaluate(&model, &data);
         assert_eq!(
             cm.true_positives + cm.false_negatives,

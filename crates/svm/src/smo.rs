@@ -268,10 +268,8 @@ mod tests {
     #[test]
     fn linear_kernel_separates() {
         let data = linear_separable(40, 0.5, 1);
-        let model = Svm::train(
-            &data,
-            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
-        );
+        let model =
+            Svm::train(&data, &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() });
         assert!(model.accuracy(&data) > 0.97, "train accuracy {}", model.accuracy(&data));
         assert_eq!(model.predict(&[0.0, 2.0]), 1);
         assert_eq!(model.predict(&[0.0, -2.0]), -1);
@@ -325,8 +323,7 @@ mod tests {
     #[test]
     fn decision_sign_matches_predict() {
         let data = linear_separable(20, 0.5, 3);
-        let model =
-            Svm::train(&data, &SvmParams { kernel: Kernel::Linear, ..Default::default() });
+        let model = Svm::train(&data, &SvmParams { kernel: Kernel::Linear, ..Default::default() });
         for f in data.features() {
             assert_eq!(model.predict(f), if model.decision(f) >= 0.0 { 1 } else { -1 });
         }
@@ -335,10 +332,8 @@ mod tests {
     #[test]
     fn support_vectors_are_sparse_with_wide_margin() {
         let data = linear_separable(50, 1.0, 7);
-        let model = Svm::train(
-            &data,
-            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
-        );
+        let model =
+            Svm::train(&data, &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() });
         assert!(
             model.n_support_vectors() < data.len() / 2,
             "{} SVs of {} points",
@@ -359,10 +354,8 @@ mod tests {
     #[test]
     fn linear_weights_recover_decision() {
         let data = linear_separable(30, 0.6, 11);
-        let model = Svm::train(
-            &data,
-            &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() },
-        );
+        let model =
+            Svm::train(&data, &SvmParams { kernel: Kernel::Linear, c: 10.0, ..Default::default() });
         let w = model.linear_weights().expect("linear kernel");
         for f in data.features() {
             let by_weights: f64 =

@@ -38,8 +38,7 @@ fn prepare_block(
         let data = BitPattern::random_half(rng, cpp);
         let page = PageId::new(block, p);
         if hide && p % stride == 0 {
-            let payload: Vec<u8> =
-                (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+            let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
             hider.hide_on_fresh_page(page, &data, &payload).unwrap();
         } else {
             hider.chip_mut().program_page(page, &data).unwrap();
@@ -76,9 +75,15 @@ fn main() {
     let blocks = 10;
     println!("SVM adversary vs VT-HI ({blocks} blocks/class/chip, 3-fold CV, grid search)\n");
     let same = experiment(1000, 1000, blocks);
-    println!("matched wear   (normal PEC 1000 vs hidden PEC 1000): {:>5.1}% accuracy", same * 100.0);
+    println!(
+        "matched wear   (normal PEC 1000 vs hidden PEC 1000): {:>5.1}% accuracy",
+        same * 100.0
+    );
     let close = experiment(1000, 1200, blocks);
-    println!("±200 cycles    (normal PEC 1000 vs hidden PEC 1200): {:>5.1}% accuracy", close * 100.0);
+    println!(
+        "±200 cycles    (normal PEC 1000 vs hidden PEC 1200): {:>5.1}% accuracy",
+        close * 100.0
+    );
     let far = experiment(0, 2000, blocks);
     println!("gross mismatch (normal PEC    0 vs hidden PEC 2000): {:>5.1}% accuracy", far * 100.0);
     println!(

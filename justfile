@@ -6,6 +6,12 @@ verify:
     cargo test -q
     cargo clippy --all-targets -- -D warnings
 
+# The CI gate: formatting, workspace-wide lints, full test suite.
+ci:
+    cargo fmt --check
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo test -q
+
 # Fast edit loop: tier-1 integration suites only (root package).
 test:
     cargo test -q

@@ -49,8 +49,8 @@
 
 pub use pthi;
 pub use stash_crypto as crypto;
-pub use stash_fingerprint as fingerprint;
 pub use stash_ecc as ecc;
+pub use stash_fingerprint as fingerprint;
 pub use stash_flash as flash;
 pub use stash_ftl as ftl;
 pub use stash_stego as stego;

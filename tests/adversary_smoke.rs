@@ -30,8 +30,7 @@ fn block_features(
         let data = BitPattern::random_half(rng, cpp);
         let page = PageId::new(block, p);
         if hide && p % stride == 0 {
-            let payload: Vec<u8> =
-                (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+            let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
             hider.hide_on_fresh_page(page, &data, &payload).unwrap();
         } else {
             hider.chip_mut().program_page(page, &data).unwrap();

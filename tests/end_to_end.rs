@@ -33,8 +33,7 @@ fn hide_age_recover_with_ecc() {
     let mut stored = Vec::new();
     for i in 0..8u32 {
         let page = PageId::new(block, i * cfg.page_stride());
-        let public =
-            BitPattern::random_half(&mut rng, hider.chip().geometry().cells_per_page());
+        let public = BitPattern::random_half(&mut rng, hider.chip().geometry().cells_per_page());
         let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
         hider.hide_on_fresh_page(page, &public, &payload).unwrap();
         stored.push((page, public, payload));
@@ -54,8 +53,11 @@ fn works_on_both_vendors() {
     for (name, mut profile) in
         [("vendor-A", ChipProfile::vendor_a()), ("vendor-B", ChipProfile::vendor_b())]
     {
-        profile.geometry =
-            Geometry { blocks_per_chip: 4, pages_per_block: 8, page_bytes: profile.geometry.page_bytes };
+        profile.geometry = Geometry {
+            blocks_per_chip: 4,
+            pages_per_block: 8,
+            page_bytes: profile.geometry.page_bytes,
+        };
         let mut chip = Chip::new(profile, 0xAB);
         let key = HidingKey::from_passphrase("portable");
         let cfg = VthiConfig::paper_default();
@@ -67,8 +69,7 @@ fn works_on_both_vendors() {
         fill_other_pages(hider.chip_mut(), block, cfg.page_stride(), &mut rng);
 
         let page = PageId::new(block, 0);
-        let public =
-            BitPattern::random_half(&mut rng, hider.chip().geometry().cells_per_page());
+        let public = BitPattern::random_half(&mut rng, hider.chip().geometry().cells_per_page());
         let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
         hider.hide_on_fresh_page(page, &public, &payload).unwrap();
         assert_eq!(hider.reveal_page(page, Some(&public)).unwrap(), payload, "{name}");
@@ -94,11 +95,7 @@ fn public_path_needs_no_key_and_stays_clean() {
     // The normal user — no key anywhere in scope — reads the page.
     let read = chip.read_page(page).unwrap();
     let errors = read.hamming_distance(&public);
-    assert!(
-        errors <= public.len() / 2000,
-        "{errors} public bit errors in {} bits",
-        public.len()
-    );
+    assert!(errors <= public.len() / 2000, "{errors} public bit errors in {} bits", public.len());
 }
 
 #[test]

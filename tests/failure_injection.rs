@@ -37,9 +37,7 @@ fn hiding_on_bad_block_fails_typed() {
     let public = BitPattern::ones(chip.geometry().cells_per_page());
     let payload = vec![0u8; cfg.payload_bytes_per_page()];
     let mut hider = Hider::new(&mut chip, key, cfg);
-    let err = hider
-        .hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload)
-        .unwrap_err();
+    let err = hider.hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload).unwrap_err();
     assert_eq!(err, HideError::Flash(FlashError::BadBlock(BlockId(0))));
 }
 
@@ -102,13 +100,9 @@ fn truncated_and_oversized_payloads_rejected() {
     let mut hider = Hider::new(&mut chip, key, cfg.clone());
     for bad_len in [0usize, 1, cfg.payload_bytes_per_page() + 1] {
         let payload = vec![0u8; bad_len];
-        let err = hider
-            .hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload)
-            .unwrap_err();
-        assert!(
-            matches!(err, HideError::PayloadLength { .. }),
-            "len {bad_len}: got {err:?}"
-        );
+        let err =
+            hider.hide_on_fresh_page(PageId::new(BlockId(0), 0), &public, &payload).unwrap_err();
+        assert!(matches!(err, HideError::PayloadLength { .. }), "len {bad_len}: got {err:?}");
     }
 }
 
@@ -125,9 +119,8 @@ fn zero_capacity_config_rejected_before_touching_flash() {
     chip.erase_block(BlockId(0)).unwrap();
     chip.program_page(PageId::new(BlockId(0), 0), &public).unwrap();
     let mut hider = Hider::new(&mut chip, key, cfg);
-    let err = hider
-        .hide_in_programmed_page(PageId::new(BlockId(0), 0), &public, &[], false)
-        .unwrap_err();
+    let err =
+        hider.hide_in_programmed_page(PageId::new(BlockId(0), 0), &public, &[], false).unwrap_err();
     assert!(matches!(err, HideError::InvalidConfig(_)));
 }
 
@@ -151,19 +144,14 @@ fn erase_and_grown_bad_failures_are_typed_through_the_stack() {
     assert_eq!(chip.erase_block(BlockId(1)).unwrap_err(), FlashError::EraseFail(BlockId(1)));
     chip.set_fault_plan(FaultPlan::none());
     chip.grow_bad_block(BlockId(1)).unwrap();
-    assert_eq!(
-        chip.erase_block(BlockId(1)).unwrap_err(),
-        FlashError::GrownBadBlock(BlockId(1))
-    );
+    assert_eq!(chip.erase_block(BlockId(1)).unwrap_err(), FlashError::GrownBadBlock(BlockId(1)));
     // Through the hiding layer the same failure arrives typed, not mangled.
     let cfg = small_cfg();
     let key = HidingKey::new([8; 32]);
     let public = BitPattern::ones(chip.geometry().cells_per_page());
     let payload = vec![0u8; cfg.payload_bytes_per_page()];
     let mut hider = Hider::new(&mut chip, key, cfg);
-    let err = hider
-        .hide_on_fresh_page(PageId::new(BlockId(1), 0), &public, &payload)
-        .unwrap_err();
+    let err = hider.hide_on_fresh_page(PageId::new(BlockId(1), 0), &public, &payload).unwrap_err();
     assert_eq!(err, HideError::Flash(FlashError::GrownBadBlock(BlockId(1))));
 }
 
@@ -181,8 +169,7 @@ fn transient_faults_do_not_corrupt_public_data() {
     let public = BitPattern::random_half(&mut rng, chip.geometry().cells_per_page());
     let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
     let page = PageId::new(BlockId(0), 0);
-    let mut hider =
-        Hider::new(&mut chip, key, cfg).with_retry_policy(RetryPolicy::standard());
+    let mut hider = Hider::new(&mut chip, key, cfg).with_retry_policy(RetryPolicy::standard());
     hider.hide_on_fresh_page(page, &public, &payload).unwrap();
     assert!(hider.chip().meter().total_faults() > 0, "faults should have fired");
 

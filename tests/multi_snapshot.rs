@@ -72,10 +72,7 @@ fn eager_hidden_write_between_snapshots_leaves_telltale() {
     vol.write_hidden(0, &secret).unwrap();
     let snap2 = snapshot_via(&mut vol);
     let changed = changed_pages(&snap1, &snap2);
-    assert!(
-        !changed.is_empty(),
-        "an eager hidden write must be visible to a snapshot differ"
-    );
+    assert!(!changed.is_empty(), "an eager hidden write must be visible to a snapshot differ");
 }
 
 #[test]

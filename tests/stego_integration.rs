@@ -33,8 +33,7 @@ fn make_volume(seed: u64, slots: usize) -> HiddenVolume {
 #[test]
 fn full_lifecycle_write_churn_remount_read() {
     let mut vol = make_volume(1, 6);
-    let secrets: Vec<Vec<u8>> =
-        (0..6u8).map(|i| vec![i * 3 + 1; vol.slot_bytes()]).collect();
+    let secrets: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i * 3 + 1; vol.slot_bytes()]).collect();
     for (i, s) in secrets.iter().enumerate() {
         vol.write_hidden(i, s).unwrap();
     }
