@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{rngs::SmallRng, SeedableRng};
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, PageId};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, Histogram, PageId};
 use std::hint::black_box;
 
 fn chip() -> Chip {
@@ -41,6 +41,15 @@ fn flash_ops(c: &mut Criterion) {
         b.iter(|| black_box(chip.read_page(PageId::new(BlockId(0), 0)).unwrap()));
     });
 
+    group.bench_function("read_page_shifted", |b| {
+        let mut chip = chip();
+        let cpp = chip.geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
+        b.iter(|| black_box(chip.read_page_shifted(PageId::new(BlockId(0), 0), 40).unwrap()));
+    });
+
     group.bench_function("probe_voltages", |b| {
         let mut chip = chip();
         let cpp = chip.geometry().cells_per_page();
@@ -48,6 +57,29 @@ fn flash_ops(c: &mut Criterion) {
         chip.erase_block(BlockId(0)).unwrap();
         chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
         b.iter(|| black_box(chip.probe_voltages(PageId::new(BlockId(0), 0)).unwrap()));
+    });
+
+    // The allocation-free probe used by the block-feature hot path: one
+    // buffer reused across all iterations, feeding the batched histogram.
+    group.bench_function("probe_voltages_into_histogram", |b| {
+        let mut chip = chip();
+        let cpp = chip.geometry().cells_per_page();
+        let data = BitPattern::random_half(&mut rng, cpp);
+        chip.erase_block(BlockId(0)).unwrap();
+        chip.program_page(PageId::new(BlockId(0), 0), &data).unwrap();
+        let mut levels = Vec::new();
+        b.iter(|| {
+            let mut h = Histogram::new();
+            chip.probe_voltages_into(PageId::new(BlockId(0), 0), &mut levels).unwrap();
+            h.add_levels(&levels);
+            black_box(h.total())
+        });
+    });
+
+    group.bench_function("bitpattern_hamming_18k", |b| {
+        let a = BitPattern::random_half(&mut rng, 18048 * 8);
+        let bpat = BitPattern::random_half(&mut rng, 18048 * 8);
+        b.iter(|| black_box(a.hamming_distance(&bpat)));
     });
 
     group.bench_function("partial_program_256_cells", |b| {

@@ -1,0 +1,48 @@
+//! CI smoke checker for bench artifacts: each argument must be a
+//! `BENCH_*.json` file that parses with the in-tree JSON parser and
+//! carries the schema the harness promises (`bench`, `threads`,
+//! `wall_ms`, and a `deterministic` object). Exits non-zero otherwise.
+
+use stash_obs::json::{self, JsonValue};
+
+fn check(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let parsed = json::parse(&raw).map_err(|e| format!("parse: {e}"))?;
+    let JsonValue::Obj(fields) = parsed else {
+        return Err("not a JSON object".into());
+    };
+    for key in ["bench", "threads", "wall_ms", "deterministic"] {
+        if !fields.contains_key(key) {
+            return Err(format!("missing field {key:?}"));
+        }
+    }
+    if !matches!(fields.get("deterministic"), Some(JsonValue::Obj(_))) {
+        return Err("field \"deterministic\" is not an object".into());
+    }
+    match fields.get("wall_ms") {
+        Some(JsonValue::Num(n)) if *n >= 0.0 => {}
+        _ => return Err("field \"wall_ms\" is not a non-negative number".into()),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bench_check <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match check(path) {
+            Ok(()) => println!("ok {path}"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,12 @@
 //! The recovery pipeline — bounded retries with backoff, the `Vth` read
 //! sweep, the scrubber's refresh/migrate passes and FTL block retirement —
 //! must hold byte survival at ≥ 99.9% through the 1% fault point.
+//!
+//! Each fault rate is one `stash-par` work item (own chip, FTL, volume and
+//! tracer, all derived from the rate's seed); TSV and JSON rows are
+//! collected in rate order, so output is byte-identical for any
+//! `STASH_THREADS`. Wall time and thread count live at the top level of the
+//! JSON, outside the `deterministic` object that holds the `rates` series.
 
 use rand::Rng;
 use stash_bench::{f, header, rng, row, write_trace_artifacts};
@@ -32,7 +38,117 @@ fn key() -> stash_crypto::HidingKey {
     stash_crypto::HidingKey::from_passphrase("chaos sweep")
 }
 
+/// One full chaos run at a single fault rate: returns the TSV cells and the
+/// JSON row for that rate.
+fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
+    let seed = 9000 + i as u64;
+    let plan = FaultPlan::new(seed)
+        .with_program_fail(rate)
+        .with_partial_program_fail(rate)
+        .with_erase_fail(rate)
+        .schedule_grown_bad(BlockId(5), GROWN_BAD_AT_OP);
+    let chip = Chip::with_faults(volume_profile(), seed, plan);
+    let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
+    let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+    let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), SLOTS).unwrap();
+    let tracer = Tracer::shared();
+    vol.attach_tracer(Some(tracer.clone()));
+
+    // Public fill, hidden payloads, then GC churn — all under faults.
+    let cap = vol.ftl().capacity_pages();
+    let cpp = vol.ftl().chip().geometry().cells_per_page();
+    let mut r = rng(seed);
+    {
+        let _s = tracer.span("fill_public");
+        for lpn in 0..cap {
+            let data = BitPattern::random_half(&mut r, cpp);
+            vol.write_public(lpn, &data).expect("public write");
+        }
+    }
+    let payloads: Vec<Vec<u8>> =
+        (0..SLOTS).map(|s| (0..cfg.slot_bytes()).map(|b| (s * 37 + b) as u8).collect()).collect();
+    {
+        let _s = tracer.span("write_hidden");
+        for (s, p) in payloads.iter().enumerate() {
+            vol.write_hidden(s, p).expect("hidden write");
+        }
+    }
+    {
+        let _s = tracer.span("churn");
+        for _ in 0..cap {
+            let lpn = r.gen_range(0..cap);
+            let data = BitPattern::random_half(&mut r, cpp);
+            vol.write_public(lpn, &data).expect("churn write");
+        }
+    }
+
+    // A month on the shelf, then the maintenance pass.
+    {
+        let _s = tracer.span("retention_wait");
+        vol.ftl_mut().chip_mut().age_days(30.0);
+    }
+    let scrub = vol.scrub(8).expect("scrub");
+
+    // Cold remount: what actually survives on flash?
+    let ftl_back = vol.unmount();
+    let (mut vol2, remount) =
+        HiddenVolume::remount(ftl_back, key(), cfg.clone(), SLOTS).expect("remount");
+    let mut survived = 0usize;
+    let total = SLOTS * cfg.slot_bytes();
+    {
+        let _s = tracer.span("readback");
+        for (s, expect) in payloads.iter().enumerate() {
+            if let Ok(Some(got)) = vol2.read_hidden(s) {
+                survived += got.iter().zip(expect).filter(|(a, b)| a == b).count();
+            }
+        }
+    }
+    let survival = survived as f64 / total as f64;
+    let meter = vol2.ftl().chip().meter();
+    let tsv = vec![
+        f(rate, 3),
+        f(survival, 4),
+        meter.total_faults().to_string(),
+        vol2.ftl().stats().retirements.to_string(),
+        scrub.migrated.to_string(),
+        scrub.refreshed.to_string(),
+        (scrub.lost + remount.lost).to_string(),
+    ];
+
+    let report = tracer.report();
+    let mut json_row = String::new();
+    json_row.push_str("    {\"fault_rate\":");
+    write_num(&mut json_row, rate);
+    json_row.push_str(",\"survival\":");
+    write_num(&mut json_row, survival);
+    let _ = write!(
+        json_row,
+        ",\"faults\":{},\"retired_blocks\":{},\"scrub_migrated\":{},\"scrub_refreshed\":{},\
+         \"lost\":{},\"retries\":{},\"ops\":{},\"device_time_us\":",
+        meter.total_faults(),
+        vol2.ftl().stats().retirements,
+        scrub.migrated,
+        scrub.refreshed,
+        scrub.lost + remount.lost,
+        report.counters.iter().find(|(n, _, _)| n == "transient_retries").map_or(0, |c| c.2),
+        meter.total_ops(),
+    );
+    write_num(&mut json_row, meter.device_time_us);
+    json_row.push_str(",\"energy_uj\":");
+    write_num(&mut json_row, meter.energy_uj);
+    json_row.push('}');
+
+    if rate == TRACED_RATE {
+        write_trace_artifacts("chaos", &report);
+    }
+    if rate <= 0.01 {
+        assert!(survival >= 0.999, "survival {survival} below 99.9% at fault rate {rate}");
+    }
+    (tsv, json_row)
+}
+
 fn main() {
+    let start = std::time::Instant::now();
     header(
         "Chaos sweep: hidden-byte survival vs injected fault rate",
         &format!(
@@ -44,118 +160,24 @@ fn main() {
     row(["fault_rate", "survival", "faults", "retired", "migrated", "refreshed", "lost"]
         .map(String::from));
 
+    let results = stash_par::par_map(RATES.to_vec(), run_rate);
+
     let mut json_rows = String::new();
-    for (i, &rate) in RATES.iter().enumerate() {
-        let seed = 9000 + i as u64;
-        let plan = FaultPlan::new(seed)
-            .with_program_fail(rate)
-            .with_partial_program_fail(rate)
-            .with_erase_fail(rate)
-            .schedule_grown_bad(BlockId(5), GROWN_BAD_AT_OP);
-        let chip = Chip::with_faults(volume_profile(), seed, plan);
-        let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
-        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
-        let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), SLOTS).unwrap();
-        let tracer = Tracer::shared();
-        vol.attach_tracer(Some(tracer.clone()));
-
-        // Public fill, hidden payloads, then GC churn — all under faults.
-        let cap = vol.ftl().capacity_pages();
-        let cpp = vol.ftl().chip().geometry().cells_per_page();
-        let mut r = rng(seed);
-        {
-            let _s = tracer.span("fill_public");
-            for lpn in 0..cap {
-                let data = BitPattern::random_half(&mut r, cpp);
-                vol.write_public(lpn, &data).expect("public write");
-            }
-        }
-        let payloads: Vec<Vec<u8>> = (0..SLOTS)
-            .map(|s| (0..cfg.slot_bytes()).map(|b| (s * 37 + b) as u8).collect())
-            .collect();
-        {
-            let _s = tracer.span("write_hidden");
-            for (s, p) in payloads.iter().enumerate() {
-                vol.write_hidden(s, p).expect("hidden write");
-            }
-        }
-        {
-            let _s = tracer.span("churn");
-            for _ in 0..cap {
-                let lpn = r.gen_range(0..cap);
-                let data = BitPattern::random_half(&mut r, cpp);
-                vol.write_public(lpn, &data).expect("churn write");
-            }
-        }
-
-        // A month on the shelf, then the maintenance pass.
-        {
-            let _s = tracer.span("retention_wait");
-            vol.ftl_mut().chip_mut().age_days(30.0);
-        }
-        let scrub = vol.scrub(8).expect("scrub");
-
-        // Cold remount: what actually survives on flash?
-        let ftl_back = vol.unmount();
-        let (mut vol2, remount) =
-            HiddenVolume::remount(ftl_back, key(), cfg.clone(), SLOTS).expect("remount");
-        let mut survived = 0usize;
-        let total = SLOTS * cfg.slot_bytes();
-        {
-            let _s = tracer.span("readback");
-            for (s, expect) in payloads.iter().enumerate() {
-                if let Ok(Some(got)) = vol2.read_hidden(s) {
-                    survived += got.iter().zip(expect).filter(|(a, b)| a == b).count();
-                }
-            }
-        }
-        let survival = survived as f64 / total as f64;
-        let meter = vol2.ftl().chip().meter();
-        row([
-            f(rate, 3),
-            f(survival, 4),
-            meter.total_faults().to_string(),
-            vol2.ftl().stats().retirements.to_string(),
-            scrub.migrated.to_string(),
-            scrub.refreshed.to_string(),
-            (scrub.lost + remount.lost).to_string(),
-        ]);
-
-        let report = tracer.report();
+    for (tsv, json_row) in results {
+        row(tsv);
         if !json_rows.is_empty() {
             json_rows.push_str(",\n");
         }
-        json_rows.push_str("    {\"fault_rate\":");
-        write_num(&mut json_rows, rate);
-        json_rows.push_str(",\"survival\":");
-        write_num(&mut json_rows, survival);
-        let _ = write!(
-            json_rows,
-            ",\"faults\":{},\"retired_blocks\":{},\"scrub_migrated\":{},\"scrub_refreshed\":{},\
-             \"lost\":{},\"retries\":{},\"ops\":{},\"device_time_us\":",
-            meter.total_faults(),
-            vol2.ftl().stats().retirements,
-            scrub.migrated,
-            scrub.refreshed,
-            scrub.lost + remount.lost,
-            report.counters.iter().find(|(n, _, _)| n == "transient_retries").map_or(0, |c| c.2),
-            meter.total_ops(),
-        );
-        write_num(&mut json_rows, meter.device_time_us);
-        json_rows.push_str(",\"energy_uj\":");
-        write_num(&mut json_rows, meter.energy_uj);
-        json_rows.push('}');
-
-        if rate == TRACED_RATE {
-            write_trace_artifacts("chaos", &report);
-        }
-        if rate <= 0.01 {
-            assert!(survival >= 0.999, "survival {survival} below 99.9% at fault rate {rate}");
-        }
+        json_rows.push_str(&json_row);
     }
+
+    let mut wall = String::new();
+    write_num(&mut wall, (start.elapsed().as_secs_f64() * 1e6).round() / 1e3);
     let json = format!(
-        "{{\n  \"bench\": \"chaos\",\n  \"slots\": {SLOTS},\n  \"grown_bad_at_op\": \
-         {GROWN_BAD_AT_OP},\n  \"rates\": [\n{json_rows}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"chaos\",\n  \"threads\": {},\n  \"wall_ms\": {wall},\n  \
+         \"deterministic\": {{\n    \"slots\": {SLOTS},\n    \"grown_bad_at_op\": \
+         {GROWN_BAD_AT_OP},\n    \"rates\": [\n{json_rows}\n    ]\n  }}\n}}\n",
+        stash_par::thread_count(),
     );
     if std::fs::create_dir_all("results").is_ok() {
         std::fs::write("results/BENCH_chaos.json", json).expect("write BENCH_chaos.json");

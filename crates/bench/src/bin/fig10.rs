@@ -10,7 +10,7 @@
 //! `STASH_BLOCKS=10` for a quick pass.
 
 use stash_bench::detect::{blocks_per_class, prepare_features, train_two_test_one};
-use stash_bench::{experiment_key, f, header, rng, row};
+use stash_bench::{experiment_key, f, header, row, BenchMeter};
 use stash_flash::ChipProfile;
 use std::collections::HashMap;
 use vthi::{EccChoice, VthiConfig};
@@ -19,7 +19,15 @@ const HIDDEN_PECS: [u32; 3] = [0, 1000, 2000];
 const NORMAL_PECS: [u32; 7] = [0, 500, 1000, 1500, 2000, 2500, 3000];
 const CHIP_SEEDS: [u64; 3] = [11, 22, 33];
 
+/// Per-(pec, class, chip) fill-RNG base seed; `prepare_features` adds the
+/// block index, so the 100-wide chip spacing keeps streams disjoint for any
+/// block count ≤ 100.
+fn feature_seed(pec: u32, hidden: bool, chip_idx: usize) -> u64 {
+    10_000_000 + u64::from(pec) * 10_000 + u64::from(hidden) * 1_000 + chip_idx as u64 * 100
+}
+
 fn main() {
+    let mut bench = BenchMeter::start("fig10");
     let profile = ChipProfile::vendor_a_scaled();
     let key = experiment_key();
     let mut cfg = VthiConfig::scaled_for(&profile.geometry);
@@ -35,20 +43,24 @@ fn main() {
         ),
     );
 
-    // Feature cache: (pec, hidden?) -> per-chip feature sets.
+    // Feature cache: (pec, hidden?) -> per-chip feature sets. Dataset
+    // assembly fans out across blocks inside prepare_features.
     let mut cache: HashMap<(u32, bool), [Vec<Vec<f64>>; 3]> = HashMap::new();
-    let mut r = rng(10);
-    let mut features = |pec: u32,
-                        hidden: bool,
-                        r: &mut rand::rngs::SmallRng|
-     -> [Vec<Vec<f64>>; 3] {
+    let mut features = |pec: u32, hidden: bool| -> [Vec<Vec<f64>>; 3] {
         cache
             .entry((pec, hidden))
             .or_insert_with(|| {
-                let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
-                    prepare_features(&profile, seed, pec, hidden.then_some((&key, &cfg)), blocks, r)
+                let mk = |chip_idx: usize| {
+                    prepare_features(
+                        &profile,
+                        CHIP_SEEDS[chip_idx],
+                        pec,
+                        hidden.then_some((&key, &cfg)),
+                        blocks,
+                        feature_seed(pec, hidden, chip_idx),
+                    )
                 };
-                [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
+                [mk(0), mk(1), mk(2)]
             })
             .clone()
     };
@@ -58,10 +70,10 @@ fn main() {
     row(head);
 
     for &normal_pec in &NORMAL_PECS {
-        let normal = features(normal_pec, false, &mut r);
+        let normal = features(normal_pec, false);
         let mut cells = vec![normal_pec.to_string()];
         for &hidden_pec in &HIDDEN_PECS {
-            let hidden = features(hidden_pec, true, &mut r);
+            let hidden = features(hidden_pec, true);
             let (acc, _cv) = train_two_test_one(&normal, &hidden);
             cells.push(f(acc * 100.0, 1));
         }
@@ -70,4 +82,8 @@ fn main() {
 
     println!();
     println!("# paper: ~50% at matched PEC; accuracy rises with |normal - hidden| wear gap");
+
+    bench.record("blocks_per_class", f64::from(blocks));
+    bench.record("grid_points", (NORMAL_PECS.len() * HIDDEN_PECS.len()) as f64);
+    bench.finish();
 }

@@ -5,12 +5,16 @@
 //!
 //! Expected shape: flat (≈1×) at PEC 0 for both; at PEC 2000 / 4 months
 //! hidden data degrades ≈6.3× while normal data degrades ≈2.3×.
+//!
+//! Each wear level runs on its own chip (aging clocks stay independent)
+//! with an RNG derived from its PEC — one `stash-par` work item per level,
+//! byte-identical TSV for any `STASH_THREADS`.
 
 use stash_bench::{
     experiment_key, f, fill_block_hiding, header, measure_hidden_ber, measure_public_ber,
-    raw_paper_config, rng, row, short_block_geometry,
+    raw_paper_config, rng, row, short_block_geometry, BenchMeter,
 };
-use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, MeterSnapshot};
 
 const BLOCKS: u32 = 4;
 const PECS: [u32; 3] = [0, 1000, 2000];
@@ -23,19 +27,20 @@ struct Line {
     public_t0: f64,
     hidden: Vec<f64>,
     public: Vec<f64>,
+    device: MeterSnapshot,
 }
 
 fn main() {
+    let mut bench = BenchMeter::start("fig11");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
     let cfg = raw_paper_config(256, 1);
-    let mut r = rng(11);
 
-    let mut lines = Vec::new();
-    for (i, &pec) in PECS.iter().enumerate() {
+    let lines = stash_par::par_map(PECS.to_vec(), |i, pec| {
         // One chip per wear level so aging clocks stay independent.
         let mut chip = Chip::new(profile.clone(), 5000 + i as u64);
+        let mut r = rng(11000 + u64::from(pec));
         let mut stored = Vec::new();
         for b in 0..BLOCKS {
             let block = BlockId(b);
@@ -58,7 +63,14 @@ fn main() {
             };
 
         let (h0, p0) = measure(&mut chip, &stored);
-        let mut line = Line { pec, hidden_t0: h0, public_t0: p0, hidden: vec![], public: vec![] };
+        let mut line = Line {
+            pec,
+            hidden_t0: h0,
+            public_t0: p0,
+            hidden: vec![],
+            public: vec![],
+            device: MeterSnapshot::default(),
+        };
         let mut aged = 0.0;
         for &t in &CHECKPOINTS {
             chip.age_days(t - aged);
@@ -67,8 +79,9 @@ fn main() {
             line.hidden.push(h);
             line.public.push(p);
         }
-        lines.push(line);
-    }
+        line.device = chip.meter();
+        line
+    });
 
     header(
         "Figure 11: normalized retention BER (vs zero time)",
@@ -100,4 +113,12 @@ fn main() {
     }
     println!("# paper anchors: hidden x6.3 and normal x2.3 at PEC 2000 / 4 months;");
     println!("# both ~flat at PEC 0");
+
+    let mut device = MeterSnapshot::default();
+    for line in &lines {
+        device.absorb(&line.device);
+    }
+    bench.record("wear_levels", lines.len() as f64);
+    bench.record_snapshot(&device);
+    bench.finish();
 }

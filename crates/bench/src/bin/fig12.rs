@@ -15,7 +15,7 @@
 //! analytically by `table1`.
 
 use stash_bench::detect::{blocks_per_class, prepare_features, train_two_test_one};
-use stash_bench::{experiment_key, f, fill_block, header, rng, row};
+use stash_bench::{experiment_key, f, fill_block, header, rng, row, BenchMeter};
 use stash_flash::{BlockId, Chip, ChipProfile, PageId};
 use std::collections::HashMap;
 use vthi::capacity::PageCapacity;
@@ -49,7 +49,15 @@ fn planner_budget(profile: &ChipProfile) -> usize {
     (budget * 2).max(32)
 }
 
+/// Per-(pec, class, chip) fill-RNG base seed (offset from fig10's block so
+/// the two figures never share fill streams); `prepare_features` adds the
+/// block index within the 100-wide chip slot.
+fn feature_seed(pec: u32, hidden: bool, chip_idx: usize) -> u64 {
+    12_000_000 + u64::from(pec) * 10_000 + u64::from(hidden) * 1_000 + chip_idx as u64 * 100
+}
+
 fn main() {
+    let mut bench = BenchMeter::start("fig12");
     let profile = ChipProfile::vendor_a_scaled();
     let key = experiment_key();
     let base = VthiConfig::scaled_for(&profile.geometry);
@@ -74,18 +82,21 @@ fn main() {
     );
 
     let mut cache: HashMap<(u32, bool), [Vec<Vec<f64>>; 3]> = HashMap::new();
-    let mut r = rng(12);
-    let mut features = |pec: u32,
-                        hidden: bool,
-                        r: &mut rand::rngs::SmallRng|
-     -> [Vec<Vec<f64>>; 3] {
+    let mut features = |pec: u32, hidden: bool| -> [Vec<Vec<f64>>; 3] {
         cache
             .entry((pec, hidden))
             .or_insert_with(|| {
-                let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
-                    prepare_features(&profile, seed, pec, hidden.then_some((&key, &cfg)), blocks, r)
+                let mk = |chip_idx: usize| {
+                    prepare_features(
+                        &profile,
+                        CHIP_SEEDS[chip_idx],
+                        pec,
+                        hidden.then_some((&key, &cfg)),
+                        blocks,
+                        feature_seed(pec, hidden, chip_idx),
+                    )
                 };
-                [mk(CHIP_SEEDS[0], r), mk(CHIP_SEEDS[1], r), mk(CHIP_SEEDS[2], r)]
+                [mk(0), mk(1), mk(2)]
             })
             .clone()
     };
@@ -95,10 +106,10 @@ fn main() {
     row(head);
 
     for &normal_pec in &NORMAL_PECS {
-        let normal = features(normal_pec, false, &mut r);
+        let normal = features(normal_pec, false);
         let mut cells = vec![normal_pec.to_string()];
         for &hidden_pec in &HIDDEN_PECS {
-            let hidden = features(hidden_pec, true, &mut r);
+            let hidden = features(hidden_pec, true);
             let (acc, _cv) = train_two_test_one(&normal, &hidden);
             cells.push(f(acc * 100.0, 1));
         }
@@ -118,7 +129,7 @@ fn main() {
         "multiplier is over the scaled default density (0.18% of cells)",
     );
     row(["multiplier", "hidden_bits_per_page", "svm_accuracy_pct"].map(String::from));
-    let normal = features(1000, false, &mut r);
+    let normal = features(1000, false);
     for mult in [1usize, 2, 4] {
         let mut dcfg = base.clone();
         dcfg.hidden_bits_per_page = base.hidden_bits_per_page * mult;
@@ -126,12 +137,17 @@ fn main() {
         dcfg.max_pp_steps = 1;
         dcfg.use_fine_pp = true;
         dcfg.ecc = EccChoice::None;
-        let mut r2 = rng(5000 + mult as u64);
-        let mk = |seed: u64, r: &mut rand::rngs::SmallRng| {
-            prepare_features(&profile, seed, 1000, Some((&key, &dcfg)), blocks, r)
+        let mk = |chip_idx: usize| {
+            prepare_features(
+                &profile,
+                CHIP_SEEDS[chip_idx],
+                1000,
+                Some((&key, &dcfg)),
+                blocks,
+                5_000_000 + mult as u64 * 1_000 + chip_idx as u64 * 100,
+            )
         };
-        let hidden =
-            [mk(CHIP_SEEDS[0], &mut r2), mk(CHIP_SEEDS[1], &mut r2), mk(CHIP_SEEDS[2], &mut r2)];
+        let hidden = [mk(0), mk(1), mk(2)];
         let (acc, _) = train_two_test_one(&normal, &hidden);
         row([format!("{mult}x"), dcfg.hidden_bits_per_page.to_string(), f(acc * 100.0, 1)]);
     }
@@ -140,4 +156,8 @@ fn main() {
     println!("# thresholds is thinner than the paper's chips exhibited, so high-capacity");
     println!("# hiding is easier to detect here; at the default density the Vth=15 path");
     println!("# approaches the Fig. 10 coin-flip regime.");
+
+    bench.record("blocks_per_class", f64::from(blocks));
+    bench.record("planner_budget_bits", budget as f64);
+    bench.finish();
 }

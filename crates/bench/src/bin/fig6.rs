@@ -5,14 +5,20 @@
 //! Expected shape: BER starts high (~0.2) after one step and converges
 //! below 1% within ~10 steps, for every combination.
 //!
+//! Each combination is an independent work item on the `stash-par` pool:
+//! its chip seed and RNG derive from the (interval, bits) pair, so the TSV
+//! is byte-identical for any `STASH_THREADS`. Combination 0 carries the
+//! tracer (a shared tracer across parallel combos would interleave
+//! nondeterministically).
+//!
 //! Output: TSV with one column per `interval+bits` combination, one row per
 //! PP step.
 
 use stash_bench::{
     experiment_key, f, fill_block_hiding_traced, header, raw_paper_config, rng, row,
-    short_block_geometry, write_trace_artifacts,
+    short_block_geometry, write_trace_artifacts, BenchMeter,
 };
-use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, MeterSnapshot};
 use stash_obs::Tracer;
 
 const STEPS: u8 = 15;
@@ -21,6 +27,7 @@ const INTERVALS: [u32; 4] = [0, 1, 2, 4];
 const BITS: [usize; 3] = [32, 128, 512];
 
 fn main() {
+    let mut bench = BenchMeter::start("fig6");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
@@ -33,24 +40,25 @@ fn main() {
         ),
     );
 
-    // series[combo][step] accumulated across blocks.
-    let mut labels = Vec::new();
-    let mut series: Vec<Vec<BitErrorStats>> = Vec::new();
-    let mut r = rng(6);
-    // One tracer across the whole sweep: the flamegraph shows how encode
-    // time splits between PP iterations and verify reads per combination.
-    let tracer = Tracer::shared();
+    let combos: Vec<(u32, usize)> =
+        INTERVALS.iter().flat_map(|&i| BITS.iter().map(move |&b| (i, b))).collect();
 
-    for &interval in &INTERVALS {
-        for &bits in &BITS {
-            let mut cfg = raw_paper_config(bits, interval);
-            cfg.max_pp_steps = STEPS;
-            labels.push(format!("{interval}+{bits}"));
-            let mut acc = vec![BitErrorStats::default(); STEPS as usize];
+    // One pool item per combination; the tracer rides on combination 0 and
+    // its flamegraph shows how encode time splits between PP iterations and
+    // verify reads.
+    let results = stash_par::par_map(combos, |ci, (interval, bits)| {
+        let mut cfg = raw_paper_config(bits, interval);
+        cfg.max_pp_steps = STEPS;
+        let mut acc = vec![BitErrorStats::default(); STEPS as usize];
+        let mut r = rng(6000 + u64::from(interval) * 10 + bits as u64);
+        let tracer = (ci == 0).then(Tracer::shared);
 
-            let mut chip = Chip::new(profile.clone(), 1000 + interval as u64 * 10 + bits as u64);
-            chip.set_recorder(Some(tracer.clone()));
-            let _combo = tracer.span_labeled("combo", format!("interval={interval} bits={bits}"));
+        let mut chip = Chip::new(profile.clone(), 1000 + u64::from(interval) * 10 + bits as u64);
+        chip.set_recorder(tracer.clone().map(|t| t as stash_flash::SharedRecorder));
+        {
+            let _combo = tracer
+                .as_ref()
+                .map(|t| t.span_labeled("combo", format!("interval={interval} bits={bits}")));
             for b in 0..BLOCKS {
                 let (_publics, reports) = fill_block_hiding_traced(
                     &mut chip,
@@ -59,7 +67,7 @@ fn main() {
                     &cfg,
                     &mut r,
                     true,
-                    Some(tracer.clone()),
+                    tracer.clone(),
                 );
                 for rep in &reports {
                     for (s, ber) in rep.step_ber.iter().enumerate() {
@@ -75,23 +83,37 @@ fn main() {
                 }
                 chip.discard_block_state(BlockId(b)).expect("discard");
             }
-            series.push(acc);
         }
-    }
+        chip.set_recorder(None);
+        if let Some(tracer) = tracer {
+            write_trace_artifacts("fig6", &tracer.report());
+        }
+        (format!("{interval}+{bits}"), acc, chip.meter())
+    });
 
     let mut head = vec!["pp_step".to_owned()];
-    head.extend(labels.iter().cloned());
+    head.extend(results.iter().map(|(label, _, _)| label.clone()));
     row(head);
     for s in 0..STEPS as usize {
         let mut cells = vec![(s + 1).to_string()];
-        cells.extend(series.iter().map(|acc| f(acc[s].ber(), 5)));
+        cells.extend(results.iter().map(|(_, acc, _)| f(acc[s].ber(), 5)));
         row(cells);
     }
 
     println!();
     println!("# paper: BER converges to <1% after ~10 steps for all combinations");
-    let converged = series.iter().filter(|acc| acc[9].ber() < 0.01).count();
-    println!("# measured: {}/{} combinations below 1% at step 10", converged, series.len());
-    write_trace_artifacts("fig6", &tracer.report());
-    println!("# trace artifacts: results/TRACE_fig6.jsonl, results/TRACE_fig6.folded");
+    let converged = results.iter().filter(|(_, acc, _)| acc[9].ber() < 0.01).count();
+    println!("# measured: {}/{} combinations below 1% at step 10", converged, results.len());
+    println!(
+        "# trace artifacts (combination 0): results/TRACE_fig6.jsonl, results/TRACE_fig6.folded"
+    );
+
+    let mut device = MeterSnapshot::default();
+    for (_, _, meter) in &results {
+        device.absorb(meter);
+    }
+    bench.record("combinations", results.len() as f64);
+    bench.record("converged_at_step10", converged as f64);
+    bench.record_snapshot(&device);
+    bench.finish();
 }

@@ -4,18 +4,23 @@
 //! Expected shape: BER in the 0.4%–1% band, largely insensitive to both
 //! knobs, with small irregularity from BER variance and program
 //! interference.
+//!
+//! Each (interval, bits) point runs on the `stash-par` pool with its own
+//! chip and RNG derived from the pair — byte-identical TSV for any
+//! `STASH_THREADS`.
 
 use stash_bench::{
     experiment_key, f, fill_block_hiding, header, measure_hidden_ber, raw_paper_config, rng, row,
-    short_block_geometry,
+    short_block_geometry, BenchMeter,
 };
-use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, MeterSnapshot};
 
 const BLOCKS: u32 = 5;
 const INTERVALS: [u32; 4] = [0, 1, 2, 4];
 const BITS: [usize; 3] = [32, 128, 512];
 
 fn main() {
+    let mut bench = BenchMeter::start("fig7");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
@@ -26,23 +31,37 @@ fn main() {
     );
     row(["page_interval", "bits32", "bits128", "bits512"].map(String::from));
 
-    let mut r = rng(7);
-    for &interval in &INTERVALS {
-        let mut cells = vec![interval.to_string()];
-        for &bits in &BITS {
-            let cfg = raw_paper_config(bits, interval);
-            let mut chip = Chip::new(profile.clone(), 2000 + interval as u64 * 10 + bits as u64);
-            let mut total = BitErrorStats::default();
-            for b in 0..BLOCKS {
-                let (_publics, reports) =
-                    fill_block_hiding(&mut chip, BlockId(b), &key, &cfg, &mut r, false);
-                total.absorb(measure_hidden_ber(&mut chip, &key, &cfg, &reports));
-                chip.discard_block_state(BlockId(b)).expect("discard");
-            }
-            cells.push(f(total.ber(), 5));
+    let points: Vec<(u32, usize)> =
+        INTERVALS.iter().flat_map(|&i| BITS.iter().map(move |&b| (i, b))).collect();
+    let results = stash_par::par_map(points, |_, (interval, bits)| {
+        let cfg = raw_paper_config(bits, interval);
+        let mut chip = Chip::new(profile.clone(), 2000 + u64::from(interval) * 10 + bits as u64);
+        let mut r = rng(7000 + u64::from(interval) * 10 + bits as u64);
+        let mut total = BitErrorStats::default();
+        for b in 0..BLOCKS {
+            let (_publics, reports) =
+                fill_block_hiding(&mut chip, BlockId(b), &key, &cfg, &mut r, false);
+            total.absorb(measure_hidden_ber(&mut chip, &key, &cfg, &reports));
+            chip.discard_block_state(BlockId(b)).expect("discard");
         }
+        (total, chip.meter())
+    });
+
+    for (ii, &interval) in INTERVALS.iter().enumerate() {
+        let mut cells = vec![interval.to_string()];
+        cells.extend(
+            results[ii * BITS.len()..(ii + 1) * BITS.len()].iter().map(|(t, _)| f(t.ber(), 5)),
+        );
         row(cells);
     }
     println!();
     println!("# paper band: 0.004-0.010 with irregular variation across intervals");
+
+    let mut device = MeterSnapshot::default();
+    for (_, meter) in &results {
+        device.absorb(meter);
+    }
+    bench.record("points", results.len() as f64);
+    bench.record_snapshot(&device);
+    bench.finish();
 }

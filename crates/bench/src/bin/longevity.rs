@@ -7,9 +7,16 @@
 //! several full-device rewrite generations and reports, per generation:
 //! hidden-slot survival, write amplification, wear spread, and the
 //! PT-HI channel's BER on the same device for contrast.
+//!
+//! The volume simulation is inherently serial (one device evolving across
+//! generations), so it stays on one thread; the PT-HI contrast decodes are
+//! independent per checkpoint — each reconstructs a twin chip from seed,
+//! wears it to that checkpoint's max PEC and decodes — and run on the
+//! `stash-par` pool. Rows print in generation order: byte-identical output
+//! for any `STASH_THREADS`.
 
 use pthi::{PthiConfig, PthiHider};
-use stash_bench::{experiment_key, f, header, row};
+use stash_bench::{experiment_key, f, header, row, BenchMeter};
 use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, PageId};
 use stash_ftl::{AccessPattern, Ftl, FtlConfig, WorkloadGen};
 use stash_stego::{HiddenVolume, StegoConfig};
@@ -22,7 +29,29 @@ fn small_profile() -> ChipProfile {
     p
 }
 
+/// PT-HI contrast at one wear checkpoint: a fresh twin chip is encoded at
+/// zero wear, cycled to `wear_max`, and decoded. Fully determined by
+/// `wear_max`, so checkpoints parallelize.
+fn pthi_ber_at_wear(profile: &ChipProfile, key: &stash_crypto::HidingKey, wear_max: u32) -> f64 {
+    let mut chip = Chip::new(profile.clone(), 0x10AE);
+    let pcfg = PthiConfig::paper_default(chip.geometry());
+    let truth: Vec<bool> = (0..pcfg.bits_per_page).map(|i| i % 2 == 0).collect();
+    let page = PageId::new(BlockId(0), 0);
+    chip.erase_block(BlockId(0)).unwrap();
+    {
+        let mut ph = PthiHider::new(&mut chip, key.clone(), pcfg.clone());
+        ph.encode_page(page, &truth).unwrap();
+    }
+    if wear_max > 0 {
+        chip.cycle_block(BlockId(0), wear_max).unwrap();
+    }
+    let mut ph = PthiHider::new(&mut chip, key.clone(), pcfg);
+    let got = ph.decode_page(page).unwrap();
+    got.iter().zip(&truth).filter(|(a, b)| a != b).count() as f64 / truth.len() as f64
+}
+
 fn main() {
+    let mut bench = BenchMeter::start("longevity");
     let key = experiment_key();
     let profile = small_profile();
 
@@ -47,17 +76,6 @@ fn main() {
         vol.write_hidden(i, s).unwrap();
     }
 
-    // --- a PT-HI channel encoded on a same-model chip for contrast ----------
-    let mut pthi_chip = Chip::new(profile, 0x10AE);
-    let pcfg = PthiConfig::paper_default(pthi_chip.geometry());
-    let pthi_truth: Vec<bool> = (0..pcfg.bits_per_page).map(|i| i % 2 == 0).collect();
-    let pthi_page = PageId::new(BlockId(0), 0);
-    pthi_chip.erase_block(BlockId(0)).unwrap();
-    {
-        let mut ph = PthiHider::new(&mut pthi_chip, key, pcfg.clone());
-        ph.encode_page(pthi_page, &pthi_truth).unwrap();
-    }
-
     header(
         "Longevity: a hidden volume under sustained Zipfian load",
         &format!(
@@ -76,6 +94,17 @@ fn main() {
     ]
     .map(String::from));
 
+    // Serial phase: evolve the device, buffering one checkpoint row per
+    // log-spaced generation.
+    struct Checkpoint {
+        generation: u32,
+        host_writes: u64,
+        intact: usize,
+        write_amp: f64,
+        wear_min: u32,
+        wear_max: u32,
+    }
+    let mut checkpoints = Vec::new();
     let mut zipf = WorkloadGen::new(AccessPattern::Zipfian { theta: 0.99 }, cap, 3);
     for generation in 1..=GENERATIONS {
         // One generation = one full device capacity of host writes.
@@ -100,29 +129,29 @@ fn main() {
         let blocks = vol.ftl().chip().geometry().blocks_per_chip;
         let pecs: Vec<u32> =
             (0..blocks).map(|b| vol.ftl().chip().block_pec(BlockId(b)).unwrap()).collect();
-        let wear_min = *pecs.iter().min().unwrap();
-        let wear_max = *pecs.iter().max().unwrap();
+        checkpoints.push(Checkpoint {
+            generation,
+            host_writes: stats.host_writes,
+            intact,
+            write_amp: stats.write_amplification(),
+            wear_min: *pecs.iter().min().unwrap(),
+            wear_max: *pecs.iter().max().unwrap(),
+        });
+    }
 
-        // PT-HI contrast: wear the twin chip to the same max PEC and decode.
-        let pthi_ber = {
-            let current = pthi_chip.block_pec(BlockId(0)).unwrap();
-            if wear_max > current {
-                pthi_chip.cycle_block(BlockId(0), wear_max - current).unwrap();
-            }
-            let mut chip_copy = pthi_chip.clone();
-            let mut ph = PthiHider::new(&mut chip_copy, experiment_key(), pcfg.clone());
-            let got = ph.decode_page(pthi_page).unwrap();
-            got.iter().zip(&pthi_truth).filter(|(a, b)| a != b).count() as f64
-                / pthi_truth.len() as f64
-        };
-
+    // Parallel phase: the PT-HI contrast decode per checkpoint.
+    let pthi_bers =
+        stash_par::par_map(checkpoints.iter().map(|c| c.wear_max).collect(), |_, wear_max| {
+            pthi_ber_at_wear(&profile, &key, wear_max)
+        });
+    for (c, &pthi_ber) in checkpoints.iter().zip(&pthi_bers) {
         row([
-            generation.to_string(),
-            stats.host_writes.to_string(),
-            format!("{intact}/6"),
-            f(stats.write_amplification(), 2),
-            wear_min.to_string(),
-            wear_max.to_string(),
+            c.generation.to_string(),
+            c.host_writes.to_string(),
+            format!("{}/6", c.intact),
+            f(c.write_amp, 2),
+            c.wear_min.to_string(),
+            c.wear_max.to_string(),
             f(pthi_ber, 3),
         ]);
     }
@@ -145,4 +174,10 @@ fn main() {
     println!("# paper §2: VT-HI tolerates wear (hidden BER ~flat to 3000 PEC) while");
     println!("# PT-HI's channel collapses after a few hundred public P/E cycles —");
     println!("# the columns above show both effects on the same workload");
+
+    bench.record("generations", f64::from(GENERATIONS));
+    bench.record("checkpoints", checkpoints.len() as f64);
+    bench.record("slots_intact_after_remount", intact_after_remount as f64);
+    bench.record_snapshot(&vol2.ftl().chip().meter());
+    bench.finish();
 }

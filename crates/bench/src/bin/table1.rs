@@ -4,8 +4,14 @@
 //! Two methods, cross-checked:
 //!  1. the paper's closed-form §8 arithmetic over operation counts and the
 //!     §6.1 device latencies/energies, and
-//!  2. metered measurements from actually running both schemes on the same
-//!     simulated chip.
+//!  2. metered measurements from actually running both schemes on
+//!     independently seeded simulated chips (the paper characterizes four
+//!     samples of the vendor-A chip; we meter `STASH_SAMPLES` of each
+//!     scheme, default 8, and aggregate).
+//!
+//! Samples are independent work items on the `stash-par` pool: each derives
+//! its own chip and RNG from its sample index, so the TSV is byte-identical
+//! for any `STASH_THREADS`. Sample 0 of VT-HI carries the tracer.
 //!
 //! Headline targets: 24× encode, 50× decode, 37× energy, 10-vs-625 wear,
 //! ~2× capacity (enhanced configuration vs PT-HI).
@@ -13,51 +19,40 @@
 use pthi::{PthiConfig, PthiHider};
 use stash_bench::{
     experiment_key, f, fill_block_hiding_traced, header, raw_paper_config, rng, row,
-    short_block_geometry, write_trace_artifacts,
+    short_block_geometry, write_trace_artifacts, BenchMeter,
 };
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, PageId};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, MeterSnapshot, PageId};
 use stash_obs::Tracer;
 use vthi::{shannon_capacity_bits, Hider, HidingThroughput, PAPER_PAGES_PER_BLOCK_S8};
 
-fn main() {
+/// One metered scheme run: encode-phase meter, decode-phase meter, and the
+/// number of hidden (VT-HI) or carrier (PT-HI) pages it processed.
+struct SampleMeters {
+    encode: MeterSnapshot,
+    decode: MeterSnapshot,
+    pages: u32,
+}
+
+/// VT-HI on one freshly seeded chip: hide across one block, then decode it.
+/// The encode account excludes public program ops (the normal user pays
+/// those anyway; the §8 model charges VT-HI only the PP+read iterations).
+fn vthi_sample(profile: &ChipProfile, sample: usize, traced: bool) -> SampleMeters {
     let timing = stash_flash::TimingModel::paper_vendor_a();
-
-    // ---- method 1: the paper's closed-form model --------------------------
-    let vthi_model = HidingThroughput::vthi_model(&timing, 10, PAPER_PAGES_PER_BLOCK_S8, 243.6);
-    let pthi_model = HidingThroughput::pthi_model(&timing, PAPER_PAGES_PER_BLOCK_S8);
-
-    // ---- method 2: metered execution on the simulator ---------------------
     let key = experiment_key();
-    let mut profile = ChipProfile::vendor_a();
-    profile.geometry = short_block_geometry();
-    let pages = profile.geometry.pages_per_block;
-
-    // VT-HI measured: hide across one block (interval 1 -> pages/2 hidden
-    // pages), then decode it.
     let cfg = raw_paper_config(256, 1);
-    let mut chip = Chip::new(profile.clone(), 71);
-    let mut r = rng(42);
+    let mut chip = Chip::new(profile.clone(), 71 + 100 * sample as u64);
+    let mut r = rng(42 + sample as u64);
     chip.reset_meter();
-    let tracer = Tracer::shared();
-    chip.set_recorder(Some(tracer.clone()));
+    let tracer = traced.then(Tracer::shared);
+    chip.set_recorder(tracer.clone().map(|t| t as stash_flash::SharedRecorder));
     let before = chip.meter();
-    let (publics, reports) = fill_block_hiding_traced(
-        &mut chip,
-        BlockId(0),
-        &key,
-        &cfg,
-        &mut r,
-        false,
-        Some(tracer.clone()),
-    );
+    let (publics, reports) =
+        fill_block_hiding_traced(&mut chip, BlockId(0), &key, &cfg, &mut r, false, tracer.clone());
     let after_encode = chip.meter();
-    // Subtract the public programming (the normal user pays it anyway).
-    let programs = after_encode.count(stash_flash::OpKind::Program);
     let hidden_pages = reports.len() as u32;
     {
-        let _decode = tracer.span("decode_block");
-        let mut hider =
-            Hider::new(&mut chip, key.clone(), cfg.clone()).with_tracer(Some(tracer.clone()));
+        let _decode = tracer.as_ref().map(|t| t.span("decode_block"));
+        let mut hider = Hider::new(&mut chip, key, cfg.clone()).with_tracer(tracer.clone());
         for (i, _rep) in reports.iter().enumerate() {
             let page = PageId::new(BlockId(0), i as u32 * cfg.page_stride());
             let _ = hider
@@ -67,70 +62,122 @@ fn main() {
     }
     let after_decode = chip.meter();
     chip.set_recorder(None);
-    write_trace_artifacts("table1", &tracer.report());
+    if let Some(tracer) = tracer {
+        write_trace_artifacts("table1", &tracer.report());
+    }
 
-    let mut encode_meter = after_encode.since(&before);
-    // Remove the public program ops from the hidden-encode account.
-    let _ = programs;
-    let decode_meter = after_decode.since(&after_encode);
-    // Exclude program ops (public-data writes) from encode time/energy: the
-    // §8 model charges VT-HI only the PP+read iterations.
-    let program_us = encode_meter.count(stash_flash::OpKind::Program) as f64 * timing.program_us;
-    let program_uj = encode_meter.count(stash_flash::OpKind::Program) as f64 * timing.program_uj;
-    encode_meter.device_time_us -= program_us;
-    encode_meter.energy_uj -= program_uj;
+    let mut encode = after_encode.since(&before);
+    let program_us = encode.count(stash_flash::OpKind::Program) as f64 * timing.program_us;
+    let program_uj = encode.count(stash_flash::OpKind::Program) as f64 * timing.program_uj;
+    encode.device_time_us -= program_us;
+    encode.energy_uj -= program_uj;
+    SampleMeters { encode, decode: after_decode.since(&after_encode), pages: hidden_pages }
+}
 
-    let vthi_measured = HidingThroughput::from_meter(
-        &encode_meter,
-        &decode_meter,
-        hidden_pages,
-        shannon_capacity_bits(256, 0.005) / 1.0,
-        false,
-    );
-
-    // PT-HI measured: encode + (destructive) decode per page over the same
-    // number of pages.
-    let mut chip2 = Chip::new(profile, 72);
-    let pcfg = PthiConfig::paper_default(chip2.geometry());
-    chip2.erase_block(BlockId(0)).expect("erase");
-    chip2.reset_meter();
-    let b0 = chip2.meter();
+/// PT-HI on one freshly seeded chip: encode + (destructive) decode per page
+/// over a whole block, with public data programmed in between.
+fn pthi_sample(profile: &ChipProfile, sample: usize) -> SampleMeters {
+    let key = experiment_key();
+    let pages = profile.geometry.pages_per_block;
+    let mut chip = Chip::new(profile.clone(), 72 + 100 * sample as u64);
+    let mut r = rng(1042 + sample as u64);
+    let pcfg = PthiConfig::paper_default(chip.geometry());
+    chip.erase_block(BlockId(0)).expect("erase");
+    chip.reset_meter();
+    let b0 = chip.meter();
     {
-        let mut ph = PthiHider::new(&mut chip2, key.clone(), pcfg.clone());
+        let mut ph = PthiHider::new(&mut chip, key.clone(), pcfg.clone());
         for p in 0..pages {
             let bits: Vec<bool> =
                 (0..pcfg.bits_per_page).map(|i| (i + p as usize) % 2 == 0).collect();
             ph.encode_page(PageId::new(BlockId(0), p), &bits).expect("encode");
         }
     }
-    let b1 = chip2.meter();
-    chip2.erase_block(BlockId(0)).expect("erase");
+    let b1 = chip.meter();
+    chip.erase_block(BlockId(0)).expect("erase");
     {
         // Public data in between.
-        let cpp = chip2.geometry().cells_per_page();
+        let cpp = chip.geometry().cells_per_page();
         for p in 0..pages {
             let data = BitPattern::random_half(&mut r, cpp);
-            chip2.program_page(PageId::new(BlockId(0), p), &data).expect("program");
+            chip.program_page(PageId::new(BlockId(0), p), &data).expect("program");
         }
     }
-    let b2 = chip2.meter();
+    let b2 = chip.meter();
     {
-        let mut ph = PthiHider::new(&mut chip2, key, pcfg.clone());
+        let mut ph = PthiHider::new(&mut chip, key, pcfg);
         for p in 0..pages {
             let _ = ph.decode_page(PageId::new(BlockId(0), p)).expect("decode");
         }
     }
-    let b3 = chip2.meter();
+    let b3 = chip.meter();
+    SampleMeters { encode: b1.since(&b0), decode: b3.since(&b2), pages }
+}
+
+/// Sums per-sample meters into one device-total account, in sample order.
+fn aggregate(samples: &[SampleMeters]) -> SampleMeters {
+    let mut total = SampleMeters {
+        encode: MeterSnapshot::default(),
+        decode: MeterSnapshot::default(),
+        pages: 0,
+    };
+    for s in samples {
+        total.encode.absorb(&s.encode);
+        total.decode.absorb(&s.decode);
+        total.pages += s.pages;
+    }
+    total
+}
+
+fn main() {
+    let mut bench = BenchMeter::start("table1");
+    let timing = stash_flash::TimingModel::paper_vendor_a();
+
+    // ---- method 1: the paper's closed-form model --------------------------
+    let vthi_model = HidingThroughput::vthi_model(&timing, 10, PAPER_PAGES_PER_BLOCK_S8, 243.6);
+    let pthi_model = HidingThroughput::pthi_model(&timing, PAPER_PAGES_PER_BLOCK_S8);
+
+    // ---- method 2: metered execution on the simulator ---------------------
+    let samples: usize = std::env::var("STASH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(8);
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = short_block_geometry();
+
+    // One pool pass over all 2×S independent samples: VT-HI first, PT-HI
+    // after, split back apart below.
+    let metered = stash_par::par_trials(2 * samples, |i| {
+        if i < samples {
+            vthi_sample(&profile, i, i == 0)
+        } else {
+            pthi_sample(&profile, i - samples)
+        }
+    });
+    let vthi_total = aggregate(&metered[..samples]);
+    let pthi_total = aggregate(&metered[samples..]);
+
+    let vthi_measured = HidingThroughput::from_meter(
+        &vthi_total.encode,
+        &vthi_total.decode,
+        vthi_total.pages,
+        shannon_capacity_bits(256, 0.005) / 1.0,
+        false,
+    );
     let pthi_measured = HidingThroughput::from_meter(
-        &b1.since(&b0),
-        &b3.since(&b2),
-        pages,
-        pcfg.bits_per_page as f64,
+        &pthi_total.encode,
+        &pthi_total.decode,
+        pthi_total.pages,
+        PthiConfig::paper_default(&profile.geometry).bits_per_page as f64,
         true,
     );
 
     // ---- print -------------------------------------------------------------
-    header("Table 1 / §8: VT-HI vs PT-HI", "model = paper closed-form; measured = simulator meter");
+    header(
+        "Table 1 / §8: VT-HI vs PT-HI",
+        &format!("model = paper closed-form; measured = simulator meter over {samples} chip samples/scheme"),
+    );
     row(["metric", "vthi_model", "pthi_model", "vthi_measured", "pthi_measured", "paper"]
         .map(String::from));
     row([
@@ -198,4 +245,14 @@ fn main() {
         shannon_capacity_bits(256, 0.005)
     );
     println!("# trace artifacts (VT-HI measured run): results/TRACE_table1.jsonl, results/TRACE_table1.folded");
+
+    let mut device = MeterSnapshot::default();
+    device.absorb(&vthi_total.encode);
+    device.absorb(&vthi_total.decode);
+    device.absorb(&pthi_total.encode);
+    device.absorb(&pthi_total.decode);
+    bench.record("samples_per_scheme", samples as f64);
+    bench.record("hidden_pages", f64::from(vthi_total.pages));
+    bench.record_snapshot(&device);
+    bench.finish();
 }

@@ -6,7 +6,6 @@
 //! the adversary learned nothing.
 
 use crate::{fill_block, fill_block_hiding};
-use rand::rngs::SmallRng;
 use stash_crypto::HidingKey;
 use stash_flash::{BlockId, Chip, ChipProfile, Histogram, PageId};
 use stash_svm::{grid_search, Dataset, StandardScaler, Svm};
@@ -19,43 +18,52 @@ pub fn blocks_per_class() -> u32 {
 }
 
 /// The block-level feature vector: the normalized 256-bin voltage
-/// histogram of every cell in the block.
+/// histogram of every cell in the block. The probe buffer is reused across
+/// pages.
 pub fn block_features(chip: &mut Chip, block: BlockId) -> Vec<f64> {
     let mut h = Histogram::new();
+    let mut levels = Vec::new();
     for p in 0..chip.geometry().pages_per_block {
-        h.add_levels(&chip.probe_voltages(PageId::new(block, p)).expect("probe"));
+        chip.probe_voltages_into(PageId::new(block, p), &mut levels).expect("probe");
+        h.add_levels(&levels);
     }
     h.to_feature_vector()
 }
 
-/// Prepares `count` blocks on one chip at the given wear, with or without
-/// hidden data, and returns their feature vectors. Block state is discarded
-/// as soon as its features are extracted.
+/// Prepares `count` blocks at the given wear, with or without hidden data,
+/// and returns their feature vectors in block order.
+///
+/// Blocks are independent work items on the `stash-par` pool: each derives
+/// its own chip (same `chip_seed` — same physical sample, per-block latents
+/// come from the seed + block index) and its own fill RNG from
+/// `rng_seed + block`, so the dataset is byte-identical for any
+/// `STASH_THREADS`. Block state is discarded as soon as its features are
+/// extracted.
 pub fn prepare_features(
     profile: &ChipProfile,
     chip_seed: u64,
     pec: u32,
     hide: Option<(&HidingKey, &VthiConfig)>,
     count: u32,
-    rng: &mut SmallRng,
+    rng_seed: u64,
 ) -> Vec<Vec<f64>> {
-    let mut chip = Chip::new(profile.clone(), chip_seed);
-    let mut out = Vec::with_capacity(count as usize);
-    for b in 0..count {
-        let block = BlockId(b);
+    stash_par::par_trials(count as usize, |b| {
+        let mut chip = Chip::new(profile.clone(), chip_seed);
+        let mut rng = crate::rng(rng_seed.wrapping_add(b as u64));
+        let block = BlockId(b as u32);
         chip.cycle_block(block, pec).expect("cycle");
         match hide {
             None => {
-                let _ = fill_block(&mut chip, block, rng);
+                let _ = fill_block(&mut chip, block, &mut rng);
             }
             Some((key, cfg)) => {
-                let _ = fill_block_hiding(&mut chip, block, key, cfg, rng, false);
+                let _ = fill_block_hiding(&mut chip, block, key, cfg, &mut rng, false);
             }
         }
-        out.push(block_features(&mut chip, block));
+        let features = block_features(&mut chip, block);
         chip.discard_block_state(block).expect("discard");
-    }
-    out
+        features
+    })
 }
 
 /// The paper's train-on-two-chips / classify-the-third protocol: grid

@@ -26,8 +26,18 @@ use vthi::{Hider, PageEncodeReport, VthiConfig};
 /// A geometry with the paper's full 18048-byte pages but short (16-page)
 /// blocks: full-size per-page statistics at a fraction of the cost. Used by
 /// the BER-oriented figures (6, 7, 8, 11) and Table 1.
+///
+/// `STASH_PAGE_BYTES` (≥ 512) scales the page down for smoke runs and the
+/// determinism test — shapes survive scaling (see `stash-flash`
+/// calibration tests), absolute values do not, so scaled artifacts are
+/// never committed to `results/`.
 pub fn short_block_geometry() -> Geometry {
-    Geometry { blocks_per_chip: 64, pages_per_block: 16, page_bytes: 18048 }
+    let page_bytes = std::env::var("STASH_PAGE_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&b| b >= 512)
+        .unwrap_or(18048);
+    Geometry { blocks_per_chip: 64, pages_per_block: 16, page_bytes }
 }
 
 /// The paper's default hiding configuration on full-size pages, with raw
@@ -137,7 +147,8 @@ pub fn write_trace_artifacts(name: &str, report: &TraceReport) {
     );
 }
 
-/// Probes a whole block and splits the histogram by cell state.
+/// Probes a whole block and splits the histogram by cell state. One probe
+/// buffer is reused across pages — no per-page `Vec<Level>` allocation.
 pub fn block_histograms(
     chip: &mut Chip,
     block: BlockId,
@@ -145,13 +156,14 @@ pub fn block_histograms(
 ) -> (Histogram, Histogram) {
     let mut erased = Histogram::new();
     let mut programmed = Histogram::new();
+    let mut levels = Vec::new();
     for (p, public) in publics.iter().enumerate() {
-        let levels = chip.probe_voltages(PageId::new(block, p as u32)).expect("probe");
-        for (i, &level) in levels.iter().enumerate() {
-            if public.get(i) {
-                erased.add_levels(&[level]);
+        chip.probe_voltages_into(PageId::new(block, p as u32), &mut levels).expect("probe");
+        for (bit, &level) in public.iter().zip(levels.iter()) {
+            if bit {
+                erased.add_level(level);
             } else {
-                programmed.add_levels(&[level]);
+                programmed.add_level(level);
             }
         }
     }
@@ -181,6 +193,76 @@ pub fn measure_public_ber(
         total.absorb(BitErrorStats::compare(public, &read));
     }
     total
+}
+
+/// Wall-clock and simulated-work accounting for one bench run, emitted as
+/// `results/BENCH_<name>.json` so the perf trajectory has machine-readable
+/// data.
+///
+/// The JSON has two kinds of fields. `wall_ms` and `threads` describe *this
+/// run* of the harness and legitimately vary between machines and
+/// `STASH_THREADS` settings. Everything under `"deterministic"` describes
+/// the *simulated experiment* — device time, op counts, custom totals — and
+/// must be byte-identical across thread counts for a fixed seed; the
+/// determinism test enforces exactly that split.
+pub struct BenchMeter {
+    name: String,
+    start: std::time::Instant,
+    det: Vec<(String, f64)>,
+}
+
+impl BenchMeter {
+    /// Starts the wall clock for the named bench.
+    #[must_use]
+    pub fn start(name: &str) -> Self {
+        BenchMeter { name: name.to_string(), start: std::time::Instant::now(), det: Vec::new() }
+    }
+
+    /// Records one deterministic field (insertion order is emission order).
+    pub fn record(&mut self, key: &str, v: f64) {
+        self.det.push((key.to_string(), v));
+    }
+
+    /// Records the standard fields of an aggregated meter snapshot:
+    /// simulated device/wait time, energy, and total op/fault counts.
+    pub fn record_snapshot(&mut self, snap: &stash_flash::MeterSnapshot) {
+        self.record("device_time_us", snap.device_time_us);
+        self.record("wait_time_us", snap.wait_time_us);
+        self.record("energy_uj", snap.energy_uj);
+        self.record("ops", snap.total_ops() as f64);
+        self.record("faults", snap.total_faults() as f64);
+    }
+
+    /// Serializes the bench record (without writing it anywhere).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": ");
+        stash_obs::json::write_escaped(&mut out, &self.name);
+        let _ = write!(out, ",\n  \"threads\": {}", stash_par::thread_count());
+        let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        out.push_str(",\n  \"wall_ms\": ");
+        stash_obs::json::write_num(&mut out, (wall_ms * 1e3).round() / 1e3);
+        out.push_str(",\n  \"deterministic\": {");
+        for (i, (k, v)) in self.det.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            stash_obs::json::write_escaped(&mut out, k);
+            out.push_str(": ");
+            stash_obs::json::write_num(&mut out, *v);
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Stops the clock and writes `results/BENCH_<name>.json`.
+    pub fn finish(self) {
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let _ = std::fs::write(dir.join(format!("BENCH_{}.json", self.name)), self.to_json());
+    }
 }
 
 /// A deterministic experiment RNG.

@@ -1,0 +1,113 @@
+//! The parallel-execution determinism contract, enforced end to end:
+//! running a bench binary with `STASH_THREADS=1` and `STASH_THREADS=8`
+//! must produce byte-identical TSV output and byte-identical
+//! `BENCH_*.json` artifacts (after stripping the two run-descriptive
+//! fields, `wall_ms` and `threads`) for a fixed seed.
+//!
+//! The binaries run on a scaled geometry (`STASH_PAGE_BYTES`, small
+//! `STASH_SAMPLES`) so the test stays in CI budget; determinism is a
+//! structural property of the work-item seeding, not of the geometry.
+
+use stash_obs::json::{self, JsonValue};
+use std::path::Path;
+use std::process::Command;
+
+/// Runs one bench binary in its own scratch dir with the given thread
+/// count, returning (stdout, normalized BENCH json).
+fn run_bench(exe: &str, bench: &str, threads: u32, dir: &Path) -> (Vec<u8>, String) {
+    std::fs::create_dir_all(dir).expect("scratch dir");
+    let out = Command::new(exe)
+        .current_dir(dir)
+        .env("STASH_THREADS", threads.to_string())
+        .env("STASH_PAGE_BYTES", "1024")
+        .env("STASH_SAMPLES", "2")
+        .output()
+        .expect("bench binary runs");
+    assert!(
+        out.status.success(),
+        "{bench} failed at {threads} threads: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json_path = dir.join("results").join(format!("BENCH_{bench}.json"));
+    let raw = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", json_path.display()));
+    (out.stdout, normalize(&raw, bench))
+}
+
+/// Parses the bench JSON and re-renders it with the run-descriptive fields
+/// (`wall_ms`, `threads`) dropped — everything that remains must be
+/// byte-identical across thread counts.
+fn normalize(raw: &str, bench: &str) -> String {
+    let parsed = json::parse(raw).unwrap_or_else(|e| panic!("BENCH_{bench}.json invalid: {e}"));
+    let JsonValue::Obj(fields) = parsed else { panic!("BENCH_{bench}.json is not an object") };
+    let mut out = String::new();
+    for (k, v) in &fields {
+        if k == "wall_ms" || k == "threads" {
+            continue;
+        }
+        out.push_str(k);
+        out.push('=');
+        render(&mut out, v);
+        out.push('\n');
+    }
+    out
+}
+
+fn render(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => json::write_num(out, *n),
+        JsonValue::Str(s) => json::write_escaped(out, s),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(out, k);
+                out.push(':');
+                render(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn assert_thread_count_invariant(exe: &str, bench: &str) {
+    let base =
+        std::env::temp_dir().join(format!("stash-determinism-{bench}-{}", std::process::id()));
+    let (stdout_1, json_1) = run_bench(exe, bench, 1, &base.join("t1"));
+    let (stdout_8, json_8) = run_bench(exe, bench, 8, &base.join("t8"));
+    assert!(
+        stdout_1 == stdout_8,
+        "{bench}: TSV output differs between STASH_THREADS=1 and 8\n--- 1 thread ---\n{}\n--- 8 threads ---\n{}",
+        String::from_utf8_lossy(&stdout_1),
+        String::from_utf8_lossy(&stdout_8)
+    );
+    assert!(
+        json_1 == json_8,
+        "{bench}: deterministic JSON fields differ between STASH_THREADS=1 and 8\n--- 1 thread ---\n{json_1}\n--- 8 threads ---\n{json_8}"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn table1_is_thread_count_invariant() {
+    assert_thread_count_invariant(env!("CARGO_BIN_EXE_table1"), "table1");
+}
+
+#[test]
+fn fig7_is_thread_count_invariant() {
+    assert_thread_count_invariant(env!("CARGO_BIN_EXE_fig7"), "fig7");
+}

@@ -112,9 +112,14 @@ impl BitPattern {
         }
     }
 
-    /// Number of `1` bits.
+    /// Number of `1` bits (word-at-a-time popcount).
     pub fn count_ones(&self) -> usize {
-        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+        let mut chunks = self.bytes.chunks_exact(8);
+        let mut ones = 0usize;
+        for c in chunks.by_ref() {
+            ones += u64::from_ne_bytes(c.try_into().expect("8-byte chunk")).count_ones() as usize;
+        }
+        ones + chunks.remainder().iter().map(|b| b.count_ones() as usize).sum::<usize>()
     }
 
     /// Number of `0` bits.
@@ -124,12 +129,46 @@ impl BitPattern {
 
     /// Number of differing bit positions between two equal-length patterns.
     ///
+    /// BER comparisons over full 18 KB pages are hot in the experiment
+    /// harnesses, so the XOR+popcount runs a 64-bit word at a time.
+    ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &BitPattern) -> usize {
         assert_eq!(self.len, other.len, "length mismatch");
-        self.bytes.iter().zip(&other.bytes).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+        let mut a = self.bytes.chunks_exact(8);
+        let mut b = other.bytes.chunks_exact(8);
+        let mut diff = 0usize;
+        for (ca, cb) in a.by_ref().zip(b.by_ref()) {
+            let wa = u64::from_ne_bytes(ca.try_into().expect("8-byte chunk"));
+            let wb = u64::from_ne_bytes(cb.try_into().expect("8-byte chunk"));
+            diff += (wa ^ wb).count_ones() as usize;
+        }
+        diff + a
+            .remainder()
+            .iter()
+            .zip(b.remainder())
+            .map(|(x, y)| (x ^ y).count_ones() as usize)
+            .sum::<usize>()
+    }
+
+    /// Crate-internal bulk writer: fills the whole pattern from a bit
+    /// iterator, packing MSB-first one byte at a time — no per-bit index
+    /// arithmetic or bounds checks. The iterator must yield at least
+    /// `len()` bits; extras are ignored.
+    pub(crate) fn fill_from_bools<I: Iterator<Item = bool>>(&mut self, mut bits: I) {
+        let len = self.len;
+        for (byte_idx, byte) in self.bytes.iter_mut().enumerate() {
+            let start = byte_idx * 8;
+            let n = (len - start).min(8);
+            let mut acc = 0u8;
+            for _ in 0..n {
+                acc = (acc << 1) | u8::from(bits.next().expect("iterator too short"));
+            }
+            // Tail byte: keep bits MSB-aligned, padding stays zero.
+            *byte = acc << (8 - n);
+        }
     }
 
     /// Iterator over the bits as booleans.

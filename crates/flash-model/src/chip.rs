@@ -328,10 +328,11 @@ impl Chip {
         let mut programmed_cells = 0usize;
         {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            for (i, bit) in data.iter().enumerate() {
+            let gauss = &mut self.gauss;
+            let rng = &mut self.rng;
+            for (slot, bit) in state.voltages[base..base + cpp].iter_mut().zip(data.iter()) {
                 if !bit {
-                    state.voltages[base + i] =
-                        self.gauss.sample_with(&mut self.rng, mean, sigma) as f32;
+                    *slot = gauss.sample_with(rng, mean, sigma) as f32;
                     programmed_cells += 1;
                 }
             }
@@ -388,23 +389,28 @@ impl Chip {
 
         let pp = self.profile.partial_program;
         let base = p.page as usize * cpp;
-        for i in 0..cpp {
-            if !mask.get(i) {
-                continue;
-            }
-            let eff = latent::pp_efficiency(self.seed, p.block.0, base + i, pp.eff_sigma_ln);
-            let inc =
-                self.gauss.sample_with(&mut self.rng, pp.step_mean, pp.step_sigma).max(0.0) * eff;
+        let seed = self.seed;
+        let block = p.block.0;
+        {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            // Charge injection saturates: v' = S - (S - v)·e^(-inc/S).
-            // Cells asymptotically approach the saturation level and can
-            // never reach the programmed range via partial programming.
-            let v = f64::from(state.voltages[base + i]);
-            let s = pp.saturation;
-            if v < s {
-                state.voltages[base + i] = (s - (s - v) * (-inc / s).exp()) as f32;
+            let gauss = &mut self.gauss;
+            let rng = &mut self.rng;
+            for (i, masked) in mask.iter().enumerate() {
+                if !masked {
+                    continue;
+                }
+                let eff = latent::pp_efficiency(seed, block, base + i, pp.eff_sigma_ln);
+                let inc = gauss.sample_with(rng, pp.step_mean, pp.step_sigma).max(0.0) * eff;
+                // Charge injection saturates: v' = S - (S - v)·e^(-inc/S).
+                // Cells asymptotically approach the saturation level and can
+                // never reach the programmed range via partial programming.
+                let v = f64::from(state.voltages[base + i]);
+                let s = pp.saturation;
+                if v < s {
+                    state.voltages[base + i] = (s - (s - v) * (-inc / s).exp()) as f32;
+                }
+                state.mark_pp(base + i);
             }
-            state.mark_pp(base + i);
         }
 
         // A PP step couples a small fraction of a full program's
@@ -456,16 +462,20 @@ impl Chip {
         }
 
         let base = p.page as usize * cpp;
-        for i in 0..cpp {
-            if !mask.get(i) {
-                continue;
-            }
-            let goal = f64::from(target) + self.gauss.sample_with(&mut self.rng, 4.0, 2.5).max(0.3);
+        {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            let v = f64::from(state.voltages[base + i]);
-            if v < goal {
-                state.voltages[base + i] = goal as f32;
-                state.mark_pp(base + i);
+            let gauss = &mut self.gauss;
+            let rng = &mut self.rng;
+            for (i, masked) in mask.iter().enumerate() {
+                if !masked {
+                    continue;
+                }
+                let goal = f64::from(target) + gauss.sample_with(rng, 4.0, 2.5).max(0.3);
+                let v = f64::from(state.voltages[base + i]);
+                if v < goal {
+                    state.voltages[base + i] = goal as f32;
+                    state.mark_pp(base + i);
+                }
             }
         }
 
@@ -510,15 +520,17 @@ impl Chip {
 
         let mut bits = BitPattern::zeros(cpp);
         {
+            // Split borrows so the per-cell loop touches no `self.`
+            // indexing: the voltage slice, Gaussian state and RNG are all
+            // hoisted out of the loop.
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            for i in 0..cpp {
-                let measured = f64::from(state.voltages[base + i])
-                    + self.gauss.sample_with(&mut self.rng, 0.0, noise);
+            let gauss = &mut self.gauss;
+            let rng = &mut self.rng;
+            bits.fill_from_bools(state.voltages[base..base + cpp].iter().map(|&v| {
+                let measured = f64::from(v) + gauss.sample_with(rng, 0.0, noise);
                 // Measurement floor: negative voltages read as level 0.
-                if measured.max(0.0) < vref {
-                    bits.set(i, true);
-                }
-            }
+                measured.max(0.0) < vref
+            }));
             state.read_count += 1;
         }
         if let Some(fs) = self.fault.as_ref() {
@@ -540,6 +552,20 @@ impl Chip {
     ///
     /// Fails on invalid addresses or bad blocks.
     pub fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
+        let mut out = Vec::new();
+        self.probe_voltages_into(p, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`probe_voltages`](Self::probe_voltages) into a caller-owned buffer:
+    /// `out` is cleared and refilled, so a sweep over many pages reuses one
+    /// allocation instead of paying a fresh `Vec<Level>` per page.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks (leaving `out` cleared).
+    pub fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        out.clear();
         self.check_usable_page(p)?;
         let op = self.fault_tick(p.block);
         self.ensure_state(p.block);
@@ -550,14 +576,15 @@ impl Chip {
             noise *= fs.plan.noise_factor(op);
         }
 
-        let mut out = Vec::with_capacity(cpp);
         {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            for i in 0..cpp {
-                let measured = f64::from(state.voltages[base + i])
-                    + self.gauss.sample_with(&mut self.rng, 0.0, noise);
-                out.push(measured.round().clamp(0.0, 255.0) as Level);
-            }
+            let gauss = &mut self.gauss;
+            let rng = &mut self.rng;
+            out.reserve(cpp);
+            out.extend(state.voltages[base..base + cpp].iter().map(|&v| {
+                let measured = f64::from(v) + gauss.sample_with(rng, 0.0, noise);
+                measured.round().clamp(0.0, 255.0) as Level
+            }));
             state.read_count += 1;
         }
         if let Some(fs) = self.fault.as_ref() {
@@ -568,7 +595,7 @@ impl Chip {
             }
         }
         self.meter_record(OpKind::Probe);
-        Ok(out)
+        Ok(())
     }
 
     /// Advances retention time for the whole chip: charge leaks from every
@@ -815,66 +842,62 @@ impl Chip {
         let block_off = self.block_offset(b);
         let sigma = erased.sigma + erased.widen_per_kpec * kpec;
 
-        for page in 0..g.pages_per_block {
-            let mean = erased.mean
-                + erased.drift_per_kpec * kpec
-                + chip_off
-                + block_off
-                + self.page_offset(PageId::new(b, page));
-            let base = page as usize * cpp;
-            let state = self.blocks[b.0 as usize].state.as_mut().unwrap();
-            for i in 0..cpp {
-                state.voltages[base + i] =
-                    self.gauss.sample_with(&mut self.rng, mean, sigma) as f32;
+        // Page means are pure latents — precompute them so the fill loop
+        // below holds a single borrow of the block state.
+        let means: Vec<f64> = (0..g.pages_per_block)
+            .map(|page| {
+                erased.mean
+                    + erased.drift_per_kpec * kpec
+                    + chip_off
+                    + block_off
+                    + self.page_offset(PageId::new(b, page))
+            })
+            .collect();
+
+        let state = self.blocks[b.0 as usize].state.as_mut().unwrap();
+        let gauss = &mut self.gauss;
+        let rng = &mut self.rng;
+        for (page, &mean) in means.iter().enumerate() {
+            let base = page * cpp;
+            for slot in &mut state.voltages[base..base + cpp] {
+                *slot = gauss.sample_with(rng, mean, sigma) as f32;
             }
         }
-        let state = self.blocks[b.0 as usize].state.as_mut().unwrap();
         state.page_programmed.iter_mut().for_each(|x| *x = false);
         state.pp_written = None;
         state.aged_days = 0.0;
         state.read_count = 0;
     }
 
-    /// Per-cell interference coupling, via the block cache when the
-    /// geometry is small enough to afford one. The coupling distribution's
-    /// median and log-sigma carry independent per-block manufacturing
-    /// jitter: the erased tail's mass *and slope* vary naturally between
-    /// blocks.
-    fn coupling_of(&mut self, b: BlockId, cell: usize) -> f64 {
-        let mut inter = self.profile.interference;
-        inter.coupling_median *= (inter.coupling_median_jitter
-            * latent::std_normal(self.seed, b.0, 0, latent::SALT_COUPLING_MEDIAN))
-        .exp();
-        inter.coupling_sigma_ln += inter.coupling_sigma_jitter
-            * latent::std_normal(self.seed, b.0, 0, latent::SALT_COUPLING_SIGMA);
+    /// Jittered per-block coupling-distribution parameters `(median,
+    /// sigma_ln)`. The coupling distribution's median and log-sigma carry
+    /// independent per-block manufacturing jitter: the erased tail's mass
+    /// *and slope* vary naturally between blocks.
+    fn coupling_params(&self, b: BlockId) -> (f64, f64) {
+        let inter = &self.profile.interference;
+        let median = inter.coupling_median
+            * (inter.coupling_median_jitter
+                * latent::std_normal(self.seed, b.0, 0, latent::SALT_COUPLING_MEDIAN))
+            .exp();
+        let sigma_ln = inter.coupling_sigma_ln
+            + inter.coupling_sigma_jitter
+                * latent::std_normal(self.seed, b.0, 0, latent::SALT_COUPLING_SIGMA);
+        (median, sigma_ln)
+    }
+
+    /// Materializes the per-cell coupling cache of a block when the
+    /// geometry is small enough to afford one (4 bytes per cell;
+    /// paper-geometry blocks at 37 M cells derive latents on the fly).
+    fn ensure_coupling_cache(&mut self, b: BlockId, median: f64, sigma_ln: f64) {
         let cells = self.profile.geometry.cells_per_block();
-        if cells <= COUPLING_CACHE_MAX_CELLS {
-            if self.blocks[b.0 as usize].coupling_cache.is_none() {
-                let cache: Vec<f32> = (0..cells)
-                    .map(|c| {
-                        latent::coupling(
-                            self.seed,
-                            b.0,
-                            c,
-                            inter.coupling_median,
-                            inter.coupling_sigma_ln,
-                            inter.coupling_cap,
-                        ) as f32
-                    })
-                    .collect();
-                self.blocks[b.0 as usize].coupling_cache = Some(cache);
-            }
-            f64::from(self.blocks[b.0 as usize].coupling_cache.as_ref().unwrap()[cell])
-        } else {
-            latent::coupling(
-                self.seed,
-                b.0,
-                cell,
-                inter.coupling_median,
-                inter.coupling_sigma_ln,
-                inter.coupling_cap,
-            )
+        if cells > COUPLING_CACHE_MAX_CELLS || self.blocks[b.0 as usize].coupling_cache.is_some() {
+            return;
         }
+        let cap = self.profile.interference.coupling_cap;
+        let cache: Vec<f32> = (0..cells)
+            .map(|c| latent::coupling(self.seed, b.0, c, median, sigma_ln, cap) as f32)
+            .collect();
+        self.blocks[b.0 as usize].coupling_cache = Some(cache);
     }
 
     /// Couples interference charge from a program (factor 1.0) or PP step
@@ -886,6 +909,14 @@ impl Chip {
         let cpp = g.cells_per_page();
         let pages = g.pages_per_block as i64;
         let src = i64::from(source.page);
+        // Per-block coupling parameters (and, when affordable, the per-cell
+        // coupling cache) are hoisted out of the per-cell loop: re-deriving
+        // the jitter latents costs two SplitMix64 + inverse-CDF chains per
+        // bump, and dominated this path before hoisting.
+        let (median, sigma_ln) = self.coupling_params(source.block);
+        self.ensure_coupling_cache(source.block, median, sigma_ln);
+        let seed = self.seed;
+        let block = source.block.0;
 
         for (d, w) in [
             (0i64, 1.0),
@@ -902,37 +933,42 @@ impl Chip {
             // erased tail's cover noise (not cancellable from the
             // programmed lobe).
             let scale = (inter.bump_scale_sigma_block
-                * latent::std_normal(self.seed, source.block.0, 0, latent::SALT_BUMP_SCALE_BLOCK)
+                * latent::std_normal(seed, block, 0, latent::SALT_BUMP_SCALE_BLOCK)
                 + inter.bump_scale_sigma_page
-                    * latent::std_normal(
-                        self.seed,
-                        source.block.0,
-                        q as usize,
-                        latent::SALT_BUMP_SCALE_PAGE,
-                    ))
+                    * latent::std_normal(seed, block, q as usize, latent::SALT_BUMP_SCALE_PAGE))
             .exp();
             let weight = w * factor * scale;
+            let bump_mean = inter.bump_mean * weight;
+            let bump_sigma = inter.bump_sigma * weight;
             let base = q as usize * cpp;
-            for i in 0..cpp {
-                let v =
-                    self.blocks[source.block.0 as usize].state.as_ref().unwrap().voltages[base + i];
+            let meta = &mut self.blocks[source.block.0 as usize];
+            let cache = meta.coupling_cache.as_deref();
+            let state = meta.state.as_mut().unwrap();
+            let gauss = &mut self.gauss;
+            let rng = &mut self.rng;
+            for (i, slot) in state.voltages[base..base + cpp].iter_mut().enumerate() {
+                let v = *slot;
                 if v >= INTERFERENCE_CEILING {
                     continue;
                 }
-                let c = self.coupling_of(source.block, base + i);
+                let c = match cache {
+                    Some(cache) => f64::from(cache[base + i]),
+                    None => latent::coupling(
+                        seed,
+                        block,
+                        base + i,
+                        median,
+                        sigma_ln,
+                        inter.coupling_cap,
+                    ),
+                };
                 // Coupling saturates as stored charge approaches the
                 // interference ceiling: no erased cell drifts toward the
                 // read reference however many neighbors are programmed.
                 let damping =
                     (1.0 - f64::from(v.max(0.0)) / inter.interference_saturation).clamp(0.0, 1.0);
-                let bump = self
-                    .gauss
-                    .sample_with(&mut self.rng, inter.bump_mean * weight, inter.bump_sigma * weight)
-                    .max(0.0)
-                    * c
-                    * damping;
-                self.blocks[source.block.0 as usize].state.as_mut().unwrap().voltages[base + i] +=
-                    bump as f32;
+                let bump = gauss.sample_with(rng, bump_mean, bump_sigma).max(0.0) * c * damping;
+                *slot += bump as f32;
             }
         }
     }

@@ -31,12 +31,20 @@ impl Histogram {
         h
     }
 
+    /// Accumulates one probed level — the per-cell hot path; prefer this
+    /// over one-element `add_levels` slices.
+    #[inline]
+    pub fn add_level(&mut self, level: Level) {
+        self.counts[level as usize] += 1;
+        self.total += 1;
+    }
+
     /// Accumulates more probed levels.
     pub fn add_levels(&mut self, levels: &[Level]) {
         for &l in levels {
             self.counts[l as usize] += 1;
-            self.total += 1;
         }
+        self.total += levels.len() as u64;
     }
 
     /// Merges another histogram into this one.

@@ -144,6 +144,20 @@ impl MeterSnapshot {
         out
     }
 
+    /// Component-wise accumulation of another snapshot — aggregating
+    /// per-sample meters from independent chips into one device total.
+    pub fn absorb(&mut self, other: &MeterSnapshot) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+        }
+        for i in 0..3 {
+            self.fault_counts[i] += other.fault_counts[i];
+        }
+        self.device_time_us += other.device_time_us;
+        self.wait_time_us += other.wait_time_us;
+        self.energy_uj += other.energy_uj;
+    }
+
     /// Assembles a snapshot from raw parts: counts indexed like
     /// [`OpKind::ALL`] and [`FaultKind::ALL`]. Used by observability layers
     /// that aggregate per-span deltas outside a live [`Meter`].

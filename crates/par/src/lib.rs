@@ -1,0 +1,214 @@
+//! Deterministic scoped-thread fan-out for seed-indexed experiment work.
+//!
+//! Every figure/table in the bench harness replays independent trials: one
+//! chip sample, one (interval, bits) combo, one PEC level, one SVM fold.
+//! Each such item derives its own `SmallRng`/`Chip` from its index and
+//! never shares mutable simulator state, so the work is embarrassingly
+//! parallel — the only thing a parallel executor must guarantee is that
+//! *results come back in input order* regardless of which worker ran what.
+//!
+//! [`par_map`] and [`par_trials`] provide exactly that contract:
+//!
+//! - The worker-pool size comes from `STASH_THREADS` (default: available
+//!   parallelism). `STASH_THREADS=1` degenerates to a plain serial loop.
+//! - Items are claimed from a shared queue, but every result lands in the
+//!   slot of its *input* index, so the output `Vec` is byte-identical to
+//!   serial execution for any thread count.
+//! - Nested calls from inside a worker run inline on that worker (a
+//!   thread-local in-pool flag), so composed layers — e.g. a parallel
+//!   grid search whose accuracy function itself calls a parallel k-fold —
+//!   cannot oversubscribe the machine or deadlock.
+//!
+//! No dependencies beyond `std`: scoped threads carry the borrows, a
+//! mutex-guarded queue hands out items, and `std::thread::scope` re-raises
+//! worker panics in the caller.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while a pool worker runs a work item; nested fan-out calls see
+    /// it and degrade to an inline serial loop.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Worker-pool size: `STASH_THREADS` when set to a positive integer,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("STASH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// True when called from inside a [`par_map`] worker — nested fan-out
+/// will run inline.
+pub fn in_pool() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Maps `f` over `items` on a pool of [`thread_count`] workers, returning
+/// results in input order. `f` receives `(index, item)` so work can derive
+/// per-item seeds. Byte-identical to the serial loop for any thread count;
+/// panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_threads(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (1 = plain serial loop).
+pub fn par_map_threads<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 || in_pool() {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(n))
+            .map(|_| {
+                s.spawn(|| {
+                    IN_POOL.with(|flag| flag.set(true));
+                    loop {
+                        // Claim under the lock, run outside it: items are
+                        // coarse (whole chip simulations), so queue
+                        // contention is negligible.
+                        // `f` runs outside both locks, so a panic in it
+                        // can't leave either container inconsistent —
+                        // ignore poisoning and let the panicking worker's
+                        // own payload propagate at join below.
+                        let claimed = queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+                        let Some((i, item)) = claimed else { break };
+                        let r = f(i, item);
+                        results.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(r);
+                    }
+                    IN_POOL.with(|flag| flag.set(false));
+                })
+            })
+            .collect();
+        // Join explicitly so a worker's panic payload reaches the caller
+        // verbatim (scope's implicit join replaces it with a generic one).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("pool worker exited without producing a result"))
+        .collect()
+}
+
+/// Runs `n` indexed trials (`f(0) .. f(n-1)`) on the worker pool,
+/// returning results in trial order — the shape every seed-swept bench
+/// loop takes.
+pub fn par_trials<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    par_map((0..n).collect(), |_, i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = par_map_threads(threads, (0u64..100).collect(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let expected: Vec<u64> = (0..100).map(|x| x * x).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        // A toy "experiment": per-item RNG derived from the index, as the
+        // bench harness does — different thread counts must agree bitwise.
+        let run = |threads| {
+            par_map_threads(threads, (0u64..32).collect(), |_, seed| {
+                let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                let mut acc = 0u64;
+                for _ in 0..1000 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    acc = acc.wrapping_add(state);
+                }
+                acc
+            })
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial);
+        assert_eq!(run(8), serial);
+        assert_eq!(run(33), serial, "more workers than items");
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let inner_inline = AtomicUsize::new(0);
+        let out = par_map_threads(4, (0usize..8).collect(), |_, i| {
+            let inner = par_map_threads(4, (0usize..4).collect(), |_, j| {
+                if in_pool() {
+                    inner_inline.fetch_add(1, Ordering::Relaxed);
+                }
+                i * 10 + j
+            });
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out[3], 30 + 31 + 32 + 33);
+        assert_eq!(inner_inline.load(Ordering::Relaxed), 32, "inner items all ran in-pool");
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = par_map_threads(8, Vec::<u32>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map_threads(8, vec![7u32], |i, x| x + i as u32), vec![7]);
+    }
+
+    #[test]
+    fn par_trials_passes_indices() {
+        assert_eq!(par_trials(5, |i| i * 2), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        par_map_threads(4, (0usize..8).collect(), |_, i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -9,7 +9,10 @@ use rand::{rngs::SmallRng, seq::SliceRandom, SeedableRng};
 
 /// Mean k-fold cross-validated accuracy of one hyperparameter setting.
 ///
-/// Each fold fits its own scaler on the training split only (no leakage).
+/// Each fold fits its own scaler on the training split only (no leakage),
+/// so folds are independent: they train and score on the worker pool, and
+/// per-fold `(correct, total)` pairs are summed in fold order — the result
+/// is identical for any `STASH_THREADS`.
 ///
 /// # Panics
 ///
@@ -20,9 +23,7 @@ pub fn k_fold_accuracy(data: &Dataset, k: usize, params: &SvmParams, seed: u64) 
     let mut idx: Vec<usize> = (0..data.len()).collect();
     idx.shuffle(&mut SmallRng::seed_from_u64(seed));
 
-    let mut total_correct = 0usize;
-    let mut total = 0usize;
-    for fold in 0..k {
+    let fold_scores = stash_par::par_trials(k, |fold| {
         let test_idx: Vec<usize> =
             idx.iter().enumerate().filter(|(i, _)| i % k == fold).map(|(_, &v)| v).collect();
         let train_idx: Vec<usize> =
@@ -33,9 +34,7 @@ pub fn k_fold_accuracy(data: &Dataset, k: usize, params: &SvmParams, seed: u64) 
         // chance rather than crashing.
         let one_class = train.labels().iter().all(|&l| l == train.labels()[0]);
         if one_class {
-            total_correct += test.len() / 2;
-            total += test.len();
-            continue;
+            return (test.len() / 2, test.len());
         }
         let scaler = StandardScaler::fit(&train);
         let model = Svm::train(&scaler.transform_dataset(&train), params);
@@ -46,9 +45,11 @@ pub fn k_fold_accuracy(data: &Dataset, k: usize, params: &SvmParams, seed: u64) 
             .zip(test_scaled.labels())
             .filter(|(f, &l)| model.predict(f) == l)
             .count();
-        total_correct += correct;
-        total += test.len();
-    }
+        (correct, test.len())
+    });
+
+    let total_correct: usize = fold_scores.iter().map(|&(c, _)| c).sum();
+    let total: usize = fold_scores.iter().map(|&(_, t)| t).sum();
     total_correct as f64 / total.max(1) as f64
 }
 
@@ -66,6 +67,12 @@ pub struct GridSearchResult {
 /// Grid-searches `C` and RBF `gamma` (plus a linear-kernel row) by k-fold
 /// cross-validation, returning the best setting — the adversary's strongest
 /// classifier configuration.
+///
+/// Candidates are enumerated up front and scored on the worker pool; `all`
+/// keeps the serial evaluation order and ties break toward the earlier
+/// candidate, so the winner matches serial execution for any thread count.
+/// (Nested under a parallel caller — or with each candidate's k-fold
+/// already fanning out — the inner level runs inline; see `stash_par`.)
 pub fn grid_search(
     data: &Dataset,
     cs: &[f64],
@@ -73,23 +80,22 @@ pub fn grid_search(
     k: usize,
     seed: u64,
 ) -> GridSearchResult {
-    let mut all = Vec::new();
+    let mut candidates = Vec::new();
+    for &c in cs {
+        candidates.push(SvmParams { kernel: Kernel::Linear, c, ..Default::default() });
+        for &gamma in gammas {
+            candidates.push(SvmParams { kernel: Kernel::Rbf { gamma }, c, ..Default::default() });
+        }
+    }
+
+    let all: Vec<(SvmParams, f64)> = stash_par::par_map(candidates, |_, params| {
+        (params, k_fold_accuracy(data, k, &params, seed))
+    });
+
     let mut best: Option<(SvmParams, f64)> = None;
-    let mut consider = |params: SvmParams, acc: f64, all: &mut Vec<(SvmParams, f64)>| {
-        all.push((params, acc));
+    for &(params, acc) in &all {
         if best.as_ref().map_or(true, |(_, b)| acc > *b) {
             best = Some((params, acc));
-        }
-    };
-
-    for &c in cs {
-        let lin = SvmParams { kernel: Kernel::Linear, c, ..Default::default() };
-        let acc = k_fold_accuracy(data, k, &lin, seed);
-        consider(lin, acc, &mut all);
-        for &gamma in gammas {
-            let rbf = SvmParams { kernel: Kernel::Rbf { gamma }, c, ..Default::default() };
-            let acc = k_fold_accuracy(data, k, &rbf, seed);
-            consider(rbf, acc, &mut all);
         }
     }
     let (params, accuracy) = best.expect("grid must be non-empty");

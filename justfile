@@ -6,11 +6,22 @@ verify:
     cargo test -q
     cargo clippy --all-targets -- -D warnings
 
-# The CI gate: formatting, workspace-wide lints, full test suite.
+# The CI gate: formatting, workspace-wide lints, full test suite, bench smoke.
 ci:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
     cargo test -q
+    just bench-smoke
+
+# Bench smoke: table1 + fig6 on a scaled geometry (scratch dir, so the
+# committed full-geometry results/ artifacts stay untouched), then check
+# that the BENCH_*.json artifacts exist and parse. Fast enough for CI.
+bench-smoke:
+    cargo build --release -p stash-bench --bins
+    rm -rf target/bench-smoke && mkdir -p target/bench-smoke
+    cd target/bench-smoke && STASH_PAGE_BYTES=1024 STASH_SAMPLES=2 ../release/table1 > /dev/null
+    cd target/bench-smoke && STASH_PAGE_BYTES=1024 ../release/fig6 > /dev/null
+    ./target/release/bench_check target/bench-smoke/results/BENCH_table1.json target/bench-smoke/results/BENCH_fig6.json
 
 # Fast edit loop: tier-1 integration suites only (root package).
 test:
