@@ -15,7 +15,10 @@
 
 use rand::Rng;
 use stash_bench::{f, header, rng, row, write_trace_artifacts};
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry};
+use stash_flash::{
+    BitPattern, BlockId, Chip, ChipProfile, FaultDevice, FaultPlan, Geometry, NandDevice,
+    TraceDevice,
+};
 use stash_ftl::{Ftl, FtlConfig};
 use stash_obs::json::write_num;
 use stash_obs::Tracer;
@@ -47,7 +50,7 @@ fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
         .with_partial_program_fail(rate)
         .with_erase_fail(rate)
         .schedule_grown_bad(BlockId(5), GROWN_BAD_AT_OP);
-    let chip = Chip::with_faults(volume_profile(), seed, plan);
+    let chip = FaultDevice::with_plan(TraceDevice::new(Chip::new(volume_profile(), seed)), plan);
     let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
     let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
     let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), SLOTS).unwrap();

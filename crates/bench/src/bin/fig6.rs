@@ -18,7 +18,9 @@ use stash_bench::{
     experiment_key, f, fill_block_hiding_traced, header, raw_paper_config, rng, row,
     short_block_geometry, write_trace_artifacts, BenchMeter,
 };
-use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, MeterSnapshot};
+use stash_flash::{
+    BitErrorStats, BlockId, Chip, ChipProfile, MeterSnapshot, NandDevice, TraceDevice,
+};
 use stash_obs::Tracer;
 
 const STEPS: u8 = 15;
@@ -53,7 +55,10 @@ fn main() {
         let mut r = rng(6000 + u64::from(interval) * 10 + bits as u64);
         let tracer = (ci == 0).then(Tracer::shared);
 
-        let mut chip = Chip::new(profile.clone(), 1000 + u64::from(interval) * 10 + bits as u64);
+        let mut chip = TraceDevice::new(Chip::new(
+            profile.clone(),
+            1000 + u64::from(interval) * 10 + bits as u64,
+        ));
         chip.set_recorder(tracer.clone().map(|t| t as stash_flash::SharedRecorder));
         {
             let _combo = tracer

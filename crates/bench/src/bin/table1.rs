@@ -21,7 +21,7 @@ use stash_bench::{
     experiment_key, f, fill_block_hiding_traced, header, raw_paper_config, rng, row,
     short_block_geometry, write_trace_artifacts, BenchMeter,
 };
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, MeterSnapshot, PageId};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, MeterSnapshot, NandDevice, PageId};
 use stash_obs::Tracer;
 use vthi::{shannon_capacity_bits, Hider, HidingThroughput, PAPER_PAGES_PER_BLOCK_S8};
 
@@ -40,7 +40,8 @@ fn vthi_sample(profile: &ChipProfile, sample: usize, traced: bool) -> SampleMete
     let timing = stash_flash::TimingModel::paper_vendor_a();
     let key = experiment_key();
     let cfg = raw_paper_config(256, 1);
-    let mut chip = Chip::new(profile.clone(), 71 + 100 * sample as u64);
+    let mut chip =
+        stash_flash::TraceDevice::new(Chip::new(profile.clone(), 71 + 100 * sample as u64));
     let mut r = rng(42 + sample as u64);
     chip.reset_meter();
     let tracer = traced.then(Tracer::shared);

@@ -18,7 +18,7 @@ pub mod detect;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stash_crypto::HidingKey;
-use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Geometry, Histogram, PageId};
+use stash_flash::{BitErrorStats, BitPattern, BlockId, Geometry, Histogram, NandDevice, PageId};
 use stash_obs::{span, TraceReport, Tracer};
 use std::sync::Arc;
 use vthi::{Hider, PageEncodeReport, VthiConfig};
@@ -53,7 +53,11 @@ pub fn raw_paper_config(hidden_bits: usize, page_interval: u32) -> VthiConfig {
 
 /// Fills every page of a block with fresh pseudorandom public data,
 /// returning the patterns (paper §4 methodology).
-pub fn fill_block(chip: &mut Chip, block: BlockId, rng: &mut SmallRng) -> Vec<BitPattern> {
+pub fn fill_block<D: NandDevice>(
+    chip: &mut D,
+    block: BlockId,
+    rng: &mut SmallRng,
+) -> Vec<BitPattern> {
     let cpp = chip.geometry().cells_per_page();
     let pages = chip.geometry().pages_per_block;
     chip.erase_block(block).expect("erase");
@@ -68,8 +72,8 @@ pub fn fill_block(chip: &mut Chip, block: BlockId, rng: &mut SmallRng) -> Vec<Bi
 
 /// Fills a block while hiding payloads on the pages selected by the config's
 /// page interval. Returns the public patterns and per-page encode reports.
-pub fn fill_block_hiding(
-    chip: &mut Chip,
+pub fn fill_block_hiding<D: NandDevice>(
+    chip: &mut D,
     block: BlockId,
     key: &HidingKey,
     cfg: &VthiConfig,
@@ -83,8 +87,8 @@ pub fn fill_block_hiding(
 /// and the hider reports its PP-step/retry metrics (identical behavior when
 /// `None`).
 #[allow(clippy::too_many_arguments)]
-pub fn fill_block_hiding_traced(
-    chip: &mut Chip,
+pub fn fill_block_hiding_traced<D: NandDevice>(
+    chip: &mut D,
     block: BlockId,
     key: &HidingKey,
     cfg: &VthiConfig,
@@ -149,8 +153,8 @@ pub fn write_trace_artifacts(name: &str, report: &TraceReport) {
 
 /// Probes a whole block and splits the histogram by cell state. One probe
 /// buffer is reused across pages — no per-page `Vec<Level>` allocation.
-pub fn block_histograms(
-    chip: &mut Chip,
+pub fn block_histograms<D: NandDevice>(
+    chip: &mut D,
     block: BlockId,
     publics: &[BitPattern],
 ) -> (Histogram, Histogram) {
@@ -171,8 +175,8 @@ pub fn block_histograms(
 }
 
 /// Measures the raw hidden BER of previously hidden pages right now.
-pub fn measure_hidden_ber(
-    chip: &mut Chip,
+pub fn measure_hidden_ber<D: NandDevice>(
+    chip: &mut D,
     key: &HidingKey,
     cfg: &VthiConfig,
     reports: &[PageEncodeReport],
@@ -182,8 +186,8 @@ pub fn measure_hidden_ber(
 }
 
 /// Measures the public-data BER of a block against the stored patterns.
-pub fn measure_public_ber(
-    chip: &mut Chip,
+pub fn measure_public_ber<D: NandDevice>(
+    chip: &mut D,
     block: BlockId,
     publics: &[BitPattern],
 ) -> BitErrorStats {
@@ -297,6 +301,7 @@ pub fn f(v: f64, prec: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stash_flash::Chip;
 
     #[test]
     fn short_block_geometry_has_paper_pages() {

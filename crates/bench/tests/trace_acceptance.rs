@@ -7,7 +7,10 @@
 
 use rand::Rng;
 use stash_bench::rng;
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry};
+use stash_flash::{
+    BitPattern, BlockId, Chip, ChipProfile, FaultDevice, FaultPlan, Geometry, NandDevice,
+    TraceDevice,
+};
 use stash_ftl::{Ftl, FtlConfig};
 use stash_obs::export::{export_collapsed, export_jsonl};
 use stash_obs::json::{self, JsonValue};
@@ -29,7 +32,7 @@ fn traced_chaos_run() -> (TraceReport, f64) {
         .with_partial_program_fail(FAULT_RATE)
         .with_erase_fail(FAULT_RATE)
         .schedule_grown_bad(BlockId(5), 400);
-    let chip = Chip::with_faults(profile, seed, plan);
+    let chip = FaultDevice::with_plan(TraceDevice::new(Chip::new(profile, seed)), plan);
     let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
     let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
     let key = stash_crypto::HidingKey::from_passphrase("trace acceptance");

@@ -3,7 +3,9 @@
 use rand::{rngs::SmallRng, SeedableRng};
 use stash_crypto::HidingKey;
 use stash_fingerprint::{Fingerprint, FlashTrng};
-use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Histogram, PageId};
+use stash_flash::{
+    BitPattern, BlockId, Chip, ChipProfile, Histogram, NandDevice, PageId, TraceDevice,
+};
 use stash_obs::{export, Tracer};
 use std::sync::Arc;
 use vthi::{Hider, PageCapacity, VthiConfig, WearPlan};
@@ -20,7 +22,7 @@ pub enum Outcome {
 /// Console state: one chip, one optional hiding key, bookkeeping for
 /// hide/reveal demos.
 pub struct Console {
-    chip: Chip,
+    chip: TraceDevice<Chip>,
     key: Option<HidingKey>,
     cfg: VthiConfig,
     rng: SmallRng,
@@ -33,9 +35,10 @@ pub struct Console {
 }
 
 impl Console {
-    /// Creates a console over a fresh scaled vendor-A chip.
+    /// Creates a console over a fresh scaled vendor-A chip, wrapped in
+    /// tracing middleware so `trace on` can attach a recorder at runtime.
     pub fn new() -> Self {
-        let chip = Chip::new(ChipProfile::vendor_a_scaled(), 0x7E57);
+        let chip = TraceDevice::new(Chip::new(ChipProfile::vendor_a_scaled(), 0x7E57));
         let cfg = VthiConfig::scaled_for(chip.geometry());
         Console {
             chip,

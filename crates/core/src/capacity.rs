@@ -8,7 +8,7 @@
 
 use crate::config::VthiConfig;
 use crate::select::SelectionMode;
-use stash_flash::{BitPattern, Chip, Level, PageId};
+use stash_flash::{BitPattern, Level, NandDevice, PageId};
 
 /// The fraction of naturally-above-threshold cells the planner is willing
 /// to add as hidden charge (the paper's 512-of-700 bound, ≈0.73).
@@ -32,8 +32,8 @@ impl PageCapacity {
     /// # Errors
     ///
     /// Propagates flash errors from the probe.
-    pub fn assess(
-        chip: &mut Chip,
+    pub fn assess<D: NandDevice + ?Sized>(
+        chip: &mut D,
         page: PageId,
         public: &BitPattern,
         vth: Level,
@@ -81,8 +81,8 @@ pub fn shannon_capacity_bits(n: usize, ber: f64) -> f64 {
 /// # Errors
 ///
 /// Propagates flash errors.
-pub fn block_admits(
-    chip: &mut Chip,
+pub fn block_admits<D: NandDevice + ?Sized>(
+    chip: &mut D,
     block: stash_flash::BlockId,
     publics: &[BitPattern],
     cfg: &VthiConfig,
@@ -108,7 +108,7 @@ pub fn capacity_independent_of_mode(_: SelectionMode) -> bool {
 mod tests {
     use super::*;
     use rand::{rngs::SmallRng, SeedableRng};
-    use stash_flash::{BlockId, ChipProfile};
+    use stash_flash::{BlockId, Chip, ChipProfile};
 
     #[test]
     fn shannon_matches_paper_figures() {

@@ -6,7 +6,7 @@ use crate::payload::{decode_payload, encode_payload};
 use crate::recovery::{offset_level, RetryPolicy};
 use crate::select::{page_stream_id, select_hidden_cells, SelectionMode};
 use stash_crypto::HidingKey;
-use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Level, PageId};
+use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Level, NandDevice, PageId};
 use stash_obs::{span, Tracer};
 use std::sync::Arc;
 
@@ -38,11 +38,15 @@ pub struct BlockEncodeReport {
     pub payload_bytes: usize,
 }
 
-/// The hiding user's handle on a chip: owns the key and configuration and
+/// The hiding user's handle on a device: owns the key and configuration and
 /// exposes hide/reveal operations (paper Fig. 4's "hiding encoder/decoder").
+///
+/// Generic over the [`NandDevice`] backend, defaulting to a bare [`Chip`];
+/// wrap the chip in middleware (`FaultDevice`, `TraceDevice`, …) to add
+/// fault injection or tracing underneath the hider.
 #[derive(Debug)]
-pub struct Hider<'c> {
-    chip: &'c mut Chip,
+pub struct Hider<'c, D: NandDevice = Chip> {
+    chip: &'c mut D,
     key: HidingKey,
     cfg: VthiConfig,
     mode: SelectionMode,
@@ -50,10 +54,10 @@ pub struct Hider<'c> {
     tracer: Option<Arc<Tracer>>,
 }
 
-impl<'c> Hider<'c> {
+impl<'c, D: NandDevice> Hider<'c, D> {
     /// Creates a hider. Panics only through [`VthiConfig::validate`]
     /// misuse; call `validate` first when the config is user-supplied.
-    pub fn new(chip: &'c mut Chip, key: HidingKey, cfg: VthiConfig) -> Self {
+    pub fn new(chip: &'c mut D, key: HidingKey, cfg: VthiConfig) -> Self {
         Hider {
             chip,
             key,
@@ -67,9 +71,9 @@ impl<'c> Hider<'c> {
     /// Attaches a tracer: encode/decode phases open spans on it and feed
     /// the PP-step and retry histograms. `None` (the default) keeps every
     /// instrumentation point a no-op. The tracer is *not* installed as the
-    /// chip's recorder here — callers that want chip ops attributed should
-    /// also `chip.set_recorder(Some(tracer))` (the FTL and hidden-volume
-    /// layers do this in their `attach_tracer`).
+    /// device's recorder here — callers that want device ops attributed
+    /// should also `device.install_recorder(Some(tracer))` (the FTL and
+    /// hidden-volume layers do this in their `attach_tracer`).
     pub fn with_tracer(mut self, tracer: Option<Arc<Tracer>>) -> Self {
         self.tracer = tracer;
         self
@@ -98,7 +102,7 @@ impl<'c> Hider<'c> {
     /// charged to simulated time.
     fn with_retries<T>(
         &mut self,
-        mut op: impl FnMut(&mut Chip) -> stash_flash::Result<T>,
+        mut op: impl FnMut(&mut D) -> stash_flash::Result<T>,
     ) -> crate::Result<T> {
         let mut attempt = 0u32;
         let result = loop {
@@ -126,14 +130,14 @@ impl<'c> Hider<'c> {
         &self.cfg
     }
 
-    /// Shared access to the underlying chip.
-    pub fn chip(&self) -> &Chip {
+    /// Shared access to the underlying device.
+    pub fn chip(&self) -> &D {
         self.chip
     }
 
-    /// Exclusive access to the underlying chip (e.g. for erases and reads
+    /// Exclusive access to the underlying device (e.g. for erases and reads
     /// around hiding operations).
-    pub fn chip_mut(&mut self) -> &mut Chip {
+    pub fn chip_mut(&mut self) -> &mut D {
         self.chip
     }
 
@@ -880,14 +884,14 @@ mod tests {
 
     #[test]
     fn retry_policy_rides_out_transient_program_faults() {
-        let mut c = chip();
         // One in four programs and PP steps fails transiently.
-        c.set_fault_plan(
+        let mut c = stash_flash::FaultDevice::with_plan(
+            chip(),
             stash_flash::FaultPlan::new(8).with_program_fail(0.25).with_partial_program_fail(0.25),
         );
-        let cfg = cfg(&c);
+        let cfg = cfg(c.inner());
         let payload: Vec<u8> = (0..cfg.payload_bytes_per_page() as u8).collect();
-        let public = random_public(&c, 13);
+        let public = random_public(c.inner(), 13);
         let page = PageId::new(BlockId(0), 0);
         let mut h = Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
         h.chip_mut().erase_block(BlockId(0)).unwrap();
@@ -903,11 +907,13 @@ mod tests {
 
     #[test]
     fn retry_policy_gives_up_after_max_retries() {
-        let mut c = chip();
-        c.set_fault_plan(stash_flash::FaultPlan::new(8).with_program_fail(1.0));
-        let cfg = cfg(&c);
+        let mut c = stash_flash::FaultDevice::with_plan(
+            chip(),
+            stash_flash::FaultPlan::new(8).with_program_fail(1.0),
+        );
+        let cfg = cfg(c.inner());
         let payload = vec![0u8; cfg.payload_bytes_per_page()];
-        let public = random_public(&c, 14);
+        let public = random_public(c.inner(), 14);
         let page = PageId::new(BlockId(0), 0);
         let mut h = Hider::new(&mut c, key(), cfg).with_retry_policy(RetryPolicy::standard());
         h.chip_mut().erase_block(BlockId(0)).unwrap();

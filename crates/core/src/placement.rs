@@ -9,7 +9,7 @@
 //! therefore place hidden data in blocks whose PEC matches the bulk of the
 //! device, never in outliers. This module implements that planner.
 
-use stash_flash::{BlockId, Chip};
+use stash_flash::{BlockId, NandDevice};
 
 /// The safety window from Fig. 10: hidden and cover blocks should be within
 /// this many P/E cycles of each other.
@@ -33,7 +33,7 @@ impl WearPlan {
     /// # Panics
     ///
     /// Panics if the chip has no blocks (geometries always have ≥1).
-    pub fn for_chip(chip: &Chip, tolerance: u32) -> WearPlan {
+    pub fn for_chip<D: NandDevice + ?Sized>(chip: &D, tolerance: u32) -> WearPlan {
         let blocks = chip.geometry().blocks_per_chip;
         assert!(blocks > 0, "chip has no blocks");
         let mut pecs: Vec<(BlockId, u32)> = (0..blocks)
@@ -70,7 +70,7 @@ impl WearPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stash_flash::ChipProfile;
+    use stash_flash::{Chip, ChipProfile};
 
     fn chip_with_wear(pecs: &[u32]) -> Chip {
         let mut chip = Chip::new(ChipProfile::test_small(), 9);

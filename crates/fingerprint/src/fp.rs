@@ -9,7 +9,7 @@
 //! physical page correlate strongly; measurements of different dies (or
 //! different pages) do not correlate at all.
 
-use stash_flash::{BlockId, Chip, PageId, Result};
+use stash_flash::{BlockId, NandDevice, PageId, Result};
 
 /// How many incremental steps one timing probe uses.
 const PROBE_STEPS: u16 = 30;
@@ -33,7 +33,11 @@ impl Fingerprint {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
-    pub fn enroll(chip: &mut Chip, block: BlockId, rounds: usize) -> Result<Fingerprint> {
+    pub fn enroll<D: NandDevice + ?Sized>(
+        chip: &mut D,
+        block: BlockId,
+        rounds: usize,
+    ) -> Result<Fingerprint> {
         assert!(rounds > 0, "need at least one probe round");
         let cpp = chip.geometry().cells_per_page();
         let page = PageId::new(block, 0);
@@ -90,7 +94,7 @@ impl Fingerprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stash_flash::ChipProfile;
+    use stash_flash::{Chip, ChipProfile};
 
     fn chip(seed: u64) -> Chip {
         Chip::new(ChipProfile::vendor_a_scaled(), seed)

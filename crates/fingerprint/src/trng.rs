@@ -8,21 +8,21 @@
 //! half-levels), so the generator conditions them with a von Neumann
 //! extractor before handing them out.
 
-use stash_flash::{BitPattern, BlockId, Chip, PageId, Result};
+use stash_flash::{BitPattern, BlockId, Chip, NandDevice, PageId, Result};
 
-/// Entropy source over one scratch block of a chip.
+/// Entropy source over one scratch block of a device.
 #[derive(Debug)]
-pub struct FlashTrng<'c> {
-    chip: &'c mut Chip,
+pub struct FlashTrng<'c, D: NandDevice = Chip> {
+    chip: &'c mut D,
     block: BlockId,
     next_page: u32,
     pool: Vec<u8>,
 }
 
-impl<'c> FlashTrng<'c> {
+impl<'c, D: NandDevice> FlashTrng<'c, D> {
     /// Creates a TRNG using `block` as scratch space (its contents are
     /// destroyed as entropy is harvested).
-    pub fn new(chip: &'c mut Chip, block: BlockId) -> Self {
+    pub fn new(chip: &'c mut D, block: BlockId) -> Self {
         FlashTrng { chip, block, next_page: u32::MAX, pool: Vec::new() }
     }
 

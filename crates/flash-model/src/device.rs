@@ -1,0 +1,577 @@
+//! The NAND command surface as a trait, plus batched command dispatch.
+//!
+//! [`NandDevice`] captures the tester-level command set of [`Chip`] —
+//! erase/program/partial-program, plain and threshold-shifted reads, the
+//! voltage probe, preconditioning and aging, bad-block management, and the
+//! meter/time accessors — so the layers above (the VT-HI hider, PT-HI, the
+//! FTL, the hidden volume, recovery/scrub) can be written once and run
+//! against any backend: a bare [`Chip`], a chip wrapped in fault-injection
+//! or tracing middleware ([`FaultDevice`](crate::FaultDevice),
+//! [`TraceDevice`](crate::TraceDevice)), a checkpointable device
+//! ([`SnapshotDevice`](crate::SnapshotDevice)), or a future non-NAND medium.
+//!
+//! [`NandDevice::exec`] additionally offers a batched entry point: a slice
+//! of [`NandCmd`]s is dispatched in order and each command's outcome comes
+//! back as a [`CmdResult`], the shape a command queue between a host and a
+//! device controller would have.
+//!
+//! Determinism contract: a device wrapper must forward commands without
+//! consuming the wrapped device's RNG streams or reordering its operations;
+//! decorating a chip with no-op middleware yields byte-identical voltages,
+//! reads and meter snapshots (tested in `tests/backend_parity.rs`).
+
+use crate::bits::BitPattern;
+use crate::chip::Chip;
+use crate::geometry::{BlockId, Geometry, PageId};
+use crate::meter::{FaultKind, MeterSnapshot, OpKind};
+use crate::profile::ChipProfile;
+use crate::recorder::SharedRecorder;
+use crate::{Level, Result, SLC_READ_REF};
+
+/// One queued device command for [`NandDevice::exec`].
+///
+/// Each variant mirrors a [`NandDevice`] method; the batched form exists so
+/// hosts can hand a device a command queue and so middleware can observe or
+/// reorder traffic at a single choke point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NandCmd {
+    /// [`NandDevice::erase_block`].
+    EraseBlock(BlockId),
+    /// [`NandDevice::cycle_block`].
+    CycleBlock(BlockId, u32),
+    /// [`NandDevice::program_page`].
+    ProgramPage(PageId, BitPattern),
+    /// [`NandDevice::partial_program`].
+    PartialProgram(PageId, BitPattern),
+    /// [`NandDevice::fine_partial_program`].
+    FinePartialProgram(PageId, BitPattern, Level),
+    /// [`NandDevice::read_page`].
+    ReadPage(PageId),
+    /// [`NandDevice::read_page_shifted`].
+    ReadPageShifted(PageId, Level),
+    /// [`NandDevice::probe_voltages`].
+    ProbeVoltages(PageId),
+    /// [`NandDevice::stress_cells`].
+    StressCells(PageId, BitPattern, u32),
+    /// [`NandDevice::program_time_probe`].
+    ProgramTimeProbe(PageId, u16),
+    /// [`NandDevice::age_days`].
+    AgeDays(f64),
+    /// [`NandDevice::advance_time_us`].
+    AdvanceTimeUs(f64),
+    /// [`NandDevice::mark_bad`].
+    MarkBad(BlockId),
+    /// [`NandDevice::grow_bad_block`].
+    GrowBadBlock(BlockId),
+    /// [`NandDevice::discard_block_state`].
+    DiscardBlockState(BlockId),
+}
+
+/// The outcome of one [`NandCmd`], shaped by the command's return type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmdResult {
+    /// Outcome of a command returning no data.
+    Unit(Result<()>),
+    /// Outcome of a page read.
+    Bits(Result<BitPattern>),
+    /// Outcome of a voltage probe.
+    Levels(Result<Vec<Level>>),
+    /// Outcome of a program-time probe.
+    Steps(Result<Vec<u16>>),
+}
+
+impl CmdResult {
+    /// Whether the command succeeded.
+    pub fn is_ok(&self) -> bool {
+        match self {
+            CmdResult::Unit(r) => r.is_ok(),
+            CmdResult::Bits(r) => r.is_ok(),
+            CmdResult::Levels(r) => r.is_ok(),
+            CmdResult::Steps(r) => r.is_ok(),
+        }
+    }
+}
+
+/// The chip command surface: what a tester (or controller) can ask a NAND
+/// device to do. [`Chip`] is the reference backend; middleware wrappers
+/// implement the trait by decorating another implementation.
+///
+/// Methods mirror the inherent [`Chip`] API one-for-one — same names, same
+/// signatures, same error types — so code written against `&mut Chip`
+/// becomes generic by swapping the bound, not by rewriting call sites.
+pub trait NandDevice {
+    /// The package geometry.
+    fn geometry(&self) -> &Geometry;
+
+    /// The calibration profile.
+    fn profile(&self) -> &ChipProfile;
+
+    /// The sample seed.
+    fn seed(&self) -> u64;
+
+    /// Cumulative operation counts, simulated device time and energy.
+    fn meter(&self) -> MeterSnapshot;
+
+    /// Zeroes the operation meter (e.g. after preconditioning).
+    fn reset_meter(&mut self);
+
+    /// Bills one operation to the device meter (and through any tracing
+    /// middleware in the stack). Middleware uses this to account failed
+    /// attempts that never reach the underlying physics.
+    fn record_op(&mut self, kind: OpKind);
+
+    /// Records one fault event on the device meter (and through any tracing
+    /// middleware in the stack).
+    fn record_fault(&mut self, kind: FaultKind);
+
+    /// Installs (or, with `None`, removes) an event recorder somewhere in
+    /// the device stack. The default is a no-op: a bare device has no
+    /// tracing hook, and a [`TraceDevice`](crate::TraceDevice) anywhere in a
+    /// middleware stack overrides it.
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        let _ = recorder;
+    }
+
+    /// Advances simulated wall-clock time without issuing an operation
+    /// (retry backoff); accounted separately in the meter's `wait_time_us`.
+    fn advance_time_us(&mut self, us: f64);
+
+    /// Scales the read-noise sigma applied by subsequent reads and probes
+    /// (`1.0` = calibrated noise). This is the hook fault middleware uses to
+    /// apply noise-spike windows without owning the read path.
+    fn set_read_noise_scale(&mut self, scale: f64);
+
+    /// Program/erase cycles endured by a block.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid block address.
+    fn block_pec(&self, b: BlockId) -> Result<u32>;
+
+    /// Marks a block factory-bad; subsequent operations on it fail.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid block address.
+    fn mark_bad(&mut self, b: BlockId) -> Result<()>;
+
+    /// Whether a block is marked factory-bad.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid block address.
+    fn is_bad(&self, b: BlockId) -> Result<bool>;
+
+    /// Marks a block as grown bad: writes fail, reads still work.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid block address.
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()>;
+
+    /// Whether a block has grown bad at runtime.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid block address.
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool>;
+
+    /// Whether a page has been programmed since its block's last erase.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid page address.
+    fn is_page_programmed(&self, p: PageId) -> Result<bool>;
+
+    /// Frees the bulky per-cell state of a block, keeping wear and identity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid block address.
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()>;
+
+    /// Erases a block.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses, bad blocks, or injected erase faults.
+    fn erase_block(&mut self, b: BlockId) -> Result<()>;
+
+    /// Applies `n` unmetered program/erase cycles of wear (preconditioning).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()>;
+
+    /// Programs a page with a data pattern (bit `0` charges the cell).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses, bad blocks, pattern-length mismatch, a
+    /// page already programmed since its last erase, or injected faults.
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()>;
+
+    /// Issues one partial-program step to the masked cells of a page.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses, bad blocks, pattern-length mismatch, a
+    /// page not yet programmed, or injected faults.
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()>;
+
+    /// Controller-grade fine partial programming toward a voltage target.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses, bad blocks, pattern-length mismatch, a
+    /// page not yet programmed, or injected faults.
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()>;
+
+    /// Standard page read against the SLC reference voltage.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    fn read_page(&mut self, p: PageId) -> Result<BitPattern> {
+        self.read_page_shifted(p, SLC_READ_REF)
+    }
+
+    /// Page read with a shifted reference voltage (the retention-management
+    /// vendor command VT-HI decodes with).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern>;
+
+    /// Per-cell voltage probe (the NDA characterization command).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
+        let mut out = Vec::new();
+        self.probe_voltages_into(p, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`probe_voltages`](Self::probe_voltages) into a caller-owned buffer;
+    /// `out` is cleared and refilled.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks (leaving `out` cleared).
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()>;
+
+    /// Advances retention time for the whole device.
+    fn age_days(&mut self, days: f64);
+
+    /// PT-HI substrate: stress-programs the masked cells, permanently
+    /// shifting their program speed. Destroys the page contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses, bad blocks, or pattern-length mismatch.
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()>;
+
+    /// PT-HI substrate: reports, per cell, the fine-program step at which it
+    /// crossed into the programmed state. Destroys the page contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>>;
+
+    /// Dispatches a batch of commands in order, collecting each outcome.
+    /// A failed command does not stop the batch — the queue semantics a
+    /// controller would implement; callers that need all-or-nothing check
+    /// [`CmdResult::is_ok`] per entry.
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        cmds.iter()
+            .map(|cmd| match cmd {
+                NandCmd::EraseBlock(b) => CmdResult::Unit(self.erase_block(*b)),
+                NandCmd::CycleBlock(b, n) => CmdResult::Unit(self.cycle_block(*b, *n)),
+                NandCmd::ProgramPage(p, data) => CmdResult::Unit(self.program_page(*p, data)),
+                NandCmd::PartialProgram(p, mask) => CmdResult::Unit(self.partial_program(*p, mask)),
+                NandCmd::FinePartialProgram(p, mask, target) => {
+                    CmdResult::Unit(self.fine_partial_program(*p, mask, *target))
+                }
+                NandCmd::ReadPage(p) => CmdResult::Bits(self.read_page(*p)),
+                NandCmd::ReadPageShifted(p, vref) => {
+                    CmdResult::Bits(self.read_page_shifted(*p, *vref))
+                }
+                NandCmd::ProbeVoltages(p) => CmdResult::Levels(self.probe_voltages(*p)),
+                NandCmd::StressCells(p, mask, cycles) => {
+                    CmdResult::Unit(self.stress_cells(*p, mask, *cycles))
+                }
+                NandCmd::ProgramTimeProbe(p, steps) => {
+                    CmdResult::Steps(self.program_time_probe(*p, *steps))
+                }
+                NandCmd::AgeDays(days) => {
+                    self.age_days(*days);
+                    CmdResult::Unit(Ok(()))
+                }
+                NandCmd::AdvanceTimeUs(us) => {
+                    self.advance_time_us(*us);
+                    CmdResult::Unit(Ok(()))
+                }
+                NandCmd::MarkBad(b) => CmdResult::Unit(self.mark_bad(*b)),
+                NandCmd::GrowBadBlock(b) => CmdResult::Unit(self.grow_bad_block(*b)),
+                NandCmd::DiscardBlockState(b) => CmdResult::Unit(self.discard_block_state(*b)),
+            })
+            .collect()
+    }
+}
+
+/// A mutable reference to a device is itself a device, so `Hider::new(&mut
+/// chip, ...)`-style borrowing call sites keep working under the generic
+/// bound.
+impl<D: NandDevice + ?Sized> NandDevice for &mut D {
+    fn geometry(&self) -> &Geometry {
+        (**self).geometry()
+    }
+    fn profile(&self) -> &ChipProfile {
+        (**self).profile()
+    }
+    fn seed(&self) -> u64 {
+        (**self).seed()
+    }
+    fn meter(&self) -> MeterSnapshot {
+        (**self).meter()
+    }
+    fn reset_meter(&mut self) {
+        (**self).reset_meter();
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        (**self).record_op(kind);
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        (**self).record_fault(kind);
+    }
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        (**self).install_recorder(recorder);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        (**self).advance_time_us(us);
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        (**self).set_read_noise_scale(scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        (**self).block_pec(b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        (**self).mark_bad(b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        (**self).is_bad(b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        (**self).grow_bad_block(b)
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        (**self).is_grown_bad(b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        (**self).is_page_programmed(p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        (**self).discard_block_state(b)
+    }
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        (**self).erase_block(b)
+    }
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        (**self).cycle_block(b, n)
+    }
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        (**self).program_page(p, data)
+    }
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        (**self).partial_program(p, mask)
+    }
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        (**self).fine_partial_program(p, mask, target)
+    }
+    fn read_page(&mut self, p: PageId) -> Result<BitPattern> {
+        (**self).read_page(p)
+    }
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        (**self).read_page_shifted(p, vref)
+    }
+    fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
+        (**self).probe_voltages(p)
+    }
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        (**self).probe_voltages_into(p, out)
+    }
+    fn age_days(&mut self, days: f64) {
+        (**self).age_days(days);
+    }
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        (**self).stress_cells(p, mask, cycles)
+    }
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        (**self).program_time_probe(p, steps)
+    }
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        (**self).exec(cmds)
+    }
+}
+
+impl NandDevice for Chip {
+    fn geometry(&self) -> &Geometry {
+        Chip::geometry(self)
+    }
+    fn profile(&self) -> &ChipProfile {
+        Chip::profile(self)
+    }
+    fn seed(&self) -> u64 {
+        Chip::seed(self)
+    }
+    fn meter(&self) -> MeterSnapshot {
+        Chip::meter(self)
+    }
+    fn reset_meter(&mut self) {
+        Chip::reset_meter(self);
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        Chip::record_op(self, kind);
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        Chip::record_fault(self, kind);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        Chip::advance_time_us(self, us);
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        Chip::set_read_noise_scale(self, scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        Chip::block_pec(self, b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        Chip::mark_bad(self, b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        Chip::is_bad(self, b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        Chip::grow_bad_block(self, b)
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        Chip::is_grown_bad(self, b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        Chip::is_page_programmed(self, p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        Chip::discard_block_state(self, b)
+    }
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        Chip::erase_block(self, b)
+    }
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        Chip::cycle_block(self, b, n)
+    }
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        Chip::program_page(self, p, data)
+    }
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        Chip::partial_program(self, p, mask)
+    }
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        Chip::fine_partial_program(self, p, mask, target)
+    }
+    fn read_page(&mut self, p: PageId) -> Result<BitPattern> {
+        Chip::read_page(self, p)
+    }
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        Chip::read_page_shifted(self, p, vref)
+    }
+    fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
+        Chip::probe_voltages(self, p)
+    }
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        Chip::probe_voltages_into(self, p, out)
+    }
+    fn age_days(&mut self, days: f64) {
+        Chip::age_days(self, days);
+    }
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        Chip::stress_cells(self, p, mask, cycles)
+    }
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        Chip::program_time_probe(self, p, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FlashError;
+
+    fn generic_roundtrip<D: NandDevice>(dev: &mut D) -> usize {
+        let p = PageId::new(BlockId(0), 1);
+        dev.erase_block(p.block).unwrap();
+        let data = BitPattern::ones(dev.geometry().cells_per_page());
+        dev.program_page(p, &data).unwrap();
+        dev.read_page(p).unwrap().count_zeros()
+    }
+
+    #[test]
+    fn chip_and_mut_ref_both_satisfy_the_trait() {
+        let mut chip = Chip::new(ChipProfile::test_small(), 9);
+        // Call through a &mut borrow first (the blanket impl), then by value.
+        let via_ref = generic_roundtrip(&mut &mut chip);
+        let mut chip2 = Chip::new(ChipProfile::test_small(), 9);
+        let via_value = generic_roundtrip(&mut chip2);
+        assert_eq!(via_ref, via_value);
+    }
+
+    #[test]
+    fn exec_dispatches_in_order_and_collects_per_command_results() {
+        let mut chip = Chip::new(ChipProfile::test_small(), 5);
+        let cpp = chip.geometry().cells_per_page();
+        let p = PageId::new(BlockId(0), 0);
+        let data = BitPattern::zeros(cpp);
+        let results = chip.exec(&[
+            NandCmd::EraseBlock(BlockId(0)),
+            NandCmd::ProgramPage(p, data.clone()),
+            NandCmd::ProgramPage(p, data), // double program: typed error, batch continues
+            NandCmd::ReadPage(p),
+            NandCmd::ProbeVoltages(p),
+            NandCmd::AdvanceTimeUs(100.0),
+        ]);
+        assert_eq!(results.len(), 6);
+        assert!(results[0].is_ok() && results[1].is_ok());
+        assert_eq!(results[2], CmdResult::Unit(Err(FlashError::PageAlreadyProgrammed(p))));
+        match &results[3] {
+            CmdResult::Bits(Ok(bits)) => assert_eq!(bits.count_zeros(), cpp),
+            other => panic!("expected bits, got {other:?}"),
+        }
+        assert!(matches!(&results[4], CmdResult::Levels(Ok(v)) if v.len() == cpp));
+        assert!(results[5].is_ok());
+        assert!((chip.meter().wait_time_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_matches_direct_calls_byte_for_byte() {
+        let p = PageId::new(BlockId(1), 0);
+        let mut direct = Chip::new(ChipProfile::test_small(), 31);
+        let data = BitPattern::zeros(direct.geometry().cells_per_page());
+        direct.erase_block(p.block).unwrap();
+        direct.program_page(p, &data).unwrap();
+        let direct_levels = direct.probe_voltages(p).unwrap();
+
+        let mut batched = Chip::new(ChipProfile::test_small(), 31);
+        let results = batched.exec(&[
+            NandCmd::EraseBlock(p.block),
+            NandCmd::ProgramPage(p, data),
+            NandCmd::ProbeVoltages(p),
+        ]);
+        assert_eq!(results[2], CmdResult::Levels(Ok(direct_levels)));
+        assert_eq!(batched.meter(), direct.meter());
+    }
+}

@@ -27,8 +27,9 @@
 
 use crate::geometry::BlockId;
 use crate::latent;
+use crate::rng::ChipRng;
 use crate::Level;
-use rand::{rngs::SmallRng, Rng, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Domain separator for the fault RNG stream, so a plan seeded with the
 /// chip's own seed still draws an independent sequence.
@@ -62,20 +63,19 @@ pub struct StuckCell {
 
 /// A deterministic, seeded fault schedule for one chip.
 ///
-/// Build with [`FaultPlan::new`] and the `with_*` methods, then install via
-/// [`Chip::set_fault_plan`](crate::Chip::set_fault_plan) or
-/// [`Chip::with_faults`](crate::Chip::with_faults):
+/// Build with [`FaultPlan::new`] and the `with_*` methods, then wrap the
+/// device in [`FaultDevice`](crate::FaultDevice) middleware:
 ///
 /// ```
-/// use stash_flash::{BlockId, Chip, ChipProfile, FaultPlan};
+/// use stash_flash::{BlockId, Chip, ChipProfile, FaultDevice, FaultPlan};
 ///
 /// let plan = FaultPlan::new(7)
 ///     .with_program_fail(0.01)
 ///     .with_erase_fail(0.005)
 ///     .with_grown_bad_after_pec(3_000)
 ///     .schedule_grown_bad(BlockId(2), 100);
-/// let chip = Chip::with_faults(ChipProfile::test_small(), 1, plan);
-/// assert!(chip.fault_plan().is_some());
+/// let dev = FaultDevice::with_plan(Chip::new(ChipProfile::test_small(), 1), plan);
+/// assert!(dev.plan().is_some());
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FaultPlan {
@@ -200,19 +200,32 @@ impl FaultPlan {
     }
 }
 
-/// Live fault bookkeeping owned by a chip: the plan plus its private RNG
-/// stream and the global operation counter.
+/// Live fault bookkeeping owned by fault middleware: the plan plus its
+/// private RNG stream and the global operation counter.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
-    rng: SmallRng,
+    rng: ChipRng,
     pub(crate) op_index: u64,
 }
 
 impl FaultState {
     pub(crate) fn new(plan: FaultPlan) -> Self {
-        let rng = SmallRng::seed_from_u64(latent::splitmix64(plan.seed ^ FAULT_STREAM_SALT));
+        let rng = ChipRng::seed_from_u64(latent::splitmix64(plan.seed ^ FAULT_STREAM_SALT));
         FaultState { plan, rng, op_index: 0 }
+    }
+
+    /// The RNG stream position and operation counter (snapshot support; the
+    /// plan itself is configuration and is not serialized).
+    pub(crate) fn stream_position(&self) -> ([u64; 4], u64) {
+        (self.rng.state(), self.op_index)
+    }
+
+    /// Restores a stream position captured by
+    /// [`stream_position`](Self::stream_position).
+    pub(crate) fn restore_stream_position(&mut self, rng: [u64; 4], op_index: u64) {
+        self.rng = ChipRng::from_state(rng);
+        self.op_index = op_index;
     }
 
     /// Advances the global operation counter, returning this operation's

@@ -52,28 +52,36 @@ pub mod ber;
 pub mod bits;
 pub mod block;
 pub mod chip;
+pub mod device;
 pub mod error;
 pub mod fault;
 pub mod geometry;
 pub mod histogram;
 pub mod latent;
 pub mod meter;
+pub mod middleware;
 pub mod mlc;
 pub mod noise;
 pub mod profile;
 pub mod recorder;
+pub mod rng;
+pub mod snapshot;
 pub mod tlc;
 
 pub use ber::BitErrorStats;
 pub use bits::BitPattern;
 pub use chip::Chip;
+pub use device::{CmdResult, NandCmd, NandDevice};
 pub use error::FlashError;
 pub use fault::{FaultPlan, NoiseSpike, StuckCell};
 pub use geometry::{BlockId, Geometry, PageId};
 pub use histogram::Histogram;
 pub use meter::{FaultKind, Meter, MeterSnapshot, OpKind};
+pub use middleware::{FaultDevice, SnapshotDevice, TraceDevice};
 pub use profile::{ChipProfile, TimingModel};
 pub use recorder::{CountingRecorder, Recorder, SharedRecorder};
+pub use rng::ChipRng;
+pub use snapshot::{DeviceState, SnapshotError, StateReader, StateWriter};
 
 /// A measured, normalized voltage level, as reported by the vendor
 /// characterization command (`0..=255`, see paper §4 footnote 1: negative

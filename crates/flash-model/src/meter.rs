@@ -259,6 +259,12 @@ impl Meter {
     pub fn reset(&mut self) {
         self.snap = MeterSnapshot::default();
     }
+
+    /// Overwrites the meter with a previously captured snapshot (snapshot
+    /// restore).
+    pub(crate) fn restore(&mut self, snap: MeterSnapshot) {
+        self.snap = snap;
+    }
 }
 
 #[cfg(test)]

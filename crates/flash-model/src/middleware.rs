@@ -1,0 +1,1101 @@
+//! Composable device middleware: fault injection, tracing, checkpointing.
+//!
+//! Each wrapper implements [`NandDevice`] by decorating another
+//! implementation, so concerns that used to live inside `Chip` compose at
+//! the type level instead:
+//!
+//! * [`FaultDevice`] — injects a seeded [`FaultPlan`]: transient
+//!   program/erase aborts, PEC wear-out, scheduled grown-bad blocks, read
+//!   noise spikes and stuck cells. Commands that fault are billed to the
+//!   meter and abort *before* reaching the wrapped device, so retries
+//!   observe no corruption from the failed attempt.
+//! * [`TraceDevice`] — reports every billed operation, fault and wait to an
+//!   installed [`SharedRecorder`], with the same costs the meter bills.
+//! * [`SnapshotDevice`] — checkpoints/restores the full mutable state of a
+//!   [`DeviceState`] stack to bytes or to a file, so a longevity run can
+//!   stop and resume mid-experiment with bit-identical streams.
+//!
+//! # Decorator ordering
+//!
+//! The canonical stack is `FaultDevice<TraceDevice<Chip>>`: fault injection
+//! outermost, so the meter/record traffic it emits for *failed* attempts
+//! flows through the tracer exactly like successful operations do. A
+//! `TraceDevice` outside the `FaultDevice` would never see faulted attempts
+//! billed. `SnapshotDevice` composes anywhere its inner stack implements
+//! [`DeviceState`].
+//!
+//! # Determinism contract
+//!
+//! * Fault decisions draw from the plan's own RNG stream
+//!   ([`FaultPlan::new`]'s seed, domain-separated), never from the chip's
+//!   process-noise RNG, and a roll consumes randomness only when its
+//!   probability is non-zero. Wrapping a chip in `FaultDevice` with no plan
+//!   (or [`FaultPlan::none`]) is therefore byte-identical to the bare chip.
+//! * `TraceDevice` only observes; it never draws randomness or reorders
+//!   operations. A no-op (recorder-less) tracer is byte-identical
+//!   passthrough.
+//! * Read-noise spikes apply through
+//!   [`NandDevice::set_read_noise_scale`], which multiplies the profile
+//!   sigma; the scale is `1.0` (an exact IEEE no-op) outside spike windows.
+//! * `FaultDevice` rolls program/PP faults *before* the wrapped chip
+//!   materializes block state, where the pre-middleware chip materialized
+//!   first. The chip's RNG stream is unaffected for any workload that
+//!   erases a block before programming it (erasing materializes), which
+//!   every workload in this repo does; see DESIGN.md §11.
+
+use crate::bits::BitPattern;
+use crate::device::NandDevice;
+use crate::error::FlashError;
+use crate::fault::{FaultPlan, FaultState};
+use crate::geometry::{BlockId, Geometry, PageId};
+use crate::meter::{FaultKind, MeterSnapshot, OpKind};
+use crate::profile::ChipProfile;
+use crate::recorder::SharedRecorder;
+use crate::snapshot::{DeviceState, SnapshotError, StateReader, StateWriter};
+use crate::{Level, Result};
+
+/// File magic for [`SnapshotDevice`] checkpoints.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"STSHSNAP";
+/// Checkpoint format version.
+const SNAPSHOT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// FaultDevice
+// ---------------------------------------------------------------------------
+
+/// Fault-injection middleware: consults a seeded [`FaultPlan`] in front of
+/// every command of the wrapped device.
+#[derive(Debug, Clone)]
+pub struct FaultDevice<D> {
+    inner: D,
+    /// Live fault bookkeeping; `None` keeps every command on the exact
+    /// passthrough path.
+    fault: Option<Box<FaultState>>,
+}
+
+impl<D: NandDevice> FaultDevice<D> {
+    /// Wraps a device with no plan installed (pure passthrough).
+    pub fn new(inner: D) -> Self {
+        FaultDevice { inner, fault: None }
+    }
+
+    /// Wraps a device with a fault schedule installed from the start.
+    pub fn with_plan(inner: D, plan: FaultPlan) -> Self {
+        let mut dev = FaultDevice::new(inner);
+        dev.set_plan(plan);
+        dev
+    }
+
+    /// Installs (or, with [`FaultPlan::none`], removes) a fault schedule.
+    /// The plan's operation counter and RNG stream restart from the seed.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.fault = if plan.is_none() { None } else { Some(Box::new(FaultState::new(plan))) };
+    }
+
+    /// The installed fault plan, if any.
+    pub fn plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(|f| &f.plan)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the middleware, returning the wrapped device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    // Address checks replicating the chip's error precedence, so a faulted
+    // command reports the same typed error the bare device would — and so
+    // the fault op counter only advances for well-addressed commands,
+    // exactly as the pre-middleware chip counted.
+
+    fn check_block(&self, b: BlockId) -> Result<()> {
+        if !self.inner.geometry().contains_block(b) {
+            return Err(FlashError::BlockOutOfRange(b));
+        }
+        Ok(())
+    }
+
+    fn check_usable_block(&self, b: BlockId) -> Result<()> {
+        self.check_block(b)?;
+        if self.inner.is_bad(b)? {
+            return Err(FlashError::BadBlock(b));
+        }
+        Ok(())
+    }
+
+    fn check_usable_page(&self, p: PageId) -> Result<()> {
+        self.check_block(p.block)?;
+        if !self.inner.geometry().contains_page(p) {
+            return Err(FlashError::PageOutOfRange(p));
+        }
+        if self.inner.is_bad(p.block)? {
+            return Err(FlashError::BadBlock(p.block));
+        }
+        Ok(())
+    }
+
+    fn check_not_grown_bad(&self, b: BlockId) -> Result<()> {
+        if self.inner.is_grown_bad(b)? {
+            return Err(FlashError::GrownBadBlock(b));
+        }
+        Ok(())
+    }
+
+    /// Advances the fault-plan operation counter (when a plan is installed)
+    /// and applies any scheduled grown-bad marking for the touched block.
+    /// Returns this operation's global index (0 with no plan).
+    fn tick(&mut self, b: BlockId) -> Result<u64> {
+        let Some(fs) = self.fault.as_mut() else { return Ok(0) };
+        let op = fs.tick();
+        if fs.plan.grown_bad_scheduled(b, op) {
+            // `grow_bad_block` is idempotent and meters the fault only on
+            // the first marking, exactly like the in-chip schedule did.
+            self.inner.grow_bad_block(b)?;
+        }
+        Ok(op)
+    }
+}
+
+impl<D: NandDevice> NandDevice for FaultDevice<D> {
+    fn geometry(&self) -> &Geometry {
+        self.inner.geometry()
+    }
+    fn profile(&self) -> &ChipProfile {
+        self.inner.profile()
+    }
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+    fn meter(&self) -> MeterSnapshot {
+        self.inner.meter()
+    }
+    fn reset_meter(&mut self) {
+        self.inner.reset_meter();
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        self.inner.record_op(kind);
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        self.inner.record_fault(kind);
+    }
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.inner.install_recorder(recorder);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        self.inner.advance_time_us(us);
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        self.inner.set_read_noise_scale(scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        self.inner.block_pec(b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        self.inner.mark_bad(b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_bad(b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        self.inner.grow_bad_block(b)
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_grown_bad(b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        self.inner.is_page_programmed(p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        self.inner.discard_block_state(b)
+    }
+
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        self.check_usable_block(b)?;
+        self.tick(b)?;
+        self.check_not_grown_bad(b)?;
+        let next_pec =
+            if self.fault.is_some() { self.inner.block_pec(b)?.saturating_add(1) } else { 0 };
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_pec_wearout(next_pec) {
+                self.inner.grow_bad_block(b)?;
+                self.inner.record_op(OpKind::Erase);
+                return Err(FlashError::GrownBadBlock(b));
+            }
+            if fs.roll_erase() {
+                self.inner.record_fault(FaultKind::TransientErase);
+                self.inner.record_op(OpKind::Erase);
+                return Err(FlashError::EraseFail(b));
+            }
+        }
+        self.inner.erase_block(b)
+    }
+
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        // Preconditioning is unmetered and was never fault-ticked in the
+        // chip either: faults model the measured workload.
+        self.inner.cycle_block(b, n)
+    }
+
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.check_not_grown_bad(p.block)?;
+        let cpp = self.inner.geometry().cells_per_page();
+        if data.len() != cpp {
+            return Err(FlashError::PatternLength { expected: cpp, got: data.len() });
+        }
+        if self.inner.is_page_programmed(p)? {
+            return Err(FlashError::PageAlreadyProgrammed(p));
+        }
+        // Transient program failure: abort before the wrapped device draws
+        // any process noise or charges any cell, so a retry sees the page
+        // untouched. The failed attempt is still billed.
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_program() {
+                self.inner.record_fault(FaultKind::TransientProgram);
+                self.inner.record_op(OpKind::Program);
+                return Err(FlashError::TransientProgramFail(p));
+            }
+        }
+        self.inner.program_page(p, data)
+    }
+
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.check_not_grown_bad(p.block)?;
+        let cpp = self.inner.geometry().cells_per_page();
+        if mask.len() != cpp {
+            return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
+        }
+        if !self.inner.is_page_programmed(p)? {
+            return Err(FlashError::PageNotProgrammed(p));
+        }
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_partial_program() {
+                self.inner.record_fault(FaultKind::TransientProgram);
+                self.inner.record_op(OpKind::PartialProgram);
+                return Err(FlashError::TransientProgramFail(p));
+            }
+        }
+        self.inner.partial_program(p, mask)
+    }
+
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.check_not_grown_bad(p.block)?;
+        let cpp = self.inner.geometry().cells_per_page();
+        if mask.len() != cpp {
+            return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
+        }
+        if !self.inner.is_page_programmed(p)? {
+            return Err(FlashError::PageNotProgrammed(p));
+        }
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_partial_program() {
+                self.inner.record_fault(FaultKind::TransientProgram);
+                self.inner.record_op(OpKind::PartialProgram);
+                return Err(FlashError::TransientProgramFail(p));
+            }
+        }
+        self.inner.fine_partial_program(p, mask, target)
+    }
+
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        self.check_usable_page(p)?;
+        let op = self.tick(p.block)?;
+        let result = if let Some(fs) = self.fault.as_ref() {
+            self.inner.set_read_noise_scale(fs.plan.noise_factor(op));
+            let r = self.inner.read_page_shifted(p, vref);
+            self.inner.set_read_noise_scale(1.0);
+            r
+        } else {
+            self.inner.read_page_shifted(p, vref)
+        };
+        let mut bits = result?;
+        if let Some(fs) = self.fault.as_ref() {
+            let cpp = self.inner.geometry().cells_per_page();
+            let base = p.page as usize * cpp;
+            for sc in fs.plan.stuck_in(p.block) {
+                if (base..base + cpp).contains(&sc.cell) {
+                    bits.set(sc.cell - base, f64::from(sc.level) < f64::from(vref));
+                }
+            }
+        }
+        Ok(bits)
+    }
+
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        out.clear();
+        self.check_usable_page(p)?;
+        let op = self.tick(p.block)?;
+        let result = if let Some(fs) = self.fault.as_ref() {
+            self.inner.set_read_noise_scale(fs.plan.noise_factor(op));
+            let r = self.inner.probe_voltages_into(p, out);
+            self.inner.set_read_noise_scale(1.0);
+            r
+        } else {
+            self.inner.probe_voltages_into(p, out)
+        };
+        result?;
+        if let Some(fs) = self.fault.as_ref() {
+            let cpp = self.inner.geometry().cells_per_page();
+            let base = p.page as usize * cpp;
+            for sc in fs.plan.stuck_in(p.block) {
+                if (base..base + cpp).contains(&sc.cell) {
+                    out[sc.cell - base] = sc.level;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn age_days(&mut self, days: f64) {
+        self.inner.age_days(days);
+    }
+
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.check_not_grown_bad(p.block)?;
+        let cpp = self.inner.geometry().cells_per_page();
+        if mask.len() != cpp {
+            return Err(FlashError::PatternLength { expected: cpp, got: mask.len() });
+        }
+        self.inner.stress_cells(p, mask, cycles)
+    }
+
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.check_not_grown_bad(p.block)?;
+        self.inner.program_time_probe(p, steps)
+    }
+}
+
+impl<D: NandDevice + DeviceState> DeviceState for FaultDevice<D> {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.inner.save_state(w);
+        match &self.fault {
+            None => w.put_bool(false),
+            Some(fs) => {
+                w.put_bool(true);
+                let (rng, op_index) = fs.stream_position();
+                for word in rng {
+                    w.put_u64(word);
+                }
+                w.put_u64(op_index);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> std::result::Result<(), SnapshotError> {
+        self.inner.load_state(r)?;
+        let had_plan = r.get_bool()?;
+        match (had_plan, self.fault.as_mut()) {
+            (false, None) => Ok(()),
+            (true, Some(fs)) => {
+                let mut rng = [0u64; 4];
+                for word in &mut rng {
+                    *word = r.get_u64()?;
+                }
+                let op_index = r.get_u64()?;
+                fs.restore_stream_position(rng, op_index);
+                Ok(())
+            }
+            // The plan is configuration, not state: restoring requires the
+            // target device to be constructed with the same plan presence.
+            _ => Err(SnapshotError::Mismatch(
+                "snapshot and device disagree on fault-plan presence".into(),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TraceDevice
+// ---------------------------------------------------------------------------
+
+/// Tracing middleware: reports every billed operation, fault and wait of
+/// the wrapped device to an installed [`SharedRecorder`], with the same
+/// costs the meter bills. With no recorder installed it is byte-identical
+/// passthrough at one branch per event.
+#[derive(Debug, Clone)]
+pub struct TraceDevice<D> {
+    inner: D,
+    recorder: Option<SharedRecorder>,
+}
+
+impl<D: NandDevice> TraceDevice<D> {
+    /// Wraps a device with no recorder installed.
+    pub fn new(inner: D) -> Self {
+        TraceDevice { inner, recorder: None }
+    }
+
+    /// Wraps a device with a recorder installed from the start.
+    pub fn with_recorder(inner: D, recorder: SharedRecorder) -> Self {
+        TraceDevice { inner, recorder: Some(recorder) }
+    }
+
+    /// Installs (or, with `None`, removes) the recorder. Cloning the
+    /// wrapper shares the recorder.
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&SharedRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the middleware, returning the wrapped device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Reports one billed operation to the recorder at the profile's costs.
+    fn emit_op(&self, kind: OpKind) {
+        if let Some(r) = &self.recorder {
+            let (us, uj) = self.inner.profile().timing.cost(kind);
+            r.record_op(kind, us, uj);
+        }
+    }
+}
+
+impl<D: NandDevice> NandDevice for TraceDevice<D> {
+    fn geometry(&self) -> &Geometry {
+        self.inner.geometry()
+    }
+    fn profile(&self) -> &ChipProfile {
+        self.inner.profile()
+    }
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+    fn meter(&self) -> MeterSnapshot {
+        self.inner.meter()
+    }
+    fn reset_meter(&mut self) {
+        self.inner.reset_meter();
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        self.inner.record_op(kind);
+        self.emit_op(kind);
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        self.inner.record_fault(kind);
+        if let Some(r) = &self.recorder {
+            r.record_fault(kind);
+        }
+    }
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.set_recorder(recorder);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        self.inner.advance_time_us(us);
+        if let Some(r) = &self.recorder {
+            r.record_wait(us);
+        }
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        self.inner.set_read_noise_scale(scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        self.inner.block_pec(b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        self.inner.mark_bad(b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_bad(b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        let newly = !self.inner.is_grown_bad(b)?;
+        self.inner.grow_bad_block(b)?;
+        if newly {
+            if let Some(r) = &self.recorder {
+                r.record_fault(FaultKind::GrownBad);
+            }
+        }
+        Ok(())
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_grown_bad(b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        self.inner.is_page_programmed(p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        self.inner.discard_block_state(b)
+    }
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        self.inner.erase_block(b)?;
+        self.emit_op(OpKind::Erase);
+        Ok(())
+    }
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        // Unmetered on the device; not traced either.
+        self.inner.cycle_block(b, n)
+    }
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        self.inner.program_page(p, data)?;
+        self.emit_op(OpKind::Program);
+        Ok(())
+    }
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        self.inner.partial_program(p, mask)?;
+        self.emit_op(OpKind::PartialProgram);
+        Ok(())
+    }
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        self.inner.fine_partial_program(p, mask, target)?;
+        self.emit_op(OpKind::PartialProgram);
+        Ok(())
+    }
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        let bits = self.inner.read_page_shifted(p, vref)?;
+        self.emit_op(OpKind::Read);
+        Ok(bits)
+    }
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        self.inner.probe_voltages_into(p, out)?;
+        self.emit_op(OpKind::Probe);
+        Ok(())
+    }
+    fn age_days(&mut self, days: f64) {
+        self.inner.age_days(days);
+    }
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        self.inner.stress_cells(p, mask, cycles)?;
+        // The device meters a stress pass as `cycles` program operations;
+        // the trace must agree with the meter.
+        for _ in 0..cycles {
+            self.emit_op(OpKind::Program);
+        }
+        Ok(())
+    }
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        let out = self.inner.program_time_probe(p, steps)?;
+        // Metered as `steps` partial-programs plus `steps` reads,
+        // interleaved like the incremental-program loop issues them.
+        for _ in 0..steps {
+            self.emit_op(OpKind::PartialProgram);
+            self.emit_op(OpKind::Read);
+        }
+        Ok(out)
+    }
+}
+
+impl<D: NandDevice + DeviceState> DeviceState for TraceDevice<D> {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The recorder is configuration, not simulation state.
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> std::result::Result<(), SnapshotError> {
+        self.inner.load_state(r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotDevice
+// ---------------------------------------------------------------------------
+
+/// Checkpoint/restore middleware: serializes the full mutable state of the
+/// wrapped [`DeviceState`] stack so a long experiment can stop and resume
+/// with bit-identical random streams, voltages, wear and meters.
+///
+/// The wrapper itself holds no state beyond the wrapped device; it exists
+/// to give checkpointing an explicit place in a middleware stack:
+///
+/// `SnapshotDevice<FaultDevice<TraceDevice<Chip>>>` checkpoints the chip
+/// *and* the fault plan's stream position in one artifact.
+#[derive(Debug, Clone)]
+pub struct SnapshotDevice<D> {
+    inner: D,
+}
+
+impl<D: NandDevice + DeviceState> SnapshotDevice<D> {
+    /// Wraps a checkpointable device.
+    pub fn new(inner: D) -> Self {
+        SnapshotDevice { inner }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the middleware, returning the wrapped device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Serializes the full device state to bytes (magic + version header
+    /// followed by the [`DeviceState`] stream).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_bytes(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        self.inner.save_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores device state from bytes produced by
+    /// [`checkpoint_bytes`](Self::checkpoint_bytes) on an
+    /// identically-configured device.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad header, truncated/corrupt stream, or configuration
+    /// mismatch; the device should be discarded after a failed restore.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> std::result::Result<(), SnapshotError> {
+        let mut r = StateReader::new(bytes);
+        if r.get_bytes(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Corrupt("bad snapshot magic"));
+        }
+        let version = r.get_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot version {version}, expected {SNAPSHOT_VERSION}"
+            )));
+        }
+        self.inner.load_state(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(SnapshotError::Corrupt("trailing bytes after device state"));
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors.
+    pub fn checkpoint_to(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::result::Result<(), SnapshotError> {
+        std::fs::write(path, self.checkpoint_bytes())?;
+        Ok(())
+    }
+
+    /// Restores from a checkpoint file written by
+    /// [`checkpoint_to`](Self::checkpoint_to).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem errors or any [`restore_bytes`](Self::restore_bytes)
+    /// error.
+    pub fn restore_from(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> std::result::Result<(), SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        self.restore_bytes(&bytes)
+    }
+}
+
+impl<D: NandDevice> NandDevice for SnapshotDevice<D> {
+    fn geometry(&self) -> &Geometry {
+        self.inner.geometry()
+    }
+    fn profile(&self) -> &ChipProfile {
+        self.inner.profile()
+    }
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+    fn meter(&self) -> MeterSnapshot {
+        self.inner.meter()
+    }
+    fn reset_meter(&mut self) {
+        self.inner.reset_meter();
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        self.inner.record_op(kind);
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        self.inner.record_fault(kind);
+    }
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.inner.install_recorder(recorder);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        self.inner.advance_time_us(us);
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        self.inner.set_read_noise_scale(scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        self.inner.block_pec(b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        self.inner.mark_bad(b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_bad(b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        self.inner.grow_bad_block(b)
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_grown_bad(b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        self.inner.is_page_programmed(p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        self.inner.discard_block_state(b)
+    }
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        self.inner.erase_block(b)
+    }
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        self.inner.cycle_block(b, n)
+    }
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        self.inner.program_page(p, data)
+    }
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        self.inner.partial_program(p, mask)
+    }
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        self.inner.fine_partial_program(p, mask, target)
+    }
+    fn read_page(&mut self, p: PageId) -> Result<BitPattern> {
+        self.inner.read_page(p)
+    }
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        self.inner.read_page_shifted(p, vref)
+    }
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        self.inner.probe_voltages_into(p, out)
+    }
+    fn age_days(&mut self, days: f64) {
+        self.inner.age_days(days);
+    }
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        self.inner.stress_cells(p, mask, cycles)
+    }
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        self.inner.program_time_probe(p, steps)
+    }
+}
+
+impl<D: NandDevice + DeviceState> DeviceState for SnapshotDevice<D> {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> std::result::Result<(), SnapshotError> {
+        self.inner.load_state(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::Chip;
+    use crate::recorder::CountingRecorder;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn chip() -> Chip {
+        Chip::new(ChipProfile::test_small(), 42)
+    }
+
+    fn programmed_page<D: NandDevice + ?Sized>(dev: &mut D) -> (PageId, BitPattern) {
+        let p = PageId::new(BlockId(0), 2);
+        dev.erase_block(p.block).unwrap();
+        let data = BitPattern::random_half(
+            &mut rand::rngs::SmallRng::seed_from_u64(9),
+            dev.geometry().cells_per_page(),
+        );
+        dev.program_page(p, &data).unwrap();
+        (p, data)
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut c = FaultDevice::new(Chip::new(ChipProfile::test_small(), 77));
+            if let Some(plan) = plan {
+                c.set_plan(plan);
+            }
+            let (p, _) = programmed_page(&mut c);
+            let mask = BitPattern::ones(c.geometry().cells_per_page());
+            c.partial_program(p, &mask).unwrap();
+            (c.probe_voltages(p).unwrap(), c.meter())
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+    }
+
+    #[test]
+    fn transient_program_fault_leaves_page_untouched() {
+        let mut c = FaultDevice::with_plan(chip(), FaultPlan::new(3).with_program_fail(1.0));
+        let p = PageId::new(BlockId(0), 0);
+        c.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(c.geometry().cells_per_page());
+        assert_eq!(c.program_page(p, &data), Err(FlashError::TransientProgramFail(p)));
+        assert!(!c.is_page_programmed(p).unwrap(), "failed program must not mark the page");
+        // The failed attempt still reads fully erased, and a fault was metered.
+        let bits = c.read_page(p).unwrap();
+        assert_eq!(bits.count_zeros(), 0);
+        assert_eq!(c.meter().fault_count(FaultKind::TransientProgram), 1);
+        // Lifting the plan lets the same program succeed.
+        c.set_plan(FaultPlan::none());
+        c.program_page(p, &data).unwrap();
+    }
+
+    #[test]
+    fn scheduled_grown_bad_fires_at_op_index() {
+        let mut c =
+            FaultDevice::with_plan(chip(), FaultPlan::new(1).schedule_grown_bad(BlockId(0), 2));
+        let b = BlockId(0);
+        c.erase_block(b).unwrap(); // op 0
+        let data = BitPattern::ones(c.geometry().cells_per_page());
+        c.program_page(PageId::new(b, 0), &data).unwrap(); // op 1
+                                                           // Op 2 touches the block: the schedule marks it grown bad first.
+        assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
+        assert!(c.is_grown_bad(b).unwrap());
+        assert_eq!(c.meter().fault_count(FaultKind::GrownBad), 1);
+    }
+
+    #[test]
+    fn pec_threshold_grows_bad_on_erase() {
+        let mut c = FaultDevice::with_plan(chip(), FaultPlan::new(1).with_grown_bad_after_pec(5));
+        let b = BlockId(1);
+        for _ in 0..4 {
+            c.erase_block(b).unwrap();
+        }
+        assert_eq!(c.erase_block(b), Err(FlashError::GrownBadBlock(b)));
+        assert!(c.is_grown_bad(b).unwrap());
+        assert_eq!(c.block_pec(b).unwrap(), 4, "the failed erase must not add wear");
+    }
+
+    #[test]
+    fn noise_spike_inflates_read_errors_within_window() {
+        let errors_with = |factor: f64| {
+            let mut c = FaultDevice::with_plan(
+                Chip::new(ChipProfile::test_small(), 11),
+                FaultPlan::new(2).with_noise_spike(0, 1_000, factor),
+            );
+            let (p, data) = programmed_page(&mut c);
+            let mut errs = 0;
+            for _ in 0..10 {
+                errs += c.read_page(p).unwrap().hamming_distance(&data);
+            }
+            errs
+        };
+        assert!(
+            errors_with(20.0) > errors_with(1.0) + 50,
+            "a 20x sigma spike must visibly corrupt reads"
+        );
+    }
+
+    #[test]
+    fn stuck_cell_overrides_reads_and_probes() {
+        // Stick cell 5 of page 0 high and cell 7 low.
+        let mut c = FaultDevice::with_plan(
+            chip(),
+            FaultPlan::new(4).with_stuck_cell(BlockId(0), 5, 200).with_stuck_cell(BlockId(0), 7, 0),
+        );
+        let cpp = c.geometry().cells_per_page();
+        let p = PageId::new(BlockId(0), 0);
+        c.erase_block(p.block).unwrap();
+        c.program_page(p, &BitPattern::ones(cpp)).unwrap();
+        let levels = c.probe_voltages(p).unwrap();
+        assert_eq!(levels[5], 200);
+        assert_eq!(levels[7], 0);
+        let bits = c.read_page(p).unwrap();
+        assert!(!bits.get(5), "stuck-high cell must read programmed");
+        assert!(bits.get(7), "stuck-low cell must read erased");
+    }
+
+    #[test]
+    fn counting_recorder_observes_device_ops() {
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = TraceDevice::new(Chip::new(ChipProfile::test_small(), 3));
+        c.set_recorder(Some(rec.clone()));
+        c.erase_block(BlockId(0)).unwrap();
+        let _ = c.read_page(PageId::new(BlockId(0), 0)).unwrap();
+        c.advance_time_us(25.0);
+        assert_eq!(rec.ops(), 2);
+        assert_eq!(rec.waits(), 1);
+        assert_eq!(rec.faults(), 0);
+        // Ops observed match the meter exactly.
+        assert_eq!(rec.ops(), c.meter().total_ops());
+    }
+
+    #[test]
+    fn recorder_survives_device_clone() {
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = TraceDevice::new(Chip::new(ChipProfile::test_small(), 3));
+        c.set_recorder(Some(rec.clone()));
+        let mut c2 = c.clone();
+        c2.erase_block(BlockId(0)).unwrap();
+        assert_eq!(rec.ops(), 1, "clone shares the recorder");
+        c.set_recorder(None);
+        c.erase_block(BlockId(1)).unwrap();
+        assert_eq!(rec.ops(), 1, "detached device stops reporting");
+    }
+
+    #[test]
+    fn trace_sees_faulted_attempts_through_the_canonical_stack() {
+        // FaultDevice outermost: billing for the failed attempt flows
+        // through the tracer exactly like a successful op would.
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = FaultDevice::with_plan(
+            TraceDevice::with_recorder(chip(), rec.clone()),
+            FaultPlan::new(3).with_program_fail(1.0),
+        );
+        let p = PageId::new(BlockId(0), 0);
+        c.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(c.geometry().cells_per_page());
+        assert!(c.program_page(p, &data).is_err());
+        assert_eq!(rec.ops(), 2, "erase + billed failed program attempt");
+        assert_eq!(rec.faults(), 1);
+        assert_eq!(rec.ops(), c.meter().total_ops(), "trace and meter agree");
+    }
+
+    #[test]
+    fn trace_emits_multi_op_commands_like_the_meter_bills_them() {
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = TraceDevice::with_recorder(chip(), rec.clone());
+        let p = PageId::new(BlockId(0), 0);
+        c.erase_block(p.block).unwrap();
+        let cpp = c.geometry().cells_per_page();
+        c.stress_cells(p, &BitPattern::ones(cpp), 7).unwrap();
+        let _ = c.program_time_probe(p, 30).unwrap();
+        // erase(1) + stress(7 programs) + probe(30 pp + 30 reads)
+        assert_eq!(rec.ops(), 1 + 7 + 60);
+        assert_eq!(rec.ops(), c.meter().total_ops());
+    }
+
+    #[test]
+    fn install_recorder_reaches_the_tracer_through_outer_middleware() {
+        let rec = Arc::new(CountingRecorder::new());
+        let mut c = FaultDevice::new(TraceDevice::new(chip()));
+        c.install_recorder(Some(rec.clone() as SharedRecorder));
+        c.erase_block(BlockId(0)).unwrap();
+        assert_eq!(rec.ops(), 1);
+    }
+
+    #[test]
+    fn wrapped_stack_matches_bare_chip_byte_for_byte() {
+        // The satellite parity claim at unit scale: no-op middleware must
+        // not perturb a single random draw.
+        let drive = |dev: &mut dyn NandDevice| {
+            let (p, _) = programmed_page(dev);
+            let mask = BitPattern::ones(dev.geometry().cells_per_page());
+            dev.partial_program(p, &mask).unwrap();
+            dev.age_days(10.0);
+            (dev.probe_voltages(p).unwrap(), dev.read_page(p).unwrap(), dev.meter())
+        };
+        let mut bare = chip();
+        let mut stacked = FaultDevice::new(TraceDevice::new(chip()));
+        assert_eq!(drive(&mut bare), drive(&mut stacked));
+    }
+
+    #[test]
+    fn snapshot_device_roundtrips_chip_and_fault_stream() {
+        let stack = || {
+            SnapshotDevice::new(FaultDevice::with_plan(
+                TraceDevice::new(chip()),
+                FaultPlan::new(9).with_program_fail(0.2).with_erase_fail(0.1),
+            ))
+        };
+        let mut dev = stack();
+        let p = PageId::new(BlockId(0), 2);
+        let data = BitPattern::zeros(dev.geometry().cells_per_page());
+        // Drive through some faults so both RNG streams move.
+        for _ in 0..8 {
+            let _ = dev.erase_block(p.block);
+            let _ = dev.program_page(p, &data);
+            let _ = dev.erase_block(p.block);
+        }
+        let bytes = dev.checkpoint_bytes();
+
+        let mut restored = stack();
+        restored.restore_bytes(&bytes).unwrap();
+        assert_eq!(restored.meter(), dev.meter());
+        // Both continue identically: same physics draws AND same fault rolls.
+        for _ in 0..8 {
+            assert_eq!(dev.erase_block(p.block), restored.erase_block(p.block));
+            assert_eq!(dev.program_page(p, &data), restored.program_page(p, &data));
+        }
+        assert_eq!(dev.meter(), restored.meter());
+        assert_eq!(dev.probe_voltages(p), restored.probe_voltages(p));
+    }
+
+    #[test]
+    fn snapshot_rejects_plan_presence_mismatch() {
+        let mut with_plan = SnapshotDevice::new(FaultDevice::with_plan(
+            chip(),
+            FaultPlan::new(1).with_program_fail(0.5),
+        ));
+        let bytes = with_plan.checkpoint_bytes();
+        let mut without = SnapshotDevice::new(FaultDevice::new(chip()));
+        assert!(matches!(without.restore_bytes(&bytes), Err(SnapshotError::Mismatch(_))));
+        // And a corrupt header is typed, not a panic.
+        assert!(matches!(
+            with_plan.restore_bytes(b"NOTASNAP"),
+            Err(SnapshotError::Corrupt(_) | SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let mut dev = SnapshotDevice::new(chip());
+        let (p, _) = programmed_page(&mut dev);
+        let path = std::env::temp_dir().join("stash_flash_middleware_snapshot_test.bin");
+        dev.checkpoint_to(&path).unwrap();
+        let mut restored = SnapshotDevice::new(chip());
+        restored.restore_from(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(dev.probe_voltages(p).unwrap(), restored.probe_voltages(p).unwrap());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_chip_shims_build_the_canonical_stack() {
+        let plan = FaultPlan::new(3).with_program_fail(1.0);
+        let mut via_shim = Chip::with_faults(ChipProfile::test_small(), 42, plan.clone());
+        assert!(via_shim.plan().is_some());
+        let p = PageId::new(BlockId(0), 0);
+        via_shim.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(via_shim.geometry().cells_per_page());
+        assert_eq!(via_shim.program_page(p, &data), Err(FlashError::TransientProgramFail(p)));
+
+        let rec = Arc::new(CountingRecorder::new());
+        let mut traced = chip().set_recorder(Some(rec.clone() as SharedRecorder));
+        traced.erase_block(BlockId(0)).unwrap();
+        assert_eq!(rec.ops(), 1);
+    }
+}

@@ -44,6 +44,17 @@ impl Gaussian {
     pub fn sample_with<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, std_dev: f64) -> f64 {
         mean + std_dev * self.sample(rng)
     }
+
+    /// The cached spare variate, if any (snapshot support: the cache is part
+    /// of the sampler's stream position).
+    pub(crate) fn spare(&self) -> Option<f64> {
+        self.spare
+    }
+
+    /// Restores a cached spare variate captured by [`spare`](Self::spare).
+    pub(crate) fn set_spare(&mut self, spare: Option<f64>) {
+        self.spare = spare;
+    }
 }
 
 /// Standard normal cumulative distribution function (Abramowitz–Stegun

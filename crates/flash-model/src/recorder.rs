@@ -1,17 +1,18 @@
 //! Lightweight observer hook for chip-level events.
 //!
 //! The flash model stays dependency-free: it only defines the [`Recorder`]
-//! trait and calls it (when installed) at every metered event. The
-//! `stash-obs` crate implements the trait with a span-aware tracer; tests
-//! can implement it with a plain counter. With no recorder installed the
-//! hot path pays a single `Option` branch per operation.
+//! trait; [`TraceDevice`](crate::TraceDevice) middleware calls it (when
+//! installed) at every metered event. The `stash-obs` crate implements the
+//! trait with a span-aware tracer; tests can implement it with a plain
+//! counter. With no recorder installed the hot path pays a single `Option`
+//! branch per operation.
 
 use crate::meter::{FaultKind, OpKind};
 use std::fmt;
 use std::sync::Arc;
 
-/// Observer of chip-level events, called synchronously from the chip's
-/// metering sites. Implementations use interior mutability (`&self`
+/// Observer of device-level events, called synchronously from the tracing
+/// middleware's metering sites. Implementations use interior mutability (`&self`
 /// methods) so one recorder can be shared by several chips and by the
 /// layers above them.
 pub trait Recorder: fmt::Debug + Send + Sync {
@@ -33,8 +34,8 @@ pub trait Recorder: fmt::Debug + Send + Sync {
     }
 }
 
-/// Shared handle to a recorder; cloning a [`Chip`](crate::Chip) shares the
-/// recorder rather than splitting it.
+/// Shared handle to a recorder; cloning a [`TraceDevice`](crate::TraceDevice)
+/// shares the recorder rather than splitting it.
 pub type SharedRecorder = Arc<dyn Recorder>;
 
 /// A recorder that counts events — useful as a smoke-test observer.
@@ -81,37 +82,6 @@ impl Recorder for CountingRecorder {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::profile::ChipProfile;
-    use crate::Chip;
-
-    #[test]
-    fn counting_recorder_observes_chip_ops() {
-        let rec = Arc::new(CountingRecorder::new());
-        let mut c = Chip::new(ChipProfile::test_small(), 3);
-        c.set_recorder(Some(rec.clone()));
-        c.erase_block(crate::BlockId(0)).unwrap();
-        let _ = c.read_page(crate::PageId::new(crate::BlockId(0), 0)).unwrap();
-        c.advance_time_us(25.0);
-        assert_eq!(rec.ops(), 2);
-        assert_eq!(rec.waits(), 1);
-        assert_eq!(rec.faults(), 0);
-        // Ops observed match the meter exactly.
-        assert_eq!(rec.ops(), c.meter().total_ops());
-    }
-
-    #[test]
-    fn recorder_survives_chip_clone() {
-        let rec = Arc::new(CountingRecorder::new());
-        let mut c = Chip::new(ChipProfile::test_small(), 3);
-        c.set_recorder(Some(rec.clone()));
-        let mut c2 = c.clone();
-        c2.erase_block(crate::BlockId(0)).unwrap();
-        assert_eq!(rec.ops(), 1, "clone shares the recorder");
-        c.set_recorder(None);
-        c.erase_block(crate::BlockId(1)).unwrap();
-        assert_eq!(rec.ops(), 1, "detached chip stops reporting");
-    }
-}
+// The recorder's behavioral tests (observation counts, clone sharing,
+// faulted-attempt billing) live in `crate::middleware::tests`, next to the
+// `TraceDevice` that drives it.

@@ -1,0 +1,252 @@
+//! Device-state checkpointing.
+//!
+//! [`DeviceState`] is the serialization contract behind
+//! [`SnapshotDevice`](crate::SnapshotDevice): a device (or middleware
+//! wrapper) writes every word of mutable simulation state — RNG streams
+//! included — into a [`StateWriter`] and can restore itself from a
+//! [`StateReader`]. The codec is a dependency-free little-endian binary
+//! format; floats are stored as raw IEEE bits so a restored chip replays
+//! the exact same voltage stream it would have produced uninterrupted.
+//!
+//! Configuration (the [`ChipProfile`](crate::ChipProfile), an installed
+//! [`FaultPlan`](crate::FaultPlan), a recorder) is deliberately *not*
+//! serialized: a checkpoint is restored into a device constructed with the
+//! same configuration, the way model weights are loaded into a model built
+//! from the same hyperparameters. Restore validates the identity anchors it
+//! does store (chip seed, block count, cell counts) and fails loudly on
+//! mismatch instead of resuming a subtly different device.
+
+use std::fmt;
+
+/// Error restoring a device snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The byte stream ended before the state was fully read.
+    Truncated,
+    /// The byte stream is structurally invalid (bad magic, bad tag).
+    Corrupt(&'static str),
+    /// The snapshot belongs to a differently-configured device.
+    Mismatch(String),
+    /// Filesystem error reading or writing the checkpoint file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+            SnapshotError::Mismatch(what) => write!(f, "snapshot mismatch: {what}"),
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A device whose full mutable state can be serialized and restored.
+///
+/// Middleware wrappers implement this by appending their own state after
+/// forwarding to the wrapped device, so a whole decorator stack
+/// checkpoints as one byte stream.
+pub trait DeviceState {
+    /// Appends every word of mutable state to `w`.
+    fn save_state(&self, w: &mut StateWriter);
+
+    /// Restores state previously written by [`save_state`](Self::save_state)
+    /// on an identically-configured device.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated/corrupt stream or a configuration mismatch; the
+    /// device may be partially overwritten afterwards and should be
+    /// discarded.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapshotError>;
+}
+
+/// Append-only little-endian binary writer for device state.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// The serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a usize as a u64.
+    pub fn put_len(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an f32 as its raw IEEE bits.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an f64 as its raw IEEE bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor over bytes produced by a [`StateWriter`].
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool (strictly 0 or 1).
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Corrupt("bool out of range")),
+        }
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a length written by [`StateWriter::put_len`].
+    pub fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupt("length overflows usize"))
+    }
+
+    /// Reads an f32 from raw IEEE bits.
+    pub fn get_f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an f64 from raw IEEE bits.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_scalar_types() {
+        let mut w = StateWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_len(1234);
+        w.put_f32(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bytes(b"abc");
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_len().unwrap(), 1234);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_bytes(3).unwrap(), b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_are_typed() {
+        let mut r = StateReader::new(&[1, 2]);
+        assert!(matches!(r.get_u64(), Err(SnapshotError::Truncated)));
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let mut r = StateReader::new(&[3]);
+        assert!(matches!(r.get_bool(), Err(SnapshotError::Corrupt(_))));
+    }
+}

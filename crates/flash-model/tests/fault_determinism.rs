@@ -3,7 +3,8 @@
 //! chaos runs are only debuggable if they replay exactly.
 
 use stash_flash::{
-    BitPattern, BlockId, Chip, ChipProfile, FaultPlan, Geometry, MeterSnapshot, PageId,
+    BitPattern, BlockId, Chip, ChipProfile, FaultDevice, FaultPlan, Geometry, MeterSnapshot,
+    NandDevice, PageId,
 };
 
 fn plan(seed: u64) -> FaultPlan {
@@ -18,7 +19,7 @@ fn plan(seed: u64) -> FaultPlan {
 fn run(plan_seed: u64) -> (Vec<String>, MeterSnapshot) {
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = Geometry { blocks_per_chip: 4, pages_per_block: 8, page_bytes: 512 };
-    let mut chip = Chip::with_faults(profile, 42, plan(plan_seed));
+    let mut chip = FaultDevice::with_plan(Chip::new(profile, 42), plan(plan_seed));
     let pattern = BitPattern::ones(chip.geometry().cells_per_page());
     let mask = BitPattern::zeros(chip.geometry().cells_per_page());
 

@@ -1,6 +1,6 @@
 //! The page-mapped FTL implementation.
 
-use stash_flash::{BitPattern, BlockId, Chip, FlashError, PageId};
+use stash_flash::{BitPattern, BlockId, Chip, FlashError, NandDevice, PageId};
 use stash_obs::{span, Tracer};
 use std::collections::HashMap;
 use std::fmt;
@@ -124,10 +124,14 @@ impl FtlStats {
     }
 }
 
-/// A page-mapped flash translation layer owning a [`Chip`].
+/// A page-mapped flash translation layer owning a [`NandDevice`].
+///
+/// Generic over the device backend, defaulting to a bare [`Chip`]; hand it
+/// a middleware stack (`FaultDevice<TraceDevice<Chip>>`, …) to run the same
+/// FTL against fault injection or tracing.
 #[derive(Debug)]
-pub struct Ftl {
-    chip: Chip,
+pub struct Ftl<D: NandDevice = Chip> {
+    chip: D,
     cfg: FtlConfig,
     /// lpn → physical page.
     map: HashMap<Lpn, PageId>,
@@ -152,15 +156,15 @@ const TRANSIENT_RETRIES: u32 = 4;
 /// Simulated backoff before retry `n` is `RETRY_BACKOFF_US * 2^n`.
 const RETRY_BACKOFF_US: f64 = 50.0;
 
-impl Ftl {
-    /// Creates an FTL over a chip, erasing nothing up front (all blocks are
-    /// treated as free).
+impl<D: NandDevice> Ftl<D> {
+    /// Creates an FTL over a device, erasing nothing up front (all blocks
+    /// are treated as free).
     ///
     /// # Errors
     ///
     /// Returns [`FtlError::InvalidConfig`] when the reserve does not leave
     /// at least one logical block or GC headroom is impossible.
-    pub fn new(chip: Chip, cfg: FtlConfig) -> Result<Self, FtlError> {
+    pub fn new(chip: D, cfg: FtlConfig) -> Result<Self, FtlError> {
         let blocks = chip.geometry().blocks_per_chip;
         if cfg.reserve_blocks < 2 {
             return Err(FtlError::InvalidConfig("reserve_blocks must be at least 2".into()));
@@ -194,10 +198,11 @@ impl Ftl {
 
     /// Attaches (or detaches, with `None`) a tracer: GC, wear leveling and
     /// evacuation open spans on it, and the tracer is installed as the
-    /// chip's [`Recorder`](stash_flash::Recorder) so every flash op
-    /// attributes to the span that issued it.
+    /// device's [`Recorder`](stash_flash::Recorder) so every flash op
+    /// attributes to the span that issued it (a no-op unless a
+    /// [`TraceDevice`](stash_flash::TraceDevice) sits in the stack).
     pub fn attach_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
-        self.chip.set_recorder(tracer.clone().map(|t| t as stash_flash::SharedRecorder));
+        self.chip.install_recorder(tracer.clone().map(|t| t as stash_flash::SharedRecorder));
         self.tracer = tracer;
     }
 
@@ -212,19 +217,19 @@ impl Ftl {
         u64::from(g.blocks_per_chip - self.cfg.reserve_blocks) * u64::from(g.pages_per_block)
     }
 
-    /// Shared access to the chip.
-    pub fn chip(&self) -> &Chip {
+    /// Shared access to the device.
+    pub fn chip(&self) -> &D {
         &self.chip
     }
 
-    /// Exclusive access to the chip — used by hiding layers to run their
+    /// Exclusive access to the device — used by hiding layers to run their
     /// extra programming passes on pages the FTL just placed.
-    pub fn chip_mut(&mut self) -> &mut Chip {
+    pub fn chip_mut(&mut self) -> &mut D {
         &mut self.chip
     }
 
-    /// Consumes the FTL, returning the chip.
-    pub fn into_chip(self) -> Chip {
+    /// Consumes the FTL, returning the device.
+    pub fn into_chip(self) -> D {
         self.chip
     }
 
@@ -924,9 +929,9 @@ mod tests {
 
     #[test]
     fn transient_program_faults_are_absorbed_by_retries() {
-        use stash_flash::{ChipProfile, FaultPlan};
+        use stash_flash::{ChipProfile, FaultDevice, FaultPlan};
         let plan = FaultPlan::new(7).with_program_fail(0.05).with_erase_fail(0.05);
-        let chip = Chip::with_faults(ChipProfile::test_small(), 5, plan);
+        let chip = FaultDevice::with_plan(Chip::new(ChipProfile::test_small(), 5), plan);
         let mut f = Ftl::new(chip, FtlConfig::default()).unwrap();
         let cap = f.capacity_pages();
         let mut rng = SmallRng::seed_from_u64(51);

@@ -17,18 +17,18 @@
 //!
 //! The [`Tracer`] implements the flash model's
 //! [`Recorder`](stash_flash::Recorder) hook, so installing one on a
-//! [`Chip`](stash_flash::Chip) captures every operation and fault; the
-//! layers above (hider, FTL, hidden volume) open spans on the same tracer
-//! so chip costs attribute to the phase that issued them. With no recorder
-//! installed the chip's hot path pays one `Option` branch per op — tracing
-//! is strictly opt-in.
+//! [`TraceDevice`](stash_flash::TraceDevice) middleware captures every
+//! operation and fault crossing it; the layers above (hider, FTL, hidden
+//! volume) open spans on the same tracer so chip costs attribute to the
+//! phase that issued them. With no recorder installed the wrapped device's
+//! hot path pays one `Option` branch per op — tracing is strictly opt-in.
 //!
 //! ```
-//! use stash_flash::{BlockId, Chip, ChipProfile};
+//! use stash_flash::{BlockId, Chip, ChipProfile, NandDevice, TraceDevice};
 //! use stash_obs::{span, Tracer};
 //!
 //! let tracer = Tracer::shared();
-//! let mut chip = Chip::new(ChipProfile::test_small(), 7);
+//! let mut chip = TraceDevice::new(Chip::new(ChipProfile::test_small(), 7));
 //! chip.set_recorder(Some(tracer.clone()));
 //!
 //! {
@@ -82,12 +82,12 @@ macro_rules! span {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stash_flash::{BlockId, Chip, ChipProfile, PageId};
+    use stash_flash::{BlockId, Chip, ChipProfile, NandDevice, PageId, TraceDevice};
 
     #[test]
     fn tracer_attached_to_chip_matches_meter_exactly() {
         let tracer = Tracer::shared();
-        let mut chip = Chip::new(ChipProfile::test_small(), 99);
+        let mut chip = TraceDevice::new(Chip::new(ChipProfile::test_small(), 99));
         chip.set_recorder(Some(tracer.clone()));
         {
             let _s = tracer.span("workload");

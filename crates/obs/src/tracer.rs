@@ -182,7 +182,8 @@ struct Inner {
 }
 
 /// The tracer. Construct with [`Tracer::new`], wrap in an [`Arc`], install
-/// on a [`Chip`](stash_flash::Chip) via `set_recorder`, and hand clones of
+/// on a [`TraceDevice`](stash_flash::TraceDevice) via `set_recorder` (or
+/// through any outer middleware via `install_recorder`), and hand clones of
 /// the `Arc` to the layers whose phases should appear as spans.
 pub struct Tracer {
     inner: Mutex<Inner>,

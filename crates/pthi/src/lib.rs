@@ -43,7 +43,7 @@
 //! ```
 
 use stash_crypto::{HidingKey, SelectionPrng};
-use stash_flash::{BitPattern, Chip, FlashError, Geometry, PageId};
+use stash_flash::{BitPattern, Chip, FlashError, Geometry, NandDevice, PageId};
 use std::fmt;
 
 /// Errors returned by the PT-HI layer.
@@ -132,17 +132,19 @@ impl PthiConfig {
     }
 }
 
-/// The PT-HI hiding user's handle on a chip.
+/// The PT-HI hiding user's handle on a device.
+///
+/// Generic over the [`NandDevice`] backend, defaulting to a bare [`Chip`].
 #[derive(Debug)]
-pub struct PthiHider<'c> {
-    chip: &'c mut Chip,
+pub struct PthiHider<'c, D: NandDevice = Chip> {
+    chip: &'c mut D,
     key: HidingKey,
     cfg: PthiConfig,
 }
 
-impl<'c> PthiHider<'c> {
+impl<'c, D: NandDevice> PthiHider<'c, D> {
     /// Creates a PT-HI hider.
-    pub fn new(chip: &'c mut Chip, key: HidingKey, cfg: PthiConfig) -> Self {
+    pub fn new(chip: &'c mut D, key: HidingKey, cfg: PthiConfig) -> Self {
         PthiHider { chip, key, cfg }
     }
 
@@ -151,13 +153,13 @@ impl<'c> PthiHider<'c> {
         &self.cfg
     }
 
-    /// Shared access to the chip.
-    pub fn chip(&self) -> &Chip {
+    /// Shared access to the device.
+    pub fn chip(&self) -> &D {
         self.chip
     }
 
-    /// Exclusive access to the chip.
-    pub fn chip_mut(&mut self) -> &mut Chip {
+    /// Exclusive access to the device.
+    pub fn chip_mut(&mut self) -> &mut D {
         self.chip
     }
 

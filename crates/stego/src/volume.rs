@@ -1,7 +1,7 @@
 //! The hidden-volume implementation.
 
 use stash_crypto::{HidingKey, SelectionPrng};
-use stash_flash::{BitPattern, BlockId};
+use stash_flash::{BitPattern, BlockId, Chip, NandDevice};
 use stash_ftl::{Ftl, FtlError, Migration};
 use stash_obs::{span, Tracer};
 use std::collections::HashMap;
@@ -131,9 +131,11 @@ pub struct RecoveryReport {
 
 /// A mounted hidden volume: the public block device plus the keyed hidden
 /// slot space inside it.
+///
+/// Generic over the [`NandDevice`] backend, defaulting to a bare [`Chip`].
 #[derive(Debug)]
-pub struct HiddenVolume {
-    ftl: Ftl,
+pub struct HiddenVolume<D: NandDevice = Chip> {
+    ftl: Ftl<D>,
     key: HidingKey,
     cfg: StegoConfig,
     /// Data slots exposed to the user (parity slots live after them).
@@ -153,7 +155,7 @@ pub struct HiddenVolume {
     tracer: Option<Arc<Tracer>>,
 }
 
-impl HiddenVolume {
+impl<D: NandDevice> HiddenVolume<D> {
     /// Creates (formats) a hidden volume of `slots` data slots over an FTL.
     /// Parity slots are added on top of `slots` when parity is enabled.
     ///
@@ -161,7 +163,7 @@ impl HiddenVolume {
     ///
     /// Fails if the FTL cannot host that many slots.
     pub fn format(
-        ftl: Ftl,
+        ftl: Ftl<D>,
         key: HidingKey,
         cfg: StegoConfig,
         slots: usize,
@@ -213,7 +215,7 @@ impl HiddenVolume {
     /// Fails only on flash/FTL errors; unrecoverable slots are reported,
     /// not fatal.
     pub fn remount(
-        ftl: Ftl,
+        ftl: Ftl<D>,
         key: HidingKey,
         cfg: StegoConfig,
         slots: usize,
@@ -352,13 +354,13 @@ impl HiddenVolume {
     }
 
     /// The underlying FTL (public volume view).
-    pub fn ftl(&self) -> &Ftl {
+    pub fn ftl(&self) -> &Ftl<D> {
         &self.ftl
     }
 
     /// Exclusive access to the underlying FTL — fault-injection and
-    /// maintenance harnesses use this to reach the chip.
-    pub fn ftl_mut(&mut self) -> &mut Ftl {
+    /// maintenance harnesses use this to reach the device.
+    pub fn ftl_mut(&mut self) -> &mut Ftl<D> {
         &mut self.ftl
     }
 
@@ -383,7 +385,7 @@ impl HiddenVolume {
 
     /// Unmounts, returning the FTL. Pending piggyback embeddings are NOT
     /// flushed — exactly the situation where parity earns its keep.
-    pub fn unmount(self) -> Ftl {
+    pub fn unmount(self) -> Ftl<D> {
         self.ftl
     }
 
@@ -757,7 +759,7 @@ mod tests {
         HidingKey::from_passphrase("hidden volume")
     }
 
-    fn fill_public(vol: &mut HiddenVolume, lpns: u64, seed: u64) {
+    fn fill_public<D: NandDevice>(vol: &mut HiddenVolume<D>, lpns: u64, seed: u64) {
         let cpp = vol.ftl().chip().geometry().cells_per_page();
         let mut rng = SmallRng::seed_from_u64(seed);
         for lpn in 0..lpns {
@@ -956,8 +958,11 @@ mod tests {
 
     #[test]
     fn scrub_writes_off_destroyed_slots_and_shrinks_capacity() {
-        use stash_flash::FaultPlan;
-        let ftl = make_ftl(9);
+        use stash_flash::{FaultDevice, FaultPlan};
+        // A fault-capable backend from the start, so the stuck-cell plan
+        // can be installed mid-test; no plan means exact passthrough.
+        let chip = FaultDevice::new(Chip::new(small_profile(), 9));
+        let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
         let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
         cfg.parity_group = 0; // no parity: destruction is permanent
         let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 3).unwrap();
@@ -982,7 +987,7 @@ mod tests {
             let level = if i % 2 == 0 { 5 } else { 120 };
             plan = plan.with_stuck_cell(victim.block, base + i, level);
         }
-        ftl_back.chip_mut().set_fault_plan(plan);
+        ftl_back.chip_mut().set_plan(plan);
 
         let (mut vol2, remount_report) = HiddenVolume::remount(ftl_back, key(), cfg, 3).unwrap();
         assert_eq!(remount_report.lost, 1, "{remount_report:?}");
@@ -1002,9 +1007,10 @@ mod tests {
 
     #[test]
     fn placement_is_key_dependent() {
-        let a = HiddenVolume::derive_placement(&key(), 1024, 16);
-        let b = HiddenVolume::derive_placement(&key(), 1024, 16);
-        let c = HiddenVolume::derive_placement(&HidingKey::from_passphrase("other"), 1024, 16);
+        let a = HiddenVolume::<Chip>::derive_placement(&key(), 1024, 16);
+        let b = HiddenVolume::<Chip>::derive_placement(&key(), 1024, 16);
+        let c =
+            HiddenVolume::<Chip>::derive_placement(&HidingKey::from_passphrase("other"), 1024, 16);
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

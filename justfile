@@ -6,11 +6,13 @@ verify:
     cargo test -q
     cargo clippy --all-targets -- -D warnings
 
-# The CI gate: formatting, workspace-wide lints, full test suite, bench smoke.
+# The CI gate: formatting, workspace-wide lints, the full workspace test
+# suite, docs with warnings denied, bench smoke.
 ci:
     cargo fmt --check
     cargo clippy --workspace --all-targets -- -D warnings
-    cargo test -q
+    cargo test -q --workspace
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
     just bench-smoke
 
 # Bench smoke: table1 + fig6 on a scaled geometry (scratch dir, so the

@@ -1,0 +1,129 @@
+//! Backend parity: the device abstraction must be invisible.
+//!
+//! The determinism contract in `stash-flash`'s `device` module promises
+//! that no-op middleware is a perfect pass-through: wrapping a [`Chip`] in
+//! `FaultDevice<TraceDevice<Chip>>` with no fault plan and no recorder
+//! yields byte-identical voltages, reads, decoded payloads and meter
+//! snapshots for the same workload and seed. This test runs the end-to-end
+//! golden workload (hide with ECC → retention → recover, plus shifted
+//! reads and raw voltage probes) on both backends and diffs a printable
+//! transcript of everything observable.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use stash::crypto::HidingKey;
+use stash::flash::{
+    BitPattern, BlockId, Chip, ChipProfile, FaultDevice, NandDevice, PageId, TraceDevice,
+};
+use stash::vthi::{Hider, VthiConfig};
+use std::fmt::Write as _;
+
+const SEED: u64 = 0xE2E;
+
+/// FNV-1a over a bit pattern, so the transcript stays readable while still
+/// pinning every single bit.
+fn bits_digest(bits: &BitPattern) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bits.as_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn levels_digest(levels: &[stash::flash::Level]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &l in levels {
+        h = (h ^ u64::from(l)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The golden workload of `tests/end_to_end.rs`, with every observable —
+/// hidden payload bytes, public read-backs, threshold-shifted reads, raw
+/// voltage probes and the final meter — folded into one transcript string.
+fn golden_transcript<D: NandDevice>(mut chip: D) -> String {
+    let key = HidingKey::from_passphrase("four months in a drawer");
+    let cfg = VthiConfig::scaled_for(chip.geometry());
+    let mut rng = SmallRng::seed_from_u64(1);
+    let block = BlockId(0);
+    let cpp = chip.geometry().cells_per_page();
+    let pages = chip.geometry().pages_per_block;
+    let mut out = String::new();
+
+    chip.erase_block(block).unwrap();
+    let mut hider = Hider::new(&mut chip, key, cfg.clone());
+    for p in 0..pages {
+        if p % cfg.page_stride() != 0 {
+            let filler = BitPattern::random_half(&mut rng, cpp);
+            hider.chip_mut().program_page(PageId::new(block, p), &filler).unwrap();
+        }
+    }
+
+    let mut stored = Vec::new();
+    for i in 0..8u32 {
+        let page = PageId::new(block, i * cfg.page_stride());
+        let public = BitPattern::random_half(&mut rng, cpp);
+        let payload: Vec<u8> = (0..cfg.payload_bytes_per_page()).map(|_| rng.gen()).collect();
+        hider.hide_on_fresh_page(page, &public, &payload).unwrap();
+        stored.push((page, public, payload));
+    }
+
+    hider.chip_mut().age_days(120.0);
+
+    for (page, public, payload) in &stored {
+        let got = hider.reveal_page(*page, Some(public)).unwrap();
+        assert_eq!(&got, payload, "page {page} corrupted after retention");
+        let _ = writeln!(out, "payload {page} {:016x}", bits_digest(public));
+        let _ = writeln!(out, "bytes {page} {got:02x?}");
+    }
+    for (page, _, _) in &stored {
+        let read = chip.read_page(*page).unwrap();
+        let shifted = chip.read_page_shifted(*page, 120).unwrap();
+        let levels = chip.probe_voltages(*page).unwrap();
+        let _ = writeln!(
+            out,
+            "reads {page} {:016x} {:016x} {:016x}",
+            bits_digest(&read),
+            bits_digest(&shifted),
+            levels_digest(&levels),
+        );
+    }
+
+    let m = chip.meter();
+    let _ = writeln!(
+        out,
+        "meter ops={} faults={} time_us={} wait_us={} energy_uj={}",
+        m.total_ops(),
+        m.total_faults(),
+        m.device_time_us,
+        m.wait_time_us,
+        m.energy_uj,
+    );
+    out
+}
+
+#[test]
+fn wrapped_stack_matches_bare_chip_on_the_golden_workload() {
+    let profile = ChipProfile::vendor_a_scaled();
+    let bare = golden_transcript(Chip::new(profile.clone(), SEED));
+    // The canonical decorator order with both layers inert: no fault plan,
+    // no recorder. Must be a perfect pass-through.
+    let wrapped = golden_transcript(FaultDevice::new(TraceDevice::new(Chip::new(profile, SEED))));
+    assert_eq!(bare, wrapped, "no-op middleware changed the device's observable behavior");
+    // The transcript actually pinned something substantial.
+    assert!(bare.lines().count() > 16, "transcript too small:\n{bare}");
+}
+
+#[test]
+fn meter_snapshots_are_equal_not_just_printed_equal() {
+    let profile = ChipProfile::vendor_a_scaled();
+    let mut bare = Chip::new(profile.clone(), SEED);
+    let mut wrapped = FaultDevice::new(TraceDevice::new(Chip::new(profile, SEED)));
+    for chip in [&mut bare as &mut dyn NandDevice, &mut wrapped] {
+        chip.erase_block(BlockId(1)).unwrap();
+        let cpp = chip.geometry().cells_per_page();
+        chip.program_page(PageId::new(BlockId(1), 0), &BitPattern::ones(cpp)).unwrap();
+        let _ = chip.read_page(PageId::new(BlockId(1), 0)).unwrap();
+        chip.advance_time_us(250.0);
+    }
+    assert_eq!(bare.meter(), wrapped.meter());
+}

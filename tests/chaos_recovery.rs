@@ -4,7 +4,7 @@
 
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use stash::crypto::HidingKey;
-use stash::flash::{BitPattern, Chip, ChipProfile, FaultPlan, Geometry};
+use stash::flash::{BitPattern, Chip, ChipProfile, FaultDevice, FaultPlan, Geometry, NandDevice};
 use stash::ftl::{Ftl, FtlConfig};
 use stash::stego::{HiddenVolume, StegoConfig};
 
@@ -14,14 +14,14 @@ fn key() -> HidingKey {
     HidingKey::from_passphrase("chaos e2e")
 }
 
-fn chaotic_ftl(seed: u64) -> Ftl {
+fn chaotic_ftl(seed: u64) -> Ftl<FaultDevice<Chip>> {
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 8, page_bytes: 1024 };
     let plan = FaultPlan::new(seed)
         .with_program_fail(0.01)
         .with_partial_program_fail(0.01)
         .with_erase_fail(0.01);
-    let chip = Chip::with_faults(profile, seed, plan);
+    let chip = FaultDevice::with_plan(Chip::new(profile, seed), plan);
     Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap()
 }
 

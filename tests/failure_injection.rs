@@ -5,7 +5,8 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use stash::crypto::HidingKey;
 use stash::flash::{
-    BitPattern, BlockId, Chip, ChipProfile, FaultPlan, FlashError, Geometry, PageId,
+    BitPattern, BlockId, Chip, ChipProfile, FaultDevice, FaultPlan, FlashError, Geometry,
+    NandDevice, PageId,
 };
 use stash::vthi::{EccChoice, HideError, Hider, RetryPolicy, VthiConfig};
 
@@ -15,10 +16,8 @@ fn small_chip(seed: u64) -> Chip {
     Chip::new(profile, seed)
 }
 
-fn small_faulty_chip(seed: u64, plan: FaultPlan) -> Chip {
-    let mut chip = small_chip(seed);
-    chip.set_fault_plan(plan);
-    chip
+fn small_faulty_chip(seed: u64, plan: FaultPlan) -> FaultDevice<Chip> {
+    FaultDevice::with_plan(small_chip(seed), plan)
 }
 
 fn small_cfg() -> VthiConfig {
@@ -134,7 +133,7 @@ fn transient_program_fault_is_typed_and_side_effect_free() {
     assert_eq!(err, FlashError::TransientProgramFail(page));
     // The failed attempt left no state behind: with the fault cleared, the
     // identical operation succeeds.
-    chip.set_fault_plan(FaultPlan::none());
+    chip.set_plan(FaultPlan::none());
     chip.program_page(page, &public).unwrap();
 }
 
@@ -142,7 +141,7 @@ fn transient_program_fault_is_typed_and_side_effect_free() {
 fn erase_and_grown_bad_failures_are_typed_through_the_stack() {
     let mut chip = small_faulty_chip(8, FaultPlan::new(8).with_erase_fail(1.0));
     assert_eq!(chip.erase_block(BlockId(1)).unwrap_err(), FlashError::EraseFail(BlockId(1)));
-    chip.set_fault_plan(FaultPlan::none());
+    chip.set_plan(FaultPlan::none());
     chip.grow_bad_block(BlockId(1)).unwrap();
     assert_eq!(chip.erase_block(BlockId(1)).unwrap_err(), FlashError::GrownBadBlock(BlockId(1)));
     // Through the hiding layer the same failure arrives typed, not mangled.
