@@ -41,9 +41,9 @@ fn key() -> stash_crypto::HidingKey {
     stash_crypto::HidingKey::from_passphrase("chaos sweep")
 }
 
-/// One full chaos run at a single fault rate: returns the TSV cells and the
-/// JSON row for that rate.
-fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
+/// One full chaos run at a single fault rate: returns the TSV cells, the
+/// JSON row for that rate and the (nondeterministic) remount wall time.
+fn run_rate(i: usize, rate: f64) -> (Vec<String>, String, f64) {
     let seed = 9000 + i as u64;
     let plan = FaultPlan::new(seed)
         .with_program_fail(rate)
@@ -92,10 +92,23 @@ fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
     }
     let scrub = vol.scrub(8).expect("scrub");
 
-    // Cold remount: what actually survives on flash?
-    let ftl_back = vol.unmount();
+    // Cold mount: power-cycle the device and rebuild the whole stack from
+    // the medium — FTL journal replay first, then hidden-slot recovery.
+    let dev = vol.unmount().into_chip();
+    let device_us_before = dev.meter().device_time_us;
+    let remount_wall = std::time::Instant::now();
+    let (mut ftl_back, mount) = {
+        let _s = tracer.span("cold_mount");
+        Ftl::mount(dev, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).expect("mount")
+    };
+    ftl_back.attach_tracer(Some(tracer.clone()));
     let (mut vol2, remount) =
         HiddenVolume::remount(ftl_back, key(), cfg.clone(), SLOTS).expect("remount");
+    let remount_wall_us = remount_wall.elapsed().as_secs_f64() * 1e6;
+    let remount_device_us = vol2.ftl().chip().meter().device_time_us - device_us_before;
+    tracer.counter_add("mount_journal_replayed", "", mount.live_pages);
+    tracer.counter_add("mount_torn_discarded", "", mount.torn_pages);
+    tracer.gauge_set("remount_device_us", "", remount_device_us);
     let mut survived = 0usize;
     let total = SLOTS * cfg.slot_bytes();
     {
@@ -127,7 +140,7 @@ fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
     let _ = write!(
         json_row,
         ",\"faults\":{},\"retired_blocks\":{},\"scrub_migrated\":{},\"scrub_refreshed\":{},\
-         \"lost\":{},\"retries\":{},\"ops\":{},\"device_time_us\":",
+         \"lost\":{},\"retries\":{},\"ops\":{},",
         meter.total_faults(),
         vol2.ftl().stats().retirements,
         scrub.migrated,
@@ -136,6 +149,14 @@ fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
         report.counters.iter().find(|(n, _, _)| n == "transient_retries").map_or(0, |c| c.2),
         meter.total_ops(),
     );
+    let _ = write!(
+        json_row,
+        "\"journal_replayed\":{},\"torn_pages\":{},\"hidden_reencoded\":{},\
+         \"remount_device_us\":",
+        mount.live_pages, mount.torn_pages, remount.reconstructed,
+    );
+    write_num(&mut json_row, remount_device_us);
+    json_row.push_str(",\"device_time_us\":");
     write_num(&mut json_row, meter.device_time_us);
     json_row.push_str(",\"energy_uj\":");
     write_num(&mut json_row, meter.energy_uj);
@@ -147,7 +168,7 @@ fn run_rate(i: usize, rate: f64) -> (Vec<String>, String) {
     if rate <= 0.01 {
         assert!(survival >= 0.999, "survival {survival} below 99.9% at fault rate {rate}");
     }
-    (tsv, json_row)
+    (tsv, json_row, remount_wall_us)
 }
 
 fn main() {
@@ -166,18 +187,23 @@ fn main() {
     let results = stash_par::par_map(RATES.to_vec(), run_rate);
 
     let mut json_rows = String::new();
-    for (tsv, json_row) in results {
+    let mut remount_wall_us_total = 0.0;
+    for (tsv, json_row, remount_wall_us) in results {
         row(tsv);
         if !json_rows.is_empty() {
             json_rows.push_str(",\n");
         }
         json_rows.push_str(&json_row);
+        remount_wall_us_total += remount_wall_us;
     }
 
     let mut wall = String::new();
     write_num(&mut wall, (start.elapsed().as_secs_f64() * 1e6).round() / 1e3);
+    let mut remount_wall = String::new();
+    write_num(&mut remount_wall, (remount_wall_us_total / RATES.len() as f64 * 1e3).round() / 1e3);
     let json = format!(
         "{{\n  \"bench\": \"chaos\",\n  \"threads\": {},\n  \"wall_ms\": {wall},\n  \
+         \"mean_remount_wall_us\": {remount_wall},\n  \
          \"deterministic\": {{\n    \"slots\": {SLOTS},\n    \"grown_bad_at_op\": \
          {GROWN_BAD_AT_OP},\n    \"rates\": [\n{json_rows}\n    ]\n  }}\n}}\n",
         stash_par::thread_count(),

@@ -1,0 +1,251 @@
+//! Crash-point sweep: power-loss atomicity across the golden e2e workload.
+//!
+//! Enumerates a deterministic matrix of power-cut points (before-op cuts
+//! over the whole device-op stream, mid-operation cuts on every PP pulse
+//! and on page programs), runs one full crash-and-recover experiment per
+//! cut on the `stash-par` pool, and asserts zero invariant violations:
+//! acked public writes durable, unacked writes cleanly absent, acked
+//! hidden payloads byte-identical after remount recovery, FTL mapping
+//! consistent.
+//!
+//! Two extra series ride along:
+//!
+//! - **SVM detectability**: a linear SVM trained to separate voltage
+//!   histograms of hidden-bearing pages on never-crashed devices from the
+//!   same pages on crashed-then-recovered devices. Held-out accuracy at a
+//!   coin flip means recovery leaves no forensic tell — "no worse than the
+//!   no-crash baseline".
+//! - **Recovery metrics** (via `stash-obs` counters from a traced
+//!   representative run): pages journal-replayed, torn pages discarded,
+//!   hidden slots re-encoded, remount wall/device time.
+//!
+//! `STASH_CRASH_TARGET` (≥ 16, default 200) scales the matrix for smoke
+//! runs (`just crash-smoke` uses 64).
+
+use stash_bench::crash::{enumerate_cuts, run_cut, run_cut_traced, run_matrix, SLOTS};
+use stash_bench::{f, header, row, write_trace_artifacts};
+use stash_flash::OpKind;
+use stash_obs::json::write_num;
+use stash_obs::Tracer;
+use stash_svm::{Dataset, Kernel, StandardScaler, Svm, SvmParams};
+use std::fmt::Write as _;
+
+const SEED: u64 = 0xC0FFEE;
+/// Seeds for the detectability experiment: one device per seed, crashed
+/// and uncrashed variants of each.
+const SVM_SEEDS: [u64; 6] = [101, 102, 103, 104, 105, 106];
+/// Seeds held out of SVM training and used only for accuracy.
+const SVM_TEST_SEEDS: usize = 2;
+
+fn target() -> usize {
+    std::env::var("STASH_CRASH_TARGET")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 16)
+        .unwrap_or(200)
+}
+
+/// Trains crash-vs-baseline and baseline-vs-baseline linear SVMs on slot
+/// page voltage histograms; returns (crash_acc, control_acc) on held-out
+/// seeds.
+fn svm_detectability() -> (f64, f64) {
+    // Per-seed: an uncut run and a run cut mid-way through a late PP pulse
+    // (so recovery has real work: the torn embed must be rebuilt).
+    let runs = stash_par::par_map(SVM_SEEDS.to_vec(), |_, seed| {
+        let base = run_cut(seed, None, true);
+        let pp: Vec<u64> = (0..base.op_log.len() as u64)
+            .filter(|&i| base.op_log[i as usize] == OpKind::PartialProgram)
+            .collect();
+        let cut = stash_flash::PowerCut { at_op: pp[pp.len() * 3 / 4], fraction: 0.5 };
+        let crashed = run_cut(seed, Some(cut), false);
+        assert!(crashed.violations.is_empty(), "seed {seed}: {:?}", crashed.violations);
+        (base, crashed)
+    });
+
+    let split = SVM_SEEDS.len() - SVM_TEST_SEEDS;
+    let (mut train, mut test) = (Dataset::new(), Dataset::new());
+    let (mut ctrain, mut ctest) = (Dataset::new(), Dataset::new());
+    for (i, (base, crashed)) in runs.iter().enumerate() {
+        let (d, c) = if i < split { (&mut train, &mut ctrain) } else { (&mut test, &mut ctest) };
+        for h in &base.slot_page_hists {
+            d.push(h.clone(), -1);
+            // Control: baselines split by seed parity — same-distribution
+            // classes, so its accuracy measures the coin-flip floor.
+            c.push(h.clone(), if i % 2 == 0 { -1 } else { 1 });
+        }
+        for h in &crashed.slot_page_hists {
+            d.push(h.clone(), 1);
+        }
+    }
+    let params = SvmParams { kernel: Kernel::Linear, c: 1.0, ..Default::default() };
+    let scaler = StandardScaler::fit(&train);
+    let crash_acc = Svm::train(&scaler.transform_dataset(&train), &params)
+        .accuracy(&scaler.transform_dataset(&test));
+    let cscaler = StandardScaler::fit(&ctrain);
+    let control_acc = Svm::train(&cscaler.transform_dataset(&ctrain), &params)
+        .accuracy(&cscaler.transform_dataset(&ctest));
+    (crash_acc, control_acc)
+}
+
+fn main() {
+    let start = std::time::Instant::now();
+    let target = target();
+    header(
+        "Crash-point matrix: power-loss atomicity over the golden workload",
+        &format!(
+            "{SLOTS} hidden slots; one power cut per run; target {target} cut points \
+             (STASH_CRASH_TARGET scales)"
+        ),
+    );
+
+    let baseline = run_cut(SEED, None, true);
+    assert!(baseline.violations.is_empty(), "uncut baseline violated invariants");
+    let cuts = enumerate_cuts(&baseline.op_log, target);
+    let runs = run_matrix(SEED, &cuts, stash_par::thread_count());
+
+    // Aggregate by cut shape.
+    row(["cut_kind", "cuts", "torn_pages", "tag_failures", "reencoded", "violations"]
+        .map(String::from));
+    let mut json_kinds = String::new();
+    let mut violations_total = 0usize;
+    let (mut torn_total, mut tag_total, mut reenc_total) = (0u64, 0usize, 0usize);
+    let (mut replayed_total, mut device_us_total, mut wall_us_total) = (0u64, 0.0f64, 0.0f64);
+    for (label, select) in [
+        (
+            "before_op",
+            Box::new(|c: &stash_flash::PowerCut| c.fraction == 0.0)
+                as Box<dyn Fn(&stash_flash::PowerCut) -> bool>,
+        ),
+        (
+            "mid_pp",
+            Box::new(|c: &stash_flash::PowerCut| {
+                c.fraction > 0.0 && baseline.op_log[c.at_op as usize] == OpKind::PartialProgram
+            }),
+        ),
+        (
+            "mid_program",
+            Box::new(|c: &stash_flash::PowerCut| {
+                c.fraction > 0.0 && baseline.op_log[c.at_op as usize] == OpKind::Program
+            }),
+        ),
+    ] {
+        let group: Vec<_> = runs.iter().filter(|r| r.cut.as_ref().is_some_and(&select)).collect();
+        let torn: u64 = group.iter().map(|r| r.mount.torn_pages).sum();
+        let tags: usize = group.iter().map(|r| r.recovery.tag_failures).sum();
+        let reenc: usize = group.iter().map(|r| r.recovery.reconstructed).sum();
+        let viol: usize = group.iter().map(|r| r.violations.len()).sum();
+        row([
+            label.to_string(),
+            group.len().to_string(),
+            torn.to_string(),
+            tags.to_string(),
+            reenc.to_string(),
+            viol.to_string(),
+        ]);
+        if !json_kinds.is_empty() {
+            json_kinds.push_str(",\n");
+        }
+        let _ = write!(
+            json_kinds,
+            "      {{\"kind\":\"{label}\",\"cuts\":{},\"torn_pages\":{torn},\
+             \"tag_failures\":{tags},\"reencoded\":{reenc},\"violations\":{viol}}}",
+            group.len(),
+        );
+    }
+    for r in &runs {
+        violations_total += r.violations.len();
+        torn_total += r.mount.torn_pages;
+        tag_total += r.recovery.tag_failures;
+        reenc_total += r.recovery.reconstructed;
+        replayed_total += r.mount.live_pages;
+        device_us_total += r.remount_device_us;
+        wall_us_total += r.remount_wall_us;
+    }
+    assert_eq!(violations_total, 0, "crash matrix found invariant violations");
+    assert!(torn_total > 0, "matrix never tore a public page");
+    assert!(tag_total > 0, "matrix never tore a hidden embed");
+
+    // Detectability: does recovery leave a forensic tell?
+    let (crash_acc, control_acc) = svm_detectability();
+    println!();
+    println!(
+        "# SVM on recovered hidden-bearing pages: crash-vs-baseline {:.1}%, \
+         control (baseline-vs-baseline) {:.1}%",
+        crash_acc * 100.0,
+        control_acc * 100.0
+    );
+    assert!(
+        crash_acc <= control_acc + 0.25,
+        "crash recovery is detectable: {crash_acc} vs control {control_acc}"
+    );
+
+    // Traced representative run: recovery metrics through stash-obs.
+    let tracer = Tracer::shared();
+    let mid_pp = cuts
+        .iter()
+        .find(|c| c.fraction > 0.0 && baseline.op_log[c.at_op as usize] == OpKind::PartialProgram)
+        .copied();
+    let traced = run_cut_traced(SEED, mid_pp, false, Some(&tracer));
+    let report = tracer.report();
+    write_trace_artifacts("crashpoints", &report);
+    let counter = |name: &str| -> u64 {
+        report.counters.iter().find(|(n, _, _)| n == name).map_or(0, |c| c.2)
+    };
+
+    let n = runs.len() as f64;
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"crashpoints\",\n  \"threads\": {},\n  \"wall_ms\": ",
+        stash_par::thread_count()
+    );
+    write_num(&mut json, (start.elapsed().as_secs_f64() * 1e6).round() / 1e3);
+    let _ = write!(
+        json,
+        ",\n  \"mean_remount_wall_us\": {:.1},\n  \"deterministic\": {{\n    \
+         \"cut_points\": {},\n    \"violations\": {violations_total},\n    \
+         \"torn_pages\": {torn_total},\n    \"tag_failures\": {tag_total},\n    \
+         \"hidden_reencoded\": {reenc_total},\n    \"journal_replayed\": {replayed_total},\n    ",
+        wall_us_total / n,
+        runs.len(),
+    );
+    let _ = write!(json, "\"mean_remount_device_us\": {:.3},\n    ", device_us_total / n);
+    let _ = write!(
+        json,
+        "\"svm\": {{\"crash_accuracy\": {crash_acc}, \"control_accuracy\": {control_acc}}},\n    "
+    );
+    let _ = write!(
+        json,
+        "\"traced_run\": {{\"journal_replayed\": {}, \"torn_discarded\": {}, \
+         \"remount_recovered\": {}, \"remount_reconstructed\": {}, \
+         \"remount_tag_failures\": {}, \"remount_device_us\": {:.3}}},\n    \
+         \"by_kind\": [\n{json_kinds}\n    ]\n  }}\n}}\n",
+        counter("mount_journal_replayed"),
+        counter("mount_torn_discarded"),
+        counter("remount_recovered"),
+        counter("remount_reconstructed"),
+        counter("remount_tag_failures"),
+        traced.remount_device_us,
+    );
+    if std::fs::create_dir_all("results").is_ok() {
+        std::fs::write("results/BENCH_crashpoints.json", json)
+            .expect("write BENCH_crashpoints.json");
+    }
+
+    println!();
+    println!(
+        "ok: {} cut points, zero invariant violations ({} torn pages, {} torn embeds recovered)",
+        runs.len(),
+        torn_total,
+        tag_total
+    );
+    println!("# machine-readable series: results/BENCH_crashpoints.json");
+    println!(
+        "# trace artifacts: results/TRACE_crashpoints.jsonl, results/TRACE_crashpoints.folded"
+    );
+    println!(
+        "# detectability: crash {}%, control {}%",
+        f(crash_acc * 100.0, 1),
+        f(control_acc * 100.0, 1)
+    );
+}

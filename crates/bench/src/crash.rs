@@ -1,0 +1,400 @@
+//! Deterministic crash-point exploration over the golden e2e workload.
+//!
+//! One crash experiment = one fully seeded stack (chip → [`PowerCutDevice`]
+//! → FTL → hidden volume) driven through the *golden workload* (public
+//! fill, hidden payloads, overwrite churn) with exactly one scheduled power
+//! cut. When the cut fires the workload stops at the first
+//! [`FlashError::PowerLoss`], the device reboots, and the stack is rebuilt
+//! cold: [`Ftl::mount`] replays the page journal, then
+//! [`HiddenVolume::remount`] decodes every slot behind its integrity tag
+//! and rebuilds single losses from parity. [`run_cut`] then checks the
+//! crash-consistency invariants:
+//!
+//! 1. every *acknowledged* public write reads back byte-identically;
+//! 2. the at-most-one in-flight write is durable-or-absent — its LPN reads
+//!    either the previous acknowledged value or the new one, never a torn
+//!    third state;
+//! 3. every acknowledged hidden payload decodes byte-identically;
+//! 4. the remounted FTL mapping passes [`Ftl::check_consistency`].
+//!
+//! Everything is derived from the experiment seed: the same `(seed, cut)`
+//! pair produces a bit-identical [`CutRun`] on any thread count, which is
+//! what lets `tests/crash_matrix.rs` and the `crashpoints` binary fan the
+//! matrix out on the `stash-par` pool.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use stash_crypto::HidingKey;
+use stash_flash::{
+    crc32, BitPattern, Chip, ChipProfile, FlashError, Geometry, NandDevice, OpKind, PowerCut,
+    PowerCutDevice,
+};
+use stash_ftl::{Ftl, FtlConfig, FtlError, MountReport};
+use stash_stego::{HiddenVolume, RecoveryReport, StegoConfig, StegoError};
+
+/// Hidden data slots in the golden workload's volume.
+pub const SLOTS: usize = 3;
+
+/// Chip profile of the golden crash workload: vendor A's voltage model on
+/// a small geometry, sized so the whole workload fits without garbage
+/// collection — every stale copy survives until remount, keeping the
+/// durable-or-absent reasoning exact.
+pub fn crash_profile() -> ChipProfile {
+    let mut p = ChipProfile::vendor_a();
+    p.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 4, page_bytes: 1024 };
+    p
+}
+
+/// FTL configuration paired with [`crash_profile`].
+pub fn crash_ftl_cfg() -> FtlConfig {
+    FtlConfig { reserve_blocks: 6, gc_low_water: 2 }
+}
+
+/// The hiding key of the golden workload.
+pub fn crash_key() -> HidingKey {
+    HidingKey::from_passphrase("crash matrix")
+}
+
+/// Hidden-volume configuration paired with [`crash_profile`]: parity group
+/// spans all three data slots, so any single torn embed is rebuildable.
+pub fn crash_stego_cfg() -> StegoConfig {
+    let mut cfg = StegoConfig::for_geometry(&crash_profile().geometry);
+    cfg.parity_group = SLOTS;
+    cfg
+}
+
+/// The deterministic hidden payload of a data slot.
+pub fn hidden_payload(cfg: &StegoConfig, slot: usize) -> Vec<u8> {
+    (0..cfg.slot_bytes()).map(|b| (slot * 31 + b + 1) as u8).collect()
+}
+
+/// What the host believes after the workload stopped: the last
+/// acknowledged value per LPN / slot, plus the single write that was in
+/// flight when the power dropped.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadLog {
+    /// Last acknowledged public pattern per LPN (`None` = never acked).
+    pub acked_public: Vec<Option<BitPattern>>,
+    /// The public write the cut interrupted, if any.
+    pub in_flight: Option<(u64, BitPattern)>,
+    /// Acknowledged hidden payload per data slot.
+    pub acked_hidden: Vec<Option<Vec<u8>>>,
+    /// Whether the workload ran to completion (no cut fired inside it).
+    pub completed: bool,
+}
+
+/// Outcome of one crash experiment: what the cut did, what recovery found,
+/// any invariant violations, and a digest of the full post-recovery state
+/// for cross-thread determinism checks.
+#[derive(Debug, Clone)]
+pub struct CutRun {
+    /// The scheduled cut (`None` = uncut baseline).
+    pub cut: Option<PowerCut>,
+    /// Whether the cut actually fired during the workload.
+    pub cut_fired: bool,
+    /// Host-side ack bookkeeping at the moment the workload stopped.
+    pub log: WorkloadLog,
+    /// GC invocations during the workload phase (the golden workload is
+    /// sized to keep this zero, so op indices are GC-independent).
+    pub workload_gc_runs: u64,
+    /// Journal-replay report from the cold [`Ftl::mount`].
+    pub mount: MountReport,
+    /// Hidden-volume [`HiddenVolume::remount`] recovery report.
+    pub recovery: RecoveryReport,
+    /// Invariant violations (empty = crash-consistent).
+    pub violations: Vec<String>,
+    /// CRC-32 digest over the cut, reports and every post-recovery public
+    /// page and hidden slot — bit-identical across reruns and thread
+    /// counts.
+    pub digest: u32,
+    /// Op-kind log of the workload phase (only when requested).
+    pub op_log: Vec<OpKind>,
+    /// Wall-clock time of mount + remount, microseconds (not digested).
+    pub remount_wall_us: f64,
+    /// Simulated device time spent in mount + remount, microseconds.
+    pub remount_device_us: f64,
+    /// Post-recovery voltage histogram (32 bins, normalized) of each
+    /// slot-backing physical page, for the SVM detectability comparison.
+    pub slot_page_hists: Vec<Vec<f64>>,
+}
+
+fn is_power_loss(e: &StegoError) -> bool {
+    matches!(
+        e,
+        StegoError::Ftl(FtlError::Flash(FlashError::PowerLoss))
+            | StegoError::Hide(vthi::HideError::Flash(FlashError::PowerLoss))
+    )
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Raw bit-error budget when comparing a public page against its acked
+/// pattern: vendor A's read noise flips a few cells per page on any read
+/// (the public volume's own ECC absorbs that in a real device), while a
+/// wrong/torn pattern differs in ~50% of bits — 1% separates the two
+/// regimes by orders of magnitude.
+const PUBLIC_BER_BUDGET: f64 = 0.01;
+
+fn matches_public(got: &BitPattern, want: &BitPattern) -> bool {
+    let diff: u32 =
+        got.as_bytes().iter().zip(want.as_bytes()).map(|(a, b)| (a ^ b).count_ones()).sum();
+    (diff as f64) <= (got.as_bytes().len() * 8) as f64 * PUBLIC_BER_BUDGET
+}
+
+/// Runs the golden workload with at most one scheduled power cut, performs
+/// cold recovery, checks every invariant and digests the result.
+///
+/// # Panics
+///
+/// Panics if the stack fails for any reason other than the scheduled power
+/// loss — the harness treats that as a broken simulation, not a finding.
+pub fn run_cut(seed: u64, cut: Option<PowerCut>, log_ops: bool) -> CutRun {
+    run_cut_traced(seed, cut, log_ops, None)
+}
+
+/// [`run_cut`] with a `stash-obs` tracer attached to the whole stack: the
+/// workload's FTL/volume spans, the remount recovery counters and the
+/// harness's own mount metrics (`mount_journal_replayed`,
+/// `mount_torn_discarded`, `remount_device_us`) all land in its report.
+pub fn run_cut_traced(
+    seed: u64,
+    cut: Option<PowerCut>,
+    log_ops: bool,
+    tracer: Option<&std::sync::Arc<stash_obs::Tracer>>,
+) -> CutRun {
+    let mut dev = PowerCutDevice::with_cuts(
+        Chip::new(crash_profile(), seed),
+        cut.into_iter().collect::<Vec<_>>(),
+    );
+    if log_ops {
+        dev.set_op_logging(true);
+    }
+    let ftl = Ftl::new(dev, crash_ftl_cfg()).expect("ftl");
+    let cfg = crash_stego_cfg();
+    let mut vol = HiddenVolume::format(ftl, crash_key(), cfg.clone(), SLOTS).expect("format");
+    if let Some(t) = tracer {
+        vol.attach_tracer(Some(t.clone()));
+    }
+
+    let cap = vol.ftl().capacity_pages();
+    let cpp = vol.ftl().chip().geometry().cells_per_page();
+    let slot_lpns: Vec<u64> = vol.slot_lpns().to_vec();
+
+    let mut log = WorkloadLog {
+        acked_public: vec![None; cap as usize],
+        in_flight: None,
+        acked_hidden: vec![None; SLOTS],
+        completed: false,
+    };
+
+    // Deterministic pattern stream: depends only on the seed, never on
+    // where the cut lands, so acked values match across the whole matrix.
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+
+    // Churn targets: the first data slot's public page (exercising the
+    // re-embed path) plus the first three plain LPNs.
+    let churn: Vec<u64> = std::iter::once(slot_lpns[0])
+        .chain((0..cap).filter(|l| !slot_lpns.contains(l)).take(3))
+        .collect();
+
+    let outcome = (|| -> Result<(), StegoError> {
+        for lpn in 0..cap {
+            let data = BitPattern::random_half(&mut rng, cpp);
+            log.in_flight = Some((lpn, data.clone()));
+            vol.write_public(lpn, &data)?;
+            log.acked_public[lpn as usize] = Some(data);
+            log.in_flight = None;
+        }
+        for slot in 0..SLOTS {
+            vol.write_hidden(slot, &hidden_payload(&cfg, slot))?;
+            log.acked_hidden[slot] = Some(hidden_payload(&cfg, slot));
+        }
+        for &lpn in &churn {
+            let data = BitPattern::random_half(&mut rng, cpp);
+            log.in_flight = Some((lpn, data.clone()));
+            vol.write_public(lpn, &data)?;
+            log.acked_public[lpn as usize] = Some(data);
+            log.in_flight = None;
+        }
+        log.completed = true;
+        Ok(())
+    })();
+    if let Err(e) = outcome {
+        assert!(is_power_loss(&e), "workload failed without a power cut: {e}");
+    }
+
+    let workload_gc_runs = vol.ftl().stats().gc_runs;
+
+    // Power comes back: rebuild the whole stack cold from the medium.
+    let mut dev = vol.unmount().into_chip();
+    let op_log = dev.op_log().to_vec();
+    let cut_fired = dev.is_off();
+    dev.reboot();
+    let meter_before = dev.meter().device_time_us;
+    let wall = std::time::Instant::now();
+    let (mut ftl2, mount) = Ftl::mount(dev, crash_ftl_cfg()).expect("mount");
+    if let Some(t) = tracer {
+        ftl2.attach_tracer(Some(t.clone()));
+    }
+    let (mut vol2, recovery) =
+        HiddenVolume::remount(ftl2, crash_key(), cfg.clone(), SLOTS).expect("remount");
+    let remount_wall_us = wall.elapsed().as_secs_f64() * 1e6;
+    let remount_device_us = vol2.ftl().chip().meter().device_time_us - meter_before;
+    if let Some(t) = tracer {
+        t.counter_add("mount_scanned_pages", "", mount.scanned_pages);
+        t.counter_add("mount_journal_replayed", "", mount.live_pages);
+        t.counter_add("mount_torn_discarded", "", mount.torn_pages);
+        t.gauge_set("remount_device_us", "", remount_device_us);
+        t.gauge_set("remount_wall_us", "", remount_wall_us);
+    }
+
+    // ---- invariants -------------------------------------------------------
+    let mut violations = Vec::new();
+    let mut digest_buf = Vec::new();
+    if let Some(c) = cut {
+        push_u64(&mut digest_buf, c.at_op);
+        push_u64(&mut digest_buf, c.fraction.to_bits());
+    }
+    for lpn in 0..cap {
+        let got = vol2.read_public(lpn).expect("public read");
+        let acked = &log.acked_public[lpn as usize];
+        let matches_acked = match (&got, acked) {
+            (None, None) => true,
+            (Some(g), Some(w)) => matches_public(g, w),
+            _ => false,
+        };
+        let matches_in_flight = log
+            .in_flight
+            .as_ref()
+            .is_some_and(|(l, d)| *l == lpn && got.as_ref().is_some_and(|g| matches_public(g, d)));
+        if !(matches_acked || matches_in_flight) {
+            violations.push(format!(
+                "lpn {lpn}: read {} acked bytes, expected acked={} in_flight={}",
+                got.as_ref().map_or(0, |p| p.as_bytes().len()),
+                acked.is_some(),
+                log.in_flight.as_ref().is_some_and(|(l, _)| *l == lpn),
+            ));
+        }
+        if let Some(p) = &got {
+            digest_buf.extend_from_slice(p.as_bytes());
+        } else {
+            digest_buf.push(0xFF);
+        }
+    }
+    for slot in 0..SLOTS {
+        let got = vol2.read_hidden(slot).expect("hidden read");
+        if let Some(secret) = &log.acked_hidden[slot] {
+            if got.as_deref() != Some(secret.as_slice()) {
+                violations.push(format!("hidden slot {slot}: acked payload did not survive"));
+            }
+        }
+        if let Some(bytes) = &got {
+            digest_buf.extend_from_slice(bytes);
+        } else {
+            digest_buf.push(0xEE);
+        }
+    }
+    if let Err(e) = vol2.ftl().check_consistency() {
+        violations.push(format!("ftl mapping inconsistent after mount: {e}"));
+    }
+
+    for v in [
+        mount.scanned_pages,
+        mount.live_pages,
+        mount.stale_pages,
+        mount.torn_pages,
+        u64::from(mount.sealed_blocks),
+        u64::from(mount.free_blocks),
+        u64::from(mount.retired_blocks),
+        recovery.recovered as u64,
+        recovery.reconstructed as u64,
+        recovery.lost as u64,
+        recovery.tag_failures as u64,
+        u64::from(cut_fired),
+        u64::from(log.completed),
+        violations.len() as u64,
+    ] {
+        push_u64(&mut digest_buf, v);
+    }
+    let digest = crc32(&digest_buf);
+
+    // Voltage fingerprint of every slot-backing page, for the adversary.
+    let mut slot_page_hists = Vec::with_capacity(slot_lpns.len());
+    let mut levels = Vec::new();
+    for &lpn in &slot_lpns {
+        if let Some(page) = vol2.ftl().physical_of(lpn) {
+            vol2.ftl_mut().chip_mut().probe_voltages_into(page, &mut levels).expect("probe");
+            let mut hist = vec![0.0f64; 32];
+            for &v in &levels {
+                hist[(v as usize) / 8] += 1.0;
+            }
+            let n = levels.len().max(1) as f64;
+            hist.iter_mut().for_each(|h| *h /= n);
+            slot_page_hists.push(hist);
+        }
+    }
+
+    CutRun {
+        cut,
+        cut_fired,
+        log,
+        workload_gc_runs,
+        mount,
+        recovery,
+        violations,
+        digest,
+        op_log,
+        remount_wall_us,
+        remount_device_us,
+        slot_page_hists,
+    }
+}
+
+/// Enumerates at least `target` distinct deterministic cut points from the
+/// op log of an uncut instrumented run: fraction-0 cuts strided across the
+/// whole op stream, plus mid-operation cuts (fractions ¼, ½, ¾) aimed at
+/// partial-program pulses and page programs specifically — the two torn
+/// shapes the paper's PP encoding makes dangerous.
+pub fn enumerate_cuts(op_log: &[OpKind], target: usize) -> Vec<PowerCut> {
+    let n = op_log.len() as u64;
+    assert!(n > 0, "instrumented run logged no ops");
+    let fractions = [0.25, 0.5, 0.75];
+    let mut cuts = Vec::new();
+
+    // Budgets: ~5/8 before-op cuts across the whole stream, ~1/4 mid-PP
+    // cuts (half-finished pulse trains are the paper-specific hazard),
+    // ~1/8 mid-program cuts (torn public pages the journal must catch).
+    let before_budget = (target * 5 / 8).max(1) as u64;
+    let stride = (n / before_budget).max(1);
+    for at in (0..n).step_by(stride as usize) {
+        cuts.push(PowerCut { at_op: at, fraction: 0.0 });
+    }
+
+    let pp: Vec<u64> = (0..n).filter(|&i| op_log[i as usize] == OpKind::PartialProgram).collect();
+    let prog: Vec<u64> = (0..n).filter(|&i| op_log[i as usize] == OpKind::Program).collect();
+    for (idxs, budget) in [(pp, (target / 4).max(3)), (prog, (target / 8).max(2))] {
+        if idxs.is_empty() {
+            continue;
+        }
+        let pairs = idxs.len() * fractions.len();
+        let stride = (pairs / budget).max(1);
+        for j in (0..pairs).step_by(stride) {
+            cuts.push(PowerCut {
+                at_op: idxs[j / fractions.len()],
+                fraction: fractions[j % fractions.len()],
+            });
+        }
+    }
+
+    cuts.sort_by(|a, b| a.at_op.cmp(&b.at_op).then(a.fraction.total_cmp(&b.fraction)));
+    cuts.dedup_by(|a, b| a.at_op == b.at_op && a.fraction == b.fraction);
+    cuts
+}
+
+/// Runs every cut through [`run_cut`] on an explicit `stash-par` worker
+/// count, preserving cut order.
+pub fn run_matrix(seed: u64, cuts: &[PowerCut], threads: usize) -> Vec<CutRun> {
+    stash_par::par_map_threads(threads, cuts.to_vec(), |_, c| run_cut(seed, Some(c), false))
+}

@@ -13,6 +13,7 @@
 //! simulator preserves densities and noise statistics across geometries
 //! (see `stash-flash` calibration tests), so shapes and ratios carry over.
 
+pub mod crash;
 pub mod detect;
 
 use rand::rngs::SmallRng;

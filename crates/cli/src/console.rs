@@ -4,11 +4,14 @@ use rand::{rngs::SmallRng, SeedableRng};
 use stash_crypto::HidingKey;
 use stash_fingerprint::{Fingerprint, FlashTrng};
 use stash_flash::{
-    BitPattern, BlockId, Chip, ChipProfile, Histogram, NandDevice, PageId, TraceDevice,
+    BitPattern, BlockId, Chip, ChipProfile, FlashError, Geometry, Histogram, NandDevice, PageId,
+    PowerCut, PowerCutDevice, TraceDevice,
 };
+use stash_ftl::{Ftl, FtlConfig, FtlError};
 use stash_obs::{export, Tracer};
+use stash_stego::{HiddenVolume, StegoConfig, StegoError};
 use std::sync::Arc;
-use vthi::{Hider, PageCapacity, VthiConfig, WearPlan};
+use vthi::{HideError, Hider, PageCapacity, VthiConfig, WearPlan};
 
 /// What the main loop should do after a command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +103,7 @@ impl Console {
                 Ok(())
             }
             "trace" => self.cmd_trace(&args),
+            "crash" => self.cmd_crash(&args),
             other => Err(format!("unknown command `{other}` (try `help`)")),
         };
         if let Err(msg) = result {
@@ -129,6 +133,7 @@ impl Console {
              \x20 trng <bytes>                harvest random bytes\n\
              \x20 meter                       op counts / device time / energy\n\
              \x20 trace on|off|dump [fmt]     span tracing; fmt: tree|json|flame\n\
+             \x20 crash <at_op> [fraction]    power-cut + cold-remount recovery demo\n\
              \x20 quit"
         );
     }
@@ -408,6 +413,141 @@ impl Console {
         println!("{hex}");
         Ok(())
     }
+
+    /// Power-loss demo on a throwaway device: schedule one cut, run the
+    /// fill + hide workload into it, reboot, then cold-mount and narrate
+    /// what the journal replay and hidden-slot recovery found.
+    fn cmd_crash(&mut self, args: &[&str]) -> Result<(), String> {
+        let at_op: u64 = args
+            .first()
+            .ok_or("usage: crash <at_op> [fraction]")?
+            .parse()
+            .map_err(|_| "at_op must be a number".to_owned())?;
+        let fraction: f64 = match args.get(1) {
+            Some(s) => s.parse().map_err(|_| "fraction must be a number".to_owned())?,
+            None => 0.5,
+        };
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err("fraction must be in [0, 1]".into());
+        }
+
+        const SLOTS: usize = 3;
+        let seed = 0xCADE;
+        let mut profile = ChipProfile::vendor_a();
+        profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 4, page_bytes: 1024 };
+        let cut = PowerCut { at_op, fraction };
+        let dev = PowerCutDevice::with_cuts(Chip::new(profile, seed), vec![cut]);
+        let ftl_cfg = FtlConfig { reserve_blocks: 6, gc_low_water: 2 };
+        let ftl = Ftl::new(dev, ftl_cfg).map_err(|e| e.to_string())?;
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.parity_group = SLOTS;
+        let key = self.key.clone().unwrap_or_else(|| HidingKey::from_passphrase("crash demo"));
+        let mut vol = HiddenVolume::format(ftl, key.clone(), cfg.clone(), SLOTS)
+            .map_err(|e| e.to_string())?;
+
+        let cap = vol.ftl().capacity_pages();
+        let cpp = vol.ftl().chip().geometry().cells_per_page();
+        let secrets: Vec<Vec<u8>> = (0..SLOTS)
+            .map(|s| (0..cfg.slot_bytes()).map(|b| (s * 29 + b + 1) as u8).collect())
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut acked_public: Vec<Option<BitPattern>> = vec![None; cap as usize];
+        let mut acked_hidden = 0usize;
+
+        let is_power_loss = |e: &StegoError| {
+            matches!(
+                e,
+                StegoError::Ftl(FtlError::Flash(FlashError::PowerLoss))
+                    | StegoError::Hide(HideError::Flash(FlashError::PowerLoss))
+            )
+        };
+        let outcome = (|| -> Result<(), StegoError> {
+            for lpn in 0..cap {
+                let data = BitPattern::random_half(&mut rng, cpp);
+                vol.write_public(lpn, &data)?;
+                acked_public[lpn as usize] = Some(data);
+            }
+            for (s, secret) in secrets.iter().enumerate() {
+                vol.write_hidden(s, secret)?;
+                acked_hidden += 1;
+            }
+            Ok(())
+        })();
+        if let Err(e) = &outcome {
+            if !is_power_loss(e) {
+                return Err(format!("workload failed for a non-power reason: {e}"));
+            }
+        }
+
+        let mut dev = vol.unmount().into_chip();
+        let acked_count = acked_public.iter().filter(|p| p.is_some()).count();
+        println!(
+            "workload: {acked_count}/{cap} public writes acked, {acked_hidden}/{SLOTS} hidden slots acked"
+        );
+        if dev.is_off() {
+            println!(
+                "power cut fired at device op {at_op} (fraction {fraction}); device dark after op {}",
+                dev.op_index()
+            );
+        } else {
+            println!(
+                "note: workload finished after {} device ops; cut at op {at_op} never fired",
+                dev.op_index()
+            );
+        }
+
+        dev.reboot();
+        println!("-- power restored, cold mount --");
+        let (ftl2, mount) = Ftl::mount(dev, ftl_cfg).map_err(|e| e.to_string())?;
+        println!(
+            "mount:   scanned {} pages, replayed {} live ({} stale, {} torn discarded)",
+            mount.scanned_pages, mount.live_pages, mount.stale_pages, mount.torn_pages
+        );
+        let (mut vol2, rec) =
+            HiddenVolume::remount(ftl2, key, cfg, SLOTS).map_err(|e| e.to_string())?;
+        println!(
+            "remount: {} slots decoded clean, {} rebuilt from parity ({} tag failures), {} lost",
+            rec.recovered, rec.reconstructed, rec.tag_failures, rec.lost
+        );
+
+        // Acked public writes must read back (modulo raw read noise that
+        // the public volume's own ECC would absorb — budget 1% of bits).
+        let mut public_ok = 0usize;
+        for (lpn, want) in acked_public.iter().enumerate() {
+            let Some(want) = want else { continue };
+            if let Ok(Some(got)) = vol2.read_public(lpn as u64) {
+                let diff: u32 = got
+                    .as_bytes()
+                    .iter()
+                    .zip(want.as_bytes())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                if (diff as f64) <= (want.as_bytes().len() * 8) as f64 * 0.01 {
+                    public_ok += 1;
+                }
+            }
+        }
+        println!("public:  {public_ok}/{acked_count} acked pages read back");
+        let mut hidden_ok = 0usize;
+        for (s, secret) in secrets.iter().enumerate().take(acked_hidden) {
+            if let Ok(Some(got)) = vol2.read_hidden(s) {
+                if got == *secret {
+                    hidden_ok += 1;
+                }
+            }
+        }
+        println!(
+            "hidden:  {hidden_ok}/{acked_hidden} acked payloads byte-identical after recovery"
+        );
+        match vol2.ftl().check_consistency() {
+            Ok(()) => println!("ftl:     mapping consistent"),
+            Err(e) => println!("ftl:     INCONSISTENT: {e}"),
+        }
+        if public_ok == acked_count && hidden_ok == acked_hidden {
+            println!("ok: everything acknowledged before the cut survived the crash");
+        }
+        Ok(())
+    }
 }
 
 impl Default for Console {
@@ -495,6 +635,22 @@ mod tests {
         c.dispatch("erase 2");
         let report = c.tracer.as_ref().unwrap().report();
         assert!(report.totals.total_ops() >= 1);
+    }
+
+    #[test]
+    fn crash_demo_through_console() {
+        let mut c = Console::new();
+        run(
+            &mut c,
+            &[
+                "crash 50 0.5", // cut mid-way through device op 50
+                "crash 40",     // default fraction
+                "crash 999999", // workload finishes first; cut never fires
+                "crash",        // usage error — reported, not fatal
+                "crash x y",    // parse error — reported, not fatal
+                "crash 10 7.5", // fraction out of range — reported, not fatal
+            ],
+        );
     }
 
     #[test]

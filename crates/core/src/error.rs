@@ -37,6 +37,11 @@ pub enum HideError {
         /// Cells still below the threshold after the final step.
         remaining: usize,
     },
+    /// The payload decoded but failed its integrity tag — a half-encoded
+    /// page (power cut mid-embed) or a payload decoded under the wrong slot
+    /// identity. The slot must be rebuilt from parity or rewritten from a
+    /// cached copy; the decoded bytes must not be trusted.
+    NeedsRecovery,
 }
 
 impl fmt::Display for HideError {
@@ -56,6 +61,9 @@ impl fmt::Display for HideError {
             HideError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HideError::StragglersRemain { remaining } => {
                 write!(f, "{remaining} hidden cells failed to reach the threshold")
+            }
+            HideError::NeedsRecovery => {
+                write!(f, "hidden payload failed its integrity tag; recovery required")
             }
         }
     }
@@ -109,5 +117,26 @@ mod tests {
         let e = HideError::Flash(FlashError::BadBlock(BlockId(0)));
         assert!(e.source().is_some());
         assert!(HideError::InvalidConfig("x".into()).source().is_none());
+        assert!(HideError::NeedsRecovery.source().is_none());
+    }
+
+    #[test]
+    fn variant_messages_are_distinct() {
+        let variants = [
+            HideError::Flash(FlashError::BadBlock(BlockId(0))),
+            HideError::InsufficientOnes { needed: 1, available: 0 },
+            HideError::Unrecoverable { detected_errors: 1 },
+            HideError::PayloadLength { expected: 1, got: 2 },
+            HideError::InvalidConfig("x".into()),
+            HideError::StragglersRemain { remaining: 1 },
+            HideError::NeedsRecovery,
+        ];
+        let messages: Vec<String> = variants.iter().map(ToString::to_string).collect();
+        for (i, a) in messages.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in &messages[i + 1..] {
+                assert_ne!(a, b, "two variants share a message");
+            }
+        }
     }
 }

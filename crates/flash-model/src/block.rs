@@ -23,6 +23,14 @@ pub(crate) struct VoltState {
     pub aged_days: f64,
     /// Reads since last erase (read-disturb accounting).
     pub read_count: u64,
+    /// Per-page out-of-band spare area (controller metadata such as FTL
+    /// journal records), written atomically with a full page program and
+    /// cleared by erase. `None` = never written since the last erase. The
+    /// spare is read through controller-grade ECC, so it is modeled
+    /// noise-free: a torn program that never reached the spare leaves it
+    /// `None`, which is exactly the durable-or-absent signal mount-time
+    /// recovery keys on.
+    pub spares: Vec<Option<Vec<u8>>>,
 }
 
 impl VoltState {
@@ -33,6 +41,7 @@ impl VoltState {
             pp_written: None,
             aged_days: 0.0,
             read_count: 0,
+            spares: vec![None; pages],
         }
     }
 

@@ -333,6 +333,74 @@ impl Chip {
         Ok(())
     }
 
+    /// Programs a page and atomically deposits controller metadata in the
+    /// page's out-of-band spare area. On real NAND the spare bytes ride the
+    /// same program pulse as the data, so either both land or neither does;
+    /// a torn program (power cut mid-pulse) leaves the spare absent, which
+    /// is the durable-or-absent signal mount-time recovery keys on.
+    ///
+    /// The cell physics are identical to [`program_page`](Self::program_page)
+    /// — the spare consumes no process randomness.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly like [`program_page`](Self::program_page).
+    pub fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        self.program_page(p, data)?;
+        let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
+        state.spares[p.page as usize] = Some(spare.to_vec());
+        Ok(())
+    }
+
+    /// Reads a page's out-of-band spare area. Spare bytes are read through
+    /// controller-grade ECC and are modeled noise-free; `None` means the
+    /// spare was never written since the block's last erase (an unwritten
+    /// page, a page programmed without a spare, or a torn program). Billed
+    /// as a page read.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    pub fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        self.check_usable_page(p)?;
+        self.ensure_state(p.block);
+        let spare =
+            self.blocks[p.block.0 as usize].state.as_ref().unwrap().spares[p.page as usize].clone();
+        self.meter_record(OpKind::Read);
+        Ok(spare)
+    }
+
+    /// A block erase interrupted `fraction` of the way through its
+    /// discharge pulse: every cell's voltage is blended between its old
+    /// value and a fresh erased draw (`v = new·f + old·(1−f)`), wear and
+    /// bookkeeping advance as for a full erase, and all pages read as
+    /// unprogrammed. A controller must treat such a block as needing a
+    /// clean erase before reuse.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`erase_block`](Self::erase_block).
+    pub fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        self.check_usable_block(b)?;
+        self.check_not_grown_bad(b)?;
+        self.ensure_state(b);
+        let old = self.blocks[b.0 as usize].state.as_ref().unwrap().voltages.clone();
+        self.blocks[b.0 as usize].pec = self.blocks[b.0 as usize].pec.saturating_add(1);
+        self.redraw_erased(b);
+        let f = fraction.clamp(0.0, 1.0) as f32;
+        let state = self.blocks[b.0 as usize].state.as_mut().unwrap();
+        for (v, &o) in state.voltages.iter_mut().zip(&old) {
+            *v = *v * f + o * (1.0 - f);
+        }
+        self.meter_record(OpKind::Erase);
+        Ok(())
+    }
+
     /// Issues one partial-program (PP) step to the masked cells of a page:
     /// an aborted program operation that adds a coarse, noisy increment of
     /// charge to each masked cell (mask bit `1` = nudge that cell). This is
@@ -791,6 +859,7 @@ impl Chip {
         state.pp_written = None;
         state.aged_days = 0.0;
         state.read_count = 0;
+        state.spares.iter_mut().for_each(|s| *s = None);
     }
 
     /// Jittered per-block coupling-distribution parameters `(median,
@@ -1010,6 +1079,17 @@ impl DeviceState for Chip {
                     }
                     w.put_f64(state.aged_days);
                     w.put_u64(state.read_count);
+                    w.put_len(state.spares.len());
+                    for spare in &state.spares {
+                        match spare {
+                            None => w.put_bool(false),
+                            Some(bytes) => {
+                                w.put_bool(true);
+                                w.put_len(bytes.len());
+                                w.put_bytes(bytes);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1030,11 +1110,11 @@ impl DeviceState for Chip {
         self.rng = ChipRng::from_state(rng);
         self.gauss.set_spare(if r.get_bool()? { Some(r.get_f64()?) } else { None });
         self.read_noise_scale = r.get_f64()?;
-        let mut counts = [0u64; 5];
+        let mut counts = [0u64; OpKind::ALL.len()];
         for c in &mut counts {
             *c = r.get_u64()?;
         }
-        let mut fault_counts = [0u64; 3];
+        let mut fault_counts = [0u64; FaultKind::ALL.len()];
         for c in &mut fault_counts {
             *c = r.get_u64()?;
         }
@@ -1105,6 +1185,18 @@ impl DeviceState for Chip {
                 };
                 state.aged_days = r.get_f64()?;
                 state.read_count = r.get_u64()?;
+                let nspares = r.get_len()?;
+                if nspares != state.spares.len() {
+                    return Err(SnapshotError::Corrupt("spare-area length"));
+                }
+                for spare in &mut state.spares {
+                    *spare = if r.get_bool()? {
+                        let n = r.get_len()?;
+                        Some(r.get_bytes(n)?.to_vec())
+                    } else {
+                        None
+                    };
+                }
                 Some(Box::new(state))
             } else {
                 None

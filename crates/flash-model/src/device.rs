@@ -212,6 +212,89 @@ pub trait NandDevice {
     /// page already programmed since its last erase, or injected faults.
     fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()>;
 
+    /// Programs a page and atomically deposits controller metadata in its
+    /// out-of-band spare area. The default discards the spare (a device
+    /// without an OOB region); [`Chip`] stores it so mount-time recovery
+    /// can replay it.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly like [`program_page`](Self::program_page).
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        let _ = spare;
+        self.program_page(p, data)
+    }
+
+    /// Reads a page's out-of-band spare area (`None` = never written since
+    /// the last erase, or the device has no OOB region). Spare bytes travel
+    /// through controller-grade ECC and are modeled noise-free.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        let _ = p;
+        Ok(None)
+    }
+
+    /// A page program interrupted `fraction` of the way through: only the
+    /// leading cells of the pattern receive charge, the rest stay erased,
+    /// and no spare metadata lands. The default models this as programming
+    /// a prefix-masked pattern.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`program_page`](Self::program_page).
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        let n = data.len();
+        let keep = (fraction.clamp(0.0, 1.0) * n as f64).floor() as usize;
+        let torn =
+            BitPattern::from_bits(n, (0..n).map(|i| if i < keep { data.get(i) } else { true }));
+        self.program_page(p, &torn)
+    }
+
+    /// A partial-program pulse train stopped early: only the leading
+    /// `fraction` of the masked cells receive their nudge. The default
+    /// models this as a PP step with a truncated mask.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`partial_program`](Self::partial_program).
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        let total = mask.count_ones();
+        let keep = (fraction.clamp(0.0, 1.0) * total as f64).floor() as usize;
+        let mut kept = 0usize;
+        let torn = BitPattern::from_bits(
+            mask.len(),
+            (0..mask.len()).map(|i| {
+                let hit = mask.get(i) && kept < keep;
+                if hit {
+                    kept += 1;
+                }
+                hit
+            }),
+        );
+        self.partial_program(p, &torn)
+    }
+
+    /// A block erase interrupted `fraction` of the way through its
+    /// discharge. The default falls back to a full erase; [`Chip`] blends
+    /// each cell between its old voltage and a fresh erased draw, leaving
+    /// the block in a state a controller must re-erase before reuse.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`erase_block`](Self::erase_block).
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        let _ = fraction;
+        self.erase_block(b)
+    }
+
     /// Issues one partial-program step to the masked cells of a page.
     ///
     /// # Errors
@@ -388,6 +471,26 @@ impl<D: NandDevice + ?Sized> NandDevice for &mut D {
     fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
         (**self).program_page(p, data)
     }
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        (**self).program_page_with_spare(p, data, spare)
+    }
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        (**self).read_spare(p)
+    }
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        (**self).torn_program_page(p, data, fraction)
+    }
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        (**self).torn_partial_program(p, mask, fraction)
+    }
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        (**self).torn_erase_block(b, fraction)
+    }
     fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
         (**self).partial_program(p, mask)
     }
@@ -477,6 +580,20 @@ impl NandDevice for Chip {
     }
     fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
         Chip::program_page(self, p, data)
+    }
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        Chip::program_page_with_spare(self, p, data, spare)
+    }
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        Chip::read_spare(self, p)
+    }
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        Chip::torn_erase_block(self, b, fraction)
     }
     fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
         Chip::partial_program(self, p, mask)

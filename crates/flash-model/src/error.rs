@@ -42,6 +42,12 @@ pub enum FlashError {
     /// bad block). Unlike factory [`BadBlock`](Self::BadBlock)s, grown bad
     /// blocks still read, so surviving data can be migrated off them.
     GrownBadBlock(BlockId),
+    /// The device lost power: either this operation was interrupted by a
+    /// scheduled supply cut (possibly leaving a *torn* result on the
+    /// medium), or the device is latched off after an earlier cut and
+    /// rejects all commands until
+    /// [`PowerCutDevice::reboot`](crate::PowerCutDevice::reboot).
+    PowerLoss,
 }
 
 impl fmt::Display for FlashError {
@@ -68,6 +74,9 @@ impl fmt::Display for FlashError {
             FlashError::GrownBadBlock(b) => {
                 write!(f, "block {b} has grown bad (read-only)")
             }
+            FlashError::PowerLoss => {
+                write!(f, "power lost; device is off until reboot")
+            }
         }
     }
 }
@@ -90,11 +99,14 @@ mod tests {
             FlashError::TransientProgramFail(PageId::new(BlockId(2), 5)),
             FlashError::EraseFail(BlockId(6)),
             FlashError::GrownBadBlock(BlockId(7)),
+            FlashError::PowerLoss,
         ];
+        let mut seen = std::collections::HashSet::new();
         for e in errs {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(seen.insert(s.clone()), "duplicate message: {s}");
         }
     }
 

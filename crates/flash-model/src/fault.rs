@@ -61,6 +61,25 @@ pub struct StuckCell {
     pub level: Level,
 }
 
+/// A scheduled supply cut, consumed by
+/// [`PowerCutDevice`](crate::PowerCutDevice) (other middleware ignores it,
+/// so a power-cut-only plan routed through a
+/// [`FaultDevice`](crate::FaultDevice) stays a perfect pass-through).
+///
+/// `fraction == 0.0` cuts *before* the operation at `at_op` executes: the
+/// device latches off and the operation has no effect. `0 < fraction < 1`
+/// cuts *mid-operation*: the device executes a torn variant of the
+/// operation (a prefix of cells programmed, a PP pulse train stopped early,
+/// a partially-discharged erase) and then latches off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCut {
+    /// Global device-operation index at which the supply drops (every
+    /// command-surface operation advances the index by one).
+    pub at_op: u64,
+    /// How far through the operation the cut lands, in `[0, 1)`.
+    pub fraction: f64,
+}
+
 /// A deterministic, seeded fault schedule for one chip.
 ///
 /// Build with [`FaultPlan::new`] and the `with_*` methods, then wrap the
@@ -88,6 +107,7 @@ pub struct FaultPlan {
     grown_bad_schedule: Vec<(BlockId, u64)>,
     noise_spikes: Vec<NoiseSpike>,
     stuck_cells: Vec<StuckCell>,
+    power_cuts: Vec<PowerCut>,
 }
 
 impl FaultPlan {
@@ -168,6 +188,31 @@ impl FaultPlan {
         self
     }
 
+    /// Cuts power immediately before the operation with global index
+    /// `at_op` executes (the operation has no effect; the device latches
+    /// off). Equivalent to "cut after the `at_op`-th operation completes"
+    /// for the preceding index.
+    pub fn with_power_cut(mut self, at_op: u64) -> Self {
+        self.power_cuts.push(PowerCut { at_op, fraction: 0.0 });
+        self
+    }
+
+    /// Cuts power partway through the operation with global index `at_op`:
+    /// the operation executes a *torn* variant covering the leading
+    /// `fraction` of its effect, then the device latches off.
+    pub fn with_power_cut_mid(mut self, at_op: u64, fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "cut fraction out of range");
+        self.power_cuts.push(PowerCut { at_op, fraction });
+        self
+    }
+
+    /// The scheduled power cuts, sorted by operation index.
+    pub fn power_cuts(&self) -> Vec<PowerCut> {
+        let mut cuts = self.power_cuts.clone();
+        cuts.sort_by_key(|c| c.at_op);
+        cuts
+    }
+
     /// Whether the plan injects nothing (the chip then skips all fault
     /// bookkeeping entirely).
     pub fn is_none(&self) -> bool {
@@ -178,6 +223,7 @@ impl FaultPlan {
             && self.grown_bad_schedule.is_empty()
             && self.noise_spikes.is_empty()
             && self.stuck_cells.is_empty()
+            && self.power_cuts.is_empty()
     }
 
     /// Combined read-noise multiplier for one operation index.
@@ -280,6 +326,34 @@ mod tests {
         assert!(FaultPlan::new(9).is_none());
         assert!(!FaultPlan::new(9).with_program_fail(0.5).is_none());
         assert!(!FaultPlan::new(9).with_stuck_cell(BlockId(0), 3, 200).is_none());
+        assert!(!FaultPlan::new(9).with_power_cut(10).is_none());
+    }
+
+    #[test]
+    fn empty_builders_stay_bit_identical_to_none() {
+        // A plan built through the constructor with no schedules installed
+        // must compare equal to `FaultPlan::none()` modulo its seed, and
+        // report `is_none()` like it.
+        let built = FaultPlan::new(0);
+        assert_eq!(built, FaultPlan::none());
+        let seeded = FaultPlan::new(77);
+        assert!(seeded.is_none());
+        assert!(seeded.power_cuts().is_empty());
+    }
+
+    #[test]
+    fn power_cuts_sort_by_op_index() {
+        let p = FaultPlan::new(1).with_power_cut(30).with_power_cut_mid(10, 0.5).with_power_cut(20);
+        let cuts = p.power_cuts();
+        assert_eq!(cuts.iter().map(|c| c.at_op).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(cuts[0].fraction, 0.5);
+        assert_eq!(cuts[1].fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cut fraction out of range")]
+    fn mid_cut_rejects_fraction_one() {
+        let _ = FaultPlan::new(1).with_power_cut_mid(0, 1.0);
     }
 
     #[test]

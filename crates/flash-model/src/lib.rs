@@ -52,6 +52,7 @@ pub mod ber;
 pub mod bits;
 pub mod block;
 pub mod chip;
+pub mod crc;
 pub mod device;
 pub mod error;
 pub mod fault;
@@ -71,13 +72,14 @@ pub mod tlc;
 pub use ber::BitErrorStats;
 pub use bits::BitPattern;
 pub use chip::Chip;
+pub use crc::crc32;
 pub use device::{CmdResult, NandCmd, NandDevice};
 pub use error::FlashError;
-pub use fault::{FaultPlan, NoiseSpike, StuckCell};
+pub use fault::{FaultPlan, NoiseSpike, PowerCut, StuckCell};
 pub use geometry::{BlockId, Geometry, PageId};
 pub use histogram::Histogram;
 pub use meter::{FaultKind, Meter, MeterSnapshot, OpKind};
-pub use middleware::{FaultDevice, SnapshotDevice, TraceDevice};
+pub use middleware::{FaultDevice, PowerCutDevice, SnapshotDevice, TraceDevice};
 pub use profile::{ChipProfile, TimingModel};
 pub use recorder::{CountingRecorder, Recorder, SharedRecorder};
 pub use rng::ChipRng;

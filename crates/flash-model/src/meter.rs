@@ -55,18 +55,26 @@ pub enum FaultKind {
     TransientErase,
     /// A block wore out and became a grown bad block.
     GrownBad,
+    /// The supply dropped and the device latched off (possibly mid-op,
+    /// leaving a torn result on the medium).
+    PowerLoss,
 }
 
 impl FaultKind {
     /// All fault kinds, for iteration in reports.
-    pub const ALL: [FaultKind; 3] =
-        [FaultKind::TransientProgram, FaultKind::TransientErase, FaultKind::GrownBad];
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::TransientProgram,
+        FaultKind::TransientErase,
+        FaultKind::GrownBad,
+        FaultKind::PowerLoss,
+    ];
 
     fn idx(self) -> usize {
         match self {
             FaultKind::TransientProgram => 0,
             FaultKind::TransientErase => 1,
             FaultKind::GrownBad => 2,
+            FaultKind::PowerLoss => 3,
         }
     }
 }
@@ -77,6 +85,7 @@ impl fmt::Display for FaultKind {
             FaultKind::TransientProgram => "transient-program",
             FaultKind::TransientErase => "transient-erase",
             FaultKind::GrownBad => "grown-bad",
+            FaultKind::PowerLoss => "power-loss",
         };
         f.write_str(s)
     }
@@ -88,7 +97,7 @@ pub struct MeterSnapshot {
     /// Operation counts indexed like [`OpKind::ALL`].
     counts: [u64; 5],
     /// Fault counts indexed like [`FaultKind::ALL`].
-    fault_counts: [u64; 3],
+    fault_counts: [u64; 4],
     /// Total simulated device time, microseconds.
     pub device_time_us: f64,
     /// Simulated time spent waiting (retry backoff), microseconds. Included
@@ -134,7 +143,7 @@ impl MeterSnapshot {
             debug_assert!(self.counts[i] >= earlier.counts[i], "snapshots swapped");
             out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
         }
-        for i in 0..3 {
+        for i in 0..4 {
             debug_assert!(self.fault_counts[i] >= earlier.fault_counts[i], "snapshots swapped");
             out.fault_counts[i] = self.fault_counts[i].saturating_sub(earlier.fault_counts[i]);
         }
@@ -150,7 +159,7 @@ impl MeterSnapshot {
         for i in 0..5 {
             self.counts[i] += other.counts[i];
         }
-        for i in 0..3 {
+        for i in 0..4 {
             self.fault_counts[i] += other.fault_counts[i];
         }
         self.device_time_us += other.device_time_us;
@@ -163,7 +172,7 @@ impl MeterSnapshot {
     /// that aggregate per-span deltas outside a live [`Meter`].
     pub fn from_parts(
         counts: [u64; 5],
-        fault_counts: [u64; 3],
+        fault_counts: [u64; 4],
         device_time_us: f64,
         wait_time_us: f64,
         energy_uj: f64,
@@ -208,11 +217,12 @@ impl fmt::Display for MeterSnapshot {
         if self.total_faults() > 0 || self.wait_time_us > 0.0 {
             write!(
                 f,
-                " faults={} (program={} erase={} grown-bad={}) wait={:.3}ms",
+                " faults={} (program={} erase={} grown-bad={} power-loss={}) wait={:.3}ms",
                 self.total_faults(),
                 self.fault_count(FaultKind::TransientProgram),
                 self.fault_count(FaultKind::TransientErase),
                 self.fault_count(FaultKind::GrownBad),
+                self.fault_count(FaultKind::PowerLoss),
                 self.wait_time_us / 1e3,
             )?;
         }
@@ -372,7 +382,7 @@ mod tests {
 
     #[test]
     fn from_parts_roundtrips_counts() {
-        let s = MeterSnapshot::from_parts([1, 2, 3, 4, 5], [6, 7, 8], 90.0, 10.0, 50.0);
+        let s = MeterSnapshot::from_parts([1, 2, 3, 4, 5], [6, 7, 8, 9], 90.0, 10.0, 50.0);
         for (i, kind) in OpKind::ALL.iter().enumerate() {
             assert_eq!(s.count(*kind), i as u64 + 1);
             assert_eq!(MeterSnapshot::op_index(*kind), i);
@@ -382,7 +392,7 @@ mod tests {
             assert_eq!(MeterSnapshot::fault_index(*kind), i);
         }
         assert_eq!(s.total_ops(), 15);
-        assert_eq!(s.total_faults(), 21);
+        assert_eq!(s.total_faults(), 30);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Composable device middleware: fault injection, tracing, checkpointing.
+//! Composable device middleware: fault injection, tracing, checkpointing,
+//! power cuts.
 //!
 //! Each wrapper implements [`NandDevice`] by decorating another
 //! implementation, so concerns that used to live inside `Chip` compose at
@@ -14,6 +15,12 @@
 //! * [`SnapshotDevice`] — checkpoints/restores the full mutable state of a
 //!   [`DeviceState`] stack to bytes or to a file, so a longevity run can
 //!   stop and resume mid-experiment with bit-identical streams.
+//! * [`PowerCutDevice`] — executes a deterministic power-cut schedule:
+//!   after (or partway through) the scheduled device operation the supply
+//!   drops, the interrupted operation lands *torn* on the medium, the
+//!   device latches off surfacing [`FlashError::PowerLoss`], and
+//!   [`reboot`](PowerCutDevice::reboot) brings it back with the post-crash
+//!   cell state intact, bit-deterministically.
 //!
 //! # Decorator ordering
 //!
@@ -21,7 +28,10 @@
 //! outermost, so the meter/record traffic it emits for *failed* attempts
 //! flows through the tracer exactly like successful operations do. A
 //! `TraceDevice` outside the `FaultDevice` would never see faulted attempts
-//! billed. `SnapshotDevice` composes anywhere its inner stack implements
+//! billed. `PowerCutDevice` sits outermost of all — power is physically
+//! upstream of everything — so a cut gates the whole stack and a torn
+//! operation is billed/traced like the interrupted command it is.
+//! `SnapshotDevice` composes anywhere its inner stack implements
 //! [`DeviceState`].
 //!
 //! # Determinism contract
@@ -46,7 +56,7 @@
 use crate::bits::BitPattern;
 use crate::device::NandDevice;
 use crate::error::FlashError;
-use crate::fault::{FaultPlan, FaultState};
+use crate::fault::{FaultPlan, FaultState, PowerCut};
 use crate::geometry::{BlockId, Geometry, PageId};
 use crate::meter::{FaultKind, MeterSnapshot, OpKind};
 use crate::profile::ChipProfile;
@@ -56,8 +66,9 @@ use crate::{Level, Result};
 
 /// File magic for [`SnapshotDevice`] checkpoints.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"STSHSNAP";
-/// Checkpoint format version.
-const SNAPSHOT_VERSION: u32 = 1;
+/// Checkpoint format version. v2 added the per-page spare areas to the
+/// chip's block state and the power-cut middleware frame.
+const SNAPSHOT_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // FaultDevice
@@ -267,6 +278,58 @@ impl<D: NandDevice> NandDevice for FaultDevice<D> {
             }
         }
         self.inner.program_page(p, data)
+    }
+
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        // Same fault treatment as `program_page`: the spare lands atomically
+        // with the page data, so a faulted attempt leaves both untouched.
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.check_not_grown_bad(p.block)?;
+        let cpp = self.inner.geometry().cells_per_page();
+        if data.len() != cpp {
+            return Err(FlashError::PatternLength { expected: cpp, got: data.len() });
+        }
+        if self.inner.is_page_programmed(p)? {
+            return Err(FlashError::PageAlreadyProgrammed(p));
+        }
+        if let Some(fs) = self.fault.as_mut() {
+            if fs.roll_program() {
+                self.inner.record_fault(FaultKind::TransientProgram);
+                self.inner.record_op(OpKind::Program);
+                return Err(FlashError::TransientProgramFail(p));
+            }
+        }
+        self.inner.program_page_with_spare(p, data, spare)
+    }
+
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        // Spare reads go through controller ECC and are modeled noise-free:
+        // no spike scaling, no stuck-cell overrides — but the op still ticks.
+        self.check_usable_page(p)?;
+        self.tick(p.block)?;
+        self.inner.read_spare(p)
+    }
+
+    // Torn variants are issued by the power-cut middleware, which wraps
+    // *outside* fault injection: the cut already is the fault, so they
+    // forward without rolls (and without ticking a schedule the dying
+    // device will never reach) so the wrapped chip's overrides apply.
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_program_page(p, data, fraction)
+    }
+
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_partial_program(p, mask, fraction)
+    }
+
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        self.inner.torn_erase_block(b, fraction)
     }
 
     fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
@@ -562,6 +625,36 @@ impl<D: NandDevice> NandDevice for TraceDevice<D> {
         self.emit_op(OpKind::Program);
         Ok(())
     }
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        self.inner.program_page_with_spare(p, data, spare)?;
+        self.emit_op(OpKind::Program);
+        Ok(())
+    }
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        let spare = self.inner.read_spare(p)?;
+        self.emit_op(OpKind::Read);
+        Ok(spare)
+    }
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_program_page(p, data, fraction)?;
+        self.emit_op(OpKind::Program);
+        Ok(())
+    }
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_partial_program(p, mask, fraction)?;
+        self.emit_op(OpKind::PartialProgram);
+        Ok(())
+    }
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        self.inner.torn_erase_block(b, fraction)?;
+        self.emit_op(OpKind::Erase);
+        Ok(())
+    }
     fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
         self.inner.partial_program(p, mask)?;
         self.emit_op(OpKind::PartialProgram);
@@ -782,6 +875,26 @@ impl<D: NandDevice> NandDevice for SnapshotDevice<D> {
     fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
         self.inner.program_page(p, data)
     }
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        self.inner.program_page_with_spare(p, data, spare)
+    }
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        self.inner.read_spare(p)
+    }
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_program_page(p, data, fraction)
+    }
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_partial_program(p, mask, fraction)
+    }
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        self.inner.torn_erase_block(b, fraction)
+    }
     fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
         self.inner.partial_program(p, mask)
     }
@@ -815,6 +928,365 @@ impl<D: NandDevice + DeviceState> DeviceState for SnapshotDevice<D> {
 
     fn load_state(&mut self, r: &mut StateReader<'_>) -> std::result::Result<(), SnapshotError> {
         self.inner.load_state(r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PowerCutDevice
+// ---------------------------------------------------------------------------
+
+/// What a mid-operation power cut did to the interrupted command, kept so
+/// crash harnesses can report which op kind each cut landed on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GateOutcome {
+    /// No cut fired; execute the operation normally.
+    Pass,
+    /// A cut fired before the operation took effect (fraction 0, or a
+    /// mid-cut on an operation with no torn variant, e.g. a read).
+    CutBefore,
+    /// A cut fired partway through: execute the torn variant, then latch.
+    CutMid(f64),
+}
+
+/// Power-cut middleware: counts device command operations against a
+/// deterministic cut schedule and, when a cut fires, leaves the interrupted
+/// operation *torn* on the medium, latches the device off (every further
+/// command fails with [`FlashError::PowerLoss`]) and bills a
+/// [`FaultKind::PowerLoss`] fault. [`reboot`](Self::reboot) restores power
+/// without touching cell state, so the post-crash medium is exactly what
+/// the cut left behind — bit-deterministically, run after run.
+///
+/// Cut semantics per [`PowerCut`]: a cut scheduled at operation index `i`
+/// with `fraction == 0.0` fires *before* operation `i` executes ("cut after
+/// the first `i` ops"); `0 < fraction < 1` executes the torn variant of
+/// operation `i` (a prefix of the page programmed with no spare landed, a
+/// partially-erased block, a PP pulse train stopped early) and then latches.
+/// Operations with no durable effect (reads, probes) have no torn variant:
+/// a mid-cut on one behaves like a cut before it.
+///
+/// Host-side simulation controls (geometry, meters, bad-block bookkeeping,
+/// retention aging — the unpowered chip still leaks charge) remain
+/// available while the device is off; only command operations are gated.
+#[derive(Debug, Clone)]
+pub struct PowerCutDevice<D> {
+    inner: D,
+    /// Remaining schedule, sorted by `at_op`.
+    cuts: Vec<PowerCut>,
+    /// Index of the next unconsumed cut in `cuts`.
+    fired: usize,
+    /// Command operations attempted so far (the cut clock).
+    op_index: u64,
+    /// Latched off after a cut until `reboot`.
+    off: bool,
+    /// Opt-in op-kind log so harnesses can map op indices to kinds.
+    op_log: Option<Vec<OpKind>>,
+}
+
+impl<D: NandDevice> PowerCutDevice<D> {
+    /// Wraps a device with no cuts scheduled (pure passthrough).
+    pub fn new(inner: D) -> Self {
+        PowerCutDevice { inner, cuts: Vec::new(), fired: 0, op_index: 0, off: false, op_log: None }
+    }
+
+    /// Wraps a device with the power-cut schedule of `plan` installed.
+    /// Only the plan's cuts are consumed here; its fault probabilities
+    /// belong in a [`FaultDevice`] further down the stack.
+    pub fn with_plan(inner: D, plan: &FaultPlan) -> Self {
+        Self::with_cuts(inner, plan.power_cuts())
+    }
+
+    /// Wraps a device with an explicit cut schedule.
+    pub fn with_cuts(inner: D, mut cuts: Vec<PowerCut>) -> Self {
+        cuts.sort_by_key(|c| c.at_op);
+        PowerCutDevice { inner, cuts, fired: 0, op_index: 0, off: false, op_log: None }
+    }
+
+    /// Whether the device is latched off after a cut.
+    pub fn is_off(&self) -> bool {
+        self.off
+    }
+
+    /// Command operations attempted so far.
+    pub fn op_index(&self) -> u64 {
+        self.op_index
+    }
+
+    /// Restores power after a cut. Cell state is untouched: the medium
+    /// comes back exactly as the cut left it. Already-consumed cuts stay
+    /// consumed; later scheduled cuts still fire at their op index.
+    pub fn reboot(&mut self) {
+        self.off = false;
+    }
+
+    /// Enables (or disables) logging the [`OpKind`] of every attempted
+    /// command, so a harness can instrument an uncut run and aim mid-pulse
+    /// cuts at specific PP operations.
+    pub fn set_op_logging(&mut self, on: bool) {
+        self.op_log = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The logged op kinds, one per attempted command, if logging is on.
+    pub fn op_log(&self) -> &[OpKind] {
+        self.op_log.as_deref().unwrap_or(&[])
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the middleware, returning the wrapped device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Gates one command operation against the schedule: rejects if off,
+    /// advances the cut clock, and fires at most one scheduled cut.
+    fn gate(&mut self, kind: OpKind) -> Result<GateOutcome> {
+        if self.off {
+            return Err(FlashError::PowerLoss);
+        }
+        let i = self.op_index;
+        self.op_index += 1;
+        if let Some(log) = self.op_log.as_mut() {
+            log.push(kind);
+        }
+        while let Some(cut) = self.cuts.get(self.fired) {
+            if cut.at_op < i {
+                // Stale entry (e.g. duplicate index); skip it.
+                self.fired += 1;
+                continue;
+            }
+            if cut.at_op == i {
+                self.fired += 1;
+                self.off = true;
+                self.inner.record_fault(FaultKind::PowerLoss);
+                if cut.fraction > 0.0 {
+                    return Ok(GateOutcome::CutMid(cut.fraction));
+                }
+                return Ok(GateOutcome::CutBefore);
+            }
+            break;
+        }
+        Ok(GateOutcome::Pass)
+    }
+
+    /// Finishes a mid-operation cut: the torn variant has (attempted to)
+    /// land; the command itself still reports power loss. An address error
+    /// from the torn variant means nothing was mutated — indistinguishable
+    /// from a cut before the op, so it is still reported as power loss.
+    fn torn_done(&mut self, torn_result: Result<()>) -> Result<()> {
+        debug_assert!(self.off);
+        drop(torn_result);
+        Err(FlashError::PowerLoss)
+    }
+}
+
+impl<D: NandDevice> NandDevice for PowerCutDevice<D> {
+    fn geometry(&self) -> &Geometry {
+        self.inner.geometry()
+    }
+    fn profile(&self) -> &ChipProfile {
+        self.inner.profile()
+    }
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+    fn meter(&self) -> MeterSnapshot {
+        self.inner.meter()
+    }
+    fn reset_meter(&mut self) {
+        self.inner.reset_meter();
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        self.inner.record_op(kind);
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        self.inner.record_fault(kind);
+    }
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.inner.install_recorder(recorder);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        self.inner.advance_time_us(us);
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        self.inner.set_read_noise_scale(scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        self.inner.block_pec(b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        self.inner.mark_bad(b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_bad(b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        self.inner.grow_bad_block(b)
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_grown_bad(b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        self.inner.is_page_programmed(p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        self.inner.discard_block_state(b)
+    }
+
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        match self.gate(OpKind::Erase)? {
+            GateOutcome::Pass => self.inner.erase_block(b),
+            GateOutcome::CutBefore => Err(FlashError::PowerLoss),
+            GateOutcome::CutMid(f) => {
+                let r = self.inner.torn_erase_block(b, f);
+                self.torn_done(r)
+            }
+        }
+    }
+
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        // Preconditioning is unmetered and off the cut clock, but a dead
+        // device still rejects it.
+        if self.off {
+            return Err(FlashError::PowerLoss);
+        }
+        self.inner.cycle_block(b, n)
+    }
+
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        match self.gate(OpKind::Program)? {
+            GateOutcome::Pass => self.inner.program_page(p, data),
+            GateOutcome::CutBefore => Err(FlashError::PowerLoss),
+            GateOutcome::CutMid(f) => {
+                let r = self.inner.torn_program_page(p, data, f);
+                self.torn_done(r)
+            }
+        }
+    }
+
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        match self.gate(OpKind::Program)? {
+            GateOutcome::Pass => self.inner.program_page_with_spare(p, data, spare),
+            GateOutcome::CutBefore => Err(FlashError::PowerLoss),
+            GateOutcome::CutMid(f) => {
+                // The data cells tear; the spare — written last, atomically —
+                // never lands. That asymmetry is the journal's crash signal.
+                let r = self.inner.torn_program_page(p, data, f);
+                self.torn_done(r)
+            }
+        }
+    }
+
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        match self.gate(OpKind::Read)? {
+            GateOutcome::Pass => self.inner.read_spare(p),
+            GateOutcome::CutBefore | GateOutcome::CutMid(_) => Err(FlashError::PowerLoss),
+        }
+    }
+
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        match self.gate(OpKind::PartialProgram)? {
+            GateOutcome::Pass => self.inner.partial_program(p, mask),
+            GateOutcome::CutBefore => Err(FlashError::PowerLoss),
+            GateOutcome::CutMid(f) => {
+                let r = self.inner.torn_partial_program(p, mask, f);
+                self.torn_done(r)
+            }
+        }
+    }
+
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        match self.gate(OpKind::PartialProgram)? {
+            GateOutcome::Pass => self.inner.fine_partial_program(p, mask, target),
+            GateOutcome::CutBefore => Err(FlashError::PowerLoss),
+            GateOutcome::CutMid(f) => {
+                // A fine PP train stopped early: the pulses that did land
+                // went through the coarse path; the trim never happened.
+                let r = self.inner.torn_partial_program(p, mask, f);
+                self.torn_done(r)
+            }
+        }
+    }
+
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        match self.gate(OpKind::Read)? {
+            GateOutcome::Pass => self.inner.read_page_shifted(p, vref),
+            GateOutcome::CutBefore | GateOutcome::CutMid(_) => Err(FlashError::PowerLoss),
+        }
+    }
+
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        out.clear();
+        match self.gate(OpKind::Probe)? {
+            GateOutcome::Pass => self.inner.probe_voltages_into(p, out),
+            GateOutcome::CutBefore | GateOutcome::CutMid(_) => Err(FlashError::PowerLoss),
+        }
+    }
+
+    fn age_days(&mut self, days: f64) {
+        // Charge leaks whether or not the supply is up.
+        self.inner.age_days(days);
+    }
+
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        match self.gate(OpKind::Program)? {
+            GateOutcome::Pass => self.inner.stress_cells(p, mask, cycles),
+            GateOutcome::CutBefore | GateOutcome::CutMid(_) => Err(FlashError::PowerLoss),
+        }
+    }
+
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        match self.gate(OpKind::PartialProgram)? {
+            GateOutcome::Pass => self.inner.program_time_probe(p, steps),
+            GateOutcome::CutBefore | GateOutcome::CutMid(_) => Err(FlashError::PowerLoss),
+        }
+    }
+
+    // Torn variants forward untouched: this middleware is the outermost
+    // layer, but composing two cut schedules should not double-gate.
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_program_page(p, data, fraction)
+    }
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        self.inner.torn_partial_program(p, mask, fraction)
+    }
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        self.inner.torn_erase_block(b, fraction)
+    }
+}
+
+impl<D: NandDevice + DeviceState> DeviceState for PowerCutDevice<D> {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.inner.save_state(w);
+        w.put_u64(self.op_index);
+        w.put_bool(self.off);
+        w.put_len(self.fired);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> std::result::Result<(), SnapshotError> {
+        self.inner.load_state(r)?;
+        self.op_index = r.get_u64()?;
+        self.off = r.get_bool()?;
+        let fired = r.get_len()?;
+        if fired > self.cuts.len() {
+            return Err(SnapshotError::Mismatch(
+                "snapshot fired more power cuts than this device schedules".into(),
+            ));
+        }
+        self.fired = fired;
+        Ok(())
     }
 }
 
@@ -1083,18 +1555,185 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_chip_shims_build_the_canonical_stack() {
-        let plan = FaultPlan::new(3).with_program_fail(1.0);
-        let mut via_shim = Chip::with_faults(ChipProfile::test_small(), 42, plan.clone());
-        assert!(via_shim.plan().is_some());
+    fn no_cuts_is_bit_identical_passthrough() {
+        let drive = |dev: &mut dyn NandDevice| {
+            let (p, _) = programmed_page(dev);
+            let mask = BitPattern::ones(dev.geometry().cells_per_page());
+            dev.partial_program(p, &mask).unwrap();
+            (dev.probe_voltages(p).unwrap(), dev.read_page(p).unwrap(), dev.meter())
+        };
+        let mut bare = chip();
+        let mut gated = PowerCutDevice::new(chip());
+        assert_eq!(drive(&mut bare), drive(&mut gated));
+        assert!(!gated.is_off());
+    }
+
+    #[test]
+    fn power_cut_only_plan_through_fault_device_is_passthrough() {
+        // A plan carrying only a power-cut schedule installs a FaultState
+        // (is_none() is false) but must not perturb a single random draw:
+        // cuts are consumed by PowerCutDevice, not FaultDevice.
+        let drive = |dev: &mut dyn NandDevice| {
+            let (p, _) = programmed_page(dev);
+            let mask = BitPattern::ones(dev.geometry().cells_per_page());
+            dev.partial_program(p, &mask).unwrap();
+            (dev.probe_voltages(p).unwrap(), dev.meter())
+        };
+        let mut bare = chip();
+        let mut faulted = FaultDevice::with_plan(chip(), FaultPlan::new(5).with_power_cut(9999));
+        assert!(faulted.plan().is_some());
+        assert_eq!(drive(&mut bare), drive(&mut faulted));
+    }
+
+    #[test]
+    fn cut_before_op_latches_without_executing() {
+        // Cut at op index 1: the erase (op 0) lands, the program (op 1)
+        // never reaches the medium.
+        let mut dev = PowerCutDevice::with_plan(chip(), &FaultPlan::new(0).with_power_cut(1));
         let p = PageId::new(BlockId(0), 0);
-        via_shim.erase_block(p.block).unwrap();
-        let data = BitPattern::zeros(via_shim.geometry().cells_per_page());
-        assert_eq!(via_shim.program_page(p, &data), Err(FlashError::TransientProgramFail(p)));
+        dev.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(dev.geometry().cells_per_page());
+        assert_eq!(dev.program_page(p, &data), Err(FlashError::PowerLoss));
+        assert!(dev.is_off());
+        assert_eq!(dev.meter().fault_count(FaultKind::PowerLoss), 1);
+        // Every further command fails while off; metadata still works.
+        assert_eq!(dev.read_page(p), Err(FlashError::PowerLoss));
+        assert_eq!(dev.erase_block(p.block), Err(FlashError::PowerLoss));
+        assert!(!dev.is_bad(p.block).unwrap());
+        // After reboot the page is still unprogrammed: the op never ran.
+        dev.reboot();
+        assert!(!dev.is_page_programmed(p).unwrap());
+        let bits = dev.read_page(p).unwrap();
+        assert_eq!(bits.count_zeros(), 0, "page must read fully erased");
+    }
+
+    #[test]
+    fn mid_cut_program_tears_data_and_never_lands_the_spare() {
+        let cpp = chip().geometry().cells_per_page();
+        let mut dev =
+            PowerCutDevice::with_plan(chip(), &FaultPlan::new(0).with_power_cut_mid(1, 0.5));
+        let p = PageId::new(BlockId(0), 0);
+        dev.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(cpp); // all cells programmed
+        assert_eq!(dev.program_page_with_spare(p, &data, b"journal"), Err(FlashError::PowerLoss));
+        dev.reboot();
+        // The page is marked programmed (charge reached it) but only a
+        // prefix of the cells took the pattern — and the spare is absent.
+        assert!(dev.is_page_programmed(p).unwrap());
+        assert_eq!(dev.read_spare(p).unwrap(), None, "torn program must not land the spare");
+        let bits = dev.read_page(p).unwrap();
+        let torn = bits.hamming_distance(&data);
+        assert!(
+            torn > cpp / 4 && torn < 3 * cpp / 4,
+            "roughly half the cells must be torn, got {torn}/{cpp}"
+        );
+        // An intact program for comparison: spare lands atomically.
+        let p2 = PageId::new(BlockId(0), 1);
+        dev.program_page_with_spare(p2, &data, b"journal").unwrap();
+        assert_eq!(dev.read_spare(p2).unwrap().as_deref(), Some(&b"journal"[..]));
+    }
+
+    #[test]
+    fn mid_cut_erase_leaves_block_partially_erased() {
+        let mut dev =
+            PowerCutDevice::with_plan(chip(), &FaultPlan::new(0).with_power_cut_mid(2, 0.1));
+        let cpp = dev.geometry().cells_per_page();
+        let b = BlockId(0);
+        let p = PageId::new(b, 0);
+        dev.erase_block(b).unwrap(); // op 0
+        dev.program_page(p, &BitPattern::zeros(cpp)).unwrap(); // op 1
+        assert_eq!(dev.erase_block(b), Err(FlashError::PowerLoss)); // op 2, torn
+        dev.reboot();
+        // A 10%-complete erase leaves most of the programmed charge
+        // (165 → ~146, still above the 127 read reference): the page still
+        // reads mostly programmed, but wear was taken and the
+        // page-programmed flags and spares were cleared by the erase pulse.
+        assert!(!dev.is_page_programmed(p).unwrap());
+        assert_eq!(dev.block_pec(b).unwrap(), 2, "torn erase still wears the block");
+        let bits = dev.read_page(p).unwrap();
+        assert!(
+            bits.count_zeros() > cpp / 2,
+            "a 10% erase must leave most cells reading programmed"
+        );
+    }
+
+    #[test]
+    fn reboot_and_rerun_is_bit_deterministic() {
+        let run = || {
+            let mut dev =
+                PowerCutDevice::with_plan(chip(), &FaultPlan::new(0).with_power_cut_mid(3, 0.42));
+            let cpp = dev.geometry().cells_per_page();
+            let b = BlockId(0);
+            dev.erase_block(b).unwrap();
+            dev.program_page(PageId::new(b, 0), &BitPattern::zeros(cpp)).unwrap();
+            dev.program_page(PageId::new(b, 1), &BitPattern::ones(cpp)).unwrap();
+            let r = dev.program_page(PageId::new(b, 2), &BitPattern::zeros(cpp));
+            assert_eq!(r, Err(FlashError::PowerLoss));
+            dev.reboot();
+            (
+                dev.probe_voltages(PageId::new(b, 2)).unwrap(),
+                dev.read_page(PageId::new(b, 0)).unwrap(),
+                dev.meter(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn op_log_maps_indices_to_kinds() {
+        let mut dev = PowerCutDevice::new(chip());
+        dev.set_op_logging(true);
+        let (p, _) = programmed_page(&mut dev);
+        let mask = BitPattern::ones(dev.geometry().cells_per_page());
+        dev.partial_program(p, &mask).unwrap();
+        let _ = dev.read_page(p).unwrap();
+        assert_eq!(
+            dev.op_log(),
+            &[OpKind::Erase, OpKind::Program, OpKind::PartialProgram, OpKind::Read]
+        );
+        assert_eq!(dev.op_index(), 4);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_power_cut_frame() {
+        let stack = |cuts: Vec<PowerCut>| {
+            SnapshotDevice::new(PowerCutDevice::with_cuts(
+                FaultDevice::new(TraceDevice::new(chip())),
+                cuts,
+            ))
+        };
+        let cuts = vec![PowerCut { at_op: 5, fraction: 0.0 }];
+        let mut dev = stack(cuts.clone());
+        let (p, _) = programmed_page(dev.inner_mut()); // ops 0..2 on the cut clock
+        let bytes = dev.checkpoint_bytes();
+        let mut restored = stack(cuts);
+        restored.restore_bytes(&bytes).unwrap();
+        assert_eq!(restored.inner().op_index(), dev.inner().op_index());
+        assert!(!restored.inner().is_off());
+        // Both continue on the same cut clock, identically.
+        let mask = BitPattern::ones(dev.geometry().cells_per_page());
+        for d in [&mut dev, &mut restored] {
+            d.partial_program(p, &mask).unwrap();
+        }
+        assert_eq!(dev.probe_voltages(p), restored.probe_voltages(p));
+    }
+
+    #[test]
+    fn middleware_constructors_build_the_canonical_stack() {
+        let plan = FaultPlan::new(3).with_program_fail(1.0);
+        let mut faulted = FaultDevice::with_plan(
+            TraceDevice::new(Chip::new(ChipProfile::test_small(), 42)),
+            plan,
+        );
+        assert!(faulted.plan().is_some());
+        let p = PageId::new(BlockId(0), 0);
+        faulted.erase_block(p.block).unwrap();
+        let data = BitPattern::zeros(faulted.geometry().cells_per_page());
+        assert_eq!(faulted.program_page(p, &data), Err(FlashError::TransientProgramFail(p)));
 
         let rec = Arc::new(CountingRecorder::new());
-        let mut traced = chip().set_recorder(Some(rec.clone() as SharedRecorder));
+        let mut traced = TraceDevice::new(chip());
+        traced.set_recorder(Some(rec.clone() as SharedRecorder));
         traced.erase_block(BlockId(0)).unwrap();
         assert_eq!(rec.ops(), 1);
     }

@@ -22,6 +22,6 @@ mod ftl;
 pub mod sector;
 pub mod workload;
 
-pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, Migration, WriteReport};
+pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, Migration, MountReport, WriteReport};
 pub use sector::{SectorDevice, SECTOR_BYTES};
 pub use workload::{AccessPattern, WorkloadGen};

@@ -108,7 +108,7 @@ pub fn add_snapshots(a: &MeterSnapshot, b: &MeterSnapshot) -> MeterSnapshot {
     for (i, kind) in OpKind::ALL.iter().enumerate() {
         counts[i] = a.count(*kind) + b.count(*kind);
     }
-    let mut faults = [0u64; 3];
+    let mut faults = [0u64; 4];
     for (i, kind) in FaultKind::ALL.iter().enumerate() {
         faults[i] = a.fault_count(*kind) + b.fault_count(*kind);
     }
@@ -148,7 +148,7 @@ struct Node {
     children: Vec<usize>,
     count: u64,
     ops: [u64; 5],
-    faults: [u64; 3],
+    faults: [u64; 4],
     self_device_us: f64,
     self_wait_us: f64,
     self_energy_uj: f64,
@@ -162,7 +162,7 @@ impl Node {
             children: Vec::new(),
             count: 0,
             ops: [0; 5],
-            faults: [0; 3],
+            faults: [0; 4],
             self_device_us: 0.0,
             self_wait_us: 0.0,
             self_energy_uj: 0.0,

@@ -12,6 +12,23 @@ use vthi::{HideError, Hider, RetryPolicy, SelectionMode, VthiConfig};
 /// Stream id (PRNG namespace) for the slot → LPN placement permutation.
 const PLACEMENT_STREAM: u64 = 0x5157_4F4C_5F4D_4150;
 
+/// Widest integrity tag carved from a slot's VT-HI page payload. The tag
+/// is a (truncated) CRC-32 over the slot payload and the slot's identity;
+/// it catches half-encoded pages (a power cut partway through the PP
+/// train decodes cleanly through the ECC often enough that ECC success
+/// alone cannot be trusted) and cross-slot decode mixups. Small geometries
+/// carry only a couple of payload bytes per page, so the width adapts —
+/// see [`StegoConfig::tag_bytes`].
+const MAX_TAG_BYTES: usize = 4;
+
+/// The integrity tag stored alongside a slot's payload, `n` bytes wide.
+fn slot_tag(payload: &[u8], slot: usize, n: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&(slot as u64).to_le_bytes());
+    stash_flash::crc32(&buf).to_le_bytes()[..n].to_vec()
+}
+
 /// Hidden-volume configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StegoConfig {
@@ -32,9 +49,17 @@ impl StegoConfig {
         StegoConfig { vthi: VthiConfig::scaled_for(geometry), parity_group: 4, piggyback: false }
     }
 
-    /// Hidden bytes per slot.
+    /// Hidden bytes per slot: the VT-HI page payload minus the integrity
+    /// tag every slot carries.
     pub fn slot_bytes(&self) -> usize {
-        self.vthi.payload_bytes_per_page()
+        self.vthi.payload_bytes_per_page().saturating_sub(self.tag_bytes())
+    }
+
+    /// Width of the per-slot integrity tag: a quarter of the page payload,
+    /// clamped to `[1, 4]` bytes, so tiny geometries still keep most of
+    /// their capacity while large ones get the full CRC-32.
+    pub fn tag_bytes(&self) -> usize {
+        (self.vthi.payload_bytes_per_page() / 4).clamp(1, MAX_TAG_BYTES)
     }
 }
 
@@ -124,6 +149,10 @@ pub struct RecoveryReport {
     pub refreshed: usize,
     /// Slots moved off grown-bad blocks (scrub only).
     pub migrated: usize,
+    /// Slots whose decode failed the per-slot integrity tag — half-encoded
+    /// pages from a power cut mid-embed (subset of the failures routed into
+    /// reconstruction or loss above).
+    pub tag_failures: usize,
     /// Data slots written off as unrecoverable — the advertised hidden
     /// capacity shrank by this many slots (scrub only).
     pub capacity_lost: usize,
@@ -232,6 +261,10 @@ impl<D: NandDevice> HiddenVolume<D> {
                     report.recovered += 1;
                 }
                 Ok(None) => report.empty += 1,
+                Err(StegoError::Hide(HideError::NeedsRecovery)) => {
+                    report.tag_failures += 1;
+                    failed.push(slot);
+                }
                 Err(_) => failed.push(slot),
             }
         }
@@ -288,6 +321,12 @@ impl<D: NandDevice> HiddenVolume<D> {
         // empty; counted under `empty` above.
         if !vol.cfg.piggyback {
             vol.flush()?;
+        }
+        if let Some(t) = &vol.tracer {
+            t.counter_add("remount_recovered", "", report.recovered as u64);
+            t.counter_add("remount_reconstructed", "", report.reconstructed as u64);
+            t.counter_add("remount_tag_failures", "", report.tag_failures as u64);
+            t.counter_add("remount_lost", "", report.lost as u64);
         }
         Ok((vol, report))
     }
@@ -381,6 +420,13 @@ impl<D: NandDevice> HiddenVolume<D> {
             });
         }
         Ok(self.ftl.physical_of(self.slot_lpn[self.internal_slot(data_slot)]))
+    }
+
+    /// The public LPN owning each internal slot (data slots first, then
+    /// parity slots). Crash harnesses use this to tell hidden-bearing pages
+    /// apart from plain public pages when choosing cut points.
+    pub fn slot_lpns(&self) -> &[u64] {
+        &self.slot_lpn
     }
 
     /// Unmounts, returning the FTL. Pending piggyback embeddings are NOT
@@ -559,7 +605,12 @@ impl<D: NandDevice> HiddenVolume<D> {
                         report.refreshed += 1;
                     }
                 }
-                Err(StegoError::Hide(HideError::Unrecoverable { .. })) => {
+                Err(StegoError::Hide(
+                    err @ (HideError::Unrecoverable { .. } | HideError::NeedsRecovery),
+                )) => {
+                    if matches!(err, HideError::NeedsRecovery) {
+                        report.tag_failures += 1;
+                    }
                     if self.cache[slot].is_some() || self.rebuild_from_parity(slot) {
                         // The mounted cache (or parity) still holds the
                         // payload: rewrite it onto fresh cells.
@@ -674,6 +725,10 @@ impl<D: NandDevice> HiddenVolume<D> {
             return Err(StegoError::UnbackedSlot { lpn });
         };
         let payload = self.cache[slot].clone().expect("caller checked");
+        // Tag + payload fill the full VT-HI page payload; the tag travels
+        // through the same PP train, so a torn embed tears it too.
+        let mut encoded = payload;
+        encoded.extend_from_slice(&slot_tag(&encoded, slot, self.cfg.tag_bytes()));
         let public = {
             let _cover = span!(self.tracer, "cover_read");
             self.ftl.chip_mut().read_page(page).map_err(HideError::from)?
@@ -690,7 +745,7 @@ impl<D: NandDevice> HiddenVolume<D> {
             .with_selection_mode(SelectionMode::Absolute)
             .with_retry_policy(RetryPolicy::standard())
             .with_tracer(tracer);
-        hider.hide_in_programmed_page(page, &public, &payload, false)?;
+        hider.hide_in_programmed_page(page, &public, &encoded, false)?;
         Ok(())
     }
 
@@ -730,7 +785,15 @@ impl<D: NandDevice> HiddenVolume<D> {
             return Ok(None);
         }
         let (bytes, corrected) = hider.reveal_page_recovered(page, None)?;
-        Ok(Some((bytes, corrected)))
+        // Integrity gate: a decode that passes the ECC but fails the tag is
+        // a half-encoded page (or a misplaced payload) and must be rebuilt,
+        // not returned.
+        let split = bytes.len().saturating_sub(self.cfg.tag_bytes());
+        let (payload, tag) = bytes.split_at(split);
+        if tag != slot_tag(payload, slot, self.cfg.tag_bytes()) {
+            return Err(StegoError::Hide(HideError::NeedsRecovery));
+        }
+        Ok(Some((payload.to_vec(), corrected)))
     }
 }
 
@@ -1003,6 +1066,44 @@ mod tests {
         let report = vol2.scrub(usize::MAX).unwrap();
         assert_eq!(report.capacity_lost, 0, "{report:?}");
         assert_eq!(vol2.advertised_slot_count(), 2);
+    }
+
+    #[test]
+    fn integrity_tag_rejects_mis_tagged_payload_and_parity_rebuilds() {
+        let ftl = make_ftl(10);
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.parity_group = 3;
+        let mut vol = HiddenVolume::format(ftl, key(), cfg.clone(), 3).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 22);
+        let secrets: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i + 9; vol.slot_bytes()]).collect();
+        for (i, s) in secrets.iter().enumerate() {
+            vol.write_hidden(i, s).unwrap();
+        }
+
+        // While unmounted, slot 1's public page is rewritten and a payload
+        // carrying the WRONG slot identity is embedded on the fresh page —
+        // the ECC will decode it cleanly, so only the tag can notice.
+        let victim_lpn = vol.slot_lpn[vol.internal_slot(1)];
+        let mut ftl_back = vol.unmount();
+        let cpp = ftl_back.chip().geometry().cells_per_page();
+        let noise = BitPattern::random_half(&mut SmallRng::seed_from_u64(23), cpp);
+        ftl_back.write(victim_lpn, &noise).unwrap();
+        let page = ftl_back.physical_of(victim_lpn).unwrap();
+        let public = ftl_back.chip_mut().read_page(page).unwrap();
+        let mut encoded = vec![0xEEu8; cfg.slot_bytes()];
+        let bad_tag = slot_tag(&encoded, 999, cfg.tag_bytes());
+        encoded.extend_from_slice(&bad_tag);
+        let mut hider = Hider::new(ftl_back.chip_mut(), key(), cfg.vthi.clone())
+            .with_selection_mode(SelectionMode::Absolute)
+            .with_retry_policy(RetryPolicy::standard());
+        hider.hide_in_programmed_page(page, &public, &encoded, false).unwrap();
+
+        let (mut vol2, report) = HiddenVolume::remount(ftl_back, key(), cfg, 3).unwrap();
+        assert_eq!(report.tag_failures, 1, "{report:?}");
+        assert_eq!(report.reconstructed, 1, "{report:?}");
+        assert_eq!(report.lost, 0, "{report:?}");
+        assert_eq!(vol2.read_hidden(1).unwrap().unwrap(), secrets[1]);
     }
 
     #[test]

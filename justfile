@@ -14,6 +14,7 @@ ci:
     cargo test -q --workspace
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
     just bench-smoke
+    just crash-smoke
 
 # Bench smoke: table1 + fig6 on a scaled geometry (scratch dir, so the
 # committed full-geometry results/ artifacts stay untouched), then check
@@ -24,6 +25,16 @@ bench-smoke:
     cd target/bench-smoke && STASH_PAGE_BYTES=1024 STASH_SAMPLES=2 ../release/table1 > /dev/null
     cd target/bench-smoke && STASH_PAGE_BYTES=1024 ../release/fig6 > /dev/null
     ./target/release/bench_check target/bench-smoke/results/BENCH_table1.json target/bench-smoke/results/BENCH_fig6.json
+
+# Crash-consistency smoke: a scaled crash-point matrix (64 cuts; the
+# full 200+-point matrix runs in `cargo test` via tests/crash_matrix.rs).
+# The binary itself asserts zero invariant violations; bench_check then
+# validates the emitted BENCH artifact.
+crash-smoke:
+    cargo build --release -p stash-bench --bins
+    rm -rf target/crash-smoke && mkdir -p target/crash-smoke
+    cd target/crash-smoke && STASH_CRASH_TARGET=64 ../release/crashpoints > /dev/null
+    ./target/release/bench_check target/crash-smoke/results/BENCH_crashpoints.json
 
 # Fast edit loop: tier-1 integration suites only (root package).
 test:

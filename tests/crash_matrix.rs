@@ -1,0 +1,164 @@
+//! Crash-point exploration matrix: the power can drop at *any* device
+//! operation — before it, or partway through a program, erase or PP pulse
+//! — and after reboot the stack must come back crash-consistent: acked
+//! public writes durable, unacked writes cleanly absent, acked hidden
+//! payloads byte-identical, FTL mapping intact.
+//!
+//! The harness lives in `stash_bench::crash`; this test enumerates 200+
+//! deterministic cut points from an instrumented uncut run and fans them
+//! out on the `stash-par` pool.
+
+use stash::flash::{BitPattern, BlockId, Chip, PageId};
+use stash::flash::{FaultDevice, FaultPlan, NandDevice, OpKind, PowerCutDevice};
+use stash_bench::crash::{enumerate_cuts, run_cut, run_matrix};
+
+const SEED: u64 = 0xC0FFEE;
+
+/// The uncut golden workload completes, violates nothing, never needs GC
+/// (so cut-op indices are stable), and reproduces bit-identically.
+#[test]
+fn baseline_golden_workload_is_deterministic_and_gc_free() {
+    let a = run_cut(SEED, None, true);
+    assert!(a.log.completed, "uncut workload must run to completion");
+    assert!(!a.cut_fired);
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert_eq!(a.workload_gc_runs, 0, "golden workload must fit without GC");
+    assert_eq!(a.mount.torn_pages, 0, "no cut, no torn pages");
+    assert_eq!(a.recovery.lost, 0, "{:?}", a.recovery);
+    assert!(
+        a.op_log.contains(&OpKind::PartialProgram),
+        "workload must include PP pulses for mid-pulse cuts"
+    );
+
+    let b = run_cut(SEED, None, true);
+    assert_eq!(a.digest, b.digest, "uncut baseline must be bit-deterministic");
+    assert_eq!(a.op_log, b.op_log);
+}
+
+/// ≥ 200 distinct cut points — including mid-PP-pulse and mid-program cuts
+/// — across the golden workload, zero invariant violations after every
+/// remount.
+#[test]
+fn crash_matrix_holds_invariants_at_every_cut_point() {
+    let baseline = run_cut(SEED, None, true);
+    let cuts = enumerate_cuts(&baseline.op_log, 200);
+    assert!(cuts.len() >= 200, "only {} cut points enumerated", cuts.len());
+    assert!(
+        cuts.iter().any(
+            |c| c.fraction > 0.0 && baseline.op_log[c.at_op as usize] == OpKind::PartialProgram
+        ),
+        "matrix must include mid-PP-pulse cuts"
+    );
+
+    let runs = run_matrix(SEED, &cuts, stash_par::thread_count());
+    let mut torn_total = 0;
+    let mut tag_failures_total = 0;
+    for run in &runs {
+        assert!(run.cut_fired, "cut {:?} never fired", run.cut);
+        assert!(
+            run.violations.is_empty(),
+            "cut {:?} violated invariants: {:#?}",
+            run.cut,
+            run.violations
+        );
+        torn_total += run.mount.torn_pages;
+        tag_failures_total += run.recovery.tag_failures;
+    }
+    // The matrix must actually exercise the recovery machinery: some cuts
+    // tear a public program (journal detects it), some tear a hidden embed
+    // (integrity tag detects it).
+    assert!(torn_total > 0, "no cut produced a torn public page");
+    assert!(tag_failures_total > 0, "no cut produced a torn hidden embed");
+}
+
+/// The same cuts produce bit-identical outcomes on 1 worker and 8 workers.
+#[test]
+fn crash_outcomes_are_thread_count_independent() {
+    let baseline = run_cut(SEED, None, true);
+    let cuts = enumerate_cuts(&baseline.op_log, 200);
+    // A spread of 12 representative cuts keeps this cheap.
+    let subset: Vec<_> = cuts.iter().step_by((cuts.len() / 12).max(1)).copied().collect();
+    let serial = run_matrix(SEED, &subset, 1);
+    let pooled = run_matrix(SEED, &subset, 8);
+    for (s, p) in serial.iter().zip(&pooled) {
+        assert_eq!(s.digest, p.digest, "cut {:?} diverged across thread counts", s.cut);
+        assert_eq!(s.violations, p.violations);
+    }
+}
+
+/// FaultPlan edge case: an empty schedule behaves bit-identically to
+/// `FaultPlan::none()` and to no middleware at all.
+#[test]
+fn empty_fault_plan_is_a_perfect_passthrough() {
+    let profile = stash_bench::crash::crash_profile();
+    let run = |mut dev: Box<dyn NandDevice>| -> Vec<u8> {
+        let mut out = Vec::new();
+        for b in 0..2u32 {
+            dev.erase_block(BlockId(b)).unwrap();
+        }
+        let cpp = dev.geometry().cells_per_page();
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+        for i in 0..4u32 {
+            let page = PageId::new(BlockId(i % 2), i / 2);
+            dev.program_page(page, &BitPattern::random_half(&mut rng, cpp)).unwrap();
+            out.extend_from_slice(dev.read_page(page).unwrap().as_bytes());
+        }
+        out
+    };
+    let bare = run(Box::new(Chip::new(profile.clone(), 3)));
+    let seeded_empty =
+        run(Box::new(FaultDevice::with_plan(Chip::new(profile.clone(), 3), FaultPlan::new(99))));
+    let none =
+        run(Box::new(FaultDevice::with_plan(Chip::new(profile.clone(), 3), FaultPlan::none())));
+    let cutless = run(Box::new(PowerCutDevice::new(Chip::new(profile, 3))));
+    assert_eq!(bare, seeded_empty);
+    assert_eq!(bare, none);
+    assert_eq!(bare, cutless);
+}
+
+/// FaultPlan edge case: a combined power-cut + transient-fault plan stays
+/// seed-deterministic whether trials run serially or on 8 workers
+/// (`STASH_THREADS=1` vs `8` semantics).
+#[test]
+fn combined_cut_and_fault_plans_are_seed_deterministic_across_pools() {
+    let run_trial = |i: usize| -> Vec<u8> {
+        let seed = 40 + i as u64;
+        let profile = stash_bench::crash::crash_profile();
+        let plan = FaultPlan::new(seed)
+            .with_program_fail(0.02)
+            .with_erase_fail(0.02)
+            .with_power_cut(35 + i as u64)
+            .with_power_cut_mid(60 + i as u64, 0.5);
+        let mut dev = PowerCutDevice::with_plan(
+            FaultDevice::with_plan(Chip::new(profile, seed), plan.clone()),
+            &plan,
+        );
+        let cpp = dev.geometry().cells_per_page();
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut out = Vec::new();
+        'outer: for b in 0..4u32 {
+            if dev.erase_block(BlockId(b)).is_err() {
+                break;
+            }
+            for p in 0..dev.geometry().pages_per_block {
+                let page = PageId::new(BlockId(b), p);
+                let data = BitPattern::random_half(&mut rng, cpp);
+                if dev.program_page(page, &data).is_err() {
+                    break 'outer;
+                }
+            }
+        }
+        dev.reboot();
+        for b in 0..4u32 {
+            for p in 0..dev.geometry().pages_per_block {
+                if let Ok(read) = dev.read_page(PageId::new(BlockId(b), p)) {
+                    out.extend_from_slice(read.as_bytes());
+                }
+            }
+        }
+        out
+    };
+    let serial = stash_par::par_map_threads(1, (0..8usize).collect(), |_, i| run_trial(i));
+    let pooled = stash_par::par_map_threads(8, (0..8usize).collect(), |_, i| run_trial(i));
+    assert_eq!(serial, pooled, "fault outcomes must not depend on the worker pool");
+}
