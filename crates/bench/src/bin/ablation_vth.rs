@@ -7,14 +7,16 @@
 
 use stash_bench::{
     experiment_key, f, fill_block, fill_block_hiding, header, measure_hidden_ber, raw_paper_config,
-    rng, row, short_block_geometry,
+    rng, row, short_block_geometry, BenchMeter,
 };
 use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, Histogram, PageId};
+use std::fmt::Write as _;
 
 const BLOCKS: u32 = 3;
 const VTHS: [u8; 6] = [20, 27, 34, 42, 50, 60];
 
 fn main() {
+    let mut meter = BenchMeter::start("ablation_vth");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
@@ -48,6 +50,7 @@ fn main() {
         }
     }
 
+    let mut json_rows = String::new();
     for &vth in &VTHS {
         let mut cfg = raw_paper_config(256, 1);
         cfg.vth = vth;
@@ -65,7 +68,19 @@ fn main() {
         let erased_per_page = 144_384 / 2;
         let budget = (above * erased_per_page as f64 * 0.73 * 2.0) as usize;
         row([vth.to_string(), f(above * 100.0, 3), budget.to_string(), f(total.ber(), 5)]);
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "      {{\"vth\":{vth},\"natural_above_pct\":{},\"stealth_budget_bits\":{budget},\
+             \"hidden_ber\":{}}}",
+            f(above * 100.0, 3),
+            f(total.ber(), 5),
+        );
     }
+    meter.record_json("vth_tradeoff", &format!("[\n{json_rows}\n    ]"));
+    meter.finish();
     println!();
     println!("# the paper's Vth=34 sits where the natural population still covers the");
     println!("# 256-bit default (budget >= hidden bits) while the hidden-'1' collision");

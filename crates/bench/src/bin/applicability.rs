@@ -6,10 +6,12 @@
 use stash_bench::rng;
 use stash_bench::{
     experiment_key, f, fill_block_hiding, header, measure_hidden_ber, raw_paper_config, row,
+    BenchMeter,
 };
 use stash_flash::{BlockId, Chip, ChipProfile, Geometry};
 
 fn main() {
+    let mut meter = BenchMeter::start("applicability");
     let key = experiment_key();
     let cfg = raw_paper_config(256, 1);
 
@@ -38,7 +40,10 @@ fn main() {
             chip.discard_block_state(BlockId(b)).expect("discard");
         }
         row([name.to_owned(), profile.geometry.page_bytes.to_string(), f(total.ber(), 4)]);
+        let metric = if name == "vendor-A" { "vendor_a_hidden_ber" } else { "vendor_b_hidden_ber" };
+        meter.record(metric, (total.ber() * 1e6).round() / 1e6);
     }
+    meter.finish();
     println!();
     println!("# paper: vendor-B BER ~1%, 'similar to the one in the first model'");
 }

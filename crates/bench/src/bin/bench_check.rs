@@ -1,17 +1,35 @@
-//! CI smoke checker for bench artifacts: each argument must be a
-//! `BENCH_*.json` file that parses with the in-tree JSON parser and
-//! carries the schema the harness promises (`bench`, `threads`,
-//! `wall_ms`, and a `deterministic` object). Exits non-zero otherwise.
+//! CI smoke checker for bench artifacts. Each argument is validated by
+//! filename:
+//!
+//! * `BENCH_*.json` — must parse with the in-tree JSON parser and carry
+//!   the `stash-bench/1` schema (`schema`, `bench`, `threads`, a `wall`
+//!   object with a non-negative `ms`, and a `deterministic` object).
+//! * `TRACE_*.jsonl` — every line must parse; the `trace_summary` header
+//!   must carry the `stash-trace/1` schema.
+//! * `HISTORY.jsonl` — every run record must parse and carry the
+//!   `stash-history/1` schema plus `bench`/`wall`/`deterministic`.
+//!
+//! Exits non-zero on any failure.
 
+use stash_bench::{BENCH_SCHEMA, HISTORY_SCHEMA};
+use stash_obs::export::TRACE_SCHEMA;
 use stash_obs::json::{self, JsonValue};
 
-fn check(path: &str) -> Result<(), String> {
-    let raw = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
-    let parsed = json::parse(&raw).map_err(|e| format!("parse: {e}"))?;
-    let JsonValue::Obj(fields) = parsed else {
+fn require_schema(fields: &JsonValue, want: &str) -> Result<(), String> {
+    match fields.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == want => Ok(()),
+        Some(s) => Err(format!("schema is {s:?}, expected {want:?}")),
+        None => Err(format!("missing schema tag (expected {want:?})")),
+    }
+}
+
+fn check_bench(raw: &str) -> Result<(), String> {
+    let parsed = json::parse(raw).map_err(|e| format!("parse: {e}"))?;
+    let JsonValue::Obj(fields) = &parsed else {
         return Err("not a JSON object".into());
     };
-    for key in ["bench", "threads", "wall_ms", "deterministic"] {
+    require_schema(&parsed, BENCH_SCHEMA)?;
+    for key in ["bench", "threads", "wall", "deterministic"] {
         if !fields.contains_key(key) {
             return Err(format!("missing field {key:?}"));
         }
@@ -19,17 +37,66 @@ fn check(path: &str) -> Result<(), String> {
     if !matches!(fields.get("deterministic"), Some(JsonValue::Obj(_))) {
         return Err("field \"deterministic\" is not an object".into());
     }
-    match fields.get("wall_ms") {
-        Some(JsonValue::Num(n)) if *n >= 0.0 => {}
-        _ => return Err("field \"wall_ms\" is not a non-negative number".into()),
+    let Some(wall @ JsonValue::Obj(_)) = fields.get("wall") else {
+        return Err("field \"wall\" is not an object".into());
+    };
+    match wall.get("ms").and_then(JsonValue::as_f64) {
+        Some(ms) if ms >= 0.0 => Ok(()),
+        _ => Err("wall.ms is not a non-negative number".into()),
+    }
+}
+
+fn check_trace(raw: &str) -> Result<(), String> {
+    let mut saw_header = false;
+    for (i, line) in raw.lines().enumerate() {
+        let parsed = json::parse(line).map_err(|e| format!("line {}: parse: {e}", i + 1))?;
+        if parsed.get("type").and_then(JsonValue::as_str) == Some("trace_summary") {
+            require_schema(&parsed, TRACE_SCHEMA).map_err(|e| format!("line {}: {e}", i + 1))?;
+            saw_header = true;
+        }
+    }
+    if saw_header {
+        Ok(())
+    } else {
+        Err("no trace_summary header line".into())
+    }
+}
+
+fn check_history(raw: &str) -> Result<(), String> {
+    if raw.trim().is_empty() {
+        return Err("history is empty".into());
+    }
+    for (i, line) in raw.lines().enumerate() {
+        let parsed = json::parse(line).map_err(|e| format!("line {}: parse: {e}", i + 1))?;
+        require_schema(&parsed, HISTORY_SCHEMA).map_err(|e| format!("line {}: {e}", i + 1))?;
+        for key in ["bench", "wall", "deterministic"] {
+            if parsed.get(key).is_none() {
+                return Err(format!("line {}: missing field {key:?}", i + 1));
+            }
+        }
     }
     Ok(())
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if name.starts_with("TRACE_") && name.ends_with(".jsonl") {
+        check_trace(&raw)
+    } else if name == "HISTORY.jsonl" {
+        check_history(&raw)
+    } else {
+        check_bench(&raw)
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: bench_check <BENCH_*.json>...");
+        eprintln!("usage: bench_check <BENCH_*.json | TRACE_*.jsonl | HISTORY.jsonl>...");
         std::process::exit(2);
     }
     let mut failed = false;

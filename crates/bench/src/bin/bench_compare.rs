@@ -1,0 +1,81 @@
+//! The CI regression gate over bench artifacts.
+//!
+//! ```text
+//! bench_compare <BASELINE.json> <BENCH_*.json>...        # gate mode
+//! bench_compare --write-baseline <out> <BENCH_*.json>... # collect mode
+//! ```
+//!
+//! Gate mode flattens each artifact's `"deterministic"` block and compares
+//! it against the committed baseline with per-metric relative tolerance
+//! bands (see `stash_bench::compare`); any violation exits non-zero so
+//! `just ci` fails on perf/robustness regressions. Collect mode rebuilds
+//! the baseline from fresh artifacts (`just baseline`).
+
+use stash_bench::compare::{
+    bench_metrics, compare_bench, deterministic_block, parse_baseline, write_baseline,
+};
+use std::collections::BTreeMap;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--write-baseline") {
+        let [_, out_path, artifacts @ ..] = &args[..] else {
+            return Err("usage: bench_compare --write-baseline <out> <BENCH_*.json>...".into());
+        };
+        if artifacts.is_empty() {
+            return Err("no artifacts to collect".into());
+        }
+        let mut benches = BTreeMap::new();
+        for path in artifacts {
+            let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: read: {e}"))?;
+            let (name, _) = bench_metrics(&raw).map_err(|e| format!("{path}: {e}"))?;
+            let det = deterministic_block(&raw).map_err(|e| format!("{path}: {e}"))?;
+            if benches.insert(name.clone(), det).is_some() {
+                return Err(format!("bench {name:?} appears twice in the artifact list"));
+            }
+            println!("collected {name}");
+        }
+        std::fs::write(out_path, write_baseline(&benches))
+            .map_err(|e| format!("{out_path}: write: {e}"))?;
+        println!("wrote {} benches to {out_path}", benches.len());
+        return Ok(true);
+    }
+
+    let [baseline_path, artifacts @ ..] = &args[..] else {
+        return Err("usage: bench_compare <BASELINE.json> <BENCH_*.json>...".into());
+    };
+    if artifacts.is_empty() {
+        return Err("no artifacts to compare".into());
+    }
+    let baseline_raw = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("{baseline_path}: read: {e}"))?;
+    let baseline = parse_baseline(&baseline_raw).map_err(|e| format!("{baseline_path}: {e}"))?;
+
+    let mut clean = true;
+    for path in artifacts {
+        let raw = std::fs::read_to_string(path).map_err(|e| format!("{path}: read: {e}"))?;
+        let (name, flat) = bench_metrics(&raw).map_err(|e| format!("{path}: {e}"))?;
+        let violations = compare_bench(&baseline, &name, &flat);
+        if violations.is_empty() {
+            println!("ok {name} ({} metrics within tolerance)", flat.len());
+        } else {
+            clean = false;
+            for v in &violations {
+                eprintln!("REGRESSION {v}");
+            }
+            eprintln!("FAIL {name}: {} metric(s) out of band", violations.len());
+        }
+    }
+    Ok(clean)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+    }
+}

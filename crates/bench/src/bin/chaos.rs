@@ -10,11 +10,12 @@
 //! Each fault rate is one `stash-par` work item (own chip, FTL, volume and
 //! tracer, all derived from the rate's seed); TSV and JSON rows are
 //! collected in rate order, so output is byte-identical for any
-//! `STASH_THREADS`. Wall time and thread count live at the top level of the
-//! JSON, outside the `deterministic` object that holds the `rates` series.
+//! `STASH_THREADS`. Wall time, thread count and the mean remount wall time
+//! live under the JSON's `wall` object, outside the `deterministic` object
+//! that holds the `rates` series `bench_compare` gates on.
 
 use rand::Rng;
-use stash_bench::{f, header, rng, row, write_trace_artifacts};
+use stash_bench::{f, header, rng, row, write_trace_artifacts, BenchMeter};
 use stash_flash::{
     BitPattern, BlockId, Chip, ChipProfile, FaultDevice, FaultPlan, Geometry, NandDevice,
     TraceDevice,
@@ -172,7 +173,7 @@ fn run_rate(i: usize, rate: f64) -> (Vec<String>, String, f64) {
 }
 
 fn main() {
-    let start = std::time::Instant::now();
+    let mut meter = BenchMeter::start("chaos");
     header(
         "Chaos sweep: hidden-byte survival vs injected fault rate",
         &format!(
@@ -197,20 +198,14 @@ fn main() {
         remount_wall_us_total += remount_wall_us;
     }
 
-    let mut wall = String::new();
-    write_num(&mut wall, (start.elapsed().as_secs_f64() * 1e6).round() / 1e3);
-    let mut remount_wall = String::new();
-    write_num(&mut remount_wall, (remount_wall_us_total / RATES.len() as f64 * 1e3).round() / 1e3);
-    let json = format!(
-        "{{\n  \"bench\": \"chaos\",\n  \"threads\": {},\n  \"wall_ms\": {wall},\n  \
-         \"mean_remount_wall_us\": {remount_wall},\n  \
-         \"deterministic\": {{\n    \"slots\": {SLOTS},\n    \"grown_bad_at_op\": \
-         {GROWN_BAD_AT_OP},\n    \"rates\": [\n{json_rows}\n    ]\n  }}\n}}\n",
-        stash_par::thread_count(),
+    meter.record_wall(
+        "mean_remount_wall_us",
+        (remount_wall_us_total / RATES.len() as f64 * 1e3).round() / 1e3,
     );
-    if std::fs::create_dir_all("results").is_ok() {
-        std::fs::write("results/BENCH_chaos.json", json).expect("write BENCH_chaos.json");
-    }
+    meter.record("slots", SLOTS as f64);
+    meter.record("grown_bad_at_op", GROWN_BAD_AT_OP as f64);
+    meter.record_json("rates", &format!("[\n{json_rows}\n    ]"));
+    meter.finish();
     println!("ok: >=99.9% of hidden payload bytes survive through the 1% fault point");
     println!("# machine-readable series: results/BENCH_chaos.json");
     println!("# trace artifacts (rate {TRACED_RATE}): results/TRACE_chaos.jsonl, results/TRACE_chaos.folded");

@@ -23,9 +23,8 @@
 //! runs (`just crash-smoke` uses 64).
 
 use stash_bench::crash::{enumerate_cuts, run_cut, run_cut_traced, run_matrix, SLOTS};
-use stash_bench::{f, header, row, write_trace_artifacts};
+use stash_bench::{f, header, row, write_trace_artifacts, BenchMeter};
 use stash_flash::OpKind;
-use stash_obs::json::write_num;
 use stash_obs::Tracer;
 use stash_svm::{Dataset, Kernel, StandardScaler, Svm, SvmParams};
 use std::fmt::Write as _;
@@ -88,7 +87,7 @@ fn svm_detectability() -> (f64, f64) {
 }
 
 fn main() {
-    let start = std::time::Instant::now();
+    let mut meter = BenchMeter::start("crashpoints");
     let target = target();
     header(
         "Crash-point matrix: power-loss atomicity over the golden workload",
@@ -193,33 +192,24 @@ fn main() {
     };
 
     let n = runs.len() as f64;
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\n  \"bench\": \"crashpoints\",\n  \"threads\": {},\n  \"wall_ms\": ",
-        stash_par::thread_count()
+    meter.record_wall("mean_remount_wall_us", (wall_us_total / n * 10.0).round() / 10.0);
+    meter.record("cut_points", runs.len() as f64);
+    meter.record("violations", violations_total as f64);
+    meter.record("torn_pages", torn_total as f64);
+    meter.record("tag_failures", tag_total as f64);
+    meter.record("hidden_reencoded", reenc_total as f64);
+    meter.record("journal_replayed", replayed_total as f64);
+    meter.record("mean_remount_device_us", (device_us_total / n * 1e3).round() / 1e3);
+    meter.record_json(
+        "svm",
+        &format!("{{\"crash_accuracy\": {crash_acc}, \"control_accuracy\": {control_acc}}}"),
     );
-    write_num(&mut json, (start.elapsed().as_secs_f64() * 1e6).round() / 1e3);
+    let mut traced_run = String::new();
     let _ = write!(
-        json,
-        ",\n  \"mean_remount_wall_us\": {:.1},\n  \"deterministic\": {{\n    \
-         \"cut_points\": {},\n    \"violations\": {violations_total},\n    \
-         \"torn_pages\": {torn_total},\n    \"tag_failures\": {tag_total},\n    \
-         \"hidden_reencoded\": {reenc_total},\n    \"journal_replayed\": {replayed_total},\n    ",
-        wall_us_total / n,
-        runs.len(),
-    );
-    let _ = write!(json, "\"mean_remount_device_us\": {:.3},\n    ", device_us_total / n);
-    let _ = write!(
-        json,
-        "\"svm\": {{\"crash_accuracy\": {crash_acc}, \"control_accuracy\": {control_acc}}},\n    "
-    );
-    let _ = write!(
-        json,
-        "\"traced_run\": {{\"journal_replayed\": {}, \"torn_discarded\": {}, \
+        traced_run,
+        "{{\"journal_replayed\": {}, \"torn_discarded\": {}, \
          \"remount_recovered\": {}, \"remount_reconstructed\": {}, \
-         \"remount_tag_failures\": {}, \"remount_device_us\": {:.3}}},\n    \
-         \"by_kind\": [\n{json_kinds}\n    ]\n  }}\n}}\n",
+         \"remount_tag_failures\": {}, \"remount_device_us\": {:.3}}}",
         counter("mount_journal_replayed"),
         counter("mount_torn_discarded"),
         counter("remount_recovered"),
@@ -227,10 +217,9 @@ fn main() {
         counter("remount_tag_failures"),
         traced.remount_device_us,
     );
-    if std::fs::create_dir_all("results").is_ok() {
-        std::fs::write("results/BENCH_crashpoints.json", json)
-            .expect("write BENCH_crashpoints.json");
-    }
+    meter.record_json("traced_run", &traced_run);
+    meter.record_json("by_kind", &format!("[\n{json_kinds}\n    ]"));
+    meter.finish();
 
     println!();
     println!(

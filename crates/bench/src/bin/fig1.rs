@@ -4,7 +4,7 @@
 //! distributions and a narrowed four-level MLC-style rendering, so the
 //! repository regenerates *every* figure from executable code.
 
-use stash_bench::{f, header, row};
+use stash_bench::{f, header, row, BenchMeter};
 use stash_flash::latent::inverse_normal_cdf;
 
 /// Renders a gaussian mixture as a 256-level percentage histogram.
@@ -20,6 +20,7 @@ fn mixture(components: &[(f64, f64, f64)]) -> Vec<f64> {
 }
 
 fn main() {
+    let mut meter = BenchMeter::start("fig1");
     header(
         "Figure 1: SLC vs MLC voltage-level distributions (illustrative)",
         "rendered from the calibrated simulator parameters; erased lobes clipped at 0",
@@ -48,4 +49,9 @@ fn main() {
         (165.0 - 127.0) / 9.0
     );
     let _ = inverse_normal_cdf(0.5); // keep the latent module linked in
+
+    meter.record("slc_pct_sum", (slc.iter().sum::<f64>() * 1e4).round() / 1e4);
+    meter.record("mlc_pct_sum", (mlc.iter().sum::<f64>() * 1e4).round() / 1e4);
+    meter.record("slc_read_ref_z_sigma", (165.0 - 127.0) / 9.0);
+    meter.finish();
 }

@@ -5,10 +5,13 @@
 //! (a) block/erased over levels 10–70, (b) block/programmed over 120–210,
 //! (c) page/erased, (d) page/programmed. Columns: level, sample1..sample4.
 
-use stash_bench::{block_histograms, f, fill_block, header, rng, row, short_block_geometry};
+use stash_bench::{
+    block_histograms, f, fill_block, header, rng, row, short_block_geometry, BenchMeter,
+};
 use stash_flash::{BlockId, Chip, ChipProfile, Histogram, PageId};
 
 fn main() {
+    let mut meter = BenchMeter::start("fig2");
     let mut block_erased = Vec::new();
     let mut block_programmed = Vec::new();
     let mut page_erased = Vec::new();
@@ -67,4 +70,7 @@ fn main() {
         .sum::<f64>()
         / 8.0;
     println!("# mean fraction inside paper ranges [0,70]/[120,210]: {:.5}", in_range);
+    meter.record("mean_fraction_in_paper_ranges", (in_range * 1e5).round() / 1e5);
+    meter.record("samples", 4.0);
+    meter.finish();
 }

@@ -5,10 +5,13 @@
 //! Output: two TSV sections — (a) erased cells over levels 10–70,
 //! (b) programmed cells over 120–210. Columns: level, PEC0..PEC3000.
 
-use stash_bench::{block_histograms, f, fill_block, header, rng, row, short_block_geometry};
+use stash_bench::{
+    block_histograms, f, fill_block, header, rng, row, short_block_geometry, BenchMeter,
+};
 use stash_flash::{BlockId, Chip, ChipProfile, Histogram};
 
 fn main() {
+    let mut meter = BenchMeter::start("fig3");
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
     let mut chip = Chip::new(profile, 7);
@@ -47,5 +50,7 @@ fn main() {
     println!("# programmed-state means by PEC (paper: monotone rightward shift):");
     for (h, pec) in programmed_h.iter().zip(pecs) {
         println!("#   PEC {:>4}: mean level {:.2}", pec, h.mean());
+        meter.record(&format!("programmed_mean_pec{pec}"), (h.mean() * 100.0).round() / 100.0);
     }
+    meter.finish();
 }

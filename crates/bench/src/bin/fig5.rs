@@ -8,11 +8,12 @@
 
 use stash_bench::{
     block_histograms, experiment_key, f, fill_block, fill_block_hiding, header, raw_paper_config,
-    rng, row, short_block_geometry,
+    rng, row, short_block_geometry, BenchMeter,
 };
 use stash_flash::{BlockId, Chip, ChipProfile};
 
 fn main() {
+    let mut meter = BenchMeter::start("fig5");
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
     let key = experiment_key();
@@ -52,4 +53,8 @@ fn main() {
         "# erased cells at/above Vth after hiding 256 bits/page: {:.3}%",
         hidden.fraction_at_or_above(cfg.vth) * 100.0
     );
+    let pct = |v: f64| (v * 100.0 * 1e3).round() / 1e3;
+    meter.record("natural_above_vth_pct", pct(normal.fraction_at_or_above(cfg.vth)));
+    meter.record("hidden_above_vth_pct", pct(hidden.fraction_at_or_above(cfg.vth)));
+    meter.finish();
 }

@@ -5,14 +5,16 @@
 
 use stash_bench::{
     block_histograms, experiment_key, f, fill_block, fill_block_hiding, header, raw_paper_config,
-    rng, row, short_block_geometry,
+    rng, row, short_block_geometry, BenchMeter,
 };
 use stash_flash::{BlockId, Chip, ChipProfile, Histogram};
+use std::fmt::Write as _;
 
 const BLOCKS: u32 = 3;
 const BITS: [usize; 4] = [32, 64, 128, 256];
 
 fn main() {
+    let mut meter = BenchMeter::start("fig8");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
@@ -59,8 +61,23 @@ fn main() {
     println!();
     println!("# fraction of erased cells at/above Vth=34 (the hiding-induced shift):");
     println!("#   normal: {:.4}%", normal.fraction_at_or_above(34) * 100.0);
+    let mut json_rows = String::new();
     for (h, bits) in hidden.iter().zip(BITS) {
         println!("#   {bits:>3} bits/page: {:.4}%", h.fraction_at_or_above(34) * 100.0);
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "      {{\"bits\":{bits},\"above_vth_pct\":{}}}",
+            f(h.fraction_at_or_above(34) * 100.0, 4),
+        );
     }
     println!("# paper: 'only a tiny shift to the right', growing with bit count");
+    meter.record(
+        "normal_above_vth_pct",
+        (normal.fraction_at_or_above(34) * 100.0 * 1e4).round() / 1e4,
+    );
+    meter.record_json("shift_by_bits", &format!("[\n{json_rows}\n    ]"));
+    meter.finish();
 }

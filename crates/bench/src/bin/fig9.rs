@@ -7,11 +7,12 @@
 
 use stash_bench::{
     block_histograms, experiment_key, f, fill_block, fill_block_hiding, header, raw_paper_config,
-    rng, row, short_block_geometry,
+    rng, row, short_block_geometry, BenchMeter,
 };
 use stash_flash::{BlockId, Chip, ChipProfile, Histogram};
 
 fn main() {
+    let mut meter = BenchMeter::start("fig9");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
@@ -59,6 +60,10 @@ fn main() {
         "# erased cells >= Vth per block (%): {:?}",
         above.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
     );
+    let rendered: Vec<String> = above.iter().map(|v| f(*v, 3)).collect();
+    meter.record_json("above_vth_pct_per_block", &format!("[{}]", rendered.join(", ")));
+    meter.record("blocks", above.len() as f64);
+    meter.finish();
     println!("# the hiding shift hides inside the chip-to-chip spread (paper: 'the human");
     println!("# eye has difficulty distinguishing which distributions come from blocks");
     println!("# with hidden data')");

@@ -5,13 +5,15 @@
 
 use stash_bench::{
     experiment_key, f, fill_block, fill_block_hiding, header, measure_public_ber, raw_paper_config,
-    rng, row, short_block_geometry,
+    rng, row, short_block_geometry, BenchMeter,
 };
 use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile};
+use std::fmt::Write as _;
 
 const BLOCKS: u32 = 48;
 
 fn main() {
+    let mut meter = BenchMeter::start("interference");
     let key = experiment_key();
     let mut profile = ChipProfile::vendor_a();
     profile.geometry = short_block_geometry();
@@ -35,6 +37,7 @@ fn main() {
 
     row(["page_interval", "public_ber", "increase_vs_baseline"].map(String::from));
     row(["none".into(), format!("{:.3e}", baseline.ber()), "-".into()]);
+    let mut json_rows = String::new();
     for interval in [0u32, 1, 2, 4] {
         let cfg = raw_paper_config(256, interval);
         let mut chip = Chip::new(profile.clone(), 600);
@@ -50,7 +53,19 @@ fn main() {
             format!("{:.3e}", total.ber()),
             format!("{}{}%", if increase >= 0.0 { "+" } else { "" }, f(increase, 1)),
         ]);
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "      {{\"interval\":{interval},\"public_ber\":{},\"increase_pct\":{}}}",
+            f(total.ber(), 9),
+            f(increase, 1),
+        );
     }
+    meter.record("baseline_public_ber", (baseline.ber() * 1e9).round() / 1e9);
+    meter.record_json("by_interval", &format!("[\n{json_rows}\n    ]"));
+    meter.finish();
     println!();
     println!("# paper: interval 0 -> +20%, interval 1 -> +10% (chosen as default)");
 }

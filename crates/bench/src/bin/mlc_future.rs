@@ -8,13 +8,14 @@
 //! relative to SLC-mode VT-HI on the same wordlines.
 
 use rand::Rng;
-use stash_bench::{experiment_key, f, header, rng, row};
+use stash_bench::{experiment_key, f, header, rng, row, BenchMeter};
 use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, ChipProfile, PageId};
 use vthi::{MlcHideConfig, MlcHider};
 
 const WORDLINES: u32 = 24;
 
 fn main() {
+    let mut meter = BenchMeter::start("mlc_future");
     let profile = ChipProfile::vendor_a_scaled();
     let key = experiment_key();
     let cfg = MlcHideConfig::default();
@@ -79,6 +80,11 @@ fn main() {
         "MLC public capacity per wordline".into(),
         format!("{} bytes (2 logical pages)", cpp / 8 * 2),
     ]);
+    meter.record("hidden_payload_ber", (hidden_errs.ber() * 1e6).round() / 1e6);
+    meter.record("public_mlc_ber", (public_errs.ber() * 1e9).round() / 1e9);
+    meter.record("payload_bytes_per_wordline", payload_bytes as f64);
+    meter.record("wordlines", f64::from(WORDLINES));
+    meter.finish();
 
     println!();
     println!("# interpretation: the same keyed-selection + sub-threshold construction");

@@ -7,9 +7,10 @@
 use pthi::{PthiConfig, PthiHider};
 use stash_bench::{
     experiment_key, f, fill_block_hiding, header, measure_hidden_ber, raw_paper_config, rng, row,
-    short_block_geometry,
+    short_block_geometry, BenchMeter,
 };
 use stash_flash::{BitErrorStats, BlockId, Chip, ChipProfile, PageId};
+use std::fmt::Write as _;
 
 const BLOCKS: u32 = 4;
 const PECS: [u32; 4] = [0, 1000, 2000, 3000];
@@ -27,6 +28,8 @@ fn main() {
     );
     row(["pec", "vthi_ber", "pthi_ber"].map(String::from));
 
+    let mut meter = BenchMeter::start("reliability");
+    let mut json_rows = String::new();
     for (i, &pec) in PECS.iter().enumerate() {
         // VT-HI.
         let mut chip = Chip::new(profile.clone(), 700 + i as u64);
@@ -64,7 +67,18 @@ fn main() {
         let pthi_ber = errs as f64 / bits_total as f64;
 
         row([pec.to_string(), f(vthi_total.ber(), 4), f(pthi_ber, 4)]);
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "      {{\"pec\":{pec},\"vthi_ber\":{},\"pthi_ber\":{}}}",
+            f(vthi_total.ber(), 4),
+            f(pthi_ber, 4),
+        );
     }
+    meter.record_json("wear_sweep", &format!("[\n{json_rows}\n    ]"));
+    meter.finish();
     println!();
     println!("# paper: VT-HI 0.013 at PEC 0, ~0.011 at other PEC (flat);");
     println!("# PT-HI 'error rate significantly increases after only a few hundred PEC'");

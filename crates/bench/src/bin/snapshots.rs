@@ -5,10 +5,11 @@
 //! telltales both ways.
 
 use rand::Rng;
-use stash_bench::{header, rng, row};
+use stash_bench::{header, rng, row, BenchMeter};
 use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, PageId};
 use stash_ftl::{Ftl, FtlConfig};
 use stash_stego::{HiddenVolume, StegoConfig};
+use std::fmt::Write as _;
 
 fn small_profile() -> ChipProfile {
     let mut p = ChipProfile::vendor_a();
@@ -74,12 +75,14 @@ fn scenario(piggyback: bool, public_writes_between: usize) -> (usize, usize) {
 }
 
 fn main() {
+    let mut meter = BenchMeter::start("snapshots");
     header(
         "§9.2 multiple-snapshot adversary: voltage-diff telltales",
         "a changed page with no public write to explain it betrays hiding",
     );
     row(["mode", "public_writes_between", "pages_changed", "deniable"].map(String::from));
 
+    let mut json_rows = String::new();
     for (label, piggyback, writes) in [
         ("eager, quiet device", false, 0usize),
         ("eager, busy device", false, 24),
@@ -96,7 +99,17 @@ fn main() {
             changed.to_string(),
             if deniable { "yes".into() } else { "NO — telltale".into() },
         ]);
+        if !json_rows.is_empty() {
+            json_rows.push_str(",\n");
+        }
+        let _ = write!(
+            json_rows,
+            "      {{\"mode\":\"{label}\",\"piggyback\":{piggyback},\"public_writes\":{touched},\
+             \"pages_changed\":{changed},\"deniable\":{deniable}}}",
+        );
     }
+    meter.record_json("scenarios", &format!("[\n{json_rows}\n    ]"));
+    meter.finish();
     println!();
     println!("# paper: \"storing hidden data while leaving the public data unchanged");
     println!("# leaves telltale signs of voltage manipulations\"; piggybacking on public");

@@ -1,0 +1,434 @@
+//! The bench-trajectory regression sentinel: diffs the deterministic
+//! metrics of freshly produced `BENCH_*.json` artifacts against a
+//! committed `results/BASELINE.json`, with per-metric relative tolerance
+//! bands. Everything under a bench's `"deterministic"` block is gated;
+//! `threads` and the `"wall"` sub-object never are.
+//!
+//! Baseline format (`stash-baseline/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "stash-baseline/1",
+//!   "tolerance_rel": 1e-9,
+//!   "tolerance": { "chaos.rates.2.survival": 0.01 },
+//!   "benches": { "table1": { "deterministic": { ... } } }
+//! }
+//! ```
+//!
+//! Metric paths flatten nested deterministic values with `.` separators and
+//! array indices (`rates.0.survival`). The default tolerance is effectively
+//! exact — the simulation is deterministic, so any drift is a real change —
+//! and individual metrics can be widened via the `"tolerance"` map, keyed
+//! `<bench>.<metric path>`.
+
+use stash_obs::json::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// Schema tag of `results/BASELINE.json`.
+pub const BASELINE_SCHEMA: &str = "stash-baseline/1";
+
+/// Relative tolerance applied when neither the baseline's `tolerance_rel`
+/// nor a per-metric override says otherwise: tight enough that any real
+/// metric change trips it, loose enough to forgive float formatting.
+pub const DEFAULT_TOLERANCE_REL: f64 = 1e-9;
+
+/// One out-of-band (or missing) metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// `<bench>.<metric path>`.
+    pub metric: String,
+    /// Baseline value, if the metric exists there.
+    pub baseline: Option<f64>,
+    /// Current value, if the metric exists in the fresh artifact.
+    pub current: Option<f64>,
+    /// Relative tolerance that was applied.
+    pub tolerance_rel: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) => {
+                let rel = relative_delta(b, c);
+                write!(
+                    f,
+                    "{}: baseline {b} vs current {c} (rel delta {rel:.3e} > tol {:.1e})",
+                    self.metric, self.tolerance_rel
+                )
+            }
+            (Some(b), None) => {
+                write!(f, "{}: present in baseline ({b}) but missing from current run", self.metric)
+            }
+            (None, Some(c)) => {
+                write!(f, "{}: new metric ({c}) not present in baseline", self.metric)
+            }
+            (None, None) => write!(f, "{}: missing everywhere", self.metric),
+        }
+    }
+}
+
+/// A parsed baseline: per-bench flattened deterministic metrics plus the
+/// tolerance policy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// `bench name -> (metric path -> value)`.
+    pub benches: BTreeMap<String, BTreeMap<String, f64>>,
+    /// Default relative tolerance.
+    pub tolerance_rel: f64,
+    /// Per-metric overrides, keyed `<bench>.<metric path>`.
+    pub tolerance: BTreeMap<String, f64>,
+}
+
+/// `|b - c|` relative to the larger magnitude (0 when both are 0).
+fn relative_delta(b: f64, c: f64) -> f64 {
+    let scale = b.abs().max(c.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (b - c).abs() / scale
+    }
+}
+
+/// Flattens every numeric leaf of a JSON value into `path -> f64` rows;
+/// arrays contribute their index as a path segment.
+pub fn flatten_numeric(prefix: &str, v: &JsonValue, out: &mut BTreeMap<String, f64>) {
+    let join = |seg: &str| {
+        if prefix.is_empty() {
+            seg.to_string()
+        } else {
+            format!("{prefix}.{seg}")
+        }
+    };
+    match v {
+        JsonValue::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        JsonValue::Bool(b) => {
+            out.insert(prefix.to_string(), f64::from(u8::from(*b)));
+        }
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_numeric(&join(&i.to_string()), item, out);
+            }
+        }
+        JsonValue::Obj(fields) => {
+            for (k, val) in fields {
+                flatten_numeric(&join(k), val, out);
+            }
+        }
+        JsonValue::Null | JsonValue::Str(_) => {}
+    }
+}
+
+/// Extracts `(bench name, flattened deterministic metrics)` from one
+/// `BENCH_*.json` artifact.
+///
+/// # Errors
+///
+/// Describes the first structural problem (bad JSON, missing fields).
+pub fn bench_metrics(raw: &str) -> Result<(String, BTreeMap<String, f64>), String> {
+    let parsed = json::parse(raw).map_err(|e| format!("invalid JSON: {e}"))?;
+    let JsonValue::Obj(fields) = &parsed else {
+        return Err("artifact is not a JSON object".into());
+    };
+    let name = match fields.get("bench") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        _ => return Err("artifact is missing its \"bench\" name".into()),
+    };
+    let det = fields
+        .get("deterministic")
+        .ok_or_else(|| format!("bench {name:?} has no deterministic block"))?;
+    if !matches!(det, JsonValue::Obj(_)) {
+        return Err(format!("bench {name:?}: deterministic is not an object"));
+    }
+    let mut flat = BTreeMap::new();
+    flatten_numeric("", det, &mut flat);
+    Ok((name, flat))
+}
+
+/// Parses `results/BASELINE.json`.
+///
+/// # Errors
+///
+/// Describes the first structural problem, including a wrong schema tag.
+pub fn parse_baseline(raw: &str) -> Result<Baseline, String> {
+    let parsed = json::parse(raw).map_err(|e| format!("invalid JSON: {e}"))?;
+    let JsonValue::Obj(fields) = &parsed else {
+        return Err("baseline is not a JSON object".into());
+    };
+    match fields.get("schema") {
+        Some(JsonValue::Str(s)) if s == BASELINE_SCHEMA => {}
+        Some(JsonValue::Str(s)) => return Err(format!("unknown baseline schema {s:?}")),
+        _ => return Err("baseline is missing its schema tag".into()),
+    }
+    let mut b = Baseline { tolerance_rel: DEFAULT_TOLERANCE_REL, ..Baseline::default() };
+    if let Some(v) = fields.get("tolerance_rel") {
+        match v {
+            JsonValue::Num(n) if *n >= 0.0 => b.tolerance_rel = *n,
+            _ => return Err("tolerance_rel is not a non-negative number".into()),
+        }
+    }
+    if let Some(v) = fields.get("tolerance") {
+        let JsonValue::Obj(map) = v else {
+            return Err("tolerance is not an object".into());
+        };
+        for (k, val) in map {
+            match val {
+                JsonValue::Num(n) if *n >= 0.0 => {
+                    b.tolerance.insert(k.clone(), *n);
+                }
+                _ => return Err(format!("tolerance {k:?} is not a non-negative number")),
+            }
+        }
+    }
+    let Some(JsonValue::Obj(benches)) = fields.get("benches") else {
+        return Err("baseline has no \"benches\" object".into());
+    };
+    for (name, entry) in benches {
+        let JsonValue::Obj(bench_fields) = entry else {
+            return Err(format!("baseline bench {name:?} is not an object"));
+        };
+        let det = bench_fields
+            .get("deterministic")
+            .ok_or_else(|| format!("baseline bench {name:?} has no deterministic block"))?;
+        let mut flat = BTreeMap::new();
+        flatten_numeric("", det, &mut flat);
+        b.benches.insert(name.clone(), flat);
+    }
+    Ok(b)
+}
+
+/// Serializes a baseline collected from fresh artifacts (used by
+/// `bench_compare --write-baseline`). Only benches and their deterministic
+/// metrics are emitted; tolerances are left to hand-editing.
+#[must_use]
+pub fn write_baseline(benches: &BTreeMap<String, String>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": ");
+    json::write_escaped(&mut out, BASELINE_SCHEMA);
+    out.push_str(",\n  \"benches\": {");
+    for (i, (name, det_json)) in benches.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        json::write_escaped(&mut out, name);
+        out.push_str(": {\"deterministic\": ");
+        out.push_str(det_json.trim());
+        out.push('}');
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Re-renders one bench artifact's deterministic block as compact JSON
+/// (the form [`write_baseline`] embeds).
+///
+/// # Errors
+///
+/// Describes the first structural problem.
+pub fn deterministic_block(raw: &str) -> Result<String, String> {
+    let parsed = json::parse(raw).map_err(|e| format!("invalid JSON: {e}"))?;
+    let det = parsed.get("deterministic").ok_or("artifact has no deterministic block")?;
+    let mut out = String::new();
+    render_compact(&mut out, det);
+    Ok(out)
+}
+
+fn render_compact(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => json::write_num(out, *n),
+        JsonValue::Str(s) => json::write_escaped(out, s),
+        JsonValue::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_compact(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_escaped(out, k);
+                out.push_str(": ");
+                render_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Compares one bench's fresh metrics against the baseline. Returns every
+/// violation: out-of-band values, metrics the baseline promises that the
+/// run no longer produces, and metrics the run grew that the baseline has
+/// never seen (so additions are committed intentionally via
+/// `just baseline`).
+pub fn compare_bench(
+    baseline: &Baseline,
+    bench: &str,
+    current: &BTreeMap<String, f64>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let Some(base) = baseline.benches.get(bench) else {
+        violations.push(Violation {
+            metric: format!("{bench} (whole bench missing from baseline)"),
+            baseline: None,
+            current: None,
+            tolerance_rel: baseline.tolerance_rel,
+        });
+        return violations;
+    };
+    for (path, &b) in base {
+        let key = format!("{bench}.{path}");
+        let tol = baseline.tolerance.get(&key).copied().unwrap_or(baseline.tolerance_rel);
+        match current.get(path) {
+            Some(&c) => {
+                if relative_delta(b, c) > tol {
+                    violations.push(Violation {
+                        metric: key,
+                        baseline: Some(b),
+                        current: Some(c),
+                        tolerance_rel: tol,
+                    });
+                }
+            }
+            None => violations.push(Violation {
+                metric: key,
+                baseline: Some(b),
+                current: None,
+                tolerance_rel: tol,
+            }),
+        }
+    }
+    for (path, &c) in current {
+        if !base.contains_key(path) {
+            violations.push(Violation {
+                metric: format!("{bench}.{path}"),
+                baseline: None,
+                current: Some(c),
+                tolerance_rel: baseline.tolerance_rel,
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARTIFACT: &str = r#"{
+      "schema": "stash-bench/1",
+      "bench": "demo",
+      "threads": 8,
+      "wall": {"ms": 12.5, "mean_remount_wall_us": 311.2},
+      "deterministic": {
+        "device_time_us": 1000.5,
+        "ops": 42,
+        "rates": [{"rate": 0.01, "survival": 1}, {"rate": 0.05, "survival": 0.999}]
+      }
+    }"#;
+
+    fn baseline_for(artifact: &str) -> Baseline {
+        let mut benches = BTreeMap::new();
+        let (name, _) = bench_metrics(artifact).unwrap();
+        benches.insert(name, deterministic_block(artifact).unwrap());
+        parse_baseline(&write_baseline(&benches)).unwrap()
+    }
+
+    #[test]
+    fn flattening_walks_arrays_and_objects() {
+        let (name, flat) = bench_metrics(ARTIFACT).unwrap();
+        assert_eq!(name, "demo");
+        assert_eq!(flat.get("device_time_us"), Some(&1000.5));
+        assert_eq!(flat.get("rates.1.survival"), Some(&0.999));
+        // Wall figures are outside the deterministic block: never flattened.
+        assert!(!flat.keys().any(|k| k.contains("wall") || k.contains("ms")));
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let baseline = baseline_for(ARTIFACT);
+        let (name, flat) = bench_metrics(ARTIFACT).unwrap();
+        assert!(compare_bench(&baseline, &name, &flat).is_empty());
+    }
+
+    #[test]
+    fn perturbed_metric_is_flagged() {
+        let baseline = baseline_for(ARTIFACT);
+        let perturbed = ARTIFACT.replace("\"ops\": 42", "\"ops\": 43");
+        let (name, flat) = bench_metrics(&perturbed).unwrap();
+        let v = compare_bench(&baseline, &name, &flat);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].metric, "demo.ops");
+        assert_eq!(v[0].baseline, Some(42.0));
+        assert_eq!(v[0].current, Some(43.0));
+    }
+
+    #[test]
+    fn nested_perturbation_is_flagged_by_path() {
+        let baseline = baseline_for(ARTIFACT);
+        let perturbed = ARTIFACT.replace("\"survival\": 0.999", "\"survival\": 0.9");
+        let (name, flat) = bench_metrics(&perturbed).unwrap();
+        let v = compare_bench(&baseline, &name, &flat);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].metric, "demo.rates.1.survival");
+    }
+
+    #[test]
+    fn wall_clock_changes_never_gate() {
+        let baseline = baseline_for(ARTIFACT);
+        let rerun = ARTIFACT
+            .replace("\"ms\": 12.5", "\"ms\": 9999.0")
+            .replace("311.2", "1.0")
+            .replace("\"threads\": 8", "\"threads\": 1");
+        let (name, flat) = bench_metrics(&rerun).unwrap();
+        assert!(compare_bench(&baseline, &name, &flat).is_empty());
+    }
+
+    #[test]
+    fn per_metric_tolerance_widen() {
+        let mut baseline = baseline_for(ARTIFACT);
+        baseline.tolerance.insert("demo.device_time_us".into(), 0.5);
+        let perturbed = ARTIFACT.replace("1000.5", "1200");
+        let (name, flat) = bench_metrics(&perturbed).unwrap();
+        assert!(compare_bench(&baseline, &name, &flat).is_empty(), "20% inside a 50% band");
+        baseline.tolerance.insert("demo.device_time_us".into(), 0.01);
+        let v = compare_bench(&baseline, &name, &flat);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn missing_and_novel_metrics_are_flagged() {
+        let baseline = baseline_for(ARTIFACT);
+        let shrunk = ARTIFACT.replace("\"ops\": 42,", "");
+        let (name, flat) = bench_metrics(&shrunk).unwrap();
+        let v = compare_bench(&baseline, &name, &flat);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].current.is_none(), "{v:?}");
+
+        let grown = ARTIFACT.replace("\"ops\": 42", "\"ops\": 42, \"extra\": 1");
+        let (name, flat) = bench_metrics(&grown).unwrap();
+        let v = compare_bench(&baseline, &name, &flat);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].baseline.is_none(), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_bench_is_a_violation() {
+        let baseline = baseline_for(ARTIFACT);
+        let v = compare_bench(&baseline, "nonesuch", &BTreeMap::new());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn baseline_schema_is_required() {
+        assert!(parse_baseline("{\"benches\": {}}").is_err());
+        assert!(parse_baseline("{\"schema\": \"stash-baseline/9\", \"benches\": {}}").is_err());
+    }
+}

@@ -13,6 +13,7 @@
 //! simulator preserves densities and noise statistics across geometries
 //! (see `stash-flash` calibration tests), so shapes and ratios carry over.
 
+pub mod compare;
 pub mod crash;
 pub mod detect;
 
@@ -200,32 +201,64 @@ pub fn measure_public_ber<D: NandDevice>(
     total
 }
 
+/// Schema tag stamped into every `BENCH_<name>.json` artifact;
+/// `bench_check` requires it.
+pub const BENCH_SCHEMA: &str = "stash-bench/1";
+
+/// Schema tag stamped into every `results/HISTORY.jsonl` run record.
+pub const HISTORY_SCHEMA: &str = "stash-history/1";
+
 /// Wall-clock and simulated-work accounting for one bench run, emitted as
 /// `results/BENCH_<name>.json` so the perf trajectory has machine-readable
-/// data.
+/// data, and appended to `results/HISTORY.jsonl` so the trajectory
+/// *accumulates* across runs instead of being overwritten.
 ///
-/// The JSON has two kinds of fields. `wall_ms` and `threads` describe *this
-/// run* of the harness and legitimately vary between machines and
-/// `STASH_THREADS` settings. Everything under `"deterministic"` describes
-/// the *simulated experiment* — device time, op counts, custom totals — and
-/// must be byte-identical across thread counts for a fixed seed; the
-/// determinism test enforces exactly that split.
+/// The JSON has two kinds of fields. `threads` and everything under
+/// `"wall"` describe *this run* of the harness and legitimately vary
+/// between machines and `STASH_THREADS` settings. Everything under
+/// `"deterministic"` describes the *simulated experiment* — device time,
+/// op counts, custom totals — and must be byte-identical across thread
+/// counts for a fixed seed; the determinism test enforces exactly that
+/// split, and `bench_compare` gates CI on only the deterministic block.
 pub struct BenchMeter {
     name: String,
     start: std::time::Instant,
-    det: Vec<(String, f64)>,
+    /// Deterministic fields, pre-rendered as JSON (insertion order kept).
+    det: Vec<(String, String)>,
+    /// Extra wall-clock figures beyond the always-present `ms`.
+    wall: Vec<(String, f64)>,
 }
 
 impl BenchMeter {
     /// Starts the wall clock for the named bench.
     #[must_use]
     pub fn start(name: &str) -> Self {
-        BenchMeter { name: name.to_string(), start: std::time::Instant::now(), det: Vec::new() }
+        BenchMeter {
+            name: name.to_string(),
+            start: std::time::Instant::now(),
+            det: Vec::new(),
+            wall: Vec::new(),
+        }
     }
 
     /// Records one deterministic field (insertion order is emission order).
     pub fn record(&mut self, key: &str, v: f64) {
-        self.det.push((key.to_string(), v));
+        let mut rendered = String::new();
+        stash_obs::json::write_num(&mut rendered, v);
+        self.det.push((key.to_string(), rendered));
+    }
+
+    /// Records one deterministic field whose value is pre-rendered JSON
+    /// (an array or object, e.g. a per-rate series) — the caller promises
+    /// it is valid JSON and byte-identical across thread counts.
+    pub fn record_json(&mut self, key: &str, rendered_json: &str) {
+        self.det.push((key.to_string(), rendered_json.to_string()));
+    }
+
+    /// Records one wall-clock figure (nondeterministic, never gated) under
+    /// the `"wall"` sub-object, e.g. a mean remount latency.
+    pub fn record_wall(&mut self, key: &str, v: f64) {
+        self.wall.push((key.to_string(), v));
     }
 
     /// Records the standard fields of an aggregated meter snapshot:
@@ -238,35 +271,89 @@ impl BenchMeter {
         self.record("faults", snap.total_faults() as f64);
     }
 
+    fn write_wall_object(&self, out: &mut String, indent: &str) {
+        use std::fmt::Write as _;
+        let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let _ = write!(out, "{{{indent}\"ms\": ");
+        stash_obs::json::write_num(out, (wall_ms * 1e3).round() / 1e3);
+        for (k, v) in &self.wall {
+            let _ = write!(out, ",{indent}");
+            stash_obs::json::write_escaped(out, k);
+            out.push_str(": ");
+            stash_obs::json::write_num(out, *v);
+        }
+    }
+
+    fn write_det_fields(&self, out: &mut String, indent: &str) {
+        for (i, (k, v)) in self.det.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(indent);
+            stash_obs::json::write_escaped(out, k);
+            out.push_str(": ");
+            out.push_str(v);
+        }
+    }
+
     /// Serializes the bench record (without writing it anywhere).
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        out.push_str("{\n  \"bench\": ");
+        out.push_str("{\n  \"schema\": ");
+        stash_obs::json::write_escaped(&mut out, BENCH_SCHEMA);
+        out.push_str(",\n  \"bench\": ");
         stash_obs::json::write_escaped(&mut out, &self.name);
         let _ = write!(out, ",\n  \"threads\": {}", stash_par::thread_count());
-        let wall_ms = self.start.elapsed().as_secs_f64() * 1e3;
-        out.push_str(",\n  \"wall_ms\": ");
-        stash_obs::json::write_num(&mut out, (wall_ms * 1e3).round() / 1e3);
+        out.push_str(",\n  \"wall\": ");
+        self.write_wall_object(&mut out, "\n    ");
+        out.push_str("\n  }");
         out.push_str(",\n  \"deterministic\": {");
-        for (i, (k, v)) in self.det.iter().enumerate() {
-            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
-            stash_obs::json::write_escaped(&mut out, k);
-            out.push_str(": ");
-            stash_obs::json::write_num(&mut out, *v);
-        }
+        self.write_det_fields(&mut out, "\n    ");
         out.push_str("\n  }\n}\n");
         out
     }
 
-    /// Stops the clock and writes `results/BENCH_<name>.json`.
+    /// The single-line `HISTORY.jsonl` run record: same data as
+    /// [`to_json`](Self::to_json) but schema-tagged `stash-history/1` and
+    /// newline-free, ready to append to the trajectory log.
+    #[must_use]
+    pub fn history_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\"schema\": ");
+        stash_obs::json::write_escaped(&mut out, HISTORY_SCHEMA);
+        out.push_str(", \"bench\": ");
+        stash_obs::json::write_escaped(&mut out, &self.name);
+        let _ = write!(out, ", \"threads\": {}", stash_par::thread_count());
+        out.push_str(", \"wall\": ");
+        self.write_wall_object(&mut out, "");
+        out.push_str("}, \"deterministic\": {");
+        self.write_det_fields(&mut out, "");
+        out.push_str("}}");
+        // Pre-rendered nested values may be pretty-printed; raw newlines
+        // cannot occur inside JSON strings, so flattening them is safe.
+        if out.contains('\n') {
+            out = out.replace('\n', " ");
+        }
+        out
+    }
+
+    /// Stops the clock, writes `results/BENCH_<name>.json`, and appends
+    /// this run's record to `results/HISTORY.jsonl`.
     pub fn finish(self) {
+        use std::io::Write as _;
         let dir = std::path::Path::new("results");
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
         let _ = std::fs::write(dir.join(format!("BENCH_{}.json", self.name)), self.to_json());
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(dir.join("HISTORY.jsonl"))
+        {
+            let _ = writeln!(f, "{}", self.history_line());
+        }
     }
 }
 
@@ -310,6 +397,34 @@ mod tests {
         assert_eq!(g.page_bytes, 18048);
         assert_eq!(g.cells_per_page(), 144_384);
         assert!(g.pages_per_block < 64);
+    }
+
+    #[test]
+    fn bench_meter_json_and_history_parse_and_split_wall_from_deterministic() {
+        use stash_obs::json::{self, JsonValue};
+        let mut m = BenchMeter::start("demo");
+        m.record("ops", 42.0);
+        m.record_wall("mean_remount_wall_us", 311.25);
+        m.record_json("rates", "[{\"rate\": 0.01, \"survival\": 1}]");
+
+        for (what, raw) in [("artifact", m.to_json()), ("history", m.history_line())] {
+            let parsed = json::parse(&raw).unwrap_or_else(|e| panic!("{what} invalid: {e}\n{raw}"));
+            let schema = if what == "history" { HISTORY_SCHEMA } else { BENCH_SCHEMA };
+            assert_eq!(parsed.get("schema").and_then(JsonValue::as_str), Some(schema), "{what}");
+            assert_eq!(parsed.get("bench").and_then(JsonValue::as_str), Some("demo"));
+            let wall = parsed.get("wall").expect("wall object");
+            assert!(wall.get("ms").and_then(JsonValue::as_f64).is_some_and(|ms| ms >= 0.0));
+            assert_eq!(wall.get("mean_remount_wall_us").and_then(JsonValue::as_f64), Some(311.25));
+            let det = parsed.get("deterministic").expect("deterministic object");
+            assert_eq!(det.get("ops").and_then(JsonValue::as_f64), Some(42.0));
+            assert!(det.get("mean_remount_wall_us").is_none(), "wall leaked into deterministic");
+            let Some(JsonValue::Arr(rates)) = det.get("rates") else {
+                panic!("{what}: nested rates array survives");
+            };
+            assert_eq!(rates[0].get("survival").and_then(JsonValue::as_f64), Some(1.0));
+        }
+        // History lines must be JSONL-safe.
+        assert!(!m.history_line().contains('\n'));
     }
 
     #[test]

@@ -35,14 +35,14 @@ fn run_bench(exe: &str, bench: &str, threads: u32, dir: &Path) -> (Vec<u8>, Stri
 }
 
 /// Parses the bench JSON and re-renders it with the run-descriptive fields
-/// (`wall_ms`, `threads`) dropped — everything that remains must be
-/// byte-identical across thread counts.
+/// (the `wall` object, `threads`) dropped — everything that remains must
+/// be byte-identical across thread counts.
 fn normalize(raw: &str, bench: &str) -> String {
     let parsed = json::parse(raw).unwrap_or_else(|e| panic!("BENCH_{bench}.json invalid: {e}"));
     let JsonValue::Obj(fields) = parsed else { panic!("BENCH_{bench}.json is not an object") };
     let mut out = String::new();
     for (k, v) in &fields {
-        if k == "wall_ms" || k == "threads" {
+        if k == "wall" || k == "threads" {
             continue;
         }
         out.push_str(k);

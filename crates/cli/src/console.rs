@@ -8,8 +8,9 @@ use stash_flash::{
     PowerCut, PowerCutDevice, TraceDevice,
 };
 use stash_ftl::{Ftl, FtlConfig, FtlError};
-use stash_obs::{export, Tracer};
+use stash_obs::{export, render_prometheus, write_snapshot, HealthMonitor, HealthSample, Tracer};
 use stash_stego::{HiddenVolume, StegoConfig, StegoError};
+use stash_svm::{Dataset, Kernel, StandardScaler, Svm, SvmParams};
 use std::sync::Arc;
 use vthi::{HideError, Hider, PageCapacity, VthiConfig, WearPlan};
 
@@ -35,6 +36,8 @@ pub struct Console {
     fingerprints: std::collections::HashMap<String, Fingerprint>,
     /// Active tracer (`trace on`); installed as the chip's recorder.
     tracer: Option<Arc<Tracer>>,
+    /// Health monitor fed by the `health` command's demo-stack samples.
+    health: HealthMonitor,
 }
 
 impl Console {
@@ -51,6 +54,7 @@ impl Console {
             publics: std::collections::HashMap::new(),
             fingerprints: std::collections::HashMap::new(),
             tracer: None,
+            health: HealthMonitor::default(),
         }
     }
 
@@ -104,6 +108,8 @@ impl Console {
             }
             "trace" => self.cmd_trace(&args),
             "crash" => self.cmd_crash(&args),
+            "health" => self.cmd_health(&args),
+            "stats" => self.cmd_stats(&args),
             other => Err(format!("unknown command `{other}` (try `help`)")),
         };
         if let Err(msg) = result {
@@ -134,6 +140,10 @@ impl Console {
              \x20 meter                       op counts / device time / energy\n\
              \x20 trace on|off|dump [fmt]     span tracing; fmt: tree|json|flame\n\
              \x20 crash <at_op> [fraction]    power-cut + cold-remount recovery demo\n\
+             \x20 health                      device-health report on a demo stack (wear,\n\
+             \x20                             margins, detectability, alerts)\n\
+             \x20 stats [prom|json]           export health gauges (Prometheus text or\n\
+             \x20                             versioned JSON snapshot)\n\
              \x20 quit"
         );
     }
@@ -548,6 +558,155 @@ impl Console {
         }
         Ok(())
     }
+
+    /// Builds the deterministic health-demo stack (small chip with
+    /// preconditioned uneven wear → FTL → hidden volume with parity),
+    /// exercises it, and collects one [`HealthSample`]: per-block PEC from
+    /// the device's wear accounting, journal/retirement/free-pool figures
+    /// from the FTL, BER and capacity margins from the hidden volume's
+    /// health probe, and a fixed-parameter SVM detectability reading.
+    fn demo_health_sample(key: &HidingKey) -> Result<HealthSample, String> {
+        const SLOTS: usize = 4;
+        let seed = 0x6EA17;
+        let mut profile = ChipProfile::vendor_a();
+        profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 4, page_bytes: 1024 };
+        let mut chip = Chip::new(profile, seed);
+        // Uneven wear laid down before the FTL formats, so the histogram
+        // and hottest-block gauges have real structure to report.
+        for (b, n) in [(2u32, 40u32), (5, 12), (7, 25), (9, 4)] {
+            chip.cycle_block(BlockId(b), n).map_err(|e| e.to_string())?;
+        }
+        let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 6, gc_low_water: 2 })
+            .map_err(|e| e.to_string())?;
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.parity_group = SLOTS;
+        let mut vol = HiddenVolume::format(ftl, key.clone(), cfg.clone(), SLOTS)
+            .map_err(|e| e.to_string())?;
+
+        // Workload: fill the public volume, then every hidden slot.
+        let cap = vol.ftl().capacity_pages();
+        let cpp = vol.ftl().chip().geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for lpn in 0..cap {
+            let data = BitPattern::random_half(&mut rng, cpp);
+            vol.write_public(lpn, &data).map_err(|e| e.to_string())?;
+        }
+        for s in 0..SLOTS {
+            let payload: Vec<u8> = (0..cfg.slot_bytes()).map(|b| (s * 31 + b + 1) as u8).collect();
+            vol.write_hidden(s, &payload).map_err(|e| e.to_string())?;
+        }
+
+        let hidden = vol.health_probe().map_err(|e| e.to_string())?;
+        let detect = Self::detect_probe(&mut vol)?;
+        let wear = vol.ftl().chip().wear_summary();
+        Ok(HealthSample {
+            per_block_pec: wear.per_block_pec,
+            grown_bad_blocks: u64::from(wear.grown_bad_blocks),
+            journal_depth: vol.ftl().journal_depth(),
+            retired_blocks: vol.ftl().retired_count() as u64,
+            free_blocks: vol.ftl().free_blocks() as u64,
+            corrected_bits_max: hidden.corrected_bits_max as u64,
+            correctable_bits_per_slot: hidden.correctable_bits_per_slot as u64,
+            advertised_slots: hidden.advertised_slots as u64,
+            data_slots: hidden.data_slots as u64,
+            parity_slots: hidden.parity_slots as u64,
+            lost_capacity_slots: hidden.lost_capacity_slots as u64,
+            detect_accuracy: Some(detect),
+            meter: vol.ftl().chip().meter(),
+        })
+    }
+
+    /// Fixed-parameter SVM detectability probe: can a linear SVM separate
+    /// voltage histograms of slot-backing pages from ordinary public pages
+    /// on the demo stack? Held-out accuracy near the coin flip means the
+    /// hidden volume leaves no voltage-domain tell.
+    fn detect_probe(vol: &mut HiddenVolume<Chip>) -> Result<f64, String> {
+        let slot_lpns = vol.slot_lpns().to_vec();
+        let cap = vol.ftl().capacity_pages();
+        let clean_lpns: Vec<u64> =
+            (0..cap).filter(|l| !slot_lpns.contains(l)).take(slot_lpns.len()).collect();
+        let mut hist_of = |lpn: u64| -> Result<Vec<f64>, String> {
+            let page = vol.ftl().physical_of(lpn).ok_or(format!("lpn {lpn} unmapped"))?;
+            let levels =
+                vol.ftl_mut().chip_mut().probe_voltages(page).map_err(|e| e.to_string())?;
+            let mut hist = vec![0.0f64; 32];
+            for &v in &levels {
+                hist[(v as usize) / 8] += 1.0;
+            }
+            let n = levels.len().max(1) as f64;
+            hist.iter_mut().for_each(|h| *h /= n);
+            Ok(hist)
+        };
+        let (mut train, mut test) = (Dataset::new(), Dataset::new());
+        for (lpns, label) in [(&slot_lpns, 1i8), (&clean_lpns, -1i8)] {
+            for (i, &lpn) in lpns.iter().enumerate() {
+                let h = hist_of(lpn)?;
+                if i % 2 == 0 {
+                    train.push(h, label);
+                } else {
+                    test.push(h, label);
+                }
+            }
+        }
+        let params = SvmParams { kernel: Kernel::Linear, c: 1.0, ..Default::default() };
+        let scaler = StandardScaler::fit(&train);
+        Ok(Svm::train(&scaler.transform_dataset(&train), &params)
+            .accuracy(&scaler.transform_dataset(&test)))
+    }
+
+    /// Health report: collect a demo-stack sample, feed the monitor, then
+    /// render the wear heatmap, the gauge table and any alerts that fired.
+    fn cmd_health(&mut self, _args: &[&str]) -> Result<(), String> {
+        let key = self.key.clone().unwrap_or_else(|| HidingKey::from_passphrase("health demo"));
+        let sample = Self::demo_health_sample(&key)?;
+        let fired = self.health.observe(&sample);
+
+        println!(
+            "demo stack: {} blocks, {}/{} hidden slots advertised (+{} parity), sample #{}",
+            sample.per_block_pec.len(),
+            sample.advertised_slots,
+            sample.data_slots,
+            sample.parity_slots,
+            self.health.sample_count(),
+        );
+        let hottest = sample.per_block_pec.iter().copied().max().unwrap_or(0).max(1);
+        println!("per-block wear (P/E cycles):");
+        for (b, &pec) in sample.per_block_pec.iter().enumerate() {
+            let bar = "#".repeat(((f64::from(pec) / f64::from(hottest)) * 40.0).round() as usize);
+            println!("{b:>4} {pec:>6} {bar}");
+        }
+        println!("gauges:");
+        for ((name, label), v) in self.health.registry().gauges() {
+            if label.is_empty() {
+                println!("  {name:<28} {v}");
+            } else {
+                println!("  {name:<28} {v}  ({label})");
+            }
+        }
+        if fired.is_empty() {
+            println!("alerts: none fired on this sample ({} total)", self.health.alerts().len());
+        } else {
+            for a in &fired {
+                println!("alert: {a}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Exports the health registry — merged with the live trace metrics
+    /// when tracing is on — as Prometheus text or a JSON snapshot.
+    fn cmd_stats(&mut self, args: &[&str]) -> Result<(), String> {
+        let mut registry = self.health.registry().clone();
+        if let Some(tracer) = &self.tracer {
+            registry.merge(&tracer.registry());
+        }
+        match args.first().copied().unwrap_or("prom") {
+            "prom" => print!("{}", render_prometheus(&registry)),
+            "json" => println!("{}", write_snapshot(&registry)),
+            other => return Err(format!("unknown format `{other}` (prom|json)")),
+        }
+        Ok(())
+    }
 }
 
 impl Default for Console {
@@ -651,6 +810,72 @@ mod tests {
                 "crash 10 7.5", // fraction out of range — reported, not fatal
             ],
         );
+    }
+
+    #[test]
+    fn health_and_stats_through_console() {
+        let mut c = Console::new();
+        run(
+            &mut c,
+            &[
+                "stats",       // empty registry: valid (empty) exposition
+                "health",      // collects a demo sample, renders the report
+                "health",      // second sample: monitor state accumulates
+                "stats",       // default format is Prometheus text
+                "stats prom",  // explicit
+                "stats json",  // snapshot
+                "stats bogus", // error reported, not fatal
+            ],
+        );
+        assert_eq!(c.health.sample_count(), 2);
+        // And the exports really round-trip through the in-crate parsers.
+        let reg = c.health.registry();
+        let back = stash_obs::parse_prometheus(&render_prometheus(reg)).expect("prom parses");
+        assert_eq!(&back, reg);
+        let back = stash_obs::parse_snapshot(&write_snapshot(reg)).expect("snapshot parses");
+        assert_eq!(&back, reg);
+    }
+
+    #[test]
+    fn health_gauges_pin_the_demo_stack_meter() {
+        // The demo stack's health gauges must agree with ground truth from
+        // the stack itself: the chip meter totals, the block count and the
+        // slot accounting — not merely be plausible numbers.
+        let key = HidingKey::from_passphrase("health demo");
+        let sample = Console::demo_health_sample(&key).expect("demo sample");
+        assert_eq!(sample.per_block_pec.len(), 12);
+        assert_eq!(sample.data_slots, 4);
+        assert_eq!(sample.advertised_slots, 4);
+        assert_eq!(sample.parity_slots, 1);
+        assert!(sample.journal_depth > 0, "workload must have journaled writes");
+        let hottest = sample.per_block_pec.iter().copied().max().unwrap();
+        assert!(hottest >= 40, "preconditioned wear visible in the sample");
+        let acc = sample.detect_accuracy.expect("probe ran");
+        assert!((0.0..=1.0).contains(&acc));
+
+        let mut m = HealthMonitor::default();
+        m.observe(&sample);
+        let r = m.registry();
+        assert_eq!(r.gauge("health_ops_total", ""), Some(sample.meter.total_ops() as f64));
+        assert_eq!(r.gauge("health_faults_total", ""), Some(sample.meter.total_faults() as f64));
+        assert_eq!(r.gauge("health_device_time_us", ""), Some(sample.meter.device_time_us));
+        assert_eq!(r.gauge("health_energy_uj", ""), Some(sample.meter.energy_uj));
+        assert_eq!(r.gauge("health_hottest_pec", ""), Some(f64::from(hottest)));
+        assert_eq!(r.gauge("health_journal_depth", ""), Some(sample.journal_depth as f64));
+        assert_eq!(r.gauge("health_free_blocks", ""), Some(sample.free_blocks as f64));
+        assert_eq!(r.gauge("health_detect_margin", ""), Some(acc - 0.5));
+        assert_eq!(
+            r.histogram("health_block_pec", "").unwrap().total(),
+            sample.per_block_pec.len() as u64
+        );
+    }
+
+    #[test]
+    fn demo_health_sample_is_deterministic() {
+        let key = HidingKey::from_passphrase("health demo");
+        let a = Console::demo_health_sample(&key).expect("first sample");
+        let b = Console::demo_health_sample(&key).expect("second sample");
+        assert_eq!(a, b, "demo stack must be fully seeded");
     }
 
     #[test]

@@ -221,6 +221,20 @@ impl VthiConfig {
         (self.hidden_bits_per_page / self.segment_bits()).max(1)
     }
 
+    /// Upper bound on correctable bit errors per page under this
+    /// configuration: `t` errors per BCH segment times whole segments,
+    /// `parity_symbols / 2` symbol corrections for RS (conservatively
+    /// counted as one bit each — a symbol error may span more bits), and 0
+    /// in raw mode. The health monitor compares observed per-slot
+    /// corrections against this ceiling to compute the live BER margin.
+    pub fn correctable_bits_per_page(&self) -> usize {
+        match self.ecc {
+            EccChoice::None => 0,
+            EccChoice::Bch { t, .. } => t * self.segments_per_page(),
+            EccChoice::Rs { parity_symbols } => parity_symbols / 2,
+        }
+    }
+
     /// Builds the per-page code, or `None` for raw mode.
     ///
     /// # Panics
@@ -328,6 +342,20 @@ mod tests {
         assert_eq!(c.data_bits_per_page(), 220);
         assert_eq!(c.payload_bytes_per_page(), 27);
         assert_eq!(c.page_stride(), 2);
+    }
+
+    #[test]
+    fn correctable_bits_track_the_code() {
+        // paper_default: BCH t=4, one 256-bit segment per page.
+        assert_eq!(VthiConfig::paper_default().correctable_bits_per_page(), 4);
+        // enhanced: BCH t=12 over five 512-bit segments.
+        assert_eq!(VthiConfig::enhanced().correctable_bits_per_page(), 60);
+        let mut raw = VthiConfig::paper_default();
+        raw.ecc = EccChoice::None;
+        assert_eq!(raw.correctable_bits_per_page(), 0);
+        let mut rs = VthiConfig::enhanced();
+        rs.ecc = EccChoice::Rs { parity_symbols: 32 };
+        assert_eq!(rs.correctable_bits_per_page(), 16);
     }
 
     #[test]

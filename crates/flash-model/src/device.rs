@@ -92,6 +92,39 @@ impl CmdResult {
     }
 }
 
+/// A point-in-time wear census of every block on a device, collected by
+/// [`NandDevice::wear_summary`]. Health telemetry turns this into the
+/// per-block wear histogram and hottest-block gauges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WearSummary {
+    /// Program/erase cycles per block, indexed by block id. Blocks whose
+    /// PEC cannot be read (factory-bad) report 0.
+    pub per_block_pec: Vec<u32>,
+    /// Number of blocks that have grown bad at runtime.
+    pub grown_bad_blocks: u32,
+}
+
+impl WearSummary {
+    /// The most-worn block as `(block index, PEC)`, or `None` on an empty
+    /// device. Ties resolve to the lowest block id.
+    pub fn hottest(&self) -> Option<(usize, u32)> {
+        self.per_block_pec
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+            .map(|(i, &p)| (i, p))
+    }
+
+    /// Mean PEC across all blocks (0 on an empty device).
+    pub fn mean_pec(&self) -> f64 {
+        if self.per_block_pec.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.per_block_pec.iter().map(|&p| u64::from(p)).sum();
+        sum as f64 / self.per_block_pec.len() as f64
+    }
+}
+
 /// The chip command surface: what a tester (or controller) can ask a NAND
 /// device to do. [`Chip`] is the reference backend; middleware wrappers
 /// implement the trait by decorating another implementation.
@@ -175,6 +208,26 @@ pub trait NandDevice {
     ///
     /// Fails on an invalid block address.
     fn is_grown_bad(&self, b: BlockId) -> Result<bool>;
+
+    /// Censuses wear across the whole device: per-block PEC plus the
+    /// grown-bad count. The default implementation walks every block with
+    /// [`block_pec`](Self::block_pec)/[`is_grown_bad`](Self::is_grown_bad),
+    /// so it propagates unchanged through middleware wrappers; blocks whose
+    /// PEC cannot be read (factory-bad) report 0. This is an unmetered
+    /// management query, like the accessors it is built from.
+    fn wear_summary(&self) -> WearSummary {
+        let blocks = self.geometry().blocks_per_chip;
+        let mut per_block_pec = Vec::with_capacity(blocks as usize);
+        let mut grown_bad_blocks = 0u32;
+        for b in 0..blocks {
+            let id = BlockId(b);
+            per_block_pec.push(self.block_pec(id).unwrap_or(0));
+            if self.is_grown_bad(id).unwrap_or(false) {
+                grown_bad_blocks += 1;
+            }
+        }
+        WearSummary { per_block_pec, grown_bad_blocks }
+    }
 
     /// Whether a page has been programmed since its block's last erase.
     ///
@@ -645,6 +698,33 @@ mod tests {
         let mut chip2 = Chip::new(ChipProfile::test_small(), 9);
         let via_value = generic_roundtrip(&mut chip2);
         assert_eq!(via_ref, via_value);
+    }
+
+    #[test]
+    fn wear_summary_counts_pec_and_grown_bad_through_middleware() {
+        let mut chip = Chip::new(ChipProfile::test_small(), 11);
+        chip.cycle_block(BlockId(2), 40).unwrap();
+        chip.cycle_block(BlockId(5), 7).unwrap();
+        chip.grow_bad_block(BlockId(1)).unwrap();
+        let blocks = chip.geometry().blocks_per_chip as usize;
+
+        // The default method must see the same census through a wrapper.
+        let wrapped = crate::TraceDevice::new(chip);
+        let w = wrapped.wear_summary();
+        assert_eq!(w.per_block_pec.len(), blocks);
+        assert_eq!(w.per_block_pec[2], 40);
+        assert_eq!(w.per_block_pec[5], 7);
+        assert_eq!(w.grown_bad_blocks, 1);
+        assert_eq!(w.hottest(), Some((2, 40)));
+        assert!((w.mean_pec() - 47.0 / blocks as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_summary_hottest_ties_go_to_the_lowest_block() {
+        let w = WearSummary { per_block_pec: vec![3, 9, 9, 1], grown_bad_blocks: 0 };
+        assert_eq!(w.hottest(), Some((1, 9)));
+        assert_eq!(WearSummary::default().hottest(), None);
+        assert_eq!(WearSummary::default().mean_pec(), 0.0);
     }
 
     #[test]

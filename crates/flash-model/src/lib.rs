@@ -73,7 +73,7 @@ pub use ber::BitErrorStats;
 pub use bits::BitPattern;
 pub use chip::Chip;
 pub use crc::crc32;
-pub use device::{CmdResult, NandCmd, NandDevice};
+pub use device::{CmdResult, NandCmd, NandDevice, WearSummary};
 pub use error::FlashError;
 pub use fault::{FaultPlan, NoiseSpike, PowerCut, StuckCell};
 pub use geometry::{BlockId, Geometry, PageId};

@@ -557,6 +557,19 @@ impl<D: NandDevice> Ftl<D> {
         self.free.len() + usize::from(self.active_has_room())
     }
 
+    /// Number of blocks permanently retired after going grown bad — the
+    /// cheap census [`retired_blocks`](Self::retired_blocks) enumerates.
+    pub fn retired_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
+    }
+
+    /// Depth of the spare-area write journal: the next sequence number to
+    /// be issued, i.e. how many journaled page writes this FTL has
+    /// performed (or replayed) over its lifetime.
+    pub fn journal_depth(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Blocks permanently retired after going grown bad.
     pub fn retired_blocks(&self) -> Vec<BlockId> {
         self.retired

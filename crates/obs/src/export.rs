@@ -8,6 +8,10 @@ use crate::tracer::{SpanNode, TraceEvent, TraceEventKind, TraceReport};
 use stash_flash::{FaultKind, OpKind};
 use std::fmt::Write as _;
 
+/// Schema tag stamped into the `trace_summary` header of every JSONL
+/// trace artifact; `bench_check` requires it on `TRACE_*.jsonl` files.
+pub const TRACE_SCHEMA: &str = "stash-trace/1";
+
 /// Renders the aggregated span tree plus metrics as indented text.
 pub fn render_tree(report: &TraceReport) -> String {
     let mut out = String::new();
@@ -90,7 +94,9 @@ fn render_node(out: &mut String, node: &SpanNode, depth: usize, grand_total_us: 
 pub fn export_jsonl(report: &TraceReport) -> String {
     let mut out = String::new();
     let t = &report.totals;
-    out.push_str("{\"type\":\"trace_summary\",\"device_time_us\":");
+    out.push_str("{\"schema\":\"");
+    out.push_str(TRACE_SCHEMA);
+    out.push_str("\",\"type\":\"trace_summary\",\"device_time_us\":");
     write_num(&mut out, t.device_time_us);
     out.push_str(",\"wait_time_us\":");
     write_num(&mut out, t.wait_time_us);
@@ -236,6 +242,7 @@ mod tests {
         }
         // Header carries the totals.
         let head = json::parse(lines[0]).unwrap();
+        assert_eq!(head.get("schema").and_then(json::JsonValue::as_str), Some(TRACE_SCHEMA));
         assert_eq!(head.get("type").and_then(json::JsonValue::as_str), Some("trace_summary"));
         assert_eq!(head.get("device_time_us").and_then(json::JsonValue::as_f64), Some(1890.0));
     }

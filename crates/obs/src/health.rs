@@ -1,0 +1,457 @@
+//! Continuous health telemetry: a sample-fed [`HealthMonitor`] that turns
+//! point-in-time snapshots of the running stack into registry gauges, a
+//! per-block wear histogram and severity-levelled [`Alert`] events.
+//!
+//! The paper's security argument is a *margin* argument — hidden data stays
+//! decodable and undetectable only while wear, BER and capacity stay inside
+//! an envelope — so the monitor tracks exactly those margins: distance of
+//! the observed ECC correction load from decode failure, hottest-block wear
+//! against a cycling budget, advertised hidden capacity against its
+//! reserve, and SVM detectability against the coin-flip floor.
+//!
+//! Layering: `stash-obs` sits below the FTL and stego layers, so the
+//! monitor cannot reach into them. Instead the integration point (CLI,
+//! bench harness, test) collects a [`HealthSample`] from whatever stack it
+//! runs — per-block PEC from the device's wear-accounting API, correction
+//! counts from the hidden volume, journal depth from the FTL — and feeds it
+//! to [`HealthMonitor::observe`]. Everything the monitor publishes lands in
+//! its [`Registry`], ready for the Prometheus and snapshot exporters.
+//!
+//! Alerts are edge-triggered: a threshold crossing fires exactly one alert
+//! when the condition becomes true, and the alert re-arms only after a
+//! sample in which the condition is false again — so a monitor polled every
+//! second does not emit a thousand copies of "block 7 is past budget".
+
+use crate::metrics::{Log2Histogram, Registry};
+use stash_flash::MeterSnapshot;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How bad a crossed threshold is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; no margin is at risk.
+    Info,
+    /// A margin is shrinking; plan maintenance.
+    Warning,
+    /// A margin is (nearly) exhausted; data or deniability is at risk.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// One structured alert event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Severity level.
+    pub severity: Severity,
+    /// Stable machine-readable alert code, e.g. `ber-margin`.
+    pub code: String,
+    /// Human-readable description with the numbers baked in.
+    pub message: String,
+    /// The observed value that crossed.
+    pub value: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+    /// Index of the sample (0-based) that fired the alert.
+    pub sample: u64,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.severity, self.code, self.message)
+    }
+}
+
+/// Alert thresholds. The defaults encode the issue's contract: alert when
+/// the observed correction load is within 2× of decode failure, when any
+/// block exceeds the wear budget, and when hidden capacity drops below its
+/// reserve fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthThresholds {
+    /// P/E cycles a block may endure before it is past budget.
+    pub wear_budget_pec: u32,
+    /// Fire when `corrected * factor >= correctable` (default 2: the
+    /// worst slot is within 2× of uncorrectable).
+    pub ber_margin_factor: f64,
+    /// Fire when advertised slots fall below this fraction of formatted
+    /// data slots.
+    pub min_advertised_fraction: f64,
+    /// Fire when SVM accuracy minus 0.5 exceeds this margin.
+    pub max_detect_margin: f64,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        HealthThresholds {
+            wear_budget_pec: 3000,
+            ber_margin_factor: 2.0,
+            min_advertised_fraction: 1.0,
+            max_detect_margin: 0.1,
+        }
+    }
+}
+
+/// One point-in-time sample of the running stack, collected by whatever
+/// layer owns the stack and fed to [`HealthMonitor::observe`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthSample {
+    /// P/E cycle count of every block, in block order (the device's
+    /// per-block wear accounting).
+    pub per_block_pec: Vec<u32>,
+    /// Blocks that have grown bad at runtime.
+    pub grown_bad_blocks: u64,
+    /// FTL journal depth (sequence numbers issued so far).
+    pub journal_depth: u64,
+    /// Blocks the FTL has permanently retired.
+    pub retired_blocks: u64,
+    /// Blocks in the FTL free pool.
+    pub free_blocks: u64,
+    /// Worst per-slot ECC correction count observed on the hidden volume.
+    pub corrected_bits_max: u64,
+    /// Bit corrections the hidden ECC can absorb per slot (0 = raw mode,
+    /// which disables the BER-margin alert).
+    pub correctable_bits_per_slot: u64,
+    /// Hidden data slots still advertised.
+    pub advertised_slots: u64,
+    /// Hidden data slots originally formatted.
+    pub data_slots: u64,
+    /// Parity slots backing the data slots (the parity budget).
+    pub parity_slots: u64,
+    /// Data slots written off as unrecoverable.
+    pub lost_capacity_slots: u64,
+    /// Adversary SVM accuracy in `[0, 1]`, when a detectability probe ran.
+    pub detect_accuracy: Option<f64>,
+    /// Device meter totals at sample time (ops, faults, µs, µJ).
+    pub meter: MeterSnapshot,
+}
+
+/// The sample-fed monitor: owns a [`Registry`] of `health_*` series, the
+/// thresholds, the edge-trigger state and the alert log.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    thresholds: HealthThresholds,
+    registry: Registry,
+    /// Alert codes currently in violation (edge-trigger state).
+    active: BTreeMap<String, bool>,
+    alerts: Vec<Alert>,
+    samples: u64,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with the given thresholds.
+    pub fn new(thresholds: HealthThresholds) -> Self {
+        HealthMonitor { thresholds, ..Default::default() }
+    }
+
+    /// The thresholds in force.
+    pub fn thresholds(&self) -> &HealthThresholds {
+        &self.thresholds
+    }
+
+    /// The registry all gauges and histograms publish into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Every alert fired so far, oldest first.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Samples observed so far.
+    pub fn sample_count(&self) -> u64 {
+        self.samples
+    }
+
+    /// Ingests one sample: publishes gauges and the wear histogram, then
+    /// evaluates every threshold. Returns the alerts that *newly* fired on
+    /// this sample (conditions already active stay silent until they clear
+    /// and cross again).
+    pub fn observe(&mut self, s: &HealthSample) -> Vec<Alert> {
+        let sample_idx = self.samples;
+        self.samples += 1;
+
+        // --- wear: per-block histogram plus hottest-block gauges -------
+        let mut wear = Log2Histogram::new();
+        let mut hottest = (0u64, 0u32); // (block, pec)
+        let mut total_pec = 0u64;
+        for (b, &pec) in s.per_block_pec.iter().enumerate() {
+            wear.observe(u64::from(pec));
+            total_pec += u64::from(pec);
+            if pec > hottest.1 {
+                hottest = (b as u64, pec);
+            }
+        }
+        let blocks = s.per_block_pec.len().max(1) as f64;
+        self.registry.histogram_set("health_block_pec", "", wear);
+        self.registry.gauge_set("health_hottest_block", "", hottest.0 as f64);
+        self.registry.gauge_set("health_hottest_pec", "", f64::from(hottest.1));
+        self.registry.gauge_set("health_mean_pec", "", total_pec as f64 / blocks);
+        self.registry.gauge_set(
+            "health_wear_budget_pec",
+            "",
+            f64::from(self.thresholds.wear_budget_pec),
+        );
+        self.registry.gauge_set("health_grown_bad_blocks", "", s.grown_bad_blocks as f64);
+
+        // --- FTL: journal depth, retired and free blocks ----------------
+        self.registry.gauge_set("health_journal_depth", "", s.journal_depth as f64);
+        self.registry.gauge_set("health_retired_blocks", "", s.retired_blocks as f64);
+        self.registry.gauge_set("health_free_blocks", "", s.free_blocks as f64);
+
+        // --- hidden volume: BER margin, parity budget, capacity ---------
+        self.registry.gauge_set("health_ber_corrected_max", "", s.corrected_bits_max as f64);
+        self.registry.gauge_set("health_ber_correctable", "", s.correctable_bits_per_slot as f64);
+        let ber_margin = if s.correctable_bits_per_slot == 0 {
+            1.0
+        } else {
+            1.0 - (s.corrected_bits_max as f64 / s.correctable_bits_per_slot as f64).min(1.0)
+        };
+        self.registry.gauge_set("health_ber_margin", "", ber_margin);
+        self.registry.gauge_set("health_parity_budget_slots", "", s.parity_slots as f64);
+        self.registry.gauge_set("health_advertised_slots", "", s.advertised_slots as f64);
+        self.registry.gauge_set("health_data_slots", "", s.data_slots as f64);
+        self.registry.gauge_set("health_lost_capacity_slots", "", s.lost_capacity_slots as f64);
+
+        // --- detectability: SVM accuracy minus the coin-flip floor -------
+        if let Some(acc) = s.detect_accuracy {
+            self.registry.gauge_set("health_detect_margin", "", acc - 0.5);
+        }
+
+        // --- device meter totals (pinned against the chip meter) ---------
+        self.registry.gauge_set("health_device_time_us", "", s.meter.device_time_us);
+        self.registry.gauge_set("health_wait_time_us", "", s.meter.wait_time_us);
+        self.registry.gauge_set("health_energy_uj", "", s.meter.energy_uj);
+        self.registry.gauge_set("health_ops_total", "", s.meter.total_ops() as f64);
+        self.registry.gauge_set("health_faults_total", "", s.meter.total_faults() as f64);
+        self.registry.counter_add("health_samples", "", 1);
+
+        // --- threshold evaluation (edge-triggered) -----------------------
+        let mut fired = Vec::new();
+        let t = &self.thresholds;
+
+        let ber_violation = s.correctable_bits_per_slot > 0
+            && s.corrected_bits_max as f64 * t.ber_margin_factor
+                >= s.correctable_bits_per_slot as f64;
+        Self::edge(
+            &mut self.active,
+            &mut fired,
+            "ber-margin",
+            ber_violation,
+            Severity::Critical,
+            format!(
+                "worst hidden slot needed {} corrections, within {}x of the {}-bit ECC limit",
+                s.corrected_bits_max, t.ber_margin_factor, s.correctable_bits_per_slot
+            ),
+            s.corrected_bits_max as f64,
+            s.correctable_bits_per_slot as f64 / t.ber_margin_factor,
+            sample_idx,
+        );
+
+        let wear_violation = hottest.1 > t.wear_budget_pec;
+        Self::edge(
+            &mut self.active,
+            &mut fired,
+            "wear-budget",
+            wear_violation,
+            Severity::Warning,
+            format!(
+                "block {} at {} P/E cycles exceeds the {}-cycle wear budget",
+                hottest.0, hottest.1, t.wear_budget_pec
+            ),
+            f64::from(hottest.1),
+            f64::from(t.wear_budget_pec),
+            sample_idx,
+        );
+
+        let reserve = t.min_advertised_fraction * s.data_slots as f64;
+        let capacity_violation = s.data_slots > 0 && (s.advertised_slots as f64) < reserve;
+        Self::edge(
+            &mut self.active,
+            &mut fired,
+            "capacity-reserve",
+            capacity_violation,
+            Severity::Critical,
+            format!(
+                "hidden capacity down to {}/{} slots (reserve floor {:.1})",
+                s.advertised_slots, s.data_slots, reserve
+            ),
+            s.advertised_slots as f64,
+            reserve,
+            sample_idx,
+        );
+
+        if let Some(acc) = s.detect_accuracy {
+            let margin = acc - 0.5;
+            Self::edge(
+                &mut self.active,
+                &mut fired,
+                "detectability",
+                margin > t.max_detect_margin,
+                Severity::Warning,
+                format!(
+                    "SVM detects hidden data at {:.1}% accuracy ({:+.3} over coin flip)",
+                    acc * 100.0,
+                    margin
+                ),
+                margin,
+                t.max_detect_margin,
+                sample_idx,
+            );
+        }
+
+        for a in &fired {
+            self.registry.counter_add("health_alerts", &a.severity.to_string(), 1);
+        }
+        self.alerts.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Edge-trigger plumbing: fires once on a false→true transition,
+    /// re-arms on true→false.
+    #[allow(clippy::too_many_arguments)]
+    fn edge(
+        active: &mut BTreeMap<String, bool>,
+        fired: &mut Vec<Alert>,
+        code: &str,
+        violation: bool,
+        severity: Severity,
+        message: String,
+        value: f64,
+        threshold: f64,
+        sample: u64,
+    ) {
+        let was = active.insert(code.to_owned(), violation).unwrap_or(false);
+        if violation && !was {
+            fired.push(Alert {
+                severity,
+                code: code.to_owned(),
+                message,
+                value,
+                threshold,
+                sample,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_sample() -> HealthSample {
+        HealthSample {
+            per_block_pec: vec![10, 500, 20, 3],
+            grown_bad_blocks: 0,
+            journal_depth: 42,
+            retired_blocks: 1,
+            free_blocks: 5,
+            corrected_bits_max: 1,
+            correctable_bits_per_slot: 8,
+            advertised_slots: 6,
+            data_slots: 6,
+            parity_slots: 2,
+            lost_capacity_slots: 0,
+            detect_accuracy: Some(0.52),
+            meter: MeterSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn gauges_reflect_the_sample() {
+        let mut m = HealthMonitor::default();
+        let fired = m.observe(&base_sample());
+        assert!(fired.is_empty(), "healthy sample fires nothing: {fired:?}");
+        let r = m.registry();
+        assert_eq!(r.gauge("health_hottest_block", ""), Some(1.0));
+        assert_eq!(r.gauge("health_hottest_pec", ""), Some(500.0));
+        assert_eq!(r.gauge("health_journal_depth", ""), Some(42.0));
+        assert_eq!(r.gauge("health_retired_blocks", ""), Some(1.0));
+        assert_eq!(r.gauge("health_parity_budget_slots", ""), Some(2.0));
+        assert_eq!(r.gauge("health_ber_margin", ""), Some(1.0 - 1.0 / 8.0));
+        assert!((r.gauge("health_detect_margin", "").unwrap() - 0.02).abs() < 1e-12);
+        assert_eq!(r.histogram("health_block_pec", "").unwrap().total(), 4);
+        assert_eq!(r.counter("health_samples", ""), 1);
+    }
+
+    #[test]
+    fn wear_histogram_tracks_latest_sample_not_accumulation() {
+        let mut m = HealthMonitor::default();
+        m.observe(&base_sample());
+        m.observe(&base_sample());
+        // Re-published, not accumulated: still one entry per block.
+        assert_eq!(m.registry().histogram("health_block_pec", "").unwrap().total(), 4);
+        assert_eq!(m.registry().counter("health_samples", ""), 2);
+    }
+
+    #[test]
+    fn ber_alert_fires_once_per_crossing_not_per_sample() {
+        let mut m = HealthMonitor::default();
+        let mut bad = base_sample();
+        bad.corrected_bits_max = 4; // 4 * 2 >= 8 -> within 2x of failure
+
+        let fired = m.observe(&bad);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].code, "ber-margin");
+        assert_eq!(fired[0].severity, Severity::Critical);
+
+        // Still in violation: no new alert.
+        assert!(m.observe(&bad).is_empty());
+        assert!(m.observe(&bad).is_empty());
+        assert_eq!(m.alerts().len(), 1);
+
+        // Clears, then crosses again: exactly one more.
+        let ok = base_sample();
+        assert!(m.observe(&ok).is_empty());
+        let fired = m.observe(&bad);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(m.alerts().len(), 2);
+        assert_eq!(m.registry().counter("health_alerts", "critical"), 2);
+    }
+
+    #[test]
+    fn wear_and_capacity_alerts() {
+        let mut m = HealthMonitor::new(HealthThresholds {
+            wear_budget_pec: 100,
+            ..HealthThresholds::default()
+        });
+        let mut s = base_sample();
+        s.advertised_slots = 5; // below the 6-slot reserve
+        let fired = m.observe(&s);
+        let codes: Vec<&str> = fired.iter().map(|a| a.code.as_str()).collect();
+        assert!(codes.contains(&"wear-budget"), "{codes:?}");
+        assert!(codes.contains(&"capacity-reserve"), "{codes:?}");
+    }
+
+    #[test]
+    fn detectability_alert_needs_a_probe() {
+        let mut m = HealthMonitor::default();
+        let mut s = base_sample();
+        s.detect_accuracy = None;
+        assert!(m.observe(&s).is_empty());
+        assert_eq!(m.registry().gauge("health_detect_margin", ""), None);
+        s.detect_accuracy = Some(0.75);
+        let fired = m.observe(&s);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].code, "detectability");
+    }
+
+    #[test]
+    fn raw_mode_disables_ber_alert() {
+        let mut m = HealthMonitor::default();
+        let mut s = base_sample();
+        s.correctable_bits_per_slot = 0; // raw hidden bits, no ECC
+        s.corrected_bits_max = 1000;
+        assert!(m.observe(&s).is_empty());
+        assert_eq!(m.registry().gauge("health_ber_margin", ""), Some(1.0));
+    }
+}

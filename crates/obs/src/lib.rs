@@ -13,7 +13,14 @@
 //!   fault-kind counts).
 //! * **Exporters**: a human-readable tree summary, a JSONL event stream,
 //!   and a collapsed-stack flamegraph text attributing simulated µs/µJ
-//!   per span path.
+//!   per span path — plus Prometheus text exposition ([`prom`]) and a
+//!   schema-versioned JSON metrics snapshot ([`snapshot`]) for the
+//!   registry itself.
+//! * A **health monitor** ([`health`]): feeds point-in-time
+//!   [`HealthSample`]s of the running stack (wear, BER margin, parity
+//!   budget, journal depth, detectability) into the registry as
+//!   `health_*` gauges and raises edge-triggered, severity-levelled
+//!   [`Alert`]s when margins are crossed.
 //!
 //! The [`Tracer`] implements the flash model's
 //! [`Recorder`](stash_flash::Recorder) hook, so installing one on a
@@ -47,11 +54,17 @@
 #![forbid(unsafe_code)]
 
 pub mod export;
+pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod snapshot;
 pub mod tracer;
 
+pub use health::{Alert, HealthMonitor, HealthSample, HealthThresholds, Severity};
 pub use metrics::{Log2Histogram, Registry, LOG2_BUCKETS};
+pub use prom::{parse_prometheus, render_prometheus};
+pub use snapshot::{parse_snapshot, write_snapshot, SNAPSHOT_SCHEMA};
 pub use tracer::{
     add_snapshots, SpanGuard, SpanNode, TraceConfig, TraceEvent, TraceEventKind, TraceReport,
     Tracer, DEFAULT_EVENT_CAPACITY,

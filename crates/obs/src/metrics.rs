@@ -109,6 +109,35 @@ impl Log2Histogram {
         self.sum += other.sum;
     }
 
+    /// Sum of all samples (exact, unlike a float accumulator).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw per-bucket counts, index 0 first.
+    pub fn bucket_counts(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from `(bucket index, count)` pairs and the
+    /// exact sample sum — the inverse of [`bucket_counts`](Self::bucket_counts)
+    /// plus [`sum`](Self::sum), used by the snapshot and Prometheus
+    /// parsers to round-trip exported series.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a bucket index is out of range.
+    pub fn from_bucket_counts(buckets: &[(usize, u64)], sum: u128) -> Self {
+        let mut h = Log2Histogram::new();
+        for &(b, c) in buckets {
+            assert!(b < LOG2_BUCKETS, "bucket {b} out of range");
+            h.counts[b] += c;
+            h.total += c;
+        }
+        h.sum = sum;
+        h
+    }
+
     /// Occupied buckets as `(low, high, count)` rows, lowest first.
     pub fn rows(&self) -> Vec<(u64, u64, u64)> {
         self.counts
@@ -128,7 +157,7 @@ impl Log2Histogram {
 pub type SeriesKey = (String, String);
 
 /// A registry of labeled counters, gauges and log2 histograms.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
     counters: BTreeMap<SeriesKey, u64>,
     gauges: BTreeMap<SeriesKey, f64>,
@@ -154,6 +183,29 @@ impl Registry {
     /// Records one sample into a histogram series.
     pub fn observe(&mut self, name: &str, label: &str, v: u64) {
         self.histograms.entry((name.to_owned(), label.to_owned())).or_default().observe(v);
+    }
+
+    /// Replaces a histogram series wholesale — used by samplers that
+    /// re-publish a point-in-time distribution (e.g. the per-block wear
+    /// histogram) instead of accumulating observations forever.
+    pub fn histogram_set(&mut self, name: &str, label: &str, h: Log2Histogram) {
+        self.histograms.insert((name.to_owned(), label.to_owned()), h);
+    }
+
+    /// Merges another registry into this one: counters add, gauges take
+    /// the other's value (last write wins), histograms merge bucketwise.
+    /// Merging per-worker registries in input order yields the same result
+    /// for any `STASH_THREADS`, which is what the parallel benches need.
+    pub fn merge(&mut self, other: &Registry) {
+        for ((name, label), v) in &other.counters {
+            *self.counters.entry((name.clone(), label.clone())).or_insert(0) += v;
+        }
+        for ((name, label), v) in &other.gauges {
+            self.gauges.insert((name.clone(), label.clone()), *v);
+        }
+        for ((name, label), h) in &other.histograms {
+            self.histograms.entry((name.clone(), label.clone())).or_default().merge(h);
+        }
     }
 
     /// Value of one counter series (0 if absent).
@@ -269,6 +321,77 @@ mod tests {
         assert_eq!(a.total(), 3);
         assert_eq!(a.bucket_count(0), 1);
         assert!((a.mean() - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_parts_roundtrip() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 3, 9, 1000] {
+            h.observe(v);
+        }
+        let buckets: Vec<(usize, u64)> = h
+            .bucket_counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, c))
+            .collect();
+        let back = Log2Histogram::from_bucket_counts(&buckets, h.sum());
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn registry_merge_semantics() {
+        let mut a = Registry::new();
+        a.counter_add("ops", "read", 3);
+        a.gauge_set("free_blocks", "", 7.0);
+        a.observe("steps", "", 4);
+
+        let mut b = Registry::new();
+        b.counter_add("ops", "read", 2);
+        b.counter_add("ops", "erase", 1);
+        b.gauge_set("free_blocks", "", 5.0);
+        b.gauge_set("ber", "", 0.01);
+        b.observe("steps", "", 16);
+
+        a.merge(&b);
+        assert_eq!(a.counter("ops", "read"), 5, "counters add");
+        assert_eq!(a.counter("ops", "erase"), 1);
+        assert_eq!(a.gauge("free_blocks", ""), Some(5.0), "gauges last-write");
+        assert_eq!(a.gauge("ber", ""), Some(0.01));
+        let h = a.histogram("steps", "").unwrap();
+        assert_eq!(h.total(), 2, "histograms merge");
+        assert_eq!(h.sum(), 20);
+    }
+
+    #[test]
+    fn merge_order_independent_for_counters_and_histograms() {
+        // Counters and histograms commute; merging shard registries in
+        // input order therefore gives one canonical result.
+        let shards: Vec<Registry> = (0..4)
+            .map(|i| {
+                let mut r = Registry::new();
+                r.counter_add("n", "", i + 1);
+                r.observe("h", "", 1 << i);
+                r
+            })
+            .collect();
+        let mut merged = Registry::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.counter("n", ""), 10);
+        assert_eq!(merged.histogram("h", "").unwrap().total(), 4);
+    }
+
+    #[test]
+    fn histogram_set_replaces_series() {
+        let mut r = Registry::new();
+        r.observe("wear", "", 100);
+        let mut fresh = Log2Histogram::new();
+        fresh.observe(7);
+        r.histogram_set("wear", "", fresh.clone());
+        assert_eq!(r.histogram("wear", ""), Some(&fresh));
     }
 
     #[test]

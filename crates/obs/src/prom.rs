@@ -1,0 +1,331 @@
+//! Prometheus text exposition for a [`Registry`], plus a parser for the
+//! same subset of the format — enough for a scraper (or a test) to
+//! round-trip everything the writer emits without an external client
+//! library.
+//!
+//! Mapping: a series label (our single free-form label string) becomes a
+//! `series="…"` label pair; histograms export cumulative `_bucket` lines
+//! with the log2 bucket upper bounds as `le` values, then `_sum` and
+//! `_count`. Output is deterministic: series render in registry
+//! (`BTreeMap`) order.
+
+use crate::metrics::{Log2Histogram, Registry, LOG2_BUCKETS};
+use std::fmt::Write as _;
+
+/// Renders the whole registry in Prometheus text exposition format.
+pub fn render_prometheus(r: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {} {kind}\n", sanitize(name));
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+
+    for ((name, label), v) in r.counters() {
+        type_line(&mut out, name, "counter");
+        let _ = writeln!(out, "{}{} {v}", sanitize(name), label_pair(label, None));
+    }
+    for ((name, label), v) in r.gauges() {
+        type_line(&mut out, name, "gauge");
+        out.push_str(&sanitize(name));
+        out.push_str(&label_pair(label, None));
+        out.push(' ');
+        crate::json::write_num(&mut out, *v);
+        out.push('\n');
+    }
+    for ((name, label), h) in r.histograms() {
+        type_line(&mut out, name, "histogram");
+        let base = sanitize(name);
+        let mut cumulative = 0u64;
+        for (b, &c) in h.bucket_counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let (_, hi) = Log2Histogram::bucket_bounds(b);
+            let _ = writeln!(
+                out,
+                "{base}_bucket{} {cumulative}",
+                label_pair(label, Some(&hi.to_string()))
+            );
+        }
+        let _ = writeln!(out, "{base}_bucket{} {cumulative}", label_pair(label, Some("+Inf")));
+        let _ = writeln!(out, "{base}_sum{} {}", label_pair(label, None), h.sum());
+        let _ = writeln!(out, "{base}_count{} {}", label_pair(label, None), h.total());
+    }
+    out
+}
+
+/// Parses text previously produced by [`render_prometheus`] back into a
+/// [`Registry`]. Histograms are rebuilt exactly (our `le` bounds are the
+/// log2 bucket bounds, and `_sum` is an exact integer for `u64` samples).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Registry, String> {
+    let mut r = Registry::new();
+    let mut kinds: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    // Histogram accumulation: (name, label) -> (bucket counts, sum, count).
+    type HistAcc = (Vec<(usize, u64)>, u128, u64);
+    let mut hists: std::collections::BTreeMap<(String, String), HistAcc> = Default::default();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| format!("line {lineno}: bare TYPE"))?;
+            let kind = it.next().ok_or_else(|| format!("line {lineno}: TYPE without kind"))?;
+            kinds.insert(name.to_owned(), kind.to_owned());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value on sample line"))?;
+        let (name, labels) = split_series(series, lineno)?;
+        let label =
+            labels.iter().find(|(k, _)| k == "series").map(|(_, v)| v.clone()).unwrap_or_default();
+
+        // A histogram's family name is the sample name minus its suffix.
+        let (family, suffix) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s).map(|f| (f, *s)))
+            .filter(|(f, _)| kinds.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or((name.as_str(), ""));
+
+        match (kinds.get(family).map(String::as_str), suffix) {
+            (Some("histogram"), "_bucket") => {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {lineno}: bucket without le"))?;
+                if le == "+Inf" {
+                    continue; // redundant with _count
+                }
+                let hi: u64 =
+                    le.parse().map_err(|_| format!("line {lineno}: bad le bound {le:?}"))?;
+                let cum: u64 =
+                    value.parse().map_err(|_| format!("line {lineno}: bad bucket count"))?;
+                let entry = hists.entry((family.to_owned(), label)).or_default();
+                entry.0.push((Log2Histogram::bucket_of(hi), cum));
+            }
+            (Some("histogram"), "_sum") => {
+                let sum: u128 = value.parse().map_err(|_| format!("line {lineno}: bad sum"))?;
+                hists.entry((family.to_owned(), label)).or_default().1 = sum;
+            }
+            (Some("histogram"), "_count") => {
+                let n: u64 = value.parse().map_err(|_| format!("line {lineno}: bad count"))?;
+                hists.entry((family.to_owned(), label)).or_default().2 = n;
+            }
+            (Some("counter"), _) => {
+                let v: u64 =
+                    value.parse().map_err(|_| format!("line {lineno}: bad counter value"))?;
+                r.counter_add(&name, &label, v);
+            }
+            (Some("gauge"), _) => {
+                let v: f64 =
+                    value.parse().map_err(|_| format!("line {lineno}: bad gauge value"))?;
+                r.gauge_set(&name, &label, v);
+            }
+            (kind, _) => {
+                return Err(format!("line {lineno}: sample {name:?} has no TYPE (saw {kind:?})"))
+            }
+        }
+    }
+
+    for ((name, label), (cum_buckets, sum, count)) in hists {
+        // De-cumulate the bucket counts (they were emitted lowest-first).
+        let mut counts: Vec<(usize, u64)> = Vec::with_capacity(cum_buckets.len());
+        let mut prev = 0u64;
+        for (b, cum) in cum_buckets {
+            if b >= LOG2_BUCKETS || cum < prev {
+                return Err(format!("histogram {name:?}: non-monotonic buckets"));
+            }
+            counts.push((b, cum - prev));
+            prev = cum;
+        }
+        let h = Log2Histogram::from_bucket_counts(&counts, sum);
+        if h.total() != count {
+            return Err(format!(
+                "histogram {name:?}: buckets sum to {} but _count says {count}",
+                h.total()
+            ));
+        }
+        r.histogram_set(&name, &label, h);
+    }
+    Ok(r)
+}
+
+/// Replaces everything outside `[a-zA-Z0-9_:]` so series names are valid
+/// Prometheus metric names.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+/// Formats the `{series="…",le="…"}` label block (empty when no labels).
+fn label_pair(label: &str, le: Option<&str>) -> String {
+    let mut pairs = Vec::new();
+    if !label.is_empty() {
+        pairs.push(format!("series=\"{}\"", escape_label(label)));
+    }
+    if let Some(le) = le {
+        pairs.push(format!("le=\"{le}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Splits `name{k="v",…}` into the name and its label pairs.
+fn split_series(series: &str, lineno: usize) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(open) = series.find('{') else {
+        return Ok((series.to_owned(), Vec::new()));
+    };
+    let name = series[..open].to_owned();
+    let body = series[open + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("line {lineno}: unterminated label block"))?;
+    let mut labels = Vec::new();
+    for pair in split_label_pairs(body) {
+        let (k, v) =
+            pair.split_once('=').ok_or_else(|| format!("line {lineno}: label pair without '='"))?;
+        let v = v
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {lineno}: unquoted label value"))?;
+        labels.push((
+            k.to_owned(),
+            v.replace("\\n", "\n").replace("\\\"", "\"").replace("\\\\", "\\"),
+        ));
+    }
+    Ok((name, labels))
+}
+
+/// Splits a label body on commas that sit outside quoted values.
+fn split_label_pairs(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        match c {
+            '\\' if in_quotes && !escaped => {
+                escaped = true;
+                cur.push(c);
+            }
+            '"' if !escaped => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            ',' if !in_quotes => {
+                out.push(std::mem::take(&mut cur));
+            }
+            c => {
+                escaped = false;
+                cur.push(c);
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("chip_op", "partial-program", 12);
+        r.counter_add("chip_op", "read", 7);
+        r.counter_add("health_samples", "", 3);
+        r.gauge_set("health_ber_margin", "", 0.875);
+        r.gauge_set("free_blocks", "", 5.0);
+        for v in [0u64, 1, 1, 9, 200, 200, 200] {
+            r.observe("pp_steps", "", v);
+        }
+        for v in [3u64, 5] {
+            r.observe("retries", "read-sweep", v);
+        }
+        r
+    }
+
+    #[test]
+    fn exposition_mentions_types_and_series() {
+        let text = render_prometheus(&sample_registry());
+        assert!(text.contains("# TYPE chip_op counter"));
+        assert!(text.contains("chip_op{series=\"partial-program\"} 12"));
+        assert!(text.contains("# TYPE health_ber_margin gauge"));
+        assert!(text.contains("health_ber_margin 0.875"));
+        assert!(text.contains("# TYPE pp_steps histogram"));
+        assert!(text.contains("pp_steps_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("pp_steps_sum 611"));
+        assert!(text.contains("pp_steps_count 7"));
+        assert!(text.contains("retries_bucket{series=\"read-sweep\",le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn exposition_roundtrips_through_the_parser() {
+        let original = sample_registry();
+        let text = render_prometheus(&original);
+        let back = parse_prometheus(&text).expect("parses");
+        assert_eq!(back, original);
+        // And the round-trip is a fixed point.
+        assert_eq!(render_prometheus(&back), text);
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let mut r = Registry::new();
+        r.observe("h", "", 1);
+        r.observe("h", "", 1);
+        r.observe("h", "", 4);
+        let text = render_prometheus(&r);
+        assert!(text.contains("h_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("h_bucket{le=\"7\"} 3"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn sanitizes_hostile_names_and_labels() {
+        let mut r = Registry::new();
+        r.counter_add("weird name-with.dots", "va\"l\nue", 1);
+        let text = render_prometheus(&r);
+        assert!(text.contains("weird_name_with_dots"), "{text}");
+        let back = parse_prometheus(&text).expect("parses");
+        assert_eq!(back.counter("weird_name_with_dots", "va\"l\nue"), 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse_prometheus("no_type_line 5").is_err());
+        assert!(parse_prometheus("# TYPE x counter\nx{open=\"v\" 5").is_err());
+        assert!(parse_prometheus("# TYPE x counter\nx not_a_number").is_err());
+        assert!(parse_prometheus("# TYPE h histogram\nh_bucket{le=\"oops\"} 1").is_err());
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let r = Registry::new();
+        assert_eq!(render_prometheus(&r), "");
+        assert_eq!(parse_prometheus("").unwrap(), r);
+    }
+}

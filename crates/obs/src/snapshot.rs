@@ -1,0 +1,215 @@
+//! Versioned JSON metrics snapshot: the machine-readable sibling of the
+//! Prometheus exposition in [`crate::prom`]. One self-describing object,
+//! schema-stamped so downstream consumers can reject records they do not
+//! understand, parseable by the in-crate [`crate::json`] parser.
+//!
+//! Histogram `sum` is serialized as a decimal *string* because it is a
+//! `u128` and would lose precision through the f64 number path.
+
+use crate::json::{self, JsonValue};
+use crate::metrics::{Log2Histogram, Registry};
+use std::fmt::Write as _;
+
+/// Schema tag stamped into every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "stash-metrics/1";
+
+/// Serializes the registry as a single schema-versioned JSON object.
+pub fn write_snapshot(r: &Registry) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"");
+    out.push_str(SNAPSHOT_SCHEMA);
+    out.push_str("\",\"counters\":[");
+    for (i, ((name, label), v)) in r.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_escaped(&mut out, name);
+        out.push_str(",\"label\":");
+        json::write_escaped(&mut out, label);
+        let _ = write!(out, ",\"value\":{v}}}");
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, ((name, label), v)) in r.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_escaped(&mut out, name);
+        out.push_str(",\"label\":");
+        json::write_escaped(&mut out, label);
+        out.push_str(",\"value\":");
+        json::write_num(&mut out, *v);
+        out.push('}');
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, ((name, label), h)) in r.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_escaped(&mut out, name);
+        out.push_str(",\"label\":");
+        json::write_escaped(&mut out, label);
+        let _ = write!(out, ",\"sum\":\"{}\",\"buckets\":[", h.sum());
+        let mut first = true;
+        for (b, &c) in h.bucket_counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{b},{c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a snapshot produced by [`write_snapshot`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: bad JSON, a
+/// missing/unknown schema tag, or malformed entries.
+pub fn parse_snapshot(text: &str) -> Result<Registry, String> {
+    let v = json::parse(text).map_err(|e| format!("snapshot is not valid JSON: {e}"))?;
+    let JsonValue::Obj(obj) = &v else {
+        return Err("snapshot is not a JSON object".into());
+    };
+    match obj.get("schema") {
+        Some(JsonValue::Str(s)) if s == SNAPSHOT_SCHEMA => {}
+        Some(JsonValue::Str(s)) => return Err(format!("unknown snapshot schema {s:?}")),
+        _ => return Err("snapshot is missing its schema tag".into()),
+    }
+    let mut r = Registry::new();
+    for entry in expect_arr(obj.get("counters"), "counters")? {
+        let (name, label, e) = entry_parts(entry, "counter")?;
+        let val = expect_num(e.get("value"), "counter value")?;
+        r.counter_add(&name, &label, val as u64);
+    }
+    for entry in expect_arr(obj.get("gauges"), "gauges")? {
+        let (name, label, e) = entry_parts(entry, "gauge")?;
+        let val = expect_num(e.get("value"), "gauge value")?;
+        r.gauge_set(&name, &label, val);
+    }
+    for entry in expect_arr(obj.get("histograms"), "histograms")? {
+        let (name, label, e) = entry_parts(entry, "histogram")?;
+        let sum: u128 = match e.get("sum") {
+            Some(JsonValue::Str(s)) => {
+                s.parse().map_err(|_| format!("histogram {name:?}: bad sum {s:?}"))?
+            }
+            _ => return Err(format!("histogram {name:?}: sum must be a decimal string")),
+        };
+        let mut buckets = Vec::new();
+        for pair in expect_arr(e.get("buckets"), "histogram buckets")? {
+            let JsonValue::Arr(pair) = pair else {
+                return Err(format!("histogram {name:?}: bucket entry is not a pair"));
+            };
+            if pair.len() != 2 {
+                return Err(format!("histogram {name:?}: bucket entry is not a pair"));
+            }
+            let b = expect_num(pair.first(), "bucket index")? as usize;
+            let c = expect_num(pair.get(1), "bucket count")? as u64;
+            if b >= crate::metrics::LOG2_BUCKETS {
+                return Err(format!("histogram {name:?}: bucket index {b} out of range"));
+            }
+            buckets.push((b, c));
+        }
+        r.histogram_set(&name, &label, Log2Histogram::from_bucket_counts(&buckets, sum));
+    }
+    Ok(r)
+}
+
+fn expect_arr<'a>(v: Option<&'a JsonValue>, what: &str) -> Result<&'a [JsonValue], String> {
+    match v {
+        Some(JsonValue::Arr(a)) => Ok(a),
+        _ => Err(format!("snapshot {what} is missing or not an array")),
+    }
+}
+
+fn expect_num(v: Option<&JsonValue>, what: &str) -> Result<f64, String> {
+    match v {
+        Some(JsonValue::Num(n)) => Ok(*n),
+        _ => Err(format!("{what} is missing or not a number")),
+    }
+}
+
+/// Pulls the shared `name`/`label` fields off a series entry.
+fn entry_parts<'a>(
+    entry: &'a JsonValue,
+    what: &str,
+) -> Result<(String, String, &'a std::collections::BTreeMap<String, JsonValue>), String> {
+    let JsonValue::Obj(e) = entry else {
+        return Err(format!("{what} entry is not an object"));
+    };
+    let name = match e.get("name") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        _ => return Err(format!("{what} entry is missing its name")),
+    };
+    let label = match e.get("label") {
+        Some(JsonValue::Str(s)) => s.clone(),
+        _ => return Err(format!("{what} entry is missing its label")),
+    };
+    Ok((name, label, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("ops", "program", 41);
+        r.counter_add("ops", "read", 1000);
+        r.gauge_set("health_ber_margin", "", 0.96875);
+        r.gauge_set("free_blocks", "pool-a", 12.0);
+        for v in [0u64, 2, 5, 5, 1 << 40] {
+            r.observe("latency_us", "", v);
+        }
+        r
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let original = sample_registry();
+        let text = write_snapshot(&original);
+        let back = parse_snapshot(&text).expect("parses");
+        assert_eq!(back, original);
+        assert_eq!(write_snapshot(&back), text);
+    }
+
+    #[test]
+    fn snapshot_is_schema_stamped() {
+        let text = write_snapshot(&Registry::new());
+        let v = json::parse(&text).expect("valid JSON");
+        let JsonValue::Obj(obj) = v else { panic!("not an object") };
+        assert_eq!(obj.get("schema"), Some(&JsonValue::Str(SNAPSHOT_SCHEMA.into())));
+    }
+
+    #[test]
+    fn huge_histogram_sums_survive_exactly() {
+        let mut r = Registry::new();
+        // A sum that would lose precision as an f64.
+        for _ in 0..3 {
+            r.observe("big", "", u64::MAX);
+        }
+        let back = parse_snapshot(&write_snapshot(&r)).expect("parses");
+        assert_eq!(back, r);
+        let h = back.histogram("big", "").expect("series survives");
+        assert_eq!(h.sum(), 3 * u64::MAX as u128);
+    }
+
+    #[test]
+    fn rejects_wrong_or_missing_schema() {
+        assert!(parse_snapshot("{}").is_err());
+        assert!(parse_snapshot(
+            "{\"schema\":\"stash-metrics/999\",\"counters\":[],\"gauges\":[],\"histograms\":[]}"
+        )
+        .is_err());
+        assert!(parse_snapshot("not json").is_err());
+    }
+}

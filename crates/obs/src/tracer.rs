@@ -276,6 +276,13 @@ impl Tracer {
         self.inner.lock().expect("tracer lock").clock_us
     }
 
+    /// A point-in-time copy of the tracer's metrics registry, ready to
+    /// merge ([`Registry::merge`]) with other registries or hand to the
+    /// Prometheus/snapshot exporters.
+    pub fn registry(&self) -> Registry {
+        self.inner.lock().expect("tracer lock").metrics.clone()
+    }
+
     /// Snapshots the whole trace for export.
     pub fn report(&self) -> TraceReport {
         let inner = self.inner.lock().expect("tracer lock");

@@ -26,4 +26,4 @@
 
 mod volume;
 
-pub use volume::{HiddenVolume, RecoveryReport, StegoConfig, StegoError};
+pub use volume::{HiddenHealth, HiddenVolume, RecoveryReport, StegoConfig, StegoError};

@@ -158,6 +158,37 @@ pub struct RecoveryReport {
     pub capacity_lost: usize,
 }
 
+/// A read-only health census of the hidden slot space, produced by
+/// [`HiddenVolume::health_probe`]. Everything a health monitor needs to
+/// compute the live BER margin and capacity-reserve gauges without
+/// mutating the volume (no refresh, no parity rebuild, no write-off).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HiddenHealth {
+    /// Slots whose hidden payload decoded (directly, tags intact).
+    pub slots_present: usize,
+    /// Slots never written (no hidden payload).
+    pub slots_empty: usize,
+    /// Slots that failed to decode on this probe (tag failure or beyond
+    /// ECC) — scrub, not the probe, decides their fate.
+    pub slots_failed: usize,
+    /// ECC corrections summed over all decoded slots.
+    pub corrected_bits_total: usize,
+    /// Worst single-slot ECC correction count — the live BER headroom is
+    /// `correctable_bits_per_slot - corrected_bits_max`.
+    pub corrected_bits_max: usize,
+    /// Correction ceiling per slot under the volume's ECC configuration
+    /// (0 in raw mode).
+    pub correctable_bits_per_slot: usize,
+    /// Data slots the volume was formatted with.
+    pub data_slots: usize,
+    /// Data slots still advertised (formatted minus written off).
+    pub advertised_slots: usize,
+    /// Data slots written off by scrub so far.
+    pub lost_capacity_slots: usize,
+    /// Parity slots backing the data slots.
+    pub parity_slots: usize,
+}
+
 /// A mounted hidden volume: the public block device plus the keyed hidden
 /// slot space inside it.
 ///
@@ -640,6 +671,52 @@ impl<D: NandDevice> HiddenVolume<D> {
         Ok(report)
     }
 
+    /// Health-reads every slot without repairing anything: counts decoded /
+    /// empty / failing slots and the ECC corrections the decodes needed.
+    /// Unlike [`scrub`](Self::scrub) this never refreshes, rebuilds or
+    /// writes off capacity, so it is safe to run on any cadence — the
+    /// telemetry layer samples it for the live BER-margin and
+    /// capacity-reserve gauges.
+    ///
+    /// # Errors
+    ///
+    /// Fails on FTL/flash errors only; per-slot decode failures are
+    /// tallied in [`HiddenHealth::slots_failed`], not fatal.
+    pub fn health_probe(&mut self) -> Result<HiddenHealth, StegoError> {
+        let _probe = span!(self.tracer, "health_probe");
+        let mut h = HiddenHealth {
+            correctable_bits_per_slot: self.cfg.vthi.correctable_bits_per_page(),
+            data_slots: self.data_slots,
+            advertised_slots: self.advertised_slot_count(),
+            lost_capacity_slots: self.lost_capacity,
+            parity_slots: self.cache.len() - self.data_slots,
+            ..HiddenHealth::default()
+        };
+        for slot in 0..self.cache.len() {
+            if self.ftl.physical_of(self.slot_lpn[slot]).is_none() {
+                h.slots_empty += 1;
+                continue;
+            }
+            match self.try_decode_slot_counting(slot) {
+                Ok(None) => h.slots_empty += 1,
+                Ok(Some((_, corrected))) => {
+                    h.slots_present += 1;
+                    h.corrected_bits_total += corrected;
+                    h.corrected_bits_max = h.corrected_bits_max.max(corrected);
+                }
+                Err(StegoError::Hide(
+                    HideError::Unrecoverable { .. } | HideError::NeedsRecovery,
+                )) => h.slots_failed += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(t) = &self.tracer {
+            t.counter_add("health_probes", "", 1);
+            t.gauge_set("health_slot_corrected_max", "", h.corrected_bits_max as f64);
+        }
+        Ok(h)
+    }
+
     // ---- internals --------------------------------------------------------
 
     /// Rewrites a slot's public page (getting fresh cells to charge) and
@@ -844,6 +921,42 @@ mod tests {
         assert_eq!(vol.read_hidden(0).unwrap().unwrap(), secret);
         // Slot 1 shares slot 0's parity group: initialized to zeros.
         assert_eq!(vol.read_hidden(1).unwrap(), Some(vec![0u8; vol.slot_bytes()]));
+    }
+
+    #[test]
+    fn health_probe_counts_without_repairing() {
+        let ftl = make_ftl(7);
+        let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        let mut vol = HiddenVolume::format(ftl, key(), cfg, 6).unwrap();
+        let cap = vol.ftl().capacity_pages();
+        fill_public(&mut vol, cap, 12);
+        for i in 0..3usize {
+            vol.write_hidden(i, &vec![i as u8 + 1; vol.slot_bytes()]).unwrap();
+        }
+
+        let h = vol.health_probe().unwrap();
+        assert_eq!(h.data_slots, 6);
+        assert_eq!(h.advertised_slots, 6);
+        assert_eq!(h.lost_capacity_slots, 0);
+        // Writing slots 0..3 also materialized their groups' parity slots
+        // and zero-initialized their groupmates; nothing should fail.
+        assert_eq!(h.slots_failed, 0);
+        assert!(h.slots_present >= 3, "at least the written slots decode: {h:?}");
+        assert_eq!(
+            h.slots_present + h.slots_empty,
+            6 + h.parity_slots,
+            "every slot is accounted: {h:?}"
+        );
+        assert_eq!(h.correctable_bits_per_slot, vol.cfg.vthi.correctable_bits_per_page());
+        assert!(h.corrected_bits_max <= h.correctable_bits_per_slot, "{h:?}");
+        assert!(h.corrected_bits_total >= h.corrected_bits_max);
+
+        // Probing is read-only: a second probe sees the same census and the
+        // payloads still read back.
+        assert_eq!(vol.health_probe().unwrap(), h);
+        for i in 0..3usize {
+            assert_eq!(vol.read_hidden(i).unwrap().unwrap(), vec![i as u8 + 1; vol.slot_bytes()]);
+        }
     }
 
     #[test]

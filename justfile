@@ -15,6 +15,7 @@ ci:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
     just bench-smoke
     just crash-smoke
+    just bench-compare
 
 # Bench smoke: table1 + fig6 on a scaled geometry (scratch dir, so the
 # committed full-geometry results/ artifacts stay untouched), then check
@@ -35,6 +36,31 @@ crash-smoke:
     rm -rf target/crash-smoke && mkdir -p target/crash-smoke
     cd target/crash-smoke && STASH_CRASH_TARGET=64 ../release/crashpoints > /dev/null
     ./target/release/bench_check target/crash-smoke/results/BENCH_crashpoints.json
+
+# Regression sentinel: re-run the deterministic trio (table1 + fig6 on the
+# scaled geometry, chaos at full size) into a scratch dir, validate the
+# artifacts and the run history, then diff every deterministic metric
+# against the committed baseline within its tolerance band. Exits non-zero
+# on any drift — this is the CI gate against silent metric regressions.
+bench-compare:
+    cargo build --release -p stash-bench --bins
+    rm -rf target/bench-compare && mkdir -p target/bench-compare
+    cd target/bench-compare && STASH_PAGE_BYTES=1024 STASH_SAMPLES=2 ../release/table1 > /dev/null
+    cd target/bench-compare && STASH_PAGE_BYTES=1024 ../release/fig6 > /dev/null
+    cd target/bench-compare && ../release/chaos > /dev/null
+    ./target/release/bench_check target/bench-compare/results/BENCH_table1.json target/bench-compare/results/BENCH_fig6.json target/bench-compare/results/BENCH_chaos.json target/bench-compare/results/HISTORY.jsonl
+    ./target/release/bench_compare results/BASELINE.json target/bench-compare/results/BENCH_table1.json target/bench-compare/results/BENCH_fig6.json target/bench-compare/results/BENCH_chaos.json
+
+# Refresh the committed baseline from a fresh run of the same trio. Run
+# this (and commit results/BASELINE.json) after an intentional metric
+# change; `just bench-compare` then gates against the new values.
+baseline:
+    cargo build --release -p stash-bench --bins
+    rm -rf target/bench-compare && mkdir -p target/bench-compare
+    cd target/bench-compare && STASH_PAGE_BYTES=1024 STASH_SAMPLES=2 ../release/table1 > /dev/null
+    cd target/bench-compare && STASH_PAGE_BYTES=1024 ../release/fig6 > /dev/null
+    cd target/bench-compare && ../release/chaos > /dev/null
+    ./target/release/bench_compare --write-baseline results/BASELINE.json target/bench-compare/results/BENCH_table1.json target/bench-compare/results/BENCH_fig6.json target/bench-compare/results/BENCH_chaos.json
 
 # Fast edit loop: tier-1 integration suites only (root package).
 test:

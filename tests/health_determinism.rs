@@ -1,0 +1,83 @@
+//! Thread-count invariance of the telemetry pipeline, end to end: shard a
+//! real chip workload across the `stash-par` pool at 1 and 8 threads,
+//! merge the per-shard registries in input order, feed the per-shard
+//! health samples to one [`HealthMonitor`], and require the Prometheus
+//! exposition and the JSON metrics snapshot to come out byte-identical.
+//!
+//! This is the contract `bench_compare` and the bench-history trajectory
+//! rest on: every deterministic metric must be a pure function of the
+//! seeds, never of scheduling.
+
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, NandDevice, PageId};
+use stash_obs::{render_prometheus, write_snapshot, HealthMonitor, HealthSample, Registry, Tracer};
+
+/// One shard: a seeded chip workload traced into a private registry, plus
+/// the health sample its wear accounting yields.
+fn run_shard(seed: u64) -> (Registry, HealthSample) {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 8, pages_per_block: 4, page_bytes: 512 };
+    let mut chip = stash_flash::TraceDevice::new(Chip::new(profile, seed));
+    let tracer = Tracer::shared();
+    chip.set_recorder(Some(tracer.clone()));
+
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    let cpp = chip.geometry().cells_per_page();
+    for b in 0..chip.geometry().blocks_per_chip {
+        chip.cycle_block(BlockId(b), (seed as u32 % 7) * (b + 1)).expect("cycle");
+        chip.erase_block(BlockId(b)).expect("erase");
+        for p in 0..2 {
+            let data = BitPattern::random_half(&mut rng, cpp);
+            chip.program_page(PageId::new(BlockId(b), p), &data).expect("program");
+        }
+    }
+    tracer.counter_add("shard_pages_programmed", &format!("seed{seed}"), 16);
+    tracer.gauge_set("shard_seed", &format!("seed{seed}"), seed as f64);
+
+    let wear = chip.wear_summary();
+    let sample = HealthSample {
+        per_block_pec: wear.per_block_pec,
+        grown_bad_blocks: u64::from(wear.grown_bad_blocks),
+        journal_depth: seed * 3,
+        retired_blocks: 0,
+        free_blocks: 2,
+        corrected_bits_max: seed % 3,
+        correctable_bits_per_slot: 8,
+        advertised_slots: 4,
+        data_slots: 4,
+        parity_slots: 1,
+        lost_capacity_slots: 0,
+        detect_accuracy: Some(0.5 + (seed as f64) / 100.0),
+        meter: chip.meter(),
+    };
+    (tracer.registry(), sample)
+}
+
+/// Runs the sharded pipeline at the given thread count and renders both
+/// export formats of the merged registry.
+fn pipeline(threads: usize) -> (String, String) {
+    let seeds: Vec<u64> = (1..=8).collect();
+    let shards = stash_par::par_map_threads(threads, seeds, |_, seed| run_shard(seed));
+
+    let mut monitor = HealthMonitor::default();
+    let mut merged = Registry::new();
+    for (registry, sample) in &shards {
+        merged.merge(registry);
+        monitor.observe(sample);
+    }
+    merged.merge(monitor.registry());
+    (render_prometheus(&merged), write_snapshot(&merged))
+}
+
+#[test]
+fn health_registry_is_thread_count_invariant() {
+    let (prom_1, snap_1) = pipeline(1);
+    let (prom_8, snap_8) = pipeline(8);
+    assert_eq!(prom_1, prom_8, "Prometheus exposition must not depend on scheduling");
+    assert_eq!(snap_1, snap_8, "metrics snapshot must not depend on scheduling");
+
+    // The merged output is also a fixed point of its own parsers.
+    let back = stash_obs::parse_prometheus(&prom_1).expect("exposition parses");
+    assert_eq!(render_prometheus(&back), prom_1);
+    let back = stash_obs::parse_snapshot(&snap_1).expect("snapshot parses");
+    assert_eq!(write_snapshot(&back), snap_1);
+}
