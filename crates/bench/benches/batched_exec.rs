@@ -1,0 +1,101 @@
+//! Batched-execution kernel costs on a full-size (18048-byte) page: the
+//! planned `exec` path and the fused multi-vref sweep against their scalar
+//! equivalents, plus bulk Box–Muller noise against per-sample draws. The
+//! batched and scalar variants produce byte-identical results (see
+//! `tests/backend_parity.rs`); these benches pin how much host time the
+//! batching actually saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::SmallRng, SeedableRng};
+use stash_flash::noise::Gaussian;
+use stash_flash::rng::ChipRng;
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, Geometry, NandCmd, NandDevice, PageId};
+use std::hint::black_box;
+
+const VREFS: [u8; 8] = [90, 100, 110, 120, 125, 130, 140, 150];
+
+fn chip() -> Chip {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 8, pages_per_block: 16, page_bytes: 18048 };
+    Chip::new(profile, 5)
+}
+
+fn programmed_chip(rng: &mut SmallRng) -> (Chip, PageId) {
+    let mut chip = chip();
+    let cpp = chip.geometry().cells_per_page();
+    let data = BitPattern::random_half(rng, cpp);
+    chip.erase_block(BlockId(0)).unwrap();
+    let page = PageId::new(BlockId(0), 0);
+    chip.program_page(page, &data).unwrap();
+    (chip, page)
+}
+
+fn batched_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_exec_18k_page");
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    // Scalar baseline: eight shifted reads, one trait call each, a fresh
+    // `BitPattern` allocated per read.
+    group.bench_function("sweep_scalar_8_vrefs", |b| {
+        let (mut chip, page) = programmed_chip(&mut rng);
+        b.iter(|| {
+            for v in VREFS {
+                black_box(chip.read_page_shifted(page, v).unwrap());
+            }
+        });
+    });
+
+    // The fused sweep: per-page context materialized once, one noise draw
+    // per (cell, vref) in the exact scalar order.
+    group.bench_function("sweep_fused_8_vrefs", |b| {
+        let (mut chip, page) = programmed_chip(&mut rng);
+        b.iter(|| black_box(chip.read_page_sweep(page, &VREFS).unwrap()));
+    });
+
+    // The same run expressed as a command batch through the planning
+    // `exec`: the planner groups the same-page reads itself.
+    group.bench_function("exec_read_run_8_vrefs", |b| {
+        let (mut chip, page) = programmed_chip(&mut rng);
+        let cmds: Vec<NandCmd> = VREFS.iter().map(|&v| NandCmd::ReadPageShifted(page, v)).collect();
+        b.iter(|| black_box(chip.exec(&cmds)));
+    });
+
+    group.finish();
+
+    // The Box–Muller kernel behind every voltage-noise draw: chunked
+    // `Gaussian::fill` against the one-at-a-time sampler it replaced on
+    // the hot paths (identical draw stream, see noise.rs tests).
+    let mut group = c.benchmark_group("gaussian_noise");
+    const N: usize = 18048 * 8 / 8; // one 18 KB page's cells, one word per bit
+
+    group.bench_function("per_sample_18k_cells", |b| {
+        let mut gauss = Gaussian::new();
+        let mut rng = ChipRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for _ in 0..N {
+                acc += gauss.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("bulk_fill_18k_cells", |b| {
+        let mut gauss = Gaussian::new();
+        let mut rng = ChipRng::seed_from_u64(7);
+        let mut scratch = vec![0.0f64; N];
+        b.iter(|| {
+            gauss.fill(&mut rng, &mut scratch);
+            black_box(scratch[N - 1])
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = batched_exec
+}
+criterion_main!(benches);

@@ -36,10 +36,12 @@ fn main() {
     let mut natural = Histogram::new();
     {
         let mut chip = Chip::new(profile.clone(), 4000);
+        let mut levels = Vec::new();
         for b in 0..BLOCKS {
             let publics = fill_block(&mut chip, BlockId(b), &mut r);
             for (p, public) in publics.iter().enumerate() {
-                let levels = chip.probe_voltages(PageId::new(BlockId(b), p as u32)).expect("probe");
+                chip.probe_voltages_into(PageId::new(BlockId(b), p as u32), &mut levels)
+                    .expect("probe");
                 for (i, &l) in levels.iter().enumerate() {
                     if public.get(i) {
                         natural.add_levels(&[l]);

@@ -1,0 +1,117 @@
+//! Batched-vs-scalar speedup sentinel: runs the decode-heavy sweep-read
+//! workload once through the scalar trait surface and once as command
+//! batches through the planning `exec`, proves the outputs byte-identical,
+//! and records both walls plus the speedup ratio into
+//! `results/BENCH_batch_speedup.json` / `results/HISTORY.jsonl`.
+//!
+//! The workload mirrors what `Hider::reveal_block` and the recovery sweep
+//! issue: for every hidden-bearing page, a plain read plus a run of
+//! shifted reads at neighbouring references. `STASH_PAGE_BYTES` scales the
+//! geometry for smoke runs exactly as in the other bench binaries.
+
+use stash_bench::{fill_block, rng, short_block_geometry, BenchMeter};
+use stash_flash::{BitPattern, BlockId, Chip, ChipProfile, NandCmd, NandDevice, PageId};
+
+const BLOCKS: u32 = 4;
+const VREFS: [u8; 6] = [105, 110, 115, 120, 125, 130];
+
+fn chip() -> Chip {
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = short_block_geometry();
+    Chip::new(profile, 77)
+}
+
+/// FNV-1a over a bit pattern.
+fn digest(mut h: u64, bits: &BitPattern) -> u64 {
+    for &byte in bits.as_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Programs the workload's blocks; identical for both runs.
+fn prepare(chip: &mut Chip) {
+    let mut r = rng(9);
+    for b in 0..BLOCKS {
+        fill_block(chip, BlockId(b), &mut r);
+    }
+}
+
+/// The scalar reference: one trait call per read.
+fn run_scalar(chip: &mut Chip) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let pages = chip.geometry().pages_per_block;
+    for b in 0..BLOCKS {
+        for p in 0..pages {
+            let page = PageId::new(BlockId(b), p);
+            h = digest(h, &chip.read_page(page).expect("read"));
+            for &v in &VREFS {
+                h = digest(h, &chip.read_page_shifted(page, v).expect("shifted read"));
+            }
+        }
+    }
+    h
+}
+
+/// The same reads expressed as one command batch per block through the
+/// planning `exec`.
+fn run_batched(chip: &mut Chip) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let pages = chip.geometry().pages_per_block;
+    for b in 0..BLOCKS {
+        let mut cmds = Vec::with_capacity(pages as usize * (1 + VREFS.len()));
+        for p in 0..pages {
+            let page = PageId::new(BlockId(b), p);
+            cmds.push(NandCmd::ReadPage(page));
+            for &v in &VREFS {
+                cmds.push(NandCmd::ReadPageShifted(page, v));
+            }
+        }
+        for result in chip.exec(&cmds) {
+            match result {
+                stash_flash::CmdResult::Bits(bits) => h = digest(h, &bits.expect("read")),
+                other => unreachable!("read workload produced {other:?}"),
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let mut meter = BenchMeter::start("batch_speedup");
+
+    // Scalar pass on its own chip sample.
+    let mut scalar_chip = chip();
+    prepare(&mut scalar_chip);
+    let t = std::time::Instant::now();
+    let scalar_digest = run_scalar(&mut scalar_chip);
+    let scalar_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Batched pass on an identically-seeded sample: must match bit for bit.
+    let mut batch_chip = chip();
+    prepare(&mut batch_chip);
+    let t = std::time::Instant::now();
+    let batch_digest = run_batched(&mut batch_chip);
+    let batch_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        scalar_digest, batch_digest,
+        "batched exec diverged from scalar dispatch — the speedup would be meaningless"
+    );
+    assert_eq!(scalar_chip.meter(), batch_chip.meter(), "batched exec billed differently");
+
+    let reads = u64::from(BLOCKS)
+        * u64::from(scalar_chip.geometry().pages_per_block)
+        * (1 + VREFS.len() as u64);
+    meter.record("reads", reads as f64);
+    meter.record("digest_lo32", (scalar_digest & 0xffff_ffff) as f64);
+    meter.record_snapshot(&scalar_chip.meter());
+    meter.record_wall("scalar_ms", (scalar_ms * 1e3).round() / 1e3);
+    meter.record_wall("batched_ms", (batch_ms * 1e3).round() / 1e3);
+    meter.record_wall("speedup", (scalar_ms / batch_ms * 1e3).round() / 1e3);
+    println!(
+        "batch_speedup: {reads} reads, scalar {scalar_ms:.1} ms, batched {batch_ms:.1} ms, {:.2}x",
+        scalar_ms / batch_ms
+    );
+    meter.finish();
+}

@@ -28,7 +28,8 @@ fn main() {
         block_programmed.push(programmed);
 
         // Page-level: one mid-block page.
-        let levels = chip.probe_voltages(PageId::new(BlockId(0), 8)).expect("probe");
+        let mut levels = Vec::new();
+        chip.probe_voltages_into(PageId::new(BlockId(0), 8), &mut levels).expect("probe");
         let mut pe = Histogram::new();
         let mut pp = Histogram::new();
         for (i, &l) in levels.iter().enumerate() {

@@ -24,7 +24,9 @@ fn snapshot(chip: &Chip) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     for b in 0..g.blocks_per_chip {
         for p in 0..g.pages_per_block {
-            out.push(copy.probe_voltages(PageId::new(BlockId(b), p)).unwrap());
+            let mut levels = Vec::new();
+            copy.probe_voltages_into(PageId::new(BlockId(b), p), &mut levels).unwrap();
+            out.push(levels);
         }
     }
     out

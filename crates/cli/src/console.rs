@@ -226,7 +226,8 @@ impl Console {
 
     fn cmd_probe(&mut self, args: &[&str]) -> Result<(), String> {
         let page = self.parse_page(args)?;
-        let levels = self.chip.probe_voltages(page).map_err(|e| e.to_string())?;
+        let mut levels = Vec::new();
+        self.chip.probe_voltages_into(page, &mut levels).map_err(|e| e.to_string())?;
         let h = Histogram::from_levels(&levels);
         println!(
             "probe {page}: mean {:.2}, sd {:.2}, >=Vth({}) {:.3}%, >=127 {:.3}%",
@@ -244,8 +245,12 @@ impl Console {
         let lo: u8 = args.get(1).unwrap_or(&"0").parse().map_err(|_| "bad lo".to_owned())?;
         let hi: u8 = args.get(2).unwrap_or(&"80").parse().map_err(|_| "bad hi".to_owned())?;
         let mut h = Histogram::new();
+        let mut levels = Vec::new();
         for p in 0..self.chip.geometry().pages_per_block {
-            h.add_levels(&self.chip.probe_voltages(PageId::new(b, p)).map_err(|e| e.to_string())?);
+            self.chip
+                .probe_voltages_into(PageId::new(b, p), &mut levels)
+                .map_err(|e| e.to_string())?;
+            h.add_levels(&levels);
         }
         let max = (lo..=hi).map(|l| h.pct(l)).fold(0.0f64, f64::max).max(1e-9);
         for level in lo..=hi {
@@ -625,10 +630,13 @@ impl Console {
         let cap = vol.ftl().capacity_pages();
         let clean_lpns: Vec<u64> =
             (0..cap).filter(|l| !slot_lpns.contains(l)).take(slot_lpns.len()).collect();
+        let mut levels = Vec::new();
         let mut hist_of = |lpn: u64| -> Result<Vec<f64>, String> {
             let page = vol.ftl().physical_of(lpn).ok_or(format!("lpn {lpn} unmapped"))?;
-            let levels =
-                vol.ftl_mut().chip_mut().probe_voltages(page).map_err(|e| e.to_string())?;
+            vol.ftl_mut()
+                .chip_mut()
+                .probe_voltages_into(page, &mut levels)
+                .map_err(|e| e.to_string())?;
             let mut hist = vec![0.0f64; 32];
             for &v in &levels {
                 hist[(v as usize) / 8] += 1.0;

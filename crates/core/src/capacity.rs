@@ -38,7 +38,8 @@ impl PageCapacity {
         public: &BitPattern,
         vth: Level,
     ) -> stash_flash::Result<PageCapacity> {
-        let levels = chip.probe_voltages(page)?;
+        let mut levels = Vec::new();
+        chip.probe_voltages_into(page, &mut levels)?;
         let mut erased_cells = 0usize;
         let mut naturally_above = 0usize;
         for (i, &level) in levels.iter().enumerate() {

@@ -6,7 +6,9 @@ use crate::payload::{decode_payload, encode_payload};
 use crate::recovery::{offset_level, RetryPolicy};
 use crate::select::{page_stream_id, select_hidden_cells, SelectionMode};
 use stash_crypto::HidingKey;
-use stash_flash::{BitErrorStats, BitPattern, BlockId, Chip, Level, NandDevice, PageId};
+use stash_flash::{
+    BitErrorStats, BitPattern, BlockId, Chip, CmdResult, Level, NandCmd, NandDevice, PageId,
+};
 use stash_obs::{span, Tracer};
 use std::sync::Arc;
 
@@ -52,6 +54,11 @@ pub struct Hider<'c, D: NandDevice = Chip> {
     mode: SelectionMode,
     retry: RetryPolicy,
     tracer: Option<Arc<Tracer>>,
+    /// Reusable buffer for verify/BER reads: the PP loop reads the same
+    /// page dozens of times, so steady-state encode allocates nothing.
+    read_scratch: BitPattern,
+    /// Reusable PP-mask buffer, same lifecycle as `read_scratch`.
+    mask_scratch: BitPattern,
 }
 
 impl<'c, D: NandDevice> Hider<'c, D> {
@@ -65,6 +72,8 @@ impl<'c, D: NandDevice> Hider<'c, D> {
             mode: SelectionMode::OnesIndexed,
             retry: RetryPolicy::none(),
             tracer: None,
+            read_scratch: BitPattern::zeros(0),
+            mask_scratch: BitPattern::zeros(0),
         }
     }
 
@@ -214,9 +223,14 @@ impl<'c, D: NandDevice> Hider<'c, D> {
             cells,
         };
 
+        // The PP mask lives outside `self` for the duration of the loop so
+        // `with_retries` (which borrows the whole hider) can run while the
+        // mask is borrowed; it returns to the scratch slot on the way out.
+        let mut mask = std::mem::replace(&mut self.mask_scratch, BitPattern::zeros(0));
+
         if self.cfg.use_fine_pp {
             // Vendor-support path (§6.2): one controller-grade fine step.
-            let mut mask = BitPattern::zeros(cpp);
+            mask.reset_zeros(cpp);
             for &c in &zero_cells {
                 mask.set(c, true);
             }
@@ -225,6 +239,7 @@ impl<'c, D: NandDevice> Hider<'c, D> {
                 let _pp = span!(self.tracer, "pp_step", "fine");
                 self.with_retries(|chip| chip.fine_partial_program(page, &mask, vth))?;
             }
+            self.mask_scratch = mask;
             report.pp_steps = 1;
             if track_steps {
                 let ber = self.measure_raw_ber(page, &report)?;
@@ -238,16 +253,17 @@ impl<'c, D: NandDevice> Hider<'c, D> {
         // hidden '0' cells still below Vth, repeat.
         let mut below: Vec<usize> = zero_cells;
         for _ in 0..self.cfg.max_pp_steps {
-            let shifted = {
+            {
                 let _verify = span!(self.tracer, "verify_read");
-                self.chip.read_page_shifted(page, self.cfg.vth)?
-            };
+                self.chip.read_page_shifted_into(page, self.cfg.vth, &mut self.read_scratch)?;
+            }
+            let shifted = &self.read_scratch;
             below.retain(|&c| shifted.get(c)); // bit 1 ⇒ still below Vth
             if below.is_empty() && !track_steps {
                 break;
             }
             if !below.is_empty() {
-                let mut mask = BitPattern::zeros(cpp);
+                mask.reset_zeros(cpp);
                 for &c in &below {
                     mask.set(c, true);
                 }
@@ -263,11 +279,13 @@ impl<'c, D: NandDevice> Hider<'c, D> {
                 }
             }
         }
+        self.mask_scratch = mask;
         // Final accounting read for stragglers.
-        let shifted = {
+        {
             let _verify = span!(self.tracer, "verify_read");
-            self.chip.read_page_shifted(page, self.cfg.vth)?
-        };
+            self.chip.read_page_shifted_into(page, self.cfg.vth, &mut self.read_scratch)?;
+        }
+        let shifted = &self.read_scratch;
         report.stragglers = report
             .cells
             .iter()
@@ -447,10 +465,44 @@ impl<'c, D: NandDevice> Hider<'c, D> {
         let per_page = self.cfg.payload_bytes_per_page();
         let stride = self.cfg.page_stride();
         let pages = payload_len.div_ceil(per_page);
+        if !self.retry.vth_sweep.is_empty() {
+            // Recovery sweeps re-read adaptively per page; keep per-page
+            // dispatch so each decode can stop sweeping as soon as it wins.
+            let mut out = Vec::with_capacity(pages * per_page);
+            for i in 0..pages {
+                let page = PageId::new(block, i as u32 * stride);
+                out.extend(self.reveal_page(page, None)?);
+            }
+            out.truncate(payload_len);
+            return Ok(out);
+        }
+        // One batch for the whole block: each hidden page contributes its
+        // public read and its shifted decode read back to back, so the
+        // backend materializes per-page state once for both.
+        let vth = self.cfg.vth;
+        let cmds: Vec<NandCmd> = (0..pages)
+            .flat_map(|i| {
+                let page = PageId::new(block, i as u32 * stride);
+                [NandCmd::ReadPage(page), NandCmd::ReadPageShifted(page, vth)]
+            })
+            .collect();
+        let mut results = self.chip.exec(&cmds).into_iter();
+        let geometry = *self.chip.geometry();
         let mut out = Vec::with_capacity(pages * per_page);
         for i in 0..pages {
             let page = PageId::new(block, i as u32 * stride);
-            out.extend(self.reveal_page(page, None)?);
+            let _decode = span!(self.tracer, "decode_page", "page={page}");
+            let public = match results.next() {
+                Some(CmdResult::Bits(r)) => r?,
+                _ => unreachable!("ReadPage returns Bits"),
+            };
+            let shifted = match results.next() {
+                Some(CmdResult::Bits(r)) => r?,
+                _ => unreachable!("ReadPageShifted returns Bits"),
+            };
+            let bits = self.hidden_bits_from(page, &public, &shifted)?;
+            let stream = page_stream_id(&geometry, page);
+            out.extend(decode_payload(&self.key, &self.cfg, stream, &bits)?);
         }
         out.truncate(payload_len);
         Ok(out)
@@ -480,15 +532,44 @@ impl<'c, D: NandDevice> Hider<'c, D> {
         public: Option<&BitPattern>,
         vref: Level,
     ) -> crate::Result<Vec<bool>> {
-        let geometry = *self.chip.geometry();
-        let owned;
-        let public = match public {
-            Some(p) => p,
-            None => {
-                owned = self.chip.read_page(page)?;
-                &owned
+        match public {
+            Some(public) => {
+                // The single decode read (paper: "Decoding hidden data ...
+                // requires only a single read operation following a voltage
+                // reference shift command").
+                let shifted = self.chip.read_page_shifted(page, vref)?;
+                self.hidden_bits_from(page, public, &shifted)
             }
-        };
+            None => {
+                // The public read and the shifted decode read hit the same
+                // page back to back: one batch lets the backend materialize
+                // page state once for both.
+                let mut results = self
+                    .chip
+                    .exec(&[NandCmd::ReadPage(page), NandCmd::ReadPageShifted(page, vref)])
+                    .into_iter();
+                let public = match results.next() {
+                    Some(CmdResult::Bits(r)) => r?,
+                    _ => unreachable!("ReadPage returns Bits"),
+                };
+                let shifted = match results.next() {
+                    Some(CmdResult::Bits(r)) => r?,
+                    _ => unreachable!("ReadPageShifted returns Bits"),
+                };
+                self.hidden_bits_from(page, &public, &shifted)
+            }
+        }
+    }
+
+    /// Maps a page's public pattern and shifted read to its hidden cell
+    /// bits, re-deriving the cell selection from the public data.
+    fn hidden_bits_from(
+        &self,
+        page: PageId,
+        public: &BitPattern,
+        shifted: &BitPattern,
+    ) -> crate::Result<Vec<bool>> {
+        let geometry = *self.chip.geometry();
         let cells = select_hidden_cells(
             &self.key,
             &geometry,
@@ -501,11 +582,6 @@ impl<'c, D: NandDevice> Hider<'c, D> {
             needed: self.cfg.used_bits_per_page(),
             available: public.count_ones(),
         })?;
-
-        // The single decode read (paper: "Decoding hidden data ... requires
-        // only a single read operation following a voltage reference shift
-        // command").
-        let shifted = self.chip.read_page_shifted(page, vref)?;
         Ok(cells.iter().map(|&c| shifted.get(c)).collect())
     }
 
@@ -520,7 +596,8 @@ impl<'c, D: NandDevice> Hider<'c, D> {
         report: &PageEncodeReport,
     ) -> crate::Result<BitErrorStats> {
         let _probe = span!(self.tracer, "ber_probe");
-        let shifted = self.chip.read_page_shifted(page, self.cfg.vth)?;
+        self.chip.read_page_shifted_into(page, self.cfg.vth, &mut self.read_scratch)?;
+        let shifted = &self.read_scratch;
         let mut errors = 0u64;
         for (&c, &bit) in report.cells.iter().zip(&report.stored_bits) {
             if shifted.get(c) != bit {

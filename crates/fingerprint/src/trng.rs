@@ -17,13 +17,16 @@ pub struct FlashTrng<'c, D: NandDevice = Chip> {
     block: BlockId,
     next_page: u32,
     pool: Vec<u8>,
+    /// Probe buffer reused across harvests (one allocation per TRNG, not
+    /// one per harvested page).
+    levels: Vec<stash_flash::Level>,
 }
 
 impl<'c, D: NandDevice> FlashTrng<'c, D> {
     /// Creates a TRNG using `block` as scratch space (its contents are
     /// destroyed as entropy is harvested).
     pub fn new(chip: &'c mut D, block: BlockId) -> Self {
-        FlashTrng { chip, block, next_page: u32::MAX, pool: Vec::new() }
+        FlashTrng { chip, block, next_page: u32::MAX, pool: Vec::new(), levels: Vec::new() }
     }
 
     /// Fills `out` with conditioned random bytes.
@@ -66,7 +69,8 @@ impl<'c, D: NandDevice> FlashTrng<'c, D> {
 
         // Program everything: every cell receives fresh program noise.
         self.chip.program_page(page, &BitPattern::zeros(cpp))?;
-        let levels = self.chip.probe_voltages(page)?;
+        self.chip.probe_voltages_into(page, &mut self.levels)?;
+        let levels = &self.levels;
 
         // Raw bit = LSB of the measured level; condition with von Neumann
         // (01 -> 0, 10 -> 1, 00/11 -> discard) to strip bias.

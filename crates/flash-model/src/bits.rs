@@ -153,22 +153,19 @@ impl BitPattern {
             .sum::<usize>()
     }
 
-    /// Crate-internal bulk writer: fills the whole pattern from a bit
-    /// iterator, packing MSB-first one byte at a time — no per-bit index
-    /// arithmetic or bounds checks. The iterator must yield at least
-    /// `len()` bits; extras are ignored.
-    pub(crate) fn fill_from_bools<I: Iterator<Item = bool>>(&mut self, mut bits: I) {
-        let len = self.len;
-        for (byte_idx, byte) in self.bytes.iter_mut().enumerate() {
-            let start = byte_idx * 8;
-            let n = (len - start).min(8);
-            let mut acc = 0u8;
-            for _ in 0..n {
-                acc = (acc << 1) | u8::from(bits.next().expect("iterator too short"));
-            }
-            // Tail byte: keep bits MSB-aligned, padding stays zero.
-            *byte = acc << (8 - n);
-        }
+    /// Crate-internal mutable access to the backing bytes, for bulk pack
+    /// kernels. Callers must keep the tail padding bits zero.
+    pub(crate) fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Resets to an all-zero pattern of `len` bits, reusing the existing
+    /// allocation when capacity allows — the buffer-reuse hook behind
+    /// `read_page_shifted_into` and mask-building loops.
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.bytes.clear();
+        self.bytes.resize(len.div_ceil(8), 0);
+        self.len = len;
     }
 
     /// Iterator over the bits as booleans.

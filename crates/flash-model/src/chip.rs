@@ -4,15 +4,13 @@ use rand::{Rng, SeedableRng};
 
 use crate::bits::BitPattern;
 use crate::block::{BlockMeta, VoltState};
+use crate::device::{CmdResult, NandCmd};
 use crate::error::FlashError;
-use crate::fault::FaultPlan;
 use crate::geometry::{BlockId, Geometry, PageId};
 use crate::latent;
 use crate::meter::{FaultKind, Meter, MeterSnapshot, OpKind};
-use crate::middleware::{FaultDevice, TraceDevice};
 use crate::noise::Gaussian;
 use crate::profile::ChipProfile;
-use crate::recorder::SharedRecorder;
 use crate::rng::ChipRng;
 use crate::snapshot::{DeviceState, SnapshotError, StateReader, StateWriter};
 use crate::{Level, Result, SLC_READ_REF};
@@ -53,6 +51,70 @@ pub struct Chip {
     /// always applied, so the fault-free path multiplies by exactly `1.0`
     /// and stays bit-identical to a chip that never saw middleware.
     read_noise_scale: f64,
+    /// Scratch buffer for bulk Gaussian draws ([`Gaussian::fill`]). Pure
+    /// scratch: the RNG stream position is the state, so this is never
+    /// serialized or compared.
+    noise_scratch: Vec<f64>,
+}
+
+/// Applies `mean + sigma·z` with exactly the arithmetic of
+/// [`Gaussian::sample_with`], so bulk kernels fed by [`Gaussian::fill`]
+/// stay bit-identical to the scalar sampling path they replace.
+#[inline]
+fn scaled(mean: f64, sigma: f64, z: f64) -> f64 {
+    mean + sigma * z
+}
+
+/// Refills `scratch` with exactly `n` standard-normal draws via
+/// [`Gaussian::fill`] (consuming the RNG stream in scalar order) and
+/// returns it as a slice.
+fn fill_scratch<'a>(
+    scratch: &'a mut Vec<f64>,
+    gauss: &mut Gaussian,
+    rng: &mut ChipRng,
+    n: usize,
+) -> &'a [f64] {
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    gauss.fill(rng, scratch);
+    scratch
+}
+
+/// Bulk read kernel: thresholds each cell's measured voltage (`volts[i]`
+/// plus a fresh noise draw, floored at 0) against `vref` and packs the
+/// outcomes MSB-first into `bytes`, eight cells per byte — the
+/// byte-at-a-time twin of the scalar compare in the pre-batching read
+/// path. The tail byte keeps its padding bits zero.
+fn pack_threshold_reads<V: Copy + Into<f64>>(
+    volts: &[V],
+    noise: &[f64],
+    sigma: f64,
+    vref: f64,
+    bytes: &mut [u8],
+) {
+    debug_assert_eq!(volts.len(), noise.len());
+    debug_assert_eq!(bytes.len(), volts.len().div_ceil(8));
+    let full = volts.len() / 8;
+    for (bi, byte) in bytes[..full].iter_mut().enumerate() {
+        let v = &volts[bi * 8..bi * 8 + 8];
+        let z = &noise[bi * 8..bi * 8 + 8];
+        let mut acc = 0u8;
+        for k in 0..8 {
+            let measured = v[k].into() + scaled(0.0, sigma, z[k]);
+            // Measurement floor: negative voltages read as level 0.
+            acc = (acc << 1) | u8::from(measured.max(0.0) < vref);
+        }
+        *byte = acc;
+    }
+    let rem = volts.len() % 8;
+    if rem > 0 {
+        let mut acc = 0u8;
+        for k in 0..rem {
+            let measured = volts[full * 8 + k].into() + scaled(0.0, sigma, noise[full * 8 + k]);
+            acc = (acc << 1) | u8::from(measured.max(0.0) < vref);
+        }
+        bytes[full] = acc << (8 - rem);
+    }
 }
 
 impl Chip {
@@ -72,30 +134,8 @@ impl Chip {
             gauss: Gaussian::new(),
             meter: Meter::new(),
             read_noise_scale: 1.0,
+            noise_scratch: Vec::new(),
         }
-    }
-
-    /// Creates a chip with a fault schedule installed from the start.
-    #[deprecated(note = "fault injection moved to middleware: use \
-                `FaultDevice::with_plan(TraceDevice::new(Chip::new(profile, seed)), plan)`")]
-    pub fn with_faults(
-        profile: ChipProfile,
-        seed: u64,
-        plan: FaultPlan,
-    ) -> FaultDevice<TraceDevice<Chip>> {
-        FaultDevice::with_plan(TraceDevice::new(Chip::new(profile, seed)), plan)
-    }
-
-    /// Installs (or, with `None`, removes) an event recorder by wrapping the
-    /// chip in tracing middleware.
-    #[deprecated(
-        note = "tracing moved to middleware: wrap the chip in `TraceDevice::new(chip)` and call \
-                `set_recorder`/`install_recorder` on the wrapper"
-    )]
-    pub fn set_recorder(self, recorder: Option<SharedRecorder>) -> TraceDevice<Chip> {
-        let mut traced = TraceDevice::new(self);
-        traced.set_recorder(recorder);
-        traced
     }
 
     /// The package geometry.
@@ -303,15 +343,22 @@ impl Chip {
         let sigma = prog.sigma + prog.widen_per_kpec * kpec;
 
         let base = p.page as usize * cpp;
-        let mut programmed_cells = 0usize;
+        let programmed_cells = data.count_zeros();
         {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            let gauss = &mut self.gauss;
-            let rng = &mut self.rng;
+            // One bulk draw for all programmed cells (same count, same
+            // order as the old per-cell sampling), then a branch-light
+            // placement loop.
+            let noise = fill_scratch(
+                &mut self.noise_scratch,
+                &mut self.gauss,
+                &mut self.rng,
+                programmed_cells,
+            );
+            let mut draws = noise.iter();
             for (slot, bit) in state.voltages[base..base + cpp].iter_mut().zip(data.iter()) {
                 if !bit {
-                    *slot = gauss.sample_with(rng, mean, sigma) as f32;
-                    programmed_cells += 1;
+                    *slot = scaled(mean, sigma, *draws.next().unwrap()) as f32;
                 }
             }
             state.page_programmed[p.page as usize] = true;
@@ -431,14 +478,20 @@ impl Chip {
         let block = p.block.0;
         {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            let gauss = &mut self.gauss;
-            let rng = &mut self.rng;
+            let noise = fill_scratch(
+                &mut self.noise_scratch,
+                &mut self.gauss,
+                &mut self.rng,
+                mask.count_ones(),
+            );
+            let mut draws = noise.iter();
             for (i, masked) in mask.iter().enumerate() {
                 if !masked {
                     continue;
                 }
                 let eff = latent::pp_efficiency(seed, block, base + i, pp.eff_sigma_ln);
-                let inc = gauss.sample_with(rng, pp.step_mean, pp.step_sigma).max(0.0) * eff;
+                let inc =
+                    scaled(pp.step_mean, pp.step_sigma, *draws.next().unwrap()).max(0.0) * eff;
                 // Charge injection saturates: v' = S - (S - v)·e^(-inc/S).
                 // Cells asymptotically approach the saturation level and can
                 // never reach the programmed range via partial programming.
@@ -494,13 +547,18 @@ impl Chip {
         let base = p.page as usize * cpp;
         {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            let gauss = &mut self.gauss;
-            let rng = &mut self.rng;
+            let noise = fill_scratch(
+                &mut self.noise_scratch,
+                &mut self.gauss,
+                &mut self.rng,
+                mask.count_ones(),
+            );
+            let mut draws = noise.iter();
             for (i, masked) in mask.iter().enumerate() {
                 if !masked {
                     continue;
                 }
-                let goal = f64::from(target) + gauss.sample_with(rng, 4.0, 2.5).max(0.3);
+                let goal = f64::from(target) + scaled(4.0, 2.5, *draws.next().unwrap()).max(0.3);
                 let v = f64::from(state.voltages[base + i]);
                 if v < goal {
                     state.voltages[base + i] = goal as f32;
@@ -537,39 +595,107 @@ impl Chip {
     ///
     /// Fails on invalid addresses or bad blocks.
     pub fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        let mut bits = BitPattern::zeros(0);
+        self.read_page_shifted_into(p, vref, &mut bits)?;
+        Ok(bits)
+    }
+
+    /// [`read_page_shifted`](Self::read_page_shifted) into a caller-owned
+    /// pattern: `out` is resized and refilled, so a Vth sweep or a
+    /// steady-state decode loop reuses one allocation instead of paying a
+    /// fresh `BitPattern` per read. The per-cell compare runs through the
+    /// bulk threshold kernel; results are byte-identical to the historical
+    /// scalar path.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks (leaving `out` empty).
+    pub fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        out.reset_zeros(0);
         self.check_usable_page(p)?;
         self.ensure_state(p.block);
         let cpp = self.profile.geometry.cells_per_page();
         let base = p.page as usize * cpp;
-        let noise = self.profile.read_noise_sigma * self.read_noise_scale;
-        let vref = f64::from(vref);
-
-        let mut bits = BitPattern::zeros(cpp);
+        let sigma = self.profile.read_noise_sigma * self.read_noise_scale;
+        out.reset_zeros(cpp);
         {
-            // Split borrows so the per-cell loop touches no `self.`
-            // indexing: the voltage slice, Gaussian state and RNG are all
-            // hoisted out of the loop.
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            let gauss = &mut self.gauss;
-            let rng = &mut self.rng;
-            bits.fill_from_bools(state.voltages[base..base + cpp].iter().map(|&v| {
-                let measured = f64::from(v) + gauss.sample_with(rng, 0.0, noise);
-                // Measurement floor: negative voltages read as level 0.
-                measured.max(0.0) < vref
-            }));
+            let noise = fill_scratch(&mut self.noise_scratch, &mut self.gauss, &mut self.rng, cpp);
+            pack_threshold_reads(
+                &state.voltages[base..base + cpp],
+                noise,
+                sigma,
+                f64::from(vref),
+                out.bytes_mut(),
+            );
             state.read_count += 1;
         }
         self.meter_record(OpKind::Read);
-        Ok(bits)
+        Ok(())
+    }
+
+    /// Fused multi-`vref` read (`NandCmd::ReadPageSweep`): reads the same
+    /// page once per reference voltage, hoisting the address checks, the
+    /// block-state borrow and the cells' effective (pre-noise) voltages out
+    /// of the per-vref loop. Each read still applies a fresh per-cell noise
+    /// draw, in exactly the order the equivalent
+    /// [`read_page_shifted`](Self::read_page_shifted) sequence would, so
+    /// the results are byte-identical to sequential dispatch. Billed as
+    /// `vrefs.len()` reads.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    pub fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        self.check_usable_page(p)?;
+        self.ensure_state(p.block);
+        let cpp = self.profile.geometry.cells_per_page();
+        let base = p.page as usize * cpp;
+        let sigma = self.profile.read_noise_sigma * self.read_noise_scale;
+        let mut out = Vec::with_capacity(vrefs.len());
+        {
+            let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
+            for &vref in vrefs {
+                let noise =
+                    fill_scratch(&mut self.noise_scratch, &mut self.gauss, &mut self.rng, cpp);
+                let mut bits = BitPattern::zeros(cpp);
+                // The `f32` voltages feed the generic kernel directly:
+                // widening per compare is exact and cheaper than staging a
+                // page-sized `f64` copy that falls out of cache.
+                pack_threshold_reads(
+                    &state.voltages[base..base + cpp],
+                    noise,
+                    sigma,
+                    f64::from(vref),
+                    bits.bytes_mut(),
+                );
+                out.push(bits);
+                state.read_count += 1;
+            }
+        }
+        for _ in vrefs {
+            self.meter_record(OpKind::Read);
+        }
+        Ok(out)
     }
 
     /// Per-cell voltage probe (the NDA characterization command, §6.2):
     /// returns each cell's measured level, quantized to `0..=255` with
     /// negative voltages reading as 0.
     ///
+    /// Allocating convenience wrapper over
+    /// [`probe_voltages_into`](Self::probe_voltages_into) — prefer the
+    /// buffer-reuse form in loops.
+    ///
     /// # Errors
     ///
     /// Fails on invalid addresses or bad blocks.
+    #[doc(hidden)]
     pub fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
         let mut out = Vec::new();
         self.probe_voltages_into(p, &mut out)?;
@@ -589,21 +715,131 @@ impl Chip {
         self.ensure_state(p.block);
         let cpp = self.profile.geometry.cells_per_page();
         let base = p.page as usize * cpp;
-        let noise = self.profile.read_noise_sigma * self.read_noise_scale;
+        let sigma = self.profile.read_noise_sigma * self.read_noise_scale;
 
         {
             let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
-            let gauss = &mut self.gauss;
-            let rng = &mut self.rng;
+            let noise = fill_scratch(&mut self.noise_scratch, &mut self.gauss, &mut self.rng, cpp);
             out.reserve(cpp);
-            out.extend(state.voltages[base..base + cpp].iter().map(|&v| {
-                let measured = f64::from(v) + gauss.sample_with(rng, 0.0, noise);
+            out.extend(state.voltages[base..base + cpp].iter().zip(noise).map(|(&v, &z)| {
+                let measured = f64::from(v) + scaled(0.0, sigma, z);
                 measured.round().clamp(0.0, 255.0) as Level
             }));
             state.read_count += 1;
         }
         self.meter_record(OpKind::Probe);
         Ok(())
+    }
+
+    /// Batched dispatch of a run of read-class commands (`ReadPage`,
+    /// `ReadPageShifted`, `ReadPageSweep`, `ProbeVoltages`) that all address
+    /// the same page: the address checks, the block-state borrow and the
+    /// cells' effective (pre-noise) voltages are hoisted once for the whole
+    /// run, while each command's noise draws and meter billing happen in
+    /// exactly the order sequential dispatch would produce — reads leave
+    /// voltages untouched, so the hoist is observationally invisible.
+    pub(crate) fn exec_read_run(&mut self, p: PageId, cmds: &[NandCmd], out: &mut Vec<CmdResult>) {
+        if let Err(e) = self.check_usable_page(p) {
+            // Sequential dispatch fails every command the same way.
+            for cmd in cmds {
+                out.push(match cmd {
+                    NandCmd::ReadPage(_) | NandCmd::ReadPageShifted(..) => {
+                        CmdResult::Bits(Err(e.clone()))
+                    }
+                    NandCmd::ReadPageSweep(..) => CmdResult::Sweep(Err(e.clone())),
+                    NandCmd::ProbeVoltages(_) => CmdResult::Levels(Err(e.clone())),
+                    _ => unreachable!("exec_read_run only receives read-class commands"),
+                });
+            }
+            return;
+        }
+        self.ensure_state(p.block);
+        let cpp = self.profile.geometry.cells_per_page();
+        let base = p.page as usize * cpp;
+        let sigma = self.profile.read_noise_sigma * self.read_noise_scale;
+        // Meter time/energy are f64 accumulators, so ops must be billed in
+        // command order — collect the kinds here and replay them once the
+        // block-state borrow ends.
+        let mut billed: Vec<OpKind> = Vec::with_capacity(cmds.len());
+        {
+            let state = self.blocks[p.block.0 as usize].state.as_mut().unwrap();
+            // The `f32` voltages feed the generic kernels directly: widening
+            // per compare is exact and cheaper than staging a page-sized
+            // `f64` copy that falls out of cache on full-size pages.
+            for cmd in cmds {
+                match cmd {
+                    NandCmd::ReadPage(_) | NandCmd::ReadPageShifted(..) => {
+                        let vref = match cmd {
+                            NandCmd::ReadPageShifted(_, vref) => *vref,
+                            _ => SLC_READ_REF,
+                        };
+                        let noise = fill_scratch(
+                            &mut self.noise_scratch,
+                            &mut self.gauss,
+                            &mut self.rng,
+                            cpp,
+                        );
+                        let mut bits = BitPattern::zeros(cpp);
+                        pack_threshold_reads(
+                            &state.voltages[base..base + cpp],
+                            noise,
+                            sigma,
+                            f64::from(vref),
+                            bits.bytes_mut(),
+                        );
+                        state.read_count += 1;
+                        billed.push(OpKind::Read);
+                        out.push(CmdResult::Bits(Ok(bits)));
+                    }
+                    NandCmd::ReadPageSweep(_, vrefs) => {
+                        let mut res = Vec::with_capacity(vrefs.len());
+                        for &vref in vrefs {
+                            let noise = fill_scratch(
+                                &mut self.noise_scratch,
+                                &mut self.gauss,
+                                &mut self.rng,
+                                cpp,
+                            );
+                            let mut bits = BitPattern::zeros(cpp);
+                            pack_threshold_reads(
+                                &state.voltages[base..base + cpp],
+                                noise,
+                                sigma,
+                                f64::from(vref),
+                                bits.bytes_mut(),
+                            );
+                            state.read_count += 1;
+                            billed.push(OpKind::Read);
+                            res.push(bits);
+                        }
+                        out.push(CmdResult::Sweep(Ok(res)));
+                    }
+                    NandCmd::ProbeVoltages(_) => {
+                        let noise = fill_scratch(
+                            &mut self.noise_scratch,
+                            &mut self.gauss,
+                            &mut self.rng,
+                            cpp,
+                        );
+                        let levels = state.voltages[base..base + cpp]
+                            .iter()
+                            .zip(noise)
+                            .map(|(&v, &z)| {
+                                let measured = f64::from(v) + scaled(0.0, sigma, z);
+                                measured.round().clamp(0.0, 255.0) as Level
+                            })
+                            .collect();
+                        state.read_count += 1;
+                        billed.push(OpKind::Probe);
+                        out.push(CmdResult::Levels(Ok(levels)));
+                    }
+                    _ => unreachable!("exec_read_run only receives read-class commands"),
+                }
+            }
+        }
+        for kind in billed {
+            self.meter_record(kind);
+        }
     }
 
     /// Advances retention time for the whole chip: charge leaks from every
@@ -617,6 +853,7 @@ impl Chip {
         }
         let profile = self.profile.clone();
         let floor = (profile.erased.mean - 3.0 * profile.erased.sigma) as f32;
+        let cpp = profile.geometry.cells_per_page();
         for meta in &mut self.blocks {
             let pec = meta.pec;
             let Some(state) = meta.state.as_mut() else { continue };
@@ -624,17 +861,30 @@ impl Chip {
             let to = from + days;
             let dt_frac = profile.retention_time_factor(to) - profile.retention_time_factor(from);
             let noise_sigma = profile.retention.noise_sigma * dt_frac.max(0.0).sqrt();
-            for cell in 0..state.voltages.len() {
-                let v = state.voltages[cell];
-                if v <= 0.0 {
-                    continue;
+            // Chunk per page: only cells above the floor draw noise, and a
+            // whole chunk's draws come from one bulk fill (paper-geometry
+            // blocks hold 37 M cells, so the scratch stays page-sized).
+            let total = state.voltages.len();
+            let mut start = 0usize;
+            while start < total {
+                let end = (start + cpp).min(total);
+                let charged = state.voltages[start..end].iter().filter(|&&v| v > 0.0).count();
+                let noise =
+                    fill_scratch(&mut self.noise_scratch, &mut self.gauss, &mut self.rng, charged);
+                let mut draws = noise.iter();
+                for cell in start..end {
+                    let v = state.voltages[cell];
+                    if v <= 0.0 {
+                        continue;
+                    }
+                    let mut loss = profile.retention_loss(f64::from(v), pec, from, to);
+                    if state.is_pp(cell) {
+                        loss *= profile.retention.pp_penalty;
+                    }
+                    let n = scaled(0.0, noise_sigma, *draws.next().unwrap());
+                    state.voltages[cell] = (f64::from(v) - loss + n).max(f64::from(floor)) as f32;
                 }
-                let mut loss = profile.retention_loss(f64::from(v), pec, from, to);
-                if state.is_pp(cell) {
-                    loss *= profile.retention.pp_penalty;
-                }
-                let n = self.gauss.sample_with(&mut self.rng, 0.0, noise_sigma);
-                state.voltages[cell] = (f64::from(v) - loss + n).max(f64::from(floor)) as f32;
+                start = end;
             }
             state.aged_days = to;
         }
@@ -847,12 +1097,11 @@ impl Chip {
             .collect();
 
         let state = self.blocks[b.0 as usize].state.as_mut().unwrap();
-        let gauss = &mut self.gauss;
-        let rng = &mut self.rng;
         for (page, &mean) in means.iter().enumerate() {
             let base = page * cpp;
-            for slot in &mut state.voltages[base..base + cpp] {
-                *slot = gauss.sample_with(rng, mean, sigma) as f32;
+            let noise = fill_scratch(&mut self.noise_scratch, &mut self.gauss, &mut self.rng, cpp);
+            for (slot, &z) in state.voltages[base..base + cpp].iter_mut().zip(noise) {
+                *slot = scaled(mean, sigma, z) as f32;
             }
         }
         state.page_programmed.iter_mut().for_each(|x| *x = false);
@@ -937,8 +1186,16 @@ impl Chip {
             let meta = &mut self.blocks[source.block.0 as usize];
             let cache = meta.coupling_cache.as_deref();
             let state = meta.state.as_mut().unwrap();
-            let gauss = &mut self.gauss;
-            let rng = &mut self.rng;
+            // Candidacy depends only on each cell's pre-bump voltage, so
+            // counting first and bulk-drawing the candidates' noise keeps
+            // the draw order identical to the old per-cell sampling.
+            let candidates = state.voltages[base..base + cpp]
+                .iter()
+                .filter(|&&v| v < INTERFERENCE_CEILING)
+                .count();
+            let noise =
+                fill_scratch(&mut self.noise_scratch, &mut self.gauss, &mut self.rng, candidates);
+            let mut draws = noise.iter();
             for (i, slot) in state.voltages[base..base + cpp].iter_mut().enumerate() {
                 let v = *slot;
                 if v >= INTERFERENCE_CEILING {
@@ -960,7 +1217,8 @@ impl Chip {
                 // read reference however many neighbors are programmed.
                 let damping =
                     (1.0 - f64::from(v.max(0.0)) / inter.interference_saturation).clamp(0.0, 1.0);
-                let bump = gauss.sample_with(rng, bump_mean, bump_sigma).max(0.0) * c * damping;
+                let bump =
+                    scaled(bump_mean, bump_sigma, *draws.next().unwrap()).max(0.0) * c * damping;
                 *slot += bump as f32;
             }
         }

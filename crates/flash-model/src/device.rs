@@ -49,6 +49,12 @@ pub enum NandCmd {
     ReadPage(PageId),
     /// [`NandDevice::read_page_shifted`].
     ReadPageShifted(PageId, Level),
+    /// [`NandDevice::read_page_sweep`]: one fused read of the same page at
+    /// each reference voltage, byte-identical to (and billed as) the
+    /// equivalent sequence of [`NandDevice::read_page_shifted`] calls.
+    ReadPageSweep(PageId, Vec<Level>),
+    /// [`NandDevice::read_spare`].
+    ReadSpare(PageId),
     /// [`NandDevice::probe_voltages`].
     ProbeVoltages(PageId),
     /// [`NandDevice::stress_cells`].
@@ -74,6 +80,10 @@ pub enum CmdResult {
     Unit(Result<()>),
     /// Outcome of a page read.
     Bits(Result<BitPattern>),
+    /// Outcome of a multi-`vref` sweep read, one pattern per reference.
+    Sweep(Result<Vec<BitPattern>>),
+    /// Outcome of a spare-area read.
+    Spare(Result<Option<Vec<u8>>>),
     /// Outcome of a voltage probe.
     Levels(Result<Vec<Level>>),
     /// Outcome of a program-time probe.
@@ -86,9 +96,58 @@ impl CmdResult {
         match self {
             CmdResult::Unit(r) => r.is_ok(),
             CmdResult::Bits(r) => r.is_ok(),
+            CmdResult::Sweep(r) => r.is_ok(),
+            CmdResult::Spare(r) => r.is_ok(),
             CmdResult::Levels(r) => r.is_ok(),
             CmdResult::Steps(r) => r.is_ok(),
         }
+    }
+}
+
+/// Dispatches one command through the trait surface — the scalar kernel
+/// both the default [`NandDevice::exec`] loop and middleware that must
+/// observe each command individually are built from.
+pub(crate) fn dispatch_one<D: NandDevice + ?Sized>(dev: &mut D, cmd: &NandCmd) -> CmdResult {
+    match cmd {
+        NandCmd::EraseBlock(b) => CmdResult::Unit(dev.erase_block(*b)),
+        NandCmd::CycleBlock(b, n) => CmdResult::Unit(dev.cycle_block(*b, *n)),
+        NandCmd::ProgramPage(p, data) => CmdResult::Unit(dev.program_page(*p, data)),
+        NandCmd::PartialProgram(p, mask) => CmdResult::Unit(dev.partial_program(*p, mask)),
+        NandCmd::FinePartialProgram(p, mask, target) => {
+            CmdResult::Unit(dev.fine_partial_program(*p, mask, *target))
+        }
+        NandCmd::ReadPage(p) => CmdResult::Bits(dev.read_page(*p)),
+        NandCmd::ReadPageShifted(p, vref) => CmdResult::Bits(dev.read_page_shifted(*p, *vref)),
+        NandCmd::ReadPageSweep(p, vrefs) => CmdResult::Sweep(dev.read_page_sweep(*p, vrefs)),
+        NandCmd::ReadSpare(p) => CmdResult::Spare(dev.read_spare(*p)),
+        NandCmd::ProbeVoltages(p) => CmdResult::Levels(dev.probe_voltages(*p)),
+        NandCmd::StressCells(p, mask, cycles) => {
+            CmdResult::Unit(dev.stress_cells(*p, mask, *cycles))
+        }
+        NandCmd::ProgramTimeProbe(p, steps) => CmdResult::Steps(dev.program_time_probe(*p, *steps)),
+        NandCmd::AgeDays(days) => {
+            dev.age_days(*days);
+            CmdResult::Unit(Ok(()))
+        }
+        NandCmd::AdvanceTimeUs(us) => {
+            dev.advance_time_us(*us);
+            CmdResult::Unit(Ok(()))
+        }
+        NandCmd::MarkBad(b) => CmdResult::Unit(dev.mark_bad(*b)),
+        NandCmd::GrowBadBlock(b) => CmdResult::Unit(dev.grow_bad_block(*b)),
+        NandCmd::DiscardBlockState(b) => CmdResult::Unit(dev.discard_block_state(*b)),
+    }
+}
+
+/// The page a command addresses if it belongs to the read class
+/// ([`Chip`]'s planning `exec` fuses maximal same-page runs of these).
+pub(crate) fn read_run_page(cmd: &NandCmd) -> Option<PageId> {
+    match cmd {
+        NandCmd::ReadPage(p)
+        | NandCmd::ReadPageShifted(p, _)
+        | NandCmd::ReadPageSweep(p, _)
+        | NandCmd::ProbeVoltages(p) => Some(*p),
+        _ => None,
     }
 }
 
@@ -381,11 +440,56 @@ pub trait NandDevice {
     /// Fails on invalid addresses or bad blocks.
     fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern>;
 
-    /// Per-cell voltage probe (the NDA characterization command).
+    /// [`read_page_shifted`](Self::read_page_shifted) into a caller-owned
+    /// pattern; `out` is resized and refilled, so a decode loop reuses one
+    /// allocation per page. The default allocates through
+    /// `read_page_shifted`; [`Chip`] refills `out`'s buffer in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks (leaving `out` empty).
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        match self.read_page_shifted(p, vref) {
+            Ok(bits) => {
+                *out = bits;
+                Ok(())
+            }
+            Err(e) => {
+                *out = BitPattern::zeros(0);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fused multi-`vref` read: reads the same page once per reference
+    /// voltage, returning one pattern per `vref`. Results, RNG consumption
+    /// and metering are identical to the equivalent sequence of
+    /// [`read_page_shifted`](Self::read_page_shifted) calls — the default
+    /// *is* that sequence; [`Chip`] hoists the per-page work out of the
+    /// loop.
     ///
     /// # Errors
     ///
     /// Fails on invalid addresses or bad blocks.
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        vrefs.iter().map(|&v| self.read_page_shifted(p, v)).collect()
+    }
+
+    /// Per-cell voltage probe (the NDA characterization command).
+    ///
+    /// Allocating convenience wrapper over
+    /// [`probe_voltages_into`](Self::probe_voltages_into) — prefer the
+    /// buffer-reuse form in loops.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid addresses or bad blocks.
+    #[doc(hidden)]
     fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
         let mut out = Vec::new();
         self.probe_voltages_into(p, &mut out)?;
@@ -423,40 +527,12 @@ pub trait NandDevice {
     /// A failed command does not stop the batch — the queue semantics a
     /// controller would implement; callers that need all-or-nothing check
     /// [`CmdResult::is_ok`] per entry.
+    ///
+    /// Backends may plan the batch ([`Chip`] fuses same-page read runs)
+    /// but must keep every output, RNG draw and meter charge identical to
+    /// sequential one-command-at-a-time dispatch.
     fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
-        cmds.iter()
-            .map(|cmd| match cmd {
-                NandCmd::EraseBlock(b) => CmdResult::Unit(self.erase_block(*b)),
-                NandCmd::CycleBlock(b, n) => CmdResult::Unit(self.cycle_block(*b, *n)),
-                NandCmd::ProgramPage(p, data) => CmdResult::Unit(self.program_page(*p, data)),
-                NandCmd::PartialProgram(p, mask) => CmdResult::Unit(self.partial_program(*p, mask)),
-                NandCmd::FinePartialProgram(p, mask, target) => {
-                    CmdResult::Unit(self.fine_partial_program(*p, mask, *target))
-                }
-                NandCmd::ReadPage(p) => CmdResult::Bits(self.read_page(*p)),
-                NandCmd::ReadPageShifted(p, vref) => {
-                    CmdResult::Bits(self.read_page_shifted(*p, *vref))
-                }
-                NandCmd::ProbeVoltages(p) => CmdResult::Levels(self.probe_voltages(*p)),
-                NandCmd::StressCells(p, mask, cycles) => {
-                    CmdResult::Unit(self.stress_cells(*p, mask, *cycles))
-                }
-                NandCmd::ProgramTimeProbe(p, steps) => {
-                    CmdResult::Steps(self.program_time_probe(*p, *steps))
-                }
-                NandCmd::AgeDays(days) => {
-                    self.age_days(*days);
-                    CmdResult::Unit(Ok(()))
-                }
-                NandCmd::AdvanceTimeUs(us) => {
-                    self.advance_time_us(*us);
-                    CmdResult::Unit(Ok(()))
-                }
-                NandCmd::MarkBad(b) => CmdResult::Unit(self.mark_bad(*b)),
-                NandCmd::GrowBadBlock(b) => CmdResult::Unit(self.grow_bad_block(*b)),
-                NandCmd::DiscardBlockState(b) => CmdResult::Unit(self.discard_block_state(*b)),
-            })
-            .collect()
+        cmds.iter().map(|cmd| dispatch_one(self, cmd)).collect()
     }
 }
 
@@ -555,6 +631,17 @@ impl<D: NandDevice + ?Sized> NandDevice for &mut D {
     }
     fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
         (**self).read_page_shifted(p, vref)
+    }
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        (**self).read_page_shifted_into(p, vref, out)
+    }
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        (**self).read_page_sweep(p, vrefs)
     }
     fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
         (**self).probe_voltages(p)
@@ -660,6 +747,17 @@ impl NandDevice for Chip {
     fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
         Chip::read_page_shifted(self, p, vref)
     }
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        Chip::read_page_shifted_into(self, p, vref, out)
+    }
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        Chip::read_page_sweep(self, p, vrefs)
+    }
     fn probe_voltages(&mut self, p: PageId) -> Result<Vec<Level>> {
         Chip::probe_voltages(self, p)
     }
@@ -674,6 +772,35 @@ impl NandDevice for Chip {
     }
     fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
         Chip::program_time_probe(self, p, steps)
+    }
+
+    /// Planning dispatch: maximal runs of read-class commands addressing
+    /// the same page execute through the fused read engine
+    /// (`Chip::exec_read_run`), which hoists address checks, the
+    /// block-state borrow and the cells' effective voltages once per run.
+    /// Everything else dispatches scalar. Outputs, RNG consumption and
+    /// meter charges stay byte-identical to sequential dispatch (reads
+    /// don't mutate voltages, so the hoist is unobservable).
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        let mut out = Vec::with_capacity(cmds.len());
+        let mut i = 0usize;
+        while i < cmds.len() {
+            match read_run_page(&cmds[i]) {
+                Some(p) => {
+                    let mut j = i + 1;
+                    while j < cmds.len() && read_run_page(&cmds[j]) == Some(p) {
+                        j += 1;
+                    }
+                    self.exec_read_run(p, &cmds[i..j], &mut out);
+                    i = j;
+                }
+                None => {
+                    out.push(dispatch_one(self, &cmds[i]));
+                    i += 1;
+                }
+            }
+        }
+        out
     }
 }
 

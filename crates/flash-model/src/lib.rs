@@ -39,7 +39,8 @@
 //! assert!(back.hamming_distance(&data) < data.len() / 1000);
 //!
 //! // Vendor characterization command: probe per-cell voltage levels.
-//! let levels = chip.probe_voltages(page)?;
+//! let mut levels = Vec::new();
+//! chip.probe_voltages_into(page, &mut levels)?;
 //! assert_eq!(levels.len(), chip.geometry().cells_per_page());
 //! # Ok(())
 //! # }

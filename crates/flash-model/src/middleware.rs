@@ -54,7 +54,7 @@
 //!   every workload in this repo does; see DESIGN.md §11.
 
 use crate::bits::BitPattern;
-use crate::device::NandDevice;
+use crate::device::{dispatch_one, CmdResult, NandCmd, NandDevice};
 use crate::error::FlashError;
 use crate::fault::{FaultPlan, FaultState, PowerCut};
 use crate::geometry::{BlockId, Geometry, PageId};
@@ -398,6 +398,48 @@ impl<D: NandDevice> NandDevice for FaultDevice<D> {
         Ok(bits)
     }
 
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        if self.fault.is_none() {
+            return self.inner.read_page_shifted_into(p, vref, out);
+        }
+        // With a plan installed the allocating path carries the noise-scale
+        // and stuck-cell handling; fault windows are never hot.
+        match self.read_page_shifted(p, vref) {
+            Ok(bits) => {
+                *out = bits;
+                Ok(())
+            }
+            Err(e) => {
+                *out = BitPattern::zeros(0);
+                Err(e)
+            }
+        }
+    }
+
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        if self.fault.is_none() {
+            return self.inner.read_page_sweep(p, vrefs);
+        }
+        // Per-vref dispatch keeps the fault op counter, noise spikes and
+        // stuck-cell overrides exactly where a sequence of shifted reads
+        // would put them.
+        vrefs.iter().map(|&v| self.read_page_shifted(p, v)).collect()
+    }
+
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        if self.fault.is_none() {
+            // Passthrough keeps the wrapped backend's batch planning.
+            return self.inner.exec(cmds);
+        }
+        // A live plan must tick, roll and override per command.
+        cmds.iter().map(|cmd| dispatch_one(self, cmd)).collect()
+    }
+
     fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
         out.clear();
         self.check_usable_page(p)?;
@@ -670,10 +712,39 @@ impl<D: NandDevice> NandDevice for TraceDevice<D> {
         self.emit_op(OpKind::Read);
         Ok(bits)
     }
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        self.inner.read_page_shifted_into(p, vref, out)?;
+        self.emit_op(OpKind::Read);
+        Ok(())
+    }
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        let patterns = self.inner.read_page_sweep(p, vrefs)?;
+        // The device meters one read per reference voltage; the trace
+        // must agree with the meter.
+        for _ in vrefs {
+            self.emit_op(OpKind::Read);
+        }
+        Ok(patterns)
+    }
     fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
         self.inner.probe_voltages_into(p, out)?;
         self.emit_op(OpKind::Probe);
         Ok(())
+    }
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        if self.recorder.is_none() {
+            // Recorder-less tracing is exact passthrough, batches included.
+            return self.inner.exec(cmds);
+        }
+        // One span per command: dispatch through `self` so every op lands
+        // on the recorder with its billed cost. Fused sweeps stay fused —
+        // `read_page_sweep` above forwards the whole sweep to the backend.
+        cmds.iter().map(|cmd| dispatch_one(self, cmd)).collect()
     }
     fn age_days(&mut self, days: f64) {
         self.inner.age_days(days);
@@ -907,6 +978,17 @@ impl<D: NandDevice> NandDevice for SnapshotDevice<D> {
     fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
         self.inner.read_page_shifted(p, vref)
     }
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        self.inner.read_page_shifted_into(p, vref, out)
+    }
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        self.inner.read_page_sweep(p, vrefs)
+    }
     fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
         self.inner.probe_voltages_into(p, out)
     }
@@ -918,6 +1000,9 @@ impl<D: NandDevice> NandDevice for SnapshotDevice<D> {
     }
     fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
         self.inner.program_time_probe(p, steps)
+    }
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        self.inner.exec(cmds)
     }
 }
 
@@ -1085,6 +1170,75 @@ impl<D: NandDevice> PowerCutDevice<D> {
         drop(torn_result);
         Err(FlashError::PowerLoss)
     }
+
+    /// Whether the next `n` clock ticks are guaranteed cut-free.
+    fn clear_ops(&self, n: u64) -> bool {
+        if self.off {
+            return false;
+        }
+        let end = self.op_index.saturating_add(n);
+        self.cuts[self.fired..].iter().all(|c| c.at_op < self.op_index || c.at_op >= end)
+    }
+
+    /// Number of leading commands of `cmds` guaranteed to execute with no
+    /// cut firing. 0 when the device is off or the next live cut lands
+    /// inside the first command.
+    fn batchable_prefix(&self, cmds: &[NandCmd]) -> usize {
+        if self.off {
+            return 0;
+        }
+        let budget = self.cuts[self.fired..]
+            .iter()
+            .filter(|c| c.at_op >= self.op_index)
+            .map(|c| c.at_op - self.op_index)
+            .min()
+            .unwrap_or(u64::MAX);
+        let mut used = 0u64;
+        let mut n = 0;
+        for cmd in cmds {
+            let span = gate_profile(cmd).map_or(0, |(_, count)| count);
+            if used.saturating_add(span) > budget {
+                break;
+            }
+            used += span;
+            n += 1;
+        }
+        n
+    }
+
+    /// Advances the cut clock past a batched command the schedule cannot
+    /// interrupt, logging exactly what per-op gating would have logged.
+    fn advance_clock(&mut self, kind: OpKind, count: u64) {
+        self.op_index += count;
+        if let Some(log) = self.op_log.as_mut() {
+            log.extend(std::iter::repeat(kind).take(count as usize));
+        }
+    }
+}
+
+/// The cut-clock footprint of a command: the [`OpKind`] gated and how many
+/// clock ticks it consumes (a sweep ticks once per reference voltage,
+/// exactly like the equivalent sequence of shifted reads). `None` for
+/// commands that are off the cut clock entirely.
+fn gate_profile(cmd: &NandCmd) -> Option<(OpKind, u64)> {
+    match cmd {
+        NandCmd::EraseBlock(_) => Some((OpKind::Erase, 1)),
+        NandCmd::ProgramPage(..) | NandCmd::StressCells(..) => Some((OpKind::Program, 1)),
+        NandCmd::PartialProgram(..)
+        | NandCmd::FinePartialProgram(..)
+        | NandCmd::ProgramTimeProbe(..) => Some((OpKind::PartialProgram, 1)),
+        NandCmd::ReadPage(_) | NandCmd::ReadPageShifted(..) | NandCmd::ReadSpare(_) => {
+            Some((OpKind::Read, 1))
+        }
+        NandCmd::ReadPageSweep(_, vrefs) => Some((OpKind::Read, vrefs.len() as u64)),
+        NandCmd::ProbeVoltages(_) => Some((OpKind::Probe, 1)),
+        NandCmd::CycleBlock(..)
+        | NandCmd::AgeDays(_)
+        | NandCmd::AdvanceTimeUs(_)
+        | NandCmd::MarkBad(_)
+        | NandCmd::GrowBadBlock(_)
+        | NandCmd::DiscardBlockState(_) => None,
+    }
 }
 
 impl<D: NandDevice> NandDevice for PowerCutDevice<D> {
@@ -1227,6 +1381,42 @@ impl<D: NandDevice> NandDevice for PowerCutDevice<D> {
         }
     }
 
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        let outcome = match self.gate(OpKind::Read) {
+            Ok(o) => o,
+            Err(e) => {
+                *out = BitPattern::zeros(0);
+                return Err(e);
+            }
+        };
+        match outcome {
+            GateOutcome::Pass => self.inner.read_page_shifted_into(p, vref, out),
+            GateOutcome::CutBefore | GateOutcome::CutMid(_) => {
+                *out = BitPattern::zeros(0);
+                Err(FlashError::PowerLoss)
+            }
+        }
+    }
+
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        if self.clear_ops(vrefs.len() as u64) {
+            for _ in vrefs {
+                let outcome = self.gate(OpKind::Read)?;
+                debug_assert_eq!(outcome, GateOutcome::Pass);
+            }
+            return self.inner.read_page_sweep(p, vrefs);
+        }
+        // A cut lands inside the sweep (or the device is off): per-vref
+        // reads reproduce the sequential semantics — the reads before the
+        // cut still hit the medium, then the cut reports power loss.
+        vrefs.iter().map(|&v| self.read_page_shifted(p, v)).collect()
+    }
+
     fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
         out.clear();
         match self.gate(OpKind::Probe)? {
@@ -1264,6 +1454,33 @@ impl<D: NandDevice> NandDevice for PowerCutDevice<D> {
     }
     fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
         self.inner.torn_erase_block(b, fraction)
+    }
+
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        let mut out = Vec::with_capacity(cmds.len());
+        let mut i = 0;
+        while i < cmds.len() {
+            let n = self.batchable_prefix(&cmds[i..]);
+            if n == 0 {
+                // Off, or a cut lands inside this command: per-op gating
+                // takes over and fires the cut exactly where sequential
+                // dispatch would.
+                out.push(dispatch_one(self, &cmds[i]));
+                i += 1;
+                continue;
+            }
+            // The schedule cannot interrupt these commands: advance the cut
+            // clock up front and hand the run to the backend's batch
+            // planner in one piece.
+            for cmd in &cmds[i..i + n] {
+                if let Some((kind, count)) = gate_profile(cmd) {
+                    self.advance_clock(kind, count);
+                }
+            }
+            out.extend(self.inner.exec(&cmds[i..i + n]));
+            i += n;
+        }
+        out
     }
 }
 

@@ -31,8 +31,9 @@ fn program_block(chip: &mut Chip, b: BlockId, rng: &mut SmallRng) -> Vec<BitPatt
 fn split_histograms(chip: &mut Chip, b: BlockId, data: &[BitPattern]) -> (Histogram, Histogram) {
     let mut erased = Histogram::new();
     let mut programmed = Histogram::new();
+    let mut levels = Vec::new();
     for (p, pattern) in data.iter().enumerate() {
-        let levels = chip.probe_voltages(PageId::new(b, p as u32)).unwrap();
+        chip.probe_voltages_into(PageId::new(b, p as u32), &mut levels).unwrap();
         for (i, &level) in levels.iter().enumerate() {
             if pattern.get(i) {
                 erased.add_levels(&[level]);
@@ -189,8 +190,9 @@ fn page_level_noisier_than_block_level() {
     let data = program_block(&mut chip, BlockId(0), &mut rng);
 
     let mut page_means = Vec::new();
+    let mut levels = Vec::new();
     for (p, pattern) in data.iter().enumerate() {
-        let levels = chip.probe_voltages(PageId::new(BlockId(0), p as u32)).unwrap();
+        chip.probe_voltages_into(PageId::new(BlockId(0), p as u32), &mut levels).unwrap();
         let mut h = Histogram::new();
         for (i, &l) in levels.iter().enumerate() {
             if !pattern.get(i) {
@@ -219,7 +221,8 @@ fn vendor_b_has_same_shape_different_numbers() {
     let data = BitPattern::random_half(&mut rng, cpp);
     let page = PageId::new(b, 0);
     chip.program_page(page, &data).unwrap();
-    let levels = chip.probe_voltages(page).unwrap();
+    let mut levels = Vec::new();
+    chip.probe_voltages_into(page, &mut levels).unwrap();
     let mut programmed = Histogram::new();
     for (i, &l) in levels.iter().enumerate() {
         if !data.get(i) {

@@ -102,8 +102,9 @@ proptest! {
         chip.erase_block(BlockId(0)).unwrap();
         let page = PageId::new(BlockId(0), 0);
         chip.program_page(page, &data).unwrap();
+        let mut levels = Vec::new();
         for _ in 0..5 {
-            let _ = chip.probe_voltages(page).unwrap();
+            chip.probe_voltages_into(page, &mut levels).unwrap();
         }
         let back = chip.read_page(page).unwrap();
         prop_assert!(back.hamming_distance(&data) <= 8);
@@ -119,7 +120,9 @@ proptest! {
             chip.erase_block(BlockId(0)).unwrap();
             let page = PageId::new(BlockId(0), 0);
             chip.program_page(page, &BitPattern::zeros(cpp)).unwrap();
-            chip.probe_voltages(page).unwrap()
+            let mut levels = Vec::new();
+            chip.probe_voltages_into(page, &mut levels).unwrap();
+            levels
         };
         prop_assert_eq!(levels(seed), levels(seed));
     }

@@ -1,6 +1,8 @@
 //! The page-mapped FTL implementation.
 
-use stash_flash::{crc32, BitPattern, BlockId, Chip, FlashError, NandDevice, PageId};
+use stash_flash::{
+    crc32, BitPattern, BlockId, Chip, CmdResult, FlashError, NandCmd, NandDevice, PageId,
+};
 use stash_obs::{span, Tracer};
 use std::collections::HashMap;
 use std::fmt;
@@ -303,6 +305,8 @@ impl<D: NandDevice> Ftl<D> {
 
         self.free.clear();
         self.active = None;
+        let mut spare_cmds: Vec<NandCmd> = Vec::new();
+        let mut spare_pages: Vec<PageId> = Vec::new();
         for b in (0..blocks_per_chip).map(BlockId) {
             if self.chip.is_grown_bad(b)? {
                 self.mark_retired(b);
@@ -310,15 +314,26 @@ impl<D: NandDevice> Ftl<D> {
                 report.retired_blocks += 1;
                 continue;
             }
-            let mut programmed = 0u32;
+            spare_cmds.clear();
+            spare_pages.clear();
             for p in 0..pages_per_block {
                 let page = PageId::new(b, p);
                 if !self.chip.is_page_programmed(page)? {
                     continue;
                 }
-                programmed += 1;
                 report.scanned_pages += 1;
-                match self.chip.read_spare(page)?.as_deref().and_then(decode_journal) {
+                spare_cmds.push(NandCmd::ReadSpare(page));
+                spare_pages.push(page);
+            }
+            // One journal-scan batch per block instead of a device call per
+            // programmed page.
+            let programmed = spare_pages.len() as u32;
+            for (result, &page) in self.chip.exec(&spare_cmds).into_iter().zip(&spare_pages) {
+                let spare = match result {
+                    CmdResult::Spare(r) => r?,
+                    _ => unreachable!("ReadSpare returns Spare"),
+                };
+                match spare.as_deref().and_then(decode_journal) {
                     Some((seq, lpn)) => candidates.push((seq, lpn, page)),
                     None => report.torn_pages += 1,
                 }

@@ -285,9 +285,34 @@ impl<D: NandDevice> HiddenVolume<D> {
         let mut report = RecoveryReport::default();
         let total = vol.cache.len();
         let mut failed: Vec<usize> = Vec::new();
-        for slot in 0..total {
-            match vol.try_decode_slot(slot) {
-                Ok(Some(bytes)) => {
+        // One hider serves the whole scan: slots decode in exactly the
+        // order (and noise-draw order) of per-slot `try_decode_slot` calls,
+        // but share one derived key and one set of read buffers instead of
+        // rebuilding both for every slot.
+        let pages: Vec<Option<stash_flash::PageId>> =
+            (0..total).map(|slot| vol.ftl.physical_of(vol.slot_lpn[slot])).collect();
+        let tag_bytes = vol.cfg.tag_bytes();
+        let key = vol.key.clone();
+        let vthi_cfg = vol.cfg.vthi.clone();
+        let tracer = vol.tracer.clone();
+        let mut outcomes = Vec::with_capacity(total);
+        {
+            let mut hider = Hider::new(vol.ftl.chip_mut(), key, vthi_cfg)
+                .with_selection_mode(SelectionMode::Absolute)
+                .with_retry_policy(RetryPolicy::standard())
+                .with_tracer(tracer.clone());
+            for (slot, page) in pages.iter().enumerate() {
+                outcomes.push(match page {
+                    Some(page) => {
+                        Self::decode_slot_via(&mut hider, &tracer, tag_bytes, slot, *page)
+                    }
+                    None => Ok(None),
+                });
+            }
+        }
+        for (slot, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(Some((bytes, _))) => {
                     vol.cache[slot] = Some(bytes);
                     report.recovered += 1;
                 }
@@ -826,19 +851,13 @@ impl<D: NandDevice> HiddenVolume<D> {
         Ok(())
     }
 
-    /// Attempts to decode one slot from flash (used at mount).
-    fn try_decode_slot(&mut self, slot: usize) -> Result<Option<Vec<u8>>, StegoError> {
-        Ok(self.try_decode_slot_counting(slot)?.map(|(bytes, _)| bytes))
-    }
-
-    /// [`try_decode_slot`](Self::try_decode_slot), also reporting the
-    /// winning read's ECC correction count (the scrubber's health signal).
-    /// Decodes run under the standard recovery sweep.
+    /// Attempts to decode one slot from flash, also reporting the winning
+    /// read's ECC correction count (the scrubber's health signal). Decodes
+    /// run under the standard recovery sweep.
     fn try_decode_slot_counting(
         &mut self,
         slot: usize,
     ) -> Result<Option<(Vec<u8>, usize)>, StegoError> {
-        let _decode = span!(self.tracer, "decode_slot", "slot={slot}");
         let lpn = self.slot_lpn[slot];
         let Some(page) = self.ftl.physical_of(lpn) else {
             return Ok(None);
@@ -846,15 +865,31 @@ impl<D: NandDevice> HiddenVolume<D> {
         let key = self.key.clone();
         let cfg = self.cfg.vthi.clone();
         let tracer = self.tracer.clone();
+        let tag_bytes = self.cfg.tag_bytes();
         let mut hider = Hider::new(self.ftl.chip_mut(), key, cfg)
             .with_selection_mode(SelectionMode::Absolute)
             .with_retry_policy(RetryPolicy::standard())
-            .with_tracer(tracer);
+            .with_tracer(tracer.clone());
+        Self::decode_slot_via(&mut hider, &tracer, tag_bytes, slot, page)
+    }
+
+    /// Decodes one slot through a caller-supplied [`Hider`], so scans over
+    /// many slots (remount's parity-group decode in particular) share one
+    /// hider — one derived key and one set of reusable read buffers —
+    /// instead of rebuilding them per slot.
+    fn decode_slot_via(
+        hider: &mut Hider<'_, D>,
+        tracer: &Option<Arc<Tracer>>,
+        tag_bytes: usize,
+        slot: usize,
+        page: stash_flash::PageId,
+    ) -> Result<Option<(Vec<u8>, usize)>, StegoError> {
+        let _decode = span!(tracer, "decode_slot", "slot={slot}");
         // The shifted read serves the emptiness heuristic first. A written
         // slot has ≈half its hidden cells charged above Vth; an untouched
         // page has only the natural ~1-2% there.
         let bits = {
-            let _probe = span!(self.tracer, "probe_read");
+            let _probe = span!(tracer, "probe_read");
             hider.read_hidden_bits(page, None)?
         };
         let above = bits.iter().filter(|&&b| !b).count();
@@ -865,9 +900,9 @@ impl<D: NandDevice> HiddenVolume<D> {
         // Integrity gate: a decode that passes the ECC but fails the tag is
         // a half-encoded page (or a misplaced payload) and must be rebuilt,
         // not returned.
-        let split = bytes.len().saturating_sub(self.cfg.tag_bytes());
+        let split = bytes.len().saturating_sub(tag_bytes);
         let (payload, tag) = bytes.split_at(split);
-        if tag != slot_tag(payload, slot, self.cfg.tag_bytes()) {
+        if tag != slot_tag(payload, slot, tag_bytes) {
             return Err(StegoError::Hide(HideError::NeedsRecovery));
         }
         Ok(Some((payload.to_vec(), corrected)))

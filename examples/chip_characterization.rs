@@ -22,8 +22,9 @@ fn characterize(chip: &mut Chip, block: BlockId, rng: &mut SmallRng) -> (Histogr
             data
         })
         .collect();
+    let mut levels = Vec::new();
     for (p, data) in patterns.iter().enumerate() {
-        let levels = chip.probe_voltages(PageId::new(block, p as u32)).unwrap();
+        chip.probe_voltages_into(PageId::new(block, p as u32), &mut levels).unwrap();
         for (i, &l) in levels.iter().enumerate() {
             if data.get(i) {
                 erased.add_levels(&[l]);

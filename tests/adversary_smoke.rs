@@ -37,8 +37,10 @@ fn block_features(
         }
     }
     let mut h = Histogram::new();
+    let mut levels = Vec::new();
     for p in 0..pages {
-        h.add_levels(&chip.probe_voltages(PageId::new(block, p)).unwrap());
+        chip.probe_voltages_into(PageId::new(block, p), &mut levels).unwrap();
+        h.add_levels(&levels);
     }
     h.to_feature_vector()
 }

@@ -12,7 +12,8 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use stash::crypto::HidingKey;
 use stash::flash::{
-    BitPattern, BlockId, Chip, ChipProfile, FaultDevice, NandDevice, PageId, TraceDevice,
+    BitPattern, BlockId, Chip, ChipProfile, CmdResult, FaultDevice, NandCmd, NandDevice, PageId,
+    PowerCut, PowerCutDevice, TraceDevice,
 };
 use stash::vthi::{Hider, VthiConfig};
 use std::fmt::Write as _;
@@ -75,10 +76,11 @@ fn golden_transcript<D: NandDevice>(mut chip: D) -> String {
         let _ = writeln!(out, "payload {page} {:016x}", bits_digest(public));
         let _ = writeln!(out, "bytes {page} {got:02x?}");
     }
+    let mut levels = Vec::new();
     for (page, _, _) in &stored {
         let read = chip.read_page(*page).unwrap();
         let shifted = chip.read_page_shifted(*page, 120).unwrap();
-        let levels = chip.probe_voltages(*page).unwrap();
+        chip.probe_voltages_into(*page, &mut levels).unwrap();
         let _ = writeln!(
             out,
             "reads {page} {:016x} {:016x} {:016x}",
@@ -111,6 +113,181 @@ fn wrapped_stack_matches_bare_chip_on_the_golden_workload() {
     assert_eq!(bare, wrapped, "no-op middleware changed the device's observable behavior");
     // The transcript actually pinned something substantial.
     assert!(bare.lines().count() > 16, "transcript too small:\n{bare}");
+}
+
+/// A representative command batch: erases, interleaved programs, runs of
+/// same-page shifted reads (the planner's grouping target), a fused sweep,
+/// spare and voltage probes — everything the batched engine plans over.
+fn batch_workload(cpp: usize) -> Vec<NandCmd> {
+    let mut rng = SmallRng::seed_from_u64(0xBA7C);
+    let b = BlockId(0);
+    let mut cmds = vec![NandCmd::EraseBlock(b)];
+    for p in 0..4u32 {
+        cmds.push(NandCmd::ProgramPage(PageId::new(b, p), BitPattern::random_half(&mut rng, cpp)));
+    }
+    for p in 0..4u32 {
+        let page = PageId::new(b, p);
+        cmds.push(NandCmd::ReadPage(page));
+        // A same-page run of shifted reads: the planner fuses these.
+        for vref in [110u8, 120, 130] {
+            cmds.push(NandCmd::ReadPageShifted(page, vref));
+        }
+        cmds.push(NandCmd::ReadSpare(page));
+    }
+    cmds.push(NandCmd::ReadPageSweep(PageId::new(b, 1), vec![100, 115, 130, 145]));
+    cmds.push(NandCmd::ProbeVoltages(PageId::new(b, 2)));
+    cmds.push(NandCmd::AgeDays(30.0));
+    cmds.push(NandCmd::ReadPage(PageId::new(b, 3)));
+    cmds
+}
+
+/// Dispatches one command through the scalar trait surface — the reference
+/// the batched `exec` must be byte-identical to.
+fn dispatch_scalar<D: NandDevice + ?Sized>(dev: &mut D, cmd: &NandCmd) -> CmdResult {
+    match cmd {
+        NandCmd::EraseBlock(b) => CmdResult::Unit(dev.erase_block(*b)),
+        NandCmd::ProgramPage(p, data) => CmdResult::Unit(dev.program_page(*p, data)),
+        NandCmd::PartialProgram(p, mask) => CmdResult::Unit(dev.partial_program(*p, mask)),
+        NandCmd::ReadPage(p) => CmdResult::Bits(dev.read_page(*p)),
+        NandCmd::ReadPageShifted(p, vref) => CmdResult::Bits(dev.read_page_shifted(*p, *vref)),
+        NandCmd::ReadPageSweep(p, vrefs) => CmdResult::Sweep(dev.read_page_sweep(*p, vrefs)),
+        NandCmd::ReadSpare(p) => CmdResult::Spare(dev.read_spare(*p)),
+        NandCmd::ProbeVoltages(p) => CmdResult::Levels(dev.probe_voltages(*p)),
+        NandCmd::AgeDays(days) => {
+            dev.age_days(*days);
+            CmdResult::Unit(Ok(()))
+        }
+        other => unimplemented!("workload does not use {other:?}"),
+    }
+}
+
+/// Everything observable after a run: per-command results, raw voltages of
+/// every touched page, and the meter.
+fn exec_fingerprint<D: NandDevice>(mut dev: D, results: Vec<CmdResult>) -> String {
+    let mut out = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(out, "cmd {i}: {r:?}");
+    }
+    let mut levels = Vec::new();
+    for p in 0..4u32 {
+        let page = PageId::new(BlockId(0), p);
+        match dev.probe_voltages_into(page, &mut levels) {
+            Ok(()) => {
+                let _ = writeln!(out, "volt {page} {:016x}", levels_digest(&levels));
+            }
+            Err(e) => {
+                let _ = writeln!(out, "volt {page} err {e:?}");
+            }
+        }
+    }
+    let m = dev.meter();
+    let _ = writeln!(
+        out,
+        "meter ops={} faults={} time_us={}",
+        m.total_ops(),
+        m.total_faults(),
+        m.device_time_us
+    );
+    out
+}
+
+#[test]
+fn batched_exec_matches_scalar_dispatch_on_bare_chip() {
+    let profile = ChipProfile::vendor_a_scaled();
+    let cpp = Chip::new(profile.clone(), SEED).geometry().cells_per_page();
+    let cmds = batch_workload(cpp);
+
+    let mut seq_chip = Chip::new(profile.clone(), SEED);
+    let seq: Vec<CmdResult> = cmds.iter().map(|c| dispatch_scalar(&mut seq_chip, c)).collect();
+
+    let mut batch_chip = Chip::new(profile, SEED);
+    let batch = batch_chip.exec(&cmds);
+
+    assert_eq!(
+        exec_fingerprint(seq_chip, seq),
+        exec_fingerprint(batch_chip, batch),
+        "planned exec diverged from scalar dispatch on the bare chip"
+    );
+}
+
+#[test]
+fn batched_exec_matches_scalar_dispatch_through_the_full_stack() {
+    let cpp = Chip::new(ChipProfile::vendor_a_scaled(), SEED).geometry().cells_per_page();
+    let cmds = batch_workload(cpp);
+    let stack =
+        |seed| FaultDevice::new(TraceDevice::new(Chip::new(ChipProfile::vendor_a_scaled(), seed)));
+
+    let mut seq_dev = stack(SEED);
+    let seq: Vec<CmdResult> = cmds.iter().map(|c| dispatch_scalar(&mut seq_dev, c)).collect();
+
+    let mut batch_dev = stack(SEED);
+    let batch = batch_dev.exec(&cmds);
+
+    assert_eq!(
+        exec_fingerprint(seq_dev, seq),
+        exec_fingerprint(batch_dev, batch),
+        "planned exec diverged from scalar dispatch through FaultDevice<TraceDevice<Chip>>"
+    );
+}
+
+#[test]
+fn batched_exec_matches_scalar_dispatch_with_a_mid_batch_power_cut() {
+    let cpp = Chip::new(ChipProfile::vendor_a_scaled(), SEED).geometry().cells_per_page();
+    let cmds = batch_workload(cpp);
+    // Land the cut mid-batch, inside page 0's shifted-read run (ops 6-8),
+    // partway through the op so the mid-op gate is exercised too.
+    let stack = |seed| {
+        let chip =
+            FaultDevice::new(TraceDevice::new(Chip::new(ChipProfile::vendor_a_scaled(), seed)));
+        let mut dev = PowerCutDevice::with_cuts(chip, vec![PowerCut { at_op: 8, fraction: 0.5 }]);
+        dev.set_op_logging(true);
+        dev
+    };
+
+    let mut seq_dev = stack(SEED);
+    let seq: Vec<CmdResult> = cmds.iter().map(|c| dispatch_scalar(&mut seq_dev, c)).collect();
+
+    let mut batch_dev = stack(SEED);
+    let batch = batch_dev.exec(&cmds);
+
+    // The cut must fire at the same op, leave the same op log, and every
+    // later command must fail identically (PowerLoss) in both runs.
+    assert!(seq_dev.is_off() && batch_dev.is_off(), "cut did not fire in both runs");
+    assert_eq!(seq_dev.op_index(), batch_dev.op_index());
+    assert_eq!(seq_dev.op_log(), batch_dev.op_log());
+    // Reboot so the fingerprint can probe the post-cut medium.
+    seq_dev.reboot();
+    batch_dev.reboot();
+    assert_eq!(
+        exec_fingerprint(seq_dev, seq),
+        exec_fingerprint(batch_dev, batch),
+        "mid-batch power cut diverged from the scalar-dispatch cut"
+    );
+}
+
+#[test]
+fn read_page_sweep_equals_the_shifted_read_sequence() {
+    let vrefs = [95u8, 110, 120, 135, 150];
+
+    let prep = |seed| {
+        let mut chip = Chip::new(ChipProfile::vendor_a_scaled(), seed);
+        let cpp = chip.geometry().cells_per_page();
+        let mut rng = SmallRng::seed_from_u64(3);
+        chip.erase_block(BlockId(0)).unwrap();
+        let page = PageId::new(BlockId(0), 0);
+        chip.program_page(page, &BitPattern::random_half(&mut rng, cpp)).unwrap();
+        (chip, page)
+    };
+
+    let (mut seq_chip, page) = prep(SEED);
+    let seq: Vec<BitPattern> =
+        vrefs.iter().map(|&v| seq_chip.read_page_shifted(page, v).unwrap()).collect();
+
+    let (mut sweep_chip, page) = prep(SEED);
+    let sweep = sweep_chip.read_page_sweep(page, &vrefs).unwrap();
+
+    assert_eq!(seq, sweep, "fused sweep read diverged from the shifted-read sequence");
+    assert_eq!(seq_chip.meter(), sweep_chip.meter(), "sweep billed differently than the sequence");
 }
 
 #[test]

@@ -22,7 +22,10 @@ fn snapshot(chip: &mut Chip) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     for b in 0..g.blocks_per_chip {
         for p in 0..g.pages_per_block {
-            out.push(chip.probe_voltages(PageId::new(stash::flash::BlockId(b), p)).unwrap());
+            let mut levels = Vec::new();
+            chip.probe_voltages_into(PageId::new(stash::flash::BlockId(b), p), &mut levels)
+                .unwrap();
+            out.push(levels);
         }
     }
     out

@@ -130,11 +130,13 @@ proptest! {
                 if n == 32 { break; }
             }
         }
-        let before = chip.probe_voltages(page).unwrap();
+        let mut before = Vec::new();
+        chip.probe_voltages_into(page, &mut before).unwrap();
         for _ in 0..steps {
             chip.partial_program(page, &mask).unwrap();
         }
-        let after = chip.probe_voltages(page).unwrap();
+        let mut after = Vec::new();
+        chip.probe_voltages_into(page, &mut after).unwrap();
         for i in 0..cpp {
             if mask.get(i) {
                 // Allow a few levels of read noise; charge itself only goes up.
