@@ -7,7 +7,9 @@
 //! * `TRACE_*.jsonl` — every line must parse; the `trace_summary` header
 //!   must carry the `stash-trace/1` schema.
 //! * `HISTORY.jsonl` — every run record must parse and carry the
-//!   `stash-history/1` schema plus `bench`/`wall`/`deterministic`.
+//!   `stash-history/1` schema plus the same shape as a bench artifact:
+//!   a non-empty `bench` string, a positive `threads` count, a `wall`
+//!   object with a non-negative `ms`, and a `deterministic` object.
 //!
 //! Exits non-zero on any failure.
 
@@ -23,16 +25,24 @@ fn require_schema(fields: &JsonValue, want: &str) -> Result<(), String> {
     }
 }
 
-fn check_bench(raw: &str) -> Result<(), String> {
-    let parsed = json::parse(raw).map_err(|e| format!("parse: {e}"))?;
-    let JsonValue::Obj(fields) = &parsed else {
+/// The run-record shape shared by `BENCH_*.json` artifacts and
+/// `HISTORY.jsonl` lines — everything but the schema tag.
+fn check_run_record(parsed: &JsonValue) -> Result<(), String> {
+    let JsonValue::Obj(fields) = parsed else {
         return Err("not a JSON object".into());
     };
-    require_schema(&parsed, BENCH_SCHEMA)?;
     for key in ["bench", "threads", "wall", "deterministic"] {
         if !fields.contains_key(key) {
             return Err(format!("missing field {key:?}"));
         }
+    }
+    match fields.get("bench").and_then(JsonValue::as_str) {
+        Some(name) if !name.is_empty() => {}
+        _ => return Err("field \"bench\" is not a non-empty string".into()),
+    }
+    match fields.get("threads").and_then(JsonValue::as_f64) {
+        Some(threads) if threads >= 1.0 => {}
+        _ => return Err("field \"threads\" is not a positive count".into()),
     }
     if !matches!(fields.get("deterministic"), Some(JsonValue::Obj(_))) {
         return Err("field \"deterministic\" is not an object".into());
@@ -44,6 +54,12 @@ fn check_bench(raw: &str) -> Result<(), String> {
         Some(ms) if ms >= 0.0 => Ok(()),
         _ => Err("wall.ms is not a non-negative number".into()),
     }
+}
+
+fn check_bench(raw: &str) -> Result<(), String> {
+    let parsed = json::parse(raw).map_err(|e| format!("parse: {e}"))?;
+    require_schema(&parsed, BENCH_SCHEMA)?;
+    check_run_record(&parsed)
 }
 
 fn check_trace(raw: &str) -> Result<(), String> {
@@ -69,11 +85,7 @@ fn check_history(raw: &str) -> Result<(), String> {
     for (i, line) in raw.lines().enumerate() {
         let parsed = json::parse(line).map_err(|e| format!("line {}: parse: {e}", i + 1))?;
         require_schema(&parsed, HISTORY_SCHEMA).map_err(|e| format!("line {}: {e}", i + 1))?;
-        for key in ["bench", "wall", "deterministic"] {
-            if parsed.get(key).is_none() {
-                return Err(format!("line {}: missing field {key:?}", i + 1));
-            }
-        }
+        check_run_record(&parsed).map_err(|e| format!("line {}: {e}", i + 1))?;
     }
     Ok(())
 }

@@ -4,11 +4,13 @@ use rand::{rngs::SmallRng, SeedableRng};
 use stash_crypto::HidingKey;
 use stash_fingerprint::{Fingerprint, FlashTrng};
 use stash_flash::{
-    BitPattern, BlockId, Chip, ChipProfile, FlashError, Geometry, Histogram, NandDevice, PageId,
-    PowerCut, PowerCutDevice, TraceDevice,
+    ArrayDevice, BitPattern, BlockId, Chip, ChipProfile, FlashError, Geometry, Histogram,
+    NandDevice, PageId, PowerCut, PowerCutDevice, TraceDevice,
 };
 use stash_ftl::{Ftl, FtlConfig, FtlError};
-use stash_obs::{export, render_prometheus, write_snapshot, HealthMonitor, HealthSample, Tracer};
+use stash_obs::{
+    export, render_prometheus, write_snapshot, ChipHealth, HealthMonitor, HealthSample, Tracer,
+};
 use stash_stego::{HiddenVolume, StegoConfig, StegoError};
 use stash_svm::{Dataset, Kernel, StandardScaler, Svm, SvmParams};
 use std::sync::Arc;
@@ -23,10 +25,10 @@ pub enum Outcome {
     Quit,
 }
 
-/// Console state: one chip, one optional hiding key, bookkeeping for
-/// hide/reveal demos.
+/// Console state: one device (a chip array, single-chip by default), one
+/// optional hiding key, bookkeeping for hide/reveal demos.
 pub struct Console {
-    chip: TraceDevice<Chip>,
+    chip: TraceDevice<ArrayDevice<Chip>>,
     key: Option<HidingKey>,
     cfg: VthiConfig,
     rng: SmallRng,
@@ -44,7 +46,14 @@ impl Console {
     /// Creates a console over a fresh scaled vendor-A chip, wrapped in
     /// tracing middleware so `trace on` can attach a recorder at runtime.
     pub fn new() -> Self {
-        let chip = TraceDevice::new(Chip::new(ChipProfile::vendor_a_scaled(), 0x7E57));
+        Self::with_chips(1)
+    }
+
+    /// Creates a console over an `n`-chip array of scaled vendor-A chips.
+    /// A 1-chip array is byte-identical to the bare chip it wraps.
+    pub fn with_chips(n: u32) -> Self {
+        let array = ArrayDevice::homogeneous(ChipProfile::vendor_a_scaled(), n.max(1), 0x7E57);
+        let chip = TraceDevice::new(array);
         let cfg = VthiConfig::scaled_for(chip.geometry());
         Console {
             chip,
@@ -61,8 +70,10 @@ impl Console {
     /// Prints the device banner.
     pub fn banner(&self) {
         let g = self.chip.geometry();
+        let chips = self.chip.chip_count();
+        let chips_note = if chips > 1 { format!(" ({chips} chips)") } else { String::new() };
         println!(
-            "device: {} | {} blocks x {} pages x {} B | hidden: {} bits/page ({} B payload)",
+            "device: {}{chips_note} | {} blocks x {} pages x {} B | hidden: {} bits/page ({} B payload)",
             self.chip.profile().name,
             g.blocks_per_chip,
             g.pages_per_block,
@@ -140,8 +151,9 @@ impl Console {
              \x20 meter                       op counts / device time / energy\n\
              \x20 trace on|off|dump [fmt]     span tracing; fmt: tree|json|flame\n\
              \x20 crash <at_op> [fraction]    power-cut + cold-remount recovery demo\n\
-             \x20 health                      device-health report on a demo stack (wear,\n\
-             \x20                             margins, detectability, alerts)\n\
+             \x20 health [--chips N]          device-health report on a demo stack (wear,\n\
+             \x20                             margins, detectability, alerts; N-chip array\n\
+             \x20                             adds per-chip gauges)\n\
              \x20 stats [prom|json]           export health gauges (Prometheus text or\n\
              \x20                             versioned JSON snapshot)\n\
              \x20 quit"
@@ -564,24 +576,30 @@ impl Console {
         Ok(())
     }
 
-    /// Builds the deterministic health-demo stack (small chip with
+    /// Builds the deterministic health-demo stack (small chip array with
     /// preconditioned uneven wear → FTL → hidden volume with parity),
     /// exercises it, and collects one [`HealthSample`]: per-block PEC from
     /// the device's wear accounting, journal/retirement/free-pool figures
     /// from the FTL, BER and capacity margins from the hidden volume's
-    /// health probe, and a fixed-parameter SVM detectability reading.
-    fn demo_health_sample(key: &HidingKey) -> Result<HealthSample, String> {
+    /// health probe, a fixed-parameter SVM detectability reading, and —
+    /// for `chips > 1` — a per-chip attribution breakdown.
+    fn demo_health_sample(key: &HidingKey, chips: u32) -> Result<HealthSample, String> {
         const SLOTS: usize = 4;
         let seed = 0x6EA17;
+        let chips = chips.max(1);
         let mut profile = ChipProfile::vendor_a();
         profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 4, page_bytes: 1024 };
-        let mut chip = Chip::new(profile, seed);
+        let mut dev = ArrayDevice::homogeneous(profile, chips, seed);
         // Uneven wear laid down before the FTL formats, so the histogram
-        // and hottest-block gauges have real structure to report.
-        for (b, n) in [(2u32, 40u32), (5, 12), (7, 25), (9, 4)] {
-            chip.cycle_block(BlockId(b), n).map_err(|e| e.to_string())?;
+        // and hottest-block gauges have real structure to report; the
+        // pattern is rotated per chip so the per-chip gauges differ too.
+        for c in 0..chips {
+            for (b, n) in [(2u32, 40u32), (5, 12), (7, 25), (9, 4)] {
+                let block = BlockId(c * 12 + (b + c) % 12);
+                dev.cycle_block(block, n).map_err(|e| e.to_string())?;
+            }
         }
-        let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 6, gc_low_water: 2 })
+        let ftl = Ftl::new(dev, FtlConfig { reserve_blocks: 6, gc_low_water: 2 })
             .map_err(|e| e.to_string())?;
         let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
         cfg.parity_group = SLOTS;
@@ -604,6 +622,30 @@ impl Console {
         let hidden = vol.health_probe().map_err(|e| e.to_string())?;
         let detect = Self::detect_probe(&mut vol)?;
         let wear = vol.ftl().chip().wear_summary();
+        let per_chip = if chips > 1 {
+            let ftl = vol.ftl();
+            let array = ftl.chip();
+            let local = array.local_blocks();
+            let retired = ftl.retired_blocks();
+            (0..chips)
+                .map(|c| {
+                    let w = array.chip_wear_summary(c as usize);
+                    let blocks = w.per_block_pec.len().max(1) as f64;
+                    let total: u64 = w.per_block_pec.iter().map(|&p| u64::from(p)).sum();
+                    ChipHealth {
+                        chip: c,
+                        hottest_pec: w.per_block_pec.iter().copied().max().unwrap_or(0),
+                        mean_pec: total as f64 / blocks,
+                        grown_bad_blocks: u64::from(w.grown_bad_blocks),
+                        free_blocks: ftl.free_blocks_on_chip(c as usize) as u64,
+                        retired_blocks: retired.iter().filter(|b| b.0 / local == c).count() as u64,
+                        meter: array.chip_meter(c as usize),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Ok(HealthSample {
             per_block_pec: wear.per_block_pec,
             grown_bad_blocks: u64::from(wear.grown_bad_blocks),
@@ -618,6 +660,7 @@ impl Console {
             lost_capacity_slots: hidden.lost_capacity_slots as u64,
             detect_accuracy: Some(detect),
             meter: vol.ftl().chip().meter(),
+            per_chip,
         })
     }
 
@@ -625,7 +668,7 @@ impl Console {
     /// voltage histograms of slot-backing pages from ordinary public pages
     /// on the demo stack? Held-out accuracy near the coin flip means the
     /// hidden volume leaves no voltage-domain tell.
-    fn detect_probe(vol: &mut HiddenVolume<Chip>) -> Result<f64, String> {
+    fn detect_probe<D: NandDevice>(vol: &mut HiddenVolume<D>) -> Result<f64, String> {
         let slot_lpns = vol.slot_lpns().to_vec();
         let cap = vol.ftl().capacity_pages();
         let clean_lpns: Vec<u64> =
@@ -664,9 +707,19 @@ impl Console {
 
     /// Health report: collect a demo-stack sample, feed the monitor, then
     /// render the wear heatmap, the gauge table and any alerts that fired.
-    fn cmd_health(&mut self, _args: &[&str]) -> Result<(), String> {
+    fn cmd_health(&mut self, args: &[&str]) -> Result<(), String> {
+        let chips: u32 = match args {
+            [] => 1,
+            ["--chips", n] | [n] => {
+                n.parse().map_err(|_| "usage: health [--chips N]".to_owned())?
+            }
+            _ => return Err("usage: health [--chips N]".into()),
+        };
+        if !(1..=64).contains(&chips) {
+            return Err("chips must be in 1..=64".into());
+        }
         let key = self.key.clone().unwrap_or_else(|| HidingKey::from_passphrase("health demo"));
-        let sample = Self::demo_health_sample(&key)?;
+        let sample = Self::demo_health_sample(&key, chips)?;
         let fired = self.health.observe(&sample);
 
         println!(
@@ -682,6 +735,21 @@ impl Console {
         for (b, &pec) in sample.per_block_pec.iter().enumerate() {
             let bar = "#".repeat(((f64::from(pec) / f64::from(hottest)) * 40.0).round() as usize);
             println!("{b:>4} {pec:>6} {bar}");
+        }
+        if !sample.per_chip.is_empty() {
+            println!("per-chip:");
+            for c in &sample.per_chip {
+                println!(
+                    "  chip {:>2}: hottest {} PEC, mean {:.1}, free {}, retired {}, grown-bad {}, {} ops",
+                    c.chip,
+                    c.hottest_pec,
+                    c.mean_pec,
+                    c.free_blocks,
+                    c.retired_blocks,
+                    c.grown_bad_blocks,
+                    c.meter.total_ops(),
+                );
+            }
         }
         println!("gauges:");
         for ((name, label), v) in self.health.registry().gauges() {
@@ -850,8 +918,9 @@ mod tests {
         // the stack itself: the chip meter totals, the block count and the
         // slot accounting — not merely be plausible numbers.
         let key = HidingKey::from_passphrase("health demo");
-        let sample = Console::demo_health_sample(&key).expect("demo sample");
+        let sample = Console::demo_health_sample(&key, 1).expect("demo sample");
         assert_eq!(sample.per_block_pec.len(), 12);
+        assert!(sample.per_chip.is_empty(), "single-chip stack publishes no per-chip section");
         assert_eq!(sample.data_slots, 4);
         assert_eq!(sample.advertised_slots, 4);
         assert_eq!(sample.parity_slots, 1);
@@ -881,9 +950,61 @@ mod tests {
     #[test]
     fn demo_health_sample_is_deterministic() {
         let key = HidingKey::from_passphrase("health demo");
-        let a = Console::demo_health_sample(&key).expect("first sample");
-        let b = Console::demo_health_sample(&key).expect("second sample");
+        let a = Console::demo_health_sample(&key, 1).expect("first sample");
+        let b = Console::demo_health_sample(&key, 1).expect("second sample");
         assert_eq!(a, b, "demo stack must be fully seeded");
+    }
+
+    #[test]
+    fn multi_chip_health_sample_attributes_per_chip() {
+        let key = HidingKey::from_passphrase("health demo");
+        let sample = Console::demo_health_sample(&key, 3).expect("array sample");
+        assert_eq!(sample.per_block_pec.len(), 36, "wear summary spans the whole array");
+        assert_eq!(sample.per_chip.len(), 3);
+        for (i, c) in sample.per_chip.iter().enumerate() {
+            assert_eq!(c.chip, i as u32);
+            assert!(c.meter.total_ops() > 0, "every chip saw work: {c:?}");
+            assert!(c.hottest_pec >= 40, "preconditioned wear visible on chip {i}");
+        }
+        // Per-chip meters partition the aggregate exactly.
+        let ops: u64 = sample.per_chip.iter().map(|c| c.meter.total_ops()).sum();
+        assert_eq!(ops, sample.meter.total_ops());
+        // And the per-chip gauges land in the registry under a chip label.
+        let mut m = HealthMonitor::default();
+        m.observe(&sample);
+        assert_eq!(
+            m.registry().gauge("health_chip_hottest_pec", "chip:2"),
+            Some(f64::from(sample.per_chip[2].hottest_pec))
+        );
+    }
+
+    #[test]
+    fn health_command_accepts_chips_flag() {
+        let mut c = Console::new();
+        run(&mut c, &["health --chips 2", "health 2", "health --chips 0", "health x y z"]);
+        assert_eq!(c.health.sample_count(), 2, "only the valid invocations sampled");
+    }
+
+    #[test]
+    fn multi_chip_console_smoke() {
+        let mut c = Console::with_chips(2);
+        let blocks = c.chip.geometry().blocks_per_chip;
+        assert_eq!(c.chip.chip_count(), 2);
+        // Address a block on the second chip through the widened space.
+        let far = blocks - 1;
+        run(
+            &mut c,
+            &[
+                "status",
+                "key open sesame",
+                &format!("erase {far}"),
+                &format!("program {far} 0"),
+                &format!("read {far} 0"),
+                "erase 1",
+                "hide 1 0 meet at dawn",
+                "reveal 1 0",
+            ],
+        );
     }
 
     #[test]

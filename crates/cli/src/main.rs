@@ -7,8 +7,29 @@ use std::io::{self, BufRead, Write};
 mod console;
 
 fn main() {
+    let mut chips: u32 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chips" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if (1..=64).contains(&n) => chips = n,
+                _ => {
+                    eprintln!("--chips needs a count in 1..=64");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: stash-tester [--chips N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
     let stdin = io::stdin();
-    let mut console = console::Console::new();
+    let mut console = console::Console::with_chips(chips);
     println!("stash-tester — simulated NAND flash console (type `help`)");
     console.banner();
     let mut out = io::stdout();

@@ -201,6 +201,14 @@ pub trait NandDevice {
     /// The sample seed.
     fn seed(&self) -> u64;
 
+    /// Number of independently addressed chips behind this device. A bare
+    /// [`Chip`] is 1 (the default); an [`ArrayDevice`](crate::ArrayDevice)
+    /// reports its member count, and middleware must forward this so the
+    /// layers above see the array through any wrapper stack.
+    fn chip_count(&self) -> u32 {
+        1
+    }
+
     /// Cumulative operation counts, simulated device time and energy.
     fn meter(&self) -> MeterSnapshot;
 
@@ -548,6 +556,9 @@ impl<D: NandDevice + ?Sized> NandDevice for &mut D {
     }
     fn seed(&self) -> u64 {
         (**self).seed()
+    }
+    fn chip_count(&self) -> u32 {
+        (**self).chip_count()
     }
     fn meter(&self) -> MeterSnapshot {
         (**self).meter()

@@ -49,6 +49,7 @@
 //! All randomness is deterministic given the chip seed, so experiments are
 //! reproducible; distinct seeds model distinct physical chip samples.
 
+pub mod array;
 pub mod ber;
 pub mod bits;
 pub mod block;
@@ -70,6 +71,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod tlc;
 
+pub use array::ArrayDevice;
 pub use ber::BitErrorStats;
 pub use bits::BitPattern;
 pub use chip::Chip;

@@ -186,6 +186,9 @@ impl<D: NandDevice> NandDevice for FaultDevice<D> {
     fn seed(&self) -> u64 {
         self.inner.seed()
     }
+    fn chip_count(&self) -> u32 {
+        self.inner.chip_count()
+    }
     fn meter(&self) -> MeterSnapshot {
         self.inner.meter()
     }
@@ -597,6 +600,9 @@ impl<D: NandDevice> NandDevice for TraceDevice<D> {
     fn seed(&self) -> u64 {
         self.inner.seed()
     }
+    fn chip_count(&self) -> u32 {
+        self.inner.chip_count()
+    }
     fn meter(&self) -> MeterSnapshot {
         self.inner.meter()
     }
@@ -894,6 +900,9 @@ impl<D: NandDevice> NandDevice for SnapshotDevice<D> {
     }
     fn seed(&self) -> u64 {
         self.inner.seed()
+    }
+    fn chip_count(&self) -> u32 {
+        self.inner.chip_count()
     }
     fn meter(&self) -> MeterSnapshot {
         self.inner.meter()
@@ -1250,6 +1259,9 @@ impl<D: NandDevice> NandDevice for PowerCutDevice<D> {
     }
     fn seed(&self) -> u64 {
         self.inner.seed()
+    }
+    fn chip_count(&self) -> u32 {
+        self.inner.chip_count()
     }
     fn meter(&self) -> MeterSnapshot {
         self.inner.meter()
@@ -1894,6 +1906,56 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn batch_split_is_exact_when_the_cut_lands_on_a_batch_boundary() {
+        // Sweep the cut across every op index touching a batch, including
+        // exactly the first op (at_op == op_index when exec starts), the
+        // last op inside the batch, and one past the end (fires only on a
+        // later batch). batchable_prefix must split so the cut fires at
+        // the identical op — and leaves the identical op log and results —
+        // as per-op scalar dispatch.
+        let batch = |cpp: usize| -> Vec<NandCmd> {
+            let b = BlockId(0);
+            vec![
+                NandCmd::EraseBlock(b),
+                NandCmd::ProgramPage(PageId::new(b, 0), BitPattern::zeros(cpp)),
+                NandCmd::ProgramPage(PageId::new(b, 1), BitPattern::ones(cpp)),
+                NandCmd::ReadPage(PageId::new(b, 0)),
+                // A sweep ticks the cut clock once per vref: the boundary
+                // can land *inside* this one command's span.
+                NandCmd::ReadPageSweep(PageId::new(b, 0), vec![100, 120, 140]),
+                NandCmd::ReadPage(PageId::new(b, 1)),
+            ]
+        };
+        let total_span = 8u64; // 1 erase + 2 programs + 1 read + 3 sweep ticks + 1 read
+        for at_op in 0..=total_span {
+            let run = |batched: bool| {
+                let mut dev =
+                    PowerCutDevice::with_cuts(chip(), vec![PowerCut { at_op, fraction: 0.5 }]);
+                dev.set_op_logging(true);
+                let cmds = batch(dev.geometry().cells_per_page());
+                let results: Vec<String> = if batched {
+                    dev.exec(&cmds).iter().map(|r| format!("{r:?}")).collect()
+                } else {
+                    cmds.iter().map(|c| format!("{:?}", dispatch_one(&mut dev, c))).collect()
+                };
+                (results, dev.op_index(), dev.op_log().to_vec(), dev.is_off(), dev.meter())
+            };
+            assert_eq!(run(true), run(false), "cut at op {at_op} split the batch differently");
+        }
+        // at_op == total_span never fires within this workload: assert the
+        // whole batch survived (no off-by-one cutting the last op short).
+        let mut dev =
+            PowerCutDevice::with_cuts(chip(), vec![PowerCut { at_op: total_span, fraction: 0.5 }]);
+        let cmds = batch(dev.geometry().cells_per_page());
+        let results = dev.exec(&cmds);
+        assert!(!dev.is_off(), "cut one past the batch end must not fire inside it");
+        assert_eq!(dev.op_index(), total_span);
+        for (i, r) in results.iter().enumerate() {
+            assert!(!format!("{r:?}").contains("PowerLoss"), "cmd {i} failed: {r:?}");
+        }
     }
 
     #[test]

@@ -81,8 +81,10 @@ proptest! {
         chip.erase_block(BlockId(0)).unwrap();
         let page = PageId::new(BlockId(0), 0);
         chip.program_page(page, &data).unwrap();
-        let low = chip.read_page_shifted(page, 30).unwrap();
-        let high = chip.read_page_shifted(page, 200).unwrap();
+        let mut low = BitPattern::zeros(0);
+        chip.read_page_shifted_into(page, 30, &mut low).unwrap();
+        let mut high = BitPattern::zeros(0);
+        chip.read_page_shifted_into(page, 200, &mut high).unwrap();
         // A cell reading 1 at vref=30 (v < 30) must read 1 at vref=200
         // unless read noise crosses it — allow a tiny violation count.
         let violations = (0..cpp)

@@ -206,10 +206,18 @@ pub struct Ftl<D: NandDevice = Chip> {
     valid: Vec<u32>,
     /// Next free page index per block (pages_per_block = full).
     cursor: Vec<u32>,
-    /// Fully-free blocks (erased, cursor 0).
-    free: Vec<BlockId>,
-    /// Block currently absorbing writes.
-    active: Option<BlockId>,
+    /// Fully-free blocks (erased, cursor 0), one pool per chip: allocation,
+    /// GC and wear leveling are confined to the chip that owns an LPN, so
+    /// cross-chip placement guarantees made above the FTL survive every
+    /// relocation.
+    free: Vec<Vec<BlockId>>,
+    /// Block currently absorbing writes, one per chip.
+    active: Vec<Option<BlockId>>,
+    /// Chips behind the device ([`NandDevice::chip_count`]); 1 for a bare
+    /// chip.
+    chips: u32,
+    /// Blocks per chip (`blocks_per_chip / chips`).
+    local_blocks: u32,
     /// Blocks pulled out of rotation after going grown bad.
     retired: Vec<bool>,
     /// Blocks that must be erased before accepting writes even though they
@@ -236,13 +244,22 @@ impl<D: NandDevice> Ftl<D> {
     /// at least one logical block or GC headroom is impossible.
     pub fn new(chip: D, cfg: FtlConfig) -> Result<Self, FtlError> {
         let blocks = chip.geometry().blocks_per_chip;
+        let chips = chip.chip_count().max(1);
+        if blocks % chips != 0 {
+            return Err(FtlError::InvalidConfig(format!(
+                "{blocks} blocks do not divide evenly over {chips} chips"
+            )));
+        }
+        let local_blocks = blocks / chips;
         if cfg.reserve_blocks < 2 {
             return Err(FtlError::InvalidConfig("reserve_blocks must be at least 2".into()));
         }
-        if cfg.reserve_blocks >= blocks {
+        // Reserve and GC headroom are per chip: each chip runs its own
+        // allocation rotation, so each needs its own over-provisioning.
+        if cfg.reserve_blocks >= local_blocks {
             return Err(FtlError::InvalidConfig(format!(
-                "reserve {} exceeds {} blocks",
-                cfg.reserve_blocks, blocks
+                "reserve {} exceeds {} blocks per chip",
+                cfg.reserve_blocks, local_blocks
             )));
         }
         if cfg.gc_low_water < 1 || cfg.gc_low_water >= cfg.reserve_blocks {
@@ -250,7 +267,9 @@ impl<D: NandDevice> Ftl<D> {
                 "gc_low_water must be in [1, reserve_blocks)".into(),
             ));
         }
-        let free: Vec<BlockId> = (0..blocks).map(BlockId).collect();
+        let free: Vec<Vec<BlockId>> = (0..chips)
+            .map(|c| (c * local_blocks..(c + 1) * local_blocks).map(BlockId).collect())
+            .collect();
         Ok(Ftl {
             chip,
             cfg,
@@ -259,13 +278,34 @@ impl<D: NandDevice> Ftl<D> {
             valid: vec![0; blocks as usize],
             cursor: vec![0; blocks as usize],
             free,
-            active: None,
+            active: vec![None; chips as usize],
+            chips,
+            local_blocks,
             retired: vec![false; blocks as usize],
             needs_erase: vec![false; blocks as usize],
             next_seq: 0,
             stats: FtlStats::default(),
             tracer: None,
         })
+    }
+
+    /// The chip that owns a global block id.
+    fn chip_of_block(&self, b: BlockId) -> usize {
+        (b.0 / self.local_blocks) as usize
+    }
+
+    /// The home chip of a logical page. LPNs stripe round-robin over chips
+    /// (`lpn % chips`) and never change home: GC, wear leveling and
+    /// evacuation all relocate within the owning chip, so any cross-chip
+    /// placement a layer above arranged (parity groups on distinct chips)
+    /// is preserved for the life of the data.
+    pub fn chip_of_lpn(&self, lpn: Lpn) -> usize {
+        (lpn % u64::from(self.chips)) as usize
+    }
+
+    /// Chips behind the device (1 for a bare chip).
+    pub fn chip_count(&self) -> u32 {
+        self.chips
     }
 
     /// Mounts an FTL over a device that may hold prior state — the
@@ -303,8 +343,17 @@ impl<D: NandDevice> Ftl<D> {
         // total and the rebuild deterministic.
         let mut candidates: Vec<(u64, Lpn, PageId)> = Vec::new();
 
-        self.free.clear();
-        self.active = None;
+        for pool in &mut self.free {
+            pool.clear();
+        }
+        for slot in &mut self.active {
+            *slot = None;
+        }
+        // One journal-scan batch for the whole device: on a multi-chip
+        // array, `exec` partitions it by chip and scans every chip in
+        // parallel (deterministic merge — results come back in command
+        // order, and replay below is ordered by the global sequence number
+        // anyway).
         let mut spare_cmds: Vec<NandCmd> = Vec::new();
         let mut spare_pages: Vec<PageId> = Vec::new();
         for b in (0..blocks_per_chip).map(BlockId) {
@@ -314,29 +363,16 @@ impl<D: NandDevice> Ftl<D> {
                 report.retired_blocks += 1;
                 continue;
             }
-            spare_cmds.clear();
-            spare_pages.clear();
+            let mut programmed = 0u32;
             for p in 0..pages_per_block {
                 let page = PageId::new(b, p);
                 if !self.chip.is_page_programmed(page)? {
                     continue;
                 }
+                programmed += 1;
                 report.scanned_pages += 1;
                 spare_cmds.push(NandCmd::ReadSpare(page));
                 spare_pages.push(page);
-            }
-            // One journal-scan batch per block instead of a device call per
-            // programmed page.
-            let programmed = spare_pages.len() as u32;
-            for (result, &page) in self.chip.exec(&spare_cmds).into_iter().zip(&spare_pages) {
-                let spare = match result {
-                    CmdResult::Spare(r) => r?,
-                    _ => unreachable!("ReadSpare returns Spare"),
-                };
-                match spare.as_deref().and_then(decode_journal) {
-                    Some((seq, lpn)) => candidates.push((seq, lpn, page)),
-                    None => report.torn_pages += 1,
-                }
             }
             if programmed > 0 {
                 // Seal: no appends into a block with history; GC reclaims.
@@ -345,8 +381,19 @@ impl<D: NandDevice> Ftl<D> {
             } else {
                 self.cursor[b.0 as usize] = 0;
                 self.needs_erase[b.0 as usize] = true;
-                self.free.push(b);
+                let owner = self.chip_of_block(b);
+                self.free[owner].push(b);
                 report.free_blocks += 1;
+            }
+        }
+        for (result, &page) in self.chip.exec(&spare_cmds).into_iter().zip(&spare_pages) {
+            let spare = match result {
+                CmdResult::Spare(r) => r?,
+                _ => unreachable!("ReadSpare returns Spare"),
+            };
+            match spare.as_deref().and_then(decode_journal) {
+                Some((seq, lpn)) => candidates.push((seq, lpn, page)),
+                None => report.torn_pages += 1,
             }
         }
 
@@ -416,10 +463,13 @@ impl<D: NandDevice> Ftl<D> {
         self.tracer.as_ref()
     }
 
-    /// Logical pages exported to the host.
+    /// Logical pages exported to the host: per-chip capacity × chips (the
+    /// reserve is withheld on every chip).
     pub fn capacity_pages(&self) -> u64 {
         let g = self.chip.geometry();
-        u64::from(g.blocks_per_chip - self.cfg.reserve_blocks) * u64::from(g.pages_per_block)
+        u64::from(self.chips)
+            * u64::from(self.local_blocks - self.cfg.reserve_blocks)
+            * u64::from(g.pages_per_block)
     }
 
     /// Shared access to the device.
@@ -464,7 +514,7 @@ impl<D: NandDevice> Ftl<D> {
         self.check_lpn(lpn)?;
         let _write = span!(self.tracer, "host_write", "lpn={lpn}");
         let (mut migrations, mut erased) = (Vec::new(), Vec::new());
-        self.ensure_headroom(&mut migrations, &mut erased)?;
+        self.ensure_headroom(self.chip_of_lpn(lpn), &mut migrations, &mut erased)?;
 
         let page = self.program_on_fresh_page(lpn, data, &mut migrations, &mut erased)?;
         self.stats.host_writes += 1;
@@ -524,23 +574,37 @@ impl<D: NandDevice> Ftl<D> {
     ///
     /// Fails on flash errors or if space cannot be reclaimed.
     pub fn static_wear_level(&mut self, threshold: u32) -> Result<Vec<Migration>, FtlError> {
+        // Wear is judged and leveled within each chip: the detectability
+        // argument needs comparable PEC *among the blocks an examiner would
+        // compare*, and relocations must not move an LPN off its home chip.
+        let mut migrations = Vec::new();
+        for c in 0..self.chips as usize {
+            migrations.extend(self.wear_level_chip(c, threshold)?);
+        }
+        Ok(migrations)
+    }
+
+    /// One chip's static wear-leveling pass (see
+    /// [`static_wear_level`](Self::static_wear_level)).
+    fn wear_level_chip(&mut self, c: usize, threshold: u32) -> Result<Vec<Migration>, FtlError> {
         let pages_per_block = self.chip.geometry().pages_per_block;
-        let pecs: Vec<u32> = (0..self.valid.len())
-            .map(|b| self.chip.block_pec(BlockId(b as u32)).unwrap_or(0))
-            .collect();
+        let lo = c as u32 * self.local_blocks;
+        let hi = lo + self.local_blocks;
+        let pecs: Vec<u32> =
+            (lo..hi).map(|b| self.chip.block_pec(BlockId(b)).unwrap_or(0)).collect();
         let max_pec = *pecs.iter().max().unwrap_or(&0);
         // Coldest candidate: least-worn, fully-written, non-active block.
-        let Some(cold) = (0..self.valid.len())
-            .map(|i| BlockId(i as u32))
-            .filter(|b| Some(*b) != self.active)
+        let Some(cold) = (lo..hi)
+            .map(BlockId)
+            .filter(|b| Some(*b) != self.active[c])
             .filter(|b| !self.retired[b.0 as usize])
             .filter(|b| self.cursor[b.0 as usize] == pages_per_block)
             .filter(|b| self.valid[b.0 as usize] > 0)
-            .min_by_key(|b| pecs[b.0 as usize])
+            .min_by_key(|b| pecs[(b.0 - lo) as usize])
         else {
             return Ok(Vec::new());
         };
-        if max_pec.saturating_sub(pecs[cold.0 as usize]) < threshold {
+        if max_pec.saturating_sub(pecs[(cold.0 - lo) as usize]) < threshold {
             return Ok(Vec::new());
         }
         let _wl = span!(self.tracer, "static_wear_level", "cold={cold}");
@@ -562,14 +626,20 @@ impl<D: NandDevice> Ftl<D> {
         }
         if self.erase_unless_grown_bad(cold)? {
             self.cursor[cold.0 as usize] = 0;
-            self.free.push(cold);
+            self.free[c].push(cold);
         }
         Ok(migrations)
     }
 
-    /// Blocks currently in the free pool.
+    /// Blocks currently in the free pool (all chips).
     pub fn free_blocks(&self) -> usize {
-        self.free.len() + usize::from(self.active_has_room())
+        self.free.iter().map(Vec::len).sum::<usize>()
+            + (0..self.chips as usize).filter(|&c| self.active_has_room(c)).count()
+    }
+
+    /// Blocks currently in chip `c`'s free pool.
+    pub fn free_blocks_on_chip(&self, c: usize) -> usize {
+        self.free[c].len() + usize::from(self.active_has_room(c))
     }
 
     /// Number of blocks permanently retired after going grown bad — the
@@ -611,13 +681,14 @@ impl<D: NandDevice> Ftl<D> {
     pub fn evacuate_block(&mut self, block: BlockId) -> Result<Vec<Migration>, FtlError> {
         let _evac = span!(self.tracer, "evacuate_block", "block={block}");
         let pages_per_block = self.chip.geometry().pages_per_block;
-        if self.active == Some(block) {
-            self.active = None;
+        let c = self.chip_of_block(block);
+        if self.active[c] == Some(block) {
+            self.active[c] = None;
         }
         // Never hand out pages from the block while it drains.
         self.cursor[block.0 as usize] = pages_per_block;
-        if let Some(pos) = self.free.iter().position(|&b| b == block) {
-            self.free.swap_remove(pos);
+        if let Some(pos) = self.free[c].iter().position(|&b| b == block) {
+            self.free[c].swap_remove(pos);
         }
         let mut migrations = Vec::new();
         let mut erased = Vec::new();
@@ -641,7 +712,7 @@ impl<D: NandDevice> Ftl<D> {
             self.mark_retired(block);
         } else if self.erase_unless_grown_bad(block)? {
             self.cursor[block.0 as usize] = 0;
-            self.free.push(block);
+            self.free[c].push(block);
         }
         Ok(migrations)
     }
@@ -655,11 +726,12 @@ impl<D: NandDevice> Ftl<D> {
                 t.counter_add("block_retirements", "", 1);
             }
         }
-        if let Some(pos) = self.free.iter().position(|&x| x == b) {
-            self.free.swap_remove(pos);
+        let c = self.chip_of_block(b);
+        if let Some(pos) = self.free[c].iter().position(|&x| x == b) {
+            self.free[c].swap_remove(pos);
         }
-        if self.active == Some(b) {
-            self.active = None;
+        if self.active[c] == Some(b) {
+            self.active[c] = None;
         }
     }
 
@@ -704,8 +776,9 @@ impl<D: NandDevice> Ftl<D> {
         migrations: &mut Vec<Migration>,
         erased: &mut Vec<BlockId>,
     ) -> Result<PageId, FtlError> {
+        let home = self.chip_of_lpn(lpn);
         loop {
-            let page = self.allocate_page(migrations, erased)?;
+            let page = self.allocate_page(home, migrations, erased)?;
             let _prog = span!(self.tracer, "program_page");
             let mut attempt = 0u32;
             loop {
@@ -734,8 +807,8 @@ impl<D: NandDevice> Ftl<D> {
         }
     }
 
-    fn active_has_room(&self) -> bool {
-        match self.active {
+    fn active_has_room(&self, c: usize) -> bool {
+        match self.active[c] {
             Some(b) => self.cursor[b.0 as usize] < self.chip.geometry().pages_per_block,
             None => false,
         }
@@ -748,31 +821,35 @@ impl<D: NandDevice> Ftl<D> {
         Ok(())
     }
 
-    /// Ensures the free pool stays above the GC low-water mark.
+    /// Ensures chip `c`'s free pool stays above the GC low-water mark.
     fn ensure_headroom(
         &mut self,
+        c: usize,
         migrations: &mut Vec<Migration>,
         erased: &mut Vec<BlockId>,
     ) -> Result<(), FtlError> {
-        while self.free.len() < self.cfg.gc_low_water as usize {
-            self.collect_one(migrations, erased)?;
+        while self.free[c].len() < self.cfg.gc_low_water as usize {
+            self.collect_one(c, migrations, erased)?;
         }
         Ok(())
     }
 
-    /// Runs one GC cycle: picks the fullest-of-garbage block, relocates its
-    /// valid pages, erases it.
+    /// Runs one GC cycle on chip `c`: picks its fullest-of-garbage block,
+    /// relocates its valid pages (within the chip), erases it.
     fn collect_one(
         &mut self,
+        c: usize,
         migrations: &mut Vec<Migration>,
         erased: &mut Vec<BlockId>,
     ) -> Result<(), FtlError> {
         let pages_per_block = self.chip.geometry().pages_per_block;
+        let lo = c as u32 * self.local_blocks;
+        let hi = lo + self.local_blocks;
         // Victim: a fully-written, non-active block with the fewest valid
         // pages (greedy); must exist with fewer valid pages than capacity.
-        let victim = (0..self.valid.len())
-            .map(|i| BlockId(i as u32))
-            .filter(|b| Some(*b) != self.active)
+        let victim = (lo..hi)
+            .map(BlockId)
+            .filter(|b| Some(*b) != self.active[c])
             .filter(|b| !self.retired[b.0 as usize])
             .filter(|b| self.cursor[b.0 as usize] == pages_per_block)
             .min_by_key(|b| self.valid[b.0 as usize])
@@ -806,7 +883,7 @@ impl<D: NandDevice> Ftl<D> {
         if self.erase_unless_grown_bad(victim)? {
             erased.push(victim);
             self.cursor[victim.0 as usize] = 0;
-            self.free.push(victim);
+            self.free[c].push(victim);
         }
         if let Some(t) = &self.tracer {
             t.counter_add("gc_migrations", "", (migrations.len() - moved_before) as u64);
@@ -815,26 +892,26 @@ impl<D: NandDevice> Ftl<D> {
         Ok(())
     }
 
-    /// Hands out the next physical page of the active block, opening a new
-    /// (least-worn) block when needed.
+    /// Hands out the next physical page of chip `c`'s active block, opening
+    /// a new (least-worn) block on that chip when needed.
     fn allocate_page(
         &mut self,
+        c: usize,
         migrations: &mut Vec<Migration>,
         erased: &mut Vec<BlockId>,
     ) -> Result<PageId, FtlError> {
         let pages_per_block = self.chip.geometry().pages_per_block;
         loop {
-            if let Some(b) = self.active {
-                let c = self.cursor[b.0 as usize];
-                if c < pages_per_block {
-                    self.cursor[b.0 as usize] = c + 1;
-                    return Ok(PageId::new(b, c));
+            if let Some(b) = self.active[c] {
+                let cur = self.cursor[b.0 as usize];
+                if cur < pages_per_block {
+                    self.cursor[b.0 as usize] = cur + 1;
+                    return Ok(PageId::new(b, cur));
                 }
-                self.active = None;
+                self.active[c] = None;
             }
             // Drop blocks the chip has since declared grown bad.
-            let bad: Vec<BlockId> = self
-                .free
+            let bad: Vec<BlockId> = self.free[c]
                 .iter()
                 .copied()
                 .filter(|&b| self.chip.is_grown_bad(b).unwrap_or(false))
@@ -842,18 +919,17 @@ impl<D: NandDevice> Ftl<D> {
             for b in bad {
                 self.mark_retired(b);
             }
-            if self.free.is_empty() {
-                self.collect_one(migrations, erased)?;
+            if self.free[c].is_empty() {
+                self.collect_one(c, migrations, erased)?;
                 continue;
             }
             // Dynamic wear leveling: open the least-worn free block.
-            let (idx, _) = self
-                .free
+            let (idx, _) = self.free[c]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, b)| self.chip.block_pec(**b).unwrap_or(u32::MAX))
                 .ok_or(FtlError::NoSpace)?;
-            let b = self.free.swap_remove(idx);
+            let b = self.free[c].swap_remove(idx);
             // Blocks enter the pool erased except at mount time, where an
             // empty block may hide a torn erase and is flagged; an erase
             // that outs the block as grown bad sends us back for another.
@@ -865,7 +941,7 @@ impl<D: NandDevice> Ftl<D> {
                 continue;
             }
             self.cursor[b.0 as usize] = 0;
-            self.active = Some(b);
+            self.active[c] = Some(b);
         }
     }
 }
@@ -1270,6 +1346,46 @@ mod tests {
         }
         // Reused empty blocks were erased first (needs_erase drained).
         assert!(m.stats().erases >= 1, "empty block must be erased before reuse");
+    }
+
+    #[test]
+    fn multi_chip_lpns_pin_to_home_chips_and_survive_mount() {
+        use stash_flash::ArrayDevice;
+        let arr = ArrayDevice::homogeneous(ChipProfile::test_small(), 2, 5);
+        let local = arr.local_blocks();
+        let mut f = Ftl::new(arr, FtlConfig::default()).unwrap();
+        assert_eq!(f.chip_count(), 2);
+        let g = *f.chip().geometry();
+        let cap = f.capacity_pages();
+        assert_eq!(cap, 2 * u64::from(local - 4) * u64::from(g.pages_per_block));
+
+        // Write everything twice so GC and block turnover happen.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut truth = HashMap::new();
+        for _ in 0..3 {
+            for lpn in 0..cap {
+                let d = BitPattern::random_half(&mut rng, g.cells_per_page());
+                f.write(lpn, &d).unwrap();
+                truth.insert(lpn, d);
+            }
+        }
+        // Home pinning: an LPN's physical page always sits on lpn % chips,
+        // through every GC relocation.
+        for (lpn, page) in &f.map {
+            assert_eq!(
+                u64::from(page.block.0 / local),
+                lpn % 2,
+                "lpn {lpn} strayed off its home chip"
+            );
+        }
+        f.check_consistency().unwrap();
+
+        // Global journal sequencing makes the per-chip replay exact.
+        let expected = f.map.clone();
+        let (m, report) = Ftl::mount(f.into_chip(), FtlConfig::default()).unwrap();
+        assert_eq!(m.map, expected, "mount must rebuild the exact multi-chip map");
+        assert_eq!(report.live_pages, expected.len() as u64);
+        m.check_consistency().unwrap();
     }
 
     #[test]

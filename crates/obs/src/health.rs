@@ -132,6 +132,31 @@ pub struct HealthSample {
     pub detect_accuracy: Option<f64>,
     /// Device meter totals at sample time (ops, faults, µs, µJ).
     pub meter: MeterSnapshot,
+    /// Per-chip breakdown when the stack runs on a multi-chip array; empty
+    /// (the default) on a single-chip stack. Published under a `chip`
+    /// label so dashboards can spot the one ailing chip in an array.
+    pub per_chip: Vec<ChipHealth>,
+}
+
+/// One chip's share of a [`HealthSample`], collected from the array's
+/// per-chip attribution surfaces (per-chip meters and wear summaries, the
+/// FTL's per-chip free pools).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChipHealth {
+    /// Chip index within the array.
+    pub chip: u32,
+    /// Hottest block's P/E cycle count on this chip.
+    pub hottest_pec: u32,
+    /// Mean P/E cycles over this chip's blocks.
+    pub mean_pec: f64,
+    /// Blocks grown bad at runtime on this chip.
+    pub grown_bad_blocks: u64,
+    /// FTL free-pool depth on this chip.
+    pub free_blocks: u64,
+    /// Blocks the FTL has permanently retired on this chip.
+    pub retired_blocks: u64,
+    /// This chip's own meter totals.
+    pub meter: MeterSnapshot,
 }
 
 /// The sample-fed monitor: owns a [`Registry`] of `health_*` series, the
@@ -221,6 +246,28 @@ impl HealthMonitor {
         self.registry.gauge_set("health_advertised_slots", "", s.advertised_slots as f64);
         self.registry.gauge_set("health_data_slots", "", s.data_slots as f64);
         self.registry.gauge_set("health_lost_capacity_slots", "", s.lost_capacity_slots as f64);
+
+        // --- per-chip attribution (multi-chip arrays) --------------------
+        for c in &s.per_chip {
+            let label = format!("chip:{}", c.chip);
+            self.registry.gauge_set("health_chip_hottest_pec", &label, f64::from(c.hottest_pec));
+            self.registry.gauge_set("health_chip_mean_pec", &label, c.mean_pec);
+            self.registry.gauge_set(
+                "health_chip_grown_bad_blocks",
+                &label,
+                c.grown_bad_blocks as f64,
+            );
+            self.registry.gauge_set("health_chip_free_blocks", &label, c.free_blocks as f64);
+            self.registry.gauge_set("health_chip_retired_blocks", &label, c.retired_blocks as f64);
+            self.registry.gauge_set("health_chip_device_time_us", &label, c.meter.device_time_us);
+            self.registry.gauge_set("health_chip_energy_uj", &label, c.meter.energy_uj);
+            self.registry.gauge_set("health_chip_ops_total", &label, c.meter.total_ops() as f64);
+            self.registry.gauge_set(
+                "health_chip_faults_total",
+                &label,
+                c.meter.total_faults() as f64,
+            );
+        }
 
         // --- detectability: SVM accuracy minus the coin-flip floor -------
         if let Some(acc) = s.detect_accuracy {
@@ -363,6 +410,7 @@ mod tests {
             lost_capacity_slots: 0,
             detect_accuracy: Some(0.52),
             meter: MeterSnapshot::default(),
+            per_chip: Vec::new(),
         }
     }
 
@@ -416,6 +464,25 @@ mod tests {
         assert_eq!(fired.len(), 1);
         assert_eq!(m.alerts().len(), 2);
         assert_eq!(m.registry().counter("health_alerts", "critical"), 2);
+    }
+
+    #[test]
+    fn per_chip_gauges_carry_the_chip_label() {
+        let mut m = HealthMonitor::default();
+        let mut s = base_sample();
+        s.per_chip = vec![
+            ChipHealth { chip: 0, hottest_pec: 500, free_blocks: 3, ..ChipHealth::default() },
+            ChipHealth { chip: 1, hottest_pec: 20, free_blocks: 2, ..ChipHealth::default() },
+        ];
+        m.observe(&s);
+        let r = m.registry();
+        assert_eq!(r.gauge("health_chip_hottest_pec", "chip:0"), Some(500.0));
+        assert_eq!(r.gauge("health_chip_hottest_pec", "chip:1"), Some(20.0));
+        assert_eq!(r.gauge("health_chip_free_blocks", "chip:1"), Some(2.0));
+        // Single-chip stacks publish no per-chip series at all.
+        let mut single = HealthMonitor::default();
+        single.observe(&base_sample());
+        assert_eq!(single.registry().gauge("health_chip_hottest_pec", "chip:0"), None);
     }
 
     #[test]

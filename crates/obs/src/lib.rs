@@ -61,7 +61,7 @@ pub mod prom;
 pub mod snapshot;
 pub mod tracer;
 
-pub use health::{Alert, HealthMonitor, HealthSample, HealthThresholds, Severity};
+pub use health::{Alert, ChipHealth, HealthMonitor, HealthSample, HealthThresholds, Severity};
 pub use metrics::{Log2Histogram, Registry, LOG2_BUCKETS};
 pub use prom::{parse_prometheus, render_prometheus};
 pub use snapshot::{parse_snapshot, write_snapshot, SNAPSHOT_SCHEMA};

@@ -92,8 +92,14 @@ pub fn parse_prometheus(text: &str) -> Result<Registry, String> {
             .rsplit_once(' ')
             .ok_or_else(|| format!("line {lineno}: no value on sample line"))?;
         let (name, labels) = split_series(series, lineno)?;
-        let label =
-            labels.iter().find(|(k, _)| k == "series").map(|(_, v)| v.clone()).unwrap_or_default();
+        // A `chip` label folds back into the registry's `chip:N` label
+        // convention, inverting the renderer's special case exactly.
+        let label = labels
+            .iter()
+            .find(|(k, _)| k == "series")
+            .map(|(_, v)| v.clone())
+            .or_else(|| labels.iter().find(|(k, _)| k == "chip").map(|(_, v)| format!("chip:{v}")))
+            .unwrap_or_default();
 
         // A histogram's family name is the sample name minus its suffix.
         let (family, suffix) = ["_bucket", "_sum", "_count"]
@@ -173,9 +179,14 @@ fn sanitize(name: &str) -> String {
 }
 
 /// Formats the `{series="…",le="…"}` label block (empty when no labels).
+/// A registry label of the form `chip:N` is the per-chip attribution
+/// convention and renders as a proper `chip="N"` label instead of a
+/// generic `series` pair, so array dashboards can aggregate by chip.
 fn label_pair(label: &str, le: Option<&str>) -> String {
     let mut pairs = Vec::new();
-    if !label.is_empty() {
+    if let Some(chip) = label.strip_prefix("chip:").filter(|c| c.chars().all(char::is_numeric)) {
+        pairs.push(format!("chip=\"{chip}\""));
+    } else if !label.is_empty() {
         pairs.push(format!("series=\"{}\"", escape_label(label)));
     }
     if let Some(le) = le {
@@ -265,6 +276,8 @@ mod tests {
         for v in [3u64, 5] {
             r.observe("retries", "read-sweep", v);
         }
+        r.gauge_set("health_chip_hottest_pec", "chip:0", 500.0);
+        r.gauge_set("health_chip_hottest_pec", "chip:1", 20.0);
         r
     }
 
@@ -280,6 +293,8 @@ mod tests {
         assert!(text.contains("pp_steps_sum 611"));
         assert!(text.contains("pp_steps_count 7"));
         assert!(text.contains("retries_bucket{series=\"read-sweep\",le=\"+Inf\"} 2"));
+        assert!(text.contains("health_chip_hottest_pec{chip=\"0\"} 500"));
+        assert!(text.contains("health_chip_hottest_pec{chip=\"1\"} 20"));
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct StegoConfig {
     pub vthi: VthiConfig,
     /// Data slots per parity group; 0 disables parity. Each group carries
     /// one extra parity slot that can reconstruct a single lost member.
+    ///
+    /// On a multi-chip array the volume stripes every group's slots across
+    /// distinct chips, so one lost *chip* costs each group at most one slot
+    /// — a whole-chip failure is fully recoverable when
+    /// `parity_group + 1 <= chips`.
     pub parity_group: usize,
     /// Defer hidden embedding until the owning public page is rewritten
     /// anyway (multiple-snapshot hardening, §9.2).
@@ -233,7 +238,25 @@ impl<D: NandDevice> HiddenVolume<D> {
         if total as u64 > capacity / 2 {
             return Err(StegoError::SlotOutOfRange { slot: total, count: capacity as usize / 2 });
         }
-        let slot_lpn = Self::derive_placement(&key, capacity, total);
+        let chips = ftl.chip_count() as usize;
+        let slot_lpn = if chips > 1 {
+            // The half-capacity bound above is global; striping also needs
+            // headroom on every individual chip.
+            let per_chip = (capacity / chips as u64) as usize;
+            let mut counts = vec![0usize; chips];
+            for slot in 0..total {
+                counts[Self::striped_chip_of_slot(&cfg, slots, slot, chips)] += 1;
+            }
+            if counts.iter().any(|&c| c > per_chip / 2) {
+                return Err(StegoError::SlotOutOfRange {
+                    slot: total,
+                    count: chips * (per_chip / 2),
+                });
+            }
+            Self::derive_placement_striped(&key, capacity, &cfg, slots, total, chips)
+        } else {
+            Self::derive_placement(&key, capacity, total)
+        };
         let lpn_slot = slot_lpn.iter().enumerate().map(|(s, &l)| (l, s)).collect();
         // Inherit a tracer already attached to the FTL, so a remount over
         // a traced FTL is traced from the first decode.
@@ -376,7 +399,7 @@ impl<D: NandDevice> HiddenVolume<D> {
         // Recovered-but-empty parity slots of never-written groups read as
         // empty; counted under `empty` above.
         if !vol.cfg.piggyback {
-            vol.flush()?;
+            vol.flush_lenient()?;
         }
         if let Some(t) = &vol.tracer {
             t.counter_add("remount_recovered", "", report.recovered as u64);
@@ -425,6 +448,62 @@ impl<D: NandDevice> HiddenVolume<D> {
     fn derive_placement(key: &HidingKey, capacity: u64, total: usize) -> Vec<u64> {
         let mut prng = SelectionPrng::new(key, PLACEMENT_STREAM);
         prng.choose_distinct(total, capacity as usize).into_iter().map(|v| v as u64).collect()
+    }
+
+    /// The chip hosting an internal slot under cross-chip striping: slot
+    /// `k` of parity group `G` (the group's parity slot being position
+    /// `parity_group`) lands on chip `(G + k) % chips`. Every slot of a
+    /// group therefore lives on a distinct chip whenever
+    /// `parity_group + 1 <= chips`, and the group starting-chip rotation
+    /// spreads load evenly. With parity off, slots simply round-robin.
+    fn striped_chip_of_slot(
+        cfg: &StegoConfig,
+        data_slots: usize,
+        slot: usize,
+        chips: usize,
+    ) -> usize {
+        if cfg.parity_group == 0 {
+            return slot % chips;
+        }
+        let (group, pos) = if slot < data_slots {
+            (slot / cfg.parity_group, slot % cfg.parity_group)
+        } else {
+            (slot - data_slots, cfg.parity_group)
+        };
+        (group + pos) % chips
+    }
+
+    /// Striped placement over a multi-chip array. Each slot's LPN is drawn
+    /// from its assigned chip's residue class (`lpn % chips == chip`,
+    /// matching the FTL's home-chip pinning, which GC and wear-leveling
+    /// preserve — so a slot placed on a chip *stays* on it for life). The
+    /// per-chip index is chosen by one shared keyed partial Fisher–Yates
+    /// per chip, all fed from the single placement stream in slot order.
+    ///
+    /// Single-chip volumes use [`derive_placement`](Self::derive_placement)
+    /// instead: its draw sequence predates striping and stays byte-stable.
+    fn derive_placement_striped(
+        key: &HidingKey,
+        capacity: u64,
+        cfg: &StegoConfig,
+        data_slots: usize,
+        total: usize,
+        chips: usize,
+    ) -> Vec<u64> {
+        let per_chip = (capacity / chips as u64) as usize;
+        let mut prng = SelectionPrng::new(key, PLACEMENT_STREAM);
+        let mut pools: Vec<Vec<usize>> = (0..chips).map(|_| (0..per_chip).collect()).collect();
+        let mut taken = vec![0usize; chips];
+        let mut out = Vec::with_capacity(total);
+        for slot in 0..total {
+            let c = Self::striped_chip_of_slot(cfg, data_slots, slot, chips);
+            let i = taken[c];
+            let j = i + prng.prng_mut().next_below((per_chip - i) as u64) as usize;
+            pools[c].swap(i, j);
+            out.push(c as u64 + chips as u64 * pools[c][i] as u64);
+            taken[c] += 1;
+        }
+        out
     }
 
     /// Data slots visible to the user.
@@ -596,6 +675,24 @@ impl<D: NandDevice> HiddenVolume<D> {
         Ok(())
     }
 
+    /// Like [`flush`](Self::flush), but slots with no backing public page
+    /// stay cached and dirty instead of failing the whole pass. Remount
+    /// reconstruction uses this: a slot rebuilt from parity after its
+    /// owning chip died has no page to re-embed into until the public
+    /// volume writes its LPN again, and that must not abort recovery.
+    fn flush_lenient(&mut self) -> Result<(), StegoError> {
+        for slot in 0..self.cache.len() {
+            if !self.dirty[slot] || self.cache[slot].is_none() {
+                continue;
+            }
+            match self.refresh_slot(slot) {
+                Ok(()) | Err(StegoError::UnbackedSlot { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
     /// Slots with pending (unflushed) hidden writes.
     pub fn pending_slots(&self) -> usize {
         self.dirty.iter().filter(|&&d| d).count()
@@ -648,7 +745,17 @@ impl<D: NandDevice> HiddenVolume<D> {
         let _health_pass = span!(self.tracer, "scrub_health");
         for slot in 0..self.cache.len() {
             if self.ftl.physical_of(self.slot_lpn[slot]).is_none() {
-                report.empty += 1;
+                // No backing page to health-read. If the payload survives
+                // in the mounted cache (or still XORs out of its parity
+                // group — e.g. the owning chip died wholesale and mount
+                // retired its blocks), keep serving it and leave it flagged
+                // for re-embedding by the next public write to its LPN.
+                if self.cache[slot].is_some() || self.rebuild_from_parity(slot) {
+                    self.dirty[slot] = true;
+                    report.reconstructed += 1;
+                } else {
+                    report.empty += 1;
+                }
                 continue;
             }
             match self.try_decode_slot_counting(slot) {
@@ -1252,6 +1359,40 @@ mod tests {
         assert_eq!(report.reconstructed, 1, "{report:?}");
         assert_eq!(report.lost, 0, "{report:?}");
         assert_eq!(vol2.read_hidden(1).unwrap().unwrap(), secrets[1]);
+    }
+
+    #[test]
+    fn striped_placement_spans_distinct_chips_per_group() {
+        use stash_flash::ArrayDevice;
+        let array = ArrayDevice::homogeneous(small_profile(), 4, 11);
+        let ftl = Ftl::new(array, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
+        let mut cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+        cfg.parity_group = 3;
+        let vol = HiddenVolume::format(ftl, key(), cfg, 9).unwrap();
+        let lpns = vol.slot_lpns();
+        assert_eq!(lpns.len(), 9 + 3, "9 data slots + one parity slot per group");
+        let mut sorted = lpns.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lpns.len(), "slot LPNs are distinct");
+        // Every group's 3 data slots + parity slot sit on 4 distinct chips,
+        // so losing any single chip costs each group at most one member.
+        for group in 0..3usize {
+            let mut chips_used: Vec<u64> =
+                (group * 3..group * 3 + 3).map(|s| lpns[s] % 4).collect();
+            chips_used.push(lpns[9 + group] % 4);
+            chips_used.sort_unstable();
+            chips_used.dedup();
+            assert_eq!(chips_used.len(), 4, "group {group} must span all 4 chips");
+        }
+        // And the placement is key-dependent on arrays too.
+        let array2 = ArrayDevice::homogeneous(small_profile(), 4, 11);
+        let ftl2 = Ftl::new(array2, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
+        let mut cfg2 = StegoConfig::for_geometry(ftl2.chip().geometry());
+        cfg2.parity_group = 3;
+        let vol2 =
+            HiddenVolume::format(ftl2, HidingKey::from_passphrase("other"), cfg2, 9).unwrap();
+        assert_ne!(vol.slot_lpns(), vol2.slot_lpns());
     }
 
     #[test]

@@ -15,6 +15,7 @@ ci:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
     just bench-smoke
     just crash-smoke
+    just array-smoke
     just bench-compare
 
 # Bench smoke: table1 + fig6 on a scaled geometry (scratch dir, so the
@@ -36,6 +37,16 @@ crash-smoke:
     rm -rf target/crash-smoke && mkdir -p target/crash-smoke
     cd target/crash-smoke && STASH_CRASH_TARGET=64 ../release/crashpoints > /dev/null
     ./target/release/bench_check target/crash-smoke/results/BENCH_crashpoints.json
+
+# Array-shard smoke: a 4-chip chaos run in which one whole chip dies and
+# every hidden byte must come back through cross-chip parity striping.
+# The binary asserts 100% recovery itself; bench_check then validates the
+# emitted BENCH artifact.
+array-smoke:
+    cargo build --release -p stash-bench --bins
+    rm -rf target/array-smoke && mkdir -p target/array-smoke
+    cd target/array-smoke && ../release/array_smoke > /dev/null
+    ./target/release/bench_check target/array-smoke/results/BENCH_array_smoke.json target/array-smoke/results/HISTORY.jsonl
 
 # Regression sentinel: re-run the deterministic trio (table1 + fig6 on the
 # scaled geometry, chaos at full size) into a scratch dir, validate the

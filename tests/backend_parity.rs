@@ -12,8 +12,8 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use stash::crypto::HidingKey;
 use stash::flash::{
-    BitPattern, BlockId, Chip, ChipProfile, CmdResult, FaultDevice, NandCmd, NandDevice, PageId,
-    PowerCut, PowerCutDevice, TraceDevice,
+    ArrayDevice, BitPattern, BlockId, Chip, ChipProfile, CmdResult, FaultDevice, NandCmd,
+    NandDevice, PageId, PowerCut, PowerCutDevice, TraceDevice,
 };
 use stash::vthi::{Hider, VthiConfig};
 use std::fmt::Write as _;
@@ -77,9 +77,10 @@ fn golden_transcript<D: NandDevice>(mut chip: D) -> String {
         let _ = writeln!(out, "bytes {page} {got:02x?}");
     }
     let mut levels = Vec::new();
+    let mut shifted = BitPattern::zeros(0);
     for (page, _, _) in &stored {
         let read = chip.read_page(*page).unwrap();
-        let shifted = chip.read_page_shifted(*page, 120).unwrap();
+        chip.read_page_shifted_into(*page, 120, &mut shifted).unwrap();
         chip.probe_voltages_into(*page, &mut levels).unwrap();
         let _ = writeln!(
             out,
@@ -113,6 +114,22 @@ fn wrapped_stack_matches_bare_chip_on_the_golden_workload() {
     assert_eq!(bare, wrapped, "no-op middleware changed the device's observable behavior");
     // The transcript actually pinned something substantial.
     assert!(bare.lines().count() > 16, "transcript too small:\n{bare}");
+}
+
+#[test]
+fn one_chip_array_matches_bare_chip_on_the_golden_workload() {
+    // The array layer's determinism contract: a 1-chip ArrayDevice is the
+    // degenerate case and must be byte-identical to the chip it wraps —
+    // same voltages, same decoded payloads, same meter, same RNG draws.
+    let profile = ChipProfile::vendor_a_scaled();
+    let bare = golden_transcript(Chip::new(profile.clone(), SEED));
+    let array = golden_transcript(ArrayDevice::homogeneous(profile.clone(), 1, SEED));
+    assert_eq!(bare, array, "1-chip ArrayDevice changed the device's observable behavior");
+    // And it composes with middleware without disturbing the transcript.
+    let wrapped = golden_transcript(FaultDevice::new(TraceDevice::new(ArrayDevice::homogeneous(
+        profile, 1, SEED,
+    ))));
+    assert_eq!(bare, wrapped, "middleware over a 1-chip array broke pass-through");
 }
 
 /// A representative command batch: erases, interleaved programs, runs of
@@ -149,10 +166,16 @@ fn dispatch_scalar<D: NandDevice + ?Sized>(dev: &mut D, cmd: &NandCmd) -> CmdRes
         NandCmd::ProgramPage(p, data) => CmdResult::Unit(dev.program_page(*p, data)),
         NandCmd::PartialProgram(p, mask) => CmdResult::Unit(dev.partial_program(*p, mask)),
         NandCmd::ReadPage(p) => CmdResult::Bits(dev.read_page(*p)),
-        NandCmd::ReadPageShifted(p, vref) => CmdResult::Bits(dev.read_page_shifted(*p, *vref)),
+        NandCmd::ReadPageShifted(p, vref) => {
+            let mut bits = BitPattern::zeros(0);
+            CmdResult::Bits(dev.read_page_shifted_into(*p, *vref, &mut bits).map(|()| bits))
+        }
         NandCmd::ReadPageSweep(p, vrefs) => CmdResult::Sweep(dev.read_page_sweep(*p, vrefs)),
         NandCmd::ReadSpare(p) => CmdResult::Spare(dev.read_spare(*p)),
-        NandCmd::ProbeVoltages(p) => CmdResult::Levels(dev.probe_voltages(*p)),
+        NandCmd::ProbeVoltages(p) => {
+            let mut levels = Vec::new();
+            CmdResult::Levels(dev.probe_voltages_into(*p, &mut levels).map(|()| levels))
+        }
         NandCmd::AgeDays(days) => {
             dev.age_days(*days);
             CmdResult::Unit(Ok(()))
@@ -231,6 +254,70 @@ fn batched_exec_matches_scalar_dispatch_through_the_full_stack() {
 }
 
 #[test]
+fn batched_exec_matches_scalar_dispatch_on_a_multi_chip_array() {
+    // Exercise the fan-out path: the same batch addressed at two different
+    // chips must produce exactly what scalar dispatch produces, chip by
+    // chip, including the device-wide AgeDays barrier in the middle.
+    let profile = ChipProfile::vendor_a_scaled();
+    let probe = ArrayDevice::homogeneous(profile.clone(), 2, SEED);
+    let cpp = probe.geometry().cells_per_page();
+    let local = probe.local_blocks();
+    drop(probe);
+    let mut cmds = batch_workload(cpp);
+    // Mirror the whole workload onto the second chip's first block.
+    let mirrored: Vec<NandCmd> = cmds
+        .iter()
+        .map(|c| match c {
+            NandCmd::EraseBlock(b) => NandCmd::EraseBlock(BlockId(b.0 + local)),
+            NandCmd::ProgramPage(p, d) => {
+                NandCmd::ProgramPage(PageId::new(BlockId(p.block.0 + local), p.page), d.clone())
+            }
+            NandCmd::ReadPage(p) => {
+                NandCmd::ReadPage(PageId::new(BlockId(p.block.0 + local), p.page))
+            }
+            NandCmd::ReadPageShifted(p, v) => {
+                NandCmd::ReadPageShifted(PageId::new(BlockId(p.block.0 + local), p.page), *v)
+            }
+            NandCmd::ReadPageSweep(p, vs) => {
+                NandCmd::ReadPageSweep(PageId::new(BlockId(p.block.0 + local), p.page), vs.clone())
+            }
+            NandCmd::ReadSpare(p) => {
+                NandCmd::ReadSpare(PageId::new(BlockId(p.block.0 + local), p.page))
+            }
+            NandCmd::ProbeVoltages(p) => {
+                NandCmd::ProbeVoltages(PageId::new(BlockId(p.block.0 + local), p.page))
+            }
+            other => other.clone(),
+        })
+        .collect();
+    // Interleave so consecutive commands alternate chips.
+    let interleaved: Vec<NandCmd> =
+        cmds.drain(..).zip(mirrored).flat_map(|(a, b)| [a, b]).collect();
+
+    let mut seq_dev = ArrayDevice::homogeneous(profile.clone(), 2, SEED);
+    let seq: Vec<CmdResult> =
+        interleaved.iter().map(|c| dispatch_scalar(&mut seq_dev, c)).collect();
+
+    let mut batch_dev = ArrayDevice::homogeneous(profile, 2, SEED);
+    let batch = batch_dev.exec(&interleaved);
+
+    for (i, (s, b)) in seq.iter().zip(&batch).enumerate() {
+        assert_eq!(format!("{s:?}"), format!("{b:?}"), "cmd {i} diverged");
+    }
+    assert_eq!(seq_dev.meter(), batch_dev.meter(), "array exec billed differently");
+    assert_eq!(
+        format!("{:?}", seq_dev.chip_meter(0)),
+        format!("{:?}", batch_dev.chip_meter(0)),
+        "chip 0 attribution diverged"
+    );
+    assert_eq!(
+        format!("{:?}", seq_dev.chip_meter(1)),
+        format!("{:?}", batch_dev.chip_meter(1)),
+        "chip 1 attribution diverged"
+    );
+}
+
+#[test]
 fn batched_exec_matches_scalar_dispatch_with_a_mid_batch_power_cut() {
     let cpp = Chip::new(ChipProfile::vendor_a_scaled(), SEED).geometry().cells_per_page();
     let cmds = batch_workload(cpp);
@@ -280,8 +367,14 @@ fn read_page_sweep_equals_the_shifted_read_sequence() {
     };
 
     let (mut seq_chip, page) = prep(SEED);
-    let seq: Vec<BitPattern> =
-        vrefs.iter().map(|&v| seq_chip.read_page_shifted(page, v).unwrap()).collect();
+    let seq: Vec<BitPattern> = vrefs
+        .iter()
+        .map(|&v| {
+            let mut bits = BitPattern::zeros(0);
+            seq_chip.read_page_shifted_into(page, v, &mut bits).unwrap();
+            bits
+        })
+        .collect();
 
     let (mut sweep_chip, page) = prep(SEED);
     let sweep = sweep_chip.read_page_sweep(page, &vrefs).unwrap();

@@ -48,6 +48,7 @@ fn run_shard(seed: u64) -> (Registry, HealthSample) {
         lost_capacity_slots: 0,
         detect_accuracy: Some(0.5 + (seed as f64) / 100.0),
         meter: chip.meter(),
+        per_chip: Vec::new(),
     };
     (tracer.registry(), sample)
 }
