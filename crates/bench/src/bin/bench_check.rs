@@ -6,16 +6,24 @@
 //!   object with a non-negative `ms`, and a `deterministic` object).
 //! * `TRACE_*.jsonl` — every line must parse; the `trace_summary` header
 //!   must carry the `stash-trace/1` schema.
-//! * `HISTORY.jsonl` — every run record must parse and carry the
-//!   `stash-history/1` schema plus the same shape as a bench artifact:
-//!   a non-empty `bench` string, a positive `threads` count, a `wall`
-//!   object with a non-negative `ms`, and a `deterministic` object.
+//! * `TRACE_*.folded` — non-empty collapsed-stack text: every line is
+//!   `stack count`, and the counts must sum to the sibling JSONL header's
+//!   root device time within rounding tolerance (0.5 µs per line).
+//! * `POSTMORTEM_*.jsonl` — flight-recorder dump: every line must parse,
+//!   the `postmortem_summary` header must carry the `stash-postmortem/1`
+//!   schema, and its `captured` count must match the entry lines.
+//! * `HISTORY.jsonl` / `HISTORY.1.jsonl` — every run record must parse
+//!   and carry the `stash-history/1` schema plus the same shape as a
+//!   bench artifact: a non-empty `bench` string, a positive `threads`
+//!   count, a `wall` object with a non-negative `ms`, and a
+//!   `deterministic` object.
 //!
 //! Exits non-zero on any failure.
 
 use stash_bench::{BENCH_SCHEMA, HISTORY_SCHEMA};
 use stash_obs::export::TRACE_SCHEMA;
 use stash_obs::json::{self, JsonValue};
+use stash_obs::POSTMORTEM_SCHEMA;
 
 fn require_schema(fields: &JsonValue, want: &str) -> Result<(), String> {
     match fields.get("schema").and_then(JsonValue::as_str) {
@@ -78,6 +86,98 @@ fn check_trace(raw: &str) -> Result<(), String> {
     }
 }
 
+/// The root device time a trace's collapsed stacks must account for,
+/// read from the sibling `TRACE_*.jsonl` header.
+fn trace_root_device_us(folded_path: &str) -> Result<f64, String> {
+    let sibling = std::path::Path::new(folded_path).with_extension("jsonl");
+    let raw = std::fs::read_to_string(&sibling)
+        .map_err(|e| format!("sibling {}: read: {e}", sibling.display()))?;
+    for line in raw.lines() {
+        let parsed = json::parse(line).map_err(|e| format!("sibling trace: parse: {e}"))?;
+        if parsed.get("type").and_then(JsonValue::as_str) == Some("trace_summary") {
+            return parsed
+                .get("device_time_us")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| "sibling trace header lacks device_time_us".into());
+        }
+    }
+    Err("sibling trace has no trace_summary header".into())
+}
+
+fn check_folded(raw: &str, path: &str) -> Result<(), String> {
+    if raw.trim().is_empty() {
+        return Err("collapsed-stack file is empty".into());
+    }
+    let mut total = 0u64;
+    let mut lines = 0u64;
+    for (i, line) in raw.lines().enumerate() {
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            return Err(format!("line {}: not `stack count`: {line:?}", i + 1));
+        };
+        if stack.is_empty() || stack.split(';').any(str::is_empty) {
+            return Err(format!("line {}: empty span segment in {stack:?}", i + 1));
+        }
+        let count: u64 =
+            count.parse().map_err(|_| format!("line {}: count {count:?} not a u64", i + 1))?;
+        total += count;
+        lines += 1;
+    }
+    // Each line's self-µs was rounded independently, so the folded total
+    // may drift from the JSONL root total by up to 0.5 µs per line.
+    let root = trace_root_device_us(path)?;
+    let tolerance = 0.5 * lines as f64 + 1e-6;
+    if (total as f64 - root).abs() > tolerance {
+        return Err(format!(
+            "folded counts sum to {total} µs but the trace header says {root} µs \
+             (tolerance ±{tolerance:.1})"
+        ));
+    }
+    Ok(())
+}
+
+fn check_postmortem(raw: &str) -> Result<(), String> {
+    let mut captured: Option<f64> = None;
+    let mut entries = 0u64;
+    for (i, line) in raw.lines().enumerate() {
+        let parsed = json::parse(line).map_err(|e| format!("line {}: parse: {e}", i + 1))?;
+        if parsed.get("type").and_then(JsonValue::as_str) == Some("postmortem_summary") {
+            require_schema(&parsed, POSTMORTEM_SCHEMA)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            if captured
+                .replace(
+                    parsed.get("captured").and_then(JsonValue::as_f64).ok_or(format!(
+                        "line {}: header lacks a numeric \"captured\" count",
+                        i + 1
+                    ))?,
+                )
+                .is_some()
+            {
+                return Err(format!("line {}: duplicate postmortem_summary header", i + 1));
+            }
+        } else {
+            for key in ["seq", "t_us", "device_us"] {
+                if parsed.get(key).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("line {}: entry lacks numeric {key:?}", i + 1));
+                }
+            }
+            if parsed.get("op").and_then(JsonValue::as_str).is_none() {
+                return Err(format!("line {}: entry lacks an \"op\" string", i + 1));
+            }
+            if parsed.get("ok").and_then(JsonValue::as_bool).is_none() {
+                return Err(format!("line {}: entry lacks an \"ok\" bool", i + 1));
+            }
+            entries += 1;
+        }
+    }
+    match captured {
+        None => Err("no postmortem_summary header line".into()),
+        Some(c) if c != entries as f64 => {
+            Err(format!("header says captured={c} but file holds {entries} entries"))
+        }
+        Some(_) => Ok(()),
+    }
+}
+
 fn check_history(raw: &str) -> Result<(), String> {
     if raw.trim().is_empty() {
         return Err("history is empty".into());
@@ -98,7 +198,11 @@ fn check(path: &str) -> Result<(), String> {
         .unwrap_or_default();
     if name.starts_with("TRACE_") && name.ends_with(".jsonl") {
         check_trace(&raw)
-    } else if name == "HISTORY.jsonl" {
+    } else if name.starts_with("TRACE_") && name.ends_with(".folded") {
+        check_folded(&raw, path)
+    } else if name.starts_with("POSTMORTEM_") && name.ends_with(".jsonl") {
+        check_postmortem(&raw)
+    } else if name == "HISTORY.jsonl" || name == "HISTORY.1.jsonl" {
         check_history(&raw)
     } else {
         check_bench(&raw)
@@ -108,7 +212,10 @@ fn check(path: &str) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: bench_check <BENCH_*.json | TRACE_*.jsonl | HISTORY.jsonl>...");
+        eprintln!(
+            "usage: bench_check <BENCH_*.json | TRACE_*.jsonl | TRACE_*.folded | \
+             POSTMORTEM_*.jsonl | HISTORY[.1].jsonl>..."
+        );
         std::process::exit(2);
     }
     let mut failed = false;

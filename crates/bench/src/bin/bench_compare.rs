@@ -10,11 +10,20 @@
 //! bands (see `stash_bench::compare`); any violation exits non-zero so
 //! `just ci` fails on perf/robustness regressions. Collect mode rebuilds
 //! the baseline from fresh artifacts (`just baseline`).
+//!
+//! On any tolerance breach the gate also *attributes* the regression when
+//! traces exist: with `STASH_TRACE_BASELINE` pointing at a directory of
+//! baseline `TRACE_<name>.jsonl` files, the bench's current trace (next to
+//! its artifact) is diffed per span name and the top grown spans are
+//! printed; without a baseline trace, the current trace's top spans are
+//! printed instead.
 
 use stash_bench::compare::{
     bench_metrics, compare_bench, deterministic_block, parse_baseline, write_baseline,
 };
+use stash_obs::analyze;
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,9 +73,40 @@ fn run() -> Result<bool, String> {
                 eprintln!("REGRESSION {v}");
             }
             eprintln!("FAIL {name}: {} metric(s) out of band", violations.len());
+            print_trace_attribution(&name, path);
         }
     }
     Ok(clean)
+}
+
+/// Best-effort span attribution for a failed bench; quiet when no trace
+/// artifact exists next to the bench artifact.
+fn print_trace_attribution(name: &str, artifact_path: &str) {
+    let dir = Path::new(artifact_path).parent().unwrap_or_else(|| Path::new("."));
+    let current = dir.join(format!("TRACE_{name}.jsonl"));
+    let Ok(cur_text) = std::fs::read_to_string(&current) else { return };
+    let cur = match analyze::parse_trace(&cur_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace attribution for {name}: unreadable trace: {e}");
+            return;
+        }
+    };
+    let base_path = std::env::var_os("STASH_TRACE_BASELINE")
+        .map(|d| PathBuf::from(d).join(format!("TRACE_{name}.jsonl")));
+    if let Some(base_path) = base_path {
+        if let Ok(base_text) = std::fs::read_to_string(&base_path) {
+            if let Ok(old) = analyze::parse_trace(&base_text) {
+                eprintln!("trace attribution for {name} (vs {}):", base_path.display());
+                eprint!("{}", analyze::render_diff(&analyze::diff(&old, &cur), 5));
+                return;
+            }
+        }
+    }
+    eprintln!("trace attribution for {name} (no baseline trace; top spans):");
+    for (span, s) in analyze::top_spans(&cur, 5) {
+        eprintln!("  {span}: {:.1} us, {} ops", s.device_us, s.ops);
+    }
 }
 
 fn main() {

@@ -341,7 +341,8 @@ impl BenchMeter {
     }
 
     /// Stops the clock, writes `results/BENCH_<name>.json`, and appends
-    /// this run's record to `results/HISTORY.jsonl`.
+    /// this run's record to `results/HISTORY.jsonl`, rotating the log
+    /// first when it has grown past the cap (see [`rotate_history`]).
     pub fn finish(self) {
         use std::io::Write as _;
         let dir = std::path::Path::new("results");
@@ -349,12 +350,33 @@ impl BenchMeter {
             return;
         }
         let _ = std::fs::write(dir.join(format!("BENCH_{}.json", self.name)), self.to_json());
-        if let Ok(mut f) =
-            std::fs::OpenOptions::new().create(true).append(true).open(dir.join("HISTORY.jsonl"))
-        {
+        let history = dir.join("HISTORY.jsonl");
+        rotate_history(&history, history_max());
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&history) {
             let _ = writeln!(f, "{}", self.history_line());
         }
     }
+}
+
+/// The `HISTORY.jsonl` rotation cap: `STASH_HISTORY_MAX` lines (default
+/// 4096 — generous; a full `just bench` run appends well under a dozen).
+#[must_use]
+pub fn history_max() -> usize {
+    std::env::var("STASH_HISTORY_MAX").ok().and_then(|v| v.parse().ok()).unwrap_or(4096).max(1)
+}
+
+/// Rotates `HISTORY.jsonl` to `HISTORY.1.jsonl` (replacing any previous
+/// rotation) once it holds at least `max` records, so the trajectory log
+/// is bounded at roughly `2 * max` lines across the live + rotated pair
+/// while every record survives one full rotation cycle. Best-effort:
+/// rotation failures never block recording the current run.
+pub fn rotate_history(history: &std::path::Path, max: usize) {
+    let Ok(raw) = std::fs::read_to_string(history) else { return };
+    if raw.lines().count() < max {
+        return;
+    }
+    let rotated = history.with_file_name("HISTORY.1.jsonl");
+    let _ = std::fs::rename(history, rotated);
 }
 
 /// A deterministic experiment RNG.
@@ -452,5 +474,35 @@ mod tests {
         let ber = measure_hidden_ber(&mut chip, &key, &cfg, &reports);
         assert!(ber.bits > 0);
         assert!(ber.ber() < 0.05, "hidden BER {}", ber.ber());
+    }
+
+    #[test]
+    fn history_rotation_bounds_the_live_log() {
+        let dir = std::env::temp_dir().join("stash_bench_history_rotation_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let history = dir.join("HISTORY.jsonl");
+        let rotated = dir.join("HISTORY.1.jsonl");
+
+        // Under the cap: nothing moves.
+        std::fs::write(&history, "{\"schema\": \"stash-history/1\"}\n".repeat(2)).unwrap();
+        rotate_history(&history, 3);
+        assert!(history.exists() && !rotated.exists(), "under cap must not rotate");
+
+        // At the cap: the live log rotates out whole.
+        std::fs::write(&history, "{\"schema\": \"stash-history/1\"}\n".repeat(3)).unwrap();
+        rotate_history(&history, 3);
+        assert!(!history.exists(), "live log should have rotated away");
+        let kept = std::fs::read_to_string(&rotated).unwrap();
+        assert_eq!(kept.lines().count(), 3, "rotation keeps every record");
+
+        // The next rotation replaces the old generation rather than growing.
+        std::fs::write(&history, "{\"schema\": \"stash-history/1\"}\n".repeat(4)).unwrap();
+        rotate_history(&history, 3);
+        assert_eq!(std::fs::read_to_string(&rotated).unwrap().lines().count(), 4);
+
+        // Missing file is a no-op, not an error.
+        rotate_history(&dir.join("HISTORY_ABSENT.jsonl"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -2,7 +2,11 @@
 //! running a bench binary with `STASH_THREADS=1` and `STASH_THREADS=8`
 //! must produce byte-identical TSV output and byte-identical
 //! `BENCH_*.json` artifacts (after stripping the two run-descriptive
-//! fields, `wall_ms` and `threads`) for a fixed seed.
+//! fields, `wall_ms` and `threads`) for a fixed seed. When the bench also
+//! emits a `TRACE_<name>.jsonl` artifact, the rendered trace *analysis*
+//! (critical path + top spans) must be byte-identical too — the analysis
+//! engine is a pure function of the trace, and the trace is part of the
+//! determinism contract.
 //!
 //! The binaries run on a scaled geometry (`STASH_PAGE_BYTES`, small
 //! `STASH_SAMPLES`) so the test stays in CI budget; determinism is a
@@ -13,8 +17,14 @@ use std::path::Path;
 use std::process::Command;
 
 /// Runs one bench binary in its own scratch dir with the given thread
-/// count, returning (stdout, normalized BENCH json).
-fn run_bench(exe: &str, bench: &str, threads: u32, dir: &Path) -> (Vec<u8>, String) {
+/// count, returning (stdout, normalized BENCH json, rendered trace
+/// analysis if the bench emitted a trace).
+fn run_bench(
+    exe: &str,
+    bench: &str,
+    threads: u32,
+    dir: &Path,
+) -> (Vec<u8>, String, Option<String>) {
     std::fs::create_dir_all(dir).expect("scratch dir");
     let out = Command::new(exe)
         .current_dir(dir)
@@ -31,7 +41,15 @@ fn run_bench(exe: &str, bench: &str, threads: u32, dir: &Path) -> (Vec<u8>, Stri
     let json_path = dir.join("results").join(format!("BENCH_{bench}.json"));
     let raw = std::fs::read_to_string(&json_path)
         .unwrap_or_else(|e| panic!("read {}: {e}", json_path.display()));
-    (out.stdout, normalize(&raw, bench))
+    let analysis =
+        std::fs::read_to_string(dir.join("results").join(format!("TRACE_{bench}.jsonl"))).ok().map(
+            |trace| {
+                let stats = stash_obs::analyze::parse_trace(&trace)
+                    .unwrap_or_else(|e| panic!("{bench} trace invalid at {threads} threads: {e}"));
+                stash_obs::analyze::render_analysis(&stats, 10)
+            },
+        );
+    (out.stdout, normalize(&raw, bench), analysis)
 }
 
 /// Parses the bench JSON and re-renders it with the run-descriptive fields
@@ -87,8 +105,8 @@ fn render(out: &mut String, v: &JsonValue) {
 fn assert_thread_count_invariant(exe: &str, bench: &str) {
     let base =
         std::env::temp_dir().join(format!("stash-determinism-{bench}-{}", std::process::id()));
-    let (stdout_1, json_1) = run_bench(exe, bench, 1, &base.join("t1"));
-    let (stdout_8, json_8) = run_bench(exe, bench, 8, &base.join("t8"));
+    let (stdout_1, json_1, analysis_1) = run_bench(exe, bench, 1, &base.join("t1"));
+    let (stdout_8, json_8, analysis_8) = run_bench(exe, bench, 8, &base.join("t8"));
     assert!(
         stdout_1 == stdout_8,
         "{bench}: TSV output differs between STASH_THREADS=1 and 8\n--- 1 thread ---\n{}\n--- 8 threads ---\n{}",
@@ -99,6 +117,17 @@ fn assert_thread_count_invariant(exe: &str, bench: &str) {
         json_1 == json_8,
         "{bench}: deterministic JSON fields differ between STASH_THREADS=1 and 8\n--- 1 thread ---\n{json_1}\n--- 8 threads ---\n{json_8}"
     );
+    assert_eq!(
+        analysis_1.is_some(),
+        analysis_8.is_some(),
+        "{bench}: trace artifact emitted at one thread count but not the other"
+    );
+    if let (Some(a1), Some(a8)) = (&analysis_1, &analysis_8) {
+        assert!(
+            a1 == a8,
+            "{bench}: trace analysis differs between STASH_THREADS=1 and 8\n--- 1 thread ---\n{a1}\n--- 8 threads ---\n{a8}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&base);
 }
 

@@ -1,0 +1,114 @@
+//! Trace-diff regression acceptance: two full-stack runs that differ only
+//! by one injected extra scrub pass must diff to *exactly* the scrub span
+//! family — no other span may move. This is the end-to-end contract behind
+//! `bench_compare`'s regression attribution: when a bench breaches its
+//! tolerance band, the span diff points at the layer that grew.
+
+use stash_bench::rng;
+use stash_flash::{BitPattern, Chip, ChipProfile, Geometry, NandDevice, TraceDevice};
+use stash_ftl::{Ftl, FtlConfig};
+use stash_obs::export::export_jsonl;
+use stash_obs::{analyze, TraceStats, Tracer};
+use stash_stego::{HiddenVolume, StegoConfig};
+use std::sync::Arc;
+
+const SLOTS: usize = 4;
+
+/// One deterministic traced run: fill, hide, scrub — plus, when asked, one
+/// extra injected scrub pass at the very end. Everything before the
+/// injection point is byte-identical between the two variants.
+fn traced_run(extra_scrub: bool) -> TraceStats {
+    let seed = 777;
+    let mut profile = ChipProfile::vendor_a();
+    profile.geometry = Geometry { blocks_per_chip: 12, pages_per_block: 8, page_bytes: 1024 };
+    let chip = TraceDevice::new(Chip::new(profile, seed));
+    let ftl = Ftl::new(chip, FtlConfig { reserve_blocks: 4, gc_low_water: 2 }).unwrap();
+    let cfg = StegoConfig::for_geometry(ftl.chip().geometry());
+    let key = stash_crypto::HidingKey::from_passphrase("trace diff acceptance");
+    let mut vol = HiddenVolume::format(ftl, key, cfg.clone(), SLOTS).unwrap();
+
+    let tracer = Tracer::shared();
+    vol.attach_tracer(Some(Arc::clone(&tracer)));
+
+    let cap = vol.ftl().capacity_pages();
+    let cpp = vol.ftl().chip().geometry().cells_per_page();
+    let mut r = rng(seed);
+    {
+        let _s = tracer.span("fill_public");
+        for lpn in 0..cap {
+            let data = BitPattern::random_half(&mut r, cpp);
+            vol.write_public(lpn, &data).expect("public write");
+        }
+    }
+    {
+        let _s = tracer.span("write_hidden");
+        for slot in 0..SLOTS {
+            let payload: Vec<u8> = (0..cfg.slot_bytes()).map(|b| (slot * 31 + b) as u8).collect();
+            vol.write_hidden(slot, &payload).expect("hidden write");
+        }
+    }
+    vol.scrub(8).expect("scrub");
+    if extra_scrub {
+        vol.scrub(8).expect("injected scrub");
+    }
+    analyze::parse_trace(&export_jsonl(&tracer.report())).expect("trace parses")
+}
+
+#[test]
+fn an_extra_scrub_pass_diffs_to_exactly_the_scrub_span_family() {
+    let a = traced_run(false);
+    let b = traced_run(true);
+
+    // Path-level ground truth: every span path whose self cost moved lies
+    // inside the scrub subtree. Nothing else may have changed.
+    let paths: Vec<&String> = a.spans.keys().chain(b.spans.keys()).collect();
+    for path in paths {
+        let sa = a.spans.get(path.as_str()).copied().unwrap_or_default();
+        let sb = b.spans.get(path.as_str()).copied().unwrap_or_default();
+        if sa != sb {
+            assert!(
+                path.split(';').any(|seg| seg == "scrub"),
+                "span outside the scrub family moved: {path} ({sa:?} -> {sb:?})"
+            );
+        }
+    }
+
+    // And the name-keyed diff — what `trace diff` and `bench_compare`
+    // print — pins the growth on that family, largest mover first.
+    let rows = analyze::diff(&a, &b);
+    let moved: Vec<&analyze::SpanDelta> = rows
+        .iter()
+        .filter(|r| r.d_device_us != 0.0 || r.d_energy_uj != 0.0 || r.ops.0 != r.ops.1)
+        .collect();
+    assert!(!moved.is_empty(), "the injected pass must be visible in the diff");
+    // Self costs bill to the innermost span, so the movers are the scrub
+    // pass's children (decode/probe reads) — every one of them must have
+    // its grown path inside the scrub subtree.
+    for r in &moved {
+        assert!(
+            b.spans.keys().any(|p| {
+                p.rsplit(';').next() == Some(r.name.as_str()) && p.split(';').any(|s| s == "scrub")
+            }),
+            "moved span {:?} has no path under the scrub family",
+            r.name
+        );
+        assert!(r.d_device_us >= 0.0, "an added pass can only grow spans: {r:?}");
+        assert!(r.ops.1 >= r.ops.0, "op counts can only grow: {r:?}");
+    }
+    let rendered = analyze::render_diff(&rows, 5);
+    assert!(rendered.contains(moved[0].name.as_str()), "{rendered}");
+
+    // The injected pass grew total device time too.
+    assert!(b.device_time_us > a.device_time_us);
+    assert!(b.ops > a.ops);
+}
+
+#[test]
+fn identical_runs_diff_to_nothing() {
+    let a = traced_run(false);
+    let b = traced_run(false);
+    assert_eq!(a, b, "the workload itself must be deterministic");
+    let rows = analyze::diff(&a, &b);
+    assert!(rows.iter().all(|r| r.d_device_us == 0.0 && r.ops.0 == r.ops.1));
+    assert!(analyze::render_diff(&rows, 5).contains("(no span moved)"));
+}

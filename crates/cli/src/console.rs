@@ -4,12 +4,13 @@ use rand::{rngs::SmallRng, SeedableRng};
 use stash_crypto::HidingKey;
 use stash_fingerprint::{Fingerprint, FlashTrng};
 use stash_flash::{
-    ArrayDevice, BitPattern, BlockId, Chip, ChipProfile, FlashError, Geometry, Histogram,
-    NandDevice, PageId, PowerCut, PowerCutDevice, TraceDevice,
+    ArrayDevice, BitPattern, BlockId, Chip, ChipProfile, FlashError, FlightDevice, Geometry,
+    Histogram, NandDevice, PageId, PowerCut, PowerCutDevice, TraceDevice,
 };
 use stash_ftl::{Ftl, FtlConfig, FtlError};
 use stash_obs::{
-    export, render_prometheus, write_snapshot, ChipHealth, HealthMonitor, HealthSample, Tracer,
+    analyze, export, render_prometheus, write_snapshot, ChipHealth, FlightRecorder, HealthMonitor,
+    HealthSample, Tracer,
 };
 use stash_stego::{HiddenVolume, StegoConfig, StegoError};
 use stash_svm::{Dataset, Kernel, StandardScaler, Svm, SvmParams};
@@ -28,7 +29,7 @@ pub enum Outcome {
 /// Console state: one device (a chip array, single-chip by default), one
 /// optional hiding key, bookkeeping for hide/reveal demos.
 pub struct Console {
-    chip: TraceDevice<ArrayDevice<Chip>>,
+    chip: FlightDevice<TraceDevice<ArrayDevice<Chip>>>,
     key: Option<HidingKey>,
     cfg: VthiConfig,
     rng: SmallRng,
@@ -40,6 +41,9 @@ pub struct Console {
     tracer: Option<Arc<Tracer>>,
     /// Health monitor fed by the `health` command's demo-stack samples.
     health: HealthMonitor,
+    /// Always-on flight recorder: the black box holding the last N device
+    /// ops, dumped by `postmortem` and on power-loss/retirement/alerts.
+    flight: Arc<FlightRecorder>,
 }
 
 impl Console {
@@ -53,7 +57,12 @@ impl Console {
     /// A 1-chip array is byte-identical to the bare chip it wraps.
     pub fn with_chips(n: u32) -> Self {
         let array = ArrayDevice::homogeneous(ChipProfile::vendor_a_scaled(), n.max(1), 0x7E57);
-        let chip = TraceDevice::new(array);
+        let flight = FlightRecorder::shared();
+        flight.set_label("console");
+        let chip = FlightDevice::with_sink(
+            TraceDevice::new(array),
+            flight.clone() as stash_flash::SharedFlightSink,
+        );
         let cfg = VthiConfig::scaled_for(chip.geometry());
         Console {
             chip,
@@ -64,6 +73,7 @@ impl Console {
             fingerprints: std::collections::HashMap::new(),
             tracer: None,
             health: HealthMonitor::default(),
+            flight,
         }
     }
 
@@ -118,6 +128,7 @@ impl Console {
                 Ok(())
             }
             "trace" => self.cmd_trace(&args),
+            "postmortem" => self.cmd_postmortem(&args),
             "crash" => self.cmd_crash(&args),
             "health" => self.cmd_health(&args),
             "stats" => self.cmd_stats(&args),
@@ -150,6 +161,11 @@ impl Console {
              \x20 trng <bytes>                harvest random bytes\n\
              \x20 meter                       op counts / device time / energy\n\
              \x20 trace on|off|dump [fmt]     span tracing; fmt: tree|json|flame\n\
+             \x20 trace analyze [file]        critical path + top spans (+ per-chip report\n\
+             \x20                             when analyzing the live device)\n\
+             \x20 trace diff <old> <new>      per-span deltas between two trace JSONLs\n\
+             \x20 trace topn [k] [file]       top-k spans by self device time\n\
+             \x20 postmortem [dir]            dump the flight recorder (last ops + spans)\n\
              \x20 crash <at_op> [fraction]    power-cut + cold-remount recovery demo\n\
              \x20 health [--chips N]          device-health report on a demo stack (wear,\n\
              \x20                             margins, detectability, alerts; N-chip array\n\
@@ -401,13 +417,15 @@ impl Console {
         match args.first().copied() {
             Some("on") => {
                 let tracer = Tracer::shared();
-                self.chip.set_recorder(Some(tracer.clone()));
+                self.chip.install_recorder(Some(tracer.clone()));
+                self.flight.set_tracer(Some(tracer.clone()));
                 self.tracer = Some(tracer);
                 println!("tracing on — chip ops now attribute to spans");
                 Ok(())
             }
             Some("off") => {
-                self.chip.set_recorder(None);
+                self.chip.install_recorder(None);
+                self.flight.set_tracer(None);
                 self.tracer = None;
                 println!("tracing off");
                 Ok(())
@@ -423,8 +441,81 @@ impl Console {
                 }
                 Ok(())
             }
-            _ => Err("usage: trace on|off|dump [tree|json|flame]".into()),
+            Some("analyze") => {
+                let stats = self.trace_stats(args.get(1).copied())?;
+                print!("{}", analyze::render_analysis(&stats, 10));
+                // File-less analysis runs against the live array: join the
+                // span attribution with the per-chip meters.
+                if args.get(1).is_none() {
+                    let array = self.chip.inner().inner();
+                    let chips: Vec<_> =
+                        (0..array.chip_count() as usize).map(|i| array.chip_meter(i)).collect();
+                    print!("{}", analyze::render_chip_report(&chips, Some(&stats)));
+                }
+                Ok(())
+            }
+            Some("diff") => {
+                let (a, b) = match (args.get(1), args.get(2)) {
+                    (Some(a), Some(b)) => (*a, *b),
+                    _ => return Err("usage: trace diff <old.jsonl> <new.jsonl>".into()),
+                };
+                let old = Self::trace_stats_from_file(a)?;
+                let new = Self::trace_stats_from_file(b)?;
+                print!("{}", analyze::render_diff(&analyze::diff(&old, &new), 10));
+                Ok(())
+            }
+            Some("topn") => {
+                let k: usize = match args.get(1) {
+                    Some(s) => s.parse().map_err(|_| "k must be a number".to_owned())?,
+                    None => 10,
+                };
+                let stats = self.trace_stats(args.get(2).copied())?;
+                for (name, s) in analyze::top_spans(&stats, k) {
+                    println!("{name}: {:.1} us, {:.1} uJ, {} ops", s.device_us, s.energy_uj, s.ops);
+                }
+                Ok(())
+            }
+            _ => Err(
+                "usage: trace on|off|dump [tree|json|flame]|analyze [file]|diff <a> <b>|topn [k] [file]"
+                    .into(),
+            ),
         }
+    }
+
+    /// Parsed trace stats from a file, or from the live tracer when no
+    /// file is given.
+    fn trace_stats(&self, file: Option<&str>) -> Result<analyze::TraceStats, String> {
+        match file {
+            Some(path) => Self::trace_stats_from_file(path),
+            None => {
+                let tracer = self.tracer.as_ref().ok_or("tracing is off (trace on first)")?;
+                analyze::parse_trace(&export::export_jsonl(&tracer.report()))
+            }
+        }
+    }
+
+    fn trace_stats_from_file(path: &str) -> Result<analyze::TraceStats, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        analyze::parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Dumps the flight recorder on demand.
+    fn cmd_postmortem(&mut self, args: &[&str]) -> Result<(), String> {
+        if let Some(dir) = args.first() {
+            self.flight.set_dump_dir(*dir);
+        }
+        if self.flight.is_empty() {
+            println!("flight recorder is empty (no device ops yet)");
+            return Ok(());
+        }
+        let path = self.flight.dump("manual").map_err(|e| e.to_string())?;
+        println!(
+            "postmortem: {} ops (of {} total) -> {}",
+            self.flight.len(),
+            self.flight.seq(),
+            path.display()
+        );
+        Ok(())
     }
 
     fn cmd_trng(&mut self, args: &[&str]) -> Result<(), String> {
@@ -765,6 +856,14 @@ impl Console {
             for a in &fired {
                 println!("alert: {a}");
             }
+            // Edge-triggered alerts are a dump trigger: preserve the last
+            // console-device ops leading up to the threshold crossing (the
+            // ring is empty when the console device hasn't been touched).
+            if !self.flight.is_empty() {
+                if let Some(p) = self.flight.dump_on_alerts(&fired) {
+                    println!("postmortem: alert context -> {}", p.display());
+                }
+            }
         }
         Ok(())
     }
@@ -870,6 +969,42 @@ mod tests {
         c.dispatch("erase 2");
         let report = c.tracer.as_ref().unwrap().report();
         assert!(report.totals.total_ops() >= 1);
+    }
+
+    #[test]
+    fn postmortem_and_trace_analysis_through_console() {
+        let dir = std::env::temp_dir().join("stash_cli_postmortem_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut c = Console::new();
+        // Empty ring: reported, nothing written, not fatal.
+        run(&mut c, &["postmortem"]);
+        assert!(c.flight.last_dump().is_none());
+        run(&mut c, &["trace on", "key hunter2", "erase 1", "hide 1 0 meet at dawn", "reveal 1 0"]);
+        run(&mut c, &[&format!("postmortem {}", dir.display())]);
+        let path = c.flight.last_dump().expect("dump written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"schema\":\"stash-postmortem/1\""));
+        // Ops carry span context resolved through the live tracer.
+        assert!(text.contains("\"span\":\"root;"), "span paths attributed:\n{text}");
+
+        // Analysis: live device, then file-based diff across two snapshots.
+        let a = dir.join("a.jsonl");
+        std::fs::write(&a, export::export_jsonl(&c.tracer.as_ref().unwrap().report())).unwrap();
+        run(&mut c, &["erase 2", "fill 2"]);
+        let b = dir.join("b.jsonl");
+        std::fs::write(&b, export::export_jsonl(&c.tracer.as_ref().unwrap().report())).unwrap();
+        run(
+            &mut c,
+            &[
+                "trace analyze",
+                "trace topn 5",
+                &format!("trace analyze {}", a.display()),
+                &format!("trace diff {} {}", a.display(), b.display()),
+                "trace diff onlyone", // usage error — reported, not fatal
+                "trace analyze /nonexistent", // io error — reported, not fatal
+            ],
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

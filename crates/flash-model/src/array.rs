@@ -35,7 +35,7 @@ use crate::error::FlashError;
 use crate::geometry::{BlockId, Geometry, PageId};
 use crate::meter::{FaultKind, MeterSnapshot, OpKind};
 use crate::profile::ChipProfile;
-use crate::recorder::SharedRecorder;
+use crate::recorder::{SharedFlightSink, SharedRecorder};
 use crate::{CmdResult, Level, Result};
 
 /// Per-chip seed stride for [`ArrayDevice::homogeneous`]: chip `i` gets
@@ -334,6 +334,12 @@ impl<D: NandDevice + Send> NandDevice for ArrayDevice<D> {
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         for chip in &mut self.chips {
             chip.install_recorder(recorder.clone());
+        }
+    }
+
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        for chip in &mut self.chips {
+            chip.install_flight_sink(sink.clone());
         }
     }
 

@@ -25,7 +25,7 @@ use crate::chip::Chip;
 use crate::geometry::{BlockId, Geometry, PageId};
 use crate::meter::{FaultKind, MeterSnapshot, OpKind};
 use crate::profile::ChipProfile;
-use crate::recorder::SharedRecorder;
+use crate::recorder::{SharedFlightSink, SharedRecorder};
 use crate::{Level, Result, SLC_READ_REF};
 
 /// One queued device command for [`NandDevice::exec`].
@@ -230,6 +230,14 @@ pub trait NandDevice {
     /// middleware stack overrides it.
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         let _ = recorder;
+    }
+
+    /// Installs (or, with `None`, removes) a flight-recorder sink somewhere
+    /// in the device stack. The default is a no-op: a bare device has no
+    /// flight hook, and a [`FlightDevice`](crate::FlightDevice) anywhere in
+    /// a middleware stack overrides it.
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        let _ = sink;
     }
 
     /// Advances simulated wall-clock time without issuing an operation
@@ -574,6 +582,9 @@ impl<D: NandDevice + ?Sized> NandDevice for &mut D {
     }
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         (**self).install_recorder(recorder);
+    }
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        (**self).install_flight_sink(sink);
     }
     fn advance_time_us(&mut self, us: f64) {
         (**self).advance_time_us(us);

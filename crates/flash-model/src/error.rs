@@ -50,6 +50,27 @@ pub enum FlashError {
     PowerLoss,
 }
 
+impl FlashError {
+    /// Stable machine-readable code for this error, used by the flight
+    /// recorder's post-mortem artifacts. Unlike [`Display`](fmt::Display)
+    /// output these carry no addresses, so entries stay `Copy` and dump
+    /// files diff cleanly across runs.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FlashError::BlockOutOfRange(_) => "block-out-of-range",
+            FlashError::PageOutOfRange(_) => "page-out-of-range",
+            FlashError::PageAlreadyProgrammed(_) => "page-already-programmed",
+            FlashError::PageNotProgrammed(_) => "page-not-programmed",
+            FlashError::BadBlock(_) => "bad-block",
+            FlashError::PatternLength { .. } => "pattern-length",
+            FlashError::TransientProgramFail(_) => "transient-program-fail",
+            FlashError::EraseFail(_) => "erase-fail",
+            FlashError::GrownBadBlock(_) => "grown-bad-block",
+            FlashError::PowerLoss => "power-loss",
+        }
+    }
+}
+
 impl fmt::Display for FlashError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

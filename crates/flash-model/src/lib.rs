@@ -82,9 +82,11 @@ pub use fault::{FaultPlan, NoiseSpike, PowerCut, StuckCell};
 pub use geometry::{BlockId, Geometry, PageId};
 pub use histogram::Histogram;
 pub use meter::{FaultKind, Meter, MeterSnapshot, OpKind};
-pub use middleware::{FaultDevice, PowerCutDevice, SnapshotDevice, TraceDevice};
+pub use middleware::{FaultDevice, FlightDevice, PowerCutDevice, SnapshotDevice, TraceDevice};
 pub use profile::{ChipProfile, TimingModel};
-pub use recorder::{CountingRecorder, Recorder, SharedRecorder};
+pub use recorder::{
+    CountingRecorder, FlightOp, FlightSink, Recorder, SharedFlightSink, SharedRecorder,
+};
 pub use rng::ChipRng;
 pub use snapshot::{DeviceState, SnapshotError, StateReader, StateWriter};
 

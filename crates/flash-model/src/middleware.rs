@@ -12,6 +12,10 @@
 //!   observe no corruption from the failed attempt.
 //! * [`TraceDevice`] — reports every billed operation, fault and wait to an
 //!   installed [`SharedRecorder`], with the same costs the meter bills.
+//! * [`FlightDevice`] — reports every operation *with its address, chip
+//!   attribution and outcome* to an installed [`SharedFlightSink`], feeding
+//!   a bounded post-mortem ring (stash-obs `FlightRecorder`) that dumps the
+//!   last N ops when the stack fails.
 //! * [`SnapshotDevice`] — checkpoints/restores the full mutable state of a
 //!   [`DeviceState`] stack to bytes or to a file, so a longevity run can
 //!   stop and resume mid-experiment with bit-identical streams.
@@ -24,13 +28,14 @@
 //!
 //! # Decorator ordering
 //!
-//! The canonical stack is `FaultDevice<TraceDevice<Chip>>`: fault injection
-//! outermost, so the meter/record traffic it emits for *failed* attempts
-//! flows through the tracer exactly like successful operations do. A
-//! `TraceDevice` outside the `FaultDevice` would never see faulted attempts
-//! billed. `PowerCutDevice` sits outermost of all — power is physically
-//! upstream of everything — so a cut gates the whole stack and a torn
-//! operation is billed/traced like the interrupted command it is.
+//! The canonical stack is `FaultDevice<FlightDevice<TraceDevice<Chip>>>`:
+//! fault injection outermost, so the meter/record traffic it emits for
+//! *failed* attempts flows through the flight ring and the tracer exactly
+//! like successful operations do. A `TraceDevice` (or `FlightDevice`)
+//! outside the `FaultDevice` would never see faulted attempts billed.
+//! `PowerCutDevice` sits outermost of all — power is physically upstream of
+//! everything — so a cut gates the whole stack and a torn operation is
+//! billed/traced/flight-recorded like the interrupted command it is.
 //! `SnapshotDevice` composes anywhere its inner stack implements
 //! [`DeviceState`].
 //!
@@ -60,7 +65,7 @@ use crate::fault::{FaultPlan, FaultState, PowerCut};
 use crate::geometry::{BlockId, Geometry, PageId};
 use crate::meter::{FaultKind, MeterSnapshot, OpKind};
 use crate::profile::ChipProfile;
-use crate::recorder::SharedRecorder;
+use crate::recorder::{FlightOp, SharedFlightSink, SharedRecorder};
 use crate::snapshot::{DeviceState, SnapshotError, StateReader, StateWriter};
 use crate::{Level, Result};
 
@@ -203,6 +208,9 @@ impl<D: NandDevice> NandDevice for FaultDevice<D> {
     }
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         self.inner.install_recorder(recorder);
+    }
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        self.inner.install_flight_sink(sink);
     }
     fn advance_time_us(&mut self, us: f64) {
         self.inner.advance_time_us(us);
@@ -622,6 +630,9 @@ impl<D: NandDevice> NandDevice for TraceDevice<D> {
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         self.set_recorder(recorder);
     }
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        self.inner.install_flight_sink(sink);
+    }
     fn advance_time_us(&mut self, us: f64) {
         self.inner.advance_time_us(us);
         if let Some(r) = &self.recorder {
@@ -788,6 +799,357 @@ impl<D: NandDevice + DeviceState> DeviceState for TraceDevice<D> {
 }
 
 // ---------------------------------------------------------------------------
+// FlightDevice
+// ---------------------------------------------------------------------------
+
+/// Flight-recorder middleware: reports every device operation — successful,
+/// failed or torn — to an installed [`SharedFlightSink`] together with its
+/// address, per-chip attribution and billed cost, so a bounded post-mortem
+/// ring (stash-obs `FlightRecorder`) can hold the last N ops leading up to
+/// a failure. With no sink installed it is byte-identical passthrough at
+/// one branch per event.
+///
+/// The canonical stack order is `FaultDevice<FlightDevice<TraceDevice<D>>>`:
+/// inside the fault layer, so billed-but-failed attempts reach the ring via
+/// [`NandDevice::record_op`], and torn power-cut variants land in the ring
+/// as the final entry before a post-mortem dump.
+///
+/// Cost accounting matches the meter exactly: successful and torn ops carry
+/// the profile's billed cost (a sweep is one entry per reference voltage, a
+/// stress pass is one per cycle), billed-but-failed attempts carry the cost
+/// the fault layer billed, and operations rejected before reaching the
+/// physics (address errors, program-once violations) carry zero cost.
+#[derive(Debug, Clone)]
+pub struct FlightDevice<D> {
+    inner: D,
+    sink: Option<SharedFlightSink>,
+}
+
+impl<D: NandDevice> FlightDevice<D> {
+    /// Wraps a device with no sink installed.
+    pub fn new(inner: D) -> Self {
+        FlightDevice { inner, sink: None }
+    }
+
+    /// Wraps a device with a sink installed from the start.
+    pub fn with_sink(inner: D, sink: SharedFlightSink) -> Self {
+        FlightDevice { inner, sink: Some(sink) }
+    }
+
+    /// Installs (or, with `None`, removes) the sink. Cloning the wrapper
+    /// shares the sink.
+    pub fn set_sink(&mut self, sink: Option<SharedFlightSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed sink, if any.
+    pub fn sink(&self) -> Option<&SharedFlightSink> {
+        self.sink.as_ref()
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the middleware, returning the wrapped device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Chip / local-block attribution for a global block address, using the
+    /// same address map as [`ArrayDevice`](crate::ArrayDevice): chip
+    /// `b / local_blocks`, local block `b % local_blocks`.
+    fn attribute(&self, b: BlockId) -> (u32, u32) {
+        let chips = self.inner.chip_count().max(1);
+        let local_blocks = (self.inner.geometry().blocks_per_chip / chips).max(1);
+        (b.0 / local_blocks, b.0 % local_blocks)
+    }
+
+    /// Reports one completed (or torn) operation at the profile's billed
+    /// cost.
+    fn emit_ok(&self, kind: OpKind, block: BlockId, page: Option<u32>, torn: bool) {
+        if let Some(s) = &self.sink {
+            let (us, uj) = self.inner.profile().timing.cost(kind);
+            let (chip, local_block) = self.attribute(block);
+            s.record_flight_op(&FlightOp {
+                kind,
+                block: Some(block.0),
+                local_block: Some(local_block),
+                page,
+                chip,
+                device_us: us,
+                energy_uj: uj,
+                ok: true,
+                err: None,
+                torn,
+            });
+        }
+    }
+
+    /// Reports one rejected operation (never reached the physics, so it
+    /// cost nothing) with its stable error code.
+    fn emit_err(&self, kind: OpKind, block: BlockId, page: Option<u32>, err: &FlashError) {
+        if let Some(s) = &self.sink {
+            let (chip, local_block) = self.attribute(block);
+            s.record_flight_op(&FlightOp {
+                kind,
+                block: Some(block.0),
+                local_block: Some(local_block),
+                page,
+                chip,
+                device_us: 0.0,
+                energy_uj: 0.0,
+                ok: false,
+                err: Some(err.code()),
+                torn: false,
+            });
+        }
+    }
+
+    /// Reports the outcome of one addressed operation and passes the result
+    /// through.
+    fn observe<T>(
+        &self,
+        kind: OpKind,
+        block: BlockId,
+        page: Option<u32>,
+        torn: bool,
+        r: Result<T>,
+    ) -> Result<T> {
+        match &r {
+            Ok(_) => self.emit_ok(kind, block, page, torn),
+            Err(e) => self.emit_err(kind, block, page, e),
+        }
+        r
+    }
+}
+
+impl<D: NandDevice> NandDevice for FlightDevice<D> {
+    fn geometry(&self) -> &Geometry {
+        self.inner.geometry()
+    }
+    fn profile(&self) -> &ChipProfile {
+        self.inner.profile()
+    }
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+    fn chip_count(&self) -> u32 {
+        self.inner.chip_count()
+    }
+    fn meter(&self) -> MeterSnapshot {
+        self.inner.meter()
+    }
+    fn reset_meter(&mut self) {
+        self.inner.reset_meter();
+    }
+    fn record_op(&mut self, kind: OpKind) {
+        self.inner.record_op(kind);
+        // A billed attempt from the fault layer above: it consumed device
+        // time but never carried its address down the stack.
+        if let Some(s) = &self.sink {
+            let (us, uj) = self.inner.profile().timing.cost(kind);
+            s.record_flight_op(&FlightOp {
+                kind,
+                block: None,
+                local_block: None,
+                page: None,
+                chip: 0,
+                device_us: us,
+                energy_uj: uj,
+                ok: false,
+                err: Some("faulted-attempt"),
+                torn: false,
+            });
+        }
+    }
+    fn record_fault(&mut self, kind: FaultKind) {
+        self.inner.record_fault(kind);
+        if let Some(s) = &self.sink {
+            s.record_flight_fault(kind);
+        }
+    }
+    fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.inner.install_recorder(recorder);
+    }
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        self.set_sink(sink);
+    }
+    fn advance_time_us(&mut self, us: f64) {
+        self.inner.advance_time_us(us);
+        if let Some(s) = &self.sink {
+            s.record_flight_wait(us);
+        }
+    }
+    fn set_read_noise_scale(&mut self, scale: f64) {
+        self.inner.set_read_noise_scale(scale);
+    }
+    fn block_pec(&self, b: BlockId) -> Result<u32> {
+        self.inner.block_pec(b)
+    }
+    fn mark_bad(&mut self, b: BlockId) -> Result<()> {
+        self.inner.mark_bad(b)
+    }
+    fn is_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_bad(b)
+    }
+    fn grow_bad_block(&mut self, b: BlockId) -> Result<()> {
+        let newly = !self.inner.is_grown_bad(b)?;
+        self.inner.grow_bad_block(b)?;
+        if newly {
+            if let Some(s) = &self.sink {
+                s.record_flight_fault(FaultKind::GrownBad);
+            }
+        }
+        Ok(())
+    }
+    fn is_grown_bad(&self, b: BlockId) -> Result<bool> {
+        self.inner.is_grown_bad(b)
+    }
+    fn is_page_programmed(&self, p: PageId) -> Result<bool> {
+        self.inner.is_page_programmed(p)
+    }
+    fn discard_block_state(&mut self, b: BlockId) -> Result<()> {
+        self.inner.discard_block_state(b)
+    }
+    fn erase_block(&mut self, b: BlockId) -> Result<()> {
+        let r = self.inner.erase_block(b);
+        self.observe(OpKind::Erase, b, None, false, r)
+    }
+    fn cycle_block(&mut self, b: BlockId, n: u32) -> Result<()> {
+        // Unmetered on the device; not flight-recorded either.
+        self.inner.cycle_block(b, n)
+    }
+    fn program_page(&mut self, p: PageId, data: &BitPattern) -> Result<()> {
+        let r = self.inner.program_page(p, data);
+        self.observe(OpKind::Program, p.block, Some(p.page), false, r)
+    }
+    fn program_page_with_spare(
+        &mut self,
+        p: PageId,
+        data: &BitPattern,
+        spare: &[u8],
+    ) -> Result<()> {
+        let r = self.inner.program_page_with_spare(p, data, spare);
+        self.observe(OpKind::Program, p.block, Some(p.page), false, r)
+    }
+    fn read_spare(&mut self, p: PageId) -> Result<Option<Vec<u8>>> {
+        let r = self.inner.read_spare(p);
+        self.observe(OpKind::Read, p.block, Some(p.page), false, r)
+    }
+    fn torn_program_page(&mut self, p: PageId, data: &BitPattern, fraction: f64) -> Result<()> {
+        let r = self.inner.torn_program_page(p, data, fraction);
+        self.observe(OpKind::Program, p.block, Some(p.page), true, r)
+    }
+    fn torn_partial_program(&mut self, p: PageId, mask: &BitPattern, fraction: f64) -> Result<()> {
+        let r = self.inner.torn_partial_program(p, mask, fraction);
+        self.observe(OpKind::PartialProgram, p.block, Some(p.page), true, r)
+    }
+    fn torn_erase_block(&mut self, b: BlockId, fraction: f64) -> Result<()> {
+        let r = self.inner.torn_erase_block(b, fraction);
+        self.observe(OpKind::Erase, b, None, true, r)
+    }
+    fn partial_program(&mut self, p: PageId, mask: &BitPattern) -> Result<()> {
+        let r = self.inner.partial_program(p, mask);
+        self.observe(OpKind::PartialProgram, p.block, Some(p.page), false, r)
+    }
+    fn fine_partial_program(&mut self, p: PageId, mask: &BitPattern, target: Level) -> Result<()> {
+        let r = self.inner.fine_partial_program(p, mask, target);
+        self.observe(OpKind::PartialProgram, p.block, Some(p.page), false, r)
+    }
+    fn read_page_shifted(&mut self, p: PageId, vref: Level) -> Result<BitPattern> {
+        let r = self.inner.read_page_shifted(p, vref);
+        self.observe(OpKind::Read, p.block, Some(p.page), false, r)
+    }
+    fn read_page_shifted_into(
+        &mut self,
+        p: PageId,
+        vref: Level,
+        out: &mut BitPattern,
+    ) -> Result<()> {
+        let r = self.inner.read_page_shifted_into(p, vref, out);
+        self.observe(OpKind::Read, p.block, Some(p.page), false, r)
+    }
+    fn read_page_sweep(&mut self, p: PageId, vrefs: &[Level]) -> Result<Vec<BitPattern>> {
+        let r = self.inner.read_page_sweep(p, vrefs);
+        match &r {
+            // The device meters one read per reference voltage; the flight
+            // ring must agree with the meter.
+            Ok(_) => {
+                for _ in vrefs {
+                    self.emit_ok(OpKind::Read, p.block, Some(p.page), false);
+                }
+            }
+            Err(e) => self.emit_err(OpKind::Read, p.block, Some(p.page), e),
+        }
+        r
+    }
+    fn probe_voltages_into(&mut self, p: PageId, out: &mut Vec<Level>) -> Result<()> {
+        let r = self.inner.probe_voltages_into(p, out);
+        self.observe(OpKind::Probe, p.block, Some(p.page), false, r)
+    }
+    fn exec(&mut self, cmds: &[NandCmd]) -> Vec<CmdResult> {
+        if self.sink.is_none() {
+            // Sink-less flight recording is exact passthrough, batches
+            // included.
+            return self.inner.exec(cmds);
+        }
+        // Dispatch through `self` so every op lands in the ring with its
+        // address. Fused sweeps stay fused — `read_page_sweep` above
+        // forwards the whole sweep to the backend.
+        cmds.iter().map(|cmd| dispatch_one(self, cmd)).collect()
+    }
+    fn age_days(&mut self, days: f64) {
+        self.inner.age_days(days);
+    }
+    fn stress_cells(&mut self, p: PageId, mask: &BitPattern, cycles: u32) -> Result<()> {
+        let r = self.inner.stress_cells(p, mask, cycles);
+        match &r {
+            // Metered as `cycles` program operations.
+            Ok(_) => {
+                for _ in 0..cycles {
+                    self.emit_ok(OpKind::Program, p.block, Some(p.page), false);
+                }
+            }
+            Err(e) => self.emit_err(OpKind::Program, p.block, Some(p.page), e),
+        }
+        r
+    }
+    fn program_time_probe(&mut self, p: PageId, steps: u16) -> Result<Vec<u16>> {
+        let r = self.inner.program_time_probe(p, steps);
+        match &r {
+            // Metered as `steps` partial-programs plus `steps` reads,
+            // interleaved like the incremental-program loop issues them.
+            Ok(_) => {
+                for _ in 0..steps {
+                    self.emit_ok(OpKind::PartialProgram, p.block, Some(p.page), false);
+                    self.emit_ok(OpKind::Read, p.block, Some(p.page), false);
+                }
+            }
+            Err(e) => self.emit_err(OpKind::PartialProgram, p.block, Some(p.page), e),
+        }
+        r
+    }
+}
+
+impl<D: NandDevice + DeviceState> DeviceState for FlightDevice<D> {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The sink is configuration, not simulation state.
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> std::result::Result<(), SnapshotError> {
+        self.inner.load_state(r)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // SnapshotDevice
 // ---------------------------------------------------------------------------
 
@@ -918,6 +1280,9 @@ impl<D: NandDevice> NandDevice for SnapshotDevice<D> {
     }
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         self.inner.install_recorder(recorder);
+    }
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        self.inner.install_flight_sink(sink);
     }
     fn advance_time_us(&mut self, us: f64) {
         self.inner.advance_time_us(us);
@@ -1277,6 +1642,9 @@ impl<D: NandDevice> NandDevice for PowerCutDevice<D> {
     }
     fn install_recorder(&mut self, recorder: Option<SharedRecorder>) {
         self.inner.install_recorder(recorder);
+    }
+    fn install_flight_sink(&mut self, sink: Option<SharedFlightSink>) {
+        self.inner.install_flight_sink(sink);
     }
     fn advance_time_us(&mut self, us: f64) {
         self.inner.advance_time_us(us);

@@ -82,6 +82,61 @@ impl Recorder for CountingRecorder {
     }
 }
 
+/// One device operation as observed by the flight-recorder middleware.
+///
+/// Every field is `Copy` so a bounded ring of these is zero-alloc in steady
+/// state: the sink can stamp, store and overwrite entries without touching
+/// the heap. Address fields are `Option` because billed-but-failed attempts
+/// (reported through [`NandDevice::record_op`](crate::NandDevice::record_op))
+/// never carried an address down the stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightOp {
+    /// The operation class, as billed to the meter.
+    pub kind: OpKind,
+    /// Global block address (array-wide), when the op addressed a block.
+    pub block: Option<u32>,
+    /// Block address local to its chip (`block % local_blocks`).
+    pub local_block: Option<u32>,
+    /// Page index within the block, when the op addressed a page.
+    pub page: Option<u32>,
+    /// Chip behind the address (`block / local_blocks`; 0 for a bare chip).
+    pub chip: u32,
+    /// Simulated device time the op cost, microseconds.
+    pub device_us: f64,
+    /// Simulated energy the op cost, microjoules.
+    pub energy_uj: f64,
+    /// Whether the op completed successfully.
+    pub ok: bool,
+    /// Stable error code when the op failed (see `FlashError::code`).
+    pub err: Option<&'static str>,
+    /// Whether this was a torn (power-interrupted) variant of the op.
+    pub torn: bool,
+}
+
+/// Observer of flight-recorder events, called synchronously by the
+/// [`FlightDevice`](crate::FlightDevice) middleware. Like [`Recorder`],
+/// implementations use interior mutability so one sink can watch a whole
+/// stack. `stash-obs` implements it with a bounded post-mortem ring.
+pub trait FlightSink: fmt::Debug + Send + Sync {
+    /// One device operation was issued (successful, failed, or torn).
+    fn record_flight_op(&self, op: &FlightOp);
+
+    /// One fault event fired in the stack (power loss, block retirement,
+    /// transient fail). Power-loss is the classic dump trigger.
+    fn record_flight_fault(&self, kind: FaultKind) {
+        let _ = kind;
+    }
+
+    /// Simulated wall-clock wait advanced outside any device operation.
+    fn record_flight_wait(&self, wait_us: f64) {
+        let _ = wait_us;
+    }
+}
+
+/// Shared handle to a flight sink; cloning a
+/// [`FlightDevice`](crate::FlightDevice) shares the sink.
+pub type SharedFlightSink = Arc<dyn FlightSink>;
+
 // The recorder's behavioral tests (observation counts, clone sharing,
 // faulted-attempt billing) live in `crate::middleware::tests`, next to the
 // `TraceDevice` that drives it.

@@ -1,0 +1,401 @@
+//! Trace-analysis engine over stash-trace/1 JSONL artifacts: critical-path
+//! extraction, per-span-name aggregation and top-N tables, trace-to-trace
+//! diffs, and per-chip utilization reports.
+//!
+//! Everything here is a pure function of its inputs (no clocks, no
+//! randomness, deterministic iteration via `BTreeMap` and total sorts), so
+//! analysis output is byte-identical for any `STASH_THREADS` when the
+//! traces themselves are — which the tracer guarantees.
+//!
+//! An op event's `path` names the span that was *innermost* when the op
+//! was billed, so per-path aggregates are **self** costs; subtree totals
+//! are computed by prefix summation when the critical path is extracted.
+
+use crate::export::TRACE_SCHEMA;
+use crate::json::{self, JsonValue};
+use stash_flash::MeterSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Self-cost aggregate of one span path (or one span name).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Device operations billed while the span was innermost.
+    pub ops: u64,
+    /// Device time billed, microseconds.
+    pub device_us: f64,
+    /// Energy billed, microjoules.
+    pub energy_uj: f64,
+}
+
+impl SpanStats {
+    fn add(&mut self, device_us: f64, energy_uj: f64) {
+        self.ops += 1;
+        self.device_us += device_us;
+        self.energy_uj += energy_uj;
+    }
+}
+
+/// A parsed stash-trace/1 artifact: header totals plus per-path self costs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total device time from the `trace_summary` header, microseconds.
+    pub device_time_us: f64,
+    /// Total wait time from the header, microseconds.
+    pub wait_time_us: f64,
+    /// Total energy from the header, microjoules.
+    pub energy_uj: f64,
+    /// Total ops from the header.
+    pub ops: u64,
+    /// Total faults from the header.
+    pub faults: u64,
+    /// Self costs keyed by full semicolon-joined span path.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+/// Parses a stash-trace/1 JSONL document.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, a missing/foreign schema tag, or op events
+/// without their billed costs.
+pub fn parse_trace(text: &str) -> Result<TraceStats, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, head) = lines.next().ok_or("empty trace document")?;
+    let head = json::parse(head).map_err(|e| format!("header: {e}"))?;
+    if head.get("schema").and_then(JsonValue::as_str) != Some(TRACE_SCHEMA) {
+        return Err(format!("header schema is not {TRACE_SCHEMA}"));
+    }
+    let num = |k: &str| head.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let mut stats = TraceStats {
+        device_time_us: num("device_time_us"),
+        wait_time_us: num("wait_time_us"),
+        energy_uj: num("energy_uj"),
+        ops: num("ops") as u64,
+        faults: num("faults") as u64,
+        spans: BTreeMap::new(),
+    };
+    for (i, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if v.get("type").and_then(JsonValue::as_str) != Some("op") {
+            continue;
+        }
+        let path = v
+            .get("path")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {}: op without path", i + 1))?;
+        let us = v
+            .get("device_us")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("line {}: op without device_us", i + 1))?;
+        let uj = v.get("energy_uj").and_then(JsonValue::as_f64).unwrap_or(0.0);
+        stats.spans.entry(path.to_owned()).or_default().add(us, uj);
+    }
+    Ok(stats)
+}
+
+/// Last segment of a semicolon-joined span path.
+fn leaf(path: &str) -> &str {
+    path.rsplit(';').next().unwrap_or(path)
+}
+
+/// Self costs re-keyed by span *name* (last path segment), so the same
+/// phase is one row no matter where in the tree it ran.
+pub fn by_name(stats: &TraceStats) -> BTreeMap<String, SpanStats> {
+    let mut out: BTreeMap<String, SpanStats> = BTreeMap::new();
+    for (path, s) in &stats.spans {
+        let e = out.entry(leaf(path).to_owned()).or_default();
+        e.ops += s.ops;
+        e.device_us += s.device_us;
+        e.energy_uj += s.energy_uj;
+    }
+    out
+}
+
+/// One step of the critical path: a span path with its self and subtree
+/// device time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// Full span path of this layer.
+    pub path: String,
+    /// Device time billed to this span itself, microseconds.
+    pub self_us: f64,
+    /// Device time of this span plus all descendants, microseconds.
+    pub total_us: f64,
+}
+
+/// Extracts the critical path: starting at the root, repeatedly descend
+/// into the child subtree with the most total device time (ties break to
+/// the lexicographically smallest name, keeping output deterministic)
+/// until a leaf is reached. Each step reports per-layer self time, so the
+/// chain answers "which layer grew?" directly.
+pub fn critical_path(stats: &TraceStats) -> Vec<CriticalStep> {
+    // Subtree totals by prefix summation over the path-keyed self costs.
+    let mut totals: BTreeMap<&str, f64> = BTreeMap::new();
+    for (path, s) in &stats.spans {
+        let mut end = path.len();
+        loop {
+            let prefix = &path[..end];
+            *totals.entry(prefix).or_default() += s.device_us;
+            match path[..end].rfind(';') {
+                Some(i) => end = i,
+                None => break,
+            }
+        }
+    }
+    let root = match stats.spans.keys().next() {
+        Some(first) => first.split(';').next().unwrap_or("root").to_owned(),
+        None => return Vec::new(),
+    };
+    let mut chain = Vec::new();
+    let mut cur = root;
+    loop {
+        let self_us = stats.spans.get(&cur).map_or(0.0, |s| s.device_us);
+        let total_us = totals.get(cur.as_str()).copied().unwrap_or(0.0);
+        chain.push(CriticalStep { path: cur.clone(), self_us, total_us });
+        // Best child: max subtree total, ties to the smaller name. A child
+        // prefix is `cur;<name>` with no further semicolon.
+        let prefix = format!("{cur};");
+        let mut best: Option<(&str, f64)> = None;
+        for (p, t) in totals.range::<str, _>((
+            std::ops::Bound::Excluded(prefix.as_str()),
+            std::ops::Bound::Unbounded,
+        )) {
+            if !p.starts_with(prefix.as_str()) {
+                break;
+            }
+            if p[prefix.len()..].contains(';') {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bt)) => *t > bt,
+            };
+            if better {
+                best = Some((p, *t));
+            }
+        }
+        match best {
+            Some((p, _)) => cur = p.to_owned(),
+            None => break,
+        }
+    }
+    chain
+}
+
+/// Top `k` spans by self device time, aggregated by span name; ties break
+/// by name so the order is total.
+pub fn top_spans(stats: &TraceStats, k: usize) -> Vec<(String, SpanStats)> {
+    let mut rows: Vec<(String, SpanStats)> = by_name(stats).into_iter().collect();
+    rows.sort_by(|a, b| b.1.device_us.total_cmp(&a.1.device_us).then_with(|| a.0.cmp(&b.0)));
+    rows.truncate(k);
+    rows
+}
+
+/// Per-span-name delta between two traces (`b` minus `a`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDelta {
+    /// Span name (last path segment).
+    pub name: String,
+    /// Op counts in the old and new trace.
+    pub ops: (u64, u64),
+    /// Device-time delta, microseconds (positive = grew).
+    pub d_device_us: f64,
+    /// Energy delta, microjoules.
+    pub d_energy_uj: f64,
+}
+
+/// Diffs two traces per span name: every name present in either trace gets
+/// a row with count/device-time/energy deltas, sorted by absolute
+/// device-time growth (largest first, ties by name) so the span a bench
+/// regression grew in is the first row.
+pub fn diff(a: &TraceStats, b: &TraceStats) -> Vec<SpanDelta> {
+    let an = by_name(a);
+    let bn = by_name(b);
+    let mut names: Vec<&String> = an.keys().chain(bn.keys()).collect();
+    names.sort();
+    names.dedup();
+    let mut rows: Vec<SpanDelta> = names
+        .into_iter()
+        .map(|name| {
+            let oa = an.get(name).copied().unwrap_or_default();
+            let ob = bn.get(name).copied().unwrap_or_default();
+            SpanDelta {
+                name: name.clone(),
+                ops: (oa.ops, ob.ops),
+                d_device_us: ob.device_us - oa.device_us,
+                d_energy_uj: ob.energy_uj - oa.energy_uj,
+            }
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.d_device_us.abs().total_cmp(&x.d_device_us.abs()).then_with(|| x.name.cmp(&y.name))
+    });
+    rows
+}
+
+/// Renders summary + critical path + top spans as stable text.
+pub fn render_analysis(stats: &TraceStats, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {:.1} us device time, {:.1} us wait, {:.1} uJ, {} ops, {} faults",
+        stats.device_time_us, stats.wait_time_us, stats.energy_uj, stats.ops, stats.faults,
+    );
+    let _ = writeln!(out, "critical path (by subtree device time):");
+    for (depth, step) in critical_path(stats).iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:indent$}{}: total {:.1} us, self {:.1} us",
+            "",
+            leaf(&step.path),
+            step.total_us,
+            step.self_us,
+            indent = 2 + depth * 2,
+        );
+    }
+    let _ = writeln!(out, "top {k} spans by self device time:");
+    for (name, s) in top_spans(stats, k) {
+        let _ =
+            writeln!(out, "  {name}: {:.1} us, {:.1} uJ, {} ops", s.device_us, s.energy_uj, s.ops);
+    }
+    out
+}
+
+/// Renders the top `k` rows of a diff as stable text. Rows that did not
+/// move (zero delta in every column) are skipped.
+pub fn render_diff(rows: &[SpanDelta], k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "span deltas (new - old), largest device-time change first:");
+    let mut shown = 0usize;
+    for r in rows {
+        if r.d_device_us == 0.0 && r.d_energy_uj == 0.0 && r.ops.0 == r.ops.1 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {}: {:+.1} us, {:+.1} uJ, ops {} -> {}",
+            r.name, r.d_device_us, r.d_energy_uj, r.ops.0, r.ops.1
+        );
+        shown += 1;
+        if shown >= k {
+            break;
+        }
+    }
+    if shown == 0 {
+        let _ = writeln!(out, "  (no span moved)");
+    }
+    out
+}
+
+/// Per-chip utilization/imbalance report joining span attribution with the
+/// array's per-chip meter totals. `chips` is `chip_meter(i)` for each chip
+/// (so index = chip id); `stats`, when given, adds the top spans so the
+/// busiest chip's time is attributable to a layer.
+pub fn render_chip_report(chips: &[MeterSnapshot], stats: Option<&TraceStats>) -> String {
+    let mut out = String::new();
+    if chips.is_empty() {
+        let _ = writeln!(out, "no chips");
+        return out;
+    }
+    let times: Vec<f64> = chips.iter().map(|m| m.device_time_us).collect();
+    let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let _ = writeln!(out, "chip utilization ({} chips):", chips.len());
+    for (i, m) in chips.iter().enumerate() {
+        let util = if max > 0.0 { 100.0 * m.device_time_us / max } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "  chip {i}: {:.1} us busy ({util:.1}% of busiest), {} ops, {:.1} uJ",
+            m.device_time_us,
+            m.total_ops(),
+            m.energy_uj,
+        );
+    }
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+    let _ = writeln!(out, "  imbalance (busiest / mean): {imbalance:.3}");
+    if let Some(s) = stats {
+        let _ = writeln!(out, "attribution (top spans by self device time):");
+        for (name, st) in top_spans(s, 5) {
+            let _ = writeln!(out, "  {name}: {:.1} us, {} ops", st.device_us, st.ops);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::export_jsonl;
+    use crate::tracer::Tracer;
+    use stash_flash::{OpKind, Recorder};
+
+    fn trace(extra_scrub_passes: usize) -> TraceStats {
+        let t = Tracer::shared();
+        {
+            let _w = t.span("host_write");
+            for _ in 0..4 {
+                let _p = t.span("program_page");
+                t.record_op(OpKind::Program, 600.0, 60.0);
+            }
+        }
+        for _ in 0..1 + extra_scrub_passes {
+            let _s = t.span("scrub");
+            let _e = t.span("scrub_evacuate");
+            t.record_op(OpKind::Read, 90.0, 50.0);
+            t.record_op(OpKind::Program, 600.0, 60.0);
+        }
+        parse_trace(&export_jsonl(&t.report())).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_foreign_schema() {
+        assert!(parse_trace("{\"schema\":\"nope/1\",\"type\":\"trace_summary\"}\n").is_err());
+    }
+
+    #[test]
+    fn parsed_self_costs_sum_to_header_totals() {
+        let s = trace(0);
+        let sum: f64 = s.spans.values().map(|v| v.device_us).sum();
+        assert!((sum - s.device_time_us).abs() < 1e-9);
+        let ops: u64 = s.spans.values().map(|v| v.ops).sum();
+        assert_eq!(ops, s.ops);
+    }
+
+    #[test]
+    fn critical_path_descends_into_the_heaviest_chain() {
+        let s = trace(0);
+        let chain = critical_path(&s);
+        let paths: Vec<&str> = chain.iter().map(|c| c.path.as_str()).collect();
+        assert_eq!(paths, vec!["root", "root;host_write", "root;host_write;program_page"]);
+        assert!((chain[0].total_us - s.device_time_us).abs() < 1e-9);
+        assert!(chain[2].self_us > 0.0);
+    }
+
+    #[test]
+    fn diff_pins_growth_on_the_grown_span_family() {
+        let a = trace(0);
+        let b = trace(2);
+        let rows = diff(&a, &b);
+        let moved: Vec<&str> =
+            rows.iter().filter(|r| r.d_device_us != 0.0).map(|r| r.name.as_str()).collect();
+        assert_eq!(moved, vec!["scrub_evacuate"], "only the scrub family grew");
+        assert_eq!(rows[0].ops, (2, 6));
+        assert!((rows[0].d_device_us - 2.0 * 690.0).abs() < 1e-9);
+        // Unmoved spans render away entirely.
+        let txt = render_diff(&rows, 5);
+        assert!(txt.contains("scrub_evacuate: +1380.0 us"));
+        assert!(!txt.contains("program_page"));
+    }
+
+    #[test]
+    fn renderers_are_deterministic() {
+        let s1 = trace(1);
+        let s2 = trace(1);
+        assert_eq!(render_analysis(&s1, 5), render_analysis(&s2, 5));
+        assert!(render_analysis(&s1, 5).contains("critical path"));
+    }
+}

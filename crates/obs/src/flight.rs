@@ -1,0 +1,477 @@
+//! The flight recorder: a bounded ring of the last N device operations
+//! with causal context, dumped to a schema-versioned `POSTMORTEM_*.jsonl`
+//! artifact when the stack fails.
+//!
+//! A [`FlightRecorder`] implements flash-model's
+//! [`FlightSink`](stash_flash::FlightSink) and is fed by a
+//! [`FlightDevice`](stash_flash::FlightDevice) in the middleware stack
+//! (canonical order `FaultDevice<FlightDevice<TraceDevice<Chip>>>`). The
+//! ring holds fixed-capacity, all-`Copy` [`FlightEntry`] records — zero
+//! heap traffic in steady state — and each entry carries the tracer's
+//! innermost span *node id* at the moment the op was issued; the
+//! semicolon-joined span path is resolved only at dump time (tracer node
+//! ids are append-only, so a stored id never dangles).
+//!
+//! # Dump triggers
+//!
+//! * **Power loss** — the `PowerCutDevice` reports
+//!   `FaultKind::PowerLoss` *before* landing the torn op, so the recorder
+//!   dumps immediately (covering cut-before-op) and re-dumps over the same
+//!   file when the torn op arrives (covering cut-mid-op), leaving the torn
+//!   op as the final entry either way.
+//! * **Block retirement** — a newly grown-bad block
+//!   (`FaultKind::GrownBad`).
+//! * **Health alerts** — [`dump_on_alerts`](FlightRecorder::dump_on_alerts)
+//!   called with the edge-triggered alerts from
+//!   [`HealthMonitor::observe`](crate::health::HealthMonitor::observe).
+//! * **On demand** — [`dump`](FlightRecorder::dump) (the CLI `postmortem`
+//!   command).
+//!
+//! Auto-dump I/O errors are swallowed (a sink cannot propagate them
+//! mid-operation) but counted via [`io_errors`](FlightRecorder::io_errors).
+//!
+//! Determinism: ring contents and rendered dumps depend only on the op
+//! stream, never on wall-clock time or thread scheduling, so a workload
+//! produces byte-identical postmortems for any `STASH_THREADS`.
+
+use crate::health::Alert;
+use crate::json::{write_escaped, write_num};
+use crate::tracer::Tracer;
+use stash_flash::{FaultKind, FlightOp, FlightSink};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Schema tag stamped into the `postmortem_summary` header of every dump;
+/// `bench_check` requires it on `POSTMORTEM_*.jsonl` files.
+pub const POSTMORTEM_SCHEMA: &str = "stash-postmortem/1";
+
+/// Default ring capacity: enough context to see the whole failing phase
+/// without the artifact growing past a few tens of kilobytes.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// One ring entry: the op as the middleware reported it, stamped with the
+/// recorder's monotonic sequence number, the simulated clock after the op,
+/// and the tracer's innermost span node at issue time. All-`Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEntry {
+    /// Monotonic sequence number (never reused, survives ring wrap).
+    pub seq: u64,
+    /// Simulated clock (device time + waits, µs) after the op.
+    pub t_us: f64,
+    /// Tracer span node id at issue time (0 = root / no tracer).
+    pub span: usize,
+    /// The op as reported by the `FlightDevice`.
+    pub op: FlightOp,
+}
+
+struct FlightInner {
+    capacity: usize,
+    ring: Vec<FlightEntry>,
+    /// Index of the oldest entry once the ring has wrapped.
+    head: usize,
+    seq: u64,
+    clock_us: f64,
+    faults: u64,
+    tracer: Option<Arc<Tracer>>,
+    dump_dir: PathBuf,
+    label: String,
+    /// Set by a power-loss dump; the next torn op re-dumps over the same
+    /// artifact so cut-mid-op postmortems end with the torn op.
+    armed_redump: bool,
+    last_dump: Option<PathBuf>,
+    dumps: u64,
+    io_errors: u64,
+}
+
+/// Bounded post-mortem ring; see the module docs for the full story.
+pub struct FlightRecorder {
+    inner: Mutex<FlightInner>,
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("flight lock");
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &inner.capacity)
+            .field("captured", &inner.ring.len())
+            .field("seq", &inner.seq)
+            .field("dumps", &inner.dumps)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the last `capacity` ops, dumping into
+    /// `results/` under the label `flight` until told otherwise.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Mutex::new(FlightInner {
+                capacity,
+                ring: Vec::with_capacity(capacity),
+                head: 0,
+                seq: 0,
+                clock_us: 0.0,
+                faults: 0,
+                tracer: None,
+                dump_dir: PathBuf::from("results"),
+                label: "flight".to_owned(),
+                armed_redump: false,
+                last_dump: None,
+                dumps: 0,
+                io_errors: 0,
+            }),
+        }
+    }
+
+    /// Creates a shared recorder with the default capacity — the common
+    /// entry point: `let fr = FlightRecorder::shared();`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new(DEFAULT_FLIGHT_CAPACITY))
+    }
+
+    /// Attaches (or, with `None`, detaches) the tracer whose span stack
+    /// stamps each entry's causal context.
+    pub fn set_tracer(&self, tracer: Option<Arc<Tracer>>) {
+        self.inner.lock().expect("flight lock").tracer = tracer;
+    }
+
+    /// Sets the directory postmortem artifacts are written into.
+    pub fn set_dump_dir(&self, dir: impl Into<PathBuf>) {
+        self.inner.lock().expect("flight lock").dump_dir = dir.into();
+    }
+
+    /// Sets the artifact label: dumps land at
+    /// `<dir>/POSTMORTEM_<label>_<trigger>.jsonl`.
+    pub fn set_label(&self, label: impl Into<String>) {
+        self.inner.lock().expect("flight lock").label = label.into();
+    }
+
+    /// Number of entries currently captured (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("flight lock").ring.len()
+    }
+
+    /// Whether no ops have been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total ops ever observed (capped ring notwithstanding).
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().expect("flight lock").seq
+    }
+
+    /// Auto-dump I/O errors swallowed so far.
+    pub fn io_errors(&self) -> u64 {
+        self.inner.lock().expect("flight lock").io_errors
+    }
+
+    /// Path of the most recent dump, if any.
+    pub fn last_dump(&self) -> Option<PathBuf> {
+        self.inner.lock().expect("flight lock").last_dump.clone()
+    }
+
+    /// Ring contents, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        self.inner.lock().expect("flight lock").snapshot()
+    }
+
+    /// Renders the current ring as a stash-postmortem/1 JSONL document
+    /// without touching the filesystem.
+    pub fn render(&self, trigger: &str) -> String {
+        self.inner.lock().expect("flight lock").render(trigger)
+    }
+
+    /// Dumps the current ring on demand; returns the artifact path.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the artifact cannot be written.
+    pub fn dump(&self, trigger: &str) -> std::io::Result<PathBuf> {
+        self.inner.lock().expect("flight lock").dump(trigger)
+    }
+
+    /// Dumps once for a batch of newly fired health alerts (the
+    /// edge-triggered output of `HealthMonitor::observe`), labelled by the
+    /// most severe alert's code. Returns the artifact path, or `None` when
+    /// the batch was empty.
+    pub fn dump_on_alerts(&self, alerts: &[Alert]) -> Option<PathBuf> {
+        let worst = alerts.iter().max_by_key(|a| a.severity)?;
+        let trigger = format!("alert-{}", sanitize(&worst.code));
+        let mut inner = self.inner.lock().expect("flight lock");
+        match inner.dump(&trigger) {
+            Ok(p) => Some(p),
+            Err(_) => {
+                inner.io_errors += 1;
+                None
+            }
+        }
+    }
+}
+
+/// Keeps trigger strings filesystem-safe: alphanumerics, `-`, `_`, `.`.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '-' })
+        .collect()
+}
+
+impl FlightInner {
+    fn snapshot(&self) -> Vec<FlightEntry> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        if self.ring.len() == self.capacity {
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+        } else {
+            out.extend_from_slice(&self.ring);
+        }
+        out
+    }
+
+    fn push(&mut self, e: FlightEntry) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(e);
+        } else {
+            self.ring[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn span_path(&self, node: usize) -> String {
+        match &self.tracer {
+            Some(t) => t.span_path(node).unwrap_or_else(|| "root".to_owned()),
+            None => "root".to_owned(),
+        }
+    }
+
+    fn render(&self, trigger: &str) -> String {
+        let entries = self.snapshot();
+        let mut out = String::new();
+        out.push_str("{\"schema\":\"");
+        out.push_str(POSTMORTEM_SCHEMA);
+        out.push_str("\",\"type\":\"postmortem_summary\",\"trigger\":");
+        write_escaped(&mut out, trigger);
+        let _ = write!(
+            out,
+            ",\"captured\":{},\"capacity\":{},\"total_ops\":{},\"faults\":{},\"clock_us\":",
+            entries.len(),
+            self.capacity,
+            self.seq,
+            self.faults,
+        );
+        write_num(&mut out, self.clock_us);
+        out.push_str("}\n");
+        for e in &entries {
+            self.write_entry(&mut out, e);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn write_entry(&self, out: &mut String, e: &FlightEntry) {
+        let _ = write!(out, "{{\"seq\":{},\"t_us\":", e.seq);
+        write_num(out, e.t_us);
+        out.push_str(",\"op\":");
+        write_escaped(out, &e.op.kind.to_string());
+        if let Some(b) = e.op.block {
+            let _ = write!(out, ",\"block\":{b}");
+        }
+        if let Some(lb) = e.op.local_block {
+            let _ = write!(out, ",\"local_block\":{lb}");
+        }
+        if let Some(p) = e.op.page {
+            let _ = write!(out, ",\"page\":{p}");
+        }
+        let _ = write!(out, ",\"chip\":{},\"device_us\":", e.op.chip);
+        write_num(out, e.op.device_us);
+        out.push_str(",\"energy_uj\":");
+        write_num(out, e.op.energy_uj);
+        let _ = write!(out, ",\"ok\":{}", e.op.ok);
+        if let Some(err) = e.op.err {
+            out.push_str(",\"err\":");
+            write_escaped(out, err);
+        }
+        if e.op.torn {
+            out.push_str(",\"torn\":true");
+        }
+        out.push_str(",\"span\":");
+        write_escaped(out, &self.span_path(e.span));
+        out.push('}');
+    }
+
+    fn dump_path(&self, trigger: &str) -> PathBuf {
+        self.dump_dir.join(format!("POSTMORTEM_{}_{}.jsonl", self.label, sanitize(trigger)))
+    }
+
+    fn dump(&mut self, trigger: &str) -> std::io::Result<PathBuf> {
+        let path = self.dump_path(trigger);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&path, self.render(trigger))?;
+        self.last_dump = Some(path.clone());
+        self.dumps += 1;
+        Ok(path)
+    }
+
+    fn auto_dump(&mut self, trigger: &str) {
+        if self.dump(trigger).is_err() {
+            self.io_errors += 1;
+        }
+    }
+}
+
+impl FlightSink for FlightRecorder {
+    fn record_flight_op(&self, op: &FlightOp) {
+        let mut inner = self.inner.lock().expect("flight lock");
+        inner.clock_us += op.device_us;
+        let seq = inner.seq;
+        inner.seq += 1;
+        let span = match &inner.tracer {
+            Some(t) => t.current_span_node(),
+            None => 0,
+        };
+        let entry = FlightEntry { seq, t_us: inner.clock_us, span, op: *op };
+        inner.push(entry);
+        if op.torn && inner.armed_redump {
+            // The power-loss dump fired before the torn op landed (the cut
+            // gate reports the fault first); refresh the artifact so it
+            // ends with the torn op.
+            inner.armed_redump = false;
+            inner.auto_dump("power-loss");
+        }
+    }
+
+    fn record_flight_fault(&self, kind: FaultKind) {
+        let mut inner = self.inner.lock().expect("flight lock");
+        inner.faults += 1;
+        match kind {
+            FaultKind::PowerLoss => {
+                inner.auto_dump("power-loss");
+                inner.armed_redump = true;
+            }
+            FaultKind::GrownBad => inner.auto_dump("grown-bad"),
+            _ => {}
+        }
+    }
+
+    fn record_flight_wait(&self, wait_us: f64) {
+        self.inner.lock().expect("flight lock").clock_us += wait_us;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use stash_flash::OpKind;
+
+    fn op(kind: OpKind, block: u32, ok: bool) -> FlightOp {
+        FlightOp {
+            kind,
+            block: Some(block),
+            local_block: Some(block),
+            page: Some(0),
+            chip: 0,
+            device_us: 100.0,
+            energy_uj: 10.0,
+            ok,
+            err: if ok { None } else { Some("bad-block") },
+            torn: false,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_capacity_ops() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            fr.record_flight_op(&op(OpKind::Read, i, true));
+        }
+        let entries = fr.entries();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(fr.seq(), 10);
+        let blocks: Vec<u32> = entries.iter().map(|e| e.op.block.unwrap()).collect();
+        assert_eq!(blocks, vec![6, 7, 8, 9]);
+        // Oldest-first, strictly increasing seq and clock.
+        for w in entries.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].t_us < w[1].t_us);
+        }
+    }
+
+    #[test]
+    fn render_is_valid_schema_versioned_jsonl() {
+        let fr = FlightRecorder::new(8);
+        fr.record_flight_op(&op(OpKind::Program, 3, true));
+        fr.record_flight_op(&op(OpKind::Read, 3, false));
+        let doc = fr.render("manual");
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let head = json::parse(lines[0]).unwrap();
+        assert_eq!(head.get("schema").and_then(json::JsonValue::as_str), Some(POSTMORTEM_SCHEMA));
+        assert_eq!(head.get("captured").and_then(json::JsonValue::as_f64), Some(2.0));
+        let failed = json::parse(lines[2]).unwrap();
+        assert_eq!(failed.get("ok").and_then(json::JsonValue::as_bool), Some(false));
+        assert_eq!(failed.get("err").and_then(json::JsonValue::as_str), Some("bad-block"));
+        assert_eq!(failed.get("span").and_then(json::JsonValue::as_str), Some("root"));
+    }
+
+    #[test]
+    fn power_loss_dumps_and_torn_op_refreshes_the_artifact() {
+        let dir = std::env::temp_dir().join("stash_flight_test_pl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(8);
+        fr.set_dump_dir(&dir);
+        fr.set_label("t");
+        fr.record_flight_op(&op(OpKind::Program, 1, true));
+        fr.record_flight_fault(FaultKind::PowerLoss);
+        let path = fr.last_dump().expect("power loss dumps");
+        let first = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first.lines().count(), 2, "one summary + one op");
+        // The torn op lands after the fault report and refreshes the dump.
+        let mut torn = op(OpKind::Program, 2, true);
+        torn.torn = true;
+        fr.record_flight_op(&torn);
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(second.lines().count(), 3);
+        let last = json::parse(second.lines().last().unwrap()).unwrap();
+        assert_eq!(last.get("torn").and_then(json::JsonValue::as_bool), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn span_context_resolves_through_an_attached_tracer() {
+        let tracer = Tracer::shared();
+        let fr = FlightRecorder::new(8);
+        fr.set_tracer(Some(Arc::clone(&tracer)));
+        {
+            let _g = tracer.span("host_write");
+            fr.record_flight_op(&op(OpKind::Program, 0, true));
+        }
+        fr.record_flight_op(&op(OpKind::Read, 0, true));
+        let doc = fr.render("manual");
+        let lines: Vec<&str> = doc.lines().collect();
+        let inside = json::parse(lines[1]).unwrap();
+        assert_eq!(inside.get("span").and_then(json::JsonValue::as_str), Some("root;host_write"));
+        let outside = json::parse(lines[2]).unwrap();
+        assert_eq!(outside.get("span").and_then(json::JsonValue::as_str), Some("root"));
+    }
+
+    #[test]
+    fn grown_bad_triggers_a_dump_and_alerts_use_their_code() {
+        let dir = std::env::temp_dir().join("stash_flight_test_gb");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(8);
+        fr.set_dump_dir(&dir);
+        fr.set_label("t");
+        fr.record_flight_op(&op(OpKind::Erase, 5, true));
+        fr.record_flight_fault(FaultKind::GrownBad);
+        let p = fr.last_dump().unwrap();
+        assert!(p.file_name().unwrap().to_str().unwrap().contains("grown-bad"));
+        assert!(p.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -53,7 +53,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod export;
+pub mod flight;
 pub mod health;
 pub mod json;
 pub mod metrics;
@@ -61,6 +63,8 @@ pub mod prom;
 pub mod snapshot;
 pub mod tracer;
 
+pub use analyze::{parse_trace, SpanDelta, SpanStats, TraceStats};
+pub use flight::{FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, POSTMORTEM_SCHEMA};
 pub use health::{Alert, ChipHealth, HealthMonitor, HealthSample, HealthThresholds, Severity};
 pub use metrics::{Log2Histogram, Registry, LOG2_BUCKETS};
 pub use prom::{parse_prometheus, render_prometheus};

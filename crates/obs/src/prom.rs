@@ -343,4 +343,49 @@ mod tests {
         assert_eq!(render_prometheus(&r), "");
         assert_eq!(parse_prometheus("").unwrap(), r);
     }
+
+    #[test]
+    fn multi_digit_chip_labels_roundtrip() {
+        // Chip indices on sharded arrays run past 9; the `chip:N` label
+        // convention must not be single-digit-shaped.
+        let mut r = Registry::new();
+        for chip in [0u32, 7, 10, 12, 63, 128] {
+            r.gauge_set("health_chip_hottest_pec", &format!("chip:{chip}"), f64::from(chip) * 3.0);
+            r.counter_add("chip_ops", &format!("chip:{chip}"), u64::from(chip) + 1);
+        }
+        let text = render_prometheus(&r);
+        assert!(text.contains("health_chip_hottest_pec{chip=\"12\"} 36"), "{text}");
+        assert!(text.contains("chip_ops{chip=\"128\"} 129"), "{text}");
+        // No multi-digit chip leaks into the generic `series` label.
+        assert!(!text.contains("series=\"chip:"), "{text}");
+        let back = parse_prometheus(&text).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.counter("chip_ops", "chip:63"), 64);
+    }
+
+    #[test]
+    fn render_is_stable_under_merge_order() {
+        // A merged fleet registry must expose the same text no matter
+        // which shard was folded in first, or dashboards see churn.
+        let mut a = Registry::new();
+        a.counter_add("chip_ops", "chip:0", 5);
+        a.gauge_set("free_blocks", "", 3.0);
+        for v in [1u64, 8] {
+            a.observe("pp_steps", "", v);
+        }
+        let mut b = Registry::new();
+        b.counter_add("chip_ops", "chip:11", 9);
+        b.gauge_set("health_ber_margin", "", 0.5);
+        for v in [2u64, 200] {
+            b.observe("pp_steps", "", v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Gauges keep the merged-in value on collision; none collide here,
+        // so both orders must render byte-identically.
+        assert_eq!(render_prometheus(&ab), render_prometheus(&ba));
+        assert!(render_prometheus(&ab).contains("chip_ops{chip=\"11\"} 9"));
+    }
 }

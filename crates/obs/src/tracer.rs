@@ -276,6 +276,26 @@ impl Tracer {
         self.inner.lock().expect("tracer lock").clock_us
     }
 
+    /// Node id of the innermost open span (0 = the root). Node ids are
+    /// append-only for the tracer's lifetime, so a stored id stays
+    /// resolvable via [`span_path`](Self::span_path) — this is what lets
+    /// the flight recorder keep one `usize` per ring entry and resolve the
+    /// full path only at dump time.
+    pub fn current_span_node(&self) -> usize {
+        self.inner.lock().expect("tracer lock").stack.last().copied().unwrap_or(0)
+    }
+
+    /// Resolves a node id (from [`current_span_node`](Self::current_span_node))
+    /// to its semicolon-joined span path, or `None` for an unknown id.
+    pub fn span_path(&self, node: usize) -> Option<String> {
+        let inner = self.inner.lock().expect("tracer lock");
+        if node < inner.nodes.len() {
+            Some(inner.path_of(node))
+        } else {
+            None
+        }
+    }
+
     /// A point-in-time copy of the tracer's metrics registry, ready to
     /// merge ([`Registry::merge`]) with other registries or hand to the
     /// Prometheus/snapshot exporters.

@@ -16,6 +16,7 @@ ci:
     just bench-smoke
     just crash-smoke
     just array-smoke
+    just postmortem-smoke
     just bench-compare
 
 # Bench smoke: table1 + fig6 on a scaled geometry (scratch dir, so the
@@ -26,7 +27,7 @@ bench-smoke:
     rm -rf target/bench-smoke && mkdir -p target/bench-smoke
     cd target/bench-smoke && STASH_PAGE_BYTES=1024 STASH_SAMPLES=2 ../release/table1 > /dev/null
     cd target/bench-smoke && STASH_PAGE_BYTES=1024 ../release/fig6 > /dev/null
-    ./target/release/bench_check target/bench-smoke/results/BENCH_table1.json target/bench-smoke/results/BENCH_fig6.json
+    ./target/release/bench_check target/bench-smoke/results/BENCH_table1.json target/bench-smoke/results/BENCH_fig6.json target/bench-smoke/results/TRACE_table1.jsonl target/bench-smoke/results/TRACE_table1.folded
 
 # Crash-consistency smoke: a scaled crash-point matrix (64 cuts; the
 # full 200+-point matrix runs in `cargo test` via tests/crash_matrix.rs).
@@ -47,6 +48,16 @@ array-smoke:
     rm -rf target/array-smoke && mkdir -p target/array-smoke
     cd target/array-smoke && ../release/array_smoke > /dev/null
     ./target/release/bench_check target/array-smoke/results/BENCH_array_smoke.json target/array-smoke/results/HISTORY.jsonl
+
+# Postmortem smoke: crash a golden run mid-pulse through the flight
+# recorder and validate the auto-dumped stash-postmortem/1 artifact. The
+# binary asserts validity and byte-reproducibility itself; bench_check
+# then re-validates both artifacts.
+postmortem-smoke:
+    cargo build --release -p stash-bench --bins
+    rm -rf target/postmortem-smoke && mkdir -p target/postmortem-smoke
+    cd target/postmortem-smoke && ../release/postmortem_smoke > /dev/null
+    ./target/release/bench_check target/postmortem-smoke/results/BENCH_postmortem_smoke.json target/postmortem-smoke/results/POSTMORTEM_smoke_power-loss.jsonl
 
 # Regression sentinel: re-run the deterministic trio (table1 + fig6 on the
 # scaled geometry, chaos at full size) into a scratch dir, validate the

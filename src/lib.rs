@@ -15,6 +15,7 @@
 //! | [`ftl`] | `stash-ftl` | Page-mapped FTL with GC + wear leveling |
 //! | [`stego`] | `stash-stego` | Hidden volume of §9.2 |
 //! | [`fingerprint`] | `stash-fingerprint` | Device fingerprints + flash TRNG (refs \[16, 39\]) |
+//! | [`obs`] | `stash-obs` | Tracing, metrics, health monitoring, flight recorder |
 //!
 //! ## Quick start
 //!
@@ -53,6 +54,7 @@ pub use stash_ecc as ecc;
 pub use stash_fingerprint as fingerprint;
 pub use stash_flash as flash;
 pub use stash_ftl as ftl;
+pub use stash_obs as obs;
 pub use stash_stego as stego;
 pub use stash_svm as svm;
 pub use vthi;

@@ -12,9 +12,10 @@
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use stash::crypto::HidingKey;
 use stash::flash::{
-    ArrayDevice, BitPattern, BlockId, Chip, ChipProfile, CmdResult, FaultDevice, NandCmd,
-    NandDevice, PageId, PowerCut, PowerCutDevice, TraceDevice,
+    ArrayDevice, BitPattern, BlockId, Chip, ChipProfile, CmdResult, FaultDevice, FlightDevice,
+    NandCmd, NandDevice, PageId, PowerCut, PowerCutDevice, TraceDevice,
 };
+use stash::obs::FlightRecorder;
 use stash::vthi::{Hider, VthiConfig};
 use std::fmt::Write as _;
 
@@ -114,6 +115,75 @@ fn wrapped_stack_matches_bare_chip_on_the_golden_workload() {
     assert_eq!(bare, wrapped, "no-op middleware changed the device's observable behavior");
     // The transcript actually pinned something substantial.
     assert!(bare.lines().count() > 16, "transcript too small:\n{bare}");
+}
+
+#[test]
+fn flight_device_is_invisible_on_the_golden_workload() {
+    let profile = ChipProfile::vendor_a_scaled();
+    let bare = golden_transcript(Chip::new(profile.clone(), SEED));
+    // The full canonical decorator order with the flight layer in place
+    // but no sink installed: a perfect pass-through.
+    let unobserved = golden_transcript(FaultDevice::new(FlightDevice::new(TraceDevice::new(
+        Chip::new(profile.clone(), SEED),
+    ))));
+    assert_eq!(bare, unobserved, "sink-less FlightDevice changed observable behavior");
+
+    // And with a live recorder attached: observation must not perturb the
+    // workload either — same transcript, while the ring actually filled.
+    let recorder = FlightRecorder::shared();
+    let mut dev = FaultDevice::new(FlightDevice::new(TraceDevice::new(Chip::new(profile, SEED))));
+    dev.install_flight_sink(Some(recorder.clone()));
+    let observed = golden_transcript(dev);
+    assert_eq!(bare, observed, "an attached FlightRecorder changed observable behavior");
+    assert!(!recorder.is_empty(), "the recorder saw none of the workload");
+}
+
+#[test]
+fn mid_run_power_cut_postmortem_ends_at_the_op_log_cut_position() {
+    // Aim a mid-pulse cut at op 3 — a page program in `batch_workload` —
+    // so the torn variant lands. The flight recorder must auto-dump on the
+    // power loss and its final captured op must be exactly the op the cut
+    // log says was torn.
+    let profile = ChipProfile::vendor_a_scaled();
+    let cpp = Chip::new(profile.clone(), SEED).geometry().cells_per_page();
+    let cmds = batch_workload(cpp);
+
+    let dir = std::env::temp_dir().join("stash_parity_postmortem_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let recorder = FlightRecorder::shared();
+    recorder.set_dump_dir(&dir);
+    recorder.set_label("parity");
+
+    let mut dev = PowerCutDevice::with_cuts(
+        FlightDevice::new(TraceDevice::new(Chip::new(profile, SEED))),
+        vec![PowerCut { at_op: 3, fraction: 0.5 }],
+    );
+    dev.set_op_logging(true);
+    dev.install_flight_sink(Some(recorder.clone()));
+    for cmd in &cmds {
+        let _ = dispatch_scalar(&mut dev, cmd);
+    }
+    assert!(dev.is_off(), "the scheduled cut never fired");
+
+    // The op log holds every attempted op up to and including the cut op;
+    // the recorder captured the same ops, ending in the torn variant.
+    let log = dev.op_log();
+    assert_eq!(log.len(), 4, "ops 0..=3 should have been attempted: {log:?}");
+    let entries = recorder.entries();
+    assert_eq!(entries.len(), log.len(), "recorder diverged from the op log");
+    let last = entries.last().unwrap();
+    assert!(last.op.torn, "final captured op should be the torn one");
+    assert_eq!(last.op.kind, *log.last().unwrap(), "torn op kind diverged from the op log");
+    assert_eq!(last.seq + 1, dev.op_index(), "recorder seq diverged from the cut position");
+
+    // The auto-dumped artifact ends with that same torn op.
+    let artifact = recorder.last_dump().expect("power loss should have auto-dumped");
+    let raw = std::fs::read_to_string(&artifact).unwrap();
+    let last_line = raw.lines().last().unwrap();
+    assert!(last_line.contains("\"torn\":true"), "artifact must end at the cut: {last_line}");
+    assert!(last_line.contains("\"op\":\"program\""), "{last_line}");
+    assert!(raw.starts_with("{\"schema\":\"stash-postmortem/1\""), "{raw}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
